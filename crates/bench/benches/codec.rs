@@ -1,0 +1,102 @@
+//! Criterion: MTP header codec throughput.
+//!
+//! Supports the paper's "low buffering and computation" requirement: an
+//! in-network device must parse per-message state out of every packet, so
+//! parse/emit cost bounds device throughput. We measure the owned codec
+//! (`MtpHeader::parse`/`emit`) and the zero-copy view (`MtpView`) on a
+//! minimal data header and on a feedback-laden ACK.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mtp_wire::{
+    Feedback, MsgId, MtpHeader, MtpView, PathFeedback, PathletId, PktNum, PktType, SackEntry,
+    TrafficClass,
+};
+
+fn data_header() -> MtpHeader {
+    MtpHeader {
+        src_port: 1,
+        dst_port: 2,
+        pkt_type: PktType::Data,
+        msg_id: MsgId(77),
+        msg_len_pkts: 700,
+        msg_len_bytes: 1_000_000,
+        pkt_num: PktNum(123),
+        pkt_len: 1460,
+        pkt_offset: 123 * 1460,
+        ..MtpHeader::default()
+    }
+}
+
+fn loaded_ack() -> MtpHeader {
+    MtpHeader {
+        pkt_type: PktType::Ack,
+        msg_id: MsgId(77),
+        ack_path_feedback: (0..4)
+            .map(|i| PathFeedback {
+                path: PathletId(i),
+                tc: TrafficClass(0),
+                feedback: match i % 3 {
+                    0 => Feedback::EcnMark { ce: true },
+                    1 => Feedback::RcpRate { mbps: 40_000 },
+                    _ => Feedback::Delay { ns: 12_345 },
+                },
+            })
+            .collect(),
+        sack: (0..8)
+            .map(|i| SackEntry {
+                msg: MsgId(77),
+                pkt: PktNum(i),
+            })
+            .collect(),
+        nack: (0..2)
+            .map(|i| SackEntry {
+                msg: MsgId(77),
+                pkt: PktNum(100 + i),
+            })
+            .collect(),
+        ..MtpHeader::default()
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let data = data_header();
+    let ack = loaded_ack();
+    let data_bytes = data.to_bytes().expect("encodable");
+    let ack_bytes = ack.to_bytes().expect("encodable");
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(data_bytes.len() as u64));
+    g.bench_function("emit_data_header", |b| {
+        let mut buf = vec![0u8; data.wire_len()];
+        b.iter(|| black_box(&data).emit(&mut buf).expect("fits"))
+    });
+    g.bench_function("parse_data_header", |b| {
+        b.iter(|| MtpHeader::parse(black_box(&data_bytes)).expect("valid"))
+    });
+    g.bench_function("view_data_header", |b| {
+        b.iter(|| {
+            let v = MtpView::new(black_box(&data_bytes)).expect("valid");
+            black_box((v.msg_id(), v.pkt_num(), v.msg_len_bytes()))
+        })
+    });
+
+    g.throughput(Throughput::Bytes(ack_bytes.len() as u64));
+    g.bench_function("parse_loaded_ack", |b| {
+        b.iter(|| MtpHeader::parse(black_box(&ack_bytes)).expect("valid"))
+    });
+    g.bench_function("view_loaded_ack_feedback_walk", |b| {
+        b.iter(|| {
+            let v = MtpView::new(black_box(&ack_bytes)).expect("valid");
+            let n = v.ack_path_feedback().filter(|f| f.is_ok()).count()
+                + v.sack().count()
+                + v.nack().count();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

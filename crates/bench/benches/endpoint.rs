@@ -1,0 +1,83 @@
+//! Criterion: end-to-end endpoint processing rate.
+//!
+//! Transfers a fixed volume through the full MTP stack (sender →
+//! ECN link → sink with per-packet ACKs) and through the DCTCP baseline,
+//! reporting simulated-bytes-per-wall-second. This bounds how large an
+//! experiment the harness can run, and compares the per-packet cost of the
+//! message transport against the stream baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{LinkCfg, PortId, Simulator};
+use mtp_tcp::{TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
+use mtp_wire::EntityId;
+
+const VOLUME: u64 = 10_000_000;
+
+fn mtp_transfer() -> u64 {
+    let mut sim = Simulator::new(1);
+    let snd = sim.add_node(Box::new(MtpSenderNode::new(
+        MtpConfig::default(),
+        1,
+        2,
+        EntityId(0),
+        1,
+        vec![ScheduledMsg::new(Time::ZERO, VOLUME as u32)],
+    )));
+    let sink = sim.add_node(Box::new(MtpSinkNode::new(2, Duration::from_millis(1))));
+    let rate = Bandwidth::from_gbps(100);
+    let d = Duration::from_micros(1);
+    sim.connect(
+        snd,
+        PortId(0),
+        sink,
+        PortId(0),
+        LinkCfg::ecn(rate, d, 128, 20),
+        LinkCfg::ecn(rate, d, 128, 20),
+    );
+    sim.run();
+    sim.node_as::<MtpSinkNode>(sink).total_goodput()
+}
+
+fn dctcp_transfer() -> u64 {
+    let mut sim = Simulator::new(1);
+    let cfg = TcpConfig::dctcp();
+    let snd = sim.add_node(Box::new(TcpSenderNode::new(
+        cfg.clone(),
+        TcpWorkloadMode::Persistent,
+        100,
+        vec![(Time::ZERO, VOLUME)],
+    )));
+    let sink = sim.add_node(Box::new(TcpSinkNode::new(cfg, Duration::from_millis(1))));
+    let rate = Bandwidth::from_gbps(100);
+    let d = Duration::from_micros(1);
+    sim.connect(
+        snd,
+        PortId(0),
+        sink,
+        PortId(0),
+        LinkCfg::ecn(rate, d, 128, 20),
+        LinkCfg::ecn(rate, d, 128, 20),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(100));
+    sim.node_as::<TcpSinkNode>(sink).total_delivered
+}
+
+fn bench_endpoints(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endpoint");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(VOLUME));
+    g.bench_function("mtp_10mb_transfer", |b| {
+        b.iter(|| black_box(mtp_transfer()))
+    });
+    g.bench_function("dctcp_10mb_transfer", |b| {
+        b.iter(|| black_box(dctcp_transfer()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_endpoints);
+criterion_main!(benches);

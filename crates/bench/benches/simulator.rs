@@ -1,0 +1,85 @@
+//! Criterion: discrete-event engine throughput.
+//!
+//! Measures raw event-loop rate (packets through a link per second of wall
+//! time) — the budget every experiment spends from.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mtp_sim::time::{Bandwidth, Duration};
+use mtp_sim::{Ctx, Headers, Node, Packet, PortId, Simulator};
+
+struct Blaster {
+    n: u32,
+}
+impl Node for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for _ in 0..self.n {
+            ctx.send(PortId(0), Packet::new(Headers::Raw, 1500));
+        }
+    }
+    fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+}
+
+struct Echo;
+impl Node for Echo {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _: PortId, pkt: Packet) {
+        // Bounce a small reply for every full-size packet (exercises both
+        // link directions).
+        if pkt.wire_len == 1500 {
+            ctx.send(PortId(0), Packet::new(Headers::Raw, 64));
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    for n in [1_000u32, 10_000] {
+        g.throughput(Throughput::Elements(n as u64 * 2)); // data + echo
+        g.bench_function(format!("link_pingpong_{n}_pkts"), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(1);
+                let a = sim.add_node(Box::new(Blaster { n }));
+                let e = sim.add_node(Box::new(Echo));
+                sim.connect_symmetric(
+                    a,
+                    PortId(0),
+                    e,
+                    PortId(0),
+                    Bandwidth::from_gbps(100),
+                    Duration::from_micros(1),
+                    1 << 20,
+                );
+                sim.run();
+                black_box(sim.now())
+            })
+        });
+    }
+    g.bench_function("timer_churn_100k", |b| {
+        struct T {
+            left: u32,
+        }
+        impl Node for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(Duration::from_nanos(1), 0);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) {
+                if self.left > 0 {
+                    self.left -= 1;
+                    ctx.set_timer(Duration::from_nanos(1), 0);
+                }
+            }
+        }
+        b.iter(|| {
+            let mut sim = Simulator::new(1);
+            sim.add_node(Box::new(T { left: 100_000 }));
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Figure 5 — multipath congestion control under path alternation.
+//!
+//! Paper §5.1: a fast path (100 Gbps) and a slow path (10 Gbps) between a
+//! sender and a receiver; the first-hop switch alternates between them
+//! every 384 µs (an optical switch). Links have 1 µs delay; queues hold
+//! 128 packets with an ECN threshold of 20. A long-lasting flow's goodput
+//! is sampled every 32 µs. DCTCP's single window is always converged for
+//! the *previous* path; MTP's per-pathlet windows resume instantly.
+//!
+//! Paper result: MTP converges faster and achieves ~33% higher average
+//! goodput than DCTCP.
+
+use mtp_bench::topo::{two_path_mtp, two_path_tcp, PathSpec};
+use mtp_bench::{write_json, ExperimentRecord};
+use mtp_core::{MtpConfig, MtpSinkNode, ScheduledMsg};
+use mtp_net::Strategy;
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_tcp::{TcpConfig, TcpSinkNode, TcpWorkloadMode};
+use serde::Serialize;
+
+const PERIOD: Duration = Duration(384_000_000); // 384 us
+const SAMPLE: Duration = Duration(32_000_000); // 32 us
+const HORIZON_MS: u64 = 8;
+const WARMUP_BINS: usize = 1_000 / 32; // skip the first ~1 ms of slow start
+
+#[derive(Serialize)]
+struct Fig5Data {
+    sample_us: f64,
+    period_us: f64,
+    dctcp_recovery_us: f64,
+    mtp_recovery_us: f64,
+    dctcp_series_gbps: Vec<f64>,
+    mtp_series_gbps: Vec<f64>,
+    dctcp_mean_gbps: f64,
+    mtp_mean_gbps: f64,
+    improvement_pct: f64,
+}
+
+fn mean_after(series: &[f64], from: usize) -> f64 {
+    let s = &series[from.min(series.len())..];
+    if s.is_empty() {
+        return 0.0;
+    }
+    s.iter().sum::<f64>() / s.len() as f64
+}
+
+/// Mean time from the start of each fast-path (100 Gbps) phase until the
+/// goodput first exceeds `threshold_gbps` — the "convergence" the paper's
+/// Fig. 5 narrative is about. Phases with no recovery count as the full
+/// phase length.
+fn mean_recovery_us(series: &[f64], threshold_gbps: f64) -> f64 {
+    let bins_per_phase = (PERIOD.0 / SAMPLE.0) as usize; // 12 bins
+    let mut recoveries = Vec::new();
+    // Fast phases start at even multiples of the period (phase 0 = fast).
+    let mut phase_start = 0usize;
+    while phase_start + bins_per_phase <= series.len() {
+        let is_fast_phase = (phase_start / bins_per_phase).is_multiple_of(2);
+        if is_fast_phase && phase_start > 0 {
+            let recover_bins = series[phase_start..phase_start + bins_per_phase]
+                .iter()
+                .position(|&r| r >= threshold_gbps)
+                .unwrap_or(bins_per_phase);
+            recoveries.push(recover_bins as f64 * SAMPLE.as_micros_f64());
+        }
+        phase_start += bins_per_phase;
+    }
+    recoveries.iter().sum::<f64>() / recoveries.len().max(1) as f64
+}
+
+fn main() {
+    let fast = PathSpec::new(Bandwidth::from_gbps(100), Duration::from_micros(1));
+    let slow = PathSpec::new(Bandwidth::from_gbps(10), Duration::from_micros(1));
+    let horizon = Time::ZERO + Duration::from_millis(HORIZON_MS);
+    let flow_bytes = 200_000_000; // long-lasting flow
+
+    // DCTCP through the alternating switch.
+    let mut dctcp = two_path_tcp(
+        5,
+        Strategy::Alternate { period: PERIOD },
+        fast,
+        slow,
+        vec![(Time::ZERO, flow_bytes)],
+        TcpConfig::dctcp(),
+        TcpWorkloadMode::Persistent,
+        SAMPLE,
+    );
+    dctcp.sim.run_until(horizon);
+    let dctcp_series = {
+        let sink = dctcp.sim.node_as::<TcpSinkNode>(dctcp.sink);
+        sink.goodput.rates_gbps()
+    };
+
+    // MTP through the same network (pathlets stamped per path).
+    let mut mtp = two_path_mtp(
+        5,
+        Strategy::Alternate { period: PERIOD },
+        fast,
+        slow,
+        vec![ScheduledMsg::new(Time::ZERO, flow_bytes as u32)],
+        MtpConfig::default(),
+        SAMPLE,
+    );
+    mtp.sim.run_until(horizon);
+    let mtp_series = {
+        let sink = mtp.sim.node_as::<MtpSinkNode>(mtp.sink);
+        sink.goodput.rates_gbps()
+    };
+
+    let dctcp_mean = mean_after(&dctcp_series, WARMUP_BINS);
+    let mtp_mean = mean_after(&mtp_series, WARMUP_BINS);
+    let improvement = (mtp_mean / dctcp_mean - 1.0) * 100.0;
+    let dctcp_recovery = mean_recovery_us(&dctcp_series, 80.0);
+    let mtp_recovery = mean_recovery_us(&mtp_series, 80.0);
+
+    println!("Figure 5: multipath congestion control (goodput sampled every 32 us)");
+    println!("paths alternate every 384 us between 100 Gbps and 10 Gbps\n");
+    println!("{:>10} {:>12} {:>12}", "t (us)", "DCTCP Gbps", "MTP Gbps");
+    let n = dctcp_series.len().max(mtp_series.len());
+    for i in (0..n).step_by(4) {
+        let t = i as f64 * 32.0;
+        let d = dctcp_series.get(i).copied().unwrap_or(0.0);
+        let m = mtp_series.get(i).copied().unwrap_or(0.0);
+        println!("{:>10.0} {:>12.2} {:>12.2}", t, d, m);
+    }
+    println!("\nsteady-state mean (after {WARMUP_BINS} bins warmup):");
+    println!("  DCTCP: {dctcp_mean:.2} Gbps");
+    println!("  MTP:   {mtp_mean:.2} Gbps");
+    println!("  MTP improvement: {improvement:.1}% (paper: ~33%)");
+    println!("\nconvergence after each flip back to the fast path");
+    println!("(time to exceed 80 Gbps; paper: \"MTP converges faster\"):");
+    println!("  DCTCP: {dctcp_recovery:.0} us");
+    println!("  MTP:   {mtp_recovery:.0} us");
+
+    let path = write_json(&ExperimentRecord {
+        id: "fig5",
+        paper_claim: "MTP converges faster than DCTCP and achieves ~33% higher goodput \
+                      on average when the network alternates paths every 384us",
+        data: Fig5Data {
+            sample_us: 32.0,
+            period_us: 384.0,
+            dctcp_recovery_us: dctcp_recovery,
+            mtp_recovery_us: mtp_recovery,
+            dctcp_series_gbps: dctcp_series,
+            mtp_series_gbps: mtp_series,
+            dctcp_mean_gbps: dctcp_mean,
+            mtp_mean_gbps: mtp_mean,
+            improvement_pct: improvement,
+        },
+    });
+    println!("wrote {}", path.display());
+}

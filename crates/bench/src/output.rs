@@ -1,0 +1,42 @@
+//! Experiment output: stdout tables plus JSON records under `results/`.
+
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// A labelled experiment result written to `results/<name>.json`.
+#[derive(Debug, Serialize)]
+pub struct ExperimentRecord<T: Serialize> {
+    /// Experiment id (e.g. "fig5").
+    pub id: &'static str,
+    /// What the paper's version of this artefact shows.
+    pub paper_claim: &'static str,
+    /// The measured data.
+    pub data: T,
+}
+
+fn results_dir() -> PathBuf {
+    // Walk up from the crate to the workspace root's results/.
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("results").is_dir() || dir.join("Cargo.toml").is_file() {
+            let r = dir.join("results");
+            std::fs::create_dir_all(&r).expect("create results dir");
+            return r;
+        }
+        if !dir.pop() {
+            let r = Path::new("results").to_path_buf();
+            std::fs::create_dir_all(&r).expect("create results dir");
+            return r;
+        }
+    }
+}
+
+/// Serialize `record` to `results/<id>.json` (pretty-printed) and return
+/// the path.
+pub fn write_json<T: Serialize>(record: &ExperimentRecord<T>) -> PathBuf {
+    let path = results_dir().join(format!("{}.json", record.id));
+    let json = serde_json::to_string_pretty(record).expect("serializable record");
+    std::fs::write(&path, json).expect("write results file");
+    path
+}

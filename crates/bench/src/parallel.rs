@@ -1,0 +1,127 @@
+//! Parallel experiment driver.
+//!
+//! Simulations are strictly single-threaded for determinism, but
+//! *independent seeds* are embarrassingly parallel: each worker thread
+//! builds and runs its own `Simulator`. This module fans a seed list out
+//! over threads and collects results in seed order, so a sweep's output is
+//! as deterministic as a single run.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Run `f(seed)` for every seed, in parallel across at most `workers`
+/// threads, returning results in the same order as `seeds`.
+///
+/// `f` must build everything it needs inside the call (the `Simulator` is
+/// not `Send`, and must not be): only the seed crosses the thread
+/// boundary.
+pub fn run_seeds<R, F>(seeds: &[u64], workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    assert!(workers > 0);
+    let n = seeds.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let (tx, rx) = channel::unbounded::<(usize, u64)>();
+    for (i, &s) in seeds.iter().enumerate() {
+        tx.send((i, s)).expect("unbounded channel");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            let rx = rx.clone();
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, seed)) = rx.recv() {
+                    let r = f(seed);
+                    results.lock()[i] = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every seed ran"))
+        .collect()
+}
+
+/// Mean and sample standard deviation of a slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_seed_order() {
+        let seeds: Vec<u64> = (0..32).collect();
+        let out = run_seeds(&seeds, 8, |s| s * 10);
+        assert_eq!(out, seeds.iter().map(|s| s * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_simulations_are_independent() {
+        use mtp_sim::time::{Bandwidth, Duration};
+        use mtp_sim::{Ctx, Headers, Node, Packet, PortId, Simulator};
+        struct Echoer(u32);
+        impl Node for Echoer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for _ in 0..self.0 {
+                    ctx.send(PortId(0), Packet::new(Headers::Raw, 100));
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        }
+        #[derive(Default)]
+        struct Count(u32);
+        impl Node for Count {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {
+                self.0 += 1;
+            }
+        }
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node(Box::new(Echoer(seed as u32 % 50 + 1)));
+            let b = sim.add_node(Box::new(Count::default()));
+            sim.connect_symmetric(
+                a,
+                PortId(0),
+                b,
+                PortId(0),
+                Bandwidth::from_gbps(1),
+                Duration::from_micros(1),
+                1024,
+            );
+            sim.run();
+            sim.node_as::<Count>(b).0
+        };
+        let seeds: Vec<u64> = (0..16).collect();
+        let parallel = run_seeds(&seeds, 8, run);
+        let serial: Vec<u32> = seeds.iter().map(|&s| run(s)).collect();
+        assert_eq!(parallel, serial, "parallelism must not change results");
+    }
+
+    #[test]
+    fn mean_std_math() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]).1, 0.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Reusable experiment topologies.
+//!
+//! All of the paper's evaluation scenarios are instances of two shapes:
+//!
+//! * **two-path**: sender — sw1 ═(path A / path B)═ sw2 — receiver, with a
+//!   pluggable fan-out strategy at sw1 (alternation for Fig. 5, ECMP /
+//!   spray / MTP-LB for Fig. 6);
+//! * **dumbbell**: N senders — sw1 —(shared link)— sw2 — receiver(s)
+//!   (Figs. 3 and 7).
+
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_net::{FanoutForwarder, Stamp, StampKind, StaticRoutes, Strategy, SwitchNode};
+use mtp_sim::time::{Bandwidth, Duration};
+use mtp_sim::{LinkCfg, NodeId, PortId, Simulator};
+use mtp_tcp::{TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
+use mtp_wire::{EntityId, PathletId};
+
+/// Client host address used by the two-path builders.
+pub const CLIENT_ADDR: u16 = 1;
+/// Server host address used by the two-path builders.
+pub const SERVER_ADDR: u16 = 2;
+
+/// One parallel path's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSpec {
+    /// Link rate.
+    pub rate: Bandwidth,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Queue capacity in packets.
+    pub cap_pkts: usize,
+    /// ECN marking threshold in packets.
+    pub ecn_k: usize,
+}
+
+impl PathSpec {
+    /// The paper's standard queue: 128-packet buffer, ECN threshold 20.
+    pub fn new(rate: Bandwidth, delay: Duration) -> PathSpec {
+        PathSpec {
+            rate,
+            delay,
+            cap_pkts: 128,
+            ecn_k: 20,
+        }
+    }
+
+    fn link(&self) -> LinkCfg {
+        LinkCfg::ecn(self.rate, self.delay, self.cap_pkts, self.ecn_k)
+    }
+}
+
+/// Handle to a built two-path topology.
+pub struct TwoPath {
+    /// The simulator.
+    pub sim: Simulator,
+    /// The sending host.
+    pub sender: NodeId,
+    /// The receiving host.
+    pub sink: NodeId,
+    /// First-hop switch (holds the strategy/stamps).
+    pub sw1: NodeId,
+    /// Directed links of path A and path B (sw1 → sw2).
+    pub path_a: mtp_sim::DirLinkId,
+    /// Path B forward direction.
+    pub path_b: mtp_sim::DirLinkId,
+}
+
+/// Build the two-path topology with an MTP sender/sink. Path A is stamped
+/// as pathlet 1, path B as pathlet 2.
+pub fn two_path_mtp(
+    seed: u64,
+    strategy: Strategy,
+    a: PathSpec,
+    b: PathSpec,
+    schedule: Vec<ScheduledMsg>,
+    cfg: MtpConfig,
+    goodput_bin: Duration,
+) -> TwoPath {
+    two_path_mtp_host(
+        seed,
+        strategy,
+        a,
+        b,
+        schedule,
+        cfg,
+        goodput_bin,
+        default_host_spec(),
+    )
+}
+
+/// Default host-to-switch link: 100 Gbps, 1 us.
+pub fn default_host_spec() -> PathSpec {
+    PathSpec::new(Bandwidth::from_gbps(100), Duration::from_micros(1))
+}
+
+/// [`two_path_mtp`] with an explicit host-link spec (Fig. 6 uses a
+/// 200 Gbps host NIC so both 100 Gbps paths can be loaded at once).
+#[allow(clippy::too_many_arguments)] // topology knobs are clearer positionally
+pub fn two_path_mtp_host(
+    seed: u64,
+    strategy: Strategy,
+    a: PathSpec,
+    b: PathSpec,
+    schedule: Vec<ScheduledMsg>,
+    cfg: MtpConfig,
+    goodput_bin: Duration,
+    host: PathSpec,
+) -> TwoPath {
+    let mut sim = Simulator::new(seed);
+    let sender = sim.add_node(Box::new(MtpSenderNode::new(
+        cfg,
+        CLIENT_ADDR,
+        SERVER_ADDR,
+        EntityId(0),
+        1 << 40,
+        schedule,
+    )));
+    let sink = sim.add_node(Box::new(MtpSinkNode::new(SERVER_ADDR, goodput_bin)));
+    build_two_path_network(&mut sim, sender, sink, strategy, a, b, true, host)
+        .into_two_path(sim, sender, sink)
+}
+
+/// Build the two-path topology with a TCP (or DCTCP) sender/sink.
+#[allow(clippy::too_many_arguments)] // topology knobs are clearer positionally
+pub fn two_path_tcp(
+    seed: u64,
+    strategy: Strategy,
+    a: PathSpec,
+    b: PathSpec,
+    schedule: Vec<(mtp_sim::Time, u64)>,
+    cfg: TcpConfig,
+    mode: TcpWorkloadMode,
+    goodput_bin: Duration,
+) -> TwoPath {
+    let mut sim = Simulator::new(seed);
+    let sender = sim.add_node(Box::new(TcpSenderNode::with_addrs(
+        cfg.clone(),
+        mode,
+        100,
+        schedule,
+        CLIENT_ADDR,
+        SERVER_ADDR,
+    )));
+    let sink = sim.add_node(Box::new(TcpSinkNode::new(cfg, goodput_bin)));
+    build_two_path_network(
+        &mut sim,
+        sender,
+        sink,
+        strategy,
+        a,
+        b,
+        false,
+        default_host_spec(),
+    )
+    .into_two_path(sim, sender, sink)
+}
+
+struct NetHandles {
+    sw1: NodeId,
+    path_a: mtp_sim::DirLinkId,
+    path_b: mtp_sim::DirLinkId,
+}
+
+impl NetHandles {
+    fn into_two_path(self, sim: Simulator, sender: NodeId, sink: NodeId) -> TwoPath {
+        TwoPath {
+            sim,
+            sender,
+            sink,
+            sw1: self.sw1,
+            path_a: self.path_a,
+            path_b: self.path_b,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_two_path_network(
+    sim: &mut Simulator,
+    sender: NodeId,
+    sink: NodeId,
+    strategy: Strategy,
+    a: PathSpec,
+    b: PathSpec,
+    stamp: bool,
+    host: PathSpec,
+) -> NetHandles {
+    let mut sw1 = SwitchNode::new(
+        "sw1",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(CLIENT_ADDR, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            strategy,
+        )),
+    );
+    if stamp {
+        sw1 = sw1
+            .with_stamp(PortId(1), Stamp::new(PathletId(1), StampKind::Presence))
+            .with_stamp(PortId(2), Stamp::new(PathletId(2), StampKind::Presence));
+    }
+    let sw1 = sim.add_node(Box::new(sw1));
+    let sw2 = sim.add_node(Box::new(SwitchNode::new(
+        "sw2",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(SERVER_ADDR, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            Strategy::Fixed,
+        )),
+    )));
+
+    sim.connect(sender, PortId(0), sw1, PortId(0), host.link(), host.link());
+    let (path_a, _) = sim.connect(sw1, PortId(1), sw2, PortId(1), a.link(), a.link());
+    let (path_b, _) = sim.connect(sw1, PortId(2), sw2, PortId(2), b.link(), b.link());
+    sim.connect(sw2, PortId(0), sink, PortId(0), host.link(), host.link());
+    NetHandles {
+        sw1,
+        path_a,
+        path_b,
+    }
+}
+
+/// Handle to a built dumbbell.
+pub struct Dumbbell {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Sending hosts (addresses `1..=n`).
+    pub senders: Vec<NodeId>,
+    /// Receiving hosts, one per sender (addresses `100 + i`).
+    pub sinks: Vec<NodeId>,
+    /// The shared bottleneck (left → right).
+    pub bottleneck: mtp_sim::DirLinkId,
+    /// The left switch (carries the ingress policy, if any).
+    pub left_switch: NodeId,
+}
+
+/// Sender address for dumbbell host `i` (0-based).
+pub fn dumbbell_src(i: usize) -> u16 {
+    1 + i as u16
+}
+
+/// Receiver address for dumbbell host `i` (0-based).
+pub fn dumbbell_dst(i: usize) -> u16 {
+    100 + i as u16
+}
+
+/// Build an N-pair dumbbell: each sender `i` talks to its own receiver
+/// through one shared link. `senders[i]` is built by the caller-provided
+/// closure (so TCP and MTP hosts, or mixes, are all expressible);
+/// `edge`/`shared` give the link specs; `policy` optionally installs an
+/// ingress policy on the left switch; `shared_queue` overrides the shared
+/// link's egress queue (e.g. per-tenant DRR).
+#[allow(clippy::too_many_arguments)]
+pub fn dumbbell(
+    seed: u64,
+    n: usize,
+    mut make_sender: impl FnMut(usize) -> Box<dyn mtp_sim::Node>,
+    mut make_sink: impl FnMut(usize) -> Box<dyn mtp_sim::Node>,
+    edge: PathSpec,
+    shared: PathSpec,
+    policy: Option<Box<dyn mtp_net::IngressPolicy>>,
+    shared_queue: Option<Box<dyn mtp_sim::Qdisc>>,
+) -> Dumbbell {
+    let mut sim = Simulator::new(seed);
+    let senders: Vec<NodeId> = (0..n).map(|i| sim.add_node(make_sender(i))).collect();
+    let sinks: Vec<NodeId> = (0..n).map(|i| sim.add_node(make_sink(i))).collect();
+
+    // Left switch: ports 0..n face senders, port n is the shared link.
+    let mut left_routes = StaticRoutes::new();
+    for (i, _) in senders.iter().enumerate() {
+        left_routes = left_routes.add(dumbbell_src(i), PortId(i));
+    }
+    let mut left = SwitchNode::new(
+        "left",
+        Box::new(FanoutForwarder::new(
+            left_routes,
+            vec![PortId(n)],
+            Strategy::Fixed,
+        )),
+    );
+    if let Some(p) = policy {
+        left = left.with_policy(p);
+    }
+    let left = sim.add_node(Box::new(left));
+
+    let mut right_routes = StaticRoutes::new();
+    for (i, _) in sinks.iter().enumerate() {
+        right_routes = right_routes.add(dumbbell_dst(i), PortId(i));
+    }
+    let right = sim.add_node(Box::new(SwitchNode::new(
+        "right",
+        Box::new(FanoutForwarder::new(
+            right_routes,
+            vec![PortId(n)],
+            Strategy::Fixed,
+        )),
+    )));
+
+    for (i, &s) in senders.iter().enumerate() {
+        sim.connect(s, PortId(0), left, PortId(i), edge.link(), edge.link());
+    }
+    for (i, &r) in sinks.iter().enumerate() {
+        sim.connect(right, PortId(i), r, PortId(0), edge.link(), edge.link());
+    }
+    let forward = match shared_queue {
+        Some(queue) => LinkCfg {
+            rate: shared.rate,
+            delay: shared.delay,
+            queue,
+        },
+        None => shared.link(),
+    };
+    let (bottleneck, _) = sim.connect(left, PortId(n), right, PortId(n), forward, shared.link());
+    Dumbbell {
+        sim,
+        senders,
+        sinks,
+        bottleneck,
+        left_switch: left,
+    }
+}
+
+/// Handle to a built leaf-spine fabric.
+pub struct LeafSpine {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Host nodes, indexed `leaf * hosts_per_leaf + i`.
+    pub hosts: Vec<NodeId>,
+    /// Leaf switches.
+    pub leaves: Vec<NodeId>,
+    /// Spine switches.
+    pub spines: Vec<NodeId>,
+}
+
+/// Host address in a leaf-spine fabric (1-based, dense).
+pub fn ls_addr(leaf: usize, hosts_per_leaf: usize, i: usize) -> u16 {
+    (leaf * hosts_per_leaf + i + 1) as u16
+}
+
+/// Build a 2-tier leaf-spine (Clos) fabric:
+///
+/// * `n_leaves` leaf switches, each with `hosts_per_leaf` hosts;
+/// * `n_spines` spine switches, each connected to every leaf;
+/// * cross-leaf traffic fans over the spines using `make_strategy()`
+///   (one strategy instance per leaf), with each uplink stamped as
+///   pathlet `spine + 1`;
+/// * spines route by destination leaf.
+///
+/// Host node `leaf * hosts_per_leaf + i` is produced by
+/// `make_host(leaf, i, addr)` and attaches on its port 0.
+///
+/// Leaf port map: ports `0..hosts_per_leaf` face hosts, ports
+/// `hosts_per_leaf..hosts_per_leaf + n_spines` face spines. Spine port map:
+/// port `l` faces leaf `l`.
+#[allow(clippy::too_many_arguments)] // topology knobs are clearer positionally
+pub fn leaf_spine(
+    seed: u64,
+    n_leaves: usize,
+    n_spines: usize,
+    hosts_per_leaf: usize,
+    make_host: impl FnMut(usize, usize, u16) -> Box<dyn mtp_sim::Node>,
+    make_strategy: impl FnMut(usize) -> Strategy,
+    host_link: PathSpec,
+    spine_link: PathSpec,
+) -> LeafSpine {
+    leaf_spine_ext(
+        seed,
+        n_leaves,
+        n_spines,
+        hosts_per_leaf,
+        make_host,
+        make_strategy,
+        host_link,
+        spine_link,
+        false,
+    )
+}
+
+/// [`leaf_spine`] with CONGA instrumentation: when `spine_stamps` is set,
+/// every spine stamps its per-destination-leaf downlink queue depth as
+/// `QueueDepth` feedback under a [`mtp_net::strategies::conga_pathlet`]
+/// id, which [`Strategy::conga_lb`] leaves snoop from passing ACKs.
+#[allow(clippy::too_many_arguments)] // topology knobs are clearer positionally
+pub fn leaf_spine_ext(
+    seed: u64,
+    n_leaves: usize,
+    n_spines: usize,
+    hosts_per_leaf: usize,
+    mut make_host: impl FnMut(usize, usize, u16) -> Box<dyn mtp_sim::Node>,
+    mut make_strategy: impl FnMut(usize) -> Strategy,
+    host_link: PathSpec,
+    spine_link: PathSpec,
+    spine_stamps: bool,
+) -> LeafSpine {
+    let mut sim = Simulator::new(seed);
+    let mut hosts = Vec::new();
+    for leaf in 0..n_leaves {
+        for i in 0..hosts_per_leaf {
+            let addr = ls_addr(leaf, hosts_per_leaf, i);
+            hosts.push(sim.add_node(make_host(leaf, i, addr)));
+        }
+    }
+    let leaves: Vec<NodeId> = (0..n_leaves)
+        .map(|leaf| {
+            let mut routes = StaticRoutes::new();
+            for i in 0..hosts_per_leaf {
+                routes = routes.add(ls_addr(leaf, hosts_per_leaf, i), PortId(i));
+            }
+            let fan: Vec<PortId> = (0..n_spines).map(|s| PortId(hosts_per_leaf + s)).collect();
+            let mut sw = SwitchNode::new(
+                format!("leaf{leaf}"),
+                Box::new(FanoutForwarder::new(
+                    routes,
+                    fan.clone(),
+                    make_strategy(leaf),
+                )),
+            );
+            for (s, port) in fan.iter().enumerate() {
+                sw = sw.with_stamp(
+                    *port,
+                    Stamp::new(PathletId(s as u16 + 1), StampKind::Presence),
+                );
+            }
+            sim.add_node(Box::new(sw))
+        })
+        .collect();
+    let spines: Vec<NodeId> = (0..n_spines)
+        .map(|s| {
+            // Spine routes every host of leaf `l` out port `l`.
+            let mut routes = StaticRoutes::new();
+            for leaf in 0..n_leaves {
+                for i in 0..hosts_per_leaf {
+                    routes = routes.add(ls_addr(leaf, hosts_per_leaf, i), PortId(leaf));
+                }
+            }
+            let mut sw = SwitchNode::new(
+                format!("spine{s}"),
+                Box::new(FanoutForwarder::new(routes, vec![], Strategy::Fixed)),
+            );
+            if spine_stamps {
+                for leaf in 0..n_leaves {
+                    sw = sw.with_stamp(
+                        PortId(leaf),
+                        Stamp::new(
+                            mtp_net::strategies::conga_pathlet(s as u16, leaf as u16),
+                            StampKind::QueueDepth,
+                        ),
+                    );
+                }
+            }
+            sim.add_node(Box::new(sw))
+        })
+        .collect();
+
+    for leaf in 0..n_leaves {
+        for i in 0..hosts_per_leaf {
+            let h = hosts[leaf * hosts_per_leaf + i];
+            sim.connect(
+                h,
+                PortId(0),
+                leaves[leaf],
+                PortId(i),
+                host_link.link(),
+                host_link.link(),
+            );
+        }
+        for (s, &spine) in spines.iter().enumerate() {
+            sim.connect(
+                leaves[leaf],
+                PortId(hosts_per_leaf + s),
+                spine,
+                PortId(leaf),
+                spine_link.link(),
+                spine_link.link(),
+            );
+        }
+    }
+    LeafSpine {
+        sim,
+        hosts,
+        leaves,
+        spines,
+    }
+}

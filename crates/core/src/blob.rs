@@ -1,0 +1,268 @@
+//! Bulk-data ("blob") mode: one message per packet.
+//!
+//! Paper §3.1.2: *"To support applications generating blobs of data, MTP
+//! can generate new messages for each packet. This enables multiplexing and
+//! parallelization at the network layer and operates similar to TCP. A
+//! layer beneath the application in a library or OS service is responsible
+//! for reassembling the blob and reliably handling any packet loss and
+//! reordering of messages."*
+//!
+//! [`send_blob`] is that library layer on the send side: it splits a blob
+//! into MTU-sized *independent messages* (so the network may spray them
+//! across paths and replicas freely) and returns a [`BlobHandle`] naming
+//! the contiguous message-id range. [`BlobReassembler`] is the receive
+//! side: fed [`MsgDelivered`] events, it tracks per-blob completion.
+
+use std::collections::HashMap;
+
+use mtp_sim::packet::Packet;
+use mtp_sim::time::Time;
+use mtp_wire::{MsgId, TrafficClass};
+
+use crate::receiver::MsgDelivered;
+use crate::sender::MtpSender;
+
+/// Identifies a blob: the contiguous message-id range it was split into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobHandle {
+    /// First message id of the blob.
+    pub first: MsgId,
+    /// Number of messages (= packets).
+    pub count: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+}
+
+/// Split `bytes` of bulk data into per-packet messages on `sender`.
+///
+/// Each chunk is at most `chunk` bytes (use the sender's MTU payload) and
+/// becomes an independent single-packet message, so in-network devices can
+/// reorder and load-balance them without any atomicity constraint.
+#[allow(clippy::too_many_arguments)] // mirrors MtpSender::send_message + blob params
+pub fn send_blob(
+    sender: &mut MtpSender,
+    dst: u16,
+    bytes: u64,
+    chunk: u32,
+    pri: u8,
+    tc: TrafficClass,
+    now: Time,
+    out: &mut Vec<Packet>,
+) -> BlobHandle {
+    assert!(bytes > 0 && chunk > 0);
+    let count = bytes.div_ceil(chunk as u64);
+    let mut first = None;
+    for i in 0..count {
+        let len = if i == count - 1 {
+            (bytes - i * chunk as u64) as u32
+        } else {
+            chunk
+        };
+        let id = sender.send_message(dst, len, pri, tc, now, out);
+        if first.is_none() {
+            first = Some(id);
+        }
+    }
+    BlobHandle {
+        first: first.expect("count >= 1"),
+        count,
+        bytes,
+    }
+}
+
+#[derive(Debug)]
+struct BlobState {
+    handle: BlobHandle,
+    delivered: u64,
+    bytes_done: u64,
+    started: Option<Time>,
+    completed: Option<Time>,
+}
+
+/// A completed blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobComplete {
+    /// The blob's handle.
+    pub handle: BlobHandle,
+    /// First constituent message arrival.
+    pub started: Time,
+    /// Last constituent message arrival.
+    pub completed: Time,
+}
+
+/// Receive-side blob tracking, keyed by registered handles.
+#[derive(Debug, Default)]
+pub struct BlobReassembler {
+    /// Sorted by first message id for range lookup.
+    blobs: Vec<BlobState>,
+    index: HashMap<MsgId, usize>,
+}
+
+impl BlobReassembler {
+    /// An empty reassembler.
+    pub fn new() -> BlobReassembler {
+        BlobReassembler::default()
+    }
+
+    /// Register a blob to watch for (handles are communicated out-of-band
+    /// or via an application header; the simulator harness passes them
+    /// directly).
+    pub fn register(&mut self, handle: BlobHandle) {
+        let slot = self.blobs.len();
+        for i in 0..handle.count {
+            self.index.insert(MsgId(handle.first.0 + i), slot);
+        }
+        self.blobs.push(BlobState {
+            handle,
+            delivered: 0,
+            bytes_done: 0,
+            started: None,
+            completed: None,
+        });
+    }
+
+    /// Feed one delivered message; returns the blob completion if this was
+    /// its final chunk.
+    pub fn on_delivered(&mut self, ev: &MsgDelivered) -> Option<BlobComplete> {
+        let &slot = self.index.get(&ev.id)?;
+        let b = &mut self.blobs[slot];
+        b.delivered += 1;
+        b.bytes_done += ev.bytes as u64;
+        if b.started.is_none() {
+            b.started = Some(ev.first_seen);
+        }
+        if b.delivered == b.handle.count && b.completed.is_none() {
+            b.completed = Some(ev.completed);
+            debug_assert_eq!(b.bytes_done, b.handle.bytes);
+            return Some(BlobComplete {
+                handle: b.handle,
+                started: b.started.expect("set on first delivery"),
+                completed: ev.completed,
+            });
+        }
+        None
+    }
+
+    /// Fraction of the blob's bytes delivered so far.
+    pub fn progress(&self, handle: &BlobHandle) -> f64 {
+        self.blobs
+            .iter()
+            .find(|b| b.handle == *handle)
+            .map(|b| b.bytes_done as f64 / b.handle.bytes as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MtpConfig;
+    use mtp_wire::EntityId;
+
+    fn delivered(id: u64, bytes: u32, t_us: u64) -> MsgDelivered {
+        MsgDelivered {
+            id: MsgId(id),
+            bytes,
+            src: 1,
+            first_seen: Time(t_us * 1_000_000),
+            completed: Time(t_us * 1_000_000),
+            tc: TrafficClass::BEST_EFFORT,
+            pri: 0,
+        }
+    }
+
+    #[test]
+    fn blob_splits_into_single_packet_messages() {
+        let mut s = MtpSender::new(MtpConfig::default(), 1, EntityId(0), 0);
+        let mut out = Vec::new();
+        let h = send_blob(
+            &mut s,
+            2,
+            10_000,
+            1460,
+            0,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        assert_eq!(h.count, 7, "ceil(10000/1460)");
+        assert_eq!(h.first, MsgId(0));
+        // Every emitted packet is packet 0 of a 1-packet message.
+        for p in &out {
+            let hd = p.headers.as_mtp().unwrap();
+            assert_eq!(hd.msg_len_pkts, 1);
+            assert_eq!(hd.pkt_num.0, 0);
+            assert!(hd.is_last_pkt());
+        }
+        // The last chunk carries the remainder.
+        let total: u32 = out
+            .iter()
+            .map(|p| p.headers.as_mtp().unwrap().pkt_len as u32)
+            .sum();
+        // Only window-admitted packets are out; with a 15 kB window all 7
+        // single-packet messages fit (7 * 1460 = 10220 <= 15000).
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn reassembler_completes_out_of_order() {
+        let mut r = BlobReassembler::new();
+        let h = BlobHandle {
+            first: MsgId(10),
+            count: 3,
+            bytes: 3000,
+        };
+        r.register(h);
+        assert!(r.on_delivered(&delivered(12, 1000, 5)).is_none());
+        assert!(r.on_delivered(&delivered(10, 1000, 7)).is_none());
+        assert!((r.progress(&h) - 2.0 / 3.0).abs() < 1e-9);
+        let done = r.on_delivered(&delivered(11, 1000, 9)).expect("complete");
+        assert_eq!(done.handle, h);
+        assert_eq!(done.completed, Time(9_000_000));
+    }
+
+    #[test]
+    fn unrelated_messages_are_ignored() {
+        let mut r = BlobReassembler::new();
+        r.register(BlobHandle {
+            first: MsgId(10),
+            count: 2,
+            bytes: 2000,
+        });
+        assert!(r.on_delivered(&delivered(99, 1000, 1)).is_none());
+        assert_eq!(
+            r.progress(&BlobHandle {
+                first: MsgId(10),
+                count: 2,
+                bytes: 2000
+            }),
+            0.0
+        );
+    }
+
+    #[test]
+    fn two_blobs_tracked_independently() {
+        let mut r = BlobReassembler::new();
+        let a = BlobHandle {
+            first: MsgId(0),
+            count: 2,
+            bytes: 2000,
+        };
+        let b = BlobHandle {
+            first: MsgId(2),
+            count: 1,
+            bytes: 500,
+        };
+        r.register(a);
+        r.register(b);
+        assert!(
+            r.on_delivered(&delivered(2, 500, 3)).is_some(),
+            "blob b done"
+        );
+        assert!(r.on_delivered(&delivered(0, 1000, 4)).is_none());
+        assert!(
+            r.on_delivered(&delivered(1, 1000, 5)).is_some(),
+            "blob a done"
+        );
+    }
+}

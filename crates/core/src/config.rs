@@ -1,0 +1,60 @@
+//! MTP endpoint configuration.
+
+use mtp_sim::time::Duration;
+
+use crate::pathlet_cc::CcKind;
+
+/// Configuration for MTP senders and receivers.
+#[derive(Debug, Clone)]
+pub struct MtpConfig {
+    /// Maximum payload bytes per packet.
+    pub mtu_payload: u32,
+    /// Controller family for newly observed pathlets.
+    pub cc: CcKind,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: Duration,
+    /// How long a congested pathlet stays on the advertised exclude list.
+    pub exclude_cooldown: Duration,
+    /// Exclude a pathlet when its window is driven to the floor by loss —
+    /// the end-host-to-network half of pathlet congestion control
+    /// (paper §3.1.3: "end-hosts provide feedback to the network about the
+    /// pathlets that should not be used").
+    pub exclude_on_floor: bool,
+}
+
+impl Default for MtpConfig {
+    fn default() -> Self {
+        MtpConfig {
+            mtu_payload: 1460,
+            cc: CcKind::DctcpLike {
+                init_window: 10 * 1500,
+            },
+            min_rto: Duration::from_micros(200),
+            exclude_cooldown: Duration::from_micros(500),
+            exclude_on_floor: true,
+        }
+    }
+}
+
+impl MtpConfig {
+    /// Configuration with RCP-style explicit-rate pathlet control.
+    pub fn rcp() -> MtpConfig {
+        MtpConfig {
+            cc: CcKind::RcpLike {
+                init_window: 10 * 1500,
+            },
+            ..MtpConfig::default()
+        }
+    }
+
+    /// Configuration with Swift-style delay-target pathlet control.
+    pub fn swift(target: Duration) -> MtpConfig {
+        MtpConfig {
+            cc: CcKind::SwiftLike {
+                init_window: 10 * 1500,
+                target,
+            },
+            ..MtpConfig::default()
+        }
+    }
+}

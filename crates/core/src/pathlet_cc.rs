@@ -1,0 +1,473 @@
+//! Per-pathlet congestion controllers.
+//!
+//! MTP end-hosts do not keep one congestion window per flow; they keep one
+//! controller per `(pathlet, traffic class)` pair, and different pathlets
+//! may run **different algorithms** — the TLV type of the feedback selects
+//! which controller consumes it (paper §3.1.3). This module provides the
+//! [`PathletCc`] trait and four controllers:
+//!
+//! * [`DctcpLikeCc`] — window-based, driven by per-pathlet ECN marks with
+//!   DCTCP's `alpha` EWMA response;
+//! * [`RcpLikeCc`] — rate-based, driven by explicit `RcpRate` feedback; the
+//!   admission window is `rate × RTT`;
+//! * [`SwiftLikeCc`] — delay-based, driven by `Delay` feedback against a
+//!   target (Swift-style AIMD on delay overshoot);
+//! * [`FixedWindowCc`] — a constant window, for tests and ablations.
+//!
+//! All windows are in bytes and floored at one MTU so a pathlet can always
+//! probe, and capped to keep pathological feedback from unbounding state.
+
+use mtp_sim::time::{Duration, Time};
+use mtp_wire::Feedback;
+
+/// Lower bound on any pathlet window: one MTU-sized packet.
+pub const WINDOW_FLOOR: u64 = 1500;
+
+/// Upper bound on any pathlet window (1 GiB — far above any experiment's
+/// bandwidth-delay product, present only as a safety rail).
+pub const WINDOW_CAP: u64 = 1 << 30;
+
+/// A congestion controller for one `(pathlet, traffic class)` pair.
+pub trait PathletCc: std::fmt::Debug {
+    /// Bytes this pathlet currently admits in flight.
+    fn window(&self) -> u64;
+
+    /// An acknowledgement attributed `acked` bytes to this pathlet,
+    /// carrying the pathlet's feedback entry (if the ACK echoed one) and an
+    /// RTT sample (if the packet was timed).
+    fn on_ack(&mut self, acked: u64, fb: Option<&Feedback>, rtt: Option<Duration>, now: Time);
+
+    /// A loss (NACK or retransmission timeout) was attributed to this
+    /// pathlet.
+    fn on_loss(&mut self, now: Time);
+
+    /// Short algorithm name for traces and ablation output.
+    fn kind(&self) -> &'static str;
+}
+
+/// Builds a controller for a newly observed pathlet.
+pub type CcFactory = Box<dyn Fn() -> Box<dyn PathletCc>>;
+
+/// Which controller family new pathlets get.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcKind {
+    /// [`DctcpLikeCc`] with the given initial window in bytes.
+    DctcpLike {
+        /// Initial window in bytes.
+        init_window: u64,
+    },
+    /// [`RcpLikeCc`] with the given initial window in bytes.
+    RcpLike {
+        /// Window used until the first rate feedback arrives.
+        init_window: u64,
+    },
+    /// [`SwiftLikeCc`] with the given target one-hop queueing delay.
+    SwiftLike {
+        /// Initial window in bytes.
+        init_window: u64,
+        /// Target per-pathlet queueing delay.
+        target: Duration,
+    },
+    /// [`FixedWindowCc`].
+    Fixed {
+        /// The constant window in bytes.
+        window: u64,
+    },
+}
+
+impl CcKind {
+    /// Build a factory producing this kind of controller.
+    pub fn factory(self) -> CcFactory {
+        match self {
+            CcKind::DctcpLike { init_window } => {
+                Box::new(move || Box::new(DctcpLikeCc::new(init_window)))
+            }
+            CcKind::RcpLike { init_window } => {
+                Box::new(move || Box::new(RcpLikeCc::new(init_window)))
+            }
+            CcKind::SwiftLike {
+                init_window,
+                target,
+            } => Box::new(move || Box::new(SwiftLikeCc::new(init_window, target))),
+            CcKind::Fixed { window } => Box::new(move || Box::new(FixedWindowCc::new(window))),
+        }
+    }
+}
+
+/// DCTCP-style window evolution from per-pathlet ECN marks.
+///
+/// Slow start / congestion avoidance on unmarked bytes; an `alpha` EWMA of
+/// the marked fraction, applied as `w *= 1 - alpha/2` at most once per
+/// window of data. The crucial difference from the `mtp-tcp` DCTCP is the
+/// *scope*: this window describes one pathlet, so when the network moves
+/// traffic to a different pathlet the old state is preserved and the new
+/// pathlet's state is already converged (paper §5.1 / Fig. 5).
+#[derive(Debug)]
+pub struct DctcpLikeCc {
+    window: f64,
+    ssthresh: f64,
+    alpha: f64,
+    /// Bytes acked / marked in the current observation window.
+    win_acked: f64,
+    win_marked: f64,
+    /// Bytes of data that must be acked before the next reduction.
+    reduce_guard: f64,
+    /// Remaining acked bytes until the alpha window closes.
+    win_left: f64,
+    mtu: f64,
+}
+
+impl DctcpLikeCc {
+    /// A controller starting with `init_window` bytes.
+    pub fn new(init_window: u64) -> DctcpLikeCc {
+        let w = init_window as f64;
+        DctcpLikeCc {
+            window: w,
+            ssthresh: f64::INFINITY,
+            alpha: 1.0,
+            win_acked: 0.0,
+            win_marked: 0.0,
+            reduce_guard: 0.0,
+            win_left: w,
+            mtu: WINDOW_FLOOR as f64,
+        }
+    }
+
+    /// Current alpha estimate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn clamp(&mut self) {
+        self.window = self.window.clamp(WINDOW_FLOOR as f64, WINDOW_CAP as f64);
+    }
+}
+
+impl PathletCc for DctcpLikeCc {
+    fn window(&self) -> u64 {
+        self.window as u64
+    }
+
+    fn on_ack(&mut self, acked: u64, fb: Option<&Feedback>, _rtt: Option<Duration>, _now: Time) {
+        let acked = acked as f64;
+        let marked = match fb {
+            Some(Feedback::EcnMark { ce }) => *ce,
+            Some(Feedback::EcnFraction { fraction }) => {
+                // Aggregated feedback: treat the fraction itself as the
+                // marked share of these bytes.
+                self.win_marked += acked * (*fraction as f64 / 65535.0);
+                false
+            }
+            _ => false,
+        };
+        self.win_acked += acked;
+        if marked {
+            self.win_marked += acked;
+        }
+
+        if marked && self.reduce_guard <= 0.0 {
+            self.window *= 1.0 - self.alpha / 2.0;
+            self.ssthresh = self.window;
+            self.reduce_guard = self.window;
+            self.clamp();
+        } else {
+            self.reduce_guard -= acked;
+            // Growth: slow start below ssthresh, else additive increase.
+            if self.window < self.ssthresh {
+                self.window += acked;
+            } else {
+                self.window += self.mtu * acked / self.window;
+            }
+            self.clamp();
+        }
+
+        self.win_left -= acked;
+        if self.win_left <= 0.0 {
+            if self.win_acked > 0.0 {
+                let f = (self.win_marked / self.win_acked).clamp(0.0, 1.0);
+                self.alpha = (1.0 - crate::DCTCP_G) * self.alpha + crate::DCTCP_G * f;
+            }
+            self.win_acked = 0.0;
+            self.win_marked = 0.0;
+            self.win_left = self.window;
+        }
+    }
+
+    fn on_loss(&mut self, _now: Time) {
+        self.window /= 2.0;
+        self.ssthresh = self.window;
+        self.reduce_guard = self.window;
+        self.clamp();
+    }
+
+    fn kind(&self) -> &'static str {
+        "dctcp-like"
+    }
+}
+
+/// RCP-style explicit-rate control: the pathlet tells the sender its fair
+/// rate; the admission window is `rate × smoothed RTT`.
+#[derive(Debug)]
+pub struct RcpLikeCc {
+    window: u64,
+    rate_mbps: Option<u32>,
+    srtt: Option<Duration>,
+}
+
+impl RcpLikeCc {
+    /// A controller admitting `init_window` bytes until rate feedback
+    /// arrives.
+    pub fn new(init_window: u64) -> RcpLikeCc {
+        RcpLikeCc {
+            window: init_window.clamp(WINDOW_FLOOR, WINDOW_CAP),
+            rate_mbps: None,
+            srtt: None,
+        }
+    }
+
+    /// The last explicit rate received, if any.
+    pub fn rate_mbps(&self) -> Option<u32> {
+        self.rate_mbps
+    }
+
+    fn recompute(&mut self) {
+        if let (Some(rate), Some(srtt)) = (self.rate_mbps, self.srtt) {
+            let bytes = (rate as u128 * 1_000_000 / 8) * srtt.0 as u128 / 1_000_000_000_000;
+            self.window = (bytes as u64).clamp(WINDOW_FLOOR, WINDOW_CAP);
+        }
+    }
+}
+
+impl PathletCc for RcpLikeCc {
+    fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn on_ack(&mut self, _acked: u64, fb: Option<&Feedback>, rtt: Option<Duration>, _now: Time) {
+        if let Some(rtt) = rtt {
+            self.srtt = Some(match self.srtt {
+                None => rtt,
+                Some(s) => Duration((7 * s.0 + rtt.0) / 8),
+            });
+        }
+        if let Some(Feedback::RcpRate { mbps }) = fb {
+            self.rate_mbps = Some(*mbps);
+        }
+        self.recompute();
+    }
+
+    fn on_loss(&mut self, _now: Time) {
+        // Rate-allocated pathlets treat loss as a stale allocation: back off
+        // to half until the next explicit rate arrives.
+        self.window = (self.window / 2).max(WINDOW_FLOOR);
+    }
+
+    fn kind(&self) -> &'static str {
+        "rcp-like"
+    }
+}
+
+/// Swift-style delay-target control on per-pathlet queueing delay.
+#[derive(Debug)]
+pub struct SwiftLikeCc {
+    window: f64,
+    target: Duration,
+    /// Max multiplicative decrease factor per decision.
+    max_mdf: f64,
+    mtu: f64,
+}
+
+impl SwiftLikeCc {
+    /// A controller targeting `target` queueing delay on this pathlet.
+    pub fn new(init_window: u64, target: Duration) -> SwiftLikeCc {
+        SwiftLikeCc {
+            window: init_window as f64,
+            target,
+            max_mdf: 0.5,
+            mtu: WINDOW_FLOOR as f64,
+        }
+    }
+}
+
+impl PathletCc for SwiftLikeCc {
+    fn window(&self) -> u64 {
+        self.window as u64
+    }
+
+    fn on_ack(&mut self, acked: u64, fb: Option<&Feedback>, _rtt: Option<Duration>, _now: Time) {
+        match fb {
+            Some(Feedback::Delay { ns }) => {
+                let delay = Duration::from_nanos(*ns as u64);
+                if delay > self.target {
+                    // Multiplicative decrease proportional to overshoot.
+                    let over = (delay.0 - self.target.0) as f64 / delay.0 as f64;
+                    let factor = (1.0 - over).max(1.0 - self.max_mdf);
+                    self.window *= factor;
+                } else {
+                    self.window += self.mtu * acked as f64 / self.window;
+                }
+            }
+            _ => {
+                self.window += self.mtu * acked as f64 / self.window;
+            }
+        }
+        self.window = self.window.clamp(WINDOW_FLOOR as f64, WINDOW_CAP as f64);
+    }
+
+    fn on_loss(&mut self, _now: Time) {
+        self.window = (self.window * (1.0 - self.max_mdf)).max(WINDOW_FLOOR as f64);
+    }
+
+    fn kind(&self) -> &'static str {
+        "swift-like"
+    }
+}
+
+/// A constant window, for unit tests and ablations.
+#[derive(Debug)]
+pub struct FixedWindowCc {
+    window: u64,
+}
+
+impl FixedWindowCc {
+    /// A controller pinned at `window` bytes.
+    pub fn new(window: u64) -> FixedWindowCc {
+        FixedWindowCc {
+            window: window.clamp(WINDOW_FLOOR, WINDOW_CAP),
+        }
+    }
+}
+
+impl PathletCc for FixedWindowCc {
+    fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn on_ack(&mut self, _: u64, _: Option<&Feedback>, _: Option<Duration>, _: Time) {}
+
+    fn on_loss(&mut self, _: Time) {}
+
+    fn kind(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Time = Time::ZERO;
+
+    #[test]
+    fn dctcp_like_grows_without_marks() {
+        let mut cc = DctcpLikeCc::new(15_000);
+        let before = cc.window();
+        for _ in 0..10 {
+            cc.on_ack(1500, Some(&Feedback::EcnMark { ce: false }), None, T);
+        }
+        assert!(cc.window() > before, "slow start growth");
+    }
+
+    #[test]
+    fn dctcp_like_reduces_once_per_window() {
+        let mut cc = DctcpLikeCc::new(15_000);
+        cc.on_ack(1500, Some(&Feedback::EcnMark { ce: true }), None, T);
+        let after_first = cc.window();
+        assert!(after_first < 15_000, "alpha=1 initially => halving");
+        // More marks inside the guard window do not reduce again (they grow
+        // or hold).
+        cc.on_ack(1500, Some(&Feedback::EcnMark { ce: true }), None, T);
+        assert!(cc.window() >= after_first);
+    }
+
+    #[test]
+    fn dctcp_like_alpha_decays_when_unmarked() {
+        let mut cc = DctcpLikeCc::new(15_000);
+        // Ack a full window at a time so each call closes one observation
+        // window: alpha multiplies by 15/16 per window.
+        for _ in 0..50 {
+            cc.on_ack(cc.window(), None, None, T);
+        }
+        assert!(cc.alpha() < 0.1, "alpha={}", cc.alpha());
+    }
+
+    #[test]
+    fn dctcp_like_respects_floor() {
+        let mut cc = DctcpLikeCc::new(3000);
+        for _ in 0..64 {
+            cc.on_loss(T);
+        }
+        assert_eq!(cc.window(), WINDOW_FLOOR);
+    }
+
+    #[test]
+    fn rcp_window_is_rate_times_rtt() {
+        let mut cc = RcpLikeCc::new(15_000);
+        // 80 Gbps rate, 10 us RTT => 100 KB window.
+        cc.on_ack(
+            1500,
+            Some(&Feedback::RcpRate { mbps: 80_000 }),
+            Some(Duration::from_micros(10)),
+            T,
+        );
+        let w = cc.window();
+        assert!((w as i64 - 100_000).unsigned_abs() < 2_000, "window {w}");
+        assert_eq!(cc.rate_mbps(), Some(80_000));
+    }
+
+    #[test]
+    fn rcp_updates_on_new_rate() {
+        let mut cc = RcpLikeCc::new(15_000);
+        cc.on_ack(
+            1500,
+            Some(&Feedback::RcpRate { mbps: 80_000 }),
+            Some(Duration::from_micros(10)),
+            T,
+        );
+        let w80 = cc.window();
+        cc.on_ack(1500, Some(&Feedback::RcpRate { mbps: 8_000 }), None, T);
+        assert!(cc.window() < w80 / 5, "rate cut 10x shrinks window ~10x");
+    }
+
+    #[test]
+    fn swift_backs_off_above_target() {
+        let mut cc = SwiftLikeCc::new(150_000, Duration::from_micros(10));
+        let before = cc.window();
+        cc.on_ack(1500, Some(&Feedback::Delay { ns: 40_000 }), None, T);
+        assert!(cc.window() < before);
+        // And grows when under target.
+        let low = cc.window();
+        cc.on_ack(1500, Some(&Feedback::Delay { ns: 1_000 }), None, T);
+        assert!(cc.window() > low);
+    }
+
+    #[test]
+    fn fixed_window_never_moves() {
+        let mut cc = FixedWindowCc::new(30_000);
+        cc.on_ack(1500, Some(&Feedback::EcnMark { ce: true }), None, T);
+        cc.on_loss(T);
+        assert_eq!(cc.window(), 30_000);
+    }
+
+    #[test]
+    fn factories_build_expected_kinds() {
+        assert_eq!(
+            CcKind::DctcpLike { init_window: 1 }.factory()().kind(),
+            "dctcp-like"
+        );
+        assert_eq!(
+            CcKind::RcpLike { init_window: 1 }.factory()().kind(),
+            "rcp-like"
+        );
+        assert_eq!(
+            CcKind::SwiftLike {
+                init_window: 1,
+                target: Duration::from_micros(5)
+            }
+            .factory()()
+            .kind(),
+            "swift-like"
+        );
+        assert_eq!(CcKind::Fixed { window: 1 }.factory()().kind(), "fixed");
+    }
+}

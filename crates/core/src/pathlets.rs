@@ -1,0 +1,195 @@
+//! The sender's pathlet table: congestion state per `(pathlet, TC)` pair.
+//!
+//! This is the heart of pathlet congestion control (paper §3.1.3). Each
+//! `(PathletId, TrafficClass)` key owns a [`PathletCc`] controller, an
+//! in-flight byte count, and an optional exclusion deadline. Windows evolve
+//! from echoed feedback; in-flight accounting is charged at transmission
+//! and credited on SACK/NACK/timeout; exclusions are advertised back to the
+//! network in the path-exclude header list.
+
+use std::collections::HashMap;
+
+use mtp_sim::time::Time;
+use mtp_wire::{PathExclude, PathletId, TrafficClass};
+
+use crate::pathlet_cc::{CcFactory, PathletCc};
+
+/// Congestion state for one `(pathlet, TC)` pair.
+pub struct PathletEntry {
+    /// The controller evolving this pathlet's window.
+    pub cc: Box<dyn PathletCc>,
+    /// Bytes currently charged against this pathlet.
+    pub inflight: u64,
+    /// If set, the sender advertises this pathlet as excluded until then.
+    pub excluded_until: Option<Time>,
+    /// Last time feedback referenced this pathlet.
+    pub last_seen: Time,
+}
+
+impl PathletEntry {
+    /// Bytes of window headroom remaining.
+    pub fn room(&self) -> u64 {
+        self.cc.window().saturating_sub(self.inflight)
+    }
+}
+
+/// All pathlet state kept by one sender.
+pub struct PathletTable {
+    entries: HashMap<(PathletId, TrafficClass), PathletEntry>,
+    factory: CcFactory,
+}
+
+impl std::fmt::Debug for PathletTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathletTable")
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl PathletTable {
+    /// An empty table; `factory` builds controllers for new pathlets.
+    pub fn new(factory: CcFactory) -> PathletTable {
+        PathletTable {
+            entries: HashMap::new(),
+            factory,
+        }
+    }
+
+    /// Number of pathlets tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no pathlet has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Get or create the entry for a pathlet.
+    pub fn entry(&mut self, path: PathletId, tc: TrafficClass, now: Time) -> &mut PathletEntry {
+        self.entries
+            .entry((path, tc))
+            .or_insert_with(|| PathletEntry {
+                cc: (self.factory)(),
+                inflight: 0,
+                excluded_until: None,
+                last_seen: now,
+            })
+    }
+
+    /// Read-only lookup.
+    pub fn get(&self, path: PathletId, tc: TrafficClass) -> Option<&PathletEntry> {
+        self.entries.get(&(path, tc))
+    }
+
+    /// Charge `bytes` of a new transmission against a pathlet.
+    pub fn charge(&mut self, path: PathletId, tc: TrafficClass, bytes: u64, now: Time) {
+        let e = self.entry(path, tc, now);
+        e.inflight += bytes;
+    }
+
+    /// Credit `bytes` back (on ACK, NACK, or timeout of a charged packet).
+    pub fn credit(&mut self, path: PathletId, tc: TrafficClass, bytes: u64) {
+        if let Some(e) = self.entries.get_mut(&(path, tc)) {
+            e.inflight = e.inflight.saturating_sub(bytes);
+        }
+    }
+
+    /// Window headroom for admitting new data on a pathlet. An unknown
+    /// pathlet reports the initial window of a fresh controller.
+    pub fn room(&mut self, path: PathletId, tc: TrafficClass, now: Time) -> u64 {
+        self.entry(path, tc, now).room()
+    }
+
+    /// Mark a pathlet excluded until `until`; data packets will carry the
+    /// exclusion so the network steers around it.
+    pub fn exclude(&mut self, path: PathletId, tc: TrafficClass, until: Time, now: Time) {
+        let e = self.entry(path, tc, now);
+        e.excluded_until = Some(until);
+    }
+
+    /// The active exclusions to advertise at time `now`. Expired entries
+    /// are cleared as a side effect.
+    pub fn active_exclusions(&mut self, now: Time) -> Vec<PathExclude> {
+        let mut out = Vec::new();
+        for (&(path, tc), e) in self.entries.iter_mut() {
+            match e.excluded_until {
+                Some(until) if until > now => out.push(PathExclude { path, tc }),
+                Some(_) => e.excluded_until = None,
+                None => {}
+            }
+        }
+        // Deterministic order for reproducible headers.
+        out.sort_by_key(|x| (x.path.0, x.tc.0));
+        out
+    }
+
+    /// Iterate over `(key, entry)` pairs (for instrumentation).
+    pub fn iter(&self) -> impl Iterator<Item = (&(PathletId, TrafficClass), &PathletEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathlet_cc::CcKind;
+    use mtp_sim::time::Duration;
+
+    fn table() -> PathletTable {
+        PathletTable::new(CcKind::Fixed { window: 10_000 }.factory())
+    }
+
+    const P1: PathletId = PathletId(1);
+    const P2: PathletId = PathletId(2);
+    const TC: TrafficClass = TrafficClass::BEST_EFFORT;
+
+    #[test]
+    fn charge_and_credit_track_room() {
+        let mut t = table();
+        assert_eq!(t.room(P1, TC, Time::ZERO), 10_000);
+        t.charge(P1, TC, 4_000, Time::ZERO);
+        assert_eq!(t.room(P1, TC, Time::ZERO), 6_000);
+        t.credit(P1, TC, 4_000);
+        assert_eq!(t.room(P1, TC, Time::ZERO), 10_000);
+        // Over-credit saturates instead of wrapping.
+        t.credit(P1, TC, 99_999);
+        assert_eq!(t.room(P1, TC, Time::ZERO), 10_000);
+    }
+
+    #[test]
+    fn pathlets_are_independent() {
+        let mut t = table();
+        t.charge(P1, TC, 10_000, Time::ZERO);
+        assert_eq!(t.room(P1, TC, Time::ZERO), 0);
+        assert_eq!(
+            t.room(P2, TC, Time::ZERO),
+            10_000,
+            "other pathlet unaffected"
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn same_pathlet_different_tc_is_separate() {
+        let mut t = table();
+        t.charge(P1, TrafficClass(1), 10_000, Time::ZERO);
+        assert_eq!(t.room(P1, TrafficClass(2), Time::ZERO), 10_000);
+    }
+
+    #[test]
+    fn exclusions_expire() {
+        let mut t = table();
+        let until = Time::ZERO + Duration::from_micros(100);
+        t.exclude(P1, TC, until, Time::ZERO);
+        t.exclude(P2, TC, until, Time::ZERO);
+        let active = t.active_exclusions(Time::ZERO + Duration::from_micros(50));
+        assert_eq!(active.len(), 2);
+        assert_eq!(active[0].path, P1, "sorted order");
+        let after = t.active_exclusions(Time::ZERO + Duration::from_micros(150));
+        assert!(after.is_empty());
+        // Cleared, not just filtered.
+        assert!(t.get(P1, TC).unwrap().excluded_until.is_none());
+    }
+}

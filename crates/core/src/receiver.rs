@@ -1,0 +1,494 @@
+//! The sans-IO MTP receiver.
+//!
+//! [`MtpReceiver`] reassembles messages from `(msg_id, pkt_num)`-addressed
+//! packets, acknowledges every data packet with a SACK, NACKs holes the
+//! moment they are observable, and echoes the accumulated path-feedback
+//! list back to the sender (paper §3.1.1: the receiver "copies this list to
+//! the ACK Path Feedback list").
+//!
+//! Two properties of the MTP design make the receiver cheap:
+//!
+//! * messages start at packet 0 and carry their total length in every
+//!   packet, so the reassembly buffer is sized on first contact;
+//! * the network never reorders packets *within* a message (atomic message
+//!   processing, §3.1.2), so `pkt_num` skipping `max_seen + 1` is proof of
+//!   loss — the receiver NACKs immediately instead of waiting for a
+//!   timeout, NDP-style. Trimmed headers are NACKed the same way.
+
+use std::collections::HashMap;
+
+use mtp_sim::packet::{Headers, Packet};
+use mtp_sim::time::Time;
+use mtp_wire::{
+    EcnCodepoint, Feedback, MsgId, MtpHeader, PathFeedback, PktNum, PktType, SackEntry,
+};
+
+use crate::sender::DEFAULT_PATHLET;
+
+/// A message delivered to the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgDelivered {
+    /// The message.
+    pub id: MsgId,
+    /// Total message bytes.
+    pub bytes: u32,
+    /// The sending host's address.
+    pub src: u16,
+    /// When the first packet of the message arrived.
+    pub first_seen: Time,
+    /// When the last packet arrived.
+    pub completed: Time,
+    /// The message's traffic class.
+    pub tc: mtp_wire::TrafficClass,
+    /// The message's priority.
+    pub pri: u8,
+}
+
+#[derive(Debug)]
+struct InMsg {
+    src: u16,
+    len_bytes: u32,
+    len_pkts: u32,
+    bitmap: Vec<u64>,
+    received: u32,
+    first_seen: Time,
+    completed: Option<Time>,
+    /// Highest packet number seen (for gap detection).
+    max_seen: Option<u32>,
+    /// Packets `< nacked_below` have already been NACKed once.
+    nacked_below: u32,
+    tc: mtp_wire::TrafficClass,
+    pri: u8,
+}
+
+impl InMsg {
+    fn test(&self, i: u32) -> bool {
+        self.bitmap[(i / 64) as usize] & (1 << (i % 64)) != 0
+    }
+
+    fn set(&mut self, i: u32) -> bool {
+        let w = (i / 64) as usize;
+        let b = 1u64 << (i % 64);
+        let was = self.bitmap[w] & b != 0;
+        self.bitmap[w] |= b;
+        was
+    }
+}
+
+/// Counters kept by a receiver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MtpReceiverStats {
+    /// Data packets processed (including duplicates and trimmed headers).
+    pub pkts_seen: u64,
+    /// Duplicate data packets.
+    pub duplicates: u64,
+    /// Trimmed headers received.
+    pub trimmed: u64,
+    /// NACK entries emitted.
+    pub nacks_sent: u64,
+    /// Messages fully delivered.
+    pub msgs_delivered: u64,
+    /// Payload bytes newly received (first copy of each packet).
+    pub goodput_bytes: u64,
+}
+
+/// One MTP receiving endpoint.
+#[derive(Debug)]
+pub struct MtpReceiver {
+    /// This host's address (used as `src_port` on ACKs).
+    addr: u16,
+    msgs: HashMap<MsgId, InMsg>,
+    events: Vec<MsgDelivered>,
+    /// Payload bytes of incomplete messages currently held.
+    buffered: u64,
+    /// Counters.
+    pub stats: MtpReceiverStats,
+}
+
+impl MtpReceiver {
+    /// A receiver at address `addr`.
+    pub fn new(addr: u16) -> MtpReceiver {
+        MtpReceiver {
+            addr,
+            msgs: HashMap::new(),
+            events: Vec::new(),
+            buffered: 0,
+            stats: MtpReceiverStats::default(),
+        }
+    }
+
+    /// Drain delivery events.
+    pub fn take_events(&mut self) -> Vec<MsgDelivered> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Messages currently in reassembly (incomplete).
+    pub fn in_reassembly(&self) -> usize {
+        self.msgs.values().filter(|m| m.completed.is_none()).count()
+    }
+
+    /// Payload bytes held for incomplete messages. Bounded per message by
+    /// the advertised `msg_len_bytes` — the "know in advance how much
+    /// buffering is needed" property of §3.1.2.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffered
+    }
+
+    /// Discard bookkeeping for messages that completed before `older_than`;
+    /// returns how many were collected. A straggling duplicate of a
+    /// collected message is simply re-acknowledged as if the message were
+    /// new — harmless, because the sender treats SACKs idempotently.
+    pub fn gc_completed(&mut self, older_than: Time) -> usize {
+        let before = self.msgs.len();
+        self.msgs
+            .retain(|_, m| m.completed.map(|c| c >= older_than).unwrap_or(true));
+        before - self.msgs.len()
+    }
+
+    /// Process a data packet; returns the ACK to transmit (every data
+    /// packet is acknowledged immediately) and the number of new payload
+    /// bytes it contributed.
+    pub fn on_data(&mut self, now: Time, hdr: &MtpHeader, ecn: EcnCodepoint) -> (Packet, u64) {
+        debug_assert_eq!(hdr.pkt_type, PktType::Data);
+        self.stats.pkts_seen += 1;
+        let trimmed = hdr.is_trimmed();
+        let id = hdr.msg_id;
+        let msg = self.msgs.entry(id).or_insert_with(|| InMsg {
+            src: hdr.src_port,
+            len_bytes: hdr.msg_len_bytes,
+            len_pkts: hdr.msg_len_pkts,
+            bitmap: vec![0u64; (hdr.msg_len_pkts as usize).div_ceil(64)],
+            received: 0,
+            first_seen: now,
+            completed: None,
+            max_seen: None,
+            nacked_below: 0,
+            tc: hdr.tc,
+            pri: hdr.msg_pri,
+        });
+
+        let pkt_num = hdr.pkt_num.0.min(msg.len_pkts.saturating_sub(1));
+        let mut sack = Vec::new();
+        let mut nack = Vec::new();
+        let mut newly = 0u64;
+
+        if trimmed {
+            // NDP-style: the payload was cut; NACK so the sender repairs
+            // without waiting for an RTO.
+            self.stats.trimmed += 1;
+            if !msg.test(pkt_num) {
+                nack.push(SackEntry {
+                    msg: id,
+                    pkt: PktNum(pkt_num),
+                });
+            }
+        } else {
+            let dup = msg.set(pkt_num);
+            if dup {
+                self.stats.duplicates += 1;
+            } else {
+                msg.received += 1;
+                newly = hdr.pkt_len as u64;
+                self.stats.goodput_bytes += newly;
+                self.buffered += newly;
+            }
+            sack.push(SackEntry {
+                msg: id,
+                pkt: PktNum(pkt_num),
+            });
+            if msg.received == msg.len_pkts && msg.completed.is_none() {
+                msg.completed = Some(now);
+                self.stats.msgs_delivered += 1;
+                self.buffered = self.buffered.saturating_sub(msg.len_bytes as u64);
+                self.events.push(MsgDelivered {
+                    id,
+                    bytes: msg.len_bytes,
+                    src: msg.src,
+                    first_seen: msg.first_seen,
+                    completed: now,
+                    tc: msg.tc,
+                    pri: msg.pri,
+                });
+            }
+        }
+
+        // Gap detection: within a message the network preserves order, so
+        // skipping pkt numbers proves loss. NACK each hole once.
+        // Retransmissions arrive out of order by design; skip the check.
+        if !hdr.is_retx() {
+            let expected = msg.max_seen.map(|m| m + 1).unwrap_or(0);
+            if pkt_num > expected {
+                let from = expected.max(msg.nacked_below);
+                for missing in from..pkt_num {
+                    if !msg.test(missing) && nack.len() < 255 {
+                        nack.push(SackEntry {
+                            msg: id,
+                            pkt: PktNum(missing),
+                        });
+                    }
+                }
+                msg.nacked_below = msg.nacked_below.max(pkt_num);
+            }
+            msg.max_seen = Some(msg.max_seen.map_or(pkt_num, |m| m.max(pkt_num)));
+        }
+        self.stats.nacks_sent += nack.len() as u64;
+
+        // Echo the path feedback, upgrading with the IP-level CE mark: if a
+        // non-MTP-aware queue marked the packet, attribute the mark to the
+        // stamped pathlets (or to the default pathlet if none stamped).
+        let ack_path_feedback = Self::echo_feedback(hdr, ecn.is_ce());
+
+        let ack_hdr = MtpHeader {
+            src_port: self.addr,
+            dst_port: hdr.src_port,
+            pkt_type: PktType::Ack,
+            msg_pri: hdr.msg_pri,
+            tc: hdr.tc,
+            flags: 0,
+            msg_id: id,
+            entity: hdr.entity,
+            msg_len_pkts: hdr.msg_len_pkts,
+            msg_len_bytes: hdr.msg_len_bytes,
+            pkt_num: hdr.pkt_num,
+            pkt_len: 0,
+            pkt_offset: hdr.pkt_offset,
+            ack_path_feedback,
+            sack,
+            nack,
+            ..MtpHeader::default()
+        };
+        let wire = ack_hdr.wire_len() as u32;
+        let mut ack = Packet::new(Headers::Mtp(Box::new(ack_hdr)), wire);
+        ack.sent_at = now;
+        ack.ecn = EcnCodepoint::NotEct;
+        (ack, newly)
+    }
+
+    fn echo_feedback(hdr: &MtpHeader, ce: bool) -> Vec<PathFeedback> {
+        let mut echoed: Vec<PathFeedback> = Vec::with_capacity(hdr.path_feedback.len() + 1);
+        let mut has_mark_entry = false;
+        for fb in &hdr.path_feedback {
+            let mut e = *fb;
+            if let Feedback::EcnMark { ce: stamped } = e.feedback {
+                has_mark_entry = true;
+                e.feedback = Feedback::EcnMark { ce: stamped || ce };
+            }
+            echoed.push(e);
+        }
+        if ce && !has_mark_entry {
+            let (path, tc) = echoed
+                .first()
+                .map(|e| (e.path, e.tc))
+                .unwrap_or((DEFAULT_PATHLET, hdr.tc));
+            echoed.push(PathFeedback {
+                path,
+                tc,
+                feedback: Feedback::EcnMark { ce: true },
+            });
+        }
+        if echoed.is_empty() {
+            // No MTP-aware device stamped anything: report the whole network
+            // as the default pathlet, unmarked, so the sender's window can
+            // grow on clean ACKs.
+            echoed.push(PathFeedback {
+                path: DEFAULT_PATHLET,
+                tc: hdr.tc,
+                feedback: Feedback::EcnMark { ce: false },
+            });
+        }
+        if echoed.len() > 255 {
+            echoed.truncate(255);
+        }
+        echoed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_wire::types::flags;
+    use mtp_wire::{PathletId, TrafficClass};
+
+    fn data(msg: u64, pkt: u32, n_pkts: u32, len: u16) -> MtpHeader {
+        MtpHeader {
+            src_port: 1,
+            dst_port: 2,
+            pkt_type: PktType::Data,
+            msg_id: MsgId(msg),
+            msg_len_pkts: n_pkts,
+            msg_len_bytes: n_pkts * len as u32,
+            pkt_num: PktNum(pkt),
+            pkt_len: len,
+            pkt_offset: pkt * len as u32,
+            flags: if pkt == n_pkts - 1 {
+                flags::LAST_PKT
+            } else {
+                0
+            },
+            ..MtpHeader::default()
+        }
+    }
+
+    fn ack_of(p: &Packet) -> &MtpHeader {
+        p.headers.as_mtp().unwrap()
+    }
+
+    #[test]
+    fn acks_every_packet_with_sack() {
+        let mut r = MtpReceiver::new(2);
+        let (ack, newly) = r.on_data(Time::ZERO, &data(5, 0, 3, 1000), EcnCodepoint::Ect0);
+        assert_eq!(newly, 1000);
+        let h = ack_of(&ack);
+        assert_eq!(h.pkt_type, PktType::Ack);
+        assert_eq!(
+            h.sack,
+            vec![SackEntry {
+                msg: MsgId(5),
+                pkt: PktNum(0)
+            }]
+        );
+        assert_eq!(h.src_port, 2);
+        assert_eq!(h.dst_port, 1);
+    }
+
+    #[test]
+    fn completes_message_once() {
+        let mut r = MtpReceiver::new(2);
+        for pkt in 0..3 {
+            r.on_data(Time::ZERO, &data(5, pkt, 3, 1000), EcnCodepoint::Ect0);
+        }
+        let ev = r.take_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].bytes, 3000);
+        assert_eq!(r.stats.msgs_delivered, 1);
+        // A duplicate afterwards re-acks but does not re-deliver.
+        let (_, newly) = r.on_data(Time::ZERO, &data(5, 1, 3, 1000), EcnCodepoint::Ect0);
+        assert_eq!(newly, 0);
+        assert_eq!(r.stats.duplicates, 1);
+        assert!(r.take_events().is_empty());
+    }
+
+    #[test]
+    fn gap_is_nacked_immediately_and_once() {
+        let mut r = MtpReceiver::new(2);
+        r.on_data(Time::ZERO, &data(5, 0, 5, 1000), EcnCodepoint::Ect0);
+        // Packet 3 arrives: 1 and 2 are proven lost.
+        let (ack, _) = r.on_data(Time::ZERO, &data(5, 3, 5, 1000), EcnCodepoint::Ect0);
+        let h = ack_of(&ack);
+        assert_eq!(
+            h.nack,
+            vec![
+                SackEntry {
+                    msg: MsgId(5),
+                    pkt: PktNum(1)
+                },
+                SackEntry {
+                    msg: MsgId(5),
+                    pkt: PktNum(2)
+                },
+            ]
+        );
+        // Packet 4 arrives: holes already reported, no duplicate NACKs.
+        let (ack2, _) = r.on_data(Time::ZERO, &data(5, 4, 5, 1000), EcnCodepoint::Ect0);
+        assert!(ack_of(&ack2).nack.is_empty());
+        assert_eq!(r.stats.nacks_sent, 2);
+    }
+
+    #[test]
+    fn retransmissions_do_not_trigger_gap_detection() {
+        let mut r = MtpReceiver::new(2);
+        r.on_data(Time::ZERO, &data(5, 0, 5, 1000), EcnCodepoint::Ect0);
+        let mut h = data(5, 4, 5, 1000);
+        h.flags |= flags::RETX;
+        let (ack, _) = r.on_data(Time::ZERO, &h, EcnCodepoint::Ect0);
+        assert!(
+            ack_of(&ack).nack.is_empty(),
+            "retx arrives out of order by design"
+        );
+    }
+
+    #[test]
+    fn trimmed_header_is_nacked_not_counted() {
+        let mut r = MtpReceiver::new(2);
+        let mut h = data(5, 0, 2, 1000);
+        h.flags |= flags::TRIMMED;
+        let (ack, newly) = r.on_data(Time::ZERO, &h, EcnCodepoint::Ect0);
+        assert_eq!(newly, 0);
+        let ah = ack_of(&ack);
+        assert!(ah.sack.is_empty());
+        assert_eq!(
+            ah.nack,
+            vec![SackEntry {
+                msg: MsgId(5),
+                pkt: PktNum(0)
+            }]
+        );
+        assert_eq!(r.stats.trimmed, 1);
+    }
+
+    #[test]
+    fn ce_without_stamps_synthesizes_default_pathlet_mark() {
+        let mut r = MtpReceiver::new(2);
+        let (ack, _) = r.on_data(Time::ZERO, &data(5, 0, 1, 1000), EcnCodepoint::Ce);
+        let fb = &ack_of(&ack).ack_path_feedback;
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].path, DEFAULT_PATHLET);
+        assert_eq!(fb[0].feedback, Feedback::EcnMark { ce: true });
+    }
+
+    #[test]
+    fn clean_ack_reports_unmarked_default_pathlet() {
+        let mut r = MtpReceiver::new(2);
+        let (ack, _) = r.on_data(Time::ZERO, &data(5, 0, 1, 1000), EcnCodepoint::Ect0);
+        let fb = &ack_of(&ack).ack_path_feedback;
+        assert_eq!(fb[0].feedback, Feedback::EcnMark { ce: false });
+    }
+
+    #[test]
+    fn ce_upgrades_stamped_pathlet_mark() {
+        let mut r = MtpReceiver::new(2);
+        let mut h = data(5, 0, 1, 1000);
+        h.path_feedback = vec![PathFeedback {
+            path: PathletId(3),
+            tc: TrafficClass::BEST_EFFORT,
+            feedback: Feedback::EcnMark { ce: false },
+        }];
+        let (ack, _) = r.on_data(Time::ZERO, &h, EcnCodepoint::Ce);
+        let fb = &ack_of(&ack).ack_path_feedback;
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb[0].path, PathletId(3));
+        assert_eq!(fb[0].feedback, Feedback::EcnMark { ce: true });
+    }
+
+    #[test]
+    fn non_mark_stamps_are_echoed_and_ce_appended() {
+        let mut r = MtpReceiver::new(2);
+        let mut h = data(5, 0, 1, 1000);
+        h.path_feedback = vec![PathFeedback {
+            path: PathletId(3),
+            tc: TrafficClass::BEST_EFFORT,
+            feedback: Feedback::QueueDepth { bytes: 4096 },
+        }];
+        let (ack, _) = r.on_data(Time::ZERO, &h, EcnCodepoint::Ce);
+        let fb = &ack_of(&ack).ack_path_feedback;
+        assert_eq!(fb.len(), 2);
+        assert_eq!(fb[0].feedback, Feedback::QueueDepth { bytes: 4096 });
+        assert_eq!(
+            fb[1].path,
+            PathletId(3),
+            "mark attributed to the stamped pathlet"
+        );
+        assert_eq!(fb[1].feedback, Feedback::EcnMark { ce: true });
+    }
+
+    #[test]
+    fn single_packet_message_delivers() {
+        let mut r = MtpReceiver::new(2);
+        let (_, newly) = r.on_data(Time::ZERO, &data(9, 0, 1, 777), EcnCodepoint::Ect0);
+        assert_eq!(newly, 777);
+        let ev = r.take_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].bytes, 777);
+        assert_eq!(r.in_reassembly(), 0);
+    }
+}

@@ -1,0 +1,824 @@
+//! The sans-IO MTP sender.
+//!
+//! [`MtpSender`] fragments application messages into packets, admits them
+//! against per-pathlet congestion windows, and repairs loss from SACK/NACK
+//! lists and a retransmission timeout. Like the TCP cores in `mtp-tcp`, it
+//! never touches the simulator: callers feed it ACK headers and the clock;
+//! it pushes packets into a caller-provided `Vec` and surfaces completions
+//! as [`SenderEvent`]s.
+//!
+//! ## Admission and attribution
+//!
+//! Every transmitted packet is *charged* against the currently active
+//! pathlet (learned from the most recent feedback, or the synthetic
+//! pathlet 0 before any feedback arrives). When its SACK comes back, the
+//! charge is credited and the acknowledged bytes are attributed to the
+//! pathlet the packet was charged to — whose controller consumes the
+//! echoed feedback entry for that pathlet. Feedback for pathlets with no
+//! acked bytes in the ACK (e.g. a rate update from an RCP segment) is still
+//! delivered, with zero attributed bytes.
+//!
+//! When the network moves traffic to a different pathlet, the sender
+//! switches its admission window to that pathlet's controller *without
+//! discarding the old one* — this is what lets MTP resume at the converged
+//! window when an optical switch flips paths back (paper §5.1).
+
+use std::collections::{HashMap, VecDeque};
+
+use mtp_sim::packet::{Headers, Packet};
+use mtp_sim::rtt::RttEstimator;
+use mtp_sim::time::{Duration, Time};
+use mtp_wire::types::flags;
+use mtp_wire::{EntityId, Feedback, MsgId, MtpHeader, PathletId, PktNum, PktType, TrafficClass};
+
+use crate::config::MtpConfig;
+use crate::pathlets::PathletTable;
+
+/// The synthetic pathlet charged before any network feedback identifies a
+/// real one ("the entire network as a single pathlet mimics TCP", §3.1.3).
+pub const DEFAULT_PATHLET: PathletId = PathletId(0);
+
+/// Events surfaced to the application layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderEvent {
+    /// Every packet of the message has been acknowledged.
+    MsgCompleted {
+        /// The completed message.
+        id: MsgId,
+        /// When the application submitted it.
+        submitted: Time,
+        /// When the final SACK arrived.
+        completed: Time,
+    },
+}
+
+/// Counters kept by a sender.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MtpSenderStats {
+    /// Data packets transmitted, including retransmissions.
+    pub pkts_sent: u64,
+    /// Retransmitted packets.
+    pub retransmissions: u64,
+    /// Retransmission-timeout events.
+    pub timeouts: u64,
+    /// NACK entries processed.
+    pub nacks: u64,
+    /// Messages completed.
+    pub msgs_completed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PktState {
+    Unsent,
+    InFlight,
+    Acked,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutPkt {
+    len: u32,
+    offset: u32,
+    state: PktState,
+    /// Pathlet/TC this packet's bytes are currently charged to.
+    charged: (PathletId, TrafficClass),
+    sent_at: Time,
+    /// Transmission count; deque entries are valid only for the matching
+    /// epoch, and only epoch-1 packets produce RTT samples (Karn).
+    epoch: u32,
+}
+
+#[derive(Debug)]
+struct OutMsg {
+    dst: u16,
+    pri: u8,
+    tc: TrafficClass,
+    total_bytes: u32,
+    pkts: Vec<OutPkt>,
+    acked: u32,
+    next_unsent: u32,
+    submitted: Time,
+    completed: Option<Time>,
+}
+
+/// One MTP sending endpoint.
+pub struct MtpSender {
+    cfg: MtpConfig,
+    /// This host's address (carried as `src_port`).
+    addr: u16,
+    entity: EntityId,
+    msg_id_base: u64,
+    next_msg: u64,
+    msgs: HashMap<MsgId, OutMsg>,
+    /// Messages with unsent packets, kept sorted by (priority, submission).
+    sendq: Vec<MsgId>,
+    /// FIFO of (msg, pkt, epoch, sent_at) for RTO scanning.
+    inflight: VecDeque<(MsgId, u32, u32, Time)>,
+    pathlets: PathletTable,
+    /// The pathlet new transmissions are charged against.
+    active: (PathletId, TrafficClass),
+    rtt: RttEstimator,
+    /// Counters.
+    pub stats: MtpSenderStats,
+    events: Vec<SenderEvent>,
+}
+
+impl std::fmt::Debug for MtpSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MtpSender")
+            .field("addr", &self.addr)
+            .field("outstanding", &self.msgs.len())
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+impl MtpSender {
+    /// A sender at address `addr` for `entity`; message IDs are allocated
+    /// from `msg_id_base` (must be globally unique per sender).
+    pub fn new(cfg: MtpConfig, addr: u16, entity: EntityId, msg_id_base: u64) -> MtpSender {
+        let rtt = RttEstimator::new(cfg.min_rto);
+        let pathlets = PathletTable::new(cfg.cc.factory());
+        MtpSender {
+            cfg,
+            addr,
+            entity,
+            msg_id_base,
+            next_msg: 0,
+            msgs: HashMap::new(),
+            sendq: Vec::new(),
+            inflight: VecDeque::new(),
+            pathlets,
+            active: (DEFAULT_PATHLET, TrafficClass::BEST_EFFORT),
+            rtt,
+            stats: MtpSenderStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Submit a message of `bytes` to destination address `dst` with the
+    /// given priority (0 = most urgent) and traffic class. Returns the
+    /// message id. Transmission starts immediately, window permitting.
+    pub fn send_message(
+        &mut self,
+        dst: u16,
+        bytes: u32,
+        pri: u8,
+        tc: TrafficClass,
+        now: Time,
+        out: &mut Vec<Packet>,
+    ) -> MsgId {
+        assert!(bytes > 0, "empty message");
+        let id = MsgId(self.msg_id_base + self.next_msg);
+        self.next_msg += 1;
+        let mtu = self.cfg.mtu_payload;
+        let n_pkts = bytes.div_ceil(mtu);
+        let pkts = (0..n_pkts)
+            .map(|i| OutPkt {
+                len: if i == n_pkts - 1 {
+                    bytes - i * mtu
+                } else {
+                    mtu
+                },
+                offset: i * mtu,
+                state: PktState::Unsent,
+                charged: self.active,
+                sent_at: Time::ZERO,
+                epoch: 0,
+            })
+            .collect();
+        self.msgs.insert(
+            id,
+            OutMsg {
+                dst,
+                pri,
+                tc,
+                total_bytes: bytes,
+                pkts,
+                acked: 0,
+                next_unsent: 0,
+                submitted: now,
+                completed: None,
+            },
+        );
+        // Insert keeping (priority, msg id) order; message ids are monotone
+        // so they encode submission order.
+        let pos = self
+            .sendq
+            .binary_search_by_key(&(pri, id.0), |m| (self.msgs[m].pri, m.0))
+            .unwrap_or_else(|p| p);
+        self.sendq.insert(pos, id);
+        self.poll(now, out);
+        id
+    }
+
+    /// Outstanding (incomplete) message count.
+    pub fn outstanding(&self) -> usize {
+        self.msgs.values().filter(|m| m.completed.is_none()).count()
+    }
+
+    /// Drain completion events.
+    pub fn take_events(&mut self) -> Vec<SenderEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The pathlet currently charged for new transmissions.
+    pub fn active_pathlet(&self) -> (PathletId, TrafficClass) {
+        self.active
+    }
+
+    /// The pathlet table (for instrumentation and tests).
+    pub fn pathlets(&self) -> &PathletTable {
+        &self.pathlets
+    }
+
+    /// The smoothed RTT estimate.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.rtt.srtt()
+    }
+
+    /// The next time [`on_timer`](Self::on_timer) must run, if any packet
+    /// is in flight.
+    pub fn next_deadline(&mut self) -> Option<Time> {
+        self.compact_inflight();
+        self.inflight
+            .front()
+            .map(|&(_, _, _, sent)| sent + self.rtt.rto())
+    }
+
+    fn compact_inflight(&mut self) {
+        while let Some(&(mid, pkt, epoch, _)) = self.inflight.front() {
+            let stale = match self.msgs.get(&mid) {
+                Some(m) => {
+                    let p = &m.pkts[pkt as usize];
+                    p.state != PktState::InFlight || p.epoch != epoch
+                }
+                None => true,
+            };
+            if stale {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Process a Control packet: a network path advertisement. Each
+    /// feedback entry names an available pathlet (paper §4, the NDP use
+    /// case: "end-hosts learn about available paths from the network");
+    /// the sender pre-creates its controller so the first data packet
+    /// already has converging state, and rate/delay advertisements are
+    /// consumed like ordinary feedback (with no bytes attributed).
+    pub fn on_control(&mut self, now: Time, hdr: &MtpHeader) {
+        debug_assert_eq!(hdr.pkt_type, PktType::Control);
+        for fb in &hdr.path_feedback {
+            let e = self.pathlets.entry(fb.path, fb.tc, now);
+            e.last_seen = now;
+            e.cc.on_ack(0, Some(&fb.feedback), None, now);
+        }
+    }
+
+    /// Number of pathlets known (observed via feedback or advertisement).
+    pub fn known_pathlets(&self) -> usize {
+        self.pathlets.len()
+    }
+
+    /// Process an ACK (or standalone NACK) addressed to this sender.
+    pub fn on_ack(&mut self, now: Time, hdr: &MtpHeader, out: &mut Vec<Packet>) {
+        debug_assert!(matches!(hdr.pkt_type, PktType::Ack | PktType::Nack));
+
+        // 1. SACKs: credit windows, collect per-pathlet acked bytes, sample
+        //    RTT, detect completions.
+        let mut acked_by_path: HashMap<(PathletId, TrafficClass), u64> = HashMap::new();
+        let mut rtt_sample: Option<Duration> = None;
+        for s in &hdr.sack {
+            let Some(msg) = self.msgs.get_mut(&s.msg) else {
+                continue;
+            };
+            let Some(pkt) = msg.pkts.get_mut(s.pkt.0 as usize) else {
+                continue;
+            };
+            if pkt.state == PktState::Acked {
+                continue;
+            }
+            let was_inflight = pkt.state == PktState::InFlight;
+            if pkt.epoch == 1 && was_inflight {
+                rtt_sample = Some(now.since(pkt.sent_at));
+            }
+            pkt.state = PktState::Acked;
+            if was_inflight {
+                let (p, tc) = pkt.charged;
+                self.pathlets.credit(p, tc, pkt.len as u64);
+                *acked_by_path.entry(pkt.charged).or_default() += pkt.len as u64;
+            }
+            msg.acked += 1;
+            if msg.acked == msg.pkts.len() as u32 && msg.completed.is_none() {
+                msg.completed = Some(now);
+                self.stats.msgs_completed += 1;
+                self.events.push(SenderEvent::MsgCompleted {
+                    id: s.msg,
+                    submitted: msg.submitted,
+                    completed: now,
+                });
+            }
+        }
+        if let Some(rtt) = rtt_sample {
+            self.rtt.sample(rtt);
+        }
+
+        // 2. Feedback: deliver each echoed entry to its pathlet's
+        //    controller, attributing the acked bytes charged to it.
+        for fb in &hdr.ack_path_feedback {
+            let acked = acked_by_path.remove(&(fb.path, fb.tc)).unwrap_or(0);
+            let e = self.pathlets.entry(fb.path, fb.tc, now);
+            e.last_seen = now;
+            e.cc.on_ack(acked, Some(&fb.feedback), rtt_sample, now);
+            if let Feedback::PathChange { new_path } = fb.feedback {
+                self.active = (new_path, fb.tc);
+            }
+        }
+        // Acked bytes on pathlets the ACK carried no feedback for still
+        // grow their windows (an unmarked ACK is itself feedback).
+        for ((p, tc), acked) in acked_by_path {
+            let e = self.pathlets.entry(p, tc, now);
+            e.cc.on_ack(acked, None, rtt_sample, now);
+        }
+        // The first echoed entry names the path the data actually took:
+        // make it the active pathlet for subsequent admissions.
+        if let Some(first) = hdr.ack_path_feedback.first() {
+            self.active = (first.path, first.tc);
+        }
+
+        // 3. NACKs: retransmit immediately and punish the charged pathlet
+        //    once per distinct pathlet per ACK.
+        let mut losses: Vec<(PathletId, TrafficClass)> = Vec::new();
+        for n in &hdr.nack {
+            let Some(msg) = self.msgs.get_mut(&n.msg) else {
+                continue;
+            };
+            let Some(pkt) = msg.pkts.get_mut(n.pkt.0 as usize) else {
+                continue;
+            };
+            if pkt.state != PktState::InFlight {
+                continue;
+            }
+            self.stats.nacks += 1;
+            let (p, tc) = pkt.charged;
+            self.pathlets.credit(p, tc, pkt.len as u64);
+            if !losses.contains(&(p, tc)) {
+                losses.push((p, tc));
+            }
+            pkt.state = PktState::Unsent;
+            self.retransmit(n.msg, n.pkt.0, now, out);
+        }
+        for (p, tc) in losses {
+            let e = self.pathlets.entry(p, tc, now);
+            e.cc.on_loss(now);
+            if self.cfg.exclude_on_floor && e.cc.window() <= crate::pathlet_cc::WINDOW_FLOOR {
+                let until = now + self.cfg.exclude_cooldown;
+                self.pathlets.exclude(p, tc, until, now);
+            }
+        }
+
+        self.poll(now, out);
+    }
+
+    /// Drive the retransmission timeout; call when the clock passes
+    /// [`next_deadline`](Self::next_deadline).
+    ///
+    /// An expired RTO declares *everything* in flight lost (go-back-N, as
+    /// TCP's RTO does): retransmitting only the oldest packet would let
+    /// the exponential backoff outpace repair — each doubled RTO expires
+    /// one packet and pushes the next deadline out twice as far, so a
+    /// lossy path never converges.
+    pub fn on_timer(&mut self, now: Time, out: &mut Vec<Packet>) {
+        self.compact_inflight();
+        let rto = self.rtt.rto();
+        let front_expired =
+            matches!(self.inflight.front(), Some(&(_, _, _, sent)) if sent + rto <= now);
+        if !front_expired {
+            return;
+        }
+        let mut expired: Vec<(MsgId, u32)> = Vec::new();
+        while let Some((mid, pkt, epoch, _)) = self.inflight.pop_front() {
+            let Some(msg) = self.msgs.get_mut(&mid) else {
+                continue;
+            };
+            let p = &mut msg.pkts[pkt as usize];
+            if p.state == PktState::InFlight && p.epoch == epoch {
+                p.state = PktState::Unsent;
+                let (path, tc) = p.charged;
+                self.pathlets.credit(path, tc, p.len as u64);
+                expired.push((mid, pkt));
+            }
+        }
+        if expired.is_empty() {
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.rtt.on_timeout();
+        // One loss signal per timeout event on the active pathlet.
+        let (p, tc) = self.active;
+        self.pathlets.entry(p, tc, now).cc.on_loss(now);
+        for (mid, pkt) in expired {
+            self.retransmit(mid, pkt, now, out);
+        }
+        self.poll(now, out);
+    }
+
+    /// Fill every pathlet window with unsent packets, highest-priority
+    /// messages first.
+    pub fn poll(&mut self, now: Time, out: &mut Vec<Packet>) {
+        let mut qi = 0;
+        while qi < self.sendq.len() {
+            let mid = self.sendq[qi];
+            let (done, blocked) = self.send_from(mid, now, out);
+            if done {
+                self.sendq.remove(qi);
+            } else if blocked {
+                // Window full: lower-priority messages must not overtake on
+                // the same pathlet, and all admissions share the active
+                // pathlet, so stop.
+                break;
+            } else {
+                qi += 1;
+            }
+        }
+    }
+
+    /// Returns (all packets sent, window blocked).
+    fn send_from(&mut self, mid: MsgId, now: Time, out: &mut Vec<Packet>) -> (bool, bool) {
+        let (path, _) = self.active;
+        let Some(msg) = self.msgs.get_mut(&mid) else {
+            return (true, false);
+        };
+        let tc = msg.tc;
+        let n = msg.pkts.len() as u32;
+        while msg.next_unsent < n {
+            let idx = msg.next_unsent as usize;
+            let len = msg.pkts[idx].len;
+            if self.pathlets.room(path, tc, now) < len as u64 {
+                return (false, true);
+            }
+            let pkt_meta = &mut msg.pkts[idx];
+            pkt_meta.state = PktState::InFlight;
+            pkt_meta.charged = (path, tc);
+            pkt_meta.sent_at = now;
+            pkt_meta.epoch += 1;
+            let epoch = pkt_meta.epoch;
+            let pkt_len = pkt_meta.len;
+            let offset = pkt_meta.offset;
+            self.pathlets.charge(path, tc, pkt_len as u64, now);
+            self.inflight.push_back((mid, idx as u32, epoch, now));
+
+            let hdr = MtpHeader {
+                src_port: self.addr,
+                dst_port: msg.dst,
+                pkt_type: PktType::Data,
+                msg_pri: msg.pri,
+                tc,
+                flags: if idx as u32 == n - 1 {
+                    flags::LAST_PKT
+                } else {
+                    0
+                },
+                msg_id: mid,
+                entity: self.entity,
+                msg_len_pkts: n,
+                msg_len_bytes: msg.total_bytes,
+                pkt_num: PktNum(idx as u32),
+                pkt_len: pkt_len as u16,
+                pkt_offset: offset,
+                path_exclude: self.pathlets.active_exclusions(now),
+                ..MtpHeader::default()
+            };
+            let wire = pkt_len + hdr.wire_len() as u32;
+            let mut packet = Packet::new(Headers::Mtp(Box::new(hdr)), wire);
+            packet.sent_at = now;
+            out.push(packet);
+            self.stats.pkts_sent += 1;
+            msg.next_unsent += 1;
+        }
+        (true, false)
+    }
+
+    /// Retransmit one packet immediately (bypassing the window, standard
+    /// loss-repair behaviour), charging the active pathlet.
+    fn retransmit(&mut self, mid: MsgId, pkt_idx: u32, now: Time, out: &mut Vec<Packet>) {
+        let (path, _) = self.active;
+        let exclusions = self.pathlets.active_exclusions(now);
+        let Some(msg) = self.msgs.get_mut(&mid) else {
+            return;
+        };
+        let tc = msg.tc;
+        let n = msg.pkts.len() as u32;
+        let p = &mut msg.pkts[pkt_idx as usize];
+        if p.state == PktState::Acked {
+            return;
+        }
+        p.state = PktState::InFlight;
+        p.charged = (path, tc);
+        p.sent_at = now;
+        p.epoch += 1;
+        self.pathlets.charge(path, tc, p.len as u64, now);
+        self.inflight.push_back((mid, pkt_idx, p.epoch, now));
+
+        let hdr = MtpHeader {
+            src_port: self.addr,
+            dst_port: msg.dst,
+            pkt_type: PktType::Data,
+            msg_pri: msg.pri,
+            tc,
+            flags: flags::RETX | if pkt_idx == n - 1 { flags::LAST_PKT } else { 0 },
+            msg_id: mid,
+            entity: self.entity,
+            msg_len_pkts: n,
+            msg_len_bytes: msg.total_bytes,
+            pkt_num: PktNum(pkt_idx),
+            pkt_len: p.len as u16,
+            pkt_offset: p.offset,
+            path_exclude: exclusions,
+            ..MtpHeader::default()
+        };
+        let wire = p.len + hdr.wire_len() as u32;
+        let mut packet = Packet::new(Headers::Mtp(Box::new(hdr)), wire);
+        packet.sent_at = now;
+        out.push(packet);
+        self.stats.pkts_sent += 1;
+        self.stats.retransmissions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_wire::{PathFeedback, SackEntry};
+
+    fn sender() -> MtpSender {
+        MtpSender::new(MtpConfig::default(), 1, EntityId(0), 1000)
+    }
+
+    fn data_hdr(p: &Packet) -> &MtpHeader {
+        p.headers.as_mtp().expect("mtp packet")
+    }
+
+    fn ack_for(pkts: &[&Packet]) -> MtpHeader {
+        MtpHeader {
+            pkt_type: PktType::Ack,
+            sack: pkts
+                .iter()
+                .map(|p| {
+                    let h = data_hdr(p);
+                    SackEntry {
+                        msg: h.msg_id,
+                        pkt: h.pkt_num,
+                    }
+                })
+                .collect(),
+            ..MtpHeader::default()
+        }
+    }
+
+    #[test]
+    fn fragments_message_into_mtu_packets() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(2, 4000, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        assert_eq!(out.len(), 3, "4000 B / 1460 = 3 packets");
+        let h0 = data_hdr(&out[0]);
+        assert_eq!(h0.msg_len_pkts, 3);
+        assert_eq!(h0.msg_len_bytes, 4000);
+        assert_eq!(h0.pkt_num, PktNum(0));
+        assert_eq!(h0.pkt_len, 1460);
+        let h2 = data_hdr(&out[2]);
+        assert_eq!(h2.pkt_len, (4000 - 2 * 1460) as u16);
+        assert_eq!(h2.pkt_offset, 2 * 1460);
+        assert!(h2.is_last_pkt());
+    }
+
+    #[test]
+    fn window_limits_initial_burst() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(
+            2,
+            1_000_000,
+            0,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        // init window 15000 B admits 10 full packets.
+        assert_eq!(out.len(), 10);
+        assert_eq!(s.outstanding(), 1);
+    }
+
+    #[test]
+    fn sack_opens_window_and_completes() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(2, 3000, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        assert_eq!(out.len(), 3);
+        let first: Vec<&Packet> = out.iter().collect();
+        let ack = ack_for(&first);
+        let mut out2 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(10), &ack, &mut out2);
+        let ev = s.take_events();
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0], SenderEvent::MsgCompleted { .. }));
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(s.next_deadline(), None);
+    }
+
+    #[test]
+    fn priority_zero_preempts_new_admissions() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        // Low-priority bulk fills the window.
+        s.send_message(
+            2,
+            1_000_000,
+            5,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        let burst: Vec<&Packet> = out.iter().collect();
+        let n_burst = burst.len();
+        let ack = ack_for(&burst[..2]);
+        out.clear();
+        // An urgent message arrives; next window space must go to it.
+        let urgent = s.send_message(2, 1460, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        assert!(out.is_empty(), "window still full");
+        let mut out2 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(5), &ack, &mut out2);
+        assert!(!out2.is_empty());
+        assert_eq!(
+            data_hdr(&out2[0]).msg_id,
+            urgent,
+            "urgent message admitted before remaining bulk (burst was {n_burst})"
+        );
+    }
+
+    #[test]
+    fn nack_triggers_immediate_retransmission() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(2, 3000, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        let h1 = data_hdr(&out[1]);
+        let nack = MtpHeader {
+            pkt_type: PktType::Ack,
+            nack: vec![SackEntry {
+                msg: h1.msg_id,
+                pkt: h1.pkt_num,
+            }],
+            ..MtpHeader::default()
+        };
+        let mut out2 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(10), &nack, &mut out2);
+        assert_eq!(s.stats.retransmissions, 1);
+        let retx = data_hdr(&out2[0]);
+        assert_eq!(retx.pkt_num, PktNum(1));
+        assert!(retx.is_retx());
+    }
+
+    #[test]
+    fn rto_resends_unacked_packets() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(2, 2920, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        assert_eq!(out.len(), 2);
+        let deadline = s.next_deadline().expect("armed");
+        let mut out2 = Vec::new();
+        s.on_timer(deadline, &mut out2);
+        assert_eq!(s.stats.timeouts, 1);
+        assert_eq!(out2.len(), 2, "both unacked packets resent");
+        assert!(out2.iter().all(|p| data_hdr(p).is_retx()));
+    }
+
+    #[test]
+    fn feedback_moves_active_pathlet_and_keeps_old_window() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(
+            2,
+            100_000,
+            0,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        let acked: Vec<&Packet> = out.iter().take(2).collect();
+        let mut ack = ack_for(&acked);
+        ack.ack_path_feedback = vec![PathFeedback {
+            path: PathletId(7),
+            tc: TrafficClass::BEST_EFFORT,
+            feedback: Feedback::EcnMark { ce: false },
+        }];
+        let mut out2 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(10), &ack, &mut out2);
+        assert_eq!(s.active_pathlet().0, PathletId(7));
+        // Both pathlets now exist independently.
+        assert!(s
+            .pathlets()
+            .get(PathletId(7), TrafficClass::BEST_EFFORT)
+            .is_some());
+        assert!(s
+            .pathlets()
+            .get(DEFAULT_PATHLET, TrafficClass::BEST_EFFORT)
+            .is_some());
+    }
+
+    #[test]
+    fn path_change_notification_switches_immediately() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(
+            2,
+            100_000,
+            0,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        let acked: Vec<&Packet> = out.iter().take(1).collect();
+        let mut ack = ack_for(&acked);
+        ack.ack_path_feedback = vec![PathFeedback {
+            path: PathletId(1),
+            tc: TrafficClass::BEST_EFFORT,
+            feedback: Feedback::PathChange {
+                new_path: PathletId(9),
+            },
+        }];
+        let mut out2 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(10), &ack, &mut out2);
+        // PathChange overrides the stamped entry itself... unless another
+        // entry follows; here the notification wins.
+        assert_eq!(s.active_pathlet().0, PathletId(1));
+    }
+
+    #[test]
+    fn duplicate_sacks_are_idempotent() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(2, 1460, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        let ack = ack_for(&[&out[0]]);
+        let mut o = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(5), &ack, &mut o);
+        s.on_ack(Time::ZERO + Duration::from_micros(6), &ack, &mut o);
+        assert_eq!(s.take_events().len(), 1, "one completion only");
+        assert_eq!(s.stats.msgs_completed, 1);
+    }
+
+    #[test]
+    fn repeated_loss_floors_window_and_excludes_pathlet() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(
+            2,
+            1_000_000,
+            0,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        // NACK everything in flight repeatedly to drive the window down.
+        for round in 0..8 {
+            let now = Time::ZERO + Duration::from_micros(10 * (round + 1));
+            let nacks: Vec<SackEntry> = out
+                .iter()
+                .map(|p| {
+                    let h = data_hdr(p);
+                    SackEntry {
+                        msg: h.msg_id,
+                        pkt: h.pkt_num,
+                    }
+                })
+                .collect();
+            let hdr = MtpHeader {
+                pkt_type: PktType::Ack,
+                nack: nacks,
+                ..MtpHeader::default()
+            };
+            out.clear();
+            s.on_ack(now, &hdr, &mut out);
+        }
+        // Retransmissions after the window floored must advertise the
+        // exclusion.
+        let last = data_hdr(out.last().expect("retransmissions emitted"));
+        assert!(
+            !last.path_exclude.is_empty(),
+            "floored pathlet should be advertised as excluded"
+        );
+    }
+
+    #[test]
+    fn mtu_sized_message_is_single_packet() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(2, 1460, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        let h = data_hdr(&out[0]);
+        assert_eq!(h.msg_len_pkts, 1);
+        assert!(h.is_last_pkt());
+    }
+}

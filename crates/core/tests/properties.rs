@@ -1,0 +1,187 @@
+//! Property-based tests of the sans-IO MTP cores: receiver exactly-once
+//! delivery under arbitrary arrival orders, sender robustness under
+//! adversarial ACK streams, and controller window bounds under arbitrary
+//! feedback.
+
+use proptest::prelude::*;
+
+use mtp_core::pathlet_cc::{CcKind, WINDOW_CAP, WINDOW_FLOOR};
+use mtp_core::{MtpConfig, MtpReceiver, MtpSender};
+use mtp_sim::time::{Duration, Time};
+use mtp_wire::types::flags;
+use mtp_wire::{
+    EcnCodepoint, EntityId, Feedback, MsgId, MtpHeader, PathFeedback, PathletId, PktNum, PktType,
+    SackEntry, TrafficClass,
+};
+
+fn data_pkt(msg: u64, pkt: u32, n_pkts: u32, last_len: u16, retx: bool) -> MtpHeader {
+    let full = 1460u16;
+    let len = if pkt == n_pkts - 1 { last_len } else { full };
+    MtpHeader {
+        src_port: 1,
+        dst_port: 2,
+        pkt_type: PktType::Data,
+        msg_id: MsgId(msg),
+        msg_len_pkts: n_pkts,
+        msg_len_bytes: (n_pkts - 1) * full as u32 + last_len as u32,
+        pkt_num: PktNum(pkt),
+        pkt_len: len,
+        pkt_offset: pkt * full as u32,
+        flags: (if pkt == n_pkts - 1 {
+            flags::LAST_PKT
+        } else {
+            0
+        }) | (if retx { flags::RETX } else { 0 }),
+        ..MtpHeader::default()
+    }
+}
+
+proptest! {
+    /// Any arrival order with arbitrary duplication: the receiver delivers
+    /// each message exactly once with exact byte counts, and acks every
+    /// packet.
+    #[test]
+    fn receiver_exactly_once_any_order(
+        n_pkts in 1u32..50,
+        last_len in 1u16..1460,
+        order_seed in any::<u64>(),
+        dup_each in any::<bool>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut arrivals: Vec<u32> = (0..n_pkts).collect();
+        if dup_each {
+            arrivals.extend(0..n_pkts);
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(order_seed);
+        arrivals.shuffle(&mut rng);
+
+        let mut r = MtpReceiver::new(2);
+        let total = (n_pkts - 1) as u64 * 1460 + last_len as u64;
+        let mut goodput = 0u64;
+        for (i, pkt) in arrivals.iter().enumerate() {
+            // Mark out-of-order packets as retransmissions so spurious
+            // NACKs don't fire (we're testing delivery, not repair).
+            let hdr = data_pkt(7, *pkt, n_pkts, last_len, i > 0);
+            let (ack, newly) = r.on_data(Time(i as u64), &hdr, EcnCodepoint::Ect0);
+            goodput += newly;
+            let ah = ack.headers.as_mtp().expect("ack");
+            prop_assert_eq!(ah.pkt_type, PktType::Ack);
+            let want = SackEntry { msg: MsgId(7), pkt: PktNum(*pkt) };
+            prop_assert!(ah.sack.contains(&want));
+        }
+        prop_assert_eq!(goodput, total);
+        prop_assert_eq!(r.stats.msgs_delivered, 1);
+        prop_assert_eq!(r.take_events().len(), 1);
+        prop_assert_eq!(r.buffered_bytes(), 0, "completed messages release buffer");
+    }
+
+    /// The sender never panics and never over-completes under an
+    /// adversarial ACK stream (random SACK/NACK entries, including ids it
+    /// never sent, duplicates, and feedback for unknown pathlets).
+    #[test]
+    fn sender_survives_adversarial_acks(
+        msg_bytes in 1u32..200_000,
+        entries in prop::collection::vec(
+            (any::<bool>(), 0u64..4, 0u32..64, any::<u16>()),
+            0..64
+        ),
+    ) {
+        let mut s = MtpSender::new(MtpConfig::default(), 1, EntityId(0), 100);
+        let mut out = Vec::new();
+        let id = s.send_message(2, msg_bytes, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        for (t, (is_nack, msg_off, pkt, path)) in entries.into_iter().enumerate() {
+            let entry = SackEntry { msg: MsgId(100 + msg_off), pkt: PktNum(pkt) };
+            let hdr = MtpHeader {
+                pkt_type: PktType::Ack,
+                sack: if is_nack { vec![] } else { vec![entry] },
+                nack: if is_nack { vec![entry] } else { vec![] },
+                ack_path_feedback: vec![PathFeedback {
+                    path: PathletId(path),
+                    tc: TrafficClass::BEST_EFFORT,
+                    feedback: Feedback::EcnMark { ce: path % 3 == 0 },
+                }],
+                ..MtpHeader::default()
+            };
+            let mut out2 = Vec::new();
+            s.on_ack(Time(1 + t as u64), &hdr, &mut out2);
+        }
+        // Completion events never exceed one for one message.
+        let completions = s
+            .take_events()
+            .iter()
+            .filter(|e| matches!(e, mtp_core::SenderEvent::MsgCompleted { id: i, .. } if *i == id))
+            .count();
+        prop_assert!(completions <= 1);
+        prop_assert!(s.stats.msgs_completed <= 1);
+    }
+
+    /// Driving a full ACK set through in any order completes the message
+    /// exactly once.
+    #[test]
+    fn sender_completes_with_shuffled_sacks(
+        msg_kb in 1u32..100,
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let bytes = msg_kb * 1024;
+        let mut s = MtpSender::new(
+            MtpConfig { cc: CcKind::Fixed { window: 1 << 28 }, ..MtpConfig::default() },
+            1,
+            EntityId(0),
+            500,
+        );
+        let mut out = Vec::new();
+        let id = s.send_message(2, bytes, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        let n_pkts = bytes.div_ceil(1460);
+        prop_assert_eq!(out.len() as u32, n_pkts, "huge fixed window sends all");
+        let mut pkts: Vec<u32> = (0..n_pkts).collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        pkts.shuffle(&mut rng);
+        for (i, p) in pkts.iter().enumerate() {
+            let hdr = MtpHeader {
+                pkt_type: PktType::Ack,
+                sack: vec![SackEntry { msg: id, pkt: PktNum(*p) }],
+                ..MtpHeader::default()
+            };
+            let mut o = Vec::new();
+            s.on_ack(Time(1 + i as u64), &hdr, &mut o);
+        }
+        prop_assert_eq!(s.stats.msgs_completed, 1);
+        prop_assert_eq!(s.outstanding(), 0);
+        prop_assert_eq!(s.next_deadline(), None);
+    }
+
+    /// Every controller keeps its window inside [floor, cap] under
+    /// arbitrary feedback and loss sequences.
+    #[test]
+    fn controller_windows_stay_bounded(
+        kind_sel in 0usize..4,
+        ops in prop::collection::vec((0u8..6, any::<u32>()), 1..200),
+    ) {
+        let kind = match kind_sel {
+            0 => CcKind::DctcpLike { init_window: 15_000 },
+            1 => CcKind::RcpLike { init_window: 15_000 },
+            2 => CcKind::SwiftLike { init_window: 15_000, target: Duration::from_micros(10) },
+            _ => CcKind::Fixed { window: 15_000 },
+        };
+        let mut cc = kind.factory()();
+        for (op, v) in ops {
+            match op {
+                0 => cc.on_ack(1500, Some(&Feedback::EcnMark { ce: v % 2 == 0 }), None, Time::ZERO),
+                1 => cc.on_ack(1500, Some(&Feedback::RcpRate { mbps: v }), Some(Duration::from_micros(10)), Time::ZERO),
+                2 => cc.on_ack(1500, Some(&Feedback::Delay { ns: v }), None, Time::ZERO),
+                3 => cc.on_ack(u64::from(v) % 100_000, None, None, Time::ZERO),
+                4 => cc.on_loss(Time::ZERO),
+                _ => cc.on_ack(0, Some(&Feedback::EcnFraction { fraction: (v % 65536) as u16 }), None, Time::ZERO),
+            }
+            let w = cc.window();
+            prop_assert!(
+                (WINDOW_FLOOR..=WINDOW_CAP).contains(&w),
+                "{} window {w} escaped bounds",
+                cc.kind()
+            );
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! MTP ↔ TCP-island bridging devices (paper §4, "Interaction with TCP").
+//!
+//! "MTP can coexist with legacy TCP devices. In this scenario, the MTP
+//! header can be included as a new TCP option, and MTP devices can bridge
+//! TCP islands."
+//!
+//! [`TcpIslandBridge`] is the device at each edge of a legacy region: on
+//! the MTP side it wraps every MTP packet in an outer TCP segment
+//! ([`Headers::Bridged`]), so legacy devices in between — which only
+//! understand TCP — forward, queue, and police it like any other segment;
+//! on the island side it unwraps arriving bridged segments back to native
+//! MTP. The byte-exact encapsulation this models is
+//! [`mtp_wire::bridge`] (magic-prefixed payload encapsulation; classic
+//! 40-byte TCP options cannot hold a feedback-laden MTP header).
+//!
+//! Wrapping grows the wire length by the outer TCP/IP header plus the
+//! encapsulation preamble; unwrapping restores it.
+
+use mtp_sim::packet::{Headers, Packet};
+use mtp_sim::{Ctx, Node, PortId};
+use mtp_wire::bridge::BRIDGE_PREAMBLE_LEN;
+use mtp_wire::TcpHeader;
+
+/// Extra wire bytes a bridged packet carries: outer TCP/IP header plus the
+/// encapsulation preamble.
+pub const BRIDGE_OVERHEAD: u32 = 40 + BRIDGE_PREAMBLE_LEN as u32;
+
+/// Bridge statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BridgeStats {
+    /// MTP packets wrapped for the island.
+    pub wrapped: u64,
+    /// Bridged packets unwrapped back to MTP.
+    pub unwrapped: u64,
+    /// Non-MTP packets passed through untouched.
+    pub passed: u64,
+}
+
+/// One edge of a TCP island: MTP side on port 0, island side on port 1.
+pub struct TcpIslandBridge {
+    /// Connection id stamped on outer segments (so island ECMP treats the
+    /// bridged flow consistently).
+    outer_conn: u32,
+    seq: u64,
+    /// Counters.
+    pub stats: BridgeStats,
+    name: String,
+}
+
+const MTP_SIDE: PortId = PortId(0);
+const ISLAND_SIDE: PortId = PortId(1);
+
+impl TcpIslandBridge {
+    /// A bridge using `outer_conn` as the island-facing connection id.
+    pub fn new(outer_conn: u32) -> TcpIslandBridge {
+        TcpIslandBridge {
+            outer_conn,
+            seq: 0,
+            stats: BridgeStats::default(),
+            name: format!("tcp-bridge-{outer_conn}"),
+        }
+    }
+}
+
+impl Node for TcpIslandBridge {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) {
+        if port == MTP_SIDE {
+            // Entering the island: wrap MTP in an outer TCP segment.
+            if let Headers::Mtp(mtp) = pkt.headers {
+                let payload = pkt.wire_len;
+                let tcp = TcpHeader {
+                    conn_id: self.outer_conn,
+                    src_port: mtp.src_port,
+                    dst_port: mtp.dst_port,
+                    seq: self.seq,
+                    ack: 0,
+                    flags: Default::default(),
+                    rwnd: u32::MAX,
+                    payload_len: payload.min(u16::MAX as u32) as u16,
+                };
+                self.seq += payload as u64;
+                pkt.headers = Headers::Bridged { tcp, mtp };
+                pkt.wire_len += BRIDGE_OVERHEAD;
+                self.stats.wrapped += 1;
+            } else {
+                self.stats.passed += 1;
+            }
+            ctx.send(ISLAND_SIDE, pkt);
+        } else {
+            // Leaving the island: unwrap back to native MTP.
+            if let Headers::Bridged { mtp, .. } = pkt.headers {
+                pkt.headers = Headers::Mtp(mtp);
+                pkt.wire_len = pkt.wire_len.saturating_sub(BRIDGE_OVERHEAD);
+                self.stats.unwrapped += 1;
+            } else {
+                self.stats.passed += 1;
+            }
+            ctx.send(MTP_SIDE, pkt);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routes::StaticRoutes;
+    use crate::strategies::StaticForwarder;
+    use crate::switch::SwitchNode;
+    use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+    use mtp_sim::time::{Bandwidth, Duration, Time};
+    use mtp_sim::{LinkCfg, Simulator};
+    use mtp_wire::EntityId;
+
+    /// MTP endpoints talk across an island whose interior switch only
+    /// understands TCP addressing.
+    #[test]
+    fn mtp_crosses_a_tcp_island() {
+        let mut sim = Simulator::new(8);
+        let snd = sim.add_node(Box::new(MtpSenderNode::new(
+            MtpConfig::default(),
+            1,
+            2,
+            EntityId(0),
+            1 << 32,
+            vec![ScheduledMsg::new(Time::ZERO, 500_000)],
+        )));
+        let in_bridge = sim.add_node(Box::new(TcpIslandBridge::new(7000)));
+        // The island interior: a plain switch that routes on the *TCP*
+        // header (it would drop or misroute native MTP).
+        let island = sim.add_node(Box::new(SwitchNode::new(
+            "island-sw",
+            Box::new(StaticForwarder(
+                StaticRoutes::new().add(1, PortId(0)).add(2, PortId(1)),
+            )),
+        )));
+        let out_bridge = sim.add_node(Box::new(TcpIslandBridge::new(7001)));
+        let sink = sim.add_node(Box::new(MtpSinkNode::new(2, Duration::from_micros(100))));
+
+        let bw = Bandwidth::from_gbps(100);
+        let d = Duration::from_micros(1);
+        let mk = || LinkCfg::ecn(bw, d, 256, 40);
+        sim.connect(snd, PortId(0), in_bridge, PortId(0), mk(), mk());
+        sim.connect(in_bridge, PortId(1), island, PortId(0), mk(), mk());
+        // NOTE: out_bridge's ISLAND side faces the island switch.
+        sim.connect(island, PortId(1), out_bridge, PortId(1), mk(), mk());
+        sim.connect(out_bridge, PortId(0), sink, PortId(0), mk(), mk());
+
+        sim.run_until(Time::ZERO + Duration::from_millis(20));
+
+        assert!(sim.node_as::<MtpSenderNode>(snd).all_done());
+        assert_eq!(sim.node_as::<MtpSinkNode>(sink).total_goodput(), 500_000);
+        let inb = sim.node_as::<TcpIslandBridge>(in_bridge).stats;
+        let outb = sim.node_as::<TcpIslandBridge>(out_bridge).stats;
+        assert!(inb.wrapped > 0, "data wrapped into the island");
+        assert_eq!(outb.unwrapped, inb.wrapped, "every wrap has an unwrap");
+        // ACKs flow the reverse way: wrapped by out_bridge, unwrapped by
+        // in_bridge.
+        assert!(outb.wrapped > 0);
+        assert_eq!(inb.unwrapped, outb.wrapped);
+    }
+
+    #[test]
+    fn wrap_unwrap_preserves_wire_len_and_header() {
+        use mtp_wire::MtpHeader;
+        struct Probe {
+            got: Option<Packet>,
+        }
+        impl Node for Probe {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, pkt: Packet) {
+                self.got = Some(pkt);
+            }
+        }
+        struct SendOnce {
+            pkt: Option<Packet>,
+        }
+        impl Node for SendOnce {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let p = self.pkt.take().expect("one packet");
+                ctx.send(PortId(0), p);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        }
+
+        let hdr = MtpHeader {
+            src_port: 1,
+            dst_port: 2,
+            msg_id: mtp_wire::MsgId(9),
+            msg_len_pkts: 1,
+            msg_len_bytes: 100,
+            pkt_len: 100,
+            ..MtpHeader::default()
+        };
+        let pkt = Packet::new(Headers::Mtp(Box::new(hdr.clone())), 144);
+
+        let mut sim = Simulator::new(1);
+        let src = sim.add_node(Box::new(SendOnce { pkt: Some(pkt) }));
+        let bridge_in = sim.add_node(Box::new(TcpIslandBridge::new(1)));
+        let bridge_out = sim.add_node(Box::new(TcpIslandBridge::new(2)));
+        let dst = sim.add_node(Box::new(Probe { got: None }));
+        let bw = Bandwidth::from_gbps(10);
+        let d = Duration::from_micros(1);
+        sim.connect_symmetric(src, PortId(0), bridge_in, PortId(0), bw, d, 64);
+        sim.connect_symmetric(bridge_in, PortId(1), bridge_out, PortId(1), bw, d, 64);
+        sim.connect_symmetric(bridge_out, PortId(0), dst, PortId(0), bw, d, 64);
+        sim.run();
+
+        let got = sim.node_as::<Probe>(dst).got.as_ref().expect("delivered");
+        assert_eq!(got.wire_len, 144, "overhead stripped");
+        assert_eq!(got.headers.as_mtp().expect("native MTP restored"), &hdr);
+        let wrapped = sim.node_as::<TcpIslandBridge>(bridge_in).stats.wrapped;
+        assert_eq!(wrapped, 1);
+    }
+}

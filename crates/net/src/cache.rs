@@ -1,0 +1,480 @@
+//! An in-network key-value cache offload (NetCache-style; paper Fig. 1 ①).
+//!
+//! [`KvCacheNode`] sits on the path between clients and a backend KV
+//! server. GET requests for *hot* keys are answered directly from the
+//! cache: the cache **terminates the request message** (ACKing it toward
+//! the client exactly as the real receiver would — possible because MTP
+//! acknowledges `(message, packet)` pairs, not stream bytes) and
+//! re-originates a reply message of its own. Misses are forwarded
+//! unmodified to the backend.
+//!
+//! This is the paper's flagship example of **inter-message independence**:
+//! different requests from the same client take different paths (cache vs
+//! backend) with different transfer sizes and latencies, something a TCP
+//! stream structurally cannot allow.
+
+use std::collections::{HashMap, VecDeque};
+
+use mtp_sim::packet::{AppData, Headers, Packet};
+use mtp_sim::time::{Duration, Time};
+use mtp_sim::{Ctx, Node, PortId};
+use mtp_wire::{EntityId, MsgId, PktType, TrafficClass};
+
+use mtp_core::{MtpConfig, MtpReceiver, MtpSender};
+
+const CLIENT_PORT: PortId = PortId(0);
+const SERVER_PORT: PortId = PortId(1);
+
+const TOKEN_RTO: u64 = 1;
+const TOKEN_SERVICE: u64 = 2;
+const TOKEN_REQ_BASE: u64 = 1 << 32;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// GET requests answered by the cache.
+    pub hits: u64,
+    /// GET requests forwarded to the backend.
+    pub misses: u64,
+    /// Reply messages originated by the cache.
+    pub replies_sent: u64,
+}
+
+/// An inline KV cache: client side on port 0, backend side on port 1.
+pub struct KvCacheNode {
+    /// This cache's host address (source of its replies).
+    addr: u16,
+    hot: std::collections::HashSet<u64>,
+    reply_bytes: u32,
+    receiver: MtpReceiver,
+    sender: MtpSender,
+    /// Request msg id → (key, client address).
+    pending: HashMap<MsgId, (u64, u16)>,
+    /// Reply msg id → key (to tag reply packets).
+    reply_keys: HashMap<MsgId, u64>,
+    armed: Option<Time>,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl KvCacheNode {
+    /// A cache at address `addr` holding `hot_keys`, answering with
+    /// `reply_bytes` replies. `msg_id_base` must be globally unique.
+    pub fn new(
+        cfg: MtpConfig,
+        addr: u16,
+        hot_keys: impl IntoIterator<Item = u64>,
+        reply_bytes: u32,
+        msg_id_base: u64,
+    ) -> KvCacheNode {
+        KvCacheNode {
+            addr,
+            hot: hot_keys.into_iter().collect(),
+            reply_bytes,
+            receiver: MtpReceiver::new(addr),
+            sender: MtpSender::new(cfg, addr, EntityId(0), msg_id_base),
+            pending: HashMap::new(),
+            reply_keys: HashMap::new(),
+            armed: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn flush_sender(&mut self, ctx: &mut Ctx<'_>, out: Vec<Packet>) {
+        for mut pkt in out {
+            // Tag reply packets with their key so clients can correlate.
+            if let Some(h) = pkt.headers.as_mtp() {
+                if h.pkt_type == PktType::Data {
+                    if let Some(&key) = self.reply_keys.get(&h.msg_id) {
+                        pkt.app = Some(AppData::KvReply {
+                            key,
+                            from_cache: true,
+                        });
+                    }
+                }
+            }
+            ctx.send(CLIENT_PORT, pkt);
+        }
+        match self.sender.next_deadline() {
+            Some(dl) => {
+                if self.armed != Some(dl) {
+                    ctx.set_timer_at(dl, TOKEN_RTO);
+                    self.armed = Some(dl);
+                }
+            }
+            None => self.armed = None,
+        }
+    }
+}
+
+impl Node for KvCacheNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+        let now = ctx.now();
+        if port == SERVER_PORT {
+            // Backend → client traffic passes through.
+            ctx.send(CLIENT_PORT, pkt);
+            return;
+        }
+        let is_hot_get = match (&pkt.headers, pkt.app) {
+            (Headers::Mtp(h), Some(AppData::KvGet { key }))
+                if h.pkt_type == PktType::Data && self.hot.contains(&key) =>
+            {
+                Some(key)
+            }
+            _ => None,
+        };
+        match is_hot_get {
+            Some(key) => {
+                let Headers::Mtp(hdr) = &pkt.headers else {
+                    unreachable!()
+                };
+                self.stats.hits += 1;
+                self.pending.insert(hdr.msg_id, (key, hdr.src_port));
+                // Terminate the request: ACK it as the receiver would.
+                let (ack, _newly) = self.receiver.on_data(now, hdr, pkt.ecn);
+                ctx.send(CLIENT_PORT, ack);
+                // Completed requests trigger replies.
+                let delivered = self.receiver.take_events();
+                let mut out = Vec::new();
+                for ev in delivered {
+                    if let Some((key, client)) = self.pending.remove(&ev.id) {
+                        let reply_id = self.sender.send_message(
+                            client,
+                            self.reply_bytes,
+                            ev.pri,
+                            TrafficClass::BEST_EFFORT,
+                            now,
+                            &mut out,
+                        );
+                        self.reply_keys.insert(reply_id, key);
+                        self.stats.replies_sent += 1;
+                    }
+                }
+                self.flush_sender(ctx, out);
+            }
+            None => {
+                // ACKs for our replies come back on the client port.
+                let is_our_ack = match &pkt.headers {
+                    Headers::Mtp(h) => {
+                        matches!(h.pkt_type, PktType::Ack | PktType::Nack)
+                            && h.dst_port == self.addr
+                    }
+                    _ => false,
+                };
+                if is_our_ack {
+                    let Headers::Mtp(hdr) = pkt.headers else {
+                        unreachable!()
+                    };
+                    let mut out = Vec::new();
+                    self.sender.on_ack(now, &hdr, &mut out);
+                    self.sender.take_events();
+                    self.flush_sender(ctx, out);
+                } else {
+                    if matches!(pkt.app, Some(AppData::KvGet { .. })) {
+                        self.stats.misses += 1;
+                    }
+                    ctx.send(SERVER_PORT, pkt);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TOKEN_RTO {
+            return;
+        }
+        self.armed = None;
+        let mut out = Vec::new();
+        self.sender.on_timer(ctx.now(), &mut out);
+        self.flush_sender(ctx, out);
+    }
+
+    fn name(&self) -> &str {
+        "kv-cache"
+    }
+}
+
+/// A backend KV server with a bounded service rate.
+pub struct KvServerNode {
+    #[allow(dead_code)] // address kept for symmetry/debugging
+    addr: u16,
+    reply_bytes: u32,
+    service_time: Duration,
+    receiver: MtpReceiver,
+    sender: MtpSender,
+    /// Request msg id → key.
+    req_keys: HashMap<MsgId, u64>,
+    reply_keys: HashMap<MsgId, u64>,
+    /// FIFO of requests awaiting service: (ready context).
+    queue: VecDeque<(u64, u16, u8)>,
+    next_free: Time,
+    armed: Option<Time>,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl KvServerNode {
+    /// A server at `addr` replying with `reply_bytes` after `service_time`
+    /// per request (sequential service).
+    pub fn new(
+        cfg: MtpConfig,
+        addr: u16,
+        reply_bytes: u32,
+        service_time: Duration,
+        msg_id_base: u64,
+    ) -> KvServerNode {
+        KvServerNode {
+            addr,
+            reply_bytes,
+            service_time,
+            receiver: MtpReceiver::new(addr),
+            sender: MtpSender::new(cfg, addr, EntityId(0), msg_id_base),
+            req_keys: HashMap::new(),
+            reply_keys: HashMap::new(),
+            queue: VecDeque::new(),
+            next_free: Time::ZERO,
+            armed: None,
+            served: 0,
+        }
+    }
+
+    fn flush_sender(&mut self, ctx: &mut Ctx<'_>, out: Vec<Packet>) {
+        for mut pkt in out {
+            if let Some(h) = pkt.headers.as_mtp() {
+                if h.pkt_type == PktType::Data {
+                    if let Some(&key) = self.reply_keys.get(&h.msg_id) {
+                        pkt.app = Some(AppData::KvReply {
+                            key,
+                            from_cache: false,
+                        });
+                    }
+                }
+            }
+            ctx.send(PortId(0), pkt);
+        }
+        match self.sender.next_deadline() {
+            Some(dl) => {
+                if self.armed != Some(dl) {
+                    ctx.set_timer_at(dl, TOKEN_RTO);
+                    self.armed = Some(dl);
+                }
+            }
+            None => self.armed = None,
+        }
+    }
+}
+
+impl Node for KvServerNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        let now = ctx.now();
+        let app = pkt.app;
+        let Headers::Mtp(hdr) = pkt.headers else {
+            return;
+        };
+        match hdr.pkt_type {
+            PktType::Data => {
+                if let Some(AppData::KvGet { key }) = app {
+                    self.req_keys.insert(hdr.msg_id, key);
+                }
+                let (ack, _) = self.receiver.on_data(now, &hdr, pkt.ecn);
+                ctx.send(PortId(0), ack);
+                for ev in self.receiver.take_events() {
+                    let key = self.req_keys.remove(&ev.id).unwrap_or(0);
+                    // Sequential service: one request per service_time.
+                    let ready = self.next_free.max(now) + self.service_time;
+                    self.next_free = ready;
+                    self.queue.push_back((key, ev.src, ev.pri));
+                    ctx.set_timer_at(ready, TOKEN_SERVICE + TOKEN_REQ_BASE);
+                }
+            }
+            PktType::Ack | PktType::Nack => {
+                let mut out = Vec::new();
+                self.sender.on_ack(now, &hdr, &mut out);
+                self.sender.take_events();
+                self.flush_sender(ctx, out);
+            }
+            PktType::Control => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let now = ctx.now();
+        if token == TOKEN_RTO {
+            self.armed = None;
+            let mut out = Vec::new();
+            self.sender.on_timer(now, &mut out);
+            self.flush_sender(ctx, out);
+            return;
+        }
+        // Service completion: answer the oldest queued request.
+        if let Some((key, client, pri)) = self.queue.pop_front() {
+            let mut out = Vec::new();
+            let reply_id = self.sender.send_message(
+                client,
+                self.reply_bytes,
+                pri,
+                TrafficClass::BEST_EFFORT,
+                now,
+                &mut out,
+            );
+            self.reply_keys.insert(reply_id, key);
+            self.served += 1;
+            self.flush_sender(ctx, out);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "kv-server"
+    }
+}
+
+/// A KV client issuing GET requests and measuring completion latency.
+pub struct KvClientNode {
+    #[allow(dead_code)] // address kept for symmetry/debugging
+    addr: u16,
+    server_addr: u16,
+    req_bytes: u32,
+    sender: MtpSender,
+    receiver: MtpReceiver,
+    /// Scheduled requests: (time, key).
+    schedule: Vec<(Time, u64)>,
+    /// Request msg id → key.
+    req_keys: HashMap<MsgId, u64>,
+    /// Outstanding send times per key (FIFO for repeated keys).
+    outstanding: HashMap<u64, VecDeque<Time>>,
+    /// Completed requests: (key, latency, answered by cache?).
+    pub completions: Vec<(u64, Duration, bool)>,
+    /// Reply message id → (key, from_cache), learned from reply data tags.
+    reply_src: HashMap<MsgId, (u64, bool)>,
+    armed: Option<Time>,
+}
+
+impl KvClientNode {
+    /// A client at `addr` sending `req_bytes` GETs to `server_addr` per the
+    /// schedule.
+    pub fn new(
+        cfg: MtpConfig,
+        addr: u16,
+        server_addr: u16,
+        req_bytes: u32,
+        msg_id_base: u64,
+        schedule: Vec<(Time, u64)>,
+    ) -> KvClientNode {
+        KvClientNode {
+            addr,
+            server_addr,
+            req_bytes,
+            sender: MtpSender::new(cfg, addr, EntityId(0), msg_id_base),
+            receiver: MtpReceiver::new(addr),
+            schedule,
+            req_keys: HashMap::new(),
+            outstanding: HashMap::new(),
+            completions: Vec::new(),
+            reply_src: HashMap::new(),
+            armed: None,
+        }
+    }
+
+    /// Completed request count.
+    pub fn done(&self) -> usize {
+        self.completions.len()
+    }
+
+    fn flush_sender(&mut self, ctx: &mut Ctx<'_>, out: Vec<Packet>) {
+        for mut pkt in out {
+            if let Some(h) = pkt.headers.as_mtp() {
+                if h.pkt_type == PktType::Data {
+                    if let Some(&key) = self.req_keys.get(&h.msg_id) {
+                        pkt.app = Some(AppData::KvGet { key });
+                    }
+                }
+            }
+            ctx.send(PortId(0), pkt);
+        }
+        match self.sender.next_deadline() {
+            Some(dl) => {
+                if self.armed != Some(dl) {
+                    ctx.set_timer_at(dl, TOKEN_RTO);
+                    self.armed = Some(dl);
+                }
+            }
+            None => self.armed = None,
+        }
+    }
+}
+
+impl Node for KvClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (idx, &(t, _)) in self.schedule.iter().enumerate() {
+            ctx.set_timer_at(t, TOKEN_REQ_BASE + idx as u64);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+        let now = ctx.now();
+        let app = pkt.app;
+        let ecn = pkt.ecn;
+        let Headers::Mtp(hdr) = pkt.headers else {
+            return;
+        };
+        match hdr.pkt_type {
+            PktType::Ack | PktType::Nack => {
+                let mut out = Vec::new();
+                self.sender.on_ack(now, &hdr, &mut out);
+                self.sender.take_events();
+                self.flush_sender(ctx, out);
+            }
+            PktType::Data => {
+                if let Some(AppData::KvReply { key, from_cache }) = app {
+                    self.reply_src.insert(hdr.msg_id, (key, from_cache));
+                }
+                let (ack, _) = self.receiver.on_data(now, &hdr, ecn);
+                ctx.send(PortId(0), ack);
+                for ev in self.receiver.take_events() {
+                    let Some((key, from_cache)) = self.reply_src.remove(&ev.id) else {
+                        continue;
+                    };
+                    if let Some(q) = self.outstanding.get_mut(&key) {
+                        if let Some(sent) = q.pop_front() {
+                            self.completions
+                                .push((key, ev.completed.since(sent), from_cache));
+                        }
+                    }
+                }
+            }
+            PktType::Control => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let now = ctx.now();
+        if token == TOKEN_RTO {
+            self.armed = None;
+            let mut out = Vec::new();
+            self.sender.on_timer(now, &mut out);
+            self.flush_sender(ctx, out);
+            return;
+        }
+        let idx = (token - TOKEN_REQ_BASE) as usize;
+        if idx >= self.schedule.len() {
+            return;
+        }
+        let (_, key) = self.schedule[idx];
+        let mut out = Vec::new();
+        let id = self.sender.send_message(
+            self.server_addr,
+            self.req_bytes,
+            0,
+            TrafficClass::BEST_EFFORT,
+            now,
+            &mut out,
+        );
+        self.req_keys.insert(id, key);
+        self.outstanding.entry(key).or_default().push_back(now);
+        self.flush_sender(ctx, out);
+    }
+
+    fn name(&self) -> &str {
+        "kv-client"
+    }
+}

@@ -1,0 +1,172 @@
+//! A TCP-terminating proxy (paper Fig. 2).
+//!
+//! The proxy accepts a client-side TCP connection, consumes its stream, and
+//! re-originates the bytes on a second connection toward the server —
+//! exactly what an L7 load balancer does. The paper's point: when the
+//! server side is slower than the client side, the proxy faces a forced
+//! trade-off:
+//!
+//! * **unlimited client window** → the proxy's relay buffer grows without
+//!   bound at (client rate − server rate);
+//! * **bounded relay buffer** → the proxy advertises a shrinking receive
+//!   window and the client stalls: requests queued behind the bulk stream
+//!   are head-of-line blocked.
+//!
+//! [`TcpProxyNode`] implements both configurations; the Fig. 2 harness
+//! samples [`buffered_bytes`](TcpProxyNode::buffered_bytes) over time for
+//! the first and measures message latencies for the second.
+
+use mtp_sim::packet::{Headers, Packet};
+use mtp_sim::time::Time;
+use mtp_sim::{Ctx, Node, PortId};
+use mtp_tcp::{ReceiverConn, SenderConn, TcpConfig};
+
+/// Which side of the proxy a port faces.
+const CLIENT_PORT: PortId = PortId(0);
+const SERVER_PORT: PortId = PortId(1);
+
+const TOKEN_RTO: u64 = 1;
+
+/// A TCP-terminating relay between a client (port 0) and a server (port 1).
+pub struct TcpProxyNode {
+    /// Client-side receiving half (terminates the client's connection).
+    recv: ReceiverConn,
+    /// Server-side sending half (re-originates the stream).
+    send: SenderConn,
+    /// Cap on bytes held in the relay (`None` = unlimited, advertise an
+    /// unlimited client window).
+    relay_cap: Option<u64>,
+    /// High-water mark of the relay buffer.
+    pub max_buffered: u64,
+    /// Bytes relayed end to end.
+    pub relayed: u64,
+    armed: Option<Time>,
+    name: String,
+}
+
+impl TcpProxyNode {
+    /// A proxy terminating client connection `client_conn` and opening
+    /// server connection `server_conn`. `relay_cap` bounds the relay
+    /// buffer; when bounded, the client-side receive window is coupled to
+    /// the free relay space (`client_cfg.recv_buffer` is overridden).
+    pub fn new(
+        mut client_cfg: TcpConfig,
+        server_cfg: TcpConfig,
+        client_conn: u32,
+        server_conn: u32,
+        relay_cap: Option<u64>,
+    ) -> TcpProxyNode {
+        client_cfg.recv_buffer = relay_cap;
+        let recv = ReceiverConn::new(&client_cfg, client_conn, 2, 1);
+        let send = SenderConn::new(server_cfg, server_conn, 2, 3);
+        TcpProxyNode {
+            recv,
+            send,
+            relay_cap,
+            max_buffered: 0,
+            relayed: 0,
+            armed: None,
+            name: "tcp-proxy".to_string(),
+        }
+    }
+
+    /// Bytes currently buffered inside the proxy: received from the client
+    /// but not yet accepted by the server connection's window (its send
+    /// backlog), plus anything still in the client-side receive buffer.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.recv.buffered() + self.send.backlog()
+    }
+
+    fn relay(&mut self, now: Time, to_client: &mut Vec<Packet>, to_server: &mut Vec<Packet>) {
+        // Move bytes from the client-side receive buffer into the
+        // server-side sender. With a bounded relay, only move what keeps
+        // the total relay occupancy under the cap — the rest stays in the
+        // receive buffer, shrinking the client's advertised window.
+        let available = self.recv.available();
+        let take = match self.relay_cap {
+            None => available,
+            Some(cap) => available.min(cap.saturating_sub(self.send.backlog())),
+        };
+        if take > 0 {
+            if let Some(update) = self.recv.app_consume(take) {
+                to_client.push(update);
+            }
+            self.send.app_write(take, now, to_server);
+            self.relayed += take;
+        }
+        self.max_buffered = self.max_buffered.max(self.buffered_bytes());
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>, to_client: Vec<Packet>, to_server: Vec<Packet>) {
+        let now = ctx.now();
+        for mut p in to_client {
+            p.sent_at = now;
+            ctx.send(CLIENT_PORT, p);
+        }
+        for mut p in to_server {
+            p.sent_at = now;
+            ctx.send(SERVER_PORT, p);
+        }
+        // Keep the server-side RTO armed.
+        match self.send.next_deadline() {
+            Some(dl) => {
+                if self.armed != Some(dl) {
+                    ctx.set_timer_at(dl, TOKEN_RTO);
+                    self.armed = Some(dl);
+                }
+            }
+            None => self.armed = None,
+        }
+    }
+}
+
+impl Node for TcpProxyNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let mut to_server = Vec::new();
+        self.send.open(ctx.now(), &mut to_server);
+        self.flush(ctx, Vec::new(), to_server);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+        let ce = pkt.ecn.is_ce();
+        let Headers::Tcp(hdr) = pkt.headers else {
+            return;
+        };
+        let now = ctx.now();
+        let mut to_client = Vec::new();
+        let mut to_server = Vec::new();
+        if port == CLIENT_PORT {
+            let (_newly, reply) = self.recv.on_segment(now, &hdr, ce);
+            self.relay(now, &mut to_client, &mut to_server);
+            // Reply AFTER relaying so the advertised window reflects the
+            // post-relay buffer state.
+            if let Some(reply) = reply {
+                // Rebuild the window field from current state: app_consume
+                // inside relay may have freed space.
+                let mut reply = reply;
+                if let Headers::Tcp(h) = &mut reply.headers {
+                    h.rwnd = self.recv.rwnd().min(u32::MAX as u64) as u32;
+                }
+                to_client.push(reply);
+            }
+        } else {
+            self.send.on_segment(now, &hdr, &mut to_server);
+            self.relay(now, &mut to_client, &mut to_server);
+        }
+        self.flush(ctx, to_client, to_server);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TOKEN_RTO {
+            return;
+        }
+        self.armed = None;
+        let mut to_server = Vec::new();
+        self.send.on_timer(ctx.now(), &mut to_server);
+        self.flush(ctx, Vec::new(), to_server);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

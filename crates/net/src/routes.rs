@@ -1,0 +1,104 @@
+//! Host addressing and static routes.
+//!
+//! The simulator does not model IP addresses; by workspace convention the
+//! transport-port fields are **host addresses** (`src_port` = sending host,
+//! `dst_port` = destination host). Switches route on them.
+
+use std::collections::HashMap;
+
+use mtp_sim::packet::{Headers, Packet};
+use mtp_sim::PortId;
+
+/// Extract the destination host address of a packet, if it has one.
+pub fn dst_addr(pkt: &Packet) -> Option<u16> {
+    match &pkt.headers {
+        Headers::Tcp(h) => Some(h.dst_port),
+        Headers::Mtp(h) => Some(h.dst_port),
+        Headers::Bridged { tcp, .. } => Some(tcp.dst_port),
+        Headers::Raw => None,
+    }
+}
+
+/// Extract the source host address of a packet, if it has one.
+pub fn src_addr(pkt: &Packet) -> Option<u16> {
+    match &pkt.headers {
+        Headers::Tcp(h) => Some(h.src_port),
+        Headers::Mtp(h) => Some(h.src_port),
+        Headers::Bridged { tcp, .. } => Some(tcp.src_port),
+        Headers::Raw => None,
+    }
+}
+
+/// A destination-address routing table.
+#[derive(Debug, Clone, Default)]
+pub struct StaticRoutes {
+    table: HashMap<u16, PortId>,
+}
+
+impl StaticRoutes {
+    /// An empty table.
+    pub fn new() -> StaticRoutes {
+        StaticRoutes::default()
+    }
+
+    /// Route `addr` out of `port`.
+    pub fn add(mut self, addr: u16, port: PortId) -> StaticRoutes {
+        self.table.insert(addr, port);
+        self
+    }
+
+    /// Look up the egress port for a destination address.
+    pub fn lookup(&self, addr: u16) -> Option<PortId> {
+        self.table.get(&addr).copied()
+    }
+
+    /// Look up the egress port for a packet's destination.
+    pub fn route(&self, pkt: &Packet) -> Option<PortId> {
+        dst_addr(pkt).and_then(|a| self.lookup(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_wire::{MtpHeader, TcpHeader};
+
+    #[test]
+    fn addresses_from_both_header_types() {
+        let t = Packet::new(
+            Headers::Tcp(TcpHeader {
+                src_port: 5,
+                dst_port: 9,
+                ..TcpHeader::default()
+            }),
+            100,
+        );
+        assert_eq!(src_addr(&t), Some(5));
+        assert_eq!(dst_addr(&t), Some(9));
+        let m = Packet::new(
+            Headers::Mtp(Box::new(MtpHeader {
+                src_port: 7,
+                dst_port: 3,
+                ..MtpHeader::default()
+            })),
+            100,
+        );
+        assert_eq!(src_addr(&m), Some(7));
+        assert_eq!(dst_addr(&m), Some(3));
+        assert_eq!(dst_addr(&Packet::new(Headers::Raw, 1)), None);
+    }
+
+    #[test]
+    fn routes_lookup() {
+        let r = StaticRoutes::new().add(9, PortId(2)).add(3, PortId(0));
+        let t = Packet::new(
+            Headers::Tcp(TcpHeader {
+                dst_port: 9,
+                ..TcpHeader::default()
+            }),
+            100,
+        );
+        assert_eq!(r.route(&t), Some(PortId(2)));
+        assert_eq!(r.lookup(42), None);
+    }
+}

@@ -1,0 +1,329 @@
+//! The switch node: forwarding, pathlet stamping, and ingress policy.
+//!
+//! A [`SwitchNode`] composes three pluggable pieces:
+//!
+//! 1. a [`Forwarder`] choosing the egress port for each packet;
+//! 2. per-egress [`Stamp`]s that append `(pathlet, TC, feedback)` entries
+//!    to MTP data packets as they pass — the network half of pathlet
+//!    congestion control (paper §3.1.3). Stamping *grows the packet* by the
+//!    entry's wire size, faithfully modelling the header-overhead concern
+//!    of paper §4;
+//! 3. an optional [`IngressPolicy`] that may mark or drop packets before
+//!    forwarding — used by the fair-share enforcer (paper Fig. 7) to apply
+//!    per-entity policy on a single shared queue.
+
+use std::collections::HashMap;
+
+use mtp_sim::packet::Packet;
+use mtp_sim::time::Time;
+use mtp_sim::{Ctx, Node, PortId};
+use mtp_wire::{EcnCodepoint, Feedback, PathFeedback, PathletId, PktType, TrafficClass};
+
+/// Chooses the egress port for each packet.
+pub trait Forwarder {
+    /// Return the egress port, or `None` to drop the packet (no route).
+    fn route(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: &Packet) -> Option<PortId>;
+}
+
+/// What a stamp writes into passing MTP data packets.
+#[derive(Debug, Clone, Copy)]
+pub enum StampKind {
+    /// Identify the pathlet only (`EcnMark { ce: false }`); the IP-level CE
+    /// bit set by the egress queue is attributed to it by the receiver.
+    Presence,
+    /// Report the egress queue depth in bytes (load-aware balancing).
+    QueueDepth,
+    /// Report an RCP-style explicit rate: the port's capacity divided by
+    /// the number of distinct source hosts seen in the last epoch.
+    RcpRate {
+        /// Egress capacity in Mbit/s.
+        capacity_mbps: u32,
+        /// Epoch over which active sources are counted.
+        epoch: mtp_sim::time::Duration,
+    },
+    /// Report the packet's queueing delay estimate (queue bytes / rate) in
+    /// nanoseconds, for Swift-like delay controllers.
+    DelayEstimate {
+        /// Egress drain rate used to convert queue bytes to delay.
+        rate: mtp_sim::time::Bandwidth,
+    },
+    /// Aggregated feedback (paper §4: "feedback can be aggregated"): an
+    /// EWMA of how often this egress stood at or above its marking
+    /// threshold, reported as an `EcnFraction` TLV instead of per-packet
+    /// bits — one small value summarising recent congestion.
+    EcnFractionEwma {
+        /// The egress queue's marking threshold in packets.
+        k_pkts: usize,
+        /// EWMA gain numerator (gain = num/65536 per packet observed).
+        gain_num: u32,
+    },
+}
+
+/// A per-egress-port pathlet stamp.
+#[derive(Debug)]
+pub struct Stamp {
+    /// The pathlet this egress belongs to.
+    pub pathlet: PathletId,
+    /// Traffic class the pathlet assigns (pass-through of the packet's own
+    /// TC when `None`).
+    pub tc: Option<TrafficClass>,
+    /// What to report.
+    pub kind: StampKind,
+    /// RcpRate bookkeeping: active sources this/last epoch.
+    rcp_seen: std::collections::HashSet<u16>,
+    rcp_active_prev: usize,
+    rcp_epoch_end: Time,
+    /// EcnFractionEwma bookkeeping: fraction in 1/65535 units.
+    fraction_ewma: u32,
+}
+
+impl Stamp {
+    /// A stamp for `pathlet` reporting `kind`.
+    pub fn new(pathlet: PathletId, kind: StampKind) -> Stamp {
+        Stamp {
+            pathlet,
+            tc: None,
+            kind,
+            rcp_seen: std::collections::HashSet::new(),
+            rcp_active_prev: 1,
+            rcp_epoch_end: Time::ZERO,
+            fraction_ewma: 0,
+        }
+    }
+
+    /// Override the traffic class the pathlet assigns.
+    pub fn with_tc(mut self, tc: TrafficClass) -> Stamp {
+        self.tc = Some(tc);
+        self
+    }
+
+    fn feedback(&mut self, ctx: &Ctx<'_>, port: PortId, pkt: &Packet, now: Time) -> Feedback {
+        match self.kind {
+            StampKind::Presence => Feedback::EcnMark { ce: false },
+            StampKind::QueueDepth => Feedback::QueueDepth {
+                bytes: ctx.egress_len_bytes(port) as u32,
+            },
+            StampKind::RcpRate {
+                capacity_mbps,
+                epoch,
+            } => {
+                if now >= self.rcp_epoch_end {
+                    self.rcp_active_prev = self.rcp_seen.len().max(1);
+                    self.rcp_seen.clear();
+                    self.rcp_epoch_end = now + epoch;
+                }
+                if let Some(src) = crate::routes::src_addr(pkt) {
+                    self.rcp_seen.insert(src);
+                }
+                let active = self.rcp_seen.len().max(self.rcp_active_prev).max(1);
+                Feedback::RcpRate {
+                    mbps: capacity_mbps / active as u32,
+                }
+            }
+            StampKind::DelayEstimate { rate } => {
+                let bytes = ctx.egress_len_bytes(port) as u32;
+                let delay = rate.serialize_time(bytes);
+                Feedback::Delay {
+                    ns: (delay.0 / 1000).min(u32::MAX as u64) as u32,
+                }
+            }
+            StampKind::EcnFractionEwma { k_pkts, gain_num } => {
+                let over = ctx.egress_len_pkts(port) >= k_pkts;
+                let target: u32 = if over { 65_535 } else { 0 };
+                // fraction += gain * (observation - fraction)
+                let delta = (target as i64 - self.fraction_ewma as i64) * gain_num as i64 / 65_536;
+                self.fraction_ewma = (self.fraction_ewma as i64 + delta).clamp(0, 65_535) as u32;
+                Feedback::EcnFraction {
+                    fraction: self.fraction_ewma as u16,
+                }
+            }
+        }
+    }
+}
+
+/// Pre-forwarding packet policy.
+pub trait IngressPolicy {
+    /// Inspect (and possibly mark) a packet; return `false` to drop it.
+    fn admit(&mut self, now: Time, pkt: &mut Packet) -> bool;
+}
+
+/// Per-switch counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwitchStats {
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped for lack of a route.
+    pub no_route: u64,
+    /// Packets dropped by the ingress policy.
+    pub policy_dropped: u64,
+    /// Packets CE-marked by the ingress policy.
+    pub policy_marked: u64,
+    /// Feedback entries stamped.
+    pub stamped: u64,
+}
+
+/// Periodic path-advertisement configuration (paper §4, NDP: "end-hosts
+/// learn about available paths from the network"). The switch sends a
+/// Control packet to each listed host on every tick, carrying one
+/// feedback entry per stamped egress — so senders pre-warm their pathlet
+/// tables before any data flows.
+pub struct AdvertiseCfg {
+    /// Advertisement period.
+    pub interval: mtp_sim::time::Duration,
+    /// Host addresses to advertise to (must be routable by the forwarder).
+    pub hosts: Vec<u16>,
+}
+
+/// A switch with a pluggable forwarder, per-port pathlet stamps, and an
+/// optional ingress policy.
+pub struct SwitchNode {
+    forwarder: Box<dyn Forwarder>,
+    stamps: HashMap<PortId, Stamp>,
+    policy: Option<Box<dyn IngressPolicy>>,
+    advertise: Option<AdvertiseCfg>,
+    /// Counters.
+    pub stats: SwitchStats,
+    name: String,
+}
+
+impl SwitchNode {
+    /// A switch using `forwarder`.
+    pub fn new(name: impl Into<String>, forwarder: Box<dyn Forwarder>) -> SwitchNode {
+        SwitchNode {
+            forwarder,
+            stamps: HashMap::new(),
+            policy: None,
+            advertise: None,
+            stats: SwitchStats::default(),
+            name: name.into(),
+        }
+    }
+
+    /// Attach a pathlet stamp to an egress port.
+    pub fn with_stamp(mut self, port: PortId, stamp: Stamp) -> SwitchNode {
+        self.stamps.insert(port, stamp);
+        self
+    }
+
+    /// Attach an ingress policy.
+    pub fn with_policy(mut self, policy: Box<dyn IngressPolicy>) -> SwitchNode {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Periodically advertise the stamped pathlets to `hosts`.
+    pub fn with_path_advertisement(mut self, cfg: AdvertiseCfg) -> SwitchNode {
+        self.advertise = Some(cfg);
+        self
+    }
+
+    /// The pathlet stamped on `port`, if any (used by load balancers to
+    /// honor path-exclude lists).
+    pub fn stamped_pathlet(&self, port: PortId) -> Option<PathletId> {
+        self.stamps.get(&port).map(|s| s.pathlet)
+    }
+}
+
+impl Node for SwitchNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(cfg) = &self.advertise {
+            ctx.set_timer(cfg.interval, 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let Some(cfg) = &self.advertise else { return };
+        let interval = cfg.interval;
+        let hosts = cfg.hosts.clone();
+        let now = ctx.now();
+        for host in hosts {
+            // One feedback entry per stamped egress, reporting its
+            // current state.
+            let mut entries = Vec::new();
+            let ports: Vec<PortId> = self.stamps.keys().copied().collect();
+            for port in ports {
+                let probe = Packet::new(mtp_sim::Headers::Raw, 0);
+                let stamp = self.stamps.get_mut(&port).expect("key just listed");
+                let fb = stamp.feedback(ctx, port, &probe, now);
+                entries.push(PathFeedback {
+                    path: stamp.pathlet,
+                    tc: stamp.tc.unwrap_or(TrafficClass::BEST_EFFORT),
+                    feedback: fb,
+                });
+            }
+            entries.sort_by_key(|e| (e.path.0, e.tc.0));
+            let hdr = mtp_wire::MtpHeader {
+                dst_port: host,
+                pkt_type: PktType::Control,
+                path_feedback: entries,
+                ..mtp_wire::MtpHeader::default()
+            };
+            let wire = hdr.wire_len() as u32;
+            let pkt = Packet::new(mtp_sim::Headers::Mtp(Box::new(hdr)), wire).without_ect();
+            if let Some(out) = self.forwarder.route(ctx, PortId(usize::MAX >> 1), &pkt) {
+                ctx.send(out, pkt);
+            }
+        }
+        ctx.set_timer(interval, 0);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, mut pkt: Packet) {
+        let now = ctx.now();
+        if let Some(policy) = &mut self.policy {
+            let was_ce = pkt.ecn.is_ce();
+            if !policy.admit(now, &mut pkt) {
+                self.stats.policy_dropped += 1;
+                return;
+            }
+            if pkt.ecn.is_ce() && !was_ce {
+                self.stats.policy_marked += 1;
+            }
+        }
+        let Some(out_port) = self.forwarder.route(ctx, in_port, &pkt) else {
+            self.stats.no_route += 1;
+            return;
+        };
+        // Stamp pathlet feedback into MTP data packets leaving this port.
+        if let Some(stamp) = self.stamps.get_mut(&out_port) {
+            let is_data = pkt
+                .headers
+                .as_mtp()
+                .map(|h| h.pkt_type == PktType::Data)
+                .unwrap_or(false);
+            if is_data {
+                let fb = stamp.feedback(ctx, out_port, &pkt, now);
+                let hdr = pkt.headers.as_mtp_mut().expect("checked is_data");
+                let entry = PathFeedback {
+                    path: stamp.pathlet,
+                    tc: stamp.tc.unwrap_or(hdr.tc),
+                    feedback: fb,
+                };
+                if hdr.path_feedback.len() < 255 {
+                    pkt.wire_len += entry.wire_len() as u32;
+                    let hdr = pkt.headers.as_mtp_mut().expect("mtp");
+                    hdr.path_feedback.push(entry);
+                    self.stats.stamped += 1;
+                }
+            }
+        }
+        self.stats.forwarded += 1;
+        ctx.send(out_port, pkt);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A policy that CE-marks every ECT packet (useful in tests).
+#[derive(Debug, Default)]
+pub struct MarkAllPolicy;
+
+impl IngressPolicy for MarkAllPolicy {
+    fn admit(&mut self, _now: Time, pkt: &mut Packet) -> bool {
+        if pkt.ecn.is_ect() {
+            pkt.ecn = EcnCodepoint::Ce;
+        }
+        true
+    }
+}

@@ -1,0 +1,129 @@
+//! Path advertisement: the network tells end-hosts which pathlets exist
+//! (paper §4, the NDP sketch — "end-hosts learn about available paths
+//! from the network").
+
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_net::{
+    AdvertiseCfg, FanoutForwarder, Stamp, StampKind, StaticRoutes, Strategy, SwitchNode,
+};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{LinkCfg, PortId, Simulator};
+use mtp_wire::{EntityId, PathletId, TrafficClass};
+
+#[test]
+fn sender_learns_pathlets_before_sending_data() {
+    let mut sim = Simulator::new(44);
+    // The sender's first message is scheduled well after several
+    // advertisement periods.
+    let snd = sim.add_node(Box::new(MtpSenderNode::new(
+        MtpConfig::default(),
+        1,
+        2,
+        EntityId(0),
+        1 << 40,
+        vec![ScheduledMsg::new(
+            Time::ZERO + Duration::from_micros(500),
+            100_000,
+        )],
+    )));
+    let sw1 = sim.add_node(Box::new(
+        SwitchNode::new(
+            "sw1",
+            Box::new(FanoutForwarder::new(
+                StaticRoutes::new().add(1, PortId(0)),
+                vec![PortId(1), PortId(2)],
+                Strategy::mtp_lb(2, vec![Some(PathletId(1)), Some(PathletId(2))]),
+            )),
+        )
+        .with_stamp(PortId(1), Stamp::new(PathletId(1), StampKind::Presence))
+        .with_stamp(PortId(2), Stamp::new(PathletId(2), StampKind::QueueDepth))
+        .with_path_advertisement(AdvertiseCfg {
+            interval: Duration::from_micros(100),
+            hosts: vec![1],
+        }),
+    ));
+    let sw2 = sim.add_node(Box::new(SwitchNode::new(
+        "sw2",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(2, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            Strategy::Fixed,
+        )),
+    )));
+    let sink = sim.add_node(Box::new(MtpSinkNode::new(2, Duration::from_micros(100))));
+
+    let bw = Bandwidth::from_gbps(100);
+    let d = Duration::from_micros(1);
+    let mk = || LinkCfg::ecn(bw, d, 128, 20);
+    sim.connect(snd, PortId(0), sw1, PortId(0), mk(), mk());
+    sim.connect(sw1, PortId(1), sw2, PortId(1), mk(), mk());
+    sim.connect(sw1, PortId(2), sw2, PortId(2), mk(), mk());
+    sim.connect(sw2, PortId(0), sink, PortId(0), mk(), mk());
+
+    // Run to just before the first message: the sender must already know
+    // both pathlets from advertisements alone.
+    sim.run_until(Time::ZERO + Duration::from_micros(450));
+    {
+        let sender = sim.node_as::<MtpSenderNode>(snd);
+        assert!(
+            sender
+                .sender
+                .pathlets()
+                .get(PathletId(1), TrafficClass::BEST_EFFORT)
+                .is_some(),
+            "pathlet 1 advertised"
+        );
+        assert!(
+            sender
+                .sender
+                .pathlets()
+                .get(PathletId(2), TrafficClass::BEST_EFFORT)
+                .is_some(),
+            "pathlet 2 advertised"
+        );
+        assert_eq!(sender.sender.stats.pkts_sent, 0, "no data sent yet");
+    }
+
+    // And the transfer itself still completes.
+    sim.run_until(Time::ZERO + Duration::from_millis(20));
+    assert!(sim.node_as::<MtpSenderNode>(snd).all_done());
+    assert_eq!(sim.node_as::<MtpSinkNode>(sink).total_goodput(), 100_000);
+}
+
+#[test]
+fn advertisements_are_periodic_and_harmless_to_sinks() {
+    // A sink receiving Control packets must ignore them gracefully.
+    let mut sim = Simulator::new(45);
+    let sw = sim.add_node(Box::new(
+        SwitchNode::new(
+            "sw",
+            Box::new(FanoutForwarder::new(
+                StaticRoutes::new().add(2, PortId(0)),
+                vec![],
+                Strategy::Fixed,
+            )),
+        )
+        .with_stamp(PortId(0), Stamp::new(PathletId(9), StampKind::Presence))
+        .with_path_advertisement(AdvertiseCfg {
+            interval: Duration::from_micros(50),
+            hosts: vec![2],
+        }),
+    ));
+    let sink = sim.add_node(Box::new(MtpSinkNode::new(2, Duration::from_micros(100))));
+    sim.connect_symmetric(
+        sw,
+        PortId(0),
+        sink,
+        PortId(0),
+        Bandwidth::from_gbps(10),
+        Duration::from_micros(1),
+        64,
+    );
+    sim.run_until(Time::ZERO + Duration::from_micros(500));
+    let sink = sim.node_as::<MtpSinkNode>(sink);
+    assert_eq!(sink.total_goodput(), 0);
+    assert_eq!(
+        sink.receiver.stats.pkts_seen, 0,
+        "control packets are not data"
+    );
+}

@@ -1,0 +1,153 @@
+//! Focused device behaviours not covered by the end-to-end scenarios:
+//! proxy window coupling, KV server service-order, and compressor
+//! interleaving.
+
+use mtp_core::MtpConfig;
+use mtp_net::{KvClientNode, KvServerNode, TcpProxyNode};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{LinkCfg, PortId, Simulator};
+use mtp_tcp::TcpConfig;
+
+/// The proxy's advertised client window tracks free relay space: after the
+/// relay fills, the client sees rwnd shrink toward zero; after the server
+/// drains, the window reopens.
+#[test]
+fn proxy_window_tracks_relay_occupancy() {
+    use mtp_sim::{Ctx, Headers, Node, Packet};
+    use mtp_wire::{TcpFlags, TcpHeader};
+
+    /// Captures the rwnd of every ACK the proxy sends the client.
+    #[derive(Default)]
+    struct WindowProbe {
+        windows: Vec<u32>,
+        sent: u64,
+    }
+    impl Node for WindowProbe {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            // Blast 64 segments immediately (no CC — this probe is not a
+            // real TCP endpoint, it just offers load).
+            for i in 0..64u64 {
+                let hdr = TcpHeader {
+                    conn_id: 1,
+                    src_port: 1,
+                    dst_port: 2,
+                    seq: i * 1460,
+                    payload_len: 1460,
+                    flags: TcpFlags::default(),
+                    ..TcpHeader::default()
+                };
+                ctx.send(PortId(0), Packet::new(Headers::Tcp(hdr), 1500));
+                self.sent += 1;
+            }
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, pkt: Packet) {
+            if let Headers::Tcp(h) = &pkt.headers {
+                if h.flags.ack {
+                    self.windows.push(h.rwnd);
+                }
+            }
+        }
+    }
+
+    let mut sim = Simulator::new(4);
+    let cfg = TcpConfig {
+        handshake: false,
+        ..TcpConfig::default()
+    };
+    let probe = sim.add_node(Box::new(WindowProbe::default()));
+    let cap = 32 * 1024;
+    let proxy = sim.add_node(Box::new(TcpProxyNode::new(
+        cfg.clone(),
+        cfg.clone(),
+        1,
+        2,
+        Some(cap),
+    )));
+    let sink = sim.add_node(Box::new(mtp_tcp::TcpSinkNode::new(
+        cfg,
+        Duration::from_micros(100),
+    )));
+    let fast = Bandwidth::from_gbps(100);
+    let slow = Bandwidth::from_gbps(1); // server side drains slowly
+    let d = Duration::from_micros(1);
+    sim.connect(
+        probe,
+        PortId(0),
+        proxy,
+        PortId(0),
+        LinkCfg::drop_tail(fast, d, 256),
+        LinkCfg::drop_tail(fast, d, 256),
+    );
+    sim.connect(
+        proxy,
+        PortId(1),
+        sink,
+        PortId(0),
+        LinkCfg::drop_tail(slow, d, 256),
+        LinkCfg::drop_tail(slow, d, 256),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(5));
+
+    let probe = sim.node_as::<WindowProbe>(probe);
+    assert!(!probe.windows.is_empty());
+    let min_w = *probe.windows.iter().min().expect("non-empty");
+    let max_w = *probe.windows.iter().max().expect("non-empty");
+    assert!(
+        min_w < (cap / 4) as u32,
+        "window shrinks as the relay fills: min {min_w}"
+    );
+    assert!(
+        max_w <= cap as u32,
+        "window never exceeds the relay cap: max {max_w}"
+    );
+}
+
+/// The KV server answers requests in arrival order with a fixed service
+/// time between replies (sequential service discipline).
+#[test]
+fn kv_server_serves_in_order_at_fixed_rate() {
+    let mut sim = Simulator::new(5);
+    let cfg = MtpConfig::default();
+    let service = Duration::from_micros(10);
+    // Requests arrive effectively together.
+    let schedule: Vec<(Time, u64)> = (0..5).map(|i| (Time(i), 100 + i)).collect();
+    let client = sim.add_node(Box::new(KvClientNode::new(
+        cfg.clone(),
+        1,
+        2,
+        256,
+        1 << 32,
+        schedule,
+    )));
+    let server = sim.add_node(Box::new(KvServerNode::new(cfg, 2, 512, service, 2 << 32)));
+    let bw = Bandwidth::from_gbps(100);
+    let d = Duration::from_micros(1);
+    sim.connect(
+        client,
+        PortId(0),
+        server,
+        PortId(0),
+        LinkCfg::ecn(bw, d, 256, 40),
+        LinkCfg::ecn(bw, d, 256, 40),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(5));
+
+    let client = sim.node_as::<KvClientNode>(client);
+    assert_eq!(client.done(), 5);
+    // In-order service: completion keys come back in request order.
+    let keys: Vec<u64> = client.completions.iter().map(|(k, _, _)| *k).collect();
+    assert_eq!(keys, vec![100, 101, 102, 103, 104]);
+    // Latencies grow by ~one service time per queue position.
+    let lats: Vec<f64> = client
+        .completions
+        .iter()
+        .map(|(_, l, _)| l.as_micros_f64())
+        .collect();
+    for w in lats.windows(2) {
+        let gap = w[1] - w[0];
+        assert!(
+            (gap - 10.0).abs() < 3.0,
+            "sequential service spacing ~10us, got {gap:.1}"
+        );
+    }
+}

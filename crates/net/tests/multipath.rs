@@ -1,0 +1,431 @@
+//! End-to-end multipath tests: path alternation (the Fig. 5 mechanism),
+//! strategy behaviour, and pathlet-state independence.
+
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_net::{FanoutForwarder, Stamp, StampKind, StaticRoutes, Strategy, SwitchNode};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{LinkCfg, NodeId, PortId, Simulator};
+use mtp_wire::{EntityId, PathletId, TrafficClass};
+
+const CLIENT: u16 = 1;
+const SERVER: u16 = 2;
+
+/// Build client — sw1 =(two paths)= sw2 — server. Returns
+/// (sim, sender node, sink node).
+fn two_path_topology(
+    strategy: Strategy,
+    fast: Bandwidth,
+    slow: Bandwidth,
+    schedule: Vec<ScheduledMsg>,
+    cfg: MtpConfig,
+) -> (Simulator, NodeId, NodeId) {
+    let mut sim = Simulator::new(42);
+    let snd = sim.add_node(Box::new(MtpSenderNode::new(
+        cfg,
+        CLIENT,
+        SERVER,
+        EntityId(0),
+        1 << 40,
+        schedule,
+    )));
+    let sw1 = sim.add_node(Box::new(
+        SwitchNode::new(
+            "sw1",
+            Box::new(FanoutForwarder::new(
+                StaticRoutes::new().add(CLIENT, PortId(0)),
+                vec![PortId(1), PortId(2)],
+                strategy,
+            )),
+        )
+        .with_stamp(PortId(1), Stamp::new(PathletId(1), StampKind::Presence))
+        .with_stamp(PortId(2), Stamp::new(PathletId(2), StampKind::Presence)),
+    ));
+    let sw2 = sim.add_node(Box::new(SwitchNode::new(
+        "sw2",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(SERVER, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            Strategy::Fixed,
+        )),
+    )));
+    let sink = sim.add_node(Box::new(MtpSinkNode::new(
+        SERVER,
+        Duration::from_micros(32),
+    )));
+
+    let d = Duration::from_micros(1);
+    let host = Bandwidth::from_gbps(100);
+    sim.connect(
+        snd,
+        PortId(0),
+        sw1,
+        PortId(0),
+        LinkCfg::ecn(host, d, 128, 20),
+        LinkCfg::ecn(host, d, 128, 20),
+    );
+    // Fast path.
+    sim.connect(
+        sw1,
+        PortId(1),
+        sw2,
+        PortId(1),
+        LinkCfg::ecn(fast, d, 128, 20),
+        LinkCfg::ecn(fast, d, 128, 20),
+    );
+    // Slow path.
+    sim.connect(
+        sw1,
+        PortId(2),
+        sw2,
+        PortId(2),
+        LinkCfg::ecn(slow, d, 128, 20),
+        LinkCfg::ecn(slow, d, 128, 20),
+    );
+    sim.connect(
+        sw2,
+        PortId(0),
+        sink,
+        PortId(0),
+        LinkCfg::ecn(host, d, 128, 20),
+        LinkCfg::ecn(host, d, 128, 20),
+    );
+    (sim, snd, sink)
+}
+
+#[test]
+fn alternating_paths_build_two_pathlet_controllers() {
+    // The Fig. 5 scenario: the first-hop switch flips between a 100 Gbps
+    // and a 10 Gbps path every 384 us.
+    let (mut sim, snd, sink) = two_path_topology(
+        Strategy::Alternate {
+            period: Duration::from_micros(384),
+        },
+        Bandwidth::from_gbps(100),
+        Bandwidth::from_gbps(10),
+        vec![ScheduledMsg::new(Time::ZERO, 50_000_000)],
+        MtpConfig::default(),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(10));
+    let sender = sim.node_as::<MtpSenderNode>(snd);
+    // Both pathlets observed, each with its own converged controller.
+    let w1 = sender
+        .sender
+        .pathlets()
+        .get(PathletId(1), TrafficClass::BEST_EFFORT)
+        .expect("fast pathlet tracked")
+        .cc
+        .window();
+    let w2 = sender
+        .sender
+        .pathlets()
+        .get(PathletId(2), TrafficClass::BEST_EFFORT)
+        .expect("slow pathlet tracked")
+        .cc
+        .window();
+    assert!(
+        w1 > w2,
+        "fast path window ({w1}) should exceed slow path window ({w2})"
+    );
+    // Transfer makes progress on both paths.
+    let sink = sim.node_as::<MtpSinkNode>(sink);
+    assert!(
+        sink.total_goodput() > 10_000_000,
+        "got {}",
+        sink.total_goodput()
+    );
+}
+
+#[test]
+fn alternation_goodput_beats_half_of_slow_path() {
+    // With converged per-path windows, mean goodput must approach the
+    // time-average of the two path rates (~55 Gbps), certainly exceeding
+    // what a single collapsed window would deliver.
+    let (mut sim, _snd, sink) = two_path_topology(
+        Strategy::Alternate {
+            period: Duration::from_micros(384),
+        },
+        Bandwidth::from_gbps(100),
+        Bandwidth::from_gbps(10),
+        vec![ScheduledMsg::new(Time::ZERO, 100_000_000)],
+        MtpConfig::default(),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(8));
+    let sink = sim.node_as::<MtpSinkNode>(sink);
+    // Skip the first ms (slow start), average the rest.
+    let rates = sink.goodput.rates_gbps();
+    let from = 1_000 / 32; // 1 ms in 32 us bins
+    let mean = rates[from.min(rates.len())..].iter().sum::<f64>()
+        / rates[from.min(rates.len())..].len().max(1) as f64;
+    assert!(mean > 25.0, "mean goodput {mean:.1} Gbps too low");
+}
+
+#[test]
+fn spray_balances_but_reorders_across_messages() {
+    // Per-packet spraying over equal paths: both link directions carry
+    // roughly half the bytes.
+    let (mut sim, snd, sink) = two_path_topology(
+        Strategy::Spray { next: 0 },
+        Bandwidth::from_gbps(100),
+        Bandwidth::from_gbps(100),
+        vec![ScheduledMsg::new(Time::ZERO, 10_000_000)],
+        MtpConfig::default(),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(20));
+    let sender = sim.node_as::<MtpSenderNode>(snd);
+    assert!(sender.all_done());
+    assert_eq!(sim.node_as::<MtpSinkNode>(sink).total_goodput(), 10_000_000);
+}
+
+#[test]
+fn ecmp_pins_whole_flow_to_one_path() {
+    let (mut sim, snd, _sink) = two_path_topology(
+        Strategy::Ecmp,
+        Bandwidth::from_gbps(100),
+        Bandwidth::from_gbps(100),
+        vec![ScheduledMsg::new(Time::ZERO, 5_000_000)],
+        MtpConfig::default(),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(20));
+    let sender = sim.node_as::<MtpSenderNode>(snd);
+    assert!(sender.all_done());
+    // Only one pathlet besides the default should carry data: ECMP hashed
+    // the single (src, dst) pair onto one path.
+    let real_pathlets: Vec<_> = sender
+        .sender
+        .pathlets()
+        .iter()
+        .filter(|((p, _), e)| p.0 != 0 && e.cc.window() > 0 && e.last_seen > Time::ZERO)
+        .map(|((p, _), _)| *p)
+        .collect();
+    assert_eq!(
+        real_pathlets.len(),
+        1,
+        "ECMP must use exactly one path, got {real_pathlets:?}"
+    );
+}
+
+#[test]
+fn mtp_lb_pins_messages_and_completes_interleaved_workload() {
+    let schedule: Vec<ScheduledMsg> = (0..40)
+        .map(|i| ScheduledMsg::new(Time::ZERO + Duration::from_micros(2 * i), 200_000))
+        .collect();
+    let (mut sim, snd, sink) = two_path_topology(
+        Strategy::mtp_lb(2, vec![Some(PathletId(1)), Some(PathletId(2))]),
+        Bandwidth::from_gbps(100),
+        Bandwidth::from_gbps(100),
+        schedule,
+        MtpConfig::default(),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(50));
+    let sender = sim.node_as::<MtpSenderNode>(snd);
+    assert!(sender.all_done());
+    assert_eq!(sim.node_as::<MtpSinkNode>(sink).delivered.len(), 40);
+}
+
+/// CONGA machinery in miniature: a leaf snoops echoed spine feedback and
+/// steers new messages away from the congested remote downlink.
+#[test]
+fn conga_lb_uses_snooped_remote_feedback() {
+    use mtp_net::strategies::conga_pathlet;
+    use mtp_sim::{Ctx, Headers, Node, Packet};
+    use mtp_wire::{Feedback, MsgId, MtpHeader, PathFeedback, PktNum, PktType};
+
+    // Drive the forwarder directly inside a tiny sim so ctx is available.
+    struct Harness {
+        fwd: FanoutForwarder,
+        decisions: Vec<PortId>,
+    }
+    impl Node for Harness {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) {
+            if let Some(port) = mtp_net::Forwarder::route(&mut self.fwd, ctx, PortId(0), &pkt) {
+                self.decisions.push(port);
+            }
+        }
+    }
+
+    let fwd = FanoutForwarder::new(
+        StaticRoutes::new(),
+        vec![PortId(0), PortId(1)],
+        Strategy::conga_lb(2, Box::new(|_| 0)),
+    );
+    let mut sim = Simulator::new(1);
+    let h = sim.add_node(Box::new(Harness {
+        fwd,
+        decisions: Vec::new(),
+    }));
+    let peer = sim.add_node(Box::new({
+        struct Sink;
+        impl Node for Sink {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        }
+        Sink
+    }));
+    // Two fan ports must exist for egress_len queries.
+    sim.connect_symmetric(
+        h,
+        PortId(0),
+        peer,
+        PortId(0),
+        Bandwidth::from_gbps(10),
+        Duration::from_micros(1),
+        64,
+    );
+    let peer2 = sim.add_node(Box::new({
+        struct Sink2;
+        impl Node for Sink2 {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        }
+        Sink2
+    }));
+    sim.connect_symmetric(
+        h,
+        PortId(1),
+        peer2,
+        PortId(0),
+        Bandwidth::from_gbps(10),
+        Duration::from_micros(1),
+        64,
+    );
+
+    // 1. An ACK passes through carrying heavy congestion for spine 0's
+    //    downlink to leaf 0.
+    let ack = MtpHeader {
+        pkt_type: PktType::Ack,
+        dst_port: 9,
+        ack_path_feedback: vec![PathFeedback {
+            path: conga_pathlet(0, 0),
+            tc: TrafficClass::BEST_EFFORT,
+            feedback: Feedback::QueueDepth { bytes: 1_000_000 },
+        }],
+        ..MtpHeader::default()
+    };
+    // 2. Then two fresh data messages to leaf 0 arrive back-to-back.
+    let data = |msg: u64| {
+        let hdr = MtpHeader {
+            pkt_type: PktType::Data,
+            dst_port: 5,
+            msg_id: MsgId(msg),
+            msg_len_pkts: 1,
+            msg_len_bytes: 1000,
+            pkt_num: PktNum(0),
+            pkt_len: 1000,
+            flags: mtp_wire::types::flags::LAST_PKT,
+            ..MtpHeader::default()
+        };
+        Packet::new(Headers::Mtp(Box::new(hdr)), 1040)
+    };
+    // Deliver through the sim so the harness gets a Ctx.
+    struct Feeder {
+        pkts: Vec<Packet>,
+    }
+    impl Node for Feeder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for p in self.pkts.drain(..) {
+                ctx.send(PortId(0), p);
+            }
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+    }
+    let feeder = sim.add_node(Box::new(Feeder {
+        pkts: vec![
+            Packet::new(Headers::Mtp(Box::new(ack)), 60),
+            data(1),
+            data(2),
+        ],
+    }));
+    sim.connect_symmetric(
+        feeder,
+        PortId(0),
+        h,
+        PortId(2),
+        Bandwidth::from_gbps(10),
+        Duration::from_micros(1),
+        64,
+    );
+    sim.run();
+
+    let harness = sim.node_as::<Harness>(h);
+    // The ACK has no route (empty static table, it IS counted as a fan
+    // decision via observe + fan) — only assert the data decisions:
+    let data_decisions = &harness.decisions[harness.decisions.len() - 2..];
+    assert!(
+        data_decisions.iter().all(|p| *p == PortId(1)),
+        "both messages avoid the congested spine 0: {data_decisions:?}"
+    );
+}
+
+/// The full sender→network exclusion loop (paper §3.1.3: "end-hosts
+/// provide feedback to the network about the pathlets that should not be
+/// used"): a heavily lossy path drives its pathlet window to the floor,
+/// the sender advertises the exclusion in its data headers, and the
+/// message-aware balancer steers subsequent messages to the healthy path.
+#[test]
+fn sender_exclusions_steer_the_load_balancer() {
+    use mtp_sim::{DropTailQueue, LossyQueue};
+
+    let mut sim = Simulator::new(61);
+    let schedule: Vec<ScheduledMsg> = (0..60)
+        .map(|i| ScheduledMsg::new(Time::ZERO + Duration::from_micros(20 * i), 100_000))
+        .collect();
+    let snd = sim.add_node(Box::new(MtpSenderNode::new(
+        MtpConfig::default(),
+        CLIENT,
+        SERVER,
+        EntityId(0),
+        1 << 40,
+        schedule,
+    )));
+    let sw1 = sim.add_node(Box::new(
+        SwitchNode::new(
+            "sw1",
+            Box::new(FanoutForwarder::new(
+                StaticRoutes::new().add(CLIENT, PortId(0)),
+                vec![PortId(1), PortId(2)],
+                Strategy::mtp_lb(2, vec![Some(PathletId(1)), Some(PathletId(2))]),
+            )),
+        )
+        .with_stamp(PortId(1), Stamp::new(PathletId(1), StampKind::Presence))
+        .with_stamp(PortId(2), Stamp::new(PathletId(2), StampKind::Presence)),
+    ));
+    let sw2 = sim.add_node(Box::new(SwitchNode::new(
+        "sw2",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(SERVER, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            Strategy::Fixed,
+        )),
+    )));
+    let sink = sim.add_node(Box::new(MtpSinkNode::new(
+        SERVER,
+        Duration::from_micros(100),
+    )));
+    let bw = Bandwidth::from_gbps(100);
+    let d = Duration::from_micros(1);
+    let mk = || LinkCfg::ecn(bw, d, 256, 40);
+    sim.connect(snd, PortId(0), sw1, PortId(0), mk(), mk());
+    // Path A (pathlet 1) loses 40% of everything it carries.
+    let (path_a, _) = sim.connect(
+        sw1,
+        PortId(1),
+        sw2,
+        PortId(1),
+        LinkCfg {
+            rate: bw,
+            delay: d,
+            queue: Box::new(LossyQueue::new(Box::new(DropTailQueue::new(256)), 0.4, 3)),
+        },
+        mk(),
+    );
+    let (path_b, _) = sim.connect(sw1, PortId(2), sw2, PortId(2), mk(), mk());
+    sim.connect(sw2, PortId(0), sink, PortId(0), mk(), mk());
+
+    sim.run_until(Time::ZERO + Duration::from_millis(100));
+    let sender = sim.node_as::<MtpSenderNode>(snd);
+    assert!(sender.all_done(), "all messages repaired and delivered");
+    let a = sim.link_stats(path_a).tx_bytes;
+    let b = sim.link_stats(path_b).tx_bytes;
+    assert!(
+        b > a * 2,
+        "healthy path must carry the bulk once exclusions kick in: A={a} B={b}"
+    );
+}

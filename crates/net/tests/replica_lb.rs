@@ -1,0 +1,106 @@
+//! End-to-end tests of the L7 replica load balancer (paper Fig. 1 ②a/③b).
+
+use mtp_core::MtpConfig;
+use mtp_net::{KvClientNode, KvServerNode, ReplicaLbNode, ReplicaPolicy};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{LinkCfg, NodeId, PortId, Simulator};
+
+const SERVICE: u16 = 50;
+const N_REQ: u64 = 120;
+
+/// Client -> LB -> 2 replicas; replica 1 is 10x slower than replica 0.
+fn build(policy: ReplicaPolicy) -> (Simulator, NodeId, NodeId) {
+    let mut sim = Simulator::new(21);
+    let cfg = MtpConfig::default();
+    let schedule: Vec<(Time, u64)> = (0..N_REQ)
+        .map(|i| (Time::ZERO + Duration::from_micros(4 * i), 10_000 + i))
+        .collect();
+    let client = sim.add_node(Box::new(KvClientNode::new(
+        cfg.clone(),
+        1,
+        SERVICE,
+        256,
+        1 << 32,
+        schedule,
+    )));
+    let lb = sim.add_node(Box::new(ReplicaLbNode::new(SERVICE, &[60, 61], policy)));
+    let fast_replica = sim.add_node(Box::new(KvServerNode::new(
+        cfg.clone(),
+        60,
+        1024,
+        Duration::from_micros(1),
+        2 << 32,
+    )));
+    let slow_replica = sim.add_node(Box::new(KvServerNode::new(
+        cfg,
+        61,
+        1024,
+        Duration::from_micros(10),
+        3 << 32,
+    )));
+    let bw = Bandwidth::from_gbps(100);
+    let d = Duration::from_micros(1);
+    let mk = || LinkCfg::ecn(bw, d, 256, 40);
+    sim.connect(client, PortId(0), lb, PortId(0), mk(), mk());
+    sim.connect(lb, PortId(1), fast_replica, PortId(0), mk(), mk());
+    sim.connect(lb, PortId(2), slow_replica, PortId(0), mk(), mk());
+    (sim, client, lb)
+}
+
+#[test]
+fn round_robin_splits_requests_evenly() {
+    let (mut sim, client, lb) = build(ReplicaPolicy::RoundRobin);
+    sim.run_until(Time::ZERO + Duration::from_millis(50));
+    let served = sim.node_as::<ReplicaLbNode>(lb).served_per_replica();
+    assert_eq!(served.iter().sum::<u64>(), N_REQ);
+    assert_eq!(served[0], served[1], "RR must split 50/50, got {served:?}");
+    assert_eq!(sim.node_as::<KvClientNode>(client).done() as u64, N_REQ);
+}
+
+#[test]
+fn least_outstanding_favors_the_fast_replica() {
+    let (mut sim, client, lb) = build(ReplicaPolicy::LeastOutstanding);
+    sim.run_until(Time::ZERO + Duration::from_millis(50));
+    let served = sim.node_as::<ReplicaLbNode>(lb).served_per_replica();
+    assert_eq!(served.iter().sum::<u64>(), N_REQ);
+    assert!(
+        served[0] > served[1] * 2,
+        "fast replica should absorb most load: {served:?}"
+    );
+    assert_eq!(sim.node_as::<KvClientNode>(client).done() as u64, N_REQ);
+}
+
+#[test]
+fn load_aware_beats_round_robin_on_mean_latency() {
+    let mean_latency = |policy| {
+        let (mut sim, client, _) = build(policy);
+        sim.run_until(Time::ZERO + Duration::from_millis(50));
+        let c = sim.node_as::<KvClientNode>(client);
+        let v: Vec<f64> = c
+            .completions
+            .iter()
+            .map(|(_, l, _)| l.as_micros_f64())
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let rr = mean_latency(ReplicaPolicy::RoundRobin);
+    let lo = mean_latency(ReplicaPolicy::LeastOutstanding);
+    assert!(
+        lo < rr,
+        "load-aware selection should cut mean latency: RR {rr:.1}us vs LO {lo:.1}us"
+    );
+}
+
+#[test]
+fn outstanding_counters_drain_to_zero() {
+    let (mut sim, _client, lb) = build(ReplicaPolicy::LeastOutstanding);
+    sim.run_until(Time::ZERO + Duration::from_millis(50));
+    let lb = sim.node_as::<ReplicaLbNode>(lb);
+    assert_eq!(
+        lb.outstanding_per_replica(),
+        vec![0, 0],
+        "all requests answered"
+    );
+    assert_eq!(lb.stats.requests, N_REQ);
+    assert_eq!(lb.stats.replies, N_REQ);
+}

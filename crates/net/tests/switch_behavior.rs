@@ -1,0 +1,154 @@
+//! Switch-level behaviours: stamping grows packets by exact TLV size,
+//! only data packets are stamped, unroutable packets are counted, and
+//! ingress policies see every packet.
+
+use mtp_net::{MarkAllPolicy, Stamp, StampKind, StaticForwarder, StaticRoutes, SwitchNode};
+use mtp_sim::packet::{Headers, Packet};
+use mtp_sim::time::{Bandwidth, Duration};
+use mtp_sim::{Ctx, Node, PortId, Simulator};
+use mtp_wire::{MtpHeader, PathletId, PktType, PATH_FEEDBACK_PREFIX_LEN};
+
+struct SendList {
+    pkts: Vec<Packet>,
+}
+impl Node for SendList {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for p in self.pkts.drain(..) {
+            ctx.send(PortId(0), p);
+        }
+    }
+    fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+}
+
+#[derive(Default)]
+struct Capture {
+    got: Vec<Packet>,
+}
+impl Node for Capture {
+    fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, pkt: Packet) {
+        self.got.push(pkt);
+    }
+}
+
+fn mtp_pkt(pkt_type: PktType, dst: u16, wire: u32) -> Packet {
+    let hdr = MtpHeader {
+        pkt_type,
+        dst_port: dst,
+        ..MtpHeader::default()
+    };
+    Packet::new(Headers::Mtp(Box::new(hdr)), wire)
+}
+
+fn wire_through_switch(
+    switch: SwitchNode,
+    pkts: Vec<Packet>,
+) -> (Simulator, mtp_sim::NodeId, mtp_sim::NodeId) {
+    let mut sim = Simulator::new(1);
+    let src = sim.add_node(Box::new(SendList { pkts }));
+    let sw = sim.add_node(Box::new(switch));
+    let dst = sim.add_node(Box::new(Capture::default()));
+    let bw = Bandwidth::from_gbps(10);
+    let d = Duration::from_micros(1);
+    sim.connect_symmetric(src, PortId(0), sw, PortId(0), bw, d, 64);
+    sim.connect_symmetric(sw, PortId(1), dst, PortId(0), bw, d, 64);
+    sim.run();
+    (sim, sw, dst)
+}
+
+#[test]
+fn stamp_grows_data_packets_by_exact_tlv_size() {
+    let sw = SwitchNode::new(
+        "sw",
+        Box::new(StaticForwarder(StaticRoutes::new().add(2, PortId(1)))),
+    )
+    .with_stamp(PortId(1), Stamp::new(PathletId(5), StampKind::Presence));
+    let (sim, sw_id, dst) = wire_through_switch(sw, vec![mtp_pkt(PktType::Data, 2, 1000)]);
+    let got = &sim.node_as::<Capture>(dst).got;
+    assert_eq!(got.len(), 1);
+    // Presence = EcnMark TLV: 5-byte prefix + 1-byte value.
+    let entry_len = (PATH_FEEDBACK_PREFIX_LEN + 1) as u32;
+    assert_eq!(got[0].wire_len, 1000 + entry_len);
+    let hdr = got[0].headers.as_mtp().expect("mtp");
+    assert_eq!(hdr.path_feedback.len(), 1);
+    assert_eq!(hdr.path_feedback[0].path, PathletId(5));
+    assert_eq!(sim.node_as::<SwitchNode>(sw_id).stats.stamped, 1);
+}
+
+#[test]
+fn acks_and_control_are_never_stamped() {
+    let sw = SwitchNode::new(
+        "sw",
+        Box::new(StaticForwarder(StaticRoutes::new().add(2, PortId(1)))),
+    )
+    .with_stamp(PortId(1), Stamp::new(PathletId(5), StampKind::Presence));
+    let (sim, sw_id, dst) = wire_through_switch(
+        sw,
+        vec![
+            mtp_pkt(PktType::Ack, 2, 60),
+            mtp_pkt(PktType::Nack, 2, 60),
+            mtp_pkt(PktType::Control, 2, 60),
+        ],
+    );
+    for p in &sim.node_as::<Capture>(dst).got {
+        assert_eq!(p.wire_len, 60, "non-data must not grow");
+        assert!(p.headers.as_mtp().expect("mtp").path_feedback.is_empty());
+    }
+    assert_eq!(sim.node_as::<SwitchNode>(sw_id).stats.stamped, 0);
+}
+
+#[test]
+fn unroutable_packets_are_counted_and_dropped() {
+    let sw = SwitchNode::new(
+        "sw",
+        Box::new(StaticForwarder(StaticRoutes::new().add(2, PortId(1)))),
+    );
+    let (sim, sw_id, dst) = wire_through_switch(
+        sw,
+        vec![
+            mtp_pkt(PktType::Data, 99, 500),
+            mtp_pkt(PktType::Data, 2, 500),
+        ],
+    );
+    assert_eq!(
+        sim.node_as::<Capture>(dst).got.len(),
+        1,
+        "only the routable one"
+    );
+    let stats = sim.node_as::<SwitchNode>(sw_id).stats;
+    assert_eq!(stats.no_route, 1);
+    assert_eq!(stats.forwarded, 1);
+}
+
+#[test]
+fn ingress_policy_marks_are_counted() {
+    let sw = SwitchNode::new(
+        "sw",
+        Box::new(StaticForwarder(StaticRoutes::new().add(2, PortId(1)))),
+    )
+    .with_policy(Box::new(MarkAllPolicy));
+    let (sim, sw_id, dst) = wire_through_switch(
+        sw,
+        vec![
+            mtp_pkt(PktType::Data, 2, 500),
+            mtp_pkt(PktType::Data, 2, 500),
+        ],
+    );
+    let got = &sim.node_as::<Capture>(dst).got;
+    assert!(got.iter().all(|p| p.ecn.is_ce()));
+    assert_eq!(sim.node_as::<SwitchNode>(sw_id).stats.policy_marked, 2);
+}
+
+#[test]
+fn raw_packets_pass_policies_and_fail_routing_gracefully() {
+    let sw = SwitchNode::new(
+        "sw",
+        Box::new(StaticForwarder(StaticRoutes::new().add(2, PortId(1)))),
+    )
+    .with_policy(Box::new(MarkAllPolicy));
+    let (sim, sw_id, dst) = wire_through_switch(sw, vec![Packet::new(Headers::Raw, 100)]);
+    assert!(
+        sim.node_as::<Capture>(dst).got.is_empty(),
+        "raw has no address"
+    );
+    assert_eq!(sim.node_as::<SwitchNode>(sw_id).stats.no_route, 1);
+}

@@ -1,0 +1,211 @@
+//! Traffic classes and message priorities acting inside the network.
+//!
+//! Every MTP packet carries its message's priority and TC (paper §3.1.1),
+//! so switches can schedule without flow state: a strict-priority egress
+//! queue classifying on `msg_pri` lets urgent messages overtake bulk
+//! *inside the network*, and TC-tagging stamps give one pathlet distinct
+//! congestion state per class.
+
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_net::{Stamp, StampKind, StaticForwarder, StaticRoutes, SwitchNode};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{Classifier, LinkCfg, PortId, PriorityQueue, Simulator};
+use mtp_wire::{EntityId, PathletId, TrafficClass};
+
+/// Priority scheduling at the bottleneck: a tiny urgent message submitted
+/// *after* a bulk message still finishes first because the switch's
+/// strict-priority queue reads `msg_pri` from every packet.
+#[test]
+fn urgent_message_overtakes_bulk_in_switch_queue() {
+    let run = |priority_queue: bool| -> (Duration, Duration) {
+        let mut sim = Simulator::new(51);
+        let mut bulk = ScheduledMsg::new(Time::ZERO, 2_000_000);
+        bulk.pri = 7;
+        // Sender-side scheduling alone cannot help here: the bulk burst is
+        // already in the switch queue when the urgent message arrives.
+        let mut urgent = ScheduledMsg::new(Time::ZERO + Duration::from_micros(20), 1_460);
+        urgent.pri = 0;
+        let snd = sim.add_node(Box::new(MtpSenderNode::new(
+            MtpConfig::default(),
+            1,
+            2,
+            EntityId(0),
+            1 << 40,
+            vec![bulk, urgent],
+        )));
+        let sw = sim.add_node(Box::new(SwitchNode::new(
+            "sw",
+            Box::new(StaticForwarder(
+                StaticRoutes::new().add(1, PortId(0)).add(2, PortId(1)),
+            )),
+        )));
+        let sink = sim.add_node(Box::new(MtpSinkNode::new(2, Duration::from_micros(100))));
+        let fast = Bandwidth::from_gbps(100);
+        let slow = Bandwidth::from_gbps(1); // bottleneck builds a real queue
+        let d = Duration::from_micros(1);
+        sim.connect(
+            snd,
+            PortId(0),
+            sw,
+            PortId(0),
+            LinkCfg::ecn(fast, d, 512, 80),
+            LinkCfg::ecn(fast, d, 512, 80),
+        );
+        let bottleneck_queue: Box<dyn mtp_sim::Qdisc> = if priority_queue {
+            let classify: Classifier = Box::new(|p| {
+                p.headers
+                    .as_mtp()
+                    .map(|h| usize::from(h.msg_pri > 0))
+                    .unwrap_or(1)
+            });
+            Box::new(PriorityQueue::new(2, 512, classify))
+        } else {
+            Box::new(mtp_sim::EcnQueue::new(512, 80))
+        };
+        sim.connect(
+            sw,
+            PortId(1),
+            sink,
+            PortId(0),
+            LinkCfg {
+                rate: slow,
+                delay: d,
+                queue: bottleneck_queue,
+            },
+            LinkCfg::ecn(slow, d, 512, 80),
+        );
+        sim.run_until(Time::ZERO + Duration::from_millis(100));
+        let s = sim.node_as::<MtpSenderNode>(snd);
+        (
+            s.msgs[0].fct().expect("bulk done"),
+            s.msgs[1].fct().expect("urgent done"),
+        )
+    };
+
+    let (_, urgent_fifo) = run(false);
+    let (_, urgent_prio) = run(true);
+    assert!(
+        urgent_prio.0 * 4 < urgent_fifo.0,
+        "priority queue must cut the urgent message's FCT sharply: \
+         FIFO {urgent_fifo} vs priority {urgent_prio}"
+    );
+}
+
+/// One pathlet, two traffic classes: the TC-tagging stamp gives each class
+/// its own congestion controller at the sender.
+#[test]
+fn tc_tagging_creates_separate_windows_per_class() {
+    let mut sim = Simulator::new(52);
+    let mut m1 = ScheduledMsg::new(Time::ZERO, 500_000);
+    m1.tc = TrafficClass(1);
+    let mut m2 = ScheduledMsg::new(Time::ZERO, 500_000);
+    m2.tc = TrafficClass(2);
+    let snd = sim.add_node(Box::new(MtpSenderNode::new(
+        MtpConfig::default(),
+        1,
+        2,
+        EntityId(0),
+        1 << 40,
+        vec![m1, m2],
+    )));
+    // The stamp passes each packet's own TC through (no override).
+    let sw = sim.add_node(Box::new(
+        SwitchNode::new(
+            "sw",
+            Box::new(StaticForwarder(
+                StaticRoutes::new().add(1, PortId(0)).add(2, PortId(1)),
+            )),
+        )
+        .with_stamp(PortId(1), Stamp::new(PathletId(3), StampKind::Presence)),
+    ));
+    let sink = sim.add_node(Box::new(MtpSinkNode::new(2, Duration::from_micros(100))));
+    let bw = Bandwidth::from_gbps(10);
+    let d = Duration::from_micros(1);
+    sim.connect(
+        snd,
+        PortId(0),
+        sw,
+        PortId(0),
+        LinkCfg::ecn(bw, d, 256, 40),
+        LinkCfg::ecn(bw, d, 256, 40),
+    );
+    sim.connect(
+        sw,
+        PortId(1),
+        sink,
+        PortId(0),
+        LinkCfg::ecn(bw, d, 256, 40),
+        LinkCfg::ecn(bw, d, 256, 40),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(50));
+
+    let sender = sim.node_as::<MtpSenderNode>(snd);
+    assert!(sender.all_done());
+    let t = sender.sender.pathlets();
+    assert!(
+        t.get(PathletId(3), TrafficClass(1)).is_some(),
+        "class-1 controller exists"
+    );
+    assert!(
+        t.get(PathletId(3), TrafficClass(2)).is_some(),
+        "class-2 controller exists independently"
+    );
+}
+
+/// A TC-overriding stamp reclassifies traffic: the sender's windows key on
+/// the network-assigned class ("network pathlets assign a TC", §3.2).
+#[test]
+fn stamp_tc_override_reclassifies_feedback() {
+    let mut sim = Simulator::new(53);
+    let snd = sim.add_node(Box::new(MtpSenderNode::new(
+        MtpConfig::default(),
+        1,
+        2,
+        EntityId(0),
+        1 << 40,
+        vec![ScheduledMsg::new(Time::ZERO, 200_000)], // default TC 0
+    )));
+    let sw = sim.add_node(Box::new(
+        SwitchNode::new(
+            "sw",
+            Box::new(StaticForwarder(
+                StaticRoutes::new().add(1, PortId(0)).add(2, PortId(1)),
+            )),
+        )
+        .with_stamp(
+            PortId(1),
+            Stamp::new(PathletId(4), StampKind::Presence).with_tc(TrafficClass(9)),
+        ),
+    ));
+    let sink = sim.add_node(Box::new(MtpSinkNode::new(2, Duration::from_micros(100))));
+    let bw = Bandwidth::from_gbps(10);
+    let d = Duration::from_micros(1);
+    sim.connect(
+        snd,
+        PortId(0),
+        sw,
+        PortId(0),
+        LinkCfg::ecn(bw, d, 256, 40),
+        LinkCfg::ecn(bw, d, 256, 40),
+    );
+    sim.connect(
+        sw,
+        PortId(1),
+        sink,
+        PortId(0),
+        LinkCfg::ecn(bw, d, 256, 40),
+        LinkCfg::ecn(bw, d, 256, 40),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(50));
+
+    let sender = sim.node_as::<MtpSenderNode>(snd);
+    assert!(sender.all_done());
+    assert!(
+        sender
+            .sender
+            .pathlets()
+            .get(PathletId(4), TrafficClass(9))
+            .is_some(),
+        "feedback keyed on the network-assigned class"
+    );
+}

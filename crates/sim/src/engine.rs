@@ -1,0 +1,767 @@
+//! The discrete-event engine: event queue, links, and the run loop.
+//!
+//! The engine is deliberately single-threaded and deterministic: events at
+//! equal timestamps are processed in scheduling order (a monotone sequence
+//! number breaks ties), and all randomness flows from one seeded
+//! [`SmallRng`]. Running the same topology with the same seed reproduces
+//! every figure byte-identically.
+//!
+//! ## Link model
+//!
+//! A [`connect`](Simulator::connect) call creates two directed links (one
+//! per direction), each with its own bandwidth, propagation delay, and queue
+//! discipline. Transmission follows the standard store-and-forward model:
+//!
+//! 1. a node `send`s a packet out a port;
+//! 2. if the directed link is idle, serialization starts immediately and
+//!    finishes `wire_len / rate` later; otherwise the packet is offered to
+//!    the port's [`Qdisc`], which may queue, ECN-mark,
+//!    NDP-trim, or drop it;
+//! 3. when serialization finishes, the packet propagates for the link's
+//!    delay and is delivered to the peer node; the next queued packet (if
+//!    any) begins serialization.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::node::{Ctx, Node, NodeId, PortId, TimerId};
+use crate::packet::{Packet, PacketId};
+use crate::queue::{EnqueueVerdict, Qdisc};
+use crate::time::{Bandwidth, Duration, Time};
+use crate::tracefile::{TraceEvent, TraceKind, TraceRing};
+
+/// Identifies one direction of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirLinkId(pub usize);
+
+/// Static configuration of one link direction.
+pub struct LinkCfg {
+    /// Serialization rate.
+    pub rate: Bandwidth,
+    /// Propagation delay.
+    pub delay: Duration,
+    /// Queue discipline for the sender-side egress queue.
+    pub queue: Box<dyn Qdisc>,
+}
+
+impl LinkCfg {
+    /// A link direction with a plain drop-tail queue of `cap_pkts`.
+    pub fn drop_tail(rate: Bandwidth, delay: Duration, cap_pkts: usize) -> LinkCfg {
+        LinkCfg {
+            rate,
+            delay,
+            queue: Box::new(crate::queue::DropTailQueue::new(cap_pkts)),
+        }
+    }
+
+    /// A link direction with a DCTCP-style ECN marking queue.
+    pub fn ecn(rate: Bandwidth, delay: Duration, cap_pkts: usize, k_pkts: usize) -> LinkCfg {
+        LinkCfg {
+            rate,
+            delay,
+            queue: Box::new(crate::queue::EcnQueue::new(cap_pkts, k_pkts)),
+        }
+    }
+}
+
+/// Counters kept per link direction.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct LinkStats {
+    /// Packets offered to this direction by the sending node.
+    pub offered_pkts: u64,
+    /// Packets fully serialized onto the wire.
+    pub tx_pkts: u64,
+    /// Bytes fully serialized onto the wire.
+    pub tx_bytes: u64,
+    /// Packets dropped by the queue discipline.
+    pub dropped_pkts: u64,
+    /// Packets that got a CE mark from the queue discipline.
+    pub marked_pkts: u64,
+    /// Packets NDP-trimmed by the queue discipline.
+    pub trimmed_pkts: u64,
+    /// High-water mark of the queue length in packets.
+    pub max_qlen_pkts: usize,
+}
+
+struct DirLink {
+    rate: Bandwidth,
+    delay: Duration,
+    queue: Box<dyn Qdisc>,
+    /// Packet currently being serialized, if any.
+    in_flight: Option<Packet>,
+    src: (NodeId, PortId),
+    dst: (NodeId, PortId),
+    stats: LinkStats,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver {
+        node: NodeId,
+        port: PortId,
+        pkt: Packet,
+    },
+    TxDone {
+        dir: DirLinkId,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+        id: u64,
+    },
+}
+
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Shared mutable simulation state, accessed by nodes through [`Ctx`].
+pub struct SimInner {
+    pub(crate) now: Time,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    links: Vec<DirLink>,
+    /// `egress[node][port] -> directed link leaving that port`.
+    egress: Vec<Vec<Option<DirLinkId>>>,
+    pub(crate) cancelled: HashSet<u64>,
+    next_timer: u64,
+    next_pkt: u64,
+    pub(crate) rng: SmallRng,
+    trace: Option<TraceRing>,
+}
+
+impl SimInner {
+    fn trace(&mut self, pkt: PacketId, node: NodeId, port: PortId, kind: TraceKind) {
+        let now = self.now;
+        if let Some(ring) = &mut self.trace {
+            ring.push(TraceEvent {
+                time: now,
+                pkt,
+                node,
+                port,
+                kind,
+            });
+        }
+    }
+
+    fn push(&mut self, time: Time, kind: EventKind) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    pub(crate) fn schedule_timer(&mut self, at: Time, node: NodeId, token: u64) -> TimerId {
+        let id = self.next_timer;
+        self.next_timer += 1;
+        let at = at.max(self.now);
+        self.push(at, EventKind::Timer { node, token, id });
+        TimerId(id)
+    }
+
+    pub(crate) fn send_from(&mut self, node: NodeId, port: PortId, mut pkt: Packet) {
+        let dir = self
+            .egress
+            .get(node.0)
+            .and_then(|ports| ports.get(port.0))
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("node {} port {} is not connected", node.0, port.0));
+        if pkt.id.0 == 0 {
+            self.next_pkt += 1;
+            pkt.id = PacketId(self.next_pkt);
+        }
+        let now = self.now;
+        let pkt_id = pkt.id;
+        self.trace(pkt_id, node, port, TraceKind::Offered);
+        let link = &mut self.links[dir.0];
+        link.stats.offered_pkts += 1;
+        // Every packet passes through the queue discipline — even on an
+        // idle link — so policies that act per packet (ECN state, loss
+        // injection, per-band accounting) always see the traffic. On an
+        // idle link the packet is dequeued again immediately, adding no
+        // delay.
+        let verdict = match link.queue.enqueue(pkt, now) {
+            EnqueueVerdict::Queued { marked } => {
+                if marked {
+                    link.stats.marked_pkts += 1;
+                }
+                TraceKind::Queued { marked }
+            }
+            EnqueueVerdict::Dropped(_) => {
+                link.stats.dropped_pkts += 1;
+                TraceKind::Dropped
+            }
+            EnqueueVerdict::Trimmed => {
+                link.stats.trimmed_pkts += 1;
+                TraceKind::Trimmed
+            }
+        };
+        link.stats.max_qlen_pkts = link.stats.max_qlen_pkts.max(link.queue.len_pkts());
+        self.trace(pkt_id, node, port, verdict);
+        let link = &mut self.links[dir.0];
+        if link.in_flight.is_none() {
+            if let Some(next) = link.queue.dequeue(now) {
+                let done = now + link.rate.serialize_time(next.wire_len);
+                let nid = next.id;
+                link.in_flight = Some(next);
+                self.push(done, EventKind::TxDone { dir });
+                self.trace(nid, node, port, TraceKind::TxStart);
+            }
+        }
+    }
+
+    fn tx_done(&mut self, dir: DirLinkId) {
+        let now = self.now;
+        let link = &mut self.links[dir.0];
+        let pkt = link
+            .in_flight
+            .take()
+            .expect("TxDone with nothing in flight");
+        link.stats.tx_pkts += 1;
+        link.stats.tx_bytes += pkt.wire_len as u64;
+        let (src_node, src_port) = link.src;
+        let (node, port) = link.dst;
+        let arrive = now + link.delay;
+        let next_id = if let Some(next) = link.queue.dequeue(now) {
+            let done = now + link.rate.serialize_time(next.wire_len);
+            let nid = next.id;
+            link.in_flight = Some(next);
+            self.push(done, EventKind::TxDone { dir });
+            Some(nid)
+        } else {
+            None
+        };
+        if let Some(nid) = next_id {
+            self.trace(nid, src_node, src_port, TraceKind::TxStart);
+        }
+        self.push(arrive, EventKind::Deliver { node, port, pkt });
+    }
+
+    pub(crate) fn egress_queue_len(&self, node: NodeId, port: PortId) -> (usize, usize) {
+        match self.egress[node.0][port.0] {
+            Some(dir) => {
+                let q = &self.links[dir.0].queue;
+                (q.len_pkts(), q.len_bytes())
+            }
+            None => (0, 0),
+        }
+    }
+
+    pub(crate) fn port_connected(&self, node: NodeId, port: PortId) -> bool {
+        self.egress
+            .get(node.0)
+            .and_then(|ports| ports.get(port.0))
+            .map(|p| p.is_some())
+            .unwrap_or(false)
+    }
+}
+
+/// The simulator: topology plus event loop.
+pub struct Simulator {
+    inner: SimInner,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    started: bool,
+}
+
+impl Simulator {
+    /// A fresh, empty simulation seeded for determinism.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            inner: SimInner {
+                now: Time::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                links: Vec::new(),
+                egress: Vec::new(),
+                cancelled: HashSet::new(),
+                next_timer: 0,
+                next_pkt: 0,
+                rng: SmallRng::seed_from_u64(seed),
+                trace: None,
+            },
+            nodes: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Add a node; returns its id. Ports start unconnected.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        self.inner.egress.push(Vec::new());
+        id
+    }
+
+    /// Connect `a`'s port `pa` to `b`'s port `pb` with independent per-
+    /// direction configurations. Returns the directed link ids
+    /// `(a→b, b→a)`.
+    ///
+    /// # Panics
+    /// Panics if either port is already connected.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        ab: LinkCfg,
+        ba: LinkCfg,
+    ) -> (DirLinkId, DirLinkId) {
+        let id_ab = DirLinkId(self.inner.links.len());
+        self.inner.links.push(DirLink {
+            rate: ab.rate,
+            delay: ab.delay,
+            queue: ab.queue,
+            in_flight: None,
+            src: (a, pa),
+            dst: (b, pb),
+            stats: LinkStats::default(),
+        });
+        let id_ba = DirLinkId(self.inner.links.len());
+        self.inner.links.push(DirLink {
+            rate: ba.rate,
+            delay: ba.delay,
+            queue: ba.queue,
+            in_flight: None,
+            src: (b, pb),
+            dst: (a, pa),
+            stats: LinkStats::default(),
+        });
+        for (node, port, dir) in [(a, pa, id_ab), (b, pb, id_ba)] {
+            let ports = &mut self.inner.egress[node.0];
+            if ports.len() <= port.0 {
+                ports.resize(port.0 + 1, None);
+            }
+            assert!(
+                ports[port.0].is_none(),
+                "node {} port {} connected twice",
+                node.0,
+                port.0
+            );
+            ports[port.0] = Some(dir);
+        }
+        (id_ab, id_ba)
+    }
+
+    /// Symmetric convenience: both directions share `rate`, `delay`, and a
+    /// drop-tail queue of `cap_pkts`.
+    #[allow(clippy::too_many_arguments)] // 6 operands + self: a wiring helper
+    pub fn connect_symmetric(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        rate: Bandwidth,
+        delay: Duration,
+        cap_pkts: usize,
+    ) -> (DirLinkId, DirLinkId) {
+        self.connect(
+            a,
+            pa,
+            b,
+            pb,
+            LinkCfg::drop_tail(rate, delay, cap_pkts),
+            LinkCfg::drop_tail(rate, delay, cap_pkts),
+        )
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.inner.now
+    }
+
+    /// Counters for one link direction.
+    pub fn link_stats(&self, dir: DirLinkId) -> &LinkStats {
+        &self.inner.links[dir.0].stats
+    }
+
+    /// Instantaneous queue occupancy (packets, bytes) of a link direction.
+    pub fn link_queue_len(&self, dir: DirLinkId) -> (usize, usize) {
+        let q = &self.inner.links[dir.0].queue;
+        (q.len_pkts(), q.len_bytes())
+    }
+
+    /// Arm a timer on `node` from harness code (e.g. to start a workload at
+    /// a chosen time).
+    pub fn schedule(&mut self, at: Time, node: NodeId, token: u64) -> TimerId {
+        self.inner.schedule_timer(at, node, token)
+    }
+
+    /// Record per-packet events into a ring holding the last `cap` entries
+    /// (a pcap for the simulated world; see [`crate::tracefile`]).
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.inner.trace = Some(TraceRing::new(cap));
+    }
+
+    /// The retained trace events (oldest first); empty if tracing is off.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .trace
+            .as_ref()
+            .map(TraceRing::events)
+            .unwrap_or_default()
+    }
+
+    /// Retained trace events for one packet.
+    pub fn packet_trace(&self, pkt: PacketId) -> Vec<TraceEvent> {
+        self.inner
+            .trace
+            .as_ref()
+            .map(|t| t.packet_history(pkt))
+            .unwrap_or_default()
+    }
+
+    /// Borrow a node downcast to its concrete type, for reading results out
+    /// after (or during) a run.
+    ///
+    /// # Panics
+    /// Panics if the node is of a different concrete type.
+    pub fn node_as<T: Node>(&self, id: NodeId) -> &T {
+        let node: &dyn Node = self.nodes[id.0]
+            .as_deref()
+            .expect("node is currently processing an event");
+        (node as &dyn std::any::Any)
+            .downcast_ref::<T>()
+            .expect("node has a different concrete type")
+    }
+
+    /// Mutable variant of [`node_as`](Self::node_as).
+    pub fn node_as_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let node: &mut dyn Node = self.nodes[id.0]
+            .as_deref_mut()
+            .expect("node is currently processing an event");
+        (node as &mut dyn std::any::Any)
+            .downcast_mut::<T>()
+            .expect("node has a different concrete type")
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.with_node(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        let mut node = self.nodes[id.0].take().expect("re-entrant node dispatch");
+        {
+            let mut ctx = Ctx {
+                inner: &mut self.inner,
+                node: id,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.nodes[id.0] = Some(node);
+    }
+
+    /// Process a single event. Returns `false` when the event queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Reverse(ev) = match self.inner.events.pop() {
+            Some(ev) => ev,
+            None => return false,
+        };
+        self.inner.now = ev.time;
+        match ev.kind {
+            EventKind::Deliver { node, port, pkt } => {
+                self.inner
+                    .trace(pkt.id, node, port, crate::tracefile::TraceKind::Delivered);
+                self.with_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
+            }
+            EventKind::TxDone { dir } => self.inner.tx_done(dir),
+            EventKind::Timer { node, token, id } => {
+                if !self.inner.cancelled.remove(&id) {
+                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until simulation time reaches `until` (events at exactly `until`
+    /// are processed). Returns true if events remain.
+    pub fn run_until(&mut self, until: Time) -> bool {
+        self.start_if_needed();
+        loop {
+            match self.inner.events.peek() {
+                Some(Reverse(ev)) if ev.time <= until => {
+                    self.step();
+                }
+                Some(_) => {
+                    self.inner.now = until;
+                    return true;
+                }
+                None => {
+                    self.inner.now = self.inner.now.max(until);
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Headers;
+
+    /// Fires one packet at start, counts what it receives, echoes nothing.
+    struct Pitcher {
+        target_port: PortId,
+        n: u32,
+        size: u32,
+    }
+    impl Node for Pitcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..self.n {
+                ctx.send(self.target_port, Packet::new(Headers::Raw, self.size));
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
+        fn name(&self) -> &str {
+            "pitcher"
+        }
+    }
+
+    /// Records arrival times.
+    #[derive(Default)]
+    struct Catcher {
+        arrivals: Vec<Time>,
+    }
+    impl Node for Catcher {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {
+            self.arrivals.push(ctx.now());
+        }
+        fn name(&self) -> &str {
+            "catcher"
+        }
+    }
+
+    #[test]
+    fn single_packet_latency_is_serialization_plus_propagation() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Pitcher {
+            target_port: PortId(0),
+            n: 1,
+            size: 1500,
+        }));
+        let b = sim.add_node(Box::new(Catcher::default()));
+        sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(100),
+            Duration::from_micros(1),
+            64,
+        );
+        sim.run();
+        let catcher = sim.node_as::<Catcher>(b);
+        assert_eq!(catcher.arrivals.len(), 1);
+        // 120 ns serialization + 1 us propagation.
+        assert_eq!(catcher.arrivals[0], Time::ZERO + Duration::from_nanos(1120));
+    }
+
+    #[test]
+    fn back_to_back_packets_pace_at_link_rate() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Pitcher {
+            target_port: PortId(0),
+            n: 3,
+            size: 1500,
+        }));
+        let b = sim.add_node(Box::new(Catcher::default()));
+        sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(100),
+            Duration::from_micros(1),
+            64,
+        );
+        sim.run();
+        let arr = &sim.node_as::<Catcher>(b).arrivals;
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].since(arr[0]), Duration::from_nanos(120));
+        assert_eq!(arr[2].since(arr[1]), Duration::from_nanos(120));
+    }
+
+    #[test]
+    fn queue_overflow_drops_and_counts() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Pitcher {
+            target_port: PortId(0),
+            n: 10,
+            size: 1500,
+        }));
+        let b = sim.add_node(Box::new(Catcher::default()));
+        // Queue capacity 4 => 1 in flight + 4 queued = 5 delivered, 5 dropped.
+        let (ab, _) = sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(1),
+            Duration::from_micros(1),
+            4,
+        );
+        sim.run();
+        assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), 5);
+        let stats = sim.link_stats(ab);
+        assert_eq!(stats.offered_pkts, 10);
+        assert_eq!(stats.tx_pkts, 5);
+        assert_eq!(stats.dropped_pkts, 5);
+        assert_eq!(stats.max_qlen_pkts, 4);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Pitcher {
+            target_port: PortId(0),
+            n: 2,
+            size: 125_000,
+        }));
+        let b = sim.add_node(Box::new(Catcher::default()));
+        sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(1),
+            Duration::ZERO,
+            64,
+        );
+        // Each packet takes 1 ms to serialize at 1 Gbps.
+        let more = sim.run_until(Time::ZERO + Duration::from_micros(1500));
+        assert!(more, "second packet still pending");
+        assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), 1);
+        sim.run();
+        assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), 2);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        struct TimerNode {
+            fired: Vec<u64>,
+            cancel_me: Option<TimerId>,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(Duration::from_micros(2), 2);
+                ctx.set_timer(Duration::from_micros(1), 1);
+                let id = ctx.set_timer(Duration::from_micros(3), 3);
+                self.cancel_me = Some(id);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+                if token == 1 {
+                    let id = self.cancel_me.take().expect("set in on_start");
+                    ctx.cancel_timer(id);
+                }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(Box::new(TimerNode {
+            fired: vec![],
+            cancel_me: None,
+        }));
+        sim.run();
+        assert_eq!(sim.node_as::<TimerNode>(n).fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn equal_time_events_run_in_schedule_order() {
+        struct T(Vec<u64>);
+        impl Node for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for token in 0..5 {
+                    ctx.set_timer(Duration::from_micros(1), token);
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_>, token: u64) {
+                self.0.push(token);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(Box::new(T(vec![])));
+        sim.run();
+        assert_eq!(sim.node_as::<T>(n).0, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn sending_on_unconnected_port_panics() {
+        struct Bad;
+        impl Node for Bad {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(PortId(0), Packet::new(Headers::Raw, 100));
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(Bad));
+        sim.run();
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> Vec<Time> {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node(Box::new(Pitcher {
+                target_port: PortId(0),
+                n: 50,
+                size: 900,
+            }));
+            let b = sim.add_node(Box::new(Catcher::default()));
+            sim.connect_symmetric(
+                a,
+                PortId(0),
+                b,
+                PortId(0),
+                Bandwidth::from_gbps(10),
+                Duration::from_nanos(500),
+                16,
+            );
+            sim.run();
+            sim.node_as::<Catcher>(b).arrivals.clone()
+        }
+        assert_eq!(run_once(7), run_once(7));
+    }
+}

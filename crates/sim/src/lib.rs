@@ -1,0 +1,79 @@
+//! # mtp-sim — a deterministic discrete-event network simulator
+//!
+//! This crate is the workspace's substitute for ns-3: a single-threaded,
+//! deterministic, packet-level discrete-event simulator. It models
+//!
+//! * **nodes** (hosts, switches, proxies, offload boxes) implementing the
+//!   [`Node`] trait, connected by
+//! * **links** with a bandwidth, a propagation delay, and a per-direction
+//!   egress **queue discipline** — drop-tail, DCTCP-style ECN marking,
+//!   deficit-round-robin over bands, strict priority, or NDP-style payload
+//!   trimming ([`queue`]),
+//! * **timers** and a seeded random source for reproducible workloads,
+//! * per-link **counters** and binned **time series** for measurement
+//!   ([`trace`]).
+//!
+//! Time is measured in picoseconds ([`time::Time`]) so the paper's exact
+//! parameters — 100 Gbps serialization, 1 µs link delays, a 384 µs path-
+//! alternation period, 32 µs goodput sampling — are all represented without
+//! rounding.
+//!
+//! The transports built on top live in sibling crates: `mtp-tcp` (TCP
+//! NewReno / DCTCP baselines) and `mtp-core` (the MTP endpoint). In-network
+//! devices (load balancers, proxies, caches, policy enforcers) live in
+//! `mtp-net`.
+//!
+//! ## Example
+//!
+//! ```
+//! use mtp_sim::{Simulator, Node, Ctx, PortId, Packet, Headers};
+//! use mtp_sim::time::{Bandwidth, Duration};
+//!
+//! struct Blaster;
+//! impl Node for Blaster {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.send(PortId(0), Packet::new(Headers::Raw, 1500));
+//!     }
+//!     fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+//! }
+//!
+//! #[derive(Default)]
+//! struct Sink { got: usize }
+//! impl Node for Sink {
+//!     fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) { self.got += 1; }
+//! }
+//!
+//! let mut sim = Simulator::new(42);
+//! let a = sim.add_node(Box::new(Blaster));
+//! let b = sim.add_node(Box::new(Sink::default()));
+//! sim.connect_symmetric(a, PortId(0), b, PortId(0),
+//!     Bandwidth::from_gbps(100), Duration::from_micros(1), 64);
+//! sim.run();
+//! assert_eq!(sim.node_as::<Sink>(b).got, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod loss;
+pub mod node;
+pub mod packet;
+pub mod queue;
+pub mod rtt;
+pub mod time;
+pub mod trace;
+pub mod tracefile;
+
+pub use engine::{DirLinkId, LinkCfg, LinkStats, Simulator};
+pub use loss::{LossyQueue, ReorderQueue};
+pub use node::{Ctx, Node, NodeId, PortId, TimerId};
+pub use packet::{AppData, Headers, Packet, PacketId};
+pub use queue::{
+    Classifier, DropTailQueue, DrrQueue, EcnQueue, EnqueueVerdict, PriorityQueue, Qdisc, SfqQueue,
+    TrimmingQueue,
+};
+pub use rtt::RttEstimator;
+pub use time::{Bandwidth, Duration, Time};
+pub use trace::{BinSeries, ScalarStats};
+pub use tracefile::{TraceEvent, TraceKind, TraceRing};

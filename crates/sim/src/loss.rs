@@ -1,0 +1,234 @@
+//! Fault injection: queue disciplines that corrupt service deliberately.
+//!
+//! [`LossyQueue`] drops a deterministic pseudo-random fraction of packets;
+//! [`ReorderQueue`] holds back every Nth packet and releases it later.
+//! Both wrap an inner discipline, so loss/reordering compose with ECN
+//! marking, DRR, and the rest. Used by failure-injection tests to verify
+//! the transports' repair machinery under conditions the clean topologies
+//! never produce.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::Packet;
+use crate::queue::{EnqueueVerdict, Qdisc};
+use crate::time::Time;
+
+/// Drops each arriving packet independently with probability `p`,
+/// before offering survivors to the inner queue.
+pub struct LossyQueue {
+    inner: Box<dyn Qdisc>,
+    p: f64,
+    rng: SmallRng,
+    /// Packets deliberately dropped.
+    pub injected_drops: u64,
+    /// Skip control-sized packets (< this wire length) so ACK storms don't
+    /// deadlock tests; 0 disables the exemption.
+    pub spare_below: u32,
+}
+
+impl LossyQueue {
+    /// Wrap `inner`, dropping with probability `p` (deterministic per
+    /// `seed`).
+    pub fn new(inner: Box<dyn Qdisc>, p: f64, seed: u64) -> LossyQueue {
+        assert!((0.0..=1.0).contains(&p));
+        LossyQueue {
+            inner,
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+            injected_drops: 0,
+            spare_below: 0,
+        }
+    }
+
+    /// Exempt packets smaller than `bytes` (ACKs, NACKs) from injection.
+    pub fn sparing_control(mut self, bytes: u32) -> LossyQueue {
+        self.spare_below = bytes;
+        self
+    }
+}
+
+impl Qdisc for LossyQueue {
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueVerdict {
+        if pkt.wire_len >= self.spare_below && self.rng.gen_bool(self.p) {
+            self.injected_drops += 1;
+            return EnqueueVerdict::Dropped(pkt);
+        }
+        self.inner.enqueue(pkt, now)
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.inner.len_pkts()
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.inner.len_bytes()
+    }
+}
+
+/// Holds back every `n`th packet and releases it after `delay_pkts` other
+/// packets have passed — deterministic reordering without loss.
+pub struct ReorderQueue {
+    inner: Box<dyn Qdisc>,
+    n: u64,
+    delay_pkts: usize,
+    seen: u64,
+    held: Vec<(usize, Packet)>,
+}
+
+impl ReorderQueue {
+    /// Wrap `inner`; every `n`th enqueued packet is delayed past
+    /// `delay_pkts` successors.
+    pub fn new(inner: Box<dyn Qdisc>, n: u64, delay_pkts: usize) -> ReorderQueue {
+        assert!(n >= 2);
+        ReorderQueue {
+            inner,
+            n,
+            delay_pkts,
+            seen: 0,
+            held: Vec::new(),
+        }
+    }
+}
+
+impl Qdisc for ReorderQueue {
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueVerdict {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.n) {
+            self.held.push((self.delay_pkts, pkt));
+            return EnqueueVerdict::Queued { marked: false };
+        }
+        self.inner.enqueue(pkt, now)
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        // Age held packets; release any that have served their delay.
+        for h in &mut self.held {
+            h.0 = h.0.saturating_sub(1);
+        }
+        if let Some(pos) = self.held.iter().position(|(left, _)| *left == 0) {
+            let (_, pkt) = self.held.remove(pos);
+            return Some(pkt);
+        }
+        match self.inner.dequeue(now) {
+            Some(p) => Some(p),
+            None => {
+                // Nothing else queued: flush held packets rather than
+                // stranding them.
+                self.held.pop().map(|(_, p)| p)
+            }
+        }
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.inner.len_pkts() + self.held.len()
+    }
+
+    fn len_bytes(&self) -> usize {
+        self.inner.len_bytes()
+            + self
+                .held
+                .iter()
+                .map(|(_, p)| p.wire_len as usize)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Headers;
+    use crate::queue::DropTailQueue;
+
+    fn pkt(len: u32, tag: u64) -> Packet {
+        Packet::new(Headers::Raw, len).with_app(crate::packet::AppData::Opaque(tag))
+    }
+
+    fn tag(p: &Packet) -> u64 {
+        match p.app {
+            Some(crate::packet::AppData::Opaque(t)) => t,
+            _ => panic!("untagged"),
+        }
+    }
+
+    #[test]
+    fn lossy_drops_expected_fraction() {
+        let mut q = LossyQueue::new(Box::new(DropTailQueue::new(100_000)), 0.3, 7);
+        let mut dropped = 0;
+        for i in 0..10_000 {
+            if matches!(
+                q.enqueue(pkt(1500, i), Time::ZERO),
+                EnqueueVerdict::Dropped(_)
+            ) {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, q.injected_drops);
+        let frac = dropped as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "observed loss {frac}");
+    }
+
+    #[test]
+    fn lossy_spares_control_packets() {
+        let mut q =
+            LossyQueue::new(Box::new(DropTailQueue::new(100_000)), 1.0, 7).sparing_control(100);
+        assert!(matches!(
+            q.enqueue(pkt(64, 0), Time::ZERO),
+            EnqueueVerdict::Queued { .. }
+        ));
+        assert!(matches!(
+            q.enqueue(pkt(1500, 1), Time::ZERO),
+            EnqueueVerdict::Dropped(_)
+        ));
+    }
+
+    #[test]
+    fn lossy_is_deterministic() {
+        let run = |seed| {
+            let mut q = LossyQueue::new(Box::new(DropTailQueue::new(100_000)), 0.5, seed);
+            (0..100)
+                .map(|i| {
+                    matches!(
+                        q.enqueue(pkt(1500, i), Time::ZERO),
+                        EnqueueVerdict::Dropped(_)
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn reorder_delays_every_nth() {
+        let mut q = ReorderQueue::new(Box::new(DropTailQueue::new(100)), 3, 2);
+        for i in 0..6 {
+            q.enqueue(pkt(100, i), Time::ZERO);
+        }
+        // Packets 2 and 5 (0-indexed: the 3rd and 6th) are held.
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(Time::ZERO))
+            .map(|p| tag(&p))
+            .collect();
+        assert_eq!(order.len(), 6, "nothing lost");
+        assert_ne!(order, vec![0, 1, 2, 3, 4, 5], "order changed");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reorder_flushes_held_at_drain() {
+        let mut q = ReorderQueue::new(Box::new(DropTailQueue::new(100)), 2, 10);
+        q.enqueue(pkt(100, 0), Time::ZERO);
+        q.enqueue(pkt(100, 1), Time::ZERO); // held
+        assert_eq!(tag(&q.dequeue(Time::ZERO).unwrap()), 0);
+        // Inner empty; held packet must still come out.
+        assert_eq!(tag(&q.dequeue(Time::ZERO).unwrap()), 1);
+        assert!(q.dequeue(Time::ZERO).is_none());
+        assert_eq!(q.len_pkts(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The [`Node`] trait and the per-event [`Ctx`] handle.
+//!
+//! Everything attached to the simulated network — hosts, switches, proxies,
+//! offload boxes — implements [`Node`]. The simulator delivers packets and
+//! timer expirations to nodes; nodes react by sending packets out their
+//! ports and arming timers through the [`Ctx`] they are handed.
+//!
+//! Nodes are identified by [`NodeId`] and own a set of numbered ports
+//! ([`PortId`]); a port is connected to exactly one link.
+
+use std::any::Any;
+
+use serde::Serialize;
+
+use crate::packet::Packet;
+
+/// Identifies a node within one simulator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct NodeId(pub usize);
+
+/// Identifies a port on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct PortId(pub usize);
+
+/// Identifies an armed timer, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub u64);
+
+/// A participant in the simulation.
+///
+/// `Any` is a supertrait so harness code can downcast a finished node back
+/// to its concrete type and read results out of it
+/// (see [`Simulator::node_as`](crate::engine::Simulator::node_as)).
+pub trait Node: Any {
+    /// A packet arrived on `port`.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet);
+
+    /// A timer armed with `token` fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Called once when the simulation starts, before any event runs.
+    /// Endpoints typically arm their first send here.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Human-readable name for traces.
+    fn name(&self) -> &str {
+        "node"
+    }
+}
+
+/// Handle given to a node while it processes an event. All interaction with
+/// the simulated world goes through this: reading the clock, transmitting,
+/// arming timers, inspecting the node's own egress queues.
+pub struct Ctx<'a> {
+    pub(crate) inner: &'a mut crate::engine::SimInner,
+    pub(crate) node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// The current simulation time.
+    pub fn now(&self) -> crate::time::Time {
+        self.inner.now
+    }
+
+    /// The id of the node processing this event.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmit `pkt` out of `port`. The packet is serialized immediately if
+    /// the link is idle, otherwise offered to the port's queue discipline
+    /// (which may mark, trim, or drop it).
+    ///
+    /// # Panics
+    /// Panics if `port` is not connected to a link — that is a topology
+    /// wiring bug, not a runtime condition.
+    pub fn send(&mut self, port: PortId, pkt: Packet) {
+        self.inner.send_from(self.node, port, pkt);
+    }
+
+    /// Arm a timer to fire after `delay`; `token` is handed back to
+    /// [`Node::on_timer`]. Returns an id usable with
+    /// [`cancel_timer`](Self::cancel_timer).
+    pub fn set_timer(&mut self, delay: crate::time::Duration, token: u64) -> TimerId {
+        let at = self.inner.now + delay;
+        self.inner.schedule_timer(at, self.node, token)
+    }
+
+    /// Arm a timer at an absolute time.
+    pub fn set_timer_at(&mut self, at: crate::time::Time, token: u64) -> TimerId {
+        self.inner.schedule_timer(at, self.node, token)
+    }
+
+    /// Cancel a previously armed timer. Cancelling an already-fired or
+    /// already-cancelled timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.inner.cancelled.insert(id.0);
+    }
+
+    /// Number of packets queued at this node's egress `port`
+    /// (not counting a packet currently being serialized).
+    pub fn egress_len_pkts(&self, port: PortId) -> usize {
+        self.inner.egress_queue_len(self.node, port).0
+    }
+
+    /// Number of bytes queued at this node's egress `port`.
+    pub fn egress_len_bytes(&self, port: PortId) -> usize {
+        self.inner.egress_queue_len(self.node, port).1
+    }
+
+    /// True if `port` is connected to a link.
+    pub fn port_connected(&self, port: PortId) -> bool {
+        self.inner.port_connected(self.node, port)
+    }
+
+    /// Deterministic per-simulation random source.
+    pub fn rng(&mut self) -> &mut rand::rngs::SmallRng {
+        &mut self.inner.rng
+    }
+}

@@ -1,0 +1,119 @@
+//! RFC 6298 round-trip-time estimation and retransmission timeout.
+
+use crate::time::Duration;
+
+/// Smoothed RTT estimator with Karn-style single-sample timing and
+/// exponential RTO backoff.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    min_rto: Duration,
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// A fresh estimator with the given RTO floor.
+    pub fn new(min_rto: Duration) -> RttEstimator {
+        RttEstimator {
+            srtt: None,
+            rttvar: Duration::ZERO,
+            min_rto,
+            backoff: 0,
+        }
+    }
+
+    /// Feed one RTT sample (from an un-retransmitted segment, per Karn).
+    pub fn sample(&mut self, rtt: Duration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = Duration(rtt.0 / 2);
+            }
+            Some(srtt) => {
+                // RFC 6298: rttvar = 3/4 rttvar + 1/4 |srtt - rtt|;
+                //           srtt   = 7/8 srtt   + 1/8 rtt
+                let err = Duration(srtt.0.abs_diff(rtt.0));
+                self.rttvar = Duration((3 * self.rttvar.0 + err.0) / 4);
+                self.srtt = Some(Duration((7 * srtt.0 + rtt.0) / 8));
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// The smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    /// Current retransmission timeout, including backoff.
+    pub fn rto(&self) -> Duration {
+        let base = match self.srtt {
+            Some(srtt) => Duration(srtt.0 + 4 * self.rttvar.0),
+            // No sample yet: use a conservative multiple of the floor.
+            None => Duration(self.min_rto.0 * 4),
+        };
+        let clamped = base.max(self.min_rto);
+        // Exponential backoff, capped at 64x: a datacenter transport gains
+        // nothing from multi-second RTOs, and an uncapped doubling race
+        // starves repair on very lossy paths.
+        Duration(clamped.0.saturating_mul(1u64 << self.backoff.min(6)))
+    }
+
+    /// Double the RTO after a timeout.
+    pub fn on_timeout(&mut self) {
+        self.backoff = self.backoff.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const US: u64 = 1_000_000; // ps per us
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new(Duration::from_micros(10));
+        e.sample(Duration::from_micros(100));
+        assert_eq!(e.srtt(), Some(Duration::from_micros(100)));
+        // rto = srtt + 4 * rttvar = 100 + 4*50 = 300 us
+        assert_eq!(e.rto(), Duration(300 * US));
+    }
+
+    #[test]
+    fn smoothing_converges_toward_stable_rtt() {
+        let mut e = RttEstimator::new(Duration::from_micros(1));
+        for _ in 0..100 {
+            e.sample(Duration::from_micros(50));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(srtt.0.abs_diff(50 * US) < US, "srtt={srtt}");
+        // rttvar decays toward 0, so RTO approaches srtt (clamped by floor).
+        assert!(e.rto().0 < 60 * US, "rto={}", e.rto());
+    }
+
+    #[test]
+    fn rto_respects_floor() {
+        let mut e = RttEstimator::new(Duration::from_micros(200));
+        for _ in 0..50 {
+            e.sample(Duration::from_micros(1));
+        }
+        assert!(e.rto() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut e = RttEstimator::new(Duration::from_micros(100));
+        e.sample(Duration::from_micros(100));
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto().0, base.0 * 2);
+        e.on_timeout();
+        assert_eq!(e.rto().0, base.0 * 4);
+        e.sample(Duration::from_micros(100));
+        // Backoff cleared; the new sample also tightens rttvar
+        // (3/4 * 50 us = 37.5 us), so rto = 100 + 4 * 37.5 = 250 us.
+        assert_eq!(e.rto(), Duration::from_micros(250));
+    }
+}

@@ -1,0 +1,274 @@
+//! Property-based tests of simulator invariants: queue conservation, DRR
+//! fairness, time arithmetic, and engine determinism under random
+//! topologies.
+
+use proptest::prelude::*;
+
+use mtp_sim::packet::{AppData, Headers, Packet};
+use mtp_sim::queue::{DropTailQueue, DrrQueue, EcnQueue, EnqueueVerdict, Qdisc};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{Ctx, Node, PortId, Simulator};
+
+fn pkt(len: u32, tag: u64) -> Packet {
+    Packet::new(Headers::Raw, len).with_app(AppData::Opaque(tag))
+}
+
+proptest! {
+    /// Conservation: every packet offered to a drop-tail queue is either
+    /// queued (and later dequeued exactly once) or reported dropped.
+    #[test]
+    fn droptail_conserves_packets(
+        cap in 1usize..64,
+        ops in prop::collection::vec((any::<bool>(), 1u32..2000), 1..200),
+    ) {
+        let mut q = DropTailQueue::new(cap);
+        let mut queued = 0u64;
+        let mut dropped = 0u64;
+        let mut dequeued = 0u64;
+        let mut offered = 0u64;
+        for (do_deq, len) in ops {
+            if do_deq {
+                if q.dequeue(Time::ZERO).is_some() {
+                    dequeued += 1;
+                }
+            } else {
+                offered += 1;
+                match q.enqueue(pkt(len, offered), Time::ZERO) {
+                    EnqueueVerdict::Queued { .. } => queued += 1,
+                    EnqueueVerdict::Dropped(_) => dropped += 1,
+                    EnqueueVerdict::Trimmed => unreachable!("droptail never trims"),
+                }
+            }
+            prop_assert!(q.len_pkts() <= cap);
+        }
+        while q.dequeue(Time::ZERO).is_some() {
+            dequeued += 1;
+        }
+        prop_assert_eq!(queued + dropped, offered);
+        prop_assert_eq!(dequeued, queued);
+        prop_assert_eq!(q.len_bytes(), 0);
+    }
+
+    /// ECN queue: byte accounting matches the packets inside; marks happen
+    /// only when the queue stood at or above K.
+    #[test]
+    fn ecn_queue_accounting(
+        k in 0usize..16,
+        lens in prop::collection::vec(1u32..2000, 1..64),
+    ) {
+        let cap = 64;
+        let mut q = EcnQueue::new(cap, k);
+        let mut expected_bytes = 0u64;
+        for (i, len) in lens.iter().enumerate() {
+            let before = q.len_pkts();
+            match q.enqueue(pkt(*len, i as u64), Time::ZERO) {
+                EnqueueVerdict::Queued { marked } => {
+                    expected_bytes += *len as u64;
+                    prop_assert_eq!(marked, before >= k, "mark iff qlen >= K");
+                }
+                EnqueueVerdict::Dropped(_) => {}
+                EnqueueVerdict::Trimmed => unreachable!(),
+            }
+            prop_assert_eq!(q.len_bytes() as u64, expected_bytes);
+        }
+        while let Some(p) = q.dequeue(Time::ZERO) {
+            expected_bytes -= p.wire_len as u64;
+        }
+        prop_assert_eq!(expected_bytes, 0);
+    }
+
+    /// DRR long-run byte fairness: with two always-backlogged bands and
+    /// arbitrary (bounded) packet sizes, served bytes differ by at most a
+    /// quantum + one max packet.
+    #[test]
+    fn drr_is_byte_fair(
+        lens_a in prop::collection::vec(64u32..1500, 30..60),
+        lens_b in prop::collection::vec(64u32..1500, 30..60),
+    ) {
+        let classify: mtp_sim::Classifier = Box::new(|p: &Packet| match p.app {
+            Some(AppData::Opaque(t)) => (t % 2) as usize,
+            _ => 0,
+        });
+        let quantum = 1500usize;
+        let mut q = DrrQueue::new(2, 1024, quantum, None, classify);
+        for (i, len) in lens_a.iter().enumerate() {
+            q.enqueue(pkt(*len, (i * 2) as u64), Time::ZERO);
+        }
+        for (i, len) in lens_b.iter().enumerate() {
+            q.enqueue(pkt(*len, (i * 2 + 1) as u64), Time::ZERO);
+        }
+        // Serve while both bands stay backlogged: stop early enough that
+        // neither can run dry.
+        let min_bytes: u64 =
+            lens_a.iter().map(|&l| l as u64).sum::<u64>().min(lens_b.iter().map(|&l| l as u64).sum());
+        let mut served = [0u64; 2];
+        while served[0] + served[1] < min_bytes {
+            let Some(p) = q.dequeue(Time::ZERO) else { break };
+            let band = match p.app {
+                Some(AppData::Opaque(t)) => (t % 2) as usize,
+                _ => 0,
+            };
+            served[band] += p.wire_len as u64;
+        }
+        let diff = served[0].abs_diff(served[1]);
+        prop_assert!(
+            diff <= (quantum + 1500) as u64,
+            "band service diverged by {diff} bytes ({served:?})"
+        );
+    }
+
+    /// Serialization time is monotone in bytes and inversely monotone in
+    /// rate.
+    #[test]
+    fn serialize_time_monotonicity(
+        bytes_small in 1u32..100_000,
+        extra in 1u32..100_000,
+        gbps in 1u64..400,
+    ) {
+        let bw = Bandwidth::from_gbps(gbps);
+        let t1 = bw.serialize_time(bytes_small);
+        let t2 = bw.serialize_time(bytes_small + extra);
+        prop_assert!(t2 > t1);
+        let faster = Bandwidth::from_gbps(gbps * 2);
+        prop_assert!(faster.serialize_time(bytes_small) <= t1);
+    }
+
+    /// Engine determinism under random burst patterns.
+    #[test]
+    fn engine_is_deterministic(
+        seed in any::<u64>(),
+        bursts in prop::collection::vec((0u64..1000, 1u32..20, 64u32..1500), 1..20),
+    ) {
+        struct BurstSender {
+            bursts: Vec<(u64, u32, u32)>,
+        }
+        impl Node for BurstSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for (i, &(at_us, _, _)) in self.bursts.iter().enumerate() {
+                    ctx.set_timer_at(Time(at_us * 1_000_000), i as u64);
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                let (_, count, len) = self.bursts[token as usize];
+                for _ in 0..count {
+                    ctx.send(PortId(0), Packet::new(Headers::Raw, len));
+                }
+            }
+        }
+        #[derive(Default)]
+        struct Counter {
+            arrivals: Vec<(Time, u32)>,
+        }
+        impl Node for Counter {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_>, _: PortId, pkt: Packet) {
+                self.arrivals.push((ctx.now(), pkt.wire_len));
+            }
+        }
+        let run = || {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node(Box::new(BurstSender { bursts: bursts.clone() }));
+            let b = sim.add_node(Box::new(Counter::default()));
+            sim.connect_symmetric(
+                a,
+                PortId(0),
+                b,
+                PortId(0),
+                Bandwidth::from_gbps(10),
+                Duration::from_micros(3),
+                32,
+            );
+            sim.run();
+            sim.node_as::<Counter>(b).arrivals.clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Link statistics are consistent: offered = transmitted + dropped +
+    /// still-queued when the run is cut short.
+    #[test]
+    fn link_stats_conservation(
+        n in 1u32..200,
+        len in 64u32..1500,
+        cap in 1usize..32,
+    ) {
+        struct Burst {
+            n: u32,
+            len: u32,
+        }
+        impl Node for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for _ in 0..self.n {
+                    ctx.send(PortId(0), Packet::new(Headers::Raw, self.len));
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        }
+        struct Sink;
+        impl Node for Sink {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+        }
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Burst { n, len }));
+        let b = sim.add_node(Box::new(Sink));
+        let (ab, _) = sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(1),
+            Duration::from_micros(1),
+            cap,
+        );
+        sim.run();
+        let s = sim.link_stats(ab);
+        prop_assert_eq!(s.offered_pkts, n as u64);
+        prop_assert_eq!(s.tx_pkts + s.dropped_pkts, n as u64);
+        prop_assert_eq!(s.tx_bytes, s.tx_pkts * len as u64);
+    }
+}
+
+/// Non-property test: the packet trace reconstructs a packet's full life.
+#[test]
+fn trace_records_a_packet_lifecycle() {
+    struct One;
+    impl Node for One {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(PortId(0), pkt(1000, 1));
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+    }
+    struct Sink2;
+    impl Node for Sink2 {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+    }
+    let mut sim = Simulator::new(1);
+    sim.enable_trace(64);
+    let a = sim.add_node(Box::new(One));
+    let b = sim.add_node(Box::new(Sink2));
+    sim.connect_symmetric(
+        a,
+        PortId(0),
+        b,
+        PortId(0),
+        Bandwidth::from_gbps(10),
+        Duration::from_micros(1),
+        16,
+    );
+    sim.run();
+    use mtp_sim::TraceKind;
+    let kinds: Vec<TraceKind> = sim
+        .packet_trace(mtp_sim::PacketId(1))
+        .iter()
+        .map(|e| e.kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TraceKind::Offered,
+            TraceKind::Queued { marked: false },
+            TraceKind::TxStart,
+            TraceKind::Delivered
+        ]
+    );
+}

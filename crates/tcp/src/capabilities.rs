@@ -1,0 +1,141 @@
+//! Table 1 rows for the TCP-family transports implemented in this crate.
+//!
+//! Each verdict cites the mechanism in this crate (or its absence) that
+//! justifies it — the point of the paper's Table 1 is that these are
+//! *structural* properties of the stream abstraction, not tuning issues.
+
+use mtp_wire::capabilities::{Assessment, TransportCapabilities};
+
+/// TCP used as a pass-through with many requests per flow (typical usage).
+pub fn tcp_passthrough_many_rpf() -> TransportCapabilities {
+    TransportCapabilities {
+        name: "TCP Pass-Through (many RPF)",
+        data_mutation: Assessment::no(
+            "byte sequence numbers break if a middlebox changes segment lengths",
+        ),
+        low_buffering: Assessment::yes(
+            "pass-through devices forward segments without reassembly state",
+        ),
+        inter_message_independence: Assessment::no(
+            "requests share one in-order stream; reordering or splitting it corrupts the connection",
+        ),
+        multi_resource_cc: Assessment::yes(
+            "long-lived flows let per-path CC state converge (but only one path at a time)",
+        ),
+        multi_entity_isolation: Assessment::no(
+            "fair sharing is per flow; an entity with more flows gets more bandwidth",
+        ),
+    }
+}
+
+/// TCP pass-through with one request per flow.
+pub fn tcp_passthrough_one_rpf() -> TransportCapabilities {
+    TransportCapabilities {
+        name: "TCP Pass-Through (one RPF)",
+        data_mutation: Assessment::no("same stream sequence-number constraint"),
+        low_buffering: Assessment::yes("pass-through keeps no reassembly state"),
+        inter_message_independence: Assessment::no(
+            "a message still cannot be split or reordered inside its flow",
+        ),
+        multi_resource_cc: Assessment::no(
+            "every message restarts from slow start; no converged congestion state (Fig. 3)",
+        ),
+        multi_entity_isolation: Assessment::yes(
+            "one flow per request makes per-flow fairness approximate per-request fairness",
+        ),
+    }
+}
+
+/// TCP terminated at the device (e.g. an L7 load balancer), many requests
+/// per flow.
+pub fn tcp_termination_many_rpf() -> TransportCapabilities {
+    TransportCapabilities {
+        name: "TCP Termination (many RPF)",
+        data_mutation: Assessment::yes(
+            "terminating both sides decouples the byte streams, so lengths may change",
+        ),
+        low_buffering: Assessment::no(
+            "full TCP state plus a buffer absorbing the bandwidth mismatch (Fig. 2)",
+        ),
+        inter_message_independence: Assessment::no(
+            "the client-side stream still serializes requests in order",
+        ),
+        multi_resource_cc: Assessment::yes("each leg runs its own converged CC"),
+        multi_entity_isolation: Assessment::no("per-flow fairness on each leg"),
+    }
+}
+
+/// TCP terminated at the device, one request per flow.
+pub fn tcp_termination_one_rpf() -> TransportCapabilities {
+    TransportCapabilities {
+        name: "TCP Termination (one RPF)",
+        data_mutation: Assessment::yes("terminated streams may be rewritten"),
+        low_buffering: Assessment::no("TCP state machines per request on a switch/FPGA"),
+        inter_message_independence: Assessment::yes(
+            "each request is its own connection and may go to any backend",
+        ),
+        multi_resource_cc: Assessment::no("slow-start restart per request (Fig. 3)"),
+        multi_entity_isolation: Assessment::yes("flow count tracks request count"),
+    }
+}
+
+/// DCTCP (the `CcVariant::Dctcp` implementation here).
+pub fn dctcp() -> TransportCapabilities {
+    TransportCapabilities {
+        name: "DCTCP",
+        data_mutation: Assessment::no("same stream abstraction as TCP"),
+        low_buffering: Assessment::no(
+            "keeps queues short, but L7 devices still need stream reassembly",
+        ),
+        inter_message_independence: Assessment::no("single in-order stream"),
+        multi_resource_cc: Assessment::no(
+            "one window and one alpha for the whole path; path changes corrupt both (Fig. 5)",
+        ),
+        multi_entity_isolation: Assessment::no("per-flow fairness (Fig. 7)"),
+    }
+}
+
+/// All rows exported by this crate.
+pub fn all() -> Vec<TransportCapabilities> {
+    vec![
+        tcp_passthrough_many_rpf(),
+        tcp_passthrough_one_rpf(),
+        tcp_termination_many_rpf(),
+        tcp_termination_one_rpf(),
+        dctcp(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_wire::capabilities::Support;
+
+    /// The verdicts must match the paper's Table 1 exactly.
+    #[test]
+    fn rows_match_paper_table1() {
+        use Support::{No as X, Yes as Y};
+        let expect: [(&str, [Support; 5]); 5] = [
+            ("TCP Pass-Through (many RPF)", [X, Y, X, Y, X]),
+            ("TCP Pass-Through (one RPF)", [X, Y, X, X, Y]),
+            ("TCP Termination (many RPF)", [Y, X, X, Y, X]),
+            ("TCP Termination (one RPF)", [Y, X, Y, X, Y]),
+            ("DCTCP", [X, X, X, X, X]),
+        ];
+        for (row, (name, cells)) in all().iter().zip(expect.iter()) {
+            assert_eq!(&row.name, name);
+            assert_eq!(&row.row(), cells, "row {name}");
+        }
+    }
+
+    #[test]
+    fn no_tcp_variant_meets_all_requirements() {
+        for row in all() {
+            assert!(
+                row.score() < 5,
+                "{} should not satisfy everything",
+                row.name
+            );
+        }
+    }
+}

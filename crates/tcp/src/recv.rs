@@ -1,0 +1,361 @@
+//! The sans-IO TCP receiver state machine.
+//!
+//! [`ReceiverConn`] reassembles the byte stream (tracking out-of-order
+//! ranges as intervals — the data itself is virtual), generates ACKs with
+//! the appropriate ECN echo, and models a bounded receive buffer whose
+//! occupancy shrinks only when the *application* consumes bytes. That last
+//! part is what the paper's Fig. 2 probes: a TCP-terminating proxy whose
+//! downstream is slower either buffers without bound (unlimited window) or
+//! advertises a shrinking window and head-of-line-blocks the client.
+
+use std::collections::BTreeMap;
+
+use mtp_sim::packet::{Headers, Packet};
+use mtp_sim::time::Time;
+use mtp_wire::{TcpFlags, TcpHeader};
+
+use crate::cc::CcVariant;
+use crate::{TcpConfig, TCP_WIRE_OVERHEAD};
+
+/// How the receiver echoes congestion marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcnEchoMode {
+    /// DCTCP: each ACK echoes the CE state of the packet it acknowledges.
+    PerPacket,
+    /// Classic ECN (RFC 3168): ECE is latched from the first CE until the
+    /// sender responds with CWR.
+    Latched,
+}
+
+/// One TCP receiver.
+#[derive(Debug)]
+pub struct ReceiverConn {
+    conn_id: u32,
+    src_port: u16,
+    dst_port: u16,
+    /// Next in-order byte expected.
+    rcv_nxt: u64,
+    /// Out-of-order ranges, keyed by start, non-overlapping, non-adjacent.
+    ooo: BTreeMap<u64, u64>,
+    /// Receive-buffer capacity; `None` = unlimited.
+    buffer_cap: Option<u64>,
+    /// In-order bytes delivered to the app but not yet consumed by it.
+    pending: u64,
+    /// Total in-order bytes ever delivered.
+    delivered: u64,
+    echo_mode: EcnEchoMode,
+    ece_latched: bool,
+    /// Count of ACKs sent (stats).
+    pub acks_sent: u64,
+}
+
+impl ReceiverConn {
+    /// Create the receiving half for connection `conn_id`. Port arguments
+    /// are from the *receiver's* perspective (src = receiver's port).
+    pub fn new(cfg: &TcpConfig, conn_id: u32, src_port: u16, dst_port: u16) -> ReceiverConn {
+        let echo_mode = match cfg.variant {
+            CcVariant::Dctcp => EcnEchoMode::PerPacket,
+            CcVariant::NewReno => EcnEchoMode::Latched,
+        };
+        ReceiverConn {
+            conn_id,
+            src_port,
+            dst_port,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            buffer_cap: cfg.recv_buffer,
+            pending: 0,
+            delivered: 0,
+            echo_mode,
+            ece_latched: false,
+            acks_sent: 0,
+        }
+    }
+
+    /// Total in-order bytes delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// In-order bytes waiting for the application.
+    pub fn available(&self) -> u64 {
+        self.pending
+    }
+
+    /// Bytes currently held in the receive buffer (in-order unconsumed +
+    /// out-of-order).
+    pub fn buffered(&self) -> u64 {
+        self.pending + self.ooo_bytes()
+    }
+
+    fn ooo_bytes(&self) -> u64 {
+        self.ooo.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// The receive window to advertise.
+    pub fn rwnd(&self) -> u64 {
+        match self.buffer_cap {
+            None => u64::MAX,
+            Some(cap) => cap.saturating_sub(self.buffered()),
+        }
+    }
+
+    /// Process one incoming segment. Returns `(newly_in_order_bytes,
+    /// reply)` — the reply (an ACK or SYN-ACK) must be transmitted by the
+    /// caller.
+    pub fn on_segment(&mut self, _now: Time, hdr: &TcpHeader, ce: bool) -> (u64, Option<Packet>) {
+        if hdr.flags.syn {
+            let reply = self.make_reply(TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            });
+            return (0, Some(reply));
+        }
+        if hdr.payload_len == 0 {
+            return (0, None);
+        }
+        // ECN echo bookkeeping.
+        if ce {
+            self.ece_latched = true;
+        }
+        if hdr.flags.cwr && self.echo_mode == EcnEchoMode::Latched {
+            self.ece_latched = false;
+        }
+
+        let seq = hdr.seq;
+        let len = hdr.payload_len as u64;
+        let end = seq + len;
+        let before = self.rcv_nxt;
+
+        if end > self.rcv_nxt {
+            // Discard anything that would overflow a bounded buffer: a
+            // compliant sender never triggers this (it honors rwnd), but
+            // the state machine must stay safe regardless.
+            let fits = match self.buffer_cap {
+                None => true,
+                Some(cap) => end - self.rcv_nxt + self.buffered() <= cap + len,
+            };
+            if fits {
+                self.insert_range(seq.max(self.rcv_nxt), end);
+                self.drain_in_order();
+            }
+        }
+        let newly = self.rcv_nxt - before;
+        self.pending += newly;
+        self.delivered += newly;
+
+        let ece = match self.echo_mode {
+            EcnEchoMode::PerPacket => ce,
+            EcnEchoMode::Latched => self.ece_latched,
+        };
+        let reply = self.make_reply(TcpFlags {
+            ack: true,
+            ece,
+            ..Default::default()
+        });
+        (newly, Some(reply))
+    }
+
+    /// The application consumed `bytes` from the in-order buffer. Returns a
+    /// window-update ACK when the buffer is bounded (the sender may be
+    /// blocked on a zero window).
+    pub fn app_consume(&mut self, bytes: u64) -> Option<Packet> {
+        let take = bytes.min(self.pending);
+        self.pending -= take;
+        if self.buffer_cap.is_some() && take > 0 {
+            Some(self.make_reply(TcpFlags {
+                ack: true,
+                ..Default::default()
+            }))
+        } else {
+            None
+        }
+    }
+
+    fn insert_range(&mut self, start: u64, end: u64) {
+        debug_assert!(start < end);
+        let mut start = start;
+        let mut end = end;
+        // Merge with any overlapping or adjacent existing ranges.
+        let overlapping: Vec<u64> = self
+            .ooo
+            .range(..=end)
+            .filter(|(_, &e)| e >= start)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.ooo.remove(&s).expect("key just found");
+            start = start.min(s);
+            end = end.max(e);
+        }
+        self.ooo.insert(start, end);
+    }
+
+    fn drain_in_order(&mut self) {
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
+            if s <= self.rcv_nxt {
+                self.ooo.pop_first();
+                self.rcv_nxt = self.rcv_nxt.max(e);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn make_reply(&mut self, flags: TcpFlags) -> Packet {
+        self.acks_sent += 1;
+        let hdr = TcpHeader {
+            conn_id: self.conn_id,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            seq: 0,
+            ack: self.rcv_nxt,
+            flags,
+            rwnd: self.rwnd().min(u32::MAX as u64) as u32,
+            payload_len: 0,
+        };
+        Packet::new(Headers::Tcp(hdr), TCP_WIRE_OVERHEAD).without_ect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(conn_id: u32, seq: u64, len: u16) -> TcpHeader {
+        TcpHeader {
+            conn_id,
+            src_port: 1,
+            dst_port: 2,
+            seq,
+            ack: 0,
+            flags: TcpFlags::default(),
+            rwnd: 0,
+            payload_len: len,
+        }
+    }
+
+    fn recv(cfg: &TcpConfig) -> ReceiverConn {
+        ReceiverConn::new(cfg, 1, 2, 1)
+    }
+
+    fn ackno(p: &Packet) -> u64 {
+        p.headers.as_tcp().unwrap().ack
+    }
+
+    #[test]
+    fn in_order_delivery_acks_cumulatively() {
+        let mut r = recv(&TcpConfig::default());
+        let (n1, a1) = r.on_segment(Time::ZERO, &seg(1, 0, 1000), false);
+        assert_eq!(n1, 1000);
+        assert_eq!(ackno(&a1.unwrap()), 1000);
+        let (n2, a2) = r.on_segment(Time::ZERO, &seg(1, 1000, 500), false);
+        assert_eq!(n2, 500);
+        assert_eq!(ackno(&a2.unwrap()), 1500);
+        assert_eq!(r.delivered(), 1500);
+    }
+
+    #[test]
+    fn out_of_order_held_then_merged() {
+        let mut r = recv(&TcpConfig::default());
+        let (n, a) = r.on_segment(Time::ZERO, &seg(1, 1000, 1000), false);
+        assert_eq!(n, 0, "hole: nothing in order yet");
+        assert_eq!(ackno(&a.unwrap()), 0, "dup ACK for the hole");
+        assert_eq!(r.buffered(), 1000);
+        let (n, a) = r.on_segment(Time::ZERO, &seg(1, 0, 1000), false);
+        assert_eq!(n, 2000, "hole filled merges the OOO range");
+        assert_eq!(ackno(&a.unwrap()), 2000);
+    }
+
+    #[test]
+    fn duplicate_data_is_idempotent() {
+        let mut r = recv(&TcpConfig::default());
+        r.on_segment(Time::ZERO, &seg(1, 0, 1000), false);
+        let (n, _) = r.on_segment(Time::ZERO, &seg(1, 0, 1000), false);
+        assert_eq!(n, 0);
+        assert_eq!(r.delivered(), 1000);
+    }
+
+    #[test]
+    fn overlapping_ooo_ranges_merge() {
+        let mut r = recv(&TcpConfig::default());
+        r.on_segment(Time::ZERO, &seg(1, 3000, 1000), false);
+        r.on_segment(Time::ZERO, &seg(1, 3500, 1000), false);
+        assert_eq!(r.buffered(), 1500, "overlap counted once");
+        r.on_segment(Time::ZERO, &seg(1, 1000, 2000), false);
+        let (n, _) = r.on_segment(Time::ZERO, &seg(1, 0, 1000), false);
+        assert_eq!(n, 4500);
+    }
+
+    #[test]
+    fn syn_gets_synack() {
+        let mut r = recv(&TcpConfig::default());
+        let hdr = TcpHeader {
+            flags: TcpFlags {
+                syn: true,
+                ..Default::default()
+            },
+            ..seg(1, 0, 0)
+        };
+        let (_, reply) = r.on_segment(Time::ZERO, &hdr, false);
+        let reply = reply.unwrap();
+        let f = reply.headers.as_tcp().unwrap().flags;
+        assert!(f.syn && f.ack);
+    }
+
+    #[test]
+    fn bounded_buffer_shrinks_window_until_consumed() {
+        let cfg = TcpConfig {
+            recv_buffer: Some(10_000),
+            ..TcpConfig::default()
+        };
+        let mut r = recv(&cfg);
+        let (_, a) = r.on_segment(Time::ZERO, &seg(1, 0, 4000), false);
+        assert_eq!(a.unwrap().headers.as_tcp().unwrap().rwnd, 6000);
+        let update = r.app_consume(4000).expect("window update");
+        assert_eq!(update.headers.as_tcp().unwrap().rwnd, 10_000);
+        assert_eq!(r.available(), 0);
+    }
+
+    #[test]
+    fn unlimited_buffer_advertises_max_window() {
+        let mut r = recv(&TcpConfig::default());
+        let (_, a) = r.on_segment(Time::ZERO, &seg(1, 0, 4000), false);
+        assert_eq!(a.unwrap().headers.as_tcp().unwrap().rwnd, u32::MAX);
+        assert!(r.app_consume(4000).is_none(), "no updates needed");
+    }
+
+    #[test]
+    fn dctcp_echo_is_per_packet() {
+        let mut r = recv(&TcpConfig::dctcp());
+        let (_, a) = r.on_segment(Time::ZERO, &seg(1, 0, 1000), true);
+        assert!(a.unwrap().headers.as_tcp().unwrap().flags.ece);
+        let (_, a) = r.on_segment(Time::ZERO, &seg(1, 1000, 1000), false);
+        assert!(
+            !a.unwrap().headers.as_tcp().unwrap().flags.ece,
+            "echo follows packet CE"
+        );
+    }
+
+    #[test]
+    fn classic_echo_latches_until_cwr() {
+        let mut r = recv(&TcpConfig::default());
+        let (_, a) = r.on_segment(Time::ZERO, &seg(1, 0, 1000), true);
+        assert!(a.unwrap().headers.as_tcp().unwrap().flags.ece);
+        let (_, a) = r.on_segment(Time::ZERO, &seg(1, 1000, 1000), false);
+        assert!(a.unwrap().headers.as_tcp().unwrap().flags.ece, "latched");
+        let cwr_seg = TcpHeader {
+            flags: TcpFlags {
+                cwr: true,
+                ..Default::default()
+            },
+            ..seg(1, 2000, 1000)
+        };
+        let (_, a) = r.on_segment(Time::ZERO, &cwr_seg, false);
+        assert!(
+            !a.unwrap().headers.as_tcp().unwrap().flags.ece,
+            "cleared by CWR"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! TCP edge cases: handshake loss, zero-window stalls and reopening,
+//! classic-ECN dynamics, and mixed DCTCP/NewReno coexistence.
+
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{DropTailQueue, LinkCfg, LossyQueue, PortId, Simulator};
+use mtp_tcp::{SenderConn, TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
+use mtp_wire::{TcpFlags, TcpHeader};
+
+/// A lost SYN is retransmitted by the RTO and the connection still opens.
+#[test]
+fn syn_loss_is_recovered() {
+    let mut sim = Simulator::new(1);
+    let cfg = TcpConfig::default(); // handshake on
+    let snd = sim.add_node(Box::new(TcpSenderNode::new(
+        cfg.clone(),
+        TcpWorkloadMode::Persistent,
+        100,
+        vec![(Time::ZERO, 100_000)],
+    )));
+    let sink = sim.add_node(Box::new(TcpSinkNode::new(cfg, Duration::from_micros(100))));
+    let rate = Bandwidth::from_gbps(10);
+    let d = Duration::from_micros(2);
+    // 50% loss on the data direction, SYNs included: the handshake must
+    // be carried by the RTO.
+    sim.connect(
+        snd,
+        PortId(0),
+        sink,
+        PortId(0),
+        LinkCfg {
+            rate,
+            delay: d,
+            queue: Box::new(LossyQueue::new(Box::new(DropTailQueue::new(256)), 0.5, 11)),
+        },
+        LinkCfg::drop_tail(rate, d, 256),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(500));
+    let sender = sim.node_as::<TcpSenderNode>(snd);
+    assert!(
+        sender.all_done(),
+        "handshake and transfer survive SYN losses"
+    );
+    assert_eq!(sim.node_as::<TcpSinkNode>(sink).total_delivered, 100_000);
+}
+
+/// Classic ECN (NewReno + latched ECE): one halving per window even when
+/// every ACK in the window carries ECE.
+#[test]
+fn classic_ecn_halves_once_per_window() {
+    let cfg = TcpConfig {
+        handshake: false,
+        ..TcpConfig::default()
+    };
+    let mut s = SenderConn::new(cfg, 1, 1, 2);
+    let mut out = Vec::new();
+    s.open(Time::ZERO, &mut out);
+    s.app_write(10_000_000, Time::ZERO, &mut out);
+    let w0 = s.cwnd();
+    let t = Time::ZERO + Duration::from_micros(10);
+    // Several ECE ACKs within the same window.
+    for i in 1..=4u64 {
+        let hdr = TcpHeader {
+            conn_id: 1,
+            ack: i * 1460,
+            flags: TcpFlags {
+                ack: true,
+                ece: true,
+                ..Default::default()
+            },
+            rwnd: u32::MAX,
+            ..TcpHeader::default()
+        };
+        s.on_segment(t, &hdr, &mut out);
+    }
+    // One halving, then ordinary congestion-avoidance growth on the
+    // remaining ACKs — never a second cut within the window.
+    assert!(s.cwnd() >= w0 / 2, "no double halving: {}", s.cwnd());
+    assert!(
+        s.cwnd() < w0 / 2 + 4 * 1460,
+        "growth bounded by additive increase: {}",
+        s.cwnd()
+    );
+}
+
+/// The sender stalls completely on a zero window and resumes when the
+/// receiver's window update arrives — no packets leak in between.
+#[test]
+fn zero_window_stall_and_reopen() {
+    let cfg = TcpConfig {
+        handshake: false,
+        ..TcpConfig::default()
+    };
+    let mut s = SenderConn::new(cfg, 1, 1, 2);
+    let mut out = Vec::new();
+    s.open(Time::ZERO, &mut out);
+    s.app_write(1_000_000, Time::ZERO, &mut out);
+    out.clear();
+    let t = Time::ZERO + Duration::from_micros(10);
+    let zero = TcpHeader {
+        conn_id: 1,
+        ack: 14_600,
+        flags: TcpFlags {
+            ack: true,
+            ..Default::default()
+        },
+        rwnd: 0,
+        ..TcpHeader::default()
+    };
+    s.on_segment(t, &zero, &mut out);
+    assert!(out.is_empty(), "zero window blocks everything");
+    assert_eq!(s.flight(), 0);
+    // Window update reopens exactly up to the advertised space.
+    let update = TcpHeader { rwnd: 4380, ..zero };
+    s.on_segment(t + Duration::from_micros(5), &update, &mut out);
+    assert_eq!(s.flight(), 4380, "three segments fit the reopened window");
+}
+
+/// NewReno and DCTCP endpoints run side by side in one simulation (true
+/// shared-bottleneck contention lives in the mtp-net dumbbell tests; this
+/// pins that the two variants' state machines coexist in one event loop
+/// without interference).
+#[test]
+fn mixed_cc_flows_share_a_bottleneck() {
+    let mut sim = Simulator::new(9);
+    let reno_cfg = TcpConfig::default();
+    let dctcp_cfg = TcpConfig::dctcp();
+    let reno = sim.add_node(Box::new(TcpSenderNode::with_addrs(
+        reno_cfg.clone(),
+        TcpWorkloadMode::Persistent,
+        100,
+        vec![(Time::ZERO, 20_000_000)],
+        1,
+        2,
+    )));
+    let dctcp = sim.add_node(Box::new(TcpSenderNode::with_addrs(
+        dctcp_cfg.clone(),
+        TcpWorkloadMode::Persistent,
+        200,
+        vec![(Time::ZERO, 20_000_000)],
+        3,
+        4,
+    )));
+    let sink = sim.add_node(Box::new(TcpSinkNode::new(
+        reno_cfg,
+        Duration::from_micros(100),
+    )));
+    let sink2 = sim.add_node(Box::new(TcpSinkNode::new(
+        dctcp_cfg,
+        Duration::from_micros(100),
+    )));
+    let rate = Bandwidth::from_gbps(10);
+    let d = Duration::from_micros(2);
+    sim.connect(
+        reno,
+        PortId(0),
+        sink,
+        PortId(0),
+        LinkCfg::ecn(rate, d, 128, 20),
+        LinkCfg::ecn(rate, d, 128, 20),
+    );
+    sim.connect(
+        dctcp,
+        PortId(0),
+        sink2,
+        PortId(0),
+        LinkCfg::ecn(rate, d, 128, 20),
+        LinkCfg::ecn(rate, d, 128, 20),
+    );
+    sim.run_until(Time::ZERO + Duration::from_millis(100));
+    assert!(sim.node_as::<TcpSenderNode>(reno).all_done());
+    assert!(sim.node_as::<TcpSenderNode>(dctcp).all_done());
+}

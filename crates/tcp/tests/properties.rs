@@ -1,0 +1,152 @@
+//! Property-based and failure-injection tests for the TCP baselines.
+
+use proptest::prelude::*;
+
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{DropTailQueue, LinkCfg, LossyQueue, PortId, ReorderQueue, Simulator};
+use mtp_tcp::{ReceiverConn, TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
+use mtp_wire::{TcpFlags, TcpHeader};
+
+fn seg(seq: u64, len: u16) -> TcpHeader {
+    TcpHeader {
+        conn_id: 1,
+        src_port: 1,
+        dst_port: 2,
+        seq,
+        ack: 0,
+        flags: TcpFlags::default(),
+        rwnd: 0,
+        payload_len: len,
+    }
+}
+
+proptest! {
+    /// Feeding the receiver the segments of a stream in any order delivers
+    /// every byte exactly once, with a final cumulative ACK at the stream
+    /// end.
+    #[test]
+    fn receiver_reassembles_any_arrival_order(
+        seg_lens in prop::collection::vec(1u16..1461, 1..40),
+        shuffle_seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut segments = Vec::new();
+        let mut seq = 0u64;
+        for len in &seg_lens {
+            segments.push(seg(seq, *len));
+            seq += *len as u64;
+        }
+        let total = seq;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(shuffle_seed);
+        segments.shuffle(&mut rng);
+
+        let mut r = ReceiverConn::new(&TcpConfig::default(), 1, 2, 1);
+        let mut delivered = 0u64;
+        let mut last_ack = 0u64;
+        for s in &segments {
+            let (newly, reply) = r.on_segment(Time::ZERO, s, false);
+            delivered += newly;
+            if let Some(rep) = reply {
+                last_ack = rep.headers.as_tcp().expect("tcp ack").ack;
+            }
+        }
+        prop_assert_eq!(delivered, total);
+        prop_assert_eq!(r.delivered(), total);
+        prop_assert_eq!(last_ack, total, "final ACK covers the stream");
+        // Replays are idempotent.
+        for s in &segments {
+            let (newly, _) = r.on_segment(Time::ZERO, s, false);
+            prop_assert_eq!(newly, 0);
+        }
+    }
+
+    /// TCP completes transfers through random loss (both variants).
+    #[test]
+    fn tcp_survives_random_loss(
+        loss in 0.0f64..0.2,
+        seed in any::<u64>(),
+        size_kb in 16u64..256,
+        dctcp in any::<bool>(),
+    ) {
+        let cfg = if dctcp { TcpConfig::dctcp() } else { TcpConfig::default() };
+        let mut sim = Simulator::new(1);
+        let snd = sim.add_node(Box::new(TcpSenderNode::new(
+            cfg.clone(),
+            TcpWorkloadMode::Persistent,
+            100,
+            vec![(Time::ZERO, size_kb * 1024)],
+        )));
+        let sink = sim.add_node(Box::new(TcpSinkNode::new(cfg, Duration::from_micros(100))));
+        let rate = Bandwidth::from_gbps(10);
+        let d = Duration::from_micros(2);
+        sim.connect(
+            snd,
+            PortId(0),
+            sink,
+            PortId(0),
+            LinkCfg {
+                rate,
+                delay: d,
+                queue: Box::new(LossyQueue::new(Box::new(DropTailQueue::new(512)), loss, seed)),
+            },
+            LinkCfg::drop_tail(rate, d, 512),
+        );
+        sim.run_until(Time::ZERO + Duration::from_millis(2_000));
+        let sender = sim.node_as::<TcpSenderNode>(snd);
+        prop_assert!(sender.all_done(), "incomplete at loss {loss:.2}");
+        prop_assert_eq!(
+            sim.node_as::<TcpSinkNode>(sink).total_delivered,
+            size_kb * 1024
+        );
+    }
+
+    /// TCP tolerates in-network reordering (dup-ACK noise costs spurious
+    /// retransmits, never correctness).
+    #[test]
+    fn tcp_survives_reordering(nth in 2u64..6, delay_pkts in 1usize..6) {
+        let cfg = TcpConfig::default();
+        let mut sim = Simulator::new(1);
+        let snd = sim.add_node(Box::new(TcpSenderNode::new(
+            cfg.clone(),
+            TcpWorkloadMode::Persistent,
+            100,
+            vec![(Time::ZERO, 200_000)],
+        )));
+        let sink = sim.add_node(Box::new(TcpSinkNode::new(cfg, Duration::from_micros(100))));
+        let rate = Bandwidth::from_gbps(10);
+        let d = Duration::from_micros(2);
+        sim.connect(
+            snd,
+            PortId(0),
+            sink,
+            PortId(0),
+            LinkCfg {
+                rate,
+                delay: d,
+                queue: Box::new(ReorderQueue::new(
+                    Box::new(DropTailQueue::new(512)),
+                    nth,
+                    delay_pkts,
+                )),
+            },
+            LinkCfg::drop_tail(rate, d, 512),
+        );
+        sim.run_until(Time::ZERO + Duration::from_millis(500));
+        prop_assert!(sim.node_as::<TcpSenderNode>(snd).all_done());
+        prop_assert_eq!(sim.node_as::<TcpSinkNode>(sink).total_delivered, 200_000);
+    }
+
+    /// RTT estimator safety: the RTO never undercuts the floor and always
+    /// exceeds the smoothed RTT.
+    #[test]
+    fn rto_bounds(samples in prop::collection::vec(1u64..100_000, 1..100), floor_us in 1u64..1000) {
+        let mut e = mtp_sim::RttEstimator::new(Duration::from_micros(floor_us));
+        for s in &samples {
+            e.sample(Duration::from_micros(*s));
+            let rto = e.rto();
+            prop_assert!(rto >= Duration::from_micros(floor_us));
+            prop_assert!(rto >= e.srtt().expect("sampled"));
+        }
+    }
+}

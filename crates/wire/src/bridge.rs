@@ -1,0 +1,157 @@
+//! Bridging MTP across legacy TCP islands (paper §4, "Interaction with
+//! TCP").
+//!
+//! The paper sketches carrying the MTP header "as a new TCP option" so
+//! MTP-aware devices can bridge regions of the network that only speak
+//! TCP. Classic TCP options cap at 40 bytes while a feedback-laden MTP
+//! header can be much larger, so this module implements the practical
+//! variant: a **payload-prefix encapsulation**. The bridged segment's
+//! payload begins with a magic/version/length preamble followed by the
+//! byte-exact MTP header; the original MTP payload follows. A legacy
+//! middlebox sees a well-formed TCP segment; an MTP bridge at the far
+//! edge recovers the full header losslessly.
+//!
+//! Layout of the bridged payload:
+//!
+//! ```text
+//! offset size  field
+//!      0    4  magic 0x4D545042 ("MTPB")
+//!      4    1  version (currently 1)
+//!      5    1  reserved (zero)
+//!      6    2  mtp_header_len (bytes)
+//!      8    -  MTP header (see crate root)
+//!      .    -  original payload
+//! ```
+
+use crate::error::WireError;
+use crate::header::MtpHeader;
+
+/// Magic prefix identifying a bridged MTP header ("MTPB").
+pub const BRIDGE_MAGIC: u32 = 0x4D54_5042;
+
+/// Current encapsulation version.
+pub const BRIDGE_VERSION: u8 = 1;
+
+/// Size of the encapsulation preamble.
+pub const BRIDGE_PREAMBLE_LEN: usize = 8;
+
+/// Encapsulate an MTP header for transport inside a TCP payload. Returns
+/// the preamble + header bytes to prepend to the original payload.
+pub fn encapsulate(hdr: &MtpHeader) -> Result<Vec<u8>, WireError> {
+    let hdr_len = hdr.wire_len();
+    if hdr_len > u16::MAX as usize {
+        return Err(WireError::TooManyEntries {
+            list: "bridged header",
+            count: hdr_len,
+        });
+    }
+    let mut out = vec![0u8; BRIDGE_PREAMBLE_LEN + hdr_len];
+    out[0..4].copy_from_slice(&BRIDGE_MAGIC.to_be_bytes());
+    out[4] = BRIDGE_VERSION;
+    out[5] = 0;
+    out[6..8].copy_from_slice(&(hdr_len as u16).to_be_bytes());
+    hdr.emit(&mut out[BRIDGE_PREAMBLE_LEN..])?;
+    Ok(out)
+}
+
+/// Try to recover a bridged MTP header from the front of a TCP payload.
+///
+/// Returns `Ok(None)` if the payload does not start with the bridge magic
+/// (i.e. it is ordinary TCP data); `Ok(Some((header, consumed)))` on
+/// success, where `consumed` is the total encapsulation length to strip.
+pub fn decapsulate(payload: &[u8]) -> Result<Option<(MtpHeader, usize)>, WireError> {
+    if payload.len() < BRIDGE_PREAMBLE_LEN {
+        return Ok(None);
+    }
+    let magic = u32::from_be_bytes(payload[0..4].try_into().expect("4 bytes"));
+    if magic != BRIDGE_MAGIC {
+        return Ok(None);
+    }
+    if payload[4] != BRIDGE_VERSION {
+        return Err(WireError::BadPktType(payload[4]));
+    }
+    let hdr_len = u16::from_be_bytes([payload[6], payload[7]]) as usize;
+    let need = BRIDGE_PREAMBLE_LEN + hdr_len;
+    if payload.len() < need {
+        return Err(WireError::Truncated {
+            needed: need,
+            got: payload.len(),
+        });
+    }
+    let (hdr, used) = MtpHeader::parse(&payload[BRIDGE_PREAMBLE_LEN..need])?;
+    if used != hdr_len {
+        return Err(WireError::Truncated {
+            needed: hdr_len,
+            got: used,
+        });
+    }
+    Ok(Some((hdr, need)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::{Feedback, PathFeedback};
+    use crate::types::{MsgId, PathletId, PktNum, TrafficClass};
+
+    fn sample() -> MtpHeader {
+        MtpHeader {
+            src_port: 9,
+            dst_port: 10,
+            msg_id: MsgId(5),
+            msg_len_pkts: 3,
+            msg_len_bytes: 4000,
+            pkt_num: PktNum(1),
+            pkt_len: 1460,
+            pkt_offset: 1460,
+            path_feedback: vec![PathFeedback {
+                path: PathletId(4),
+                tc: TrafficClass(1),
+                feedback: Feedback::RcpRate { mbps: 25_000 },
+            }],
+            ..MtpHeader::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let hdr = sample();
+        let mut wire = encapsulate(&hdr).unwrap();
+        wire.extend_from_slice(b"application bytes follow");
+        let (back, consumed) = decapsulate(&wire).unwrap().expect("bridged");
+        assert_eq!(back, hdr);
+        assert_eq!(&wire[consumed..], b"application bytes follow");
+    }
+
+    #[test]
+    fn plain_tcp_payload_passes_through() {
+        assert_eq!(decapsulate(b"GET / HTTP/1.1\r\n").unwrap(), None);
+        assert_eq!(decapsulate(b"").unwrap(), None);
+        assert_eq!(decapsulate(b"shor").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let hdr = sample();
+        let mut wire = encapsulate(&hdr).unwrap();
+        wire[4] = 9;
+        assert!(decapsulate(&wire).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let hdr = sample();
+        let wire = encapsulate(&hdr).unwrap();
+        for cut in BRIDGE_PREAMBLE_LEN..wire.len() {
+            assert!(decapsulate(&wire[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn magic_mismatch_is_not_an_error() {
+        let hdr = sample();
+        let mut wire = encapsulate(&hdr).unwrap();
+        wire[0] ^= 0xff;
+        assert_eq!(decapsulate(&wire).unwrap(), None, "not bridged, just data");
+    }
+}

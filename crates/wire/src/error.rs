@@ -1,0 +1,61 @@
+//! Errors produced while parsing or emitting wire formats.
+
+use core::fmt;
+
+/// An error encountered while parsing or emitting a packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure it should contain did.
+    ///
+    /// Carries the number of bytes that were required.
+    Truncated {
+        /// Bytes needed to hold the complete structure.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// An unknown packet-type discriminant was found.
+    BadPktType(u8),
+    /// A feedback TLV used an unknown type tag.
+    BadFeedbackType(u8),
+    /// A feedback TLV's declared length disagrees with its type's fixed size.
+    BadFeedbackLen {
+        /// The TLV type tag.
+        fb_type: u8,
+        /// The declared value length.
+        len: u8,
+    },
+    /// A list exceeded the maximum entry count representable on the wire.
+    TooManyEntries {
+        /// Which list overflowed (static description).
+        list: &'static str,
+        /// How many entries were requested.
+        count: usize,
+    },
+    /// Reserved bytes were non-zero (likely header corruption).
+    BadReserved,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated header: needed {needed} bytes, got {got}")
+            }
+            WireError::BadPktType(t) => write!(f, "unknown packet type {t:#04x}"),
+            WireError::BadFeedbackType(t) => write!(f, "unknown feedback TLV type {t:#04x}"),
+            WireError::BadFeedbackLen { fb_type, len } => {
+                write!(
+                    f,
+                    "feedback TLV type {fb_type:#04x} has invalid length {len}"
+                )
+            }
+            WireError::TooManyEntries { list, count } => {
+                write!(f, "{list} list cannot hold {count} entries (max 255)")
+            }
+            WireError::BadReserved => write!(f, "reserved header bytes are non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,482 @@
+//! The owned, high-level MTP header representation.
+//!
+//! [`MtpHeader`] mirrors Figure 4 of the paper field-for-field. It is the
+//! form carried inside simulated packets and manipulated by endpoints and
+//! in-network devices; [`MtpHeader::emit`] / [`MtpHeader::parse`] convert to
+//! and from the byte-exact wire format documented in the crate root.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::WireError;
+use crate::feedback::{Feedback, PathFeedback};
+use crate::types::{flags, EntityId, MsgId, PathletId, PktNum, PktType, TrafficClass};
+use crate::{FIXED_HEADER_LEN, PATH_EXCLUDE_ENTRY_LEN, PATH_FEEDBACK_PREFIX_LEN, SACK_ENTRY_LEN};
+
+/// One entry of the path-exclude list: the sender asks the network not to
+/// route this packet over the given pathlet/TC because the sender has
+/// received feedback that it is congested (paper §3.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathExclude {
+    /// The pathlet the sender wants avoided.
+    pub path: PathletId,
+    /// The traffic class for which the exclusion applies.
+    pub tc: TrafficClass,
+}
+
+/// One entry of the SACK or NACK list: acknowledgements in MTP name
+/// `(message, packet)` pairs, never byte ranges (paper §3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SackEntry {
+    /// The message the entry refers to.
+    pub msg: MsgId,
+    /// The packet number within that message.
+    pub pkt: PktNum,
+}
+
+/// The complete MTP packet header (paper Figure 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MtpHeader {
+    /// Source application port.
+    pub src_port: u16,
+    /// Destination application port.
+    pub dst_port: u16,
+    /// What kind of packet this is.
+    pub pkt_type: PktType,
+    /// Application-assigned relative priority of this message.
+    pub msg_pri: u8,
+    /// Traffic class assigned to this message.
+    pub tc: TrafficClass,
+    /// Header flags (see [`crate::types::flags`]).
+    pub flags: u8,
+    /// Unique ID among all outstanding messages from this end-host.
+    pub msg_id: MsgId,
+    /// Originating entity (tenant) for per-entity isolation.
+    pub entity: EntityId,
+    /// Message length in packets.
+    pub msg_len_pkts: u32,
+    /// Message length in bytes.
+    pub msg_len_bytes: u32,
+    /// This packet's number within the message (0-based).
+    pub pkt_num: PktNum,
+    /// This packet's payload length in bytes.
+    pub pkt_len: u16,
+    /// This packet's byte offset within the message.
+    pub pkt_offset: u32,
+    /// Pathlets the sender asks the network to avoid.
+    pub path_exclude: Vec<PathExclude>,
+    /// Per-pathlet feedback appended by network devices en route.
+    pub path_feedback: Vec<PathFeedback>,
+    /// Feedback echoed by the receiver back to the sender.
+    pub ack_path_feedback: Vec<PathFeedback>,
+    /// Selective acknowledgements: packets that arrived.
+    pub sack: Vec<SackEntry>,
+    /// Negative acknowledgements: packets known missing.
+    pub nack: Vec<SackEntry>,
+}
+
+impl Default for MtpHeader {
+    fn default() -> Self {
+        MtpHeader {
+            src_port: 0,
+            dst_port: 0,
+            pkt_type: PktType::Data,
+            msg_pri: 0,
+            tc: TrafficClass::BEST_EFFORT,
+            flags: 0,
+            msg_id: MsgId(0),
+            entity: EntityId(0),
+            msg_len_pkts: 0,
+            msg_len_bytes: 0,
+            pkt_num: PktNum(0),
+            pkt_len: 0,
+            pkt_offset: 0,
+            path_exclude: Vec::new(),
+            path_feedback: Vec::new(),
+            ack_path_feedback: Vec::new(),
+            sack: Vec::new(),
+            nack: Vec::new(),
+        }
+    }
+}
+
+impl MtpHeader {
+    /// Total encoded length of this header in bytes.
+    pub fn wire_len(&self) -> usize {
+        FIXED_HEADER_LEN
+            + self.path_exclude.len() * PATH_EXCLUDE_ENTRY_LEN
+            + self
+                .path_feedback
+                .iter()
+                .map(PathFeedback::wire_len)
+                .sum::<usize>()
+            + self
+                .ack_path_feedback
+                .iter()
+                .map(PathFeedback::wire_len)
+                .sum::<usize>()
+            + (self.sack.len() + self.nack.len()) * SACK_ENTRY_LEN
+    }
+
+    /// True if this packet carries the [`flags::LAST_PKT`] flag.
+    pub fn is_last_pkt(&self) -> bool {
+        self.flags & flags::LAST_PKT != 0
+    }
+
+    /// True if this packet is a retransmission.
+    pub fn is_retx(&self) -> bool {
+        self.flags & flags::RETX != 0
+    }
+
+    /// True if the packet's payload was trimmed by a switch.
+    pub fn is_trimmed(&self) -> bool {
+        self.flags & flags::TRIMMED != 0
+    }
+
+    /// Serialize into a freshly allocated buffer.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = vec![0u8; self.wire_len()];
+        self.emit(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Serialize into `buf`, which must be at least
+    /// [`wire_len`](Self::wire_len) bytes. Returns the number of bytes
+    /// written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize, WireError> {
+        let need = self.wire_len();
+        if buf.len() < need {
+            return Err(WireError::Truncated {
+                needed: need,
+                got: buf.len(),
+            });
+        }
+        for (list, name) in [
+            (self.path_exclude.len(), "path_exclude"),
+            (self.path_feedback.len(), "path_feedback"),
+            (self.ack_path_feedback.len(), "ack_path_feedback"),
+            (self.sack.len(), "sack"),
+            (self.nack.len(), "nack"),
+        ] {
+            if list > u8::MAX as usize {
+                return Err(WireError::TooManyEntries {
+                    list: name,
+                    count: list,
+                });
+            }
+        }
+
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4] = self.pkt_type as u8;
+        buf[5] = self.msg_pri;
+        buf[6] = self.tc.0;
+        buf[7] = self.flags;
+        buf[8..16].copy_from_slice(&self.msg_id.0.to_be_bytes());
+        buf[16..18].copy_from_slice(&self.entity.0.to_be_bytes());
+        buf[18..22].copy_from_slice(&self.msg_len_pkts.to_be_bytes());
+        buf[22..26].copy_from_slice(&self.msg_len_bytes.to_be_bytes());
+        buf[26..30].copy_from_slice(&self.pkt_num.0.to_be_bytes());
+        buf[30..32].copy_from_slice(&self.pkt_len.to_be_bytes());
+        buf[32..36].copy_from_slice(&self.pkt_offset.to_be_bytes());
+        buf[36] = self.path_exclude.len() as u8;
+        buf[37] = self.path_feedback.len() as u8;
+        buf[38] = self.ack_path_feedback.len() as u8;
+        buf[39] = self.sack.len() as u8;
+        buf[40] = self.nack.len() as u8;
+        buf[41] = 0;
+        buf[42] = 0;
+        buf[43] = 0;
+
+        let mut at = FIXED_HEADER_LEN;
+        for e in &self.path_exclude {
+            buf[at..at + 2].copy_from_slice(&e.path.0.to_be_bytes());
+            buf[at + 2] = e.tc.0;
+            at += PATH_EXCLUDE_ENTRY_LEN;
+        }
+        for list in [&self.path_feedback, &self.ack_path_feedback] {
+            for e in list {
+                buf[at..at + 2].copy_from_slice(&e.path.0.to_be_bytes());
+                buf[at + 2] = e.tc.0;
+                buf[at + 3] = e.feedback.wire_type();
+                let vlen = e.feedback.value_len();
+                buf[at + 4] = vlen as u8;
+                e.feedback.emit_value(
+                    &mut buf[at + PATH_FEEDBACK_PREFIX_LEN..at + PATH_FEEDBACK_PREFIX_LEN + vlen],
+                );
+                at += PATH_FEEDBACK_PREFIX_LEN + vlen;
+            }
+        }
+        for list in [&self.sack, &self.nack] {
+            for e in list {
+                buf[at..at + 8].copy_from_slice(&e.msg.0.to_be_bytes());
+                buf[at + 8..at + 12].copy_from_slice(&e.pkt.0.to_be_bytes());
+                at += SACK_ENTRY_LEN;
+            }
+        }
+        debug_assert_eq!(at, need);
+        Ok(at)
+    }
+
+    /// Parse a header from the front of `buf`. Returns the header and the
+    /// number of bytes it occupied.
+    pub fn parse(buf: &[u8]) -> Result<(MtpHeader, usize), WireError> {
+        if buf.len() < FIXED_HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: FIXED_HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        let pkt_type = PktType::from_wire(buf[4]).ok_or(WireError::BadPktType(buf[4]))?;
+        if buf[41] != 0 || buf[42] != 0 || buf[43] != 0 {
+            return Err(WireError::BadReserved);
+        }
+        let mut hdr = MtpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            pkt_type,
+            msg_pri: buf[5],
+            tc: TrafficClass(buf[6]),
+            flags: buf[7],
+            msg_id: MsgId(u64::from_be_bytes(buf[8..16].try_into().expect("8 bytes"))),
+            entity: EntityId(u16::from_be_bytes([buf[16], buf[17]])),
+            msg_len_pkts: u32::from_be_bytes(buf[18..22].try_into().expect("4 bytes")),
+            msg_len_bytes: u32::from_be_bytes(buf[22..26].try_into().expect("4 bytes")),
+            pkt_num: PktNum(u32::from_be_bytes(buf[26..30].try_into().expect("4 bytes"))),
+            pkt_len: u16::from_be_bytes([buf[30], buf[31]]),
+            pkt_offset: u32::from_be_bytes(buf[32..36].try_into().expect("4 bytes")),
+            ..MtpHeader::default()
+        };
+        let n_excl = buf[36] as usize;
+        let n_fb = buf[37] as usize;
+        let n_ack_fb = buf[38] as usize;
+        let n_sack = buf[39] as usize;
+        let n_nack = buf[40] as usize;
+
+        let mut at = FIXED_HEADER_LEN;
+        let need = |at: usize, n: usize, buf: &[u8]| -> Result<(), WireError> {
+            if buf.len() < at + n {
+                Err(WireError::Truncated {
+                    needed: at + n,
+                    got: buf.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+
+        hdr.path_exclude.reserve(n_excl);
+        for _ in 0..n_excl {
+            need(at, PATH_EXCLUDE_ENTRY_LEN, buf)?;
+            hdr.path_exclude.push(PathExclude {
+                path: PathletId(u16::from_be_bytes([buf[at], buf[at + 1]])),
+                tc: TrafficClass(buf[at + 2]),
+            });
+            at += PATH_EXCLUDE_ENTRY_LEN;
+        }
+        for (count, acked) in [(n_fb, false), (n_ack_fb, true)] {
+            for _ in 0..count {
+                need(at, PATH_FEEDBACK_PREFIX_LEN, buf)?;
+                let path = PathletId(u16::from_be_bytes([buf[at], buf[at + 1]]));
+                let tc = TrafficClass(buf[at + 2]);
+                let fb_type = buf[at + 3];
+                let vlen = buf[at + 4] as usize;
+                need(at + PATH_FEEDBACK_PREFIX_LEN, vlen, buf)?;
+                let value =
+                    &buf[at + PATH_FEEDBACK_PREFIX_LEN..at + PATH_FEEDBACK_PREFIX_LEN + vlen];
+                let feedback = Feedback::parse_value(fb_type, value)?;
+                let entry = PathFeedback { path, tc, feedback };
+                if acked {
+                    hdr.ack_path_feedback.push(entry);
+                } else {
+                    hdr.path_feedback.push(entry);
+                }
+                at += PATH_FEEDBACK_PREFIX_LEN + vlen;
+            }
+        }
+        for (count, is_nack) in [(n_sack, false), (n_nack, true)] {
+            for _ in 0..count {
+                need(at, SACK_ENTRY_LEN, buf)?;
+                let entry = SackEntry {
+                    msg: MsgId(u64::from_be_bytes(
+                        buf[at..at + 8].try_into().expect("8 bytes"),
+                    )),
+                    pkt: PktNum(u32::from_be_bytes(
+                        buf[at + 8..at + 12].try_into().expect("4 bytes"),
+                    )),
+                };
+                if is_nack {
+                    hdr.nack.push(entry);
+                } else {
+                    hdr.sack.push(entry);
+                }
+                at += SACK_ENTRY_LEN;
+            }
+        }
+        Ok((hdr, at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MtpHeader {
+        MtpHeader {
+            src_port: 4000,
+            dst_port: 80,
+            pkt_type: PktType::Data,
+            msg_pri: 3,
+            tc: TrafficClass(2),
+            flags: flags::LAST_PKT | flags::RETX,
+            msg_id: MsgId(0xDEADBEEF_12345678),
+            entity: EntityId(7),
+            msg_len_pkts: 12,
+            msg_len_bytes: 16 * 1024,
+            pkt_num: PktNum(11),
+            pkt_len: 1460,
+            pkt_offset: 11 * 1460,
+            path_exclude: vec![PathExclude {
+                path: PathletId(9),
+                tc: TrafficClass(2),
+            }],
+            path_feedback: vec![
+                PathFeedback {
+                    path: PathletId(1),
+                    tc: TrafficClass(0),
+                    feedback: Feedback::EcnMark { ce: true },
+                },
+                PathFeedback {
+                    path: PathletId(2),
+                    tc: TrafficClass(0),
+                    feedback: Feedback::RcpRate { mbps: 40_000 },
+                },
+            ],
+            ack_path_feedback: vec![PathFeedback {
+                path: PathletId(1),
+                tc: TrafficClass(0),
+                feedback: Feedback::Delay { ns: 12_000 },
+            }],
+            sack: vec![
+                SackEntry {
+                    msg: MsgId(5),
+                    pkt: PktNum(0),
+                },
+                SackEntry {
+                    msg: MsgId(5),
+                    pkt: PktNum(2),
+                },
+            ],
+            nack: vec![SackEntry {
+                msg: MsgId(5),
+                pkt: PktNum(1),
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let hdr = sample();
+        let bytes = hdr.to_bytes().unwrap();
+        assert_eq!(bytes.len(), hdr.wire_len());
+        let (back, used) = MtpHeader::parse(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, hdr);
+    }
+
+    #[test]
+    fn roundtrip_minimal() {
+        let hdr = MtpHeader::default();
+        let bytes = hdr.to_bytes().unwrap();
+        assert_eq!(bytes.len(), FIXED_HEADER_LEN);
+        let (back, used) = MtpHeader::parse(&bytes).unwrap();
+        assert_eq!(used, FIXED_HEADER_LEN);
+        assert_eq!(back, hdr);
+    }
+
+    #[test]
+    fn parse_rejects_truncated_fixed() {
+        let hdr = sample();
+        let bytes = hdr.to_bytes().unwrap();
+        for cut in [0, 1, FIXED_HEADER_LEN - 1] {
+            assert!(matches!(
+                MtpHeader::parse(&bytes[..cut]),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_truncated_lists() {
+        let hdr = sample();
+        let bytes = hdr.to_bytes().unwrap();
+        // Every cut point within the variable section must error, not panic.
+        for cut in FIXED_HEADER_LEN..bytes.len() {
+            assert!(matches!(
+                MtpHeader::parse(&bytes[..cut]),
+                Err(WireError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_type() {
+        let hdr = MtpHeader::default();
+        let mut bytes = hdr.to_bytes().unwrap();
+        bytes[4] = 0x77;
+        assert_eq!(MtpHeader::parse(&bytes), Err(WireError::BadPktType(0x77)));
+    }
+
+    #[test]
+    fn parse_rejects_nonzero_reserved() {
+        let hdr = MtpHeader::default();
+        let mut bytes = hdr.to_bytes().unwrap();
+        bytes[42] = 1;
+        assert_eq!(MtpHeader::parse(&bytes), Err(WireError::BadReserved));
+    }
+
+    #[test]
+    fn emit_rejects_short_buffer() {
+        let hdr = sample();
+        let mut buf = vec![0u8; hdr.wire_len() - 1];
+        assert!(matches!(
+            hdr.emit(&mut buf),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn emit_rejects_oversized_list() {
+        let hdr = MtpHeader {
+            sack: (0..300)
+                .map(|i| SackEntry {
+                    msg: MsgId(i),
+                    pkt: PktNum(0),
+                })
+                .collect(),
+            ..MtpHeader::default()
+        };
+        assert!(matches!(
+            hdr.to_bytes(),
+            Err(WireError::TooManyEntries { list: "sack", .. })
+        ));
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let hdr = sample();
+        assert!(hdr.is_last_pkt());
+        assert!(hdr.is_retx());
+        assert!(!hdr.is_trimmed());
+    }
+
+    #[test]
+    fn wire_len_matches_emitted() {
+        let mut hdr = sample();
+        hdr.path_feedback.push(PathFeedback {
+            path: PathletId(3),
+            tc: TrafficClass(1),
+            feedback: Feedback::Trim,
+        });
+        assert_eq!(hdr.to_bytes().unwrap().len(), hdr.wire_len());
+    }
+}

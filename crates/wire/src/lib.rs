@@ -1,0 +1,107 @@
+//! # mtp-wire — wire formats for the MTP message transport
+//!
+//! This crate implements the **byte-exact MTP packet header** from Figure 4
+//! of *"TCP is Harmful to In-Network Computing: Designing a Message
+//! Transport Protocol (MTP)"* (HotNets'21), together with the simplified
+//! TCP segment header used by the baseline transports in this workspace.
+//!
+//! The MTP header carries, in every packet:
+//!
+//! * addressing (source/destination ports),
+//! * **message-level information** — message ID, priority, message length in
+//!   bytes and packets, this packet's number, offset, and length — which is
+//!   what lets in-network devices parse, buffer, mutate, load-balance, and
+//!   schedule individual messages with bounded state (paper §3.1.1–3.1.2),
+//! * **pathlet congestion-control information** — a *path-exclude* list
+//!   (sender → network: "do not use these pathlets"), a *path-feedback* list
+//!   (network → receiver: per-pathlet TLV congestion feedback, appended by
+//!   switches as the packet traverses them), and an *ACK-path-feedback* list
+//!   (receiver → sender: the echoed feedback) (paper §3.1.3),
+//! * **SACK and NACK lists** that acknowledge `(message ID, packet number)`
+//!   pairs rather than byte ranges, which is what makes in-network data
+//!   mutation compatible with reliability (paper §2.2, §3.1.2).
+//!
+//! Two representations are provided, in the style of `smoltcp`:
+//!
+//! * [`view::MtpView`] — a zero-copy typed view over a byte slice, with
+//!   accessor methods that read fields in place; and
+//! * [`header::MtpHeader`] — an owned high-level representation with
+//!   [`parse`](header::MtpHeader::parse) / [`emit`](header::MtpHeader::emit)
+//!   that round-trip through the byte format.
+//!
+//! The simulator crates carry the owned representation inside simulated
+//! packets; round-trip tests (including property-based tests) guarantee the
+//! structured form and the wire format cannot drift apart.
+//!
+//! ## Wire layout
+//!
+//! All multi-byte fields are network byte order (big endian). The fixed
+//! portion is 44 bytes; five variable-length sections follow, with their
+//! entry counts stored in the fixed portion:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  src_port
+//!      2     2  dst_port
+//!      4     1  pkt_type            (Data / Ack / Nack / Control)
+//!      5     1  msg_pri             (application-assigned message priority)
+//!      6     1  tc                  (traffic class assigned to the message)
+//!      7     1  flags               (LAST_PKT, RETX, ECT, TRIMMED)
+//!      8     8  msg_id              (unique among outstanding messages)
+//!     16     2  entity              (tenant/entity for multi-entity isolation)
+//!     18     4  msg_len_pkts        (message length in packets)
+//!     22     4  msg_len_bytes       (message length in bytes)
+//!     26     4  pkt_num             (this packet's number within the message)
+//!     30     2  pkt_len             (this packet's payload length in bytes)
+//!     32     4  pkt_offset          (this packet's byte offset in the message)
+//!     36     1  path_exclude_count
+//!     37     1  path_feedback_count
+//!     38     1  ack_path_feedback_count
+//!     39     1  sack_count
+//!     40     1  nack_count
+//!     41     3  reserved (zero)
+//!     44     -  path_exclude        (path_id u16, tc u8) * n            — 3 B each
+//!      .     -  path_feedback       (path_id u16, tc u8, TLV) * n       — 5+len B each
+//!      .     -  ack_path_feedback   (path_id u16, tc u8, TLV) * n       — 5+len B each
+//!      .     -  sack                (msg_id u64, pkt_num u32) * n       — 12 B each
+//!      .     -  nack                (msg_id u64, pkt_num u32) * n       — 12 B each
+//! ```
+//!
+//! Feedback values are TLVs (`type u8, len u8, value[len]`) so that
+//! different pathlets can use **different congestion-control algorithms**
+//! simultaneously — an ECN mark for a DCTCP-like controller, an explicit
+//! rate for an RCP-like controller, a delay sample for a Swift-like
+//! controller (paper §3.1.3, §4 "Managing Complexity").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod capabilities;
+pub mod error;
+pub mod feedback;
+pub mod header;
+pub mod tcp;
+pub mod types;
+pub mod view;
+
+pub use bridge::{decapsulate, encapsulate};
+pub use error::WireError;
+pub use feedback::{Feedback, PathFeedback};
+pub use header::{MtpHeader, PathExclude, SackEntry};
+pub use tcp::{TcpFlags, TcpHeader};
+pub use types::{EcnCodepoint, EntityId, MsgId, PathletId, PktNum, PktType, TrafficClass};
+pub use view::MtpView;
+
+/// Size in bytes of the fixed (non-variable) portion of the MTP header.
+pub const FIXED_HEADER_LEN: usize = 44;
+
+/// Bytes per path-exclude entry: `path_id: u16` + `tc: u8`.
+pub const PATH_EXCLUDE_ENTRY_LEN: usize = 3;
+
+/// Bytes per SACK/NACK entry: `msg_id: u64` + `pkt_num: u32`.
+pub const SACK_ENTRY_LEN: usize = 12;
+
+/// Fixed prefix of a path-feedback entry before the TLV value:
+/// `path_id: u16` + `tc: u8` + `fb_type: u8` + `fb_len: u8`.
+pub const PATH_FEEDBACK_PREFIX_LEN: usize = 5;

@@ -1,0 +1,177 @@
+//! A simplified TCP segment header for the baseline transports.
+//!
+//! The baselines in this workspace (TCP NewReno, DCTCP) need a header that
+//! captures the fields their control laws read: sequence/acknowledgement
+//! numbers, flags (including the ECN echo pair), and the advertised receive
+//! window. We model the receive window as a full 32-bit byte count rather
+//! than a 16-bit field plus window scaling — the experiments run at
+//! 100 Gbps where scaling would always be on, so this loses nothing and
+//! avoids simulating an option negotiation the paper never discusses.
+//!
+//! A `conn_id` field stands in for the 4-tuple: the simulator does not model
+//! IP addresses, so connection demultiplexing keys on an explicit ID. This
+//! is a modelling convenience, not a protocol change.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::WireError;
+
+/// TCP header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// Synchronize: connection setup.
+    pub syn: bool,
+    /// Acknowledgement field is valid.
+    pub ack: bool,
+    /// Finish: sender is done.
+    pub fin: bool,
+    /// Reset.
+    pub rst: bool,
+    /// ECN echo: receiver saw CE; latched until CWR (RFC 3168 / DCTCP uses
+    /// per-packet echo, selected by the endpoint configuration).
+    pub ece: bool,
+    /// Congestion window reduced: sender acknowledges the ECE signal.
+    pub cwr: bool,
+}
+
+impl TcpFlags {
+    fn to_wire(self) -> u8 {
+        (self.syn as u8)
+            | (self.ack as u8) << 1
+            | (self.fin as u8) << 2
+            | (self.rst as u8) << 3
+            | (self.ece as u8) << 4
+            | (self.cwr as u8) << 5
+    }
+
+    fn from_wire(v: u8) -> TcpFlags {
+        TcpFlags {
+            syn: v & 1 != 0,
+            ack: v & 2 != 0,
+            fin: v & 4 != 0,
+            rst: v & 8 != 0,
+            ece: v & 16 != 0,
+            cwr: v & 32 != 0,
+        }
+    }
+}
+
+/// The simplified TCP segment header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// Connection identifier standing in for the 4-tuple.
+    pub conn_id: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// First sequence number of the payload.
+    pub seq: u64,
+    /// Cumulative acknowledgement number (next byte expected).
+    pub ack: u64,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes.
+    pub rwnd: u32,
+    /// Payload length in bytes (carried explicitly; the simulator does not
+    /// model an IP total-length field).
+    pub payload_len: u16,
+}
+
+/// Encoded size of the simplified TCP header.
+pub const TCP_HEADER_LEN: usize = 32;
+
+impl Default for TcpHeader {
+    fn default() -> Self {
+        TcpHeader {
+            conn_id: 0,
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::default(),
+            rwnd: u32::MAX,
+            payload_len: 0,
+        }
+    }
+}
+
+impl TcpHeader {
+    /// Serialize into a fresh buffer.
+    pub fn to_bytes(&self) -> [u8; TCP_HEADER_LEN] {
+        let mut buf = [0u8; TCP_HEADER_LEN];
+        buf[0..4].copy_from_slice(&self.conn_id.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[8..16].copy_from_slice(&self.seq.to_be_bytes());
+        buf[16..24].copy_from_slice(&self.ack.to_be_bytes());
+        buf[24] = self.flags.to_wire();
+        buf[25..29].copy_from_slice(&self.rwnd.to_be_bytes());
+        buf[29..31].copy_from_slice(&self.payload_len.to_be_bytes());
+        buf[31] = 0;
+        buf
+    }
+
+    /// Parse from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<TcpHeader, WireError> {
+        if buf.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: TCP_HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        Ok(TcpHeader {
+            conn_id: u32::from_be_bytes(buf[0..4].try_into().expect("4 bytes")),
+            src_port: u16::from_be_bytes([buf[4], buf[5]]),
+            dst_port: u16::from_be_bytes([buf[6], buf[7]]),
+            seq: u64::from_be_bytes(buf[8..16].try_into().expect("8 bytes")),
+            ack: u64::from_be_bytes(buf[16..24].try_into().expect("8 bytes")),
+            flags: TcpFlags::from_wire(buf[24]),
+            rwnd: u32::from_be_bytes(buf[25..29].try_into().expect("4 bytes")),
+            payload_len: u16::from_be_bytes([buf[29], buf[30]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = TcpHeader {
+            conn_id: 42,
+            src_port: 1000,
+            dst_port: 80,
+            seq: 1 << 40,
+            ack: 12345,
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ece: true,
+                ..Default::default()
+            },
+            rwnd: 1 << 20,
+            payload_len: 1460,
+        };
+        let bytes = hdr.to_bytes();
+        assert_eq!(TcpHeader::parse(&bytes).unwrap(), hdr);
+    }
+
+    #[test]
+    fn all_flags_roundtrip() {
+        for bits in 0..64u8 {
+            let flags = TcpFlags::from_wire(bits);
+            assert_eq!(flags.to_wire(), bits);
+        }
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = TcpHeader::default().to_bytes();
+        assert!(matches!(
+            TcpHeader::parse(&bytes[..TCP_HEADER_LEN - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests: every structurally valid `MtpHeader` must survive
+//! an emit→parse round trip byte-identically, the zero-copy view must agree
+//! with the owned parse, and arbitrary byte soup must never panic the
+//! parser.
+
+use proptest::prelude::*;
+
+use mtp_wire::{
+    Feedback, MtpHeader, MtpView, PathExclude, PathFeedback, PathletId, PktNum, PktType, SackEntry,
+    TrafficClass,
+};
+
+fn arb_feedback() -> impl Strategy<Value = Feedback> {
+    prop_oneof![
+        any::<bool>().prop_map(|ce| Feedback::EcnMark { ce }),
+        any::<u16>().prop_map(|fraction| Feedback::EcnFraction { fraction }),
+        any::<u32>().prop_map(|mbps| Feedback::RcpRate { mbps }),
+        any::<u32>().prop_map(|ns| Feedback::Delay { ns }),
+        any::<u32>().prop_map(|bytes| Feedback::QueueDepth { bytes }),
+        any::<u16>().prop_map(|p| Feedback::PathChange {
+            new_path: PathletId(p)
+        }),
+        Just(Feedback::Trim),
+    ]
+}
+
+fn arb_path_feedback() -> impl Strategy<Value = PathFeedback> {
+    (any::<u16>(), any::<u8>(), arb_feedback()).prop_map(|(p, tc, feedback)| PathFeedback {
+        path: PathletId(p),
+        tc: TrafficClass(tc),
+        feedback,
+    })
+}
+
+fn arb_sack() -> impl Strategy<Value = SackEntry> {
+    (any::<u64>(), any::<u32>()).prop_map(|(m, p)| SackEntry {
+        msg: mtp_wire::MsgId(m),
+        pkt: PktNum(p),
+    })
+}
+
+fn arb_pkt_type() -> impl Strategy<Value = PktType> {
+    prop_oneof![
+        Just(PktType::Data),
+        Just(PktType::Ack),
+        Just(PktType::Nack),
+        Just(PktType::Control)
+    ]
+}
+
+prop_compose! {
+    fn arb_header()(
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        pkt_type in arb_pkt_type(),
+        msg_pri in any::<u8>(),
+        tc in any::<u8>(),
+        raw_flags in 0u8..16,
+        msg_id in any::<u64>(),
+        entity in any::<u16>(),
+        msg_len_pkts in any::<u32>(),
+        msg_len_bytes in any::<u32>(),
+        pkt_num in any::<u32>(),
+        pkt_len in any::<u16>(),
+        pkt_offset in any::<u32>(),
+        path_exclude in prop::collection::vec(
+            (any::<u16>(), any::<u8>()).prop_map(|(p, tc)| PathExclude {
+                path: PathletId(p),
+                tc: TrafficClass(tc),
+            }),
+            0..8
+        ),
+        path_feedback in prop::collection::vec(arb_path_feedback(), 0..8),
+        ack_path_feedback in prop::collection::vec(arb_path_feedback(), 0..8),
+        sack in prop::collection::vec(arb_sack(), 0..16),
+        nack in prop::collection::vec(arb_sack(), 0..16),
+    ) -> MtpHeader {
+        MtpHeader {
+            src_port,
+            dst_port,
+            pkt_type,
+            msg_pri,
+            tc: TrafficClass(tc),
+            flags: raw_flags, // all 16 combinations of defined flag bits
+            msg_id: mtp_wire::MsgId(msg_id),
+            entity: mtp_wire::EntityId(entity),
+            msg_len_pkts,
+            msg_len_bytes,
+            pkt_num: PktNum(pkt_num),
+            pkt_len,
+            pkt_offset,
+            path_exclude,
+            path_feedback,
+            ack_path_feedback,
+            sack,
+            nack,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn emit_parse_roundtrip(hdr in arb_header()) {
+        let bytes = hdr.to_bytes().unwrap();
+        prop_assert_eq!(bytes.len(), hdr.wire_len());
+        let (back, used) = MtpHeader::parse(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, hdr);
+    }
+
+    #[test]
+    fn view_agrees_with_owned(hdr in arb_header()) {
+        let bytes = hdr.to_bytes().unwrap();
+        let view = MtpView::new(&bytes).unwrap();
+        prop_assert_eq!(view.header_len(), bytes.len());
+        prop_assert_eq!(view.msg_id(), hdr.msg_id);
+        prop_assert_eq!(view.pkt_num(), hdr.pkt_num);
+        prop_assert_eq!(view.msg_len_bytes(), hdr.msg_len_bytes);
+        prop_assert_eq!(view.entity(), hdr.entity);
+        let fbs: Vec<_> = view.path_feedback().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(fbs, hdr.path_feedback);
+        let sacks: Vec<_> = view.sack().collect();
+        prop_assert_eq!(sacks, hdr.sack);
+        let nacks: Vec<_> = view.nack().collect();
+        prop_assert_eq!(nacks, hdr.nack);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = MtpHeader::parse(&bytes);
+        let _ = MtpView::new(&bytes);
+        let _ = mtp_wire::TcpHeader::parse(&bytes);
+    }
+
+    #[test]
+    fn truncation_always_detected(hdr in arb_header(), cut_frac in 0.0f64..1.0) {
+        let bytes = hdr.to_bytes().unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(MtpHeader::parse(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+proptest! {
+    /// The TCP-island bridge encapsulation round-trips any header and
+    /// never panics on garbage payloads.
+    #[test]
+    fn bridge_roundtrip(hdr in arb_header(), trailer in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut wire = mtp_wire::encapsulate(&hdr).unwrap();
+        wire.extend_from_slice(&trailer);
+        let (back, consumed) = mtp_wire::decapsulate(&wire).unwrap().expect("bridged");
+        prop_assert_eq!(back, hdr);
+        prop_assert_eq!(&wire[consumed..], &trailer[..]);
+    }
+
+    #[test]
+    fn bridge_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = mtp_wire::decapsulate(&bytes);
+    }
+}

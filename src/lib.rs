@@ -1,0 +1,30 @@
+//! # mtp — an offload-friendly Message Transport Protocol
+//!
+//! Facade crate for the MTP workspace, a from-scratch Rust implementation
+//! of *"TCP is Harmful to In-Network Computing: Designing a Message
+//! Transport Protocol (MTP)"* (HotNets'21):
+//!
+//! * [`wire`] — the byte-exact MTP header codec (paper Fig. 4);
+//! * [`sim`] — a deterministic discrete-event network simulator (the ns-3
+//!   substitute);
+//! * [`core`] — the MTP endpoint: message transport + pathlet congestion
+//!   control;
+//! * [`tcp`] — TCP NewReno / DCTCP baselines;
+//! * [`net`] — in-network devices: switches, load balancers, proxy, cache
+//!   offload, fair-share enforcement;
+//! * [`workload`] — workload generators and FCT statistics;
+//! * [`mod@bench`] — experiment topologies and the per-figure harness.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the `mtp-bench`
+//! binaries (`table1`, `fig2`, `fig3`, `fig5`, `fig6`, `fig7`,
+//! `ablations`) to regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use mtp_bench as bench;
+pub use mtp_core as core;
+pub use mtp_net as net;
+pub use mtp_sim as sim;
+pub use mtp_tcp as tcp;
+pub use mtp_wire as wire;
+pub use mtp_workload as workload;
