@@ -1,0 +1,37 @@
+//! Micro-benchmarks for the discrete-event engine hot paths.
+//!
+//! Same three workloads as the `perfgate` binary (timer churn, packet
+//! forwarding chain, leaf-spine incast) at bench-friendly sizes, reported
+//! as events/second. `perfgate` remains the regression *gate* (golden
+//! digests plus a recorded baseline); these benches are for interactive
+//! profiling: `cargo bench -p mtp-bench --bench engine_hotpath`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mtp_bench::hotpath::{forward_chain, leafspine_incast, timer_churn};
+
+fn engine_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_hotpath");
+
+    let churn_events = timer_churn(1, 50_000).events;
+    g.throughput(Throughput::Elements(churn_events));
+    g.bench_function("timer_churn_50k", |b| {
+        b.iter(|| timer_churn(1, 50_000).events)
+    });
+
+    let chain_events = forward_chain(1, 8, 2_000).events;
+    g.throughput(Throughput::Elements(chain_events));
+    g.bench_function("forward_chain_8hop_2k", |b| {
+        b.iter(|| forward_chain(1, 8, 2_000).events)
+    });
+
+    let incast_events = leafspine_incast(1).events;
+    g.throughput(Throughput::Elements(incast_events));
+    g.bench_function("leafspine_incast_4x4", |b| {
+        b.iter(|| leafspine_incast(1).events)
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, engine_hotpath);
+criterion_main!(benches);

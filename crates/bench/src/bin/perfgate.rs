@@ -1,0 +1,220 @@
+//! Perf-regression gate for the discrete-event engine.
+//!
+//! Runs the three fixed-seed hotpath workloads (timer churn, packet
+//! forwarding chain, leaf-spine incast) at three seeds each and:
+//!
+//! 1. compares every run's digest (event count, final clock, all link
+//!    counters, retained trace events) byte-for-byte against golden files
+//!    under `crates/bench/golden/engine/` — any engine change that alters
+//!    event outcomes or ordering fails the gate;
+//! 2. measures events/second per workload (best of [`TIMED_REPS`] timed
+//!    runs) and
+//!    peak RSS, writing `results/BENCH_engine.json`;
+//! 3. if `results/BENCH_engine_baseline.json` exists, reports the
+//!    speedup of the current engine over that recorded baseline.
+//!
+//! Modes:
+//!
+//! * `perfgate --bless`    — (re)write the golden digests;
+//! * `perfgate --baseline` — also record the current measurements as the
+//!   baseline file future runs compare against;
+//! * `perfgate`            — gate: compare digests, measure, report.
+//!
+//! Exit status is non-zero on any digest mismatch.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mtp_bench::hotpath::{forward_chain, leafspine_incast, timer_churn, HotpathRun};
+use serde::Serialize;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const TIMER_BUDGET: u64 = 200_000;
+const CHAIN_HOPS: usize = 8;
+const CHAIN_PKTS: u32 = 5_000;
+// Best-of-N wall time estimates the noise-free runtime; on shared
+// hardware 3 reps often never lands in an uncontended slice.
+const TIMED_REPS: usize = 7;
+
+struct Workload {
+    name: &'static str,
+    run: fn(u64) -> HotpathRun,
+}
+
+const WORKLOADS: [Workload; 3] = [
+    Workload {
+        name: "timer_churn",
+        run: |seed| timer_churn(seed, TIMER_BUDGET),
+    },
+    Workload {
+        name: "forward_chain",
+        run: |seed| forward_chain(seed, CHAIN_HOPS, CHAIN_PKTS),
+    },
+    Workload {
+        name: "leafspine_incast",
+        run: leafspine_incast,
+    },
+];
+
+#[derive(Serialize)]
+struct WorkloadResult {
+    name: &'static str,
+    seeds: Vec<u64>,
+    events_per_run: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    baseline_events_per_sec: Option<f64>,
+    speedup: Option<f64>,
+    digests_match_golden: bool,
+}
+
+#[derive(Serialize)]
+struct GateReport {
+    id: &'static str,
+    engine: &'static str,
+    all_digests_match: bool,
+    peak_rss_kb: u64,
+    workloads: Vec<WorkloadResult>,
+}
+
+/// Walk up from the cwd to the directory containing `crates/bench`.
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("crates/bench").is_dir() {
+            return dir;
+        }
+        assert!(dir.pop(), "perfgate must run inside the repository");
+    }
+}
+
+fn golden_path(root: &std::path::Path, name: &str, seed: u64) -> PathBuf {
+    root.join(format!("crates/bench/golden/engine/{name}_seed{seed}.txt"))
+}
+
+/// Peak resident set size in kB (`VmHWM`), 0 where unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// Pull `"events_per_sec": <num>` for a workload out of a previously
+/// written baseline JSON. String-scanning keeps the vendored serde
+/// stand-in write-only.
+fn baseline_events_per_sec(baseline: &str, name: &str) -> Option<f64> {
+    let at = baseline.find(&format!("\"name\": \"{name}\""))?;
+    let rest = &baseline[at..];
+    let key = "\"events_per_sec\": ";
+    let k = rest.find(key)? + key.len();
+    let tail = &rest[k..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args.iter().find(|a| *a != "--bless" && *a != "--baseline") {
+        eprintln!("perfgate: unknown argument `{bad}`");
+        eprintln!("usage: perfgate [--bless] [--baseline]");
+        std::process::exit(2);
+    }
+    let bless = args.iter().any(|a| a == "--bless");
+    let record_baseline = args.iter().any(|a| a == "--baseline");
+    let root = repo_root();
+    std::fs::create_dir_all(root.join("crates/bench/golden/engine")).expect("golden dir");
+    std::fs::create_dir_all(root.join("results")).expect("results dir");
+
+    let baseline = std::fs::read_to_string(root.join("results/BENCH_engine_baseline.json")).ok();
+
+    let mut results = Vec::new();
+    let mut all_ok = true;
+    for w in &WORKLOADS {
+        // Digest pass: every seed against its golden file.
+        let mut ok = true;
+        for &seed in &SEEDS {
+            let run = (w.run)(seed);
+            let path = golden_path(&root, w.name, seed);
+            if bless {
+                std::fs::write(&path, &run.digest).expect("write golden");
+            } else {
+                match std::fs::read_to_string(&path) {
+                    Ok(golden) if golden == run.digest => {}
+                    Ok(_) => {
+                        eprintln!("DIGEST MISMATCH: {} seed {}", w.name, seed);
+                        ok = false;
+                    }
+                    Err(_) => {
+                        eprintln!(
+                            "MISSING GOLDEN: {} (run with --bless first)",
+                            path.display()
+                        );
+                        ok = false;
+                    }
+                }
+            }
+        }
+        all_ok &= ok;
+
+        // Timing pass: best of N on the first seed.
+        let events = (w.run)(SEEDS[0]).events;
+        let mut best = f64::INFINITY;
+        for _ in 0..TIMED_REPS {
+            let t0 = Instant::now();
+            let r = (w.run)(SEEDS[0]);
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(r.events, events, "events must not vary between reps");
+            best = best.min(dt);
+        }
+        let eps = events as f64 / best;
+        let base = baseline
+            .as_deref()
+            .and_then(|b| baseline_events_per_sec(b, w.name));
+        println!(
+            "{:<18} {:>9} events  {:>8.2} ms  {:>12.0} events/s{}{}",
+            w.name,
+            events,
+            best * 1e3,
+            eps,
+            base.map(|b| format!("  ({:.2}x vs baseline)", eps / b))
+                .unwrap_or_default(),
+            if ok { "" } else { "  [DIGEST FAIL]" },
+        );
+        results.push(WorkloadResult {
+            name: w.name,
+            seeds: SEEDS.to_vec(),
+            events_per_run: events,
+            wall_ms: best * 1e3,
+            events_per_sec: eps,
+            baseline_events_per_sec: base,
+            speedup: base.map(|b| eps / b),
+            digests_match_golden: ok,
+        });
+    }
+
+    let report = GateReport {
+        id: "BENCH_engine",
+        engine: "mtp-sim discrete-event engine",
+        all_digests_match: all_ok,
+        peak_rss_kb: peak_rss_kb(),
+        workloads: results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(root.join("results/BENCH_engine.json"), &json).expect("write report");
+    println!("wrote results/BENCH_engine.json");
+    if record_baseline {
+        std::fs::write(root.join("results/BENCH_engine_baseline.json"), &json)
+            .expect("write baseline");
+        println!("wrote results/BENCH_engine_baseline.json");
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -6,8 +6,11 @@
 //! over threads and collects results in seed order, so a sweep's output is
 //! as deterministic as a single run.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Re-export of the canonical implementation in
+/// [`mtp_workload::stats`]; experiment binaries import it from here.
+pub use mtp_workload::mean_std;
 
 /// Run `f(seed)` for every seed, in parallel across at most `workers`
 /// threads, returning results in the same order as `seeds`.
@@ -15,6 +18,12 @@ use parking_lot::Mutex;
 /// `f` must build everything it needs inside the call (the `Simulator` is
 /// not `Send`, and must not be): only the seed crosses the thread
 /// boundary.
+///
+/// Seeds are claimed from a shared atomic cursor (dynamic load
+/// balancing — a slow seed doesn't idle the other workers), and each
+/// worker accumulates `(index, result)` pairs privately, handing its
+/// chunk back through the thread's join handle. No locks, no channels:
+/// result order is restored by index after all workers finish.
 pub fn run_seeds<R, F>(seeds: &[u64], workers: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -22,45 +31,43 @@ where
 {
     assert!(workers > 0);
     let n = seeds.len();
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let (tx, rx) = channel::unbounded::<(usize, u64)>();
-    for (i, &s) in seeds.iter().enumerate() {
-        tx.send((i, s)).expect("unbounded channel");
-    }
-    drop(tx);
+    let cursor = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            let rx = rx.clone();
-            let results = &results;
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok((i, seed)) = rx.recv() {
-                    let r = f(seed);
-                    results.lock()[i] = Some(r);
-                }
-            });
-        }
+    let mut chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut chunk: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        chunk.push((i, f(seeds[i])));
+                    }
+                    chunk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for chunk in chunks.drain(..) {
+        for (i, r) in chunk {
+            debug_assert!(results[i].is_none(), "seed index {i} produced twice");
+            results[i] = Some(r);
+        }
+    }
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every seed ran"))
         .collect()
-}
-
-/// Mean and sample standard deviation of a slice.
-pub fn mean_std(xs: &[f64]) -> (f64, f64) {
-    if xs.is_empty() {
-        return (0.0, 0.0);
-    }
-    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-    if xs.len() < 2 {
-        return (mean, 0.0);
-    }
-    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
-    (mean, var.sqrt())
 }
 
 #[cfg(test)]
@@ -72,6 +79,23 @@ mod tests {
         let seeds: Vec<u64> = (0..32).collect();
         let out = run_seeds(&seeds, 8, |s| s * 10);
         assert_eq!(out, seeds.iter().map(|s| s * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_seeds() {
+        let out = run_seeds(&[3, 1], 16, |s| s + 1);
+        assert_eq!(out, vec![4, 2]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Later seeds finish first; indices must still line up.
+        let seeds: Vec<u64> = (0..24).collect();
+        let out = run_seeds(&seeds, 6, |s| {
+            std::thread::sleep(std::time::Duration::from_micros((24 - s) * 50));
+            s
+        });
+        assert_eq!(out, seeds);
     }
 
     #[test]
@@ -114,6 +138,21 @@ mod tests {
         let parallel = run_seeds(&seeds, 8, run);
         let serial: Vec<u32> = seeds.iter().map(|&s| run(s)).collect();
         assert_eq!(parallel, serial, "parallelism must not change results");
+    }
+
+    #[test]
+    fn leafspine_parallel_matches_serial() {
+        // Bench-sized check on a real topology: the full 4×4 leaf-spine
+        // incast digest — event count, final clock, every link counter,
+        // every trace event — must be identical whether seeds run serially
+        // or fanned out across workers.
+        let seeds: Vec<u64> = (1..=4).collect();
+        let serial: Vec<String> = seeds
+            .iter()
+            .map(|&s| crate::hotpath::leafspine_incast(s).digest)
+            .collect();
+        let parallel = run_seeds(&seeds, 4, |s| crate::hotpath::leafspine_incast(s).digest);
+        assert_eq!(parallel, serial, "worker threads must not perturb runs");
     }
 
     #[test]

@@ -209,6 +209,7 @@ impl Node for MtpSenderNode {
             PktType::Control => self.sender.on_control(now, &hdr),
             PktType::Data => {}
         }
+        mtp_sim::pool::recycle_header(hdr);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -271,10 +272,12 @@ impl Node for MtpSinkNode {
             return;
         };
         if hdr.pkt_type != PktType::Data {
+            mtp_sim::pool::recycle_header(hdr);
             return;
         }
         let now = ctx.now();
         let (ack, newly) = self.receiver.on_data(now, &hdr, ecn);
+        mtp_sim::pool::recycle_header(hdr);
         if newly > 0 {
             self.goodput.add(now, newly as f64);
         }

@@ -258,7 +258,7 @@ impl MtpReceiver {
             ..MtpHeader::default()
         };
         let wire = ack_hdr.wire_len() as u32;
-        let mut ack = Packet::new(Headers::Mtp(Box::new(ack_hdr)), wire);
+        let mut ack = Packet::new(Headers::Mtp(mtp_sim::pool::boxed(ack_hdr)), wire);
         ack.sent_at = now;
         ack.ecn = EcnCodepoint::NotEct;
         (ack, newly)

@@ -492,7 +492,7 @@ impl MtpSender {
                 ..MtpHeader::default()
             };
             let wire = pkt_len + hdr.wire_len() as u32;
-            let mut packet = Packet::new(Headers::Mtp(Box::new(hdr)), wire);
+            let mut packet = Packet::new(Headers::Mtp(mtp_sim::pool::boxed(hdr)), wire);
             packet.sent_at = now;
             out.push(packet);
             self.stats.pkts_sent += 1;
@@ -540,7 +540,7 @@ impl MtpSender {
             ..MtpHeader::default()
         };
         let wire = p.len + hdr.wire_len() as u32;
-        let mut packet = Packet::new(Headers::Mtp(Box::new(hdr)), wire);
+        let mut packet = Packet::new(Headers::Mtp(mtp_sim::pool::boxed(hdr)), wire);
         packet.sent_at = now;
         out.push(packet);
         self.stats.pkts_sent += 1;

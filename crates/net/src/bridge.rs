@@ -194,7 +194,7 @@ mod tests {
             pkt_len: 100,
             ..MtpHeader::default()
         };
-        let pkt = Packet::new(Headers::Mtp(Box::new(hdr.clone())), 144);
+        let pkt = Packet::new(Headers::Mtp(mtp_sim::pool::boxed(hdr.clone())), 144);
 
         let mut sim = Simulator::new(1);
         let src = sim.add_node(Box::new(SendOnce { pkt: Some(pkt) }));

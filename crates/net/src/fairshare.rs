@@ -118,7 +118,7 @@ mod tests {
             entity: EntityId(entity),
             ..MtpHeader::default()
         };
-        Packet::new(Headers::Mtp(Box::new(hdr)), len)
+        Packet::new(Headers::Mtp(mtp_sim::pool::boxed(hdr)), len)
     }
 
     #[test]
@@ -188,7 +188,7 @@ mod tests {
             ..MtpHeader::default()
         };
         for _ in 0..100 {
-            let mut p = Packet::new(Headers::Mtp(Box::new(hdr.clone())), 60);
+            let mut p = Packet::new(Headers::Mtp(mtp_sim::pool::boxed(hdr.clone())), 60);
             assert!(f.admit(Time::ZERO, &mut p));
             assert!(!p.ecn.is_ce());
         }

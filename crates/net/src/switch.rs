@@ -259,7 +259,8 @@ impl Node for SwitchNode {
                 ..mtp_wire::MtpHeader::default()
             };
             let wire = hdr.wire_len() as u32;
-            let pkt = Packet::new(mtp_sim::Headers::Mtp(Box::new(hdr)), wire).without_ect();
+            let pkt =
+                Packet::new(mtp_sim::Headers::Mtp(mtp_sim::pool::boxed(hdr)), wire).without_ect();
             if let Some(out) = self.forwarder.route(ctx, PortId(usize::MAX >> 1), &pkt) {
                 ctx.send(out, pkt);
             }

@@ -22,7 +22,7 @@
 //!    any) begins serialization.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -97,6 +97,10 @@ struct DirLink {
     stats: LinkStats,
 }
 
+/// Event payload, held in the slab while the event waits in the heap.
+///
+/// `Vacant` marks a slot with no live payload: either free (on the free
+/// list) or a cancelled timer whose heap entry has not been popped yet.
 #[derive(Debug)]
 enum EventKind {
     Deliver {
@@ -104,50 +108,71 @@ enum EventKind {
         port: PortId,
         pkt: Packet,
     },
-    TxDone {
-        dir: DirLinkId,
-    },
     Timer {
         node: NodeId,
         token: u64,
-        id: u64,
+        /// Generation of the slot when this timer was armed; a matching
+        /// [`TimerId`] proves a cancel refers to *this* arming and not a
+        /// later reuse of the slot.
+        gen: u32,
     },
+    Vacant,
 }
 
-struct Event {
+/// What the binary heap actually sifts: 24 bytes of ordering key plus a
+/// slab slot, instead of a full [`EventKind`] with an inline [`Packet`].
+///
+/// Transmission-complete events need no slab entry at all: their only
+/// payload is a [`DirLinkId`], which is encoded directly in `slot` with
+/// the [`TXDONE_TAG`] bit set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventKey {
     time: Time,
     seq: u64,
-    kind: EventKind,
+    slot: u32,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
+/// High bit of [`EventKey::slot`]: the entry is a TxDone for directed link
+/// `slot & !TXDONE_TAG` rather than an index into the payload slab.
+const TXDONE_TAG: u32 = 1 << 31;
+
+impl PartialOrd for EventKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Event {
+impl Ord for EventKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
 }
 
+/// Sentinel in the flat egress table for an unconnected port.
+const NO_LINK: u32 = u32::MAX;
+
 /// Shared mutable simulation state, accessed by nodes through [`Ctx`].
 pub struct SimInner {
     pub(crate) now: Time,
     seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    /// Pending events, ordered by `(time, seq)`; payloads live in `slab`.
+    events: BinaryHeap<Reverse<EventKey>>,
+    /// Event payloads, indexed by `EventKey::slot`.
+    slab: Vec<EventKind>,
+    /// Per-slot reuse counter; bumped each time a slot is re-allocated
+    /// from the free list, so stale `TimerId`s never cancel a newer timer.
+    slot_gen: Vec<u32>,
+    /// Slots whose heap entry has been popped and are free for reuse.
+    free_slots: Vec<u32>,
     links: Vec<DirLink>,
-    /// `egress[node][port] -> directed link leaving that port`.
-    egress: Vec<Vec<Option<DirLinkId>>>,
-    pub(crate) cancelled: HashSet<u64>,
-    next_timer: u64,
+    /// Flat egress map: `egress_table[off + port]` is the directed link id
+    /// leaving that port (`NO_LINK` if unconnected), with each node's
+    /// `(off, len)` span in `egress_spans`.
+    egress_table: Vec<u32>,
+    egress_spans: Vec<(u32, u32)>,
     next_pkt: u64,
+    /// Events processed so far (cancelled timers are skipped silently and
+    /// do not count).
+    processed: u64,
     pub(crate) rng: SmallRng,
     trace: Option<TraceRing>,
 }
@@ -166,28 +191,128 @@ impl SimInner {
         }
     }
 
+    /// Claim a payload slot, bumping its generation if it is being reused.
+    fn alloc_slot(&mut self) -> u32 {
+        match self.free_slots.pop() {
+            Some(slot) => {
+                let g = &mut self.slot_gen[slot as usize];
+                *g = g.wrapping_add(1);
+                slot
+            }
+            None => {
+                let slot = self.slab.len() as u32;
+                self.slab.push(EventKind::Vacant);
+                self.slot_gen.push(0);
+                slot
+            }
+        }
+    }
+
     fn push(&mut self, time: Time, kind: EventKind) {
         debug_assert!(time >= self.now, "scheduling into the past");
+        let slot = self.alloc_slot();
+        self.slab[slot as usize] = kind;
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        self.events.push(Reverse(EventKey { time, seq, slot }));
+    }
+
+    /// Schedule a transmission-complete event. The link id rides in the
+    /// heap key itself (see [`TXDONE_TAG`]), so the slab is untouched.
+    fn push_tx_done(&mut self, time: Time, dir: DirLinkId) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        debug_assert!((dir.0 as u32) < TXDONE_TAG, "too many links");
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EventKey {
+            time,
+            seq,
+            slot: TXDONE_TAG | dir.0 as u32,
+        }));
     }
 
     pub(crate) fn schedule_timer(&mut self, at: Time, node: NodeId, token: u64) -> TimerId {
-        let id = self.next_timer;
-        self.next_timer += 1;
         let at = at.max(self.now);
-        self.push(at, EventKind::Timer { node, token, id });
-        TimerId(id)
+        let slot = self.alloc_slot();
+        let gen = self.slot_gen[slot as usize];
+        self.slab[slot as usize] = EventKind::Timer { node, token, gen };
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EventKey {
+            time: at,
+            seq,
+            slot,
+        }));
+        TimerId((u64::from(slot) << 32) | u64::from(gen))
+    }
+
+    /// Cancel a timer in O(1): if the slot still holds the arming that `id`
+    /// refers to (generation match), blank the payload. The slot itself is
+    /// reclaimed when the heap entry pointing at it is popped, so repeated
+    /// arm/cancel cycles reuse a bounded set of slots instead of growing a
+    /// tombstone set.
+    pub(crate) fn cancel_timer(&mut self, id: TimerId) {
+        let slot = (id.0 >> 32) as usize;
+        let gen = id.0 as u32;
+        if let Some(EventKind::Timer { gen: g, .. }) = self.slab.get(slot) {
+            if *g == gen {
+                self.slab[slot] = EventKind::Vacant;
+            }
+        }
+    }
+
+    /// Directed link leaving `node`'s `port`, if connected.
+    #[inline]
+    fn egress_get(&self, node: NodeId, port: PortId) -> Option<DirLinkId> {
+        let (off, len) = *self.egress_spans.get(node.0)?;
+        if port.0 >= len as usize {
+            return None;
+        }
+        let v = self.egress_table[off as usize + port.0];
+        (v != NO_LINK).then_some(DirLinkId(v as usize))
+    }
+
+    /// Record `dir` as the link leaving `node`'s `port`, growing (and if
+    /// necessary relocating) the node's span in the flat table.
+    ///
+    /// # Panics
+    /// Panics if the port is already connected.
+    fn egress_set(&mut self, node: NodeId, port: PortId, dir: DirLinkId) {
+        let (off, len) = self.egress_spans[node.0];
+        if port.0 >= len as usize {
+            let need = port.0 as u32 + 1;
+            if off as usize + len as usize == self.egress_table.len() {
+                // Span is already at the end: extend in place.
+                self.egress_table
+                    .resize(off as usize + need as usize, NO_LINK);
+                self.egress_spans[node.0] = (off, need);
+            } else {
+                // Relocate the span to the end. The old cells are dead;
+                // topology wiring is one-time setup so the waste is tiny.
+                let new_off = self.egress_table.len() as u32;
+                for i in 0..len as usize {
+                    let v = self.egress_table[off as usize + i];
+                    self.egress_table.push(v);
+                }
+                self.egress_table
+                    .resize(new_off as usize + need as usize, NO_LINK);
+                self.egress_spans[node.0] = (new_off, need);
+            }
+        }
+        let (off, _) = self.egress_spans[node.0];
+        let cell = &mut self.egress_table[off as usize + port.0];
+        assert!(
+            *cell == NO_LINK,
+            "node {} port {} connected twice",
+            node.0,
+            port.0
+        );
+        *cell = dir.0 as u32;
     }
 
     pub(crate) fn send_from(&mut self, node: NodeId, port: PortId, mut pkt: Packet) {
         let dir = self
-            .egress
-            .get(node.0)
-            .and_then(|ports| ports.get(port.0))
-            .copied()
-            .flatten()
+            .egress_get(node, port)
             .unwrap_or_else(|| panic!("node {} port {} is not connected", node.0, port.0));
         if pkt.id.0 == 0 {
             self.next_pkt += 1;
@@ -198,11 +323,24 @@ impl SimInner {
         self.trace(pkt_id, node, port, TraceKind::Offered);
         let link = &mut self.links[dir.0];
         link.stats.offered_pkts += 1;
-        // Every packet passes through the queue discipline — even on an
-        // idle link — so policies that act per packet (ECN state, loss
-        // injection, per-band accounting) always see the traffic. On an
-        // idle link the packet is dequeued again immediately, adding no
-        // delay.
+        // Fast path: if the link is idle and the discipline attests that
+        // enqueue-then-dequeue would be an observable no-op right now
+        // (empty FIFO, no marking, no scheduler state, no randomness),
+        // start serializing directly and skip the queue round-trip. The
+        // emitted trace events and stats are identical to the slow path.
+        if link.in_flight.is_none() && link.queue.transparent_when_idle() {
+            link.stats.max_qlen_pkts = link.stats.max_qlen_pkts.max(1);
+            let done = now + link.rate.serialize_time(pkt.wire_len);
+            link.in_flight = Some(pkt);
+            self.trace(pkt_id, node, port, TraceKind::Queued { marked: false });
+            self.push_tx_done(done, dir);
+            self.trace(pkt_id, node, port, TraceKind::TxStart);
+            return;
+        }
+        // Otherwise every packet passes through the queue discipline so
+        // policies that act per packet (ECN state, loss injection,
+        // per-band accounting) see the traffic. On an idle link the packet
+        // is dequeued again immediately, adding no delay.
         let verdict = match link.queue.enqueue(pkt, now) {
             EnqueueVerdict::Queued { marked } => {
                 if marked {
@@ -210,8 +348,9 @@ impl SimInner {
                 }
                 TraceKind::Queued { marked }
             }
-            EnqueueVerdict::Dropped(_) => {
+            EnqueueVerdict::Dropped(dropped) => {
                 link.stats.dropped_pkts += 1;
+                crate::pool::recycle_packet(dropped);
                 TraceKind::Dropped
             }
             EnqueueVerdict::Trimmed => {
@@ -227,7 +366,7 @@ impl SimInner {
                 let done = now + link.rate.serialize_time(next.wire_len);
                 let nid = next.id;
                 link.in_flight = Some(next);
-                self.push(done, EventKind::TxDone { dir });
+                self.push_tx_done(done, dir);
                 self.trace(nid, node, port, TraceKind::TxStart);
             }
         }
@@ -249,7 +388,7 @@ impl SimInner {
             let done = now + link.rate.serialize_time(next.wire_len);
             let nid = next.id;
             link.in_flight = Some(next);
-            self.push(done, EventKind::TxDone { dir });
+            self.push_tx_done(done, dir);
             Some(nid)
         } else {
             None
@@ -261,7 +400,7 @@ impl SimInner {
     }
 
     pub(crate) fn egress_queue_len(&self, node: NodeId, port: PortId) -> (usize, usize) {
-        match self.egress[node.0][port.0] {
+        match self.egress_get(node, port) {
             Some(dir) => {
                 let q = &self.links[dir.0].queue;
                 (q.len_pkts(), q.len_bytes())
@@ -271,11 +410,7 @@ impl SimInner {
     }
 
     pub(crate) fn port_connected(&self, node: NodeId, port: PortId) -> bool {
-        self.egress
-            .get(node.0)
-            .and_then(|ports| ports.get(port.0))
-            .map(|p| p.is_some())
-            .unwrap_or(false)
+        self.egress_get(node, port).is_some()
     }
 }
 
@@ -294,11 +429,14 @@ impl Simulator {
                 now: Time::ZERO,
                 seq: 0,
                 events: BinaryHeap::new(),
+                slab: Vec::new(),
+                slot_gen: Vec::new(),
+                free_slots: Vec::new(),
                 links: Vec::new(),
-                egress: Vec::new(),
-                cancelled: HashSet::new(),
-                next_timer: 0,
+                egress_table: Vec::new(),
+                egress_spans: Vec::new(),
                 next_pkt: 0,
+                processed: 0,
                 rng: SmallRng::seed_from_u64(seed),
                 trace: None,
             },
@@ -311,7 +449,9 @@ impl Simulator {
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
-        self.inner.egress.push(Vec::new());
+        self.inner
+            .egress_spans
+            .push((self.inner.egress_table.len() as u32, 0));
         id
     }
 
@@ -351,17 +491,7 @@ impl Simulator {
             stats: LinkStats::default(),
         });
         for (node, port, dir) in [(a, pa, id_ab), (b, pb, id_ba)] {
-            let ports = &mut self.inner.egress[node.0];
-            if ports.len() <= port.0 {
-                ports.resize(port.0 + 1, None);
-            }
-            assert!(
-                ports[port.0].is_none(),
-                "node {} port {} connected twice",
-                node.0,
-                port.0
-            );
-            ports[port.0] = Some(dir);
+            self.inner.egress_set(node, port, dir);
         }
         (id_ab, id_ba)
     }
@@ -399,6 +529,17 @@ impl Simulator {
         &self.inner.links[dir.0].stats
     }
 
+    /// Number of directed links (valid [`DirLinkId`]s are `0..num_links`).
+    pub fn num_links(&self) -> usize {
+        self.inner.links.len()
+    }
+
+    /// Total events processed since construction (delivered packets,
+    /// transmission completions, and fired timers).
+    pub fn events_processed(&self) -> u64 {
+        self.inner.processed
+    }
+
     /// Instantaneous queue occupancy (packets, bytes) of a link direction.
     pub fn link_queue_len(&self, dir: DirLinkId) -> (usize, usize) {
         let q = &self.inner.links[dir.0].queue;
@@ -409,6 +550,13 @@ impl Simulator {
     /// a chosen time).
     pub fn schedule(&mut self, at: Time, node: NodeId, token: u64) -> TimerId {
         self.inner.schedule_timer(at, node, token)
+    }
+
+    /// Cancel a timer from harness code. Like
+    /// [`Ctx::cancel_timer`](crate::node::Ctx::cancel_timer), cancelling an
+    /// already-fired or already-cancelled timer is a no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        self.inner.cancel_timer(id);
     }
 
     /// Record per-packet events into a ring holding the last `cap` entries
@@ -481,34 +629,56 @@ impl Simulator {
         self.nodes[id.0] = Some(node);
     }
 
-    /// Process a single event. Returns `false` when the event queue is
-    /// empty.
-    pub fn step(&mut self) -> bool {
-        self.start_if_needed();
-        let Reverse(ev) = match self.inner.events.pop() {
-            Some(ev) => ev,
-            None => return false,
-        };
-        self.inner.now = ev.time;
-        match ev.kind {
+    /// Pop one heap entry, advance the clock, reclaim its slot, and
+    /// dispatch its payload if live. Returns `None` on an empty heap,
+    /// otherwise whether an event was actually dispatched (a cancelled
+    /// timer advances the clock but dispatches nothing, matching the
+    /// pre-slab engine).
+    fn pop_one(&mut self) -> Option<bool> {
+        let Reverse(key) = self.inner.events.pop()?;
+        self.inner.now = key.time;
+        if key.slot & TXDONE_TAG != 0 {
+            self.inner.processed += 1;
+            self.inner
+                .tx_done(DirLinkId((key.slot & !TXDONE_TAG) as usize));
+            return Some(true);
+        }
+        let kind = std::mem::replace(&mut self.inner.slab[key.slot as usize], EventKind::Vacant);
+        self.inner.free_slots.push(key.slot);
+        match kind {
+            EventKind::Vacant => Some(false),
             EventKind::Deliver { node, port, pkt } => {
+                self.inner.processed += 1;
                 self.inner
                     .trace(pkt.id, node, port, crate::tracefile::TraceKind::Delivered);
                 self.with_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
+                Some(true)
             }
-            EventKind::TxDone { dir } => self.inner.tx_done(dir),
-            EventKind::Timer { node, token, id } => {
-                if !self.inner.cancelled.remove(&id) {
-                    self.with_node(node, |n, ctx| n.on_timer(ctx, token));
-                }
+            EventKind::Timer { node, token, .. } => {
+                self.inner.processed += 1;
+                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+                Some(true)
             }
         }
-        true
+    }
+
+    /// Process events until one is dispatched (cancelled timers are
+    /// skipped). Returns `false` when the event queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        loop {
+            match self.pop_one() {
+                None => return false,
+                Some(true) => return true,
+                Some(false) => {}
+            }
+        }
     }
 
     /// Run until the event queue drains.
     pub fn run(&mut self) {
-        while self.step() {}
+        self.start_if_needed();
+        while self.pop_one().is_some() {}
     }
 
     /// Run until simulation time reaches `until` (events at exactly `until`
@@ -517,8 +687,8 @@ impl Simulator {
         self.start_if_needed();
         loop {
             match self.inner.events.peek() {
-                Some(Reverse(ev)) if ev.time <= until => {
-                    self.step();
+                Some(&Reverse(key)) if key.time <= until => {
+                    self.pop_one();
                 }
                 Some(_) => {
                     self.inner.now = until;
@@ -703,6 +873,74 @@ mod tests {
         }));
         sim.run();
         assert_eq!(sim.node_as::<TimerNode>(n).fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop_and_leaks_no_state() {
+        /// Counts fires; does nothing else.
+        #[derive(Default)]
+        struct Counter {
+            fired: u64,
+        }
+        impl Node for Counter {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_>, _token: u64) {
+                self.fired += 1;
+            }
+        }
+
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(Box::new(Counter::default()));
+        let mut stale: Vec<TimerId> = Vec::new();
+        for round in 0..2048u64 {
+            let at = sim.now() + Duration::from_nanos(10);
+            stale.push(sim.schedule(at, n, round));
+            sim.run();
+            // Cancel every timer that has ever fired, every round. With the
+            // old tombstone-set design this grew state forever (and each
+            // cancel was a hash insert); with generation-stamped slots it
+            // must be a pure no-op.
+            for &id in &stale {
+                sim.cancel(id);
+            }
+        }
+        assert_eq!(sim.node_as::<Counter>(n).fired, 2048, "every timer fired");
+        assert!(sim.inner.events.is_empty());
+        assert!(
+            sim.inner.slab.len() <= 2,
+            "slot slab must not grow under fire/cancel churn: {} slots",
+            sim.inner.slab.len()
+        );
+        assert!(
+            sim.inner.free_slots.len() <= 2,
+            "free list must not grow: {} entries",
+            sim.inner.free_slots.len()
+        );
+    }
+
+    #[test]
+    fn stale_cancel_does_not_kill_a_reused_slot() {
+        #[derive(Default)]
+        struct Counter {
+            fired: Vec<u64>,
+        }
+        impl Node for Counter {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(Box::new(Counter::default()));
+        let first = sim.schedule(Time::ZERO + Duration::from_nanos(10), n, 1);
+        sim.run();
+        // The second timer reuses the first one's slot (same slot index,
+        // bumped generation). A stale cancel of `first` must not touch it.
+        let _second = sim.schedule(sim.now() + Duration::from_nanos(10), n, 2);
+        sim.cancel(first);
+        sim.run();
+        assert_eq!(sim.node_as::<Counter>(n).fired, vec![1, 2]);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod engine;
 pub mod loss;
 pub mod node;
 pub mod packet;
+pub mod pool;
 pub mod queue;
 pub mod rtt;
 pub mod time;

@@ -95,10 +95,11 @@ impl Ctx<'_> {
         self.inner.schedule_timer(at, self.node, token)
     }
 
-    /// Cancel a previously armed timer. Cancelling an already-fired or
-    /// already-cancelled timer is a no-op.
+    /// Cancel a previously armed timer in O(1). Cancelling an already-fired
+    /// or already-cancelled timer is a no-op (the id's generation no longer
+    /// matches), and leaves no state behind.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.inner.cancelled.insert(id.0);
+        self.inner.cancel_timer(id);
     }
 
     /// Number of packets queued at this node's egress `port`

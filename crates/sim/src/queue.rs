@@ -59,6 +59,17 @@ pub trait Qdisc {
     fn is_empty(&self) -> bool {
         self.len_pkts() == 0
     }
+
+    /// True if, in the discipline's *current* state, offering a packet and
+    /// immediately dequeuing it would observably be a no-op: the verdict
+    /// would be `Queued { marked: false }`, the same unmodified packet
+    /// would come back, and no internal state (scheduler rotation,
+    /// deficits, RNG) would change. The engine uses this to bypass the
+    /// queue entirely when the link is idle. Disciplines with scheduling
+    /// state or randomness must keep the conservative default of `false`.
+    fn transparent_when_idle(&self) -> bool {
+        false
+    }
 }
 
 /// Plain FIFO with a packet-count capacity.
@@ -102,6 +113,11 @@ impl Qdisc for DropTailQueue {
 
     fn len_bytes(&self) -> usize {
         self.bytes
+    }
+
+    fn transparent_when_idle(&self) -> bool {
+        // An empty FIFO with room neither drops nor reorders nor marks.
+        self.q.is_empty() && self.cap_pkts > 0
     }
 }
 
@@ -160,6 +176,13 @@ impl Qdisc for EcnQueue {
 
     fn len_bytes(&self) -> usize {
         self.bytes
+    }
+
+    fn transparent_when_idle(&self) -> bool {
+        // With `k_pkts > 0`, an enqueue into an empty queue never marks
+        // (the instantaneous length 0 is below threshold); with `k == 0`
+        // every ECT packet would be marked, so the queue must see it.
+        self.q.is_empty() && self.cap_pkts > 0 && self.k_pkts > 0
     }
 }
 

@@ -72,13 +72,17 @@ impl TraceRing {
     }
 
     /// Record one event.
+    #[inline]
     pub fn push(&mut self, ev: TraceEvent) {
         self.total += 1;
         if self.buf.len() < self.cap {
             self.buf.push(ev);
         } else {
             self.buf[self.head] = ev;
-            self.head = (self.head + 1) % self.cap;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
         }
     }
 

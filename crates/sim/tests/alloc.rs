@@ -1,0 +1,107 @@
+//! Proof that the engine's timer hot path stops allocating once warm.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase (which grows the event heap, the payload slab, and the free list
+//! to their steady-state sizes), continued timer churn — schedule, fire,
+//! cancel — must perform **zero** heap allocations. This pins down the
+//! engine-design guarantees: slab slots and heap capacity are recycled,
+//! and timer cancellation is a payload overwrite rather than an insert
+//! into a tombstone collection.
+//!
+//! This lives in an integration test (not the crate's unit tests) so the
+//! counting allocator governs the whole test binary, and so the `unsafe`
+//! impl of `GlobalAlloc` stays outside the library's `forbid(unsafe_code)`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mtp_sim::time::Duration;
+use mtp_sim::{Ctx, Node, Packet, PortId, Simulator};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Keeps ~64 timers in flight forever: every fire re-arms one replacement
+/// and schedules-then-cancels a second (the cancel hot path).
+struct Churn {
+    fired: u64,
+    cancelled: u64,
+}
+
+impl Node for Churn {
+    fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for k in 0..64u64 {
+            ctx.set_timer(Duration::from_nanos(100 + k * 7), k);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.fired += 1;
+        let d1 = 50 + (token.wrapping_mul(2654435761) % 900);
+        let d2 = 50 + (token.wrapping_mul(40503) % 900);
+        ctx.set_timer(Duration::from_nanos(d1), token.wrapping_add(1));
+        let victim = ctx.set_timer(Duration::from_nanos(d2), token ^ 0xff);
+        ctx.cancel_timer(victim);
+        self.cancelled += 1;
+    }
+
+    fn name(&self) -> &str {
+        "churn"
+    }
+}
+
+#[test]
+fn timer_churn_steady_state_allocates_nothing() {
+    let mut sim = Simulator::new(7);
+    let n = sim.add_node(Box::new(Churn {
+        fired: 0,
+        cancelled: 0,
+    }));
+
+    // Warm-up: grow heap, slab, and free list to steady-state capacity.
+    let warm = sim.now() + Duration::from_micros(200);
+    sim.run_until(warm);
+    let warm_fired = sim.node_as::<Churn>(n).fired;
+    assert!(warm_fired > 100, "warm-up ran: {warm_fired} fires");
+
+    // Measured phase: tens of thousands of schedule/fire/cancel cycles.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    sim.run_until(warm + Duration::from_millis(2));
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    let node = sim.node_as::<Churn>(n);
+    assert!(
+        node.fired > warm_fired + 10_000,
+        "measured phase too small: {} fires",
+        node.fired - warm_fired
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "timer hot path allocated {} times across {} fires",
+        after - before,
+        node.fired - warm_fired
+    );
+}

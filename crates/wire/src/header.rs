@@ -100,6 +100,30 @@ impl Default for MtpHeader {
 }
 
 impl MtpHeader {
+    /// Restore the default-constructed state while keeping the capacity of
+    /// the variable-length sections, so a recycled header (see the
+    /// simulator's header pool) re-fills them without reallocating.
+    pub fn reset(&mut self) {
+        self.src_port = 0;
+        self.dst_port = 0;
+        self.pkt_type = PktType::Data;
+        self.msg_pri = 0;
+        self.tc = TrafficClass::BEST_EFFORT;
+        self.flags = 0;
+        self.msg_id = MsgId(0);
+        self.entity = EntityId(0);
+        self.msg_len_pkts = 0;
+        self.msg_len_bytes = 0;
+        self.pkt_num = PktNum(0);
+        self.pkt_len = 0;
+        self.pkt_offset = 0;
+        self.path_exclude.clear();
+        self.path_feedback.clear();
+        self.ack_path_feedback.clear();
+        self.sack.clear();
+        self.nack.clear();
+    }
+
     /// Total encoded length of this header in bytes.
     pub fn wire_len(&self) -> usize {
         FIXED_HEADER_LEN

@@ -24,4 +24,4 @@ pub mod stats;
 
 pub use arrivals::{paced_schedule, poisson_schedule};
 pub use size::SizeDist;
-pub use stats::{percentile, FctCollector, FctSample, FctSummary};
+pub use stats::{mean_std, percentile, FctCollector, FctSample, FctSummary};

@@ -16,6 +16,23 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     v[rank.min(v.len() - 1)]
 }
 
+/// Mean and sample standard deviation of a slice.
+///
+/// Returns `(0.0, 0.0)` for an empty slice and a zero deviation for a
+/// single sample. This is the canonical implementation; `mtp-bench`
+/// re-exports it for experiment binaries.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
 /// One completed transfer.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct FctSample {

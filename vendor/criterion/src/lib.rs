@@ -1,0 +1,168 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros. Measurement is
+//! deliberately simple — a warmup pass, then repeated timed batches
+//! reporting median per-iteration time and derived throughput — which is
+//! enough for the perf-regression workflow; statistical rigor comes from
+//! the `perfgate` binary, not this harness.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes (decimal multiples) processed per iteration.
+    BytesDecimal(u64),
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and
+/// times the workload.
+pub struct Bencher {
+    /// Median per-iteration duration measured by the last `iter` call.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: let caches/branch predictors settle and estimate cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(300) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+
+        // Size batches to ~50ms, take the median of several batches.
+        let batch = ((0.05 / est.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(9);
+        for _ in 0..9 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.elapsed_per_iter = Duration::from_secs_f64(samples[samples.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the throughput annotation for subsequently added benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its result.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed_per_iter.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12.3} us/iter{}",
+            self.name,
+            id,
+            per_iter * 1e6,
+            rate
+        );
+        self
+    }
+
+    /// Finish the group (no-op; matches the real API).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups, like real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API subset the workspace's property tests use:
+//! [`Strategy`] with `prop_map`, [`any`], [`Just`], integer/float range
+//! strategies, tuple strategies, `prop::collection::vec`, `prop_oneof!`,
+//! `prop_compose!`, `proptest!`, `prop_assert!`/`prop_assert_eq!`, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the deterministic case number, which — because the RNG seed is derived
+//! from (file, test name, case index) — reproduces exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, TestRng, Union};
+
+/// Runner configuration; only the case count is honored.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s of `elem` with a length drawn from
+    /// `range`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        range: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: lengths uniform in `range`, elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, range: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, range }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = if self.range.start + 1 >= self.range.end {
+                self.range.start
+            } else {
+                rng.gen_range(self.range.clone())
+            };
+            (0..len).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Derive a per-case RNG seed from test identity and case index (FNV-1a),
+/// so failures reproduce without a persistence file.
+pub fn case_seed(file: &str, name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes().chain(name.bytes()).chain(case.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// One property test: `cases` runs of `body` with values drawn by `gen`.
+pub fn run_property<V>(
+    config: &ProptestConfig,
+    file: &str,
+    name: &str,
+    gen: impl Fn(&mut TestRng) -> V,
+    body: impl Fn(V),
+) {
+    use rand::SeedableRng;
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(case_seed(file, name, case));
+        let value = gen(&mut rng);
+        // A panic in `body` fails the #[test]; the case index in the
+        // message plus the deterministic seed make it reproducible.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest stand-in: {name} failed at case {case}/{}",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Like `assert!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Like `assert_eq!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Weighted-choice strategy union. Weights are ignored in this stand-in;
+/// arms are chosen uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Compose named sub-strategies into a derived strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)
+        ($($field:ident in $strat:expr),+ $(,)?)
+        -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $out> {
+            let __strats = ($($strat,)+);
+            $crate::strategy::fn_strategy(move |__rng| {
+                let ($(ref $field,)+) = __strats;
+                $(let $field = $crate::strategy::Strategy::gen_value($field, __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Define property tests; each `#[test] fn name(x in strategy, ...)`
+/// becomes a normal test running [`run_property`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($field:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strats = ($($strat,)+);
+            $crate::run_property(
+                &__config,
+                file!(),
+                stringify!($name),
+                |__rng| {
+                    let ($(ref $field,)+) = __strats;
+                    ($($crate::strategy::Strategy::gen_value($field, __rng),)+)
+                },
+                |($($field,)+)| $body,
+            );
+        }
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for `rand_distr`: just [`Exp`] and [`LogNormal`],
+//! which is all the workload generators sample from.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+
+/// Types that can be sampled with an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from the open interval `(0, 1]` — safe for `ln`.
+#[inline]
+fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda` (inverse-transform
+/// sampling).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// An exponential with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Exp, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp requires lambda > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open01(rng).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z` standard
+/// normal (Box–Muller).
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A log-normal with location `mu` and scale `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, ParamError> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal requires finite mu, sigma >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = open01(rng);
+        let u2 = open01(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_close_to_inverse_lambda() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let d = Exp::new(2.0).unwrap();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut r = SmallRng::seed_from_u64(12);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let n = 100_001;
+        let mut v: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[n / 2];
+        assert!(
+            (median - 1f64.exp()).abs() / 1f64.exp() < 0.05,
+            "median {median}"
+        );
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

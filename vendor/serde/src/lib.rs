@@ -1,0 +1,262 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde separates data model from format; this workspace only
+//! ever serializes to JSON (experiment records, golden traces), so the
+//! [`Serialize`] trait here writes compact JSON directly. The derive
+//! macros live in the sibling `serde_derive` stand-in and follow serde's
+//! externally-tagged conventions (newtype structs unwrap, unit enum
+//! variants serialize as strings, data-carrying variants as single-key
+//! objects). [`Deserialize`] is a marker: nothing in the workspace reads
+//! serialized data back.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialize `self` as compact JSON appended to `out`.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Marker trait: derived for types the real serde could deserialize.
+pub trait Deserialize {}
+
+macro_rules! impl_display_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                write!(out, "{self}").expect("write to String");
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_display_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                if self.is_finite() {
+                    // Rust's Display for floats is shortest-roundtrip and
+                    // never uses exponent notation: always valid JSON.
+                    if *self == self.trunc() && self.abs() < 1e15 {
+                        write!(out, "{self:.1}").expect("write to String");
+                    } else {
+                        write!(out, "{self}").expect("write to String");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Infinity
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+/// JSON string escaping shared by `str`/`String`/`char`.
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_escaped(self.encode_utf8(&mut buf), out);
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn write_json(&self, out: &mut String) {
+        // Deterministic output: sort keys by their string form.
+        let mut entries: Vec<(String, &V)> = self.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push('{');
+        for (i, (k, v)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(k, out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&k.to_string(), out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl Serialize for () {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        let mut s = String::new();
+        42u32.write_json(&mut s);
+        s.push(' ');
+        true.write_json(&mut s);
+        s.push(' ');
+        1.5f64.write_json(&mut s);
+        s.push(' ');
+        2.0f64.write_json(&mut s);
+        assert_eq!(s, "42 true 1.5 2.0");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut s = String::new();
+        "a\"b\\c\n".write_json(&mut s);
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn containers() {
+        let mut s = String::new();
+        vec![1u8, 2, 3].write_json(&mut s);
+        s.push(' ');
+        Some(7u8).write_json(&mut s);
+        s.push(' ');
+        Option::<u8>::None.write_json(&mut s);
+        s.push(' ');
+        (1u8, "x").write_json(&mut s);
+        assert_eq!(s, r#"[1,2,3] 7 null [1,"x"]"#);
+    }
+}

@@ -1,0 +1,461 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this crate hand-parses the derive input token stream.
+//! `#[derive(Serialize)]` emits an `impl serde::Serialize` whose
+//! `write_json` method writes compact JSON (serde's externally-tagged
+//! conventions: newtype structs unwrap, unit enum variants are strings,
+//! data-carrying variants are single-key objects). `#[derive(Deserialize)]`
+//! emits a marker impl — nothing in this workspace parses JSON back.
+//!
+//! Supported shapes: structs (named / tuple / unit), enums whose variants
+//! are unit, tuple, or struct-like, and simple generics such as
+//! `<T: Serialize>`. `#[serde(...)]` attributes are not supported and the
+//! workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    /// Raw generic parameter list, e.g. `T: Serialize` (without the angle
+    /// brackets); empty when the type is not generic.
+    generics_raw: String,
+    /// Just the parameter names, e.g. `T` or `'a, T`.
+    generic_names: Vec<String>,
+    /// Type-parameter names only (no lifetimes, no consts) — these get
+    /// `Serialize` bounds.
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; returns the next index.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse `<...>` starting at `toks[i]` (which must be `<`). Returns
+/// (raw text, param names, type param names, next index).
+fn parse_generics(toks: &[TokenTree], mut i: usize) -> (String, Vec<String>, Vec<String>, usize) {
+    let mut depth = 0usize;
+    let mut raw = String::new();
+    let mut names = Vec::new();
+    let mut type_params = Vec::new();
+    // Whether the next ident at depth 1 opens a new parameter.
+    let mut expecting_param = true;
+    let mut lifetime_pending = false;
+    let mut const_pending = false;
+    loop {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                if depth > 1 {
+                    raw.push('<');
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+                raw.push('>');
+            }
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                raw.push(c);
+                if depth == 1 {
+                    if c == ',' {
+                        expecting_param = true;
+                        lifetime_pending = false;
+                        const_pending = false;
+                    } else if c == '\'' {
+                        lifetime_pending = true;
+                    } else if c == ':' {
+                        expecting_param = false;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                raw.push_str(&s);
+                raw.push(' ');
+                if depth == 1 && expecting_param {
+                    if s == "const" {
+                        const_pending = true;
+                    } else if lifetime_pending {
+                        names.push(format!("'{s}"));
+                        expecting_param = false;
+                        lifetime_pending = false;
+                    } else {
+                        names.push(s.clone());
+                        if !const_pending {
+                            type_params.push(s);
+                        }
+                        expecting_param = false;
+                        const_pending = false;
+                    }
+                }
+            }
+            other => raw.push_str(&other.to_string()),
+        }
+        i += 1;
+    }
+    (raw, names, type_params, i)
+}
+
+/// Parse named fields out of a brace group's tokens.
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_vis(toks, i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected ':' after field {name}, found {other}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        let mut prev_dash = false;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        if prev_dash {
+                            // `->` in a fn type: not a closing bracket.
+                        } else {
+                            angle -= 1;
+                        }
+                    } else if c == ',' && angle == 0 {
+                        i += 1;
+                        break;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries in a paren group's tokens.
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    let mut last_was_comma = false;
+    for t in toks {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            if c == '<' {
+                angle += 1;
+            } else if c == '>' && !prev_dash {
+                angle -= 1;
+            } else if c == ',' && angle == 0 {
+                n += 1;
+                last_was_comma = true;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if last_was_comma {
+        n -= 1; // trailing comma
+    }
+    n
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut kind = VariantKind::Unit;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                kind = match g.delimiter() {
+                    Delimiter::Parenthesis => VariantKind::Tuple(count_tuple_fields(&inner)),
+                    Delimiter::Brace => VariantKind::Named(parse_named_fields(&inner)),
+                    other => panic!("serde_derive: unexpected variant delimiter {other:?}"),
+                };
+                i += 1;
+            }
+        }
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive: unions are not supported");
+    };
+    i += 1;
+    let name = toks[i].to_string();
+    i += 1;
+    let (generics_raw, generic_names, type_params) = match toks.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            let (raw, names, tys, ni) = parse_generics(&toks, i);
+            i = ni;
+            (raw, names, tys)
+        }
+        _ => (String::new(), Vec::new(), Vec::new()),
+    };
+    // Skip a where clause if present (stop at the body brace / tuple semi).
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => break,
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let shape = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Enum(parse_variants(&inner))
+            }
+            other => panic!("serde_derive: expected enum body, found {other}"),
+        }
+    } else {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&inner))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(count_tuple_fields(&inner))
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: expected struct body, found {other}"),
+        }
+    };
+    Parsed {
+        name,
+        generics_raw,
+        generic_names,
+        type_params,
+        shape,
+    }
+}
+
+fn impl_header(p: &Parsed, trait_path: &str) -> String {
+    let impl_generics = if p.generics_raw.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", p.generics_raw)
+    };
+    let ty_generics = if p.generic_names.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", p.generic_names.join(", "))
+    };
+    let where_clause = if p.type_params.is_empty() {
+        String::new()
+    } else {
+        let bounds: Vec<String> = p
+            .type_params
+            .iter()
+            .map(|t| format!("{t}: ::serde::Serialize"))
+            .collect();
+        format!(" where {}", bounds.join(", "))
+    };
+    format!(
+        "impl{impl_generics} {trait_path} for {}{ty_generics}{where_clause}",
+        p.name
+    )
+}
+
+/// `#[derive(Serialize)]` — emit a compact-JSON writer.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse_input(input);
+    let mut body = String::new();
+    match &p.shape {
+        Shape::NamedStruct(fields) => {
+            if fields.is_empty() {
+                body.push_str("out.push_str(\"{}\");");
+            } else {
+                body.push_str("out.push('{');");
+                for (k, f) in fields.iter().enumerate() {
+                    let comma = if k == 0 { "" } else { "," };
+                    body.push_str(&format!(
+                        "out.push_str(\"{comma}\\\"{f}\\\":\");\
+                         ::serde::Serialize::write_json(&self.{f}, out);"
+                    ));
+                }
+                body.push_str("out.push('}');");
+            }
+        }
+        Shape::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::write_json(&self.0, out);");
+        }
+        Shape::TupleStruct(n) => {
+            body.push_str("out.push('[');");
+            for k in 0..*n {
+                if k > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!("::serde::Serialize::write_json(&self.{k}, out);"));
+            }
+            body.push_str("out.push(']');");
+        }
+        Shape::UnitStruct => body.push_str("out.push_str(\"null\");"),
+        Shape::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let name = &p.name;
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        body.push_str(&format!("{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),"))
+                    }
+                    VariantKind::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{ out.push_str(\"{{\\\"{vn}\\\":\");\
+                         ::serde::Serialize::write_json(__f0, out); out.push('}}'); }}"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => {{ out.push_str(\"{{\\\"{vn}\\\":[\");",
+                            binds.join(", ")
+                        ));
+                        for (k, b) in binds.iter().enumerate() {
+                            if k > 0 {
+                                body.push_str("out.push(',');");
+                            }
+                            body.push_str(&format!("::serde::Serialize::write_json({b}, out);"));
+                        }
+                        body.push_str("out.push_str(\"]}}\"); }");
+                    }
+                    VariantKind::Named(fields) => {
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ out.push_str(\"{{\\\"{vn}\\\":{{\");",
+                            fields.join(", ")
+                        ));
+                        for (k, f) in fields.iter().enumerate() {
+                            let comma = if k == 0 { "" } else { "," };
+                            body.push_str(&format!(
+                                "out.push_str(\"{comma}\\\"{f}\\\":\");\
+                                 ::serde::Serialize::write_json({f}, out);"
+                            ));
+                        }
+                        body.push_str("out.push_str(\"}}}}\"); }");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    let code = format!(
+        "{} {{ fn write_json(&self, out: &mut ::std::string::String) {{ {body} }} }}",
+        impl_header(&p, "::serde::Serialize")
+    );
+    code.parse().expect("serde_derive: generated code parses")
+}
+
+/// `#[derive(Deserialize)]` — marker impl only; nothing in this workspace
+/// deserializes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse_input(input);
+    let code = format!("{} {{}}", impl_header(&p, "::serde::Deserialize"));
+    code.parse().expect("serde_derive: generated code parses")
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The serde stand-in's [`serde::Serialize`] already emits compact JSON;
+//! this crate adds the `to_string`/`to_string_pretty` entry points the
+//! workspace calls. Pretty-printing re-indents the compact encoding with
+//! the same 2-space style as real serde_json.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// Serialization error. The stand-in writer is infallible, so this is
+/// never constructed, but callers match real serde_json's `Result` API.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+impl std::error::Error for Error {}
+
+/// Result alias matching real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indent compact JSON. Tracks string/escape state so braces inside
+/// string literals are left alone.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+
+    fn newline(out: &mut String, depth: usize) {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line: `{}` / `[]`.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(close);
+                    chars.next();
+                } else {
+                    depth += 1;
+                    newline(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_expected_shape() {
+        let v = vec![(1u8, "a:b".to_string()), (2, "c".to_string())];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "[\n  [\n    1,\n    \"a:b\"\n  ],\n  [\n    2,\n    \"c\"\n  ]\n]"
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let v: Vec<u8> = vec![];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+}
