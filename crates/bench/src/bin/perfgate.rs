@@ -1,30 +1,40 @@
-//! Perf-regression gate for the discrete-event engine.
+//! Perf-regression gate for the simulator engine and the MTP endpoints.
 //!
-//! Runs the three fixed-seed hotpath workloads (timer churn, packet
-//! forwarding chain, leaf-spine incast) at three seeds each and:
+//! Two suites, each with three fixed-seed workloads × three seeds:
 //!
-//! 1. compares every run's digest (event count, final clock, all link
-//!    counters, retained trace events) byte-for-byte against golden files
-//!    under `crates/bench/golden/engine/` — any engine change that alters
-//!    event outcomes or ordering fails the gate;
+//! * **engine** — discrete-event engine hotpaths (timer churn, packet
+//!   forwarding chain, leaf-spine incast); goldens under
+//!   `crates/bench/golden/engine/`, report `results/BENCH_engine.json`;
+//! * **endpoint** — MTP sender/receiver state machines driven directly
+//!   with no simulator in between (many-message incast with SACK/NACK
+//!   churn, pathlet-feedback-heavy multipath); goldens under
+//!   `crates/bench/golden/endpoint/`, report
+//!   `results/BENCH_endpoint.json`.
+//!
+//! For every suite the gate:
+//!
+//! 1. compares every run's digest byte-for-byte against its golden file —
+//!    any change that alters packet contents, window evolution, or
+//!    counters fails the gate;
 //! 2. measures events/second per workload (best of [`TIMED_REPS`] timed
-//!    runs) and
-//!    peak RSS, writing `results/BENCH_engine.json`;
-//! 3. if `results/BENCH_engine_baseline.json` exists, reports the
-//!    speedup of the current engine over that recorded baseline.
+//!    runs) and peak RSS, writing the suite's `results/BENCH_*.json`;
+//! 3. if the suite's `*_baseline.json` exists, reports the speedup of the
+//!    current code over that recorded baseline.
 //!
 //! Modes:
 //!
-//! * `perfgate --bless`    — (re)write the golden digests;
-//! * `perfgate --baseline` — also record the current measurements as the
-//!   baseline file future runs compare against;
-//! * `perfgate`            — gate: compare digests, measure, report.
+//! * `perfgate [suite...]`            — gate the named suites (default: all);
+//! * `perfgate --bless [suite...]`    — (re)write the golden digests;
+//! * `perfgate --baseline [suite...]` — also record the current
+//!   measurements as the suite's baseline file. Baselines are per-suite so
+//!   re-recording the endpoint baseline never clobbers the engine's.
 //!
 //! Exit status is non-zero on any digest mismatch.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use mtp_bench::endpoint::{incast_churn, multipath_feedback};
 use mtp_bench::hotpath::{forward_chain, leafspine_incast, timer_churn, HotpathRun};
 use serde::Serialize;
 
@@ -41,18 +51,50 @@ struct Workload {
     run: fn(u64) -> HotpathRun,
 }
 
-const WORKLOADS: [Workload; 3] = [
-    Workload {
-        name: "timer_churn",
-        run: |seed| timer_churn(seed, TIMER_BUDGET),
+struct Suite {
+    /// Suite key on the command line and in file names.
+    name: &'static str,
+    /// `id` field of the written report.
+    id: &'static str,
+    /// Human description of what is being measured.
+    engine: &'static str,
+    workloads: &'static [Workload],
+}
+
+const SUITES: [Suite; 2] = [
+    Suite {
+        name: "engine",
+        id: "BENCH_engine",
+        engine: "mtp-sim discrete-event engine",
+        workloads: &[
+            Workload {
+                name: "timer_churn",
+                run: |seed| timer_churn(seed, TIMER_BUDGET),
+            },
+            Workload {
+                name: "forward_chain",
+                run: |seed| forward_chain(seed, CHAIN_HOPS, CHAIN_PKTS),
+            },
+            Workload {
+                name: "leafspine_incast",
+                run: leafspine_incast,
+            },
+        ],
     },
-    Workload {
-        name: "forward_chain",
-        run: |seed| forward_chain(seed, CHAIN_HOPS, CHAIN_PKTS),
-    },
-    Workload {
-        name: "leafspine_incast",
-        run: leafspine_incast,
+    Suite {
+        name: "endpoint",
+        id: "BENCH_endpoint",
+        engine: "mtp-core sender/receiver endpoint state machines",
+        workloads: &[
+            Workload {
+                name: "incast_churn",
+                run: incast_churn,
+            },
+            Workload {
+                name: "multipath_feedback",
+                run: multipath_feedback,
+            },
+        ],
     },
 ];
 
@@ -88,8 +130,8 @@ fn repo_root() -> PathBuf {
     }
 }
 
-fn golden_path(root: &std::path::Path, name: &str, seed: u64) -> PathBuf {
-    root.join(format!("crates/bench/golden/engine/{name}_seed{seed}.txt"))
+fn golden_path(root: &Path, suite: &str, name: &str, seed: u64) -> PathBuf {
+    root.join(format!("crates/bench/golden/{suite}/{name}_seed{seed}.txt"))
 }
 
 /// Peak resident set size in kB (`VmHWM`), 0 where unavailable.
@@ -119,29 +161,25 @@ fn baseline_events_per_sec(baseline: &str, name: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| *a != "--bless" && *a != "--baseline") {
-        eprintln!("perfgate: unknown argument `{bad}`");
-        eprintln!("usage: perfgate [--bless] [--baseline]");
-        std::process::exit(2);
-    }
-    let bless = args.iter().any(|a| a == "--bless");
-    let record_baseline = args.iter().any(|a| a == "--baseline");
-    let root = repo_root();
-    std::fs::create_dir_all(root.join("crates/bench/golden/engine")).expect("golden dir");
-    std::fs::create_dir_all(root.join("results")).expect("results dir");
+/// Run one suite: digest-check (or bless) every workload × seed, then
+/// time each workload and write the suite report. Returns whether all
+/// digests matched.
+fn run_suite(suite: &Suite, root: &Path, bless: bool, record_baseline: bool) -> bool {
+    println!("== suite: {} ==", suite.name);
+    std::fs::create_dir_all(root.join(format!("crates/bench/golden/{}", suite.name)))
+        .expect("golden dir");
 
-    let baseline = std::fs::read_to_string(root.join("results/BENCH_engine_baseline.json")).ok();
+    let baseline =
+        std::fs::read_to_string(root.join(format!("results/{}_baseline.json", suite.id))).ok();
 
     let mut results = Vec::new();
     let mut all_ok = true;
-    for w in &WORKLOADS {
+    for w in suite.workloads {
         // Digest pass: every seed against its golden file.
         let mut ok = true;
         for &seed in &SEEDS {
             let run = (w.run)(seed);
-            let path = golden_path(&root, w.name, seed);
+            let path = golden_path(root, suite.name, w.name, seed);
             if bless {
                 std::fs::write(&path, &run.digest).expect("write golden");
             } else {
@@ -200,19 +238,52 @@ fn main() {
     }
 
     let report = GateReport {
-        id: "BENCH_engine",
-        engine: "mtp-sim discrete-event engine",
+        id: suite.id,
+        engine: suite.engine,
         all_digests_match: all_ok,
         peak_rss_kb: peak_rss_kb(),
         workloads: results,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(root.join("results/BENCH_engine.json"), &json).expect("write report");
-    println!("wrote results/BENCH_engine.json");
+    std::fs::write(root.join(format!("results/{}.json", suite.id)), &json).expect("write report");
+    println!("wrote results/{}.json", suite.id);
     if record_baseline {
-        std::fs::write(root.join("results/BENCH_engine_baseline.json"), &json)
-            .expect("write baseline");
-        println!("wrote results/BENCH_engine_baseline.json");
+        std::fs::write(
+            root.join(format!("results/{}_baseline.json", suite.id)),
+            &json,
+        )
+        .expect("write baseline");
+        println!("wrote results/{}_baseline.json", suite.id);
+    }
+    all_ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bless = false;
+    let mut record_baseline = false;
+    let mut selected: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--bless" => bless = true,
+            "--baseline" => record_baseline = true,
+            name if SUITES.iter().any(|s| s.name == name) => selected.push(name),
+            bad => {
+                eprintln!("perfgate: unknown argument `{bad}`");
+                eprintln!("usage: perfgate [--bless] [--baseline] [engine|endpoint ...]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = repo_root();
+    std::fs::create_dir_all(root.join("results")).expect("results dir");
+
+    let mut all_ok = true;
+    for suite in &SUITES {
+        if !selected.is_empty() && !selected.contains(&suite.name) {
+            continue;
+        }
+        all_ok &= run_suite(suite, &root, bless, record_baseline);
     }
     if !all_ok {
         std::process::exit(1);

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod endpoint;
 pub mod hotpath;
 pub mod output;
 pub mod parallel;

@@ -6,8 +6,6 @@
 //! latency. Both are thin shims: all protocol behaviour lives in the
 //! sans-IO cores.
 
-use std::collections::HashMap;
-
 use mtp_sim::time::{Duration, Time};
 use mtp_sim::{BinSeries, Ctx, Headers, Node, Packet, PortId};
 use mtp_wire::{EntityId, MsgId, PktType, TrafficClass};
@@ -71,11 +69,19 @@ pub struct MtpSenderNode {
     schedule: Vec<ScheduledMsg>,
     /// Completion records, indexed like `schedule`.
     pub msgs: Vec<MtpMsgRecord>,
-    msg_index: HashMap<MsgId, usize>,
+    /// Submitted (id, schedule index) pairs. Ids are allocated
+    /// monotonically by the sender, so the list is sorted by construction
+    /// and lookup is a binary search — no hashing.
+    msg_index: Vec<(MsgId, usize)>,
     armed: Option<Time>,
     /// Closed loop: submit message i+1 when message i completes.
     closed_loop: bool,
     name: String,
+    /// Reusable buffers for packets, events, and completed indices; taken
+    /// and restored around each callback so steady state never allocates.
+    out_buf: Vec<Packet>,
+    ev_buf: Vec<SenderEvent>,
+    done_buf: Vec<usize>,
 }
 
 impl MtpSenderNode {
@@ -102,10 +108,13 @@ impl MtpSenderNode {
             dst,
             schedule,
             msgs,
-            msg_index: HashMap::new(),
+            msg_index: Vec::new(),
             armed: None,
             closed_loop: false,
             name: format!("mtp-sender-{addr}"),
+            out_buf: Vec::new(),
+            ev_buf: Vec::new(),
+            done_buf: Vec::new(),
         }
     }
 
@@ -122,47 +131,57 @@ impl MtpSenderNode {
         self.msgs.iter().all(|m| m.completed.is_some())
     }
 
-    fn flush(&mut self, ctx: &mut Ctx<'_>, out: Vec<Packet>) {
-        for pkt in out {
+    fn flush(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<Packet>) {
+        for pkt in out.drain(..) {
             ctx.send(PortId(0), pkt);
         }
     }
 
-    /// Returns indices of messages completed by the drained events.
-    fn drain_events(&mut self) -> Vec<usize> {
-        let mut done = Vec::new();
-        for ev in self.sender.take_events() {
-            let SenderEvent::MsgCompleted { id, completed, .. } = ev;
-            if let Some(&idx) = self.msg_index.get(&id) {
+    /// Record completions from pending sender events into `done_buf`
+    /// (schedule indices). Buffers are reused; nothing allocates once
+    /// they have grown to the workload's high-water mark.
+    fn drain_completions(&mut self) {
+        debug_assert!(self.done_buf.is_empty());
+        let mut ev = std::mem::take(&mut self.ev_buf);
+        self.sender.drain_events(&mut ev);
+        for e in ev.drain(..) {
+            let SenderEvent::MsgCompleted { id, completed, .. } = e;
+            if let Ok(at) = self.msg_index.binary_search_by_key(&id.0, |&(m, _)| m.0) {
+                let idx = self.msg_index[at].1;
                 self.msgs[idx].completed = Some(completed);
-                done.push(idx);
+                self.done_buf.push(idx);
             }
         }
-        done
+        self.ev_buf = ev;
     }
 
     fn submit(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
         let now = ctx.now();
         let s = self.schedule[idx];
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.out_buf);
         let id = self
             .sender
             .send_message(self.dst, s.bytes, s.pri, s.tc, now, &mut out);
-        self.msg_index.insert(id, idx);
+        self.msg_index.push((id, idx));
         self.msgs[idx].submitted = now;
-        self.flush(ctx, out);
+        self.flush(ctx, &mut out);
+        self.out_buf = out;
     }
 
-    fn after_completions(&mut self, ctx: &mut Ctx<'_>, done: Vec<usize>) {
+    fn after_completions(&mut self, ctx: &mut Ctx<'_>) {
         if !self.closed_loop {
+            self.done_buf.clear();
             return;
         }
-        for idx in done {
+        let done = std::mem::take(&mut self.done_buf);
+        for &idx in &done {
             let next = idx + 1;
             if next < self.schedule.len() && self.msgs[next].completed.is_none() {
                 self.submit(ctx, next);
             }
         }
+        self.done_buf = done;
+        self.done_buf.clear();
     }
 
     fn sync_timer(&mut self, ctx: &mut Ctx<'_>) {
@@ -198,12 +217,13 @@ impl Node for MtpSenderNode {
         let now = ctx.now();
         match hdr.pkt_type {
             PktType::Ack | PktType::Nack => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.out_buf);
                 self.sender.on_ack(now, &hdr, &mut out);
-                self.flush(ctx, out);
-                let done = self.drain_events();
+                self.flush(ctx, &mut out);
+                self.out_buf = out;
+                self.drain_completions();
                 self.sync_timer(ctx);
-                self.after_completions(ctx, done);
+                self.after_completions(ctx);
                 self.sync_timer(ctx);
             }
             PktType::Control => self.sender.on_control(now, &hdr),
@@ -220,15 +240,16 @@ impl Node for MtpSenderNode {
             KIND_MSG => self.submit(ctx, arg),
             KIND_RTO => {
                 self.armed = None;
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.out_buf);
                 self.sender.on_timer(now, &mut out);
-                self.flush(ctx, out);
+                self.flush(ctx, &mut out);
+                self.out_buf = out;
             }
             _ => {}
         }
-        let done = self.drain_events();
+        self.drain_completions();
         self.sync_timer(ctx);
-        self.after_completions(ctx, done);
+        self.after_completions(ctx);
         self.sync_timer(ctx);
     }
 
@@ -281,7 +302,7 @@ impl Node for MtpSinkNode {
         if newly > 0 {
             self.goodput.add(now, newly as f64);
         }
-        self.delivered.extend(self.receiver.take_events());
+        self.receiver.drain_events(&mut self.delivered);
         ctx.send(PortId(0), ack);
     }
 

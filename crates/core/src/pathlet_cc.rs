@@ -20,6 +20,18 @@
 use mtp_sim::time::{Duration, Time};
 use mtp_wire::Feedback;
 
+/// Dense index of an interned `(pathlet, traffic class)` pair within one
+/// sender's [`PathletTable`](crate::pathlets::PathletTable).
+///
+/// The hot paths (per-ACK byte attribution, loss accounting, window
+/// lookups on admission) address congestion state through this index with
+/// a flat array access instead of hashing the `(PathletId, TrafficClass)`
+/// tuple on every packet. Indices are assigned in interning order, are
+/// stable for the lifetime of the table, and are meaningless across
+/// senders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathIdx(pub u32);
+
 /// Lower bound on any pathlet window: one MTU-sized packet.
 pub const WINDOW_FLOOR: u64 = 1500;
 

@@ -6,13 +6,24 @@
 //! from echoed feedback; in-flight accounting is charged at transmission
 //! and credited on SACK/NACK/timeout; exclusions are advertised back to the
 //! network in the path-exclude header list.
-
-use std::collections::HashMap;
+//!
+//! ## Storage
+//!
+//! Entries live in a dense `Vec` in interning order; a key is mapped to its
+//! [`PathIdx`] once (on first contact, or once per ACK for feedback
+//! entries) through a small open-addressed probe table, and every
+//! subsequent charge/credit/window access is a flat array index. The probe
+//! table packs `(PathletId, TrafficClass)` into 24 bits — it exists only to
+//! resolve keys arriving off the wire; protocol hot paths carry `PathIdx`
+//! directly (e.g. each in-flight packet records the index it was charged
+//! to). A table has tens of entries in realistic workloads, so the dense
+//! layout also keeps the whole congestion state in one or two cache lines
+//! per pathlet.
 
 use mtp_sim::time::Time;
 use mtp_wire::{PathExclude, PathletId, TrafficClass};
 
-use crate::pathlet_cc::{CcFactory, PathletCc};
+use crate::pathlet_cc::{CcFactory, PathIdx, PathletCc};
 
 /// Congestion state for one `(pathlet, TC)` pair.
 pub struct PathletEntry {
@@ -33,10 +44,24 @@ impl PathletEntry {
     }
 }
 
+/// Pack a key into the 24 bits the probe table hashes.
+#[inline]
+fn pack(path: PathletId, tc: TrafficClass) -> u32 {
+    ((path.0 as u32) << 8) | tc.0 as u32
+}
+
 /// All pathlet state kept by one sender.
 pub struct PathletTable {
-    entries: HashMap<(PathletId, TrafficClass), PathletEntry>,
+    keys: Vec<(PathletId, TrafficClass)>,
+    entries: Vec<PathletEntry>,
+    /// Open-addressed key→index probe table; each slot holds `idx + 1`,
+    /// 0 = empty. Length is a power of two.
+    map: Vec<u32>,
     factory: CcFactory,
+    /// Entries whose `excluded_until` is set (possibly expired); lets the
+    /// per-packet exclusion scan short-circuit in the common case of no
+    /// exclusions at all.
+    excluded: usize,
 }
 
 impl std::fmt::Debug for PathletTable {
@@ -51,8 +76,11 @@ impl PathletTable {
     /// An empty table; `factory` builds controllers for new pathlets.
     pub fn new(factory: CcFactory) -> PathletTable {
         PathletTable {
-            entries: HashMap::new(),
+            keys: Vec::new(),
+            entries: Vec::new(),
+            map: Vec::new(),
             factory,
+            excluded: 0,
         }
     }
 
@@ -66,21 +94,107 @@ impl PathletTable {
         self.entries.is_empty()
     }
 
+    #[inline]
+    fn probe_start(&self, key: u32) -> usize {
+        // Fibonacci hashing spreads the 24-bit packed keys well enough for
+        // linear probing at ≤ 7/8 load on these tiny tables.
+        (key.wrapping_mul(0x9E37_79B1) as usize) & (self.map.len() - 1)
+    }
+
+    /// Find the dense index of a key, if interned.
+    #[inline]
+    pub fn lookup(&self, path: PathletId, tc: TrafficClass) -> Option<PathIdx> {
+        if self.map.is_empty() {
+            return None;
+        }
+        let key = pack(path, tc);
+        let mask = self.map.len() - 1;
+        let mut i = self.probe_start(key);
+        loop {
+            match self.map[i] {
+                0 => return None,
+                v => {
+                    let idx = v - 1;
+                    if pack(self.keys[idx as usize].0, self.keys[idx as usize].1) == key {
+                        return Some(PathIdx(idx));
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow_map(&mut self) {
+        let new_len = (self.map.len().max(8)) * 2;
+        self.map.clear();
+        self.map.resize(new_len, 0);
+        for idx in 0..self.keys.len() as u32 {
+            let key = pack(self.keys[idx as usize].0, self.keys[idx as usize].1);
+            let mask = new_len - 1;
+            let mut i = self.probe_start(key);
+            while self.map[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.map[i] = idx + 1;
+        }
+    }
+
+    /// Intern a key: return its dense index, creating a fresh controller
+    /// (and `last_seen = now`) on first contact.
+    pub fn intern(&mut self, path: PathletId, tc: TrafficClass, now: Time) -> PathIdx {
+        if let Some(idx) = self.lookup(path, tc) {
+            return idx;
+        }
+        let idx = self.entries.len() as u32;
+        self.keys.push((path, tc));
+        self.entries.push(PathletEntry {
+            cc: (self.factory)(),
+            inflight: 0,
+            excluded_until: None,
+            last_seen: now,
+        });
+        // Keep load ≤ 3/4 so probe chains stay short.
+        if (self.keys.len() + 1) * 4 > self.map.len() * 3 {
+            self.grow_map();
+        } else {
+            let key = pack(path, tc);
+            let mask = self.map.len() - 1;
+            let mut i = self.probe_start(key);
+            while self.map[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.map[i] = idx + 1;
+        }
+        PathIdx(idx)
+    }
+
+    /// The key interned at `idx`.
+    #[inline]
+    pub fn key_at(&self, idx: PathIdx) -> (PathletId, TrafficClass) {
+        self.keys[idx.0 as usize]
+    }
+
+    /// The entry at a dense index.
+    #[inline]
+    pub fn at(&self, idx: PathIdx) -> &PathletEntry {
+        &self.entries[idx.0 as usize]
+    }
+
+    /// The entry at a dense index, mutably.
+    #[inline]
+    pub fn at_mut(&mut self, idx: PathIdx) -> &mut PathletEntry {
+        &mut self.entries[idx.0 as usize]
+    }
+
     /// Get or create the entry for a pathlet.
     pub fn entry(&mut self, path: PathletId, tc: TrafficClass, now: Time) -> &mut PathletEntry {
-        self.entries
-            .entry((path, tc))
-            .or_insert_with(|| PathletEntry {
-                cc: (self.factory)(),
-                inflight: 0,
-                excluded_until: None,
-                last_seen: now,
-            })
+        let idx = self.intern(path, tc, now);
+        &mut self.entries[idx.0 as usize]
     }
 
     /// Read-only lookup.
     pub fn get(&self, path: PathletId, tc: TrafficClass) -> Option<&PathletEntry> {
-        self.entries.get(&(path, tc))
+        self.lookup(path, tc).map(|idx| self.at(idx))
     }
 
     /// Charge `bytes` of a new transmission against a pathlet.
@@ -89,11 +203,24 @@ impl PathletTable {
         e.inflight += bytes;
     }
 
+    /// Charge `bytes` against an already-interned pathlet.
+    #[inline]
+    pub fn charge_at(&mut self, idx: PathIdx, bytes: u64) {
+        self.entries[idx.0 as usize].inflight += bytes;
+    }
+
     /// Credit `bytes` back (on ACK, NACK, or timeout of a charged packet).
     pub fn credit(&mut self, path: PathletId, tc: TrafficClass, bytes: u64) {
-        if let Some(e) = self.entries.get_mut(&(path, tc)) {
-            e.inflight = e.inflight.saturating_sub(bytes);
+        if let Some(idx) = self.lookup(path, tc) {
+            self.credit_at(idx, bytes);
         }
+    }
+
+    /// Credit `bytes` back on an already-interned pathlet.
+    #[inline]
+    pub fn credit_at(&mut self, idx: PathIdx, bytes: u64) {
+        let e = &mut self.entries[idx.0 as usize];
+        e.inflight = e.inflight.saturating_sub(bytes);
     }
 
     /// Window headroom for admitting new data on a pathlet. An unknown
@@ -102,32 +229,66 @@ impl PathletTable {
         self.entry(path, tc, now).room()
     }
 
+    /// Window headroom on an already-interned pathlet.
+    #[inline]
+    pub fn room_at(&self, idx: PathIdx) -> u64 {
+        self.entries[idx.0 as usize].room()
+    }
+
     /// Mark a pathlet excluded until `until`; data packets will carry the
     /// exclusion so the network steers around it.
     pub fn exclude(&mut self, path: PathletId, tc: TrafficClass, until: Time, now: Time) {
-        let e = self.entry(path, tc, now);
+        let idx = self.intern(path, tc, now);
+        self.exclude_at(idx, until);
+    }
+
+    /// Mark an already-interned pathlet excluded until `until`.
+    pub fn exclude_at(&mut self, idx: PathIdx, until: Time) {
+        let e = &mut self.entries[idx.0 as usize];
+        if e.excluded_until.is_none() {
+            self.excluded += 1;
+        }
         e.excluded_until = Some(until);
     }
 
-    /// The active exclusions to advertise at time `now`. Expired entries
-    /// are cleared as a side effect.
-    pub fn active_exclusions(&mut self, now: Time) -> Vec<PathExclude> {
-        let mut out = Vec::new();
-        for (&(path, tc), e) in self.entries.iter_mut() {
+    /// Append the exclusions active at `now` to `out` and sort `out` by
+    /// `(pathlet, TC)` for reproducible headers; expired entries are
+    /// cleared as a side effect. `out` is typically a pooled header's
+    /// `path_exclude` list, cleared by the pool on reuse. The common case —
+    /// no exclusion ever set — is a single counter check.
+    pub fn append_exclusions(&mut self, now: Time, out: &mut Vec<PathExclude>) {
+        if self.excluded == 0 {
+            return;
+        }
+        for (idx, e) in self.entries.iter_mut().enumerate() {
             match e.excluded_until {
-                Some(until) if until > now => out.push(PathExclude { path, tc }),
-                Some(_) => e.excluded_until = None,
+                Some(until) if until > now => {
+                    let (path, tc) = self.keys[idx];
+                    out.push(PathExclude { path, tc });
+                }
+                Some(_) => {
+                    e.excluded_until = None;
+                    self.excluded -= 1;
+                }
                 None => {}
             }
         }
-        // Deterministic order for reproducible headers.
         out.sort_by_key(|x| (x.path.0, x.tc.0));
+    }
+
+    /// The active exclusions to advertise at time `now`, as a fresh `Vec`.
+    /// Expired entries are cleared as a side effect. Hot paths use
+    /// [`append_exclusions`](Self::append_exclusions) instead.
+    pub fn active_exclusions(&mut self, now: Time) -> Vec<PathExclude> {
+        let mut out = Vec::new();
+        self.append_exclusions(now, &mut out);
         out
     }
 
-    /// Iterate over `(key, entry)` pairs (for instrumentation).
+    /// Iterate over `(key, entry)` pairs in interning order (for
+    /// instrumentation).
     pub fn iter(&self) -> impl Iterator<Item = (&(PathletId, TrafficClass), &PathletEntry)> {
-        self.entries.iter()
+        self.keys.iter().zip(self.entries.iter())
     }
 }
 
@@ -191,5 +352,56 @@ mod tests {
         assert!(after.is_empty());
         // Cleared, not just filtered.
         assert!(t.get(P1, TC).unwrap().excluded_until.is_none());
+    }
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let mut t = table();
+        let a = t.intern(P1, TC, Time::ZERO);
+        let b = t.intern(P2, TC, Time::ZERO);
+        let c = t.intern(P1, TrafficClass(3), Time::ZERO);
+        assert_eq!(a, PathIdx(0));
+        assert_eq!(b, PathIdx(1));
+        assert_eq!(c, PathIdx(2));
+        // Re-interning returns the same index.
+        assert_eq!(t.intern(P1, TC, Time::ZERO), a);
+        assert_eq!(t.lookup(P2, TC), Some(b));
+        assert_eq!(t.key_at(c), (P1, TrafficClass(3)));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn probe_table_survives_growth() {
+        let mut t = table();
+        let mut idxs = Vec::new();
+        for p in 0..200u16 {
+            for tc in 0..3u8 {
+                idxs.push((p, tc, t.intern(PathletId(p), TrafficClass(tc), Time::ZERO)));
+            }
+        }
+        for (p, tc, idx) in idxs {
+            assert_eq!(t.lookup(PathletId(p), TrafficClass(tc)), Some(idx));
+        }
+        assert_eq!(t.len(), 600);
+    }
+
+    #[test]
+    fn exclusion_fast_path_counter_balances() {
+        let mut t = table();
+        // No exclusions: append is a no-op even with entries present.
+        t.intern(P1, TC, Time::ZERO);
+        let mut out = Vec::new();
+        t.append_exclusions(Time::ZERO, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.excluded, 0);
+        // Set, re-set (no double count), expire, and observe the counter
+        // return to the fast path.
+        let until = Time::ZERO + Duration::from_micros(10);
+        t.exclude(P1, TC, until, Time::ZERO);
+        t.exclude(P1, TC, until, Time::ZERO);
+        assert_eq!(t.excluded, 1);
+        t.append_exclusions(Time::ZERO + Duration::from_micros(20), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.excluded, 0, "expired entry cleared and uncounted");
     }
 }

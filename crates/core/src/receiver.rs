@@ -15,8 +15,6 @@
 //!   loss — the receiver NACKs immediately instead of waiting for a
 //!   timeout, NDP-style. Trimmed headers are NACKed the same way.
 
-use std::collections::HashMap;
-
 use mtp_sim::packet::{Headers, Packet};
 use mtp_sim::time::Time;
 use mtp_wire::{
@@ -46,6 +44,7 @@ pub struct MsgDelivered {
 
 #[derive(Debug)]
 struct InMsg {
+    id: MsgId,
     src: u16,
     len_bytes: u32,
     len_pkts: u32,
@@ -93,11 +92,20 @@ pub struct MtpReceiverStats {
 }
 
 /// One MTP receiving endpoint.
+///
+/// Reassembly state lives in a slab indexed by an open-addressed id→slot
+/// probe map (ids arrive from many senders, so — unlike the sender's slab
+/// — slots can't be computed arithmetically). The probe map stores
+/// `slot + 1` (0 = empty) and is rebuilt from the slab on the cold
+/// [`gc_completed`](Self::gc_completed) path, which keeps the per-packet
+/// lookup a single multiply-and-probe with no tombstone handling.
 #[derive(Debug)]
 pub struct MtpReceiver {
     /// This host's address (used as `src_port` on ACKs).
     addr: u16,
-    msgs: HashMap<MsgId, InMsg>,
+    msgs: Vec<InMsg>,
+    /// Open-addressed map from message id to `slot + 1` in `msgs`.
+    map: Vec<u32>,
     events: Vec<MsgDelivered>,
     /// Payload bytes of incomplete messages currently held.
     buffered: u64,
@@ -105,26 +113,97 @@ pub struct MtpReceiver {
     pub stats: MtpReceiverStats,
 }
 
+#[inline]
+fn probe_start(id: u64, len: usize) -> usize {
+    // Fibonacci hashing spreads the monotone id ranges senders allocate
+    // from; `len` is always a power of two.
+    (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (len - 1)
+}
+
 impl MtpReceiver {
     /// A receiver at address `addr`.
     pub fn new(addr: u16) -> MtpReceiver {
         MtpReceiver {
             addr,
-            msgs: HashMap::new(),
+            msgs: Vec::new(),
+            map: Vec::new(),
             events: Vec::new(),
             buffered: 0,
             stats: MtpReceiverStats::default(),
         }
     }
 
-    /// Drain delivery events.
+    /// The slab slot holding `id`, if present.
+    #[inline]
+    fn lookup(&self, id: MsgId) -> Option<usize> {
+        if self.map.is_empty() {
+            return None;
+        }
+        let mut i = probe_start(id.0, self.map.len());
+        loop {
+            match self.map[i] {
+                0 => return None,
+                s => {
+                    let slot = (s - 1) as usize;
+                    if self.msgs[slot].id == id {
+                        return Some(slot);
+                    }
+                }
+            }
+            i = (i + 1) & (self.map.len() - 1);
+        }
+    }
+
+    /// Rebuild the probe map from the slab (doubling it while the load
+    /// factor would exceed 3/4).
+    fn rebuild_map(&mut self) {
+        let mut len = self.map.len().max(16);
+        while (self.msgs.len() + 1) * 4 > len * 3 {
+            len *= 2;
+        }
+        self.map.clear();
+        self.map.resize(len, 0);
+        for slot in 0..self.msgs.len() {
+            let mut i = probe_start(self.msgs[slot].id.0, len);
+            while self.map[i] != 0 {
+                i = (i + 1) & (len - 1);
+            }
+            self.map[i] = slot as u32 + 1;
+        }
+    }
+
+    /// Insert a new message at the next slab slot and index it.
+    fn insert(&mut self, msg: InMsg) -> usize {
+        let slot = self.msgs.len();
+        self.msgs.push(msg);
+        if (self.msgs.len() + 1) * 4 > self.map.len() * 3 {
+            self.rebuild_map();
+            return slot;
+        }
+        let mut i = probe_start(self.msgs[slot].id.0, self.map.len());
+        while self.map[i] != 0 {
+            i = (i + 1) & (self.map.len() - 1);
+        }
+        self.map[i] = slot as u32 + 1;
+        slot
+    }
+
+    /// Append all pending delivery events to `out`, clearing the internal
+    /// queue but keeping its capacity. Callers reuse one buffer across
+    /// calls so steady-state event delivery never allocates.
+    pub fn drain_events(&mut self, out: &mut Vec<MsgDelivered>) {
+        out.append(&mut self.events);
+    }
+
+    /// Drain delivery events into a fresh `Vec`.
+    #[deprecated(note = "use drain_events, which reuses a caller-owned buffer")]
     pub fn take_events(&mut self) -> Vec<MsgDelivered> {
         std::mem::take(&mut self.events)
     }
 
     /// Messages currently in reassembly (incomplete).
     pub fn in_reassembly(&self) -> usize {
-        self.msgs.values().filter(|m| m.completed.is_none()).count()
+        self.msgs.iter().filter(|m| m.completed.is_none()).count()
     }
 
     /// Payload bytes held for incomplete messages. Bounded per message by
@@ -141,8 +220,12 @@ impl MtpReceiver {
     pub fn gc_completed(&mut self, older_than: Time) -> usize {
         let before = self.msgs.len();
         self.msgs
-            .retain(|_, m| m.completed.map(|c| c >= older_than).unwrap_or(true));
-        before - self.msgs.len()
+            .retain(|m| m.completed.map(|c| c >= older_than).unwrap_or(true));
+        let collected = before - self.msgs.len();
+        if collected > 0 {
+            self.rebuild_map();
+        }
+        collected
     }
 
     /// Process a data packet; returns the ACK to transmit (every data
@@ -153,23 +236,29 @@ impl MtpReceiver {
         self.stats.pkts_seen += 1;
         let trimmed = hdr.is_trimmed();
         let id = hdr.msg_id;
-        let msg = self.msgs.entry(id).or_insert_with(|| InMsg {
-            src: hdr.src_port,
-            len_bytes: hdr.msg_len_bytes,
-            len_pkts: hdr.msg_len_pkts,
-            bitmap: vec![0u64; (hdr.msg_len_pkts as usize).div_ceil(64)],
-            received: 0,
-            first_seen: now,
-            completed: None,
-            max_seen: None,
-            nacked_below: 0,
-            tc: hdr.tc,
-            pri: hdr.msg_pri,
+        let slot = self.lookup(id).unwrap_or_else(|| {
+            self.insert(InMsg {
+                id,
+                src: hdr.src_port,
+                len_bytes: hdr.msg_len_bytes,
+                len_pkts: hdr.msg_len_pkts,
+                bitmap: vec![0u64; (hdr.msg_len_pkts as usize).div_ceil(64)],
+                received: 0,
+                first_seen: now,
+                completed: None,
+                max_seen: None,
+                nacked_below: 0,
+                tc: hdr.tc,
+                pri: hdr.msg_pri,
+            })
         });
+        let msg = &mut self.msgs[slot];
 
         let pkt_num = hdr.pkt_num.0.min(msg.len_pkts.saturating_sub(1));
-        let mut sack = Vec::new();
-        let mut nack = Vec::new();
+        // The pooled header's retained Vec capacities are the reusable
+        // buffers: SACK/NACK/feedback entries are written straight into
+        // the ACK being built, so steady state performs no allocation.
+        let mut ack_hdr = mtp_sim::pool::take_header();
         let mut newly = 0u64;
 
         if trimmed {
@@ -177,7 +266,7 @@ impl MtpReceiver {
             // without waiting for an RTO.
             self.stats.trimmed += 1;
             if !msg.test(pkt_num) {
-                nack.push(SackEntry {
+                ack_hdr.nack.push(SackEntry {
                     msg: id,
                     pkt: PktNum(pkt_num),
                 });
@@ -192,7 +281,7 @@ impl MtpReceiver {
                 self.stats.goodput_bytes += newly;
                 self.buffered += newly;
             }
-            sack.push(SackEntry {
+            ack_hdr.sack.push(SackEntry {
                 msg: id,
                 pkt: PktNum(pkt_num),
             });
@@ -220,8 +309,8 @@ impl MtpReceiver {
             if pkt_num > expected {
                 let from = expected.max(msg.nacked_below);
                 for missing in from..pkt_num {
-                    if !msg.test(missing) && nack.len() < 255 {
-                        nack.push(SackEntry {
+                    if !msg.test(missing) && ack_hdr.nack.len() < 255 {
+                        ack_hdr.nack.push(SackEntry {
                             msg: id,
                             pkt: PktNum(missing),
                         });
@@ -231,41 +320,38 @@ impl MtpReceiver {
             }
             msg.max_seen = Some(msg.max_seen.map_or(pkt_num, |m| m.max(pkt_num)));
         }
-        self.stats.nacks_sent += nack.len() as u64;
+        self.stats.nacks_sent += ack_hdr.nack.len() as u64;
 
         // Echo the path feedback, upgrading with the IP-level CE mark: if a
         // non-MTP-aware queue marked the packet, attribute the mark to the
         // stamped pathlets (or to the default pathlet if none stamped).
-        let ack_path_feedback = Self::echo_feedback(hdr, ecn.is_ce());
+        Self::echo_feedback_into(hdr, ecn.is_ce(), &mut ack_hdr.ack_path_feedback);
 
-        let ack_hdr = MtpHeader {
-            src_port: self.addr,
-            dst_port: hdr.src_port,
-            pkt_type: PktType::Ack,
-            msg_pri: hdr.msg_pri,
-            tc: hdr.tc,
-            flags: 0,
-            msg_id: id,
-            entity: hdr.entity,
-            msg_len_pkts: hdr.msg_len_pkts,
-            msg_len_bytes: hdr.msg_len_bytes,
-            pkt_num: hdr.pkt_num,
-            pkt_len: 0,
-            pkt_offset: hdr.pkt_offset,
-            ack_path_feedback,
-            sack,
-            nack,
-            ..MtpHeader::default()
-        };
+        ack_hdr.src_port = self.addr;
+        ack_hdr.dst_port = hdr.src_port;
+        ack_hdr.pkt_type = PktType::Ack;
+        ack_hdr.msg_pri = hdr.msg_pri;
+        ack_hdr.tc = hdr.tc;
+        ack_hdr.flags = 0;
+        ack_hdr.msg_id = id;
+        ack_hdr.entity = hdr.entity;
+        ack_hdr.msg_len_pkts = hdr.msg_len_pkts;
+        ack_hdr.msg_len_bytes = hdr.msg_len_bytes;
+        ack_hdr.pkt_num = hdr.pkt_num;
+        ack_hdr.pkt_len = 0;
+        ack_hdr.pkt_offset = hdr.pkt_offset;
         let wire = ack_hdr.wire_len() as u32;
-        let mut ack = Packet::new(Headers::Mtp(mtp_sim::pool::boxed(ack_hdr)), wire);
+        let mut ack = Packet::new(Headers::Mtp(ack_hdr), wire);
         ack.sent_at = now;
         ack.ecn = EcnCodepoint::NotEct;
         (ack, newly)
     }
 
-    fn echo_feedback(hdr: &MtpHeader, ce: bool) -> Vec<PathFeedback> {
-        let mut echoed: Vec<PathFeedback> = Vec::with_capacity(hdr.path_feedback.len() + 1);
+    /// Copy `hdr`'s accumulated path feedback into `out` (assumed empty),
+    /// upgrading/synthesizing ECN marks as [`on_data`](Self::on_data)
+    /// describes.
+    fn echo_feedback_into(hdr: &MtpHeader, ce: bool, out: &mut Vec<PathFeedback>) {
+        debug_assert!(out.is_empty());
         let mut has_mark_entry = false;
         for fb in &hdr.path_feedback {
             let mut e = *fb;
@@ -273,33 +359,32 @@ impl MtpReceiver {
                 has_mark_entry = true;
                 e.feedback = Feedback::EcnMark { ce: stamped || ce };
             }
-            echoed.push(e);
+            out.push(e);
         }
         if ce && !has_mark_entry {
-            let (path, tc) = echoed
+            let (path, tc) = out
                 .first()
                 .map(|e| (e.path, e.tc))
                 .unwrap_or((DEFAULT_PATHLET, hdr.tc));
-            echoed.push(PathFeedback {
+            out.push(PathFeedback {
                 path,
                 tc,
                 feedback: Feedback::EcnMark { ce: true },
             });
         }
-        if echoed.is_empty() {
+        if out.is_empty() {
             // No MTP-aware device stamped anything: report the whole network
             // as the default pathlet, unmarked, so the sender's window can
             // grow on clean ACKs.
-            echoed.push(PathFeedback {
+            out.push(PathFeedback {
                 path: DEFAULT_PATHLET,
                 tc: hdr.tc,
                 feedback: Feedback::EcnMark { ce: false },
             });
         }
-        if echoed.len() > 255 {
-            echoed.truncate(255);
+        if out.len() > 255 {
+            out.truncate(255);
         }
-        echoed
     }
 }
 
@@ -333,6 +418,12 @@ mod tests {
         p.headers.as_mtp().unwrap()
     }
 
+    fn events(r: &mut MtpReceiver) -> Vec<MsgDelivered> {
+        let mut ev = Vec::new();
+        r.drain_events(&mut ev);
+        ev
+    }
+
     #[test]
     fn acks_every_packet_with_sack() {
         let mut r = MtpReceiver::new(2);
@@ -357,7 +448,7 @@ mod tests {
         for pkt in 0..3 {
             r.on_data(Time::ZERO, &data(5, pkt, 3, 1000), EcnCodepoint::Ect0);
         }
-        let ev = r.take_events();
+        let ev = events(&mut r);
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].bytes, 3000);
         assert_eq!(r.stats.msgs_delivered, 1);
@@ -365,7 +456,7 @@ mod tests {
         let (_, newly) = r.on_data(Time::ZERO, &data(5, 1, 3, 1000), EcnCodepoint::Ect0);
         assert_eq!(newly, 0);
         assert_eq!(r.stats.duplicates, 1);
-        assert!(r.take_events().is_empty());
+        assert!(events(&mut r).is_empty());
     }
 
     #[test]
@@ -486,9 +577,79 @@ mod tests {
         let mut r = MtpReceiver::new(2);
         let (_, newly) = r.on_data(Time::ZERO, &data(9, 0, 1, 777), EcnCodepoint::Ect0);
         assert_eq!(newly, 777);
-        let ev = r.take_events();
+        let ev = events(&mut r);
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].bytes, 777);
         assert_eq!(r.in_reassembly(), 0);
+    }
+
+    #[test]
+    fn echoed_feedback_wire_bytes_are_stable() {
+        // Pin the exact wire encoding of an echoed-feedback ACK: building
+        // the ACK in a pooled header (with whatever stale capacity it
+        // carries) must emit byte-identical output to a fresh one.
+        let mut h = data(5, 0, 1, 1000);
+        h.path_feedback = vec![
+            PathFeedback {
+                path: PathletId(3),
+                tc: TrafficClass::BEST_EFFORT,
+                feedback: Feedback::RcpRate { mbps: 40_000 },
+            },
+            PathFeedback {
+                path: PathletId(9),
+                tc: TrafficClass(2),
+                feedback: Feedback::EcnMark { ce: false },
+            },
+        ];
+        fn wire_bytes(h: &MtpHeader) -> Vec<u8> {
+            let mut buf = vec![0u8; 2048];
+            let n = h.emit(&mut buf).expect("emit");
+            buf.truncate(n);
+            buf
+        }
+        let mut r1 = MtpReceiver::new(2);
+        let (ack1, _) = r1.on_data(Time::ZERO, &h, EcnCodepoint::Ce);
+        let bytes1 = wire_bytes(ack_of(&ack1));
+
+        // Same ACK built from a header recycled with large dirty lists.
+        let mut dirty = Box::<MtpHeader>::default();
+        dirty.sack = vec![
+            SackEntry {
+                msg: MsgId(77),
+                pkt: PktNum(4)
+            };
+            64
+        ];
+        dirty.ack_path_feedback = vec![
+            PathFeedback {
+                path: PathletId(200),
+                tc: TrafficClass(7),
+                feedback: Feedback::Delay { ns: 1 },
+            };
+            64
+        ];
+        mtp_sim::pool::recycle_header(dirty);
+        let mut r2 = MtpReceiver::new(2);
+        let (ack2, _) = r2.on_data(Time::ZERO, &h, EcnCodepoint::Ce);
+        let h2 = ack_of(&ack2);
+        assert_eq!(wire_bytes(h2), bytes1);
+
+        // And the echoed list content itself: stamped entries in order,
+        // EcnMark upgraded to carry the IP-level CE.
+        assert_eq!(
+            h2.ack_path_feedback,
+            vec![
+                PathFeedback {
+                    path: PathletId(3),
+                    tc: TrafficClass::BEST_EFFORT,
+                    feedback: Feedback::RcpRate { mbps: 40_000 },
+                },
+                PathFeedback {
+                    path: PathletId(9),
+                    tc: TrafficClass(2),
+                    feedback: Feedback::EcnMark { ce: true },
+                },
+            ]
+        );
     }
 }

@@ -22,8 +22,22 @@
 //! switches its admission window to that pathlet's controller *without
 //! discarding the old one* — this is what lets MTP resume at the converged
 //! window when an optical switch flips paths back (paper §5.1).
+//!
+//! ## Hot-path layout
+//!
+//! Message state is a slab: `MsgId`s are allocated as
+//! `msg_id_base + k` for monotonically increasing `k` and records are
+//! never removed, so the slot of an id is pure arithmetic — no id→slot
+//! map of any kind is needed on the ACK path. The send queue is an
+//! intrusive ready-list threaded through the slab (one FIFO per priority
+//! plus a 256-bit occupancy bitmap), making submit/poll/complete O(1)
+//! instead of a sorted-`Vec` insert/scan. Packets record the [`PathIdx`]
+//! they were charged to, so per-ACK credit and byte attribution are flat
+//! array operations against reusable scratch tables — the steady-state
+//! ACK path performs no allocation at all (headers come from the
+//! simulator's thread-local pool and are filled in place).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use mtp_sim::packet::{Headers, Packet};
 use mtp_sim::rtt::RttEstimator;
@@ -32,11 +46,15 @@ use mtp_wire::types::flags;
 use mtp_wire::{EntityId, Feedback, MsgId, MtpHeader, PathletId, PktNum, PktType, TrafficClass};
 
 use crate::config::MtpConfig;
+use crate::pathlet_cc::PathIdx;
 use crate::pathlets::PathletTable;
 
 /// The synthetic pathlet charged before any network feedback identifies a
 /// real one ("the entire network as a single pathlet mimics TCP", §3.1.3).
 pub const DEFAULT_PATHLET: PathletId = PathletId(0);
+
+/// Null link in the intrusive ready-list.
+const NONE: u32 = u32::MAX;
 
 /// Events surfaced to the application layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,8 +97,8 @@ struct OutPkt {
     len: u32,
     offset: u32,
     state: PktState,
-    /// Pathlet/TC this packet's bytes are currently charged to.
-    charged: (PathletId, TrafficClass),
+    /// Interned pathlet this packet's bytes are currently charged to.
+    charged: PathIdx,
     sent_at: Time,
     /// Transmission count; deque entries are valid only for the matching
     /// epoch, and only epoch-1 packets produce RTT samples (Karn).
@@ -98,6 +116,8 @@ struct OutMsg {
     next_unsent: u32,
     submitted: Time,
     completed: Option<Time>,
+    /// Next message slot in this priority's ready FIFO ([`NONE`] = tail).
+    next_ready: u32,
 }
 
 /// One MTP sending endpoint.
@@ -107,12 +127,18 @@ pub struct MtpSender {
     addr: u16,
     entity: EntityId,
     msg_id_base: u64,
-    next_msg: u64,
-    msgs: HashMap<MsgId, OutMsg>,
-    /// Messages with unsent packets, kept sorted by (priority, submission).
-    sendq: Vec<MsgId>,
-    /// FIFO of (msg, pkt, epoch, sent_at) for RTO scanning.
-    inflight: VecDeque<(MsgId, u32, u32, Time)>,
+    /// Message slab, indexed by `id.0 - msg_id_base`. Records are never
+    /// removed, so slot resolution is arithmetic.
+    msgs: Vec<OutMsg>,
+    /// Intrusive ready-list: head/tail slot of the FIFO of messages with
+    /// unsent packets, one per priority, plus an occupancy bitmap. FIFO
+    /// order within a priority is submission order (ids are monotone), so
+    /// draining bucket 0 upward reproduces `(priority, id)` order exactly.
+    ready_head: [u32; 256],
+    ready_tail: [u32; 256],
+    ready_bits: [u64; 4],
+    /// FIFO of (slot, pkt, epoch, sent_at) for RTO scanning.
+    inflight: VecDeque<(u32, u32, u32, Time)>,
     pathlets: PathletTable,
     /// The pathlet new transmissions are charged against.
     active: (PathletId, TrafficClass),
@@ -120,6 +146,15 @@ pub struct MtpSender {
     /// Counters.
     pub stats: MtpSenderStats,
     events: Vec<SenderEvent>,
+    /// Per-ACK scratch: acked bytes accumulated per [`PathIdx`], plus the
+    /// list of indices touched; both are cleared (cheaply, via the touched
+    /// list) before `on_ack` returns, so no per-ACK allocation occurs.
+    ack_scratch: Vec<u64>,
+    ack_touched: Vec<u32>,
+    /// Per-ACK scratch: distinct pathlets with NACKed packets.
+    loss_scratch: Vec<u32>,
+    /// Per-timeout scratch: (slot, pkt) pairs expired by the RTO.
+    timer_scratch: Vec<(u32, u32)>,
 }
 
 impl std::fmt::Debug for MtpSender {
@@ -143,16 +178,72 @@ impl MtpSender {
             addr,
             entity,
             msg_id_base,
-            next_msg: 0,
-            msgs: HashMap::new(),
-            sendq: Vec::new(),
+            msgs: Vec::new(),
+            ready_head: [NONE; 256],
+            ready_tail: [NONE; 256],
+            ready_bits: [0; 4],
             inflight: VecDeque::new(),
             pathlets,
             active: (DEFAULT_PATHLET, TrafficClass::BEST_EFFORT),
             rtt,
             stats: MtpSenderStats::default(),
             events: Vec::new(),
+            ack_scratch: Vec::new(),
+            ack_touched: Vec::new(),
+            loss_scratch: Vec::new(),
+            timer_scratch: Vec::new(),
         }
+    }
+
+    /// The slab slot of `id`, if it names a message of this sender.
+    #[inline]
+    fn slot_of(&self, id: MsgId) -> Option<u32> {
+        let k = id.0.wrapping_sub(self.msg_id_base);
+        (k < self.msgs.len() as u64).then_some(k as u32)
+    }
+
+    /// The message id stored in slab slot `slot`.
+    #[inline]
+    fn id_of(&self, slot: u32) -> MsgId {
+        MsgId(self.msg_id_base + slot as u64)
+    }
+
+    /// Append `slot` to its priority's ready FIFO.
+    fn ready_push(&mut self, slot: u32, pri: u8) {
+        self.msgs[slot as usize].next_ready = NONE;
+        let p = pri as usize;
+        match self.ready_tail[p] {
+            NONE => {
+                self.ready_head[p] = slot;
+                self.ready_bits[p / 64] |= 1u64 << (p % 64);
+            }
+            tail => self.msgs[tail as usize].next_ready = slot,
+        }
+        self.ready_tail[p] = slot;
+    }
+
+    /// Remove the head of priority `pri`'s ready FIFO.
+    fn ready_pop(&mut self, pri: u8) {
+        let p = pri as usize;
+        let head = self.ready_head[p];
+        debug_assert_ne!(head, NONE);
+        let next = self.msgs[head as usize].next_ready;
+        self.ready_head[p] = next;
+        if next == NONE {
+            self.ready_tail[p] = NONE;
+            self.ready_bits[p / 64] &= !(1u64 << (p % 64));
+        }
+    }
+
+    /// The most urgent priority with ready messages, if any.
+    #[inline]
+    fn first_ready(&self) -> Option<u8> {
+        for (w, &bits) in self.ready_bits.iter().enumerate() {
+            if bits != 0 {
+                return Some((w * 64 + bits.trailing_zeros() as usize) as u8);
+            }
+        }
+        None
     }
 
     /// Submit a message of `bytes` to destination address `dst` with the
@@ -168,8 +259,8 @@ impl MtpSender {
         out: &mut Vec<Packet>,
     ) -> MsgId {
         assert!(bytes > 0, "empty message");
-        let id = MsgId(self.msg_id_base + self.next_msg);
-        self.next_msg += 1;
+        let slot = self.msgs.len() as u32;
+        let id = self.id_of(slot);
         let mtu = self.cfg.mtu_payload;
         let n_pkts = bytes.div_ceil(mtu);
         let pkts = (0..n_pkts)
@@ -181,42 +272,42 @@ impl MtpSender {
                 },
                 offset: i * mtu,
                 state: PktState::Unsent,
-                charged: self.active,
+                charged: PathIdx(0),
                 sent_at: Time::ZERO,
                 epoch: 0,
             })
             .collect();
-        self.msgs.insert(
-            id,
-            OutMsg {
-                dst,
-                pri,
-                tc,
-                total_bytes: bytes,
-                pkts,
-                acked: 0,
-                next_unsent: 0,
-                submitted: now,
-                completed: None,
-            },
-        );
-        // Insert keeping (priority, msg id) order; message ids are monotone
-        // so they encode submission order.
-        let pos = self
-            .sendq
-            .binary_search_by_key(&(pri, id.0), |m| (self.msgs[m].pri, m.0))
-            .unwrap_or_else(|p| p);
-        self.sendq.insert(pos, id);
+        self.msgs.push(OutMsg {
+            dst,
+            pri,
+            tc,
+            total_bytes: bytes,
+            pkts,
+            acked: 0,
+            next_unsent: 0,
+            submitted: now,
+            completed: None,
+            next_ready: NONE,
+        });
+        self.ready_push(slot, pri);
         self.poll(now, out);
         id
     }
 
     /// Outstanding (incomplete) message count.
     pub fn outstanding(&self) -> usize {
-        self.msgs.values().filter(|m| m.completed.is_none()).count()
+        self.msgs.iter().filter(|m| m.completed.is_none()).count()
     }
 
-    /// Drain completion events.
+    /// Append all pending completion events to `out`, clearing the
+    /// internal queue but keeping its capacity. Callers reuse one buffer
+    /// across calls so steady-state event delivery never allocates.
+    pub fn drain_events(&mut self, out: &mut Vec<SenderEvent>) {
+        out.append(&mut self.events);
+    }
+
+    /// Drain completion events into a fresh `Vec`.
+    #[deprecated(note = "use drain_events, which reuses a caller-owned buffer")]
     pub fn take_events(&mut self) -> Vec<SenderEvent> {
         std::mem::take(&mut self.events)
     }
@@ -246,15 +337,9 @@ impl MtpSender {
     }
 
     fn compact_inflight(&mut self) {
-        while let Some(&(mid, pkt, epoch, _)) = self.inflight.front() {
-            let stale = match self.msgs.get(&mid) {
-                Some(m) => {
-                    let p = &m.pkts[pkt as usize];
-                    p.state != PktState::InFlight || p.epoch != epoch
-                }
-                None => true,
-            };
-            if stale {
+        while let Some(&(slot, pkt, epoch, _)) = self.inflight.front() {
+            let p = &self.msgs[slot as usize].pkts[pkt as usize];
+            if p.state != PktState::InFlight || p.epoch != epoch {
                 self.inflight.pop_front();
             } else {
                 break;
@@ -286,14 +371,18 @@ impl MtpSender {
     pub fn on_ack(&mut self, now: Time, hdr: &MtpHeader, out: &mut Vec<Packet>) {
         debug_assert!(matches!(hdr.pkt_type, PktType::Ack | PktType::Nack));
 
-        // 1. SACKs: credit windows, collect per-pathlet acked bytes, sample
-        //    RTT, detect completions.
-        let mut acked_by_path: HashMap<(PathletId, TrafficClass), u64> = HashMap::new();
+        // 1. SACKs: credit windows, accumulate per-pathlet acked bytes in
+        //    the dense scratch table, sample RTT, detect completions.
+        if self.ack_scratch.len() < self.pathlets.len() {
+            self.ack_scratch.resize(self.pathlets.len(), 0);
+        }
+        debug_assert!(self.ack_touched.is_empty());
         let mut rtt_sample: Option<Duration> = None;
         for s in &hdr.sack {
-            let Some(msg) = self.msgs.get_mut(&s.msg) else {
+            let Some(slot) = self.slot_of(s.msg) else {
                 continue;
             };
+            let msg = &mut self.msgs[slot as usize];
             let Some(pkt) = msg.pkts.get_mut(s.pkt.0 as usize) else {
                 continue;
             };
@@ -306,9 +395,14 @@ impl MtpSender {
             }
             pkt.state = PktState::Acked;
             if was_inflight {
-                let (p, tc) = pkt.charged;
-                self.pathlets.credit(p, tc, pkt.len as u64);
-                *acked_by_path.entry(pkt.charged).or_default() += pkt.len as u64;
+                let idx = pkt.charged;
+                let len = pkt.len as u64;
+                self.pathlets.credit_at(idx, len);
+                let acc = &mut self.ack_scratch[idx.0 as usize];
+                if *acc == 0 {
+                    self.ack_touched.push(idx.0);
+                }
+                *acc += len;
             }
             msg.acked += 1;
             if msg.acked == msg.pkts.len() as u32 && msg.completed.is_none() {
@@ -326,10 +420,16 @@ impl MtpSender {
         }
 
         // 2. Feedback: deliver each echoed entry to its pathlet's
-        //    controller, attributing the acked bytes charged to it.
+        //    controller, attributing (and consuming) the acked bytes
+        //    charged to it.
         for fb in &hdr.ack_path_feedback {
-            let acked = acked_by_path.remove(&(fb.path, fb.tc)).unwrap_or(0);
-            let e = self.pathlets.entry(fb.path, fb.tc, now);
+            let idx = self.pathlets.intern(fb.path, fb.tc, now);
+            let acked = self
+                .ack_scratch
+                .get_mut(idx.0 as usize)
+                .map(std::mem::take)
+                .unwrap_or(0);
+            let e = self.pathlets.at_mut(idx);
             e.last_seen = now;
             e.cc.on_ack(acked, Some(&fb.feedback), rtt_sample, now);
             if let Feedback::PathChange { new_path } = fb.feedback {
@@ -338,10 +438,16 @@ impl MtpSender {
         }
         // Acked bytes on pathlets the ACK carried no feedback for still
         // grow their windows (an unmarked ACK is itself feedback).
-        for ((p, tc), acked) in acked_by_path {
-            let e = self.pathlets.entry(p, tc, now);
+        for i in 0..self.ack_touched.len() {
+            let idx = self.ack_touched[i];
+            let acked = std::mem::take(&mut self.ack_scratch[idx as usize]);
+            if acked == 0 {
+                continue; // consumed by a feedback entry above
+            }
+            let e = self.pathlets.at_mut(PathIdx(idx));
             e.cc.on_ack(acked, None, rtt_sample, now);
         }
+        self.ack_touched.clear();
         // The first echoed entry names the path the data actually took:
         // make it the active pathlet for subsequent admissions.
         if let Some(first) = hdr.ack_path_feedback.first() {
@@ -350,11 +456,12 @@ impl MtpSender {
 
         // 3. NACKs: retransmit immediately and punish the charged pathlet
         //    once per distinct pathlet per ACK.
-        let mut losses: Vec<(PathletId, TrafficClass)> = Vec::new();
+        debug_assert!(self.loss_scratch.is_empty());
         for n in &hdr.nack {
-            let Some(msg) = self.msgs.get_mut(&n.msg) else {
+            let Some(slot) = self.slot_of(n.msg) else {
                 continue;
             };
+            let msg = &mut self.msgs[slot as usize];
             let Some(pkt) = msg.pkts.get_mut(n.pkt.0 as usize) else {
                 continue;
             };
@@ -362,24 +469,32 @@ impl MtpSender {
                 continue;
             }
             self.stats.nacks += 1;
-            let (p, tc) = pkt.charged;
-            self.pathlets.credit(p, tc, pkt.len as u64);
-            if !losses.contains(&(p, tc)) {
-                losses.push((p, tc));
+            let idx = pkt.charged;
+            self.pathlets.credit_at(idx, pkt.len as u64);
+            if !self.loss_scratch.contains(&idx.0) {
+                self.loss_scratch.push(idx.0);
             }
             pkt.state = PktState::Unsent;
-            self.retransmit(n.msg, n.pkt.0, now, out);
+            self.retransmit(slot, n.pkt.0, now, out);
         }
-        for (p, tc) in losses {
-            let e = self.pathlets.entry(p, tc, now);
+        for i in 0..self.loss_scratch.len() {
+            let idx = PathIdx(self.loss_scratch[i]);
+            let e = self.pathlets.at_mut(idx);
             e.cc.on_loss(now);
             if self.cfg.exclude_on_floor && e.cc.window() <= crate::pathlet_cc::WINDOW_FLOOR {
                 let until = now + self.cfg.exclude_cooldown;
-                self.pathlets.exclude(p, tc, until, now);
+                self.pathlets.exclude_at(idx, until);
             }
         }
+        self.loss_scratch.clear();
 
         self.poll(now, out);
+
+        // Drop settled entries off the RTO queue's front now rather than
+        // waiting for the next deadline query: a caller that never polls
+        // timers (acks arrive faster than the RTO) must not see the queue
+        // grow without bound. Amortized O(1) — each entry pops once.
+        self.compact_inflight();
     }
 
     /// Drive the retransmission timeout; call when the clock passes
@@ -398,20 +513,18 @@ impl MtpSender {
         if !front_expired {
             return;
         }
-        let mut expired: Vec<(MsgId, u32)> = Vec::new();
-        while let Some((mid, pkt, epoch, _)) = self.inflight.pop_front() {
-            let Some(msg) = self.msgs.get_mut(&mid) else {
-                continue;
-            };
-            let p = &mut msg.pkts[pkt as usize];
+        debug_assert!(self.timer_scratch.is_empty());
+        while let Some((slot, pkt, epoch, _)) = self.inflight.pop_front() {
+            let p = &mut self.msgs[slot as usize].pkts[pkt as usize];
             if p.state == PktState::InFlight && p.epoch == epoch {
                 p.state = PktState::Unsent;
-                let (path, tc) = p.charged;
-                self.pathlets.credit(path, tc, p.len as u64);
-                expired.push((mid, pkt));
+                let idx = p.charged;
+                let len = p.len as u64;
+                self.pathlets.credit_at(idx, len);
+                self.timer_scratch.push((slot, pkt));
             }
         }
-        if expired.is_empty() {
+        if self.timer_scratch.is_empty() {
             return;
         }
         self.stats.timeouts += 1;
@@ -419,128 +532,138 @@ impl MtpSender {
         // One loss signal per timeout event on the active pathlet.
         let (p, tc) = self.active;
         self.pathlets.entry(p, tc, now).cc.on_loss(now);
-        for (mid, pkt) in expired {
-            self.retransmit(mid, pkt, now, out);
+        for i in 0..self.timer_scratch.len() {
+            let (slot, pkt) = self.timer_scratch[i];
+            self.retransmit(slot, pkt, now, out);
         }
+        self.timer_scratch.clear();
         self.poll(now, out);
     }
 
     /// Fill every pathlet window with unsent packets, highest-priority
     /// messages first.
     pub fn poll(&mut self, now: Time, out: &mut Vec<Packet>) {
-        let mut qi = 0;
-        while qi < self.sendq.len() {
-            let mid = self.sendq[qi];
-            let (done, blocked) = self.send_from(mid, now, out);
+        while let Some(pri) = self.first_ready() {
+            let slot = self.ready_head[pri as usize];
+            let (done, blocked) = self.send_from(slot, now, out);
             if done {
-                self.sendq.remove(qi);
+                self.ready_pop(pri);
             } else if blocked {
                 // Window full: lower-priority messages must not overtake on
                 // the same pathlet, and all admissions share the active
                 // pathlet, so stop.
-                break;
-            } else {
-                qi += 1;
+                return;
             }
         }
     }
 
     /// Returns (all packets sent, window blocked).
-    fn send_from(&mut self, mid: MsgId, now: Time, out: &mut Vec<Packet>) -> (bool, bool) {
+    fn send_from(&mut self, slot: u32, now: Time, out: &mut Vec<Packet>) -> (bool, bool) {
         let (path, _) = self.active;
-        let Some(msg) = self.msgs.get_mut(&mid) else {
-            return (true, false);
-        };
+        let msg = &self.msgs[slot as usize];
         let tc = msg.tc;
         let n = msg.pkts.len() as u32;
-        while msg.next_unsent < n {
+        if msg.next_unsent >= n {
+            return (true, false);
+        }
+        let id = self.id_of(slot);
+        // Intern the admission pathlet once per call, not once per packet.
+        let aidx = self.pathlets.intern(path, tc, now);
+        loop {
+            let msg = &mut self.msgs[slot as usize];
+            if msg.next_unsent >= n {
+                return (true, false);
+            }
             let idx = msg.next_unsent as usize;
             let len = msg.pkts[idx].len;
-            if self.pathlets.room(path, tc, now) < len as u64 {
+            if self.pathlets.room_at(aidx) < len as u64 {
                 return (false, true);
             }
             let pkt_meta = &mut msg.pkts[idx];
             pkt_meta.state = PktState::InFlight;
-            pkt_meta.charged = (path, tc);
+            pkt_meta.charged = aidx;
             pkt_meta.sent_at = now;
             pkt_meta.epoch += 1;
             let epoch = pkt_meta.epoch;
             let pkt_len = pkt_meta.len;
             let offset = pkt_meta.offset;
-            self.pathlets.charge(path, tc, pkt_len as u64, now);
-            self.inflight.push_back((mid, idx as u32, epoch, now));
+            let pri = msg.pri;
+            let dst = msg.dst;
+            let total_bytes = msg.total_bytes;
+            msg.next_unsent += 1;
+            self.pathlets.charge_at(aidx, pkt_len as u64);
+            self.inflight.push_back((slot, idx as u32, epoch, now));
 
-            let hdr = MtpHeader {
-                src_port: self.addr,
-                dst_port: msg.dst,
-                pkt_type: PktType::Data,
-                msg_pri: msg.pri,
-                tc,
-                flags: if idx as u32 == n - 1 {
-                    flags::LAST_PKT
-                } else {
-                    0
-                },
-                msg_id: mid,
-                entity: self.entity,
-                msg_len_pkts: n,
-                msg_len_bytes: msg.total_bytes,
-                pkt_num: PktNum(idx as u32),
-                pkt_len: pkt_len as u16,
-                pkt_offset: offset,
-                path_exclude: self.pathlets.active_exclusions(now),
-                ..MtpHeader::default()
+            let mut hdr = mtp_sim::pool::take_header();
+            hdr.src_port = self.addr;
+            hdr.dst_port = dst;
+            hdr.pkt_type = PktType::Data;
+            hdr.msg_pri = pri;
+            hdr.tc = tc;
+            hdr.flags = if idx as u32 == n - 1 {
+                flags::LAST_PKT
+            } else {
+                0
             };
+            hdr.msg_id = id;
+            hdr.entity = self.entity;
+            hdr.msg_len_pkts = n;
+            hdr.msg_len_bytes = total_bytes;
+            hdr.pkt_num = PktNum(idx as u32);
+            hdr.pkt_len = pkt_len as u16;
+            hdr.pkt_offset = offset;
+            self.pathlets.append_exclusions(now, &mut hdr.path_exclude);
             let wire = pkt_len + hdr.wire_len() as u32;
-            let mut packet = Packet::new(Headers::Mtp(mtp_sim::pool::boxed(hdr)), wire);
+            let mut packet = Packet::new(Headers::Mtp(hdr), wire);
             packet.sent_at = now;
             out.push(packet);
             self.stats.pkts_sent += 1;
-            msg.next_unsent += 1;
         }
-        (true, false)
     }
 
     /// Retransmit one packet immediately (bypassing the window, standard
     /// loss-repair behaviour), charging the active pathlet.
-    fn retransmit(&mut self, mid: MsgId, pkt_idx: u32, now: Time, out: &mut Vec<Packet>) {
+    fn retransmit(&mut self, slot: u32, pkt_idx: u32, now: Time, out: &mut Vec<Packet>) {
         let (path, _) = self.active;
-        let exclusions = self.pathlets.active_exclusions(now);
-        let Some(msg) = self.msgs.get_mut(&mid) else {
-            return;
-        };
-        let tc = msg.tc;
+        let id = self.id_of(slot);
+        let tc = self.msgs[slot as usize].tc;
+        let aidx = self.pathlets.intern(path, tc, now);
+        let msg = &mut self.msgs[slot as usize];
         let n = msg.pkts.len() as u32;
         let p = &mut msg.pkts[pkt_idx as usize];
         if p.state == PktState::Acked {
             return;
         }
         p.state = PktState::InFlight;
-        p.charged = (path, tc);
+        p.charged = aidx;
         p.sent_at = now;
         p.epoch += 1;
-        self.pathlets.charge(path, tc, p.len as u64, now);
-        self.inflight.push_back((mid, pkt_idx, p.epoch, now));
+        let epoch = p.epoch;
+        let pkt_len = p.len;
+        let offset = p.offset;
+        let pri = msg.pri;
+        let dst = msg.dst;
+        let total_bytes = msg.total_bytes;
+        self.pathlets.charge_at(aidx, pkt_len as u64);
+        self.inflight.push_back((slot, pkt_idx, epoch, now));
 
-        let hdr = MtpHeader {
-            src_port: self.addr,
-            dst_port: msg.dst,
-            pkt_type: PktType::Data,
-            msg_pri: msg.pri,
-            tc,
-            flags: flags::RETX | if pkt_idx == n - 1 { flags::LAST_PKT } else { 0 },
-            msg_id: mid,
-            entity: self.entity,
-            msg_len_pkts: n,
-            msg_len_bytes: msg.total_bytes,
-            pkt_num: PktNum(pkt_idx),
-            pkt_len: p.len as u16,
-            pkt_offset: p.offset,
-            path_exclude: exclusions,
-            ..MtpHeader::default()
-        };
-        let wire = p.len + hdr.wire_len() as u32;
-        let mut packet = Packet::new(Headers::Mtp(mtp_sim::pool::boxed(hdr)), wire);
+        let mut hdr = mtp_sim::pool::take_header();
+        hdr.src_port = self.addr;
+        hdr.dst_port = dst;
+        hdr.pkt_type = PktType::Data;
+        hdr.msg_pri = pri;
+        hdr.tc = tc;
+        hdr.flags = flags::RETX | if pkt_idx == n - 1 { flags::LAST_PKT } else { 0 };
+        hdr.msg_id = id;
+        hdr.entity = self.entity;
+        hdr.msg_len_pkts = n;
+        hdr.msg_len_bytes = total_bytes;
+        hdr.pkt_num = PktNum(pkt_idx);
+        hdr.pkt_len = pkt_len as u16;
+        hdr.pkt_offset = offset;
+        self.pathlets.append_exclusions(now, &mut hdr.path_exclude);
+        let wire = pkt_len + hdr.wire_len() as u32;
+        let mut packet = Packet::new(Headers::Mtp(hdr), wire);
         packet.sent_at = now;
         out.push(packet);
         self.stats.pkts_sent += 1;
@@ -555,6 +678,12 @@ mod tests {
 
     fn sender() -> MtpSender {
         MtpSender::new(MtpConfig::default(), 1, EntityId(0), 1000)
+    }
+
+    fn events(s: &mut MtpSender) -> Vec<SenderEvent> {
+        let mut ev = Vec::new();
+        s.drain_events(&mut ev);
+        ev
     }
 
     fn data_hdr(p: &Packet) -> &MtpHeader {
@@ -622,7 +751,7 @@ mod tests {
         let ack = ack_for(&first);
         let mut out2 = Vec::new();
         s.on_ack(Time::ZERO + Duration::from_micros(10), &ack, &mut out2);
-        let ev = s.take_events();
+        let ev = events(&mut s);
         assert_eq!(ev.len(), 1);
         assert!(matches!(ev[0], SenderEvent::MsgCompleted { .. }));
         assert_eq!(s.outstanding(), 0);
@@ -765,7 +894,7 @@ mod tests {
         let mut o = Vec::new();
         s.on_ack(Time::ZERO + Duration::from_micros(5), &ack, &mut o);
         s.on_ack(Time::ZERO + Duration::from_micros(6), &ack, &mut o);
-        assert_eq!(s.take_events().len(), 1, "one completion only");
+        assert_eq!(events(&mut s).len(), 1, "one completion only");
         assert_eq!(s.stats.msgs_completed, 1);
     }
 
@@ -820,5 +949,61 @@ mod tests {
         let h = data_hdr(&out[0]);
         assert_eq!(h.msg_len_pkts, 1);
         assert!(h.is_last_pkt());
+    }
+
+    #[test]
+    fn foreign_message_ids_are_ignored() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        s.send_message(2, 1460, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        // SACK/NACK for ids below the base, far above the slab, and from
+        // another sender's range must all be ignored without panicking.
+        for bogus in [0u64, 999, 1001, 1 << 40] {
+            let hdr = MtpHeader {
+                pkt_type: PktType::Ack,
+                sack: vec![SackEntry {
+                    msg: MsgId(bogus),
+                    pkt: PktNum(0),
+                }],
+                nack: vec![SackEntry {
+                    msg: MsgId(bogus),
+                    pkt: PktNum(0),
+                }],
+                ..MtpHeader::default()
+            };
+            let mut o = Vec::new();
+            s.on_ack(Time::ZERO + Duration::from_micros(1), &hdr, &mut o);
+        }
+        assert_eq!(s.stats.msgs_completed, 0);
+        assert_eq!(s.stats.retransmissions, 0);
+    }
+
+    #[test]
+    fn ready_list_preserves_priority_then_fifo_order() {
+        let mut s = sender();
+        let mut out = Vec::new();
+        // Fill the window so later submissions queue.
+        s.send_message(
+            2,
+            1_000_000,
+            3,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        let first_burst: Vec<&Packet> = out.iter().collect();
+        let ack = ack_for(&first_burst);
+        out.clear();
+        // Two messages at pri 1 (FIFO between them) and one at pri 0.
+        let m_a = s.send_message(2, 1460, 1, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        let m_b = s.send_message(2, 1460, 1, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        let m_c = s.send_message(2, 1460, 0, TrafficClass::BEST_EFFORT, Time::ZERO, &mut out);
+        assert!(out.is_empty(), "window still full");
+        let mut out2 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(5), &ack, &mut out2);
+        let order: Vec<MsgId> = out2.iter().map(|p| data_hdr(p).msg_id).collect();
+        let pos = |id: MsgId| order.iter().position(|&x| x == id).expect("sent");
+        assert!(pos(m_c) < pos(m_a), "pri 0 before pri 1");
+        assert!(pos(m_a) < pos(m_b), "same pri drains in submission order");
     }
 }

@@ -6,13 +6,168 @@
 use proptest::prelude::*;
 
 use mtp_core::pathlet_cc::{CcKind, WINDOW_CAP, WINDOW_FLOOR};
-use mtp_core::{MtpConfig, MtpReceiver, MtpSender};
+use mtp_core::{MtpConfig, MtpReceiver, MtpSender, SenderEvent};
 use mtp_sim::time::{Duration, Time};
 use mtp_wire::types::flags;
 use mtp_wire::{
     EcnCodepoint, EntityId, Feedback, MsgId, MtpHeader, PathFeedback, PathletId, PktNum, PktType,
     SackEntry, TrafficClass,
 };
+
+/// Final observable state of one lossy loopback session, compared both
+/// against the reference ledger and against a replay of the same seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SessionOutcome {
+    /// `(msg_id, bytes)` per receiver delivery event, sorted by id.
+    delivered: Vec<(u64, u32)>,
+    /// `(msg_id, bytes)` per sender completion event, sorted by id.
+    completed: Vec<(u64, u32)>,
+    /// `(pkts_sent, retransmissions, timeouts, nacks)`.
+    stats: (u64, u64, u64, u64),
+    /// `(inflight, window)` for every interned pathlet, in intern order.
+    windows: Vec<(u64, u64)>,
+}
+
+/// Drive random-size messages through a sender↔receiver loopback whose
+/// wire drops data packets with probability `drop_pct`% and ACKs with
+/// probability `ack_drop_pct`%, occasionally letting the RTO fire instead
+/// of delivering. Message `i` gets id `500 + i`. Runs until everything
+/// completes (or errs if the session wedges).
+fn run_lossy_session(
+    seed: u64,
+    drop_pct: u32,
+    ack_drop_pct: u32,
+    sizes: &[u32],
+    fixed_window: bool,
+) -> Result<SessionOutcome, String> {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+
+    let cc = if fixed_window {
+        CcKind::Fixed { window: 15_000 }
+    } else {
+        CcKind::DctcpLike {
+            init_window: 15_000,
+        }
+    };
+    let mut s = MtpSender::new(
+        MtpConfig {
+            cc,
+            ..MtpConfig::default()
+        },
+        1,
+        EntityId(0),
+        500,
+    );
+    let mut r = MtpReceiver::new(2);
+
+    let mut now = Time::ZERO;
+    let mut wire: std::collections::VecDeque<mtp_sim::packet::Packet> =
+        std::collections::VecDeque::new();
+    let mut next_msg = 0usize;
+    let mut sizes_by_id = std::collections::HashMap::new();
+    let mut delivered = Vec::new();
+    let mut completed = Vec::new();
+    let mut sev = Vec::new();
+    let mut rev = Vec::new();
+    let mut out = Vec::new();
+
+    for step in 0.. {
+        if step > 400_000 {
+            return Err(format!(
+                "session wedged: {} of {} messages complete after {step} steps",
+                completed.len(),
+                sizes.len()
+            ));
+        }
+        now += Duration::from_micros(1);
+
+        // Stagger submissions randomly through the run (always submit when
+        // the session would otherwise go idle).
+        let idle = wire.is_empty() && s.outstanding() == 0;
+        if next_msg < sizes.len() && (idle || rng.gen_range(0u32..50) == 0) {
+            let id = s.send_message(
+                2,
+                sizes[next_msg],
+                0,
+                TrafficClass::BEST_EFFORT,
+                now,
+                &mut out,
+            );
+            sizes_by_id.insert(id.0, sizes[next_msg]);
+            next_msg += 1;
+            wire.extend(out.drain(..));
+        }
+
+        // Occasionally stall the wire and let the retransmission timer
+        // fire instead; always do so when loss has emptied the wire.
+        let deadline = s.next_deadline();
+        let force_timer = wire.is_empty() && s.outstanding() > 0;
+        if let Some(d) = deadline {
+            if force_timer || rng.gen_range(0u32..40) == 0 {
+                now = Time(now.0.max(d.0));
+                s.on_timer(now, &mut out);
+                wire.extend(out.drain(..));
+            }
+        }
+
+        let Some(pkt) = wire.pop_front() else {
+            if s.outstanding() == 0 && next_msg == sizes.len() {
+                break;
+            }
+            continue;
+        };
+        let hdr = pkt.headers.as_mtp().expect("loopback carries MTP");
+        if rng.gen_range(0u32..100) < drop_pct {
+            continue; // lost in the network
+        }
+        let (ack, _) = r.on_data(now, hdr, EcnCodepoint::Ect0);
+        r.drain_events(&mut rev);
+        for ev in rev.drain(..) {
+            delivered.push((ev.id.0, ev.bytes));
+        }
+        if rng.gen_range(0u32..100) < ack_drop_pct {
+            continue; // ACK lost on the way back
+        }
+        let ack_hdr = ack.headers.as_mtp().expect("receiver emits MTP");
+        now += Duration::from_micros(1);
+        s.on_ack(now, ack_hdr, &mut out);
+        wire.extend(out.drain(..));
+        s.drain_events(&mut sev);
+        for ev in sev.drain(..) {
+            let SenderEvent::MsgCompleted { id, .. } = ev;
+            completed.push((id.0, sizes_by_id[&id.0]));
+        }
+    }
+
+    if s.next_deadline().is_some() {
+        return Err("quiesced sender still holds a deadline".into());
+    }
+    if r.buffered_bytes() != 0 {
+        return Err("receiver retains buffered bytes after delivery".into());
+    }
+
+    delivered.sort_unstable();
+    completed.sort_unstable();
+    let windows = (0..s.pathlets().len())
+        .map(|i| {
+            let e = s.pathlets().at(mtp_core::pathlet_cc::PathIdx(i as u32));
+            (e.inflight, e.cc.window())
+        })
+        .collect();
+    Ok(SessionOutcome {
+        delivered,
+        completed,
+        stats: (
+            s.stats.pkts_sent,
+            s.stats.retransmissions,
+            s.stats.timeouts,
+            s.stats.nacks,
+        ),
+        windows,
+    })
+}
 
 fn data_pkt(msg: u64, pkt: u32, n_pkts: u32, last_len: u16, retx: bool) -> MtpHeader {
     let full = 1460u16;
@@ -72,7 +227,9 @@ proptest! {
         }
         prop_assert_eq!(goodput, total);
         prop_assert_eq!(r.stats.msgs_delivered, 1);
-        prop_assert_eq!(r.take_events().len(), 1);
+        let mut delivered = Vec::new();
+        r.drain_events(&mut delivered);
+        prop_assert_eq!(delivered.len(), 1);
         prop_assert_eq!(r.buffered_bytes(), 0, "completed messages release buffer");
     }
 
@@ -107,8 +264,9 @@ proptest! {
             s.on_ack(Time(1 + t as u64), &hdr, &mut out2);
         }
         // Completion events never exceed one for one message.
-        let completions = s
-            .take_events()
+        let mut events = Vec::new();
+        s.drain_events(&mut events);
+        let completions = events
             .iter()
             .filter(|e| matches!(e, mtp_core::SenderEvent::MsgCompleted { id: i, .. } if *i == id))
             .count();
@@ -151,6 +309,53 @@ proptest! {
         prop_assert_eq!(s.stats.msgs_completed, 1);
         prop_assert_eq!(s.outstanding(), 0);
         prop_assert_eq!(s.next_deadline(), None);
+    }
+
+    /// Random loss / ACK-loss / RTO interleavings through a full
+    /// sender↔receiver loopback, checked against a reference ledger: every
+    /// submitted message is delivered exactly once with exact bytes, the
+    /// sender completes exactly the submitted set, both endpoints quiesce
+    /// (nothing outstanding, no pending deadline, no buffered bytes), and
+    /// the congestion state lands where the model says — all charged bytes
+    /// credited back, and a `Fixed` controller's window untouched by the
+    /// carnage. The whole session is then replayed from the same seed and
+    /// must reproduce bit-identical stats and windows (the protocol cores
+    /// are sans-IO state machines; any divergence means hidden
+    /// nondeterminism).
+    #[test]
+    fn sender_exactly_once_under_random_loss_and_timers(
+        seed in any::<u64>(),
+        drop_pct in 0u32..40,
+        ack_drop_pct in 0u32..20,
+        sizes in prop::collection::vec(1u32..40_000, 1..4),
+        fixed_window in any::<bool>(),
+    ) {
+        let outcome = run_lossy_session(seed, drop_pct, ack_drop_pct, &sizes, fixed_window)
+            .unwrap_or_else(|m| panic!("{m}"));
+
+        // Reference ledger: the submitted set, delivered exactly once.
+        let submitted: Vec<(u64, u32)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (500 + i as u64, *b))
+            .collect();
+        prop_assert_eq!(&outcome.delivered, &submitted, "receiver ledger");
+        prop_assert_eq!(&outcome.completed, &submitted, "sender ledger");
+
+        // CC reference: quiescence credits every charged byte back, and a
+        // fixed window ends exactly where it started.
+        for &(inflight, window) in &outcome.windows {
+            prop_assert_eq!(inflight, 0, "all charged bytes credited");
+            prop_assert!((WINDOW_FLOOR..=WINDOW_CAP).contains(&window));
+            if fixed_window {
+                prop_assert_eq!(window, 15_000, "loss must not move a fixed window");
+            }
+        }
+
+        // Replay: same seed, same interleaving, same final state.
+        let replay = run_lossy_session(seed, drop_pct, ack_drop_pct, &sizes, fixed_window)
+            .unwrap_or_else(|m| panic!("{m}"));
+        prop_assert_eq!(outcome, replay, "session replay diverged");
     }
 
     /// Every controller keeps its window inside [floor, cap] under

@@ -117,7 +117,7 @@ impl Node for AggregatorNode {
             if matches!(hdr.pkt_type, PktType::Ack | PktType::Nack) {
                 let mut out = Vec::new();
                 self.sender.on_ack(now, &hdr, &mut out);
-                self.sender.take_events();
+                self.sender.drain_events(&mut Vec::new());
                 self.flush_sender(ctx, out);
             }
             return;
@@ -132,7 +132,9 @@ impl Node for AggregatorNode {
         let (ack, _) = self.receiver.on_data(now, &hdr, ecn);
         ctx.send(port, ack);
         let mut out = Vec::new();
-        for ev in self.receiver.take_events() {
+        let mut delivered = Vec::new();
+        self.receiver.drain_events(&mut delivered);
+        for ev in delivered {
             self.stats.gradients_in += 1;
             self.stats.bytes_in += ev.bytes as u64;
             let round = self.msg_round.remove(&ev.id).unwrap_or(0);

@@ -134,7 +134,8 @@ impl Node for KvCacheNode {
                 let (ack, _newly) = self.receiver.on_data(now, hdr, pkt.ecn);
                 ctx.send(CLIENT_PORT, ack);
                 // Completed requests trigger replies.
-                let delivered = self.receiver.take_events();
+                let mut delivered = Vec::new();
+                self.receiver.drain_events(&mut delivered);
                 let mut out = Vec::new();
                 for ev in delivered {
                     if let Some((key, client)) = self.pending.remove(&ev.id) {
@@ -167,7 +168,7 @@ impl Node for KvCacheNode {
                     };
                     let mut out = Vec::new();
                     self.sender.on_ack(now, &hdr, &mut out);
-                    self.sender.take_events();
+                    self.sender.drain_events(&mut Vec::new());
                     self.flush_sender(ctx, out);
                 } else {
                     if matches!(pkt.app, Some(AppData::KvGet { .. })) {
@@ -278,7 +279,9 @@ impl Node for KvServerNode {
                 }
                 let (ack, _) = self.receiver.on_data(now, &hdr, pkt.ecn);
                 ctx.send(PortId(0), ack);
-                for ev in self.receiver.take_events() {
+                let mut delivered = Vec::new();
+                self.receiver.drain_events(&mut delivered);
+                for ev in delivered {
                     let key = self.req_keys.remove(&ev.id).unwrap_or(0);
                     // Sequential service: one request per service_time.
                     let ready = self.next_free.max(now) + self.service_time;
@@ -290,7 +293,7 @@ impl Node for KvServerNode {
             PktType::Ack | PktType::Nack => {
                 let mut out = Vec::new();
                 self.sender.on_ack(now, &hdr, &mut out);
-                self.sender.take_events();
+                self.sender.drain_events(&mut Vec::new());
                 self.flush_sender(ctx, out);
             }
             PktType::Control => {}
@@ -421,7 +424,7 @@ impl Node for KvClientNode {
             PktType::Ack | PktType::Nack => {
                 let mut out = Vec::new();
                 self.sender.on_ack(now, &hdr, &mut out);
-                self.sender.take_events();
+                self.sender.drain_events(&mut Vec::new());
                 self.flush_sender(ctx, out);
             }
             PktType::Data => {
@@ -430,7 +433,9 @@ impl Node for KvClientNode {
                 }
                 let (ack, _) = self.receiver.on_data(now, &hdr, ecn);
                 ctx.send(PortId(0), ack);
-                for ev in self.receiver.take_events() {
+                let mut delivered = Vec::new();
+                self.receiver.drain_events(&mut delivered);
+                for ev in delivered {
                     let Some((key, from_cache)) = self.reply_src.remove(&ev.id) else {
                         continue;
                     };

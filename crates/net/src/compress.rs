@@ -99,7 +99,9 @@ impl Node for CompressorNode {
             self.stats.max_buffered = self.stats.max_buffered.max(self.receiver.buffered_bytes());
             // Completed messages are compressed and re-originated.
             let mut out = Vec::new();
-            for ev in self.receiver.take_events() {
+            let mut delivered = Vec::new();
+            self.receiver.drain_events(&mut delivered);
+            for ev in delivered {
                 let out_bytes = ((ev.bytes as f64 * self.ratio).ceil() as u32).max(1);
                 let new_id = self.sender.send_message(
                     hdr.dst_port,
@@ -118,7 +120,7 @@ impl Node for CompressorNode {
         } else if port == DOWNSTREAM_PORT && matches!(hdr.pkt_type, PktType::Ack | PktType::Nack) {
             let mut out = Vec::new();
             self.sender.on_ack(now, &hdr, &mut out);
-            self.sender.take_events();
+            self.sender.drain_events(&mut Vec::new());
             self.flush_sender(ctx, out);
         }
     }

@@ -84,6 +84,10 @@ pub struct TcpSenderNode {
     /// (instead of at its scheduled time).
     closed_loop: bool,
     name: String,
+    /// Reusable packet/completion buffers; taken and restored around each
+    /// callback so steady state never allocates.
+    out_buf: Vec<Packet>,
+    done_buf: Vec<usize>,
 }
 
 impl TcpSenderNode {
@@ -134,6 +138,8 @@ impl TcpSenderNode {
             armed: HashMap::new(),
             closed_loop: false,
             name: format!("tcp-sender-{conn_id_base}"),
+            out_buf: Vec::new(),
+            done_buf: Vec::new(),
         }
     }
 
@@ -169,9 +175,9 @@ impl TcpSenderNode {
         }
     }
 
-    fn flush(&mut self, ctx: &mut Ctx<'_>, out: Vec<Packet>) {
+    fn flush(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<Packet>) {
         let now = ctx.now();
-        for mut pkt in out {
+        for mut pkt in out.drain(..) {
             pkt.sent_at = now;
             ctx.send(PortId(0), pkt);
         }
@@ -192,20 +198,20 @@ impl TcpSenderNode {
         }
     }
 
-    /// Returns the indices of messages that completed.
-    fn check_completions(&mut self, now: Time, conn_id: u32) -> Vec<usize> {
-        let mut done_idx = Vec::new();
+    /// Record the indices of messages that completed into `done_buf`.
+    fn check_completions(&mut self, now: Time, conn_id: u32) {
+        debug_assert!(self.done_buf.is_empty());
         match self.mode {
             TcpWorkloadMode::Persistent => {
                 let Some(conn) = self.conns.get(&conn_id) else {
-                    return done_idx;
+                    return;
                 };
                 let acked = conn.bytes_acked();
                 while let Some(&(end, idx)) = self.bounds.front() {
                     if acked >= end {
                         self.msgs[idx].completed = Some(now);
                         self.bounds.pop_front();
-                        done_idx.push(idx);
+                        self.done_buf.push(idx);
                     } else {
                         break;
                     }
@@ -219,33 +225,36 @@ impl TcpSenderNode {
                 if done {
                     if let Some(idx) = self.conn_msg.remove(&conn_id) {
                         self.msgs[idx].completed = Some(now);
-                        done_idx.push(idx);
+                        self.done_buf.push(idx);
                     }
                     self.conns.remove(&conn_id);
                     self.armed.remove(&conn_id);
                 }
             }
         }
-        done_idx
     }
 
-    fn after_completions(&mut self, ctx: &mut Ctx<'_>, done: Vec<usize>) {
+    fn after_completions(&mut self, ctx: &mut Ctx<'_>) {
         if !self.closed_loop {
+            self.done_buf.clear();
             return;
         }
-        for idx in done {
+        let done = std::mem::take(&mut self.done_buf);
+        for &idx in &done {
             let next = idx + 1;
             if next < self.schedule.len() && self.msgs[next].completed.is_none() {
                 self.submit(ctx, next);
             }
         }
+        self.done_buf = done;
+        self.done_buf.clear();
     }
 
     fn submit(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
         let now = ctx.now();
         let size = self.schedule[idx].1;
         self.msgs[idx].submitted = now;
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.out_buf);
         let conn_id = match self.mode {
             TcpWorkloadMode::Persistent => {
                 let conn_id = self.conn_id_base;
@@ -274,7 +283,8 @@ impl TcpSenderNode {
                 conn_id
             }
         };
-        self.flush(ctx, out);
+        self.flush(ctx, &mut out);
+        self.out_buf = out;
         self.sync_timer(ctx, conn_id);
     }
 }
@@ -297,14 +307,15 @@ impl Node for TcpSenderNode {
             return;
         };
         let now = ctx.now();
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.out_buf);
         if let Some(conn) = self.conns.get_mut(&hdr.conn_id) {
             conn.on_segment(now, &hdr, &mut out);
         }
-        self.flush(ctx, out);
-        let done = self.check_completions(now, hdr.conn_id);
+        self.flush(ctx, &mut out);
+        self.out_buf = out;
+        self.check_completions(now, hdr.conn_id);
         self.sync_timer(ctx, hdr.conn_id);
-        self.after_completions(ctx, done);
+        self.after_completions(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -316,14 +327,15 @@ impl Node for TcpSenderNode {
                 let conn_id = arg as u32;
                 self.armed.remove(&conn_id);
                 let now = ctx.now();
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.out_buf);
                 if let Some(conn) = self.conns.get_mut(&conn_id) {
                     conn.on_timer(now, &mut out);
                 }
-                self.flush(ctx, out);
-                let done = self.check_completions(now, conn_id);
+                self.flush(ctx, &mut out);
+                self.out_buf = out;
+                self.check_completions(now, conn_id);
                 self.sync_timer(ctx, conn_id);
-                self.after_completions(ctx, done);
+                self.after_completions(ctx);
             }
             _ => {}
         }
