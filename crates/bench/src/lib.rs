@@ -11,6 +11,7 @@
 //! | `fig6`   | Figure 6       | load-/request-aware load balancing |
 //! | `fig7`   | Figure 7       | per-entity isolation |
 //! | `ablations` | §4 design discussion | pathlet granularity, header overhead, blob vs message |
+//! | `fig_failover` | §2 fate-sharing argument | message completion through a link failure, MTP failover vs pinned TCP |
 //!
 //! Each binary prints the series/rows the paper reports and writes a JSON
 //! record under `results/`. Runs are deterministic: fixed seeds, shared

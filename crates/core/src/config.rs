@@ -4,6 +4,38 @@ use mtp_sim::time::Duration;
 
 use crate::pathlet_cc::CcKind;
 
+/// Dead-pathlet detection and failover (paper §3–4: endpoints route
+/// *around* failed network elements mid-flight). Disabled by default so
+/// clean-topology experiments keep their exact packet schedules; failure
+/// studies opt in with [`MtpConfig::with_failover`].
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Master switch for the quarantine/re-probe state machine.
+    pub enabled: bool,
+    /// Consecutive loss attributions that declare a pathlet dead.
+    pub dead_after_losses: u32,
+    /// A pathlet carrying in-flight bytes that produces no feedback for
+    /// this many RTOs is declared dead (feedback silence).
+    pub silence_rtos: u32,
+    /// First quarantine duration; doubles on each successive declaration
+    /// (exponential-backoff re-probe).
+    pub probe_backoff: Duration,
+    /// Quarantine duration cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            enabled: false,
+            dead_after_losses: 2,
+            silence_rtos: 3,
+            probe_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_micros(8_000),
+        }
+    }
+}
+
 /// Configuration for MTP senders and receivers.
 #[derive(Debug, Clone)]
 pub struct MtpConfig {
@@ -20,6 +52,8 @@ pub struct MtpConfig {
     /// (paper §3.1.3: "end-hosts provide feedback to the network about the
     /// pathlets that should not be used").
     pub exclude_on_floor: bool,
+    /// Dead-pathlet quarantine and failover.
+    pub failover: FailoverConfig,
 }
 
 impl Default for MtpConfig {
@@ -32,6 +66,7 @@ impl Default for MtpConfig {
             min_rto: Duration::from_micros(200),
             exclude_cooldown: Duration::from_micros(500),
             exclude_on_floor: true,
+            failover: FailoverConfig::default(),
         }
     }
 }
@@ -56,5 +91,11 @@ impl MtpConfig {
             },
             ..MtpConfig::default()
         }
+    }
+
+    /// Enable dead-pathlet detection and failover with default thresholds.
+    pub fn with_failover(mut self) -> MtpConfig {
+        self.failover.enabled = true;
+        self
     }
 }

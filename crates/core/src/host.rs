@@ -280,6 +280,13 @@ impl MtpSinkNode {
         }
     }
 
+    /// Echo up to `k - 1` recent receptions in every ACK (see
+    /// [`MtpReceiver::with_sack_redundancy`]).
+    pub fn with_sack_redundancy(mut self, k: usize) -> MtpSinkNode {
+        self.receiver = self.receiver.with_sack_redundancy(k);
+        self
+    }
+
     /// Total payload bytes delivered (first copies only).
     pub fn total_goodput(&self) -> u64 {
         self.receiver.stats.goodput_bytes

@@ -35,12 +35,25 @@ pub struct PathletEntry {
     pub excluded_until: Option<Time>,
     /// Last time feedback referenced this pathlet.
     pub last_seen: Time,
+    /// Consecutive loss attributions with no intervening successful ACK —
+    /// the loss half of dead-pathlet detection.
+    pub consec_losses: u32,
+    /// If set, the pathlet is quarantined (presumed dead) until then.
+    pub quarantined_until: Option<Time>,
+    /// Re-probe backoff level: quarantine duration is
+    /// `probe_backoff << level`, capped by config.
+    pub backoff_level: u32,
 }
 
 impl PathletEntry {
     /// Bytes of window headroom remaining.
     pub fn room(&self) -> u64 {
         self.cc.window().saturating_sub(self.inflight)
+    }
+
+    /// True while the pathlet is quarantined at `now`.
+    pub fn is_quarantined(&self, now: Time) -> bool {
+        matches!(self.quarantined_until, Some(until) if until > now)
     }
 }
 
@@ -62,6 +75,9 @@ pub struct PathletTable {
     /// per-packet exclusion scan short-circuit in the common case of no
     /// exclusions at all.
     excluded: usize,
+    /// Entries whose `quarantined_until` is set (possibly expired); same
+    /// fast-path trick for the per-event quarantine sweep.
+    quarantined: usize,
 }
 
 impl std::fmt::Debug for PathletTable {
@@ -81,6 +97,7 @@ impl PathletTable {
             map: Vec::new(),
             factory,
             excluded: 0,
+            quarantined: 0,
         }
     }
 
@@ -152,6 +169,9 @@ impl PathletTable {
             inflight: 0,
             excluded_until: None,
             last_seen: now,
+            consec_losses: 0,
+            quarantined_until: None,
+            backoff_level: 0,
         });
         // Keep load ≤ 3/4 so probe chains stay short.
         if (self.keys.len() + 1) * 4 > self.map.len() * 3 {
@@ -249,6 +269,74 @@ impl PathletTable {
             self.excluded += 1;
         }
         e.excluded_until = Some(until);
+    }
+
+    /// Quarantine an already-interned pathlet (presumed dead) until
+    /// `until`, and advertise it excluded for the same span so the network
+    /// steers other traffic around it too.
+    pub fn quarantine_at(&mut self, idx: PathIdx, until: Time) {
+        {
+            let e = &mut self.entries[idx.0 as usize];
+            if e.quarantined_until.is_none() {
+                self.quarantined += 1;
+            }
+            e.quarantined_until = Some(until);
+        }
+        self.exclude_at(idx, until);
+    }
+
+    /// The best live alternative to `avoid` for the same traffic class:
+    /// the non-quarantined entry with the most window headroom. `None`
+    /// when no other live pathlet exists — callers must then keep using
+    /// `avoid` rather than abandoning the only path.
+    pub fn best_alternative(&self, avoid: PathIdx, now: Time) -> Option<PathIdx> {
+        let (_, tc) = self.keys[avoid.0 as usize];
+        let mut best: Option<(u64, u32)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i as u32 == avoid.0 || self.keys[i].1 != tc || e.is_quarantined(now) {
+                continue;
+            }
+            let room = e.room();
+            if best.is_none_or(|(r, _)| room > r) {
+                best = Some((room, i as u32));
+            }
+        }
+        best.map(|(_, i)| PathIdx(i))
+    }
+
+    /// Feedback attributed acked bytes to this pathlet: it is demonstrably
+    /// alive. Clears the loss streak, the re-probe backoff, and any
+    /// standing quarantine (the advertised exclusion expires on its own).
+    pub fn mark_alive(&mut self, idx: PathIdx) {
+        let e = &mut self.entries[idx.0 as usize];
+        e.consec_losses = 0;
+        e.backoff_level = 0;
+        if e.quarantined_until.take().is_some() {
+            self.quarantined -= 1;
+        }
+    }
+
+    /// Clear quarantines that expired at `now`; each cleared entry opens a
+    /// re-probe window. The loss streak resets (the probe starts clean)
+    /// but the backoff level is retained — a pathlet that fails its probe
+    /// goes back into quarantine for twice as long. Returns how many
+    /// probes opened. One counter check when nothing is quarantined.
+    pub fn release_expired_quarantines(&mut self, now: Time) -> u32 {
+        if self.quarantined == 0 {
+            return 0;
+        }
+        let mut released = 0;
+        for e in &mut self.entries {
+            if let Some(until) = e.quarantined_until {
+                if until <= now {
+                    e.quarantined_until = None;
+                    e.consec_losses = 0;
+                    self.quarantined -= 1;
+                    released += 1;
+                }
+            }
+        }
+        released
     }
 
     /// Append the exclusions active at `now` to `out` and sort `out` by
@@ -383,6 +471,45 @@ mod tests {
             assert_eq!(t.lookup(PathletId(p), TrafficClass(tc)), Some(idx));
         }
         assert_eq!(t.len(), 600);
+    }
+
+    #[test]
+    fn quarantine_release_and_alternatives() {
+        let mut t = table();
+        let a = t.intern(P1, TC, Time::ZERO);
+        let b = t.intern(P2, TC, Time::ZERO);
+        let until = Time::ZERO + Duration::from_micros(100);
+        t.quarantine_at(a, until);
+        assert!(t.at(a).is_quarantined(Time::ZERO));
+        // Quarantine implies an advertised exclusion over the same span.
+        assert_eq!(t.active_exclusions(Time::ZERO).len(), 1);
+        // Alternatives skip quarantined entries; a quarantined-only pool
+        // yields None.
+        assert_eq!(t.best_alternative(a, Time::ZERO), Some(b));
+        assert_eq!(t.best_alternative(b, Time::ZERO), None);
+        // Different TC is never an alternative.
+        t.intern(P2, TrafficClass(3), Time::ZERO);
+        assert_eq!(t.best_alternative(b, Time::ZERO), None);
+        // Expiry opens a re-probe: streak resets, counter balances.
+        t.at_mut(a).consec_losses = 5;
+        let later = Time::ZERO + Duration::from_micros(150);
+        assert_eq!(t.release_expired_quarantines(later), 1);
+        assert!(!t.at(a).is_quarantined(later));
+        assert_eq!(t.at(a).consec_losses, 0);
+        assert_eq!(t.release_expired_quarantines(later), 0);
+        assert_eq!(t.best_alternative(b, later), Some(a));
+    }
+
+    #[test]
+    fn best_alternative_prefers_headroom() {
+        let mut t = table();
+        let a = t.intern(P1, TC, Time::ZERO);
+        let b = t.intern(P2, TC, Time::ZERO);
+        let c = t.intern(PathletId(3), TC, Time::ZERO);
+        t.charge_at(b, 8_000);
+        t.charge_at(c, 2_000);
+        // From a's perspective, c (8 kB room) beats b (2 kB room).
+        assert_eq!(t.best_alternative(a, Time::ZERO), Some(c));
     }
 
     #[test]

@@ -109,6 +109,15 @@ pub struct MtpReceiver {
     events: Vec<MsgDelivered>,
     /// Payload bytes of incomplete messages currently held.
     buffered: u64,
+    /// Total SACK entries per ACK, counting the fresh one (min 1). Above
+    /// 1, each ACK re-echoes the most recent receptions, so the loss of
+    /// any single ACK no longer strands its packet at the sender until an
+    /// RTO — the same redundancy TCP gets from overlapping SACK blocks.
+    sack_redundancy: usize,
+    /// Ring of the most recent receptions, echoed for redundancy.
+    recent: Vec<SackEntry>,
+    /// Next write position in `recent`.
+    recent_head: usize,
     /// Counters.
     pub stats: MtpReceiverStats,
 }
@@ -129,8 +138,22 @@ impl MtpReceiver {
             map: Vec::new(),
             events: Vec::new(),
             buffered: 0,
+            sack_redundancy: 1,
+            recent: Vec::new(),
+            recent_head: 0,
             stats: MtpReceiverStats::default(),
         }
+    }
+
+    /// Echo up to `k - 1` recent receptions in every ACK in addition to
+    /// the fresh SACK (so `k` entries total). `k = 1` (the default) is
+    /// the plain one-packet-per-ACK behavior. Turn this up on topologies
+    /// where the reverse path can lose ACKs — e.g. sprayed ACK fan-out
+    /// with a failed return path — so a dropped ACK is covered by its
+    /// successors instead of costing the sender a full RTO.
+    pub fn with_sack_redundancy(mut self, k: usize) -> MtpReceiver {
+        self.sack_redundancy = k.max(1);
+        self
     }
 
     /// The slab slot holding `id`, if present.
@@ -285,6 +308,27 @@ impl MtpReceiver {
                 msg: id,
                 pkt: PktNum(pkt_num),
             });
+            // Redundant echo of recent receptions (possibly of other
+            // messages): a lost ACK is then covered by the next few ACKs
+            // instead of stranding its packet until the sender's RTO. The
+            // sender treats SACKs idempotently, so repeats are free.
+            if self.sack_redundancy > 1 {
+                let fresh = SackEntry {
+                    msg: id,
+                    pkt: PktNum(pkt_num),
+                };
+                for e in &self.recent {
+                    if *e != fresh {
+                        ack_hdr.sack.push(*e);
+                    }
+                }
+                if self.recent.len() < self.sack_redundancy - 1 {
+                    self.recent.push(fresh);
+                } else {
+                    self.recent[self.recent_head] = fresh;
+                    self.recent_head = (self.recent_head + 1) % self.recent.len();
+                }
+            }
             if msg.received == msg.len_pkts && msg.completed.is_none() {
                 msg.completed = Some(now);
                 self.stats.msgs_delivered += 1;

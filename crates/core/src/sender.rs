@@ -83,6 +83,16 @@ pub struct MtpSenderStats {
     pub nacks: u64,
     /// Messages completed.
     pub msgs_completed: u64,
+    /// Pathlets declared dead and quarantined (failover enabled only).
+    pub quarantines: u64,
+    /// Times the *active* pathlet died and admissions switched to a
+    /// surviving one.
+    pub failovers: u64,
+    /// Quarantines that expired and opened a re-probe window.
+    pub reprobes: u64,
+    /// In-flight packets evacuated off dead pathlets and re-sent on
+    /// survivors.
+    pub evacuated_pkts: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,6 +165,8 @@ pub struct MtpSender {
     loss_scratch: Vec<u32>,
     /// Per-timeout scratch: (slot, pkt) pairs expired by the RTO.
     timer_scratch: Vec<(u32, u32)>,
+    /// Failover scratch: (slot, pkt) pairs evacuated off a dead pathlet.
+    evac_scratch: Vec<(u32, u32)>,
 }
 
 impl std::fmt::Debug for MtpSender {
@@ -192,6 +204,7 @@ impl MtpSender {
             ack_touched: Vec::new(),
             loss_scratch: Vec::new(),
             timer_scratch: Vec::new(),
+            evac_scratch: Vec::new(),
         }
     }
 
@@ -367,9 +380,134 @@ impl MtpSender {
         self.pathlets.len()
     }
 
+    // ---- Dead-pathlet detection and failover -----------------------------
+    //
+    // The quarantine/re-probe state machine (paper §3–4: endpoints route
+    // around failed elements). Two independent detectors feed it: loss
+    // attribution (consecutive NACK/RTO losses charged to one pathlet) and
+    // feedback silence (in-flight bytes but no feedback for several RTOs).
+    // A pathlet declared dead is quarantined with exponential backoff and
+    // advertised excluded; its in-flight packets are evacuated onto the
+    // best surviving pathlet. A pathlet is never quarantined when it is
+    // the only live one — a sender with one path must keep trying it.
+    // Everything below is gated on `cfg.failover.enabled` (off by
+    // default), so clean-topology runs keep their exact packet schedules.
+
+    /// Release expired quarantines (each opens a re-probe window).
+    fn maybe_reprobe(&mut self, now: Time) {
+        if !self.cfg.failover.enabled {
+            return;
+        }
+        let released = self.pathlets.release_expired_quarantines(now);
+        self.stats.reprobes += released as u64;
+    }
+
+    /// Attribute one loss event to `idx`; quarantine it once the streak
+    /// reaches the configured threshold.
+    fn note_loss(&mut self, idx: PathIdx, now: Time, out: &mut Vec<Packet>) {
+        if !self.cfg.failover.enabled {
+            return;
+        }
+        let e = self.pathlets.at_mut(idx);
+        e.consec_losses += 1;
+        if e.consec_losses >= self.cfg.failover.dead_after_losses {
+            self.quarantine_pathlet(idx, now, out);
+        }
+    }
+
+    /// Declare `idx` dead: quarantine it (backoff-doubled), steer the
+    /// active pathlet off it, and evacuate its in-flight packets.
+    fn quarantine_pathlet(&mut self, idx: PathIdx, now: Time, out: &mut Vec<Packet>) {
+        if self.pathlets.at(idx).is_quarantined(now) {
+            return;
+        }
+        // Never abandon the only live path.
+        let Some(alt) = self.pathlets.best_alternative(idx, now) else {
+            return;
+        };
+        let fo = &self.cfg.failover;
+        let level = self.pathlets.at(idx).backoff_level;
+        let span = Duration(
+            fo.probe_backoff
+                .0
+                .checked_shl(level)
+                .unwrap_or(u64::MAX)
+                .min(fo.max_backoff.0),
+        );
+        self.pathlets.quarantine_at(idx, now + span);
+        self.pathlets.at_mut(idx).backoff_level = level.saturating_add(1);
+        self.stats.quarantines += 1;
+        let (apath, atc) = self.active;
+        if self.pathlets.lookup(apath, atc) == Some(idx) {
+            self.active = self.pathlets.key_at(alt);
+            self.stats.failovers += 1;
+        }
+        self.evacuate(idx, now, out);
+    }
+
+    /// Re-steer every in-flight packet charged to a dead pathlet: credit
+    /// it back and retransmit on the (post-failover) active pathlet.
+    fn evacuate(&mut self, dead: PathIdx, now: Time, out: &mut Vec<Packet>) {
+        debug_assert!(self.evac_scratch.is_empty());
+        for qi in 0..self.inflight.len() {
+            let (slot, pkt, epoch, _) = self.inflight[qi];
+            let p = &self.msgs[slot as usize].pkts[pkt as usize];
+            if p.state == PktState::InFlight && p.epoch == epoch && p.charged == dead {
+                self.evac_scratch.push((slot, pkt));
+            }
+        }
+        for i in 0..self.evac_scratch.len() {
+            let (slot, pkt) = self.evac_scratch[i];
+            let p = &mut self.msgs[slot as usize].pkts[pkt as usize];
+            p.state = PktState::Unsent;
+            self.pathlets.credit_at(dead, p.len as u64);
+            self.stats.evacuated_pkts += 1;
+            self.retransmit(slot, pkt, now, out);
+        }
+        self.evac_scratch.clear();
+    }
+
+    /// Feedback-silence detector: a pathlet with bytes in flight that has
+    /// produced no feedback for `silence_rtos` RTOs is presumed dead even
+    /// if no NACK ever attributed a loss to it (a blackholed path produces
+    /// no NACKs at all).
+    fn check_silence(&mut self, now: Time, out: &mut Vec<Packet>) {
+        if !self.cfg.failover.enabled {
+            return;
+        }
+        if self.outstanding() == 0 {
+            // Silence without demand is idleness, not failure.
+            return;
+        }
+        let threshold = Duration(
+            self.rtt
+                .rto()
+                .0
+                .saturating_mul(self.cfg.failover.silence_rtos as u64),
+        );
+        // Deliberately NOT gated on per-pathlet charged in-flight: the
+        // sender charges packets to its *guess* of the path, and the first
+        // go-back-N round re-charges everything to the current active
+        // pathlet — so a dead path the sender is not actively charging
+        // would never trip an in-flight-gated detector, yet its drained
+        // (empty) queue keeps attracting the network's load balancer. A
+        // pathlet we have heard from before that stays silent for several
+        // RTOs while messages are outstanding is suspect either way;
+        // quarantining it advertises the exclusion that steers new
+        // messages off it, and a false alarm costs one expiring exclusion.
+        for i in 0..self.pathlets.len() as u32 {
+            let idx = PathIdx(i);
+            let e = self.pathlets.at(idx);
+            if !e.is_quarantined(now) && now.since(e.last_seen) >= threshold {
+                self.quarantine_pathlet(idx, now, out);
+            }
+        }
+    }
+
     /// Process an ACK (or standalone NACK) addressed to this sender.
     pub fn on_ack(&mut self, now: Time, hdr: &MtpHeader, out: &mut Vec<Packet>) {
         debug_assert!(matches!(hdr.pkt_type, PktType::Ack | PktType::Nack));
+        self.maybe_reprobe(now);
 
         // 1. SACKs: credit windows, accumulate per-pathlet acked bytes in
         //    the dense scratch table, sample RTT, detect completions.
@@ -417,6 +555,10 @@ impl MtpSender {
         }
         if let Some(rtt) = rtt_sample {
             self.rtt.sample(rtt);
+        } else if !self.ack_touched.is_empty() {
+            // Newly acked bytes without a cleanly timeable segment: still
+            // forward progress, so unwind any RTO backoff.
+            self.rtt.on_progress();
         }
 
         // 2. Feedback: deliver each echoed entry to its pathlet's
@@ -435,6 +577,9 @@ impl MtpSender {
             if let Feedback::PathChange { new_path } = fb.feedback {
                 self.active = (new_path, fb.tc);
             }
+            if acked > 0 && self.cfg.failover.enabled {
+                self.pathlets.mark_alive(idx);
+            }
         }
         // Acked bytes on pathlets the ACK carried no feedback for still
         // grow their windows (an unmarked ACK is itself feedback).
@@ -445,7 +590,13 @@ impl MtpSender {
                 continue; // consumed by a feedback entry above
             }
             let e = self.pathlets.at_mut(PathIdx(idx));
+            // A plain SACK attributing bytes to this pathlet is liveness
+            // evidence even without an echoed feedback entry.
+            e.last_seen = now;
             e.cc.on_ack(acked, None, rtt_sample, now);
+            if self.cfg.failover.enabled {
+                self.pathlets.mark_alive(PathIdx(idx));
+            }
         }
         self.ack_touched.clear();
         // The first echoed entry names the path the data actually took:
@@ -485,8 +636,15 @@ impl MtpSender {
                 let until = now + self.cfg.exclude_cooldown;
                 self.pathlets.exclude_at(idx, until);
             }
+            self.note_loss(idx, now, out);
         }
         self.loss_scratch.clear();
+
+        // Every ACK is a chance to notice a pathlet that has gone quiet:
+        // a sender draining fine over the survivors may see no RTO for a
+        // long time, and waiting for one delays failure detection by the
+        // whole backed-off timeout.
+        self.check_silence(now, out);
 
         self.poll(now, out);
 
@@ -506,7 +664,9 @@ impl MtpSender {
     /// one packet and pushes the next deadline out twice as far, so a
     /// lossy path never converges.
     pub fn on_timer(&mut self, now: Time, out: &mut Vec<Packet>) {
+        self.maybe_reprobe(now);
         self.compact_inflight();
+        self.check_silence(now, out);
         let rto = self.rtt.rto();
         let front_expired =
             matches!(self.inflight.front(), Some(&(_, _, _, sent)) if sent + rto <= now);
@@ -529,9 +689,35 @@ impl MtpSender {
         }
         self.stats.timeouts += 1;
         self.rtt.on_timeout();
-        // One loss signal per timeout event on the active pathlet.
-        let (p, tc) = self.active;
-        self.pathlets.entry(p, tc, now).cc.on_loss(now);
+        if self.cfg.failover.enabled {
+            // Attribute the timeout to every pathlet that had expired
+            // bytes in flight — both the congestion signal and the dead-
+            // path streak — so a repeatedly timing-out pathlet collapses
+            // its own window and gets quarantined, while a survivor the
+            // sender happens to have active keeps its window. (Blanket-
+            // punishing the active pathlet here would re-collapse the
+            // healthy path every time a re-probe casualty expires.) The
+            // go-back-N retransmits below then charge the post-failover
+            // active pathlet instead of the dead one.
+            debug_assert!(self.loss_scratch.is_empty());
+            for i in 0..self.timer_scratch.len() {
+                let (slot, pkt) = self.timer_scratch[i];
+                let idx = self.msgs[slot as usize].pkts[pkt as usize].charged;
+                if !self.loss_scratch.contains(&idx.0) {
+                    self.loss_scratch.push(idx.0);
+                }
+            }
+            for i in 0..self.loss_scratch.len() {
+                let idx = PathIdx(self.loss_scratch[i]);
+                self.pathlets.at_mut(idx).cc.on_loss(now);
+                self.note_loss(idx, now, out);
+            }
+            self.loss_scratch.clear();
+        } else {
+            // One loss signal per timeout event on the active pathlet.
+            let (p, tc) = self.active;
+            self.pathlets.entry(p, tc, now).cc.on_loss(now);
+        }
         for i in 0..self.timer_scratch.len() {
             let (slot, pkt) = self.timer_scratch[i];
             self.retransmit(slot, pkt, now, out);
@@ -938,6 +1124,127 @@ mod tests {
             !last.path_exclude.is_empty(),
             "floored pathlet should be advertised as excluded"
         );
+        // Failover is opt-in: with the default config a loss streak never
+        // quarantines or re-steers.
+        assert_eq!(s.stats.quarantines, 0);
+        assert_eq!(s.stats.failovers, 0);
+        assert_eq!(s.stats.evacuated_pkts, 0);
+    }
+
+    #[test]
+    fn loss_streak_quarantines_pathlet_and_fails_over() {
+        let mut s = MtpSender::new(MtpConfig::default().with_failover(), 1, EntityId(0), 1000);
+        let mut out = Vec::new();
+        s.send_message(
+            2,
+            1_000_000,
+            0,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        // Move the active pathlet to 7 via echoed feedback; the window
+        // space opened by the ACK admits fresh packets charged to 7.
+        let mut ack = ack_for(&[&out[0]]);
+        ack.ack_path_feedback = vec![PathFeedback {
+            path: PathletId(7),
+            tc: TrafficClass::BEST_EFFORT,
+            feedback: Feedback::EcnMark { ce: false },
+        }];
+        let mut on7 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(10), &ack, &mut on7);
+        assert_eq!(s.active_pathlet().0, PathletId(7));
+        assert!(!on7.is_empty(), "opened window admits packets on 7");
+        // Two successive loss events attributed to pathlet 7 reach the
+        // dead_after_losses threshold.
+        let nack_hdr = MtpHeader {
+            pkt_type: PktType::Ack,
+            nack: on7
+                .iter()
+                .map(|p| {
+                    let h = data_hdr(p);
+                    SackEntry {
+                        msg: h.msg_id,
+                        pkt: h.pkt_num,
+                    }
+                })
+                .collect(),
+            ..MtpHeader::default()
+        };
+        let mut out2 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(20), &nack_hdr, &mut out2);
+        assert_eq!(s.stats.quarantines, 0, "one loss event is not a streak");
+        out2.clear();
+        s.on_ack(Time::ZERO + Duration::from_micros(30), &nack_hdr, &mut out2);
+        assert_eq!(s.stats.quarantines, 1);
+        assert_eq!(s.stats.failovers, 1);
+        assert!(
+            s.stats.evacuated_pkts > 0,
+            "in-flight on the dead pathlet re-steered"
+        );
+        assert_eq!(
+            s.active_pathlet().0,
+            DEFAULT_PATHLET,
+            "fell back to the surviving pathlet"
+        );
+        // Re-steered packets advertise the dead pathlet as excluded.
+        let last = data_hdr(out2.last().expect("evacuation retransmits"));
+        assert!(last.path_exclude.iter().any(|x| x.path == PathletId(7)));
+        // After the backoff expires, the next event releases the
+        // quarantine so the pathlet can be re-probed.
+        let empty = MtpHeader {
+            pkt_type: PktType::Ack,
+            ..MtpHeader::default()
+        };
+        let mut out3 = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(2_000), &empty, &mut out3);
+        assert_eq!(s.stats.reprobes, 1);
+    }
+
+    #[test]
+    fn feedback_silence_quarantines_but_never_abandons_last_path() {
+        let mut s = MtpSender::new(MtpConfig::default().with_failover(), 1, EntityId(0), 1000);
+        let mut out = Vec::new();
+        s.send_message(
+            2,
+            1_000_000,
+            0,
+            TrafficClass::BEST_EFFORT,
+            Time::ZERO,
+            &mut out,
+        );
+        // ACK one packet with feedback naming pathlet 7: the default
+        // pathlet keeps its unacked burst in flight while 7 becomes
+        // active and demonstrably alive.
+        let mut ack = ack_for(&[&out[0]]);
+        ack.ack_path_feedback = vec![PathFeedback {
+            path: PathletId(7),
+            tc: TrafficClass::BEST_EFFORT,
+            feedback: Feedback::EcnMark { ce: false },
+        }];
+        let mut o = Vec::new();
+        s.on_ack(Time::ZERO + Duration::from_micros(10), &ack, &mut o);
+        assert_eq!(s.active_pathlet().0, PathletId(7));
+        // Well past silence_rtos * RTO with bytes still charged to the
+        // default pathlet and no sign of life from it.
+        let mut out2 = Vec::new();
+        s.on_timer(Time::ZERO + Duration::from_micros(10_000), &mut out2);
+        assert!(s.stats.quarantines >= 1, "silent pathlet quarantined");
+        assert!(s
+            .pathlets()
+            .get(DEFAULT_PATHLET, TrafficClass::BEST_EFFORT)
+            .expect("still interned")
+            .quarantined_until
+            .is_some());
+        // Pathlet 7 is now the only live path: no amount of timeouts may
+        // quarantine it.
+        assert!(s
+            .pathlets()
+            .get(PathletId(7), TrafficClass::BEST_EFFORT)
+            .expect("still interned")
+            .quarantined_until
+            .is_none());
+        assert_eq!(s.active_pathlet().0, PathletId(7));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The exactly-once delivery ledger.
+//!
+//! Failure experiments all end with the same question: did every message
+//! the application submitted arrive **exactly once**, despite the faults?
+//! [`Ledger`] snapshots both ends of an MTP session and checks the full
+//! contract: no lost messages, no duplicate deliveries, no phantom
+//! deliveries the sender never submitted, and byte totals that agree.
+
+use mtp_core::{MtpSenderNode, MtpSinkNode};
+use mtp_sim::{NodeId, Simulator};
+
+/// End-to-end outcome of one MTP session, in deterministic order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ledger {
+    /// `(msg_id, bytes)` per sink delivery event, sorted by id.
+    pub delivered: Vec<(u64, u32)>,
+    /// `(bytes, completed_ps)` per sender schedule entry that finished.
+    pub completed: Vec<(u32, u64)>,
+    /// Scheduled messages that never completed at the sender.
+    pub unfinished: usize,
+    /// Sink-side first-copy payload bytes.
+    pub goodput: u64,
+}
+
+impl Ledger {
+    /// Snapshot sender `snd` and sink `sink` from `sim`.
+    pub fn capture(sim: &Simulator, snd: NodeId, sink: NodeId) -> Ledger {
+        let sender = sim.node_as::<MtpSenderNode>(snd);
+        let receiver = sim.node_as::<MtpSinkNode>(sink);
+        let mut delivered: Vec<(u64, u32)> = receiver
+            .delivered
+            .iter()
+            .map(|d| (d.id.0, d.bytes))
+            .collect();
+        delivered.sort_unstable();
+        let completed: Vec<(u32, u64)> = sender
+            .msgs
+            .iter()
+            .filter_map(|m| m.completed.map(|c| (m.bytes, c.0)))
+            .collect();
+        let unfinished = sender.msgs.len() - completed.len();
+        Ledger {
+            delivered,
+            completed,
+            unfinished,
+            goodput: receiver.total_goodput(),
+        }
+    }
+
+    /// Assert the exactly-once contract for a run where every scheduled
+    /// message was expected to finish. Panics with a diagnostic naming
+    /// `ctx` on any violation.
+    pub fn assert_exactly_once(&self, ctx: &str) {
+        assert_eq!(self.unfinished, 0, "[{ctx}] unfinished messages");
+        assert_eq!(
+            self.delivered.len(),
+            self.completed.len(),
+            "[{ctx}] deliveries != completions"
+        );
+        for w in self.delivered.windows(2) {
+            assert!(w[0].0 != w[1].0, "[{ctx}] duplicate delivery of {}", w[0].0);
+        }
+        let sent: u64 = self.completed.iter().map(|&(b, _)| b as u64).sum();
+        let got: u64 = self.delivered.iter().map(|&(_, b)| b as u64).sum();
+        assert_eq!(sent, got, "[{ctx}] byte totals disagree");
+        assert_eq!(self.goodput, got, "[{ctx}] goodput counts duplicates");
+    }
+}

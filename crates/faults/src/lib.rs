@@ -1,0 +1,36 @@
+//! # mtp-faults — deterministic fault injection
+//!
+//! The paper argues (§2, §4) that a message transport must ride through
+//! in-network failures that TCP's connection abstraction cannot: a dead
+//! pathlet should cost one failover, not a stalled flow. This crate is
+//! the test rig for that claim:
+//!
+//! * [`schedule`] — scripted fault events (link down/up in blackhole or
+//!   drain mode, rate/delay degradation, corruption bursts, node
+//!   crash/restart) as plain sorted data;
+//! * [`driver`] — replays a schedule against a running [`mtp_sim`]
+//!   simulation at exact virtual times, so `(seed, schedule)` determines
+//!   the entire packet-level execution — reruns are byte-identical;
+//! * [`topo`] — the diamond failure-study topology (two parallel paths)
+//!   for MTP and TCP senders, with every link and switch addressable by
+//!   fault scripts;
+//! * [`ledger`] — the exactly-once delivery ledger every failure
+//!   experiment must balance.
+//!
+//! The endpoint half of the story — loss attribution, feedback-silence
+//! detection, quarantine with exponential-backoff re-probe, and in-flight
+//! evacuation — lives in `mtp-core` ([`mtp_core::FailoverConfig`]) and is
+//! exercised end to end by this crate's fault-matrix tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod ledger;
+pub mod schedule;
+pub mod topo;
+
+pub use driver::{AppliedFault, FaultDriver};
+pub use ledger::Ledger;
+pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
+pub use topo::{diamond_mtp, diamond_tcp, Diamond, LinkSpec, PATHLET_A, PATHLET_B};

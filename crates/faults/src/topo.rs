@@ -1,0 +1,223 @@
+//! Failure-study topologies.
+//!
+//! The canonical shape is a **diamond**: one sender, one sink, and two
+//! parallel switch-to-switch paths. It is the smallest topology in which
+//! "route around the failure" is even possible, which makes it the right
+//! microscope for the MTP-vs-TCP failure comparison: MTP's pathlet
+//! machinery can steer messages onto the survivor, while a TCP flow is
+//! pinned to whatever path its five-tuple hashes to.
+//!
+//! Both builders return every directed-link handle so fault schedules
+//! can cut, degrade, or corrupt any segment, plus both switch ids for
+//! crash/restart scripts. The reverse (ACK) fan-out at the far switch
+//! uses per-packet spray so acknowledgements are not themselves pinned
+//! to the failed path — otherwise every experiment would measure the
+//! ACK path, not the protocol.
+
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_net::{FanoutForwarder, Stamp, StampKind, StaticRoutes, Strategy, SwitchNode};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{DirLinkId, LinkCfg, NodeId, PortId, Simulator};
+use mtp_tcp::{TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
+use mtp_wire::{EntityId, PathletId};
+
+/// Sender host address.
+pub const CLIENT_ADDR: u16 = 1;
+/// Sink host address.
+pub const SERVER_ADDR: u16 = 2;
+/// Pathlet id stamped on path A.
+pub const PATHLET_A: PathletId = PathletId(1);
+/// Pathlet id stamped on path B.
+pub const PATHLET_B: PathletId = PathletId(2);
+
+/// Link parameters for one segment.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Link rate.
+    pub rate: Bandwidth,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Queue capacity in packets.
+    pub cap_pkts: usize,
+    /// ECN marking threshold in packets.
+    pub ecn_k: usize,
+}
+
+impl LinkSpec {
+    /// A spec with the standard 128-packet ECN(20) queue.
+    pub fn new(rate: Bandwidth, delay: Duration) -> LinkSpec {
+        LinkSpec {
+            rate,
+            delay,
+            cap_pkts: 128,
+            ecn_k: 20,
+        }
+    }
+
+    /// The default inter-switch path: 10 Gbps, 5 us.
+    pub fn path_default() -> LinkSpec {
+        LinkSpec::new(Bandwidth::from_gbps(10), Duration::from_micros(5))
+    }
+
+    /// The default host NIC: 100 Gbps, 1 us.
+    pub fn host_default() -> LinkSpec {
+        LinkSpec::new(Bandwidth::from_gbps(100), Duration::from_micros(1))
+    }
+
+    fn link(&self) -> LinkCfg {
+        LinkCfg::ecn(self.rate, self.delay, self.cap_pkts, self.ecn_k)
+    }
+}
+
+/// Handle to a built diamond, with every fault-injectable element named.
+pub struct Diamond {
+    /// The simulator.
+    pub sim: Simulator,
+    /// The sending host.
+    pub sender: NodeId,
+    /// The receiving host.
+    pub sink: NodeId,
+    /// Near switch (fans data over the two paths).
+    pub sw1: NodeId,
+    /// Far switch (sprays ACKs back over the two paths).
+    pub sw2: NodeId,
+    /// Path A, sw1 -> sw2.
+    pub a_fwd: DirLinkId,
+    /// Path A, sw2 -> sw1.
+    pub a_rev: DirLinkId,
+    /// Path B, sw1 -> sw2.
+    pub b_fwd: DirLinkId,
+    /// Path B, sw2 -> sw1.
+    pub b_rev: DirLinkId,
+}
+
+fn build_diamond(
+    sim: &mut Simulator,
+    sender: NodeId,
+    sink: NodeId,
+    forward: Strategy,
+    path: LinkSpec,
+    host: LinkSpec,
+    stamp: bool,
+) -> (NodeId, NodeId, [DirLinkId; 4]) {
+    let mut sw1 = SwitchNode::new(
+        "sw1",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(CLIENT_ADDR, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            forward,
+        )),
+    );
+    if stamp {
+        sw1 = sw1
+            .with_stamp(PortId(1), Stamp::new(PATHLET_A, StampKind::Presence))
+            .with_stamp(PortId(2), Stamp::new(PATHLET_B, StampKind::Presence));
+    }
+    let sw1 = sim.add_node(Box::new(sw1));
+    // ACKs return over whichever path is alive: per-packet spray, so a
+    // single-path cut never silences the reverse channel entirely.
+    let sw2 = sim.add_node(Box::new(SwitchNode::new(
+        "sw2",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(SERVER_ADDR, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            Strategy::Spray { next: 0 },
+        )),
+    )));
+    sim.connect(sender, PortId(0), sw1, PortId(0), host.link(), host.link());
+    let (a_fwd, a_rev) = sim.connect(sw1, PortId(1), sw2, PortId(1), path.link(), path.link());
+    let (b_fwd, b_rev) = sim.connect(sw1, PortId(2), sw2, PortId(2), path.link(), path.link());
+    sim.connect(sw2, PortId(0), sink, PortId(0), host.link(), host.link());
+    (sw1, sw2, [a_fwd, a_rev, b_fwd, b_rev])
+}
+
+/// Build the diamond with an MTP sender/sink. `sw1` runs the message-aware
+/// load balancer (which honors the sender's pathlet exclusions) and stamps
+/// path A as pathlet 1, path B as pathlet 2.
+pub fn diamond_mtp(
+    seed: u64,
+    cfg: MtpConfig,
+    schedule: Vec<ScheduledMsg>,
+    path: LinkSpec,
+) -> Diamond {
+    let mut sim = Simulator::new(seed);
+    let sender = sim.add_node(Box::new(MtpSenderNode::new(
+        cfg,
+        CLIENT_ADDR,
+        SERVER_ADDR,
+        EntityId(0),
+        1 << 40,
+        schedule,
+    )));
+    // ACKs return via per-packet spray, so a reverse-path cut kills every
+    // other ACK for the whole outage; SACK redundancy lets the survivors
+    // cover for the casualties instead of stranding packets until an RTO.
+    let sink = sim.add_node(Box::new(
+        MtpSinkNode::new(SERVER_ADDR, Duration::from_micros(100)).with_sack_redundancy(8),
+    ));
+    let strategy = Strategy::mtp_lb(2, vec![Some(PATHLET_A), Some(PATHLET_B)]);
+    let (sw1, sw2, links) = build_diamond(
+        &mut sim,
+        sender,
+        sink,
+        strategy,
+        path,
+        LinkSpec::host_default(),
+        true,
+    );
+    Diamond {
+        sim,
+        sender,
+        sink,
+        sw1,
+        sw2,
+        a_fwd: links[0],
+        a_rev: links[1],
+        b_fwd: links[2],
+        b_rev: links[3],
+    }
+}
+
+/// Build the diamond with a TCP sender/sink. The forward fan is fixed on
+/// path A — the deterministic stand-in for ECMP's behaviour, where a flow
+/// hashes onto one path and stays there. That pinning is exactly the
+/// failure-response handicap the study measures: TCP cannot re-steer
+/// mid-flow, so cutting path A stalls it.
+pub fn diamond_tcp(
+    seed: u64,
+    cfg: TcpConfig,
+    mode: TcpWorkloadMode,
+    schedule: Vec<(Time, u64)>,
+    path: LinkSpec,
+) -> Diamond {
+    let mut sim = Simulator::new(seed);
+    let sender = sim.add_node(Box::new(TcpSenderNode::with_addrs(
+        cfg.clone(),
+        mode,
+        100,
+        schedule,
+        CLIENT_ADDR,
+        SERVER_ADDR,
+    )));
+    let sink = sim.add_node(Box::new(TcpSinkNode::new(cfg, Duration::from_micros(100))));
+    let (sw1, sw2, links) = build_diamond(
+        &mut sim,
+        sender,
+        sink,
+        Strategy::Fixed,
+        path,
+        LinkSpec::host_default(),
+        false,
+    );
+    Diamond {
+        sim,
+        sender,
+        sink,
+        sw1,
+        sw2,
+        a_fwd: links[0],
+        a_rev: links[1],
+        b_fwd: links[2],
+        b_rev: links[3],
+    }
+}

@@ -17,7 +17,7 @@ use std::collections::{HashMap, VecDeque};
 
 use mtp_sim::packet::{AppData, Headers, Packet};
 use mtp_sim::time::{Duration, Time};
-use mtp_sim::{Ctx, Node, PortId};
+use mtp_sim::{Ctx, Node, NodeFault, PortId};
 use mtp_wire::{EntityId, MsgId, PktType, TrafficClass};
 
 use mtp_core::{MtpConfig, MtpReceiver, MtpSender};
@@ -38,6 +38,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Reply messages originated by the cache.
     pub replies_sent: u64,
+    /// Crashes survived: each one dropped the request↔reply correlation
+    /// state and abandoned replies in flight.
+    pub crashes: u64,
 }
 
 /// An inline KV cache: client side on port 0, backend side on port 1.
@@ -188,6 +191,20 @@ impl Node for KvCacheNode {
         let mut out = Vec::new();
         self.sender.on_timer(ctx.now(), &mut out);
         self.flush_sender(ctx, out);
+    }
+
+    fn on_fault(&mut self, _ctx: &mut Ctx<'_>, fault: NodeFault) {
+        if fault == NodeFault::Crash {
+            // The hot-key set is control-plane configuration and survives;
+            // everything correlating in-flight requests to replies is
+            // volatile and dies. Clients detect abandoned replies the MTP
+            // way — per-message, with no stream to resynchronize — and
+            // re-issue just those requests.
+            self.stats.crashes += 1;
+            self.pending.clear();
+            self.reply_keys.clear();
+            self.armed = None;
+        }
     }
 
     fn name(&self) -> &str {

@@ -105,6 +105,14 @@ impl IngressPolicy for FairShareEnforcer {
         }
         true
     }
+
+    fn reset(&mut self) {
+        // Device crash: per-entity accounting is volatile. The epoch clock
+        // restarts from the next packet's timestamp via roll_epoch.
+        self.bytes.clear();
+        self.active_prev = 1;
+        self.epoch_end = Time::ZERO;
+    }
 }
 
 #[cfg(test)]

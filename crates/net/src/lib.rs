@@ -43,7 +43,7 @@ pub use compress::{CompressStats, CompressorNode};
 pub use fairshare::FairShareEnforcer;
 pub use proxy::TcpProxyNode;
 pub use replica::{ReplicaLbNode, ReplicaLbStats, ReplicaPolicy};
-pub use routes::{dst_addr, src_addr, StaticRoutes};
+pub use routes::{dst_addr, src_addr, RouteError, StaticRoutes};
 pub use strategies::{conga_decode, conga_pathlet, FanoutForwarder, StaticForwarder, Strategy};
 pub use switch::{
     AdvertiseCfg, Forwarder, IngressPolicy, MarkAllPolicy, Stamp, StampKind, SwitchNode,

@@ -18,7 +18,7 @@
 
 use mtp_sim::packet::{Headers, Packet};
 use mtp_sim::time::Time;
-use mtp_sim::{Ctx, Node, PortId};
+use mtp_sim::{Ctx, Node, NodeFault, PortId};
 use mtp_tcp::{ReceiverConn, SenderConn, TcpConfig};
 
 /// Which side of the proxy a port faces.
@@ -41,6 +41,18 @@ pub struct TcpProxyNode {
     /// Bytes relayed end to end.
     pub relayed: u64,
     armed: Option<Time>,
+    /// Rebuild info for crash/restart: the (post-override) client config,
+    /// server config, and connection ids.
+    client_cfg: TcpConfig,
+    server_cfg: TcpConfig,
+    client_conn: u32,
+    server_conn: u32,
+    /// Crashes survived so far (restarted connections get fresh ids).
+    pub crashes: u64,
+    /// Relay-buffered bytes destroyed by crashes. This is the paper's
+    /// statefulness cost made measurable: a TCP-terminating middlebox that
+    /// dies takes its buffered stream with it.
+    pub crash_lost_bytes: u64,
     name: String,
 }
 
@@ -58,7 +70,7 @@ impl TcpProxyNode {
     ) -> TcpProxyNode {
         client_cfg.recv_buffer = relay_cap;
         let recv = ReceiverConn::new(&client_cfg, client_conn, 2, 1);
-        let send = SenderConn::new(server_cfg, server_conn, 2, 3);
+        let send = SenderConn::new(server_cfg.clone(), server_conn, 2, 3);
         TcpProxyNode {
             recv,
             send,
@@ -66,6 +78,12 @@ impl TcpProxyNode {
             max_buffered: 0,
             relayed: 0,
             armed: None,
+            client_cfg,
+            server_cfg,
+            client_conn,
+            server_conn,
+            crashes: 0,
+            crash_lost_bytes: 0,
             name: "tcp-proxy".to_string(),
         }
     }
@@ -164,6 +182,34 @@ impl Node for TcpProxyNode {
         let mut to_server = Vec::new();
         self.send.on_timer(ctx.now(), &mut to_server);
         self.flush(ctx, Vec::new(), to_server);
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_>, fault: NodeFault) {
+        match fault {
+            NodeFault::Crash => {
+                // The relay buffer and both connections' state are gone.
+                self.crashes += 1;
+                self.crash_lost_bytes += self.buffered_bytes();
+                self.armed = None;
+                self.recv = ReceiverConn::new(&self.client_cfg, self.client_conn, 2, 1);
+                self.send = SenderConn::new(
+                    self.server_cfg.clone(),
+                    // A restarted proxy opens a *new* server-side
+                    // connection; reusing the old id would alias sequence
+                    // spaces.
+                    self.server_conn.wrapping_add(self.crashes as u32),
+                    2,
+                    3,
+                );
+            }
+            NodeFault::Restart => {
+                // Same bring-up path as on_start: open the server-side
+                // connection and re-arm the RTO.
+                let mut to_server = Vec::new();
+                self.send.open(ctx.now(), &mut to_server);
+                self.flush(ctx, Vec::new(), to_server);
+            }
+        }
     }
 
     fn name(&self) -> &str {

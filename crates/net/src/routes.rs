@@ -29,6 +29,26 @@ pub fn src_addr(pkt: &Packet) -> Option<u16> {
     }
 }
 
+/// Why a packet could not be routed. Forwarding elements surface this
+/// instead of silently dropping, so switches can count each cause and the
+/// sim trace records a `NoRoute` event per discarded packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The packet carries no destination address (raw frame).
+    NoAddress,
+    /// No table entry (and no fan group) covers this destination.
+    NoRoute(u16),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NoAddress => write!(f, "packet has no destination address"),
+            RouteError::NoRoute(addr) => write!(f, "no route to host {addr}"),
+        }
+    }
+}
+
 /// A destination-address routing table.
 #[derive(Debug, Clone, Default)]
 pub struct StaticRoutes {
@@ -55,6 +75,14 @@ impl StaticRoutes {
     /// Look up the egress port for a packet's destination.
     pub fn route(&self, pkt: &Packet) -> Option<PortId> {
         dst_addr(pkt).and_then(|a| self.lookup(a))
+    }
+
+    /// Look up the egress port for a packet's destination, distinguishing
+    /// *why* routing failed: an address-less packet vs. a destination the
+    /// table does not cover.
+    pub fn try_route(&self, pkt: &Packet) -> Result<PortId, RouteError> {
+        let addr = dst_addr(pkt).ok_or(RouteError::NoAddress)?;
+        self.lookup(addr).ok_or(RouteError::NoRoute(addr))
     }
 }
 
@@ -100,5 +128,28 @@ mod tests {
         );
         assert_eq!(r.route(&t), Some(PortId(2)));
         assert_eq!(r.lookup(42), None);
+    }
+
+    #[test]
+    fn try_route_distinguishes_failure_causes() {
+        let r = StaticRoutes::new().add(9, PortId(2));
+        let routable = Packet::new(
+            Headers::Tcp(TcpHeader {
+                dst_port: 9,
+                ..TcpHeader::default()
+            }),
+            100,
+        );
+        assert_eq!(r.try_route(&routable), Ok(PortId(2)));
+        let unknown = Packet::new(
+            Headers::Tcp(TcpHeader {
+                dst_port: 42,
+                ..TcpHeader::default()
+            }),
+            100,
+        );
+        assert_eq!(r.try_route(&unknown), Err(RouteError::NoRoute(42)));
+        let raw = Packet::new(Headers::Raw, 100);
+        assert_eq!(r.try_route(&raw), Err(RouteError::NoAddress));
     }
 }

@@ -16,7 +16,7 @@ use mtp_sim::time::{Duration, Time};
 use mtp_sim::{Ctx, PortId};
 use mtp_wire::{MsgId, PathletId, PktType};
 
-use crate::routes::{dst_addr, src_addr, StaticRoutes};
+use crate::routes::{dst_addr, src_addr, RouteError, StaticRoutes};
 use crate::switch::Forwarder;
 
 /// Encode a spine-downlink pathlet id for CONGA-style balancing:
@@ -77,6 +77,12 @@ pub enum Strategy {
         /// zero, and a fixed `min` would herd every new message onto fan
         /// port 0.
         rr: usize,
+        /// Retransmission attempt counts per `(message, byte offset)`,
+        /// for pin-retired messages only: attempt `k` of a packet takes
+        /// the `k`-th allowed port after its hash-spread start, so every
+        /// packet cycles through all surviving paths across repair
+        /// attempts (bounded memory; cleared wholesale when large).
+        retx_seen: HashMap<(MsgId, u32), u32>,
     },
     /// CONGA-style fabric-aware balancing, realized entirely through MTP's
     /// own feedback machinery: spines stamp their per-destination-leaf
@@ -147,6 +153,7 @@ impl Strategy {
             pathlets,
             commit_cap,
             rr: 0,
+            retx_seen: HashMap::new(),
         }
     }
 }
@@ -298,6 +305,7 @@ impl FanoutForwarder {
                 pathlets,
                 commit_cap,
                 rr,
+                retx_seen,
             } => {
                 let Headers::Mtp(hdr) = &pkt.headers else {
                     // Non-MTP traffic cannot be message-balanced; spray by
@@ -311,19 +319,96 @@ impl FanoutForwarder {
                         .expect("non-empty fan");
                 }
                 let payload = hdr.pkt_len as u64;
-                if hdr.is_retx() && !pins.contains_key(&hdr.msg_id) {
-                    // A retransmission of a message whose pin has already
-                    // retired: route it by instantaneous load WITHOUT
-                    // re-pinning — re-committing the message's full length
-                    // here would permanently inflate the committed counter
-                    // (the original bytes already traversed a path).
-                    return (0..n)
-                        .min_by_key(|&i| ctx.egress_len_bytes(self.fan[i]) as u64 + committed[i])
-                        .expect("non-empty fan");
+                if hdr.is_retx() {
+                    // Retransmissions are routed for *repair*, not for
+                    // ordering: the pin's no-reordering guarantee matters
+                    // for fresh data, while a repair copy plugs a SACK
+                    // hole wherever it lands. Routing repairs by pin or by
+                    // lightest queue can both blackhole them — a pin may
+                    // sit on a path that died before the sender ever
+                    // learned its pathlet id (so no exclusion will ever
+                    // name it), and a failed path's queue reads empty, so
+                    // load-chasing herds every repair copy onto the very
+                    // path that just lost them. A shared round-robin
+                    // aliases too: go-back-N resends a fixed batch in a
+                    // fixed order, so whenever the batch size divides the
+                    // fan width every round repeats the same port
+                    // assignment and a packet can ride a dead path
+                    // forever. Instead, attempt `k` of a given (message,
+                    // offset) takes the `k`-th allowed port after its
+                    // hash-spread start — each packet provably visits
+                    // every surviving path within |fan| repair attempts,
+                    // even before the sender can name the failed pathlet
+                    // in its exclusions.
+                    if let Entry::Occupied(mut e) = pins.entry(hdr.msg_id) {
+                        // The repair copy still advances the pin's
+                        // bookkeeping (the message is progressing), even
+                        // though it takes its own port; re-committing the
+                        // full length would permanently inflate the
+                        // committed counter.
+                        let pin = e.get_mut();
+                        let at = pin.fan_idx;
+                        pin.remaining = pin.remaining.saturating_sub(payload);
+                        committed[at] = committed[at].saturating_sub(payload);
+                        if pin.remaining == 0 {
+                            e.remove();
+                        }
+                    }
+                    let excluded: Vec<PathletId> =
+                        hdr.path_exclude.iter().map(|x| x.path).collect();
+                    let allowed: Vec<usize> = (0..n)
+                        .filter(|&i| match pathlets[i] {
+                            Some(p) => !excluded.contains(&p),
+                            None => true,
+                        })
+                        .collect();
+                    // Everything excluded: ignore exclusions rather than
+                    // blackholing.
+                    let pool: Vec<usize> = if allowed.is_empty() {
+                        (0..n).collect()
+                    } else {
+                        allowed
+                    };
+                    if retx_seen.len() > 4096 {
+                        retx_seen.clear();
+                    }
+                    let attempt = retx_seen.entry((hdr.msg_id, hdr.pkt_offset)).or_insert(0);
+                    let spread = (hdr.msg_id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ u64::from(hdr.pkt_offset))
+                        >> 32;
+                    let idx = pool[(spread as usize + *attempt as usize) % pool.len()];
+                    *attempt = attempt.wrapping_add(1);
+                    return idx;
                 }
                 match pins.entry(hdr.msg_id) {
                     Entry::Occupied(mut e) => {
                         let pin = e.get_mut();
+                        // A pin on a pathlet the sender has since excluded
+                        // migrates to the best surviving path: riding out
+                        // the pin would blackhole the rest of the message,
+                        // and per-packet SACKs make the resulting
+                        // reordering harmless. The outstanding commitment
+                        // moves with the pin.
+                        if let Some(p) = pathlets[pin.fan_idx] {
+                            if hdr.path_exclude.iter().any(|x| x.path == p) {
+                                let score = |i: usize| {
+                                    ctx.egress_len_bytes(self.fan[i]) as u64 + committed[i]
+                                };
+                                let alive = (0..n)
+                                    .filter(|&i| match pathlets[i] {
+                                        Some(q) => !hdr.path_exclude.iter().any(|x| x.path == q),
+                                        None => true,
+                                    })
+                                    .min_by_key(|&i| score(i));
+                                if let Some(new_idx) = alive {
+                                    let mv = pin.remaining.min(*commit_cap);
+                                    committed[pin.fan_idx] =
+                                        committed[pin.fan_idx].saturating_sub(mv);
+                                    committed[new_idx] += mv;
+                                    pin.fan_idx = new_idx;
+                                }
+                            }
+                        }
                         let idx = pin.fan_idx;
                         pin.remaining = pin.remaining.saturating_sub(payload);
                         committed[idx] = committed[idx].saturating_sub(payload);
@@ -378,16 +463,53 @@ impl FanoutForwarder {
 }
 
 impl Forwarder for FanoutForwarder {
-    fn route(&mut self, ctx: &mut Ctx<'_>, _in_port: PortId, pkt: &Packet) -> Option<PortId> {
+    fn route(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> Result<PortId, RouteError> {
         self.observe(pkt, ctx.now());
-        if let Some(port) = self.routes.route(pkt) {
-            return Some(port);
-        }
-        if self.fan.is_empty() {
-            return None;
+        match self.routes.try_route(pkt) {
+            Ok(port) => return Ok(port),
+            // Fan traffic needs no static entry; only a total miss with an
+            // empty fan group is an error.
+            Err(err) if self.fan.is_empty() => return Err(err),
+            Err(_) => {}
         }
         let idx = self.fan_index(ctx, pkt, ctx.now());
-        Some(self.fan[idx])
+        Ok(self.fan[idx])
+    }
+
+    fn reset(&mut self) {
+        match &mut self.strategy {
+            Strategy::MtpMessageLb {
+                pins,
+                committed,
+                rr,
+                retx_seen,
+                ..
+            } => {
+                pins.clear();
+                committed.iter_mut().for_each(|c| *c = 0);
+                *rr = 0;
+                retx_seen.clear();
+            }
+            Strategy::CongaLb {
+                pins,
+                committed,
+                remote,
+                rr,
+                ..
+            } => {
+                pins.clear();
+                committed.iter_mut().for_each(|c| *c = 0);
+                remote.clear();
+                *rr = 0;
+            }
+            Strategy::Spray { next } => *next = 0,
+            Strategy::Fixed | Strategy::Ecmp | Strategy::Alternate { .. } => {}
+        }
     }
 }
 
@@ -395,7 +517,12 @@ impl Forwarder for FanoutForwarder {
 pub struct StaticForwarder(pub StaticRoutes);
 
 impl Forwarder for StaticForwarder {
-    fn route(&mut self, _ctx: &mut Ctx<'_>, _in_port: PortId, pkt: &Packet) -> Option<PortId> {
-        self.0.route(pkt)
+    fn route(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        _in_port: PortId,
+        pkt: &Packet,
+    ) -> Result<PortId, RouteError> {
+        self.0.try_route(pkt)
     }
 }

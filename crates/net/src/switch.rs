@@ -16,13 +16,27 @@ use std::collections::HashMap;
 
 use mtp_sim::packet::Packet;
 use mtp_sim::time::Time;
-use mtp_sim::{Ctx, Node, PortId};
+use mtp_sim::{Ctx, Node, NodeFault, PortId};
 use mtp_wire::{EcnCodepoint, Feedback, PathFeedback, PathletId, PktType, TrafficClass};
+
+use crate::routes::RouteError;
 
 /// Chooses the egress port for each packet.
 pub trait Forwarder {
-    /// Return the egress port, or `None` to drop the packet (no route).
-    fn route(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, pkt: &Packet) -> Option<PortId>;
+    /// Return the egress port, or a structured [`RouteError`] naming why the
+    /// packet is undeliverable (the switch counts each cause and traces the
+    /// discard).
+    fn route(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        in_port: PortId,
+        pkt: &Packet,
+    ) -> Result<PortId, RouteError>;
+
+    /// Drop volatile forwarding state (message pins, committed-byte
+    /// accounting, snooped congestion) on a device crash. Static route
+    /// tables are configuration, not volatile state, and survive.
+    fn reset(&mut self) {}
 }
 
 /// What a stamp writes into passing MTP data packets.
@@ -145,6 +159,10 @@ impl Stamp {
 pub trait IngressPolicy {
     /// Inspect (and possibly mark) a packet; return `false` to drop it.
     fn admit(&mut self, now: Time, pkt: &mut Packet) -> bool;
+
+    /// Drop volatile accounting (per-entity usage, epoch state) on a
+    /// device crash.
+    fn reset(&mut self) {}
 }
 
 /// Per-switch counters.
@@ -154,6 +172,8 @@ pub struct SwitchStats {
     pub forwarded: u64,
     /// Packets dropped for lack of a route.
     pub no_route: u64,
+    /// Packets dropped because they carry no destination address.
+    pub no_address: u64,
     /// Packets dropped by the ingress policy.
     pub policy_dropped: u64,
     /// Packets CE-marked by the ingress policy.
@@ -261,8 +281,10 @@ impl Node for SwitchNode {
             let wire = hdr.wire_len() as u32;
             let pkt =
                 Packet::new(mtp_sim::Headers::Mtp(mtp_sim::pool::boxed(hdr)), wire).without_ect();
-            if let Some(out) = self.forwarder.route(ctx, PortId(usize::MAX >> 1), &pkt) {
+            if let Ok(out) = self.forwarder.route(ctx, PortId(usize::MAX >> 1), &pkt) {
                 ctx.send(out, pkt);
+            } else {
+                mtp_sim::pool::recycle_packet(pkt);
             }
         }
         ctx.set_timer(interval, 0);
@@ -280,9 +302,17 @@ impl Node for SwitchNode {
                 self.stats.policy_marked += 1;
             }
         }
-        let Some(out_port) = self.forwarder.route(ctx, in_port, &pkt) else {
-            self.stats.no_route += 1;
-            return;
+        let out_port = match self.forwarder.route(ctx, in_port, &pkt) {
+            Ok(port) => port,
+            Err(err) => {
+                match err {
+                    RouteError::NoAddress => self.stats.no_address += 1,
+                    RouteError::NoRoute(_) => self.stats.no_route += 1,
+                }
+                ctx.trace_no_route(&pkt, in_port);
+                mtp_sim::pool::recycle_packet(pkt);
+                return;
+            }
         };
         // Stamp pathlet feedback into MTP data packets leaving this port.
         if let Some(stamp) = self.stamps.get_mut(&out_port) {
@@ -309,6 +339,28 @@ impl Node for SwitchNode {
         }
         self.stats.forwarded += 1;
         ctx.send(out_port, pkt);
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_>, fault: NodeFault) {
+        match fault {
+            NodeFault::Crash => {
+                // Volatile state dies with the device: message pins and
+                // committed-byte accounting in the forwarder, per-entity
+                // usage in the ingress policy. Static routes and stamp
+                // configuration survive (they model control-plane config).
+                self.forwarder.reset();
+                if let Some(policy) = &mut self.policy {
+                    policy.reset();
+                }
+            }
+            NodeFault::Restart => {
+                // The advertisement timer was swallowed while down; re-arm
+                // it so senders re-learn this switch's pathlets.
+                if let Some(cfg) = &self.advertise {
+                    ctx.set_timer(cfg.interval, 0);
+                }
+            }
+        }
     }
 
     fn name(&self) -> &str {

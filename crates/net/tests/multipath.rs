@@ -237,7 +237,7 @@ fn conga_lb_uses_snooped_remote_feedback() {
     }
     impl Node for Harness {
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: PortId, pkt: Packet) {
-            if let Some(port) = mtp_net::Forwarder::route(&mut self.fwd, ctx, PortId(0), &pkt) {
+            if let Ok(port) = mtp_net::Forwarder::route(&mut self.fwd, ctx, PortId(0), &pkt) {
                 self.decisions.push(port);
             }
         }

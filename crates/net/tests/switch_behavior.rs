@@ -150,5 +150,8 @@ fn raw_packets_pass_policies_and_fail_routing_gracefully() {
         sim.node_as::<Capture>(dst).got.is_empty(),
         "raw has no address"
     );
-    assert_eq!(sim.node_as::<SwitchNode>(sw_id).stats.no_route, 1);
+    // The structured route error distinguishes "no address" from "no
+    // table entry".
+    assert_eq!(sim.node_as::<SwitchNode>(sw_id).stats.no_address, 1);
+    assert_eq!(sim.node_as::<SwitchNode>(sw_id).stats.no_route, 0);
 }

@@ -37,6 +37,21 @@ use crate::tracefile::{TraceEvent, TraceKind, TraceRing};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DirLinkId(pub usize);
 
+/// Semantics of an administratively failed link direction (fault
+/// injection). In both modes no newly offered packet is accepted; they
+/// differ in what happens to traffic already inside the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFailMode {
+    /// A hard cut: the egress queue is flushed, and the packet currently
+    /// serializing is destroyed when its transmission slot ends (it never
+    /// reaches the far side). Models fiber cuts and port failures.
+    Blackhole,
+    /// A graceful drain: queued packets and the one in flight finish
+    /// normally; only new admissions are refused. Models administrative
+    /// shutdown.
+    Drain,
+}
+
 /// Static configuration of one link direction.
 pub struct LinkCfg {
     /// Serialization rate.
@@ -82,6 +97,9 @@ pub struct LinkStats {
     pub marked_pkts: u64,
     /// Packets NDP-trimmed by the queue discipline.
     pub trimmed_pkts: u64,
+    /// Packets destroyed by injected faults (link down, queue flush,
+    /// corruption bursts) rather than by the queue discipline.
+    pub faulted_pkts: u64,
     /// High-water mark of the queue length in packets.
     pub max_qlen_pkts: usize,
 }
@@ -95,6 +113,14 @@ struct DirLink {
     src: (NodeId, PortId),
     dst: (NodeId, PortId),
     stats: LinkStats,
+    /// False while administratively failed (fault injection); offered
+    /// packets are destroyed instead of queued.
+    up: bool,
+    /// The in-flight packet was caught by a blackhole cut: destroy it at
+    /// its TxDone instead of delivering it.
+    doomed: bool,
+    /// Corruption burst: destroy this many further offered packets.
+    corrupt_next: u32,
 }
 
 /// Event payload, held in the slab while the event waits in the heap.
@@ -178,7 +204,7 @@ pub struct SimInner {
 }
 
 impl SimInner {
-    fn trace(&mut self, pkt: PacketId, node: NodeId, port: PortId, kind: TraceKind) {
+    pub(crate) fn trace(&mut self, pkt: PacketId, node: NodeId, port: PortId, kind: TraceKind) {
         let now = self.now;
         if let Some(ring) = &mut self.trace {
             ring.push(TraceEvent {
@@ -323,6 +349,18 @@ impl SimInner {
         self.trace(pkt_id, node, port, TraceKind::Offered);
         let link = &mut self.links[dir.0];
         link.stats.offered_pkts += 1;
+        // Fault injection: a downed link destroys every offered packet
+        // (blackhole and drain alike refuse new admissions); a corruption
+        // burst destroys the next `corrupt_next` packets of a healthy link.
+        if !link.up || link.corrupt_next != 0 {
+            if link.up {
+                link.corrupt_next -= 1;
+            }
+            link.stats.faulted_pkts += 1;
+            self.trace(pkt_id, node, port, TraceKind::Dropped);
+            crate::pool::recycle_packet(pkt);
+            return;
+        }
         // Fast path: if the link is idle and the discipline attests that
         // enqueue-then-dequeue would be an observable no-op right now
         // (empty FIFO, no marking, no scheduler state, no randomness),
@@ -379,6 +417,24 @@ impl SimInner {
             .in_flight
             .take()
             .expect("TxDone with nothing in flight");
+        if link.doomed {
+            // The packet was mid-serialization when a blackhole cut took
+            // the link down: it never reaches the far side. The next queued
+            // packet (if the link has been restored and accepted new
+            // traffic since) starts serializing normally.
+            link.doomed = false;
+            link.stats.faulted_pkts += 1;
+            crate::pool::recycle_packet(pkt);
+            if let Some(next) = link.queue.dequeue(now) {
+                let done = now + link.rate.serialize_time(next.wire_len);
+                let nid = next.id;
+                let (src_node, src_port) = link.src;
+                link.in_flight = Some(next);
+                self.push_tx_done(done, dir);
+                self.trace(nid, src_node, src_port, TraceKind::TxStart);
+            }
+            return;
+        }
         link.stats.tx_pkts += 1;
         link.stats.tx_bytes += pkt.wire_len as u64;
         let (src_node, src_port) = link.src;
@@ -397,6 +453,26 @@ impl SimInner {
             self.trace(nid, src_node, src_port, TraceKind::TxStart);
         }
         self.push(arrive, EventKind::Deliver { node, port, pkt });
+    }
+
+    /// Destroy every packet queued on `dir`, counting them as faulted.
+    /// Returns how many were flushed.
+    fn flush_link(&mut self, dir: DirLinkId) -> usize {
+        let now = self.now;
+        let (src_node, src_port) = self.links[dir.0].src;
+        let mut flushed = 0;
+        loop {
+            let link = &mut self.links[dir.0];
+            let Some(pkt) = link.queue.dequeue(now) else {
+                break;
+            };
+            link.stats.faulted_pkts += 1;
+            let id = pkt.id;
+            crate::pool::recycle_packet(pkt);
+            flushed += 1;
+            self.trace(id, src_node, src_port, TraceKind::Dropped);
+        }
+        flushed
     }
 
     pub(crate) fn egress_queue_len(&self, node: NodeId, port: PortId) -> (usize, usize) {
@@ -418,6 +494,11 @@ impl SimInner {
 pub struct Simulator {
     inner: SimInner,
     nodes: Vec<Option<Box<dyn Node>>>,
+    /// False while a node is crashed (fault injection): packets addressed
+    /// to it are destroyed and its timers are swallowed.
+    node_up: Vec<bool>,
+    /// Packets destroyed because their destination node was down.
+    faulted_deliveries: u64,
     started: bool,
 }
 
@@ -441,6 +522,8 @@ impl Simulator {
                 trace: None,
             },
             nodes: Vec::new(),
+            node_up: Vec::new(),
+            faulted_deliveries: 0,
             started: false,
         }
     }
@@ -449,6 +532,7 @@ impl Simulator {
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
+        self.node_up.push(true);
         self.inner
             .egress_spans
             .push((self.inner.egress_table.len() as u32, 0));
@@ -479,6 +563,9 @@ impl Simulator {
             src: (a, pa),
             dst: (b, pb),
             stats: LinkStats::default(),
+            up: true,
+            doomed: false,
+            corrupt_next: 0,
         });
         let id_ba = DirLinkId(self.inner.links.len());
         self.inner.links.push(DirLink {
@@ -489,6 +576,9 @@ impl Simulator {
             src: (b, pb),
             dst: (a, pa),
             stats: LinkStats::default(),
+            up: true,
+            doomed: false,
+            corrupt_next: 0,
         });
         for (node, port, dir) in [(a, pa, id_ab), (b, pb, id_ba)] {
             self.inner.egress_set(node, port, dir);
@@ -544,6 +634,121 @@ impl Simulator {
     pub fn link_queue_len(&self, dir: DirLinkId) -> (usize, usize) {
         let q = &self.inner.links[dir.0].queue;
         (q.len_pkts(), q.len_bytes())
+    }
+
+    // ---- Fault injection -------------------------------------------------
+    //
+    // All of these are harness-level administrative actions (a fault
+    // scheduler applies them between `run_until` segments). They are
+    // deterministic — no randomness, no hidden ordering — and completely
+    // inert when unused: a simulation that never calls them behaves
+    // byte-identically to one built before they existed.
+
+    /// Take one link direction down. [`LinkFailMode::Blackhole`] flushes
+    /// its queue and destroys the packet mid-serialization;
+    /// [`LinkFailMode::Drain`] lets traffic already inside the link finish.
+    /// Either way, newly offered packets are destroyed (counted in
+    /// [`LinkStats::faulted_pkts`]) until [`restore_link`](Self::restore_link).
+    pub fn fail_link(&mut self, dir: DirLinkId, mode: LinkFailMode) {
+        let link = &mut self.inner.links[dir.0];
+        link.up = false;
+        if mode == LinkFailMode::Blackhole {
+            if link.in_flight.is_some() {
+                link.doomed = true;
+            }
+            self.inner.flush_link(dir);
+        }
+    }
+
+    /// Bring a failed link direction back up. The link restarts idle (a
+    /// drain finishes its backlog on its own pump; a blackhole flushed it),
+    /// but any packets still queued are kicked back into service
+    /// defensively so no sequence of faults can strand data.
+    pub fn restore_link(&mut self, dir: DirLinkId) {
+        let now = self.inner.now;
+        let link = &mut self.inner.links[dir.0];
+        link.up = true;
+        if link.in_flight.is_none() {
+            if let Some(next) = link.queue.dequeue(now) {
+                let done = now + link.rate.serialize_time(next.wire_len);
+                let nid = next.id;
+                let (src_node, src_port) = link.src;
+                link.in_flight = Some(next);
+                self.inner.push_tx_done(done, dir);
+                self.inner
+                    .trace(nid, src_node, src_port, TraceKind::TxStart);
+            }
+        }
+    }
+
+    /// True unless the link direction is administratively failed.
+    pub fn link_is_up(&self, dir: DirLinkId) -> bool {
+        self.inner.links[dir.0].up
+    }
+
+    /// Change a link direction's serialization rate (pathlet degradation).
+    /// Applies to future transmissions; the packet currently serializing
+    /// keeps its original completion time.
+    pub fn set_link_rate(&mut self, dir: DirLinkId, rate: Bandwidth) {
+        self.inner.links[dir.0].rate = rate;
+    }
+
+    /// Change a link direction's propagation delay. Applies to packets
+    /// finishing serialization from now on.
+    pub fn set_link_delay(&mut self, dir: DirLinkId, delay: Duration) {
+        self.inner.links[dir.0].delay = delay;
+    }
+
+    /// Destroy the next `pkts` packets offered to this link direction
+    /// (burst corruption on an otherwise healthy link).
+    pub fn corrupt_burst(&mut self, dir: DirLinkId, pkts: u32) {
+        self.inner.links[dir.0].corrupt_next =
+            self.inner.links[dir.0].corrupt_next.saturating_add(pkts);
+    }
+
+    /// Crash a node: its [`Node::on_fault`] hook runs (to flush internal
+    /// state), every packet queued on its egress links is destroyed along
+    /// with the ones mid-serialization, and until
+    /// [`restart_node`](Self::restart_node) all packets addressed to it are
+    /// destroyed on arrival and its timers are swallowed. Idempotent.
+    pub fn crash_node(&mut self, id: NodeId) {
+        if !self.node_up[id.0] {
+            return;
+        }
+        self.with_node(id, |n, ctx| n.on_fault(ctx, crate::node::NodeFault::Crash));
+        self.node_up[id.0] = false;
+        for d in 0..self.inner.links.len() {
+            if self.inner.links[d].src.0 == id {
+                if self.inner.links[d].in_flight.is_some() {
+                    self.inner.links[d].doomed = true;
+                }
+                self.inner.flush_link(DirLinkId(d));
+            }
+        }
+    }
+
+    /// Restart a crashed node. Its [`Node::on_fault`] hook runs with
+    /// [`NodeFault::Restart`](crate::node::NodeFault::Restart) so it can
+    /// re-arm periodic timers lost during the outage. Idempotent.
+    pub fn restart_node(&mut self, id: NodeId) {
+        if self.node_up[id.0] {
+            return;
+        }
+        self.node_up[id.0] = true;
+        self.with_node(id, |n, ctx| {
+            n.on_fault(ctx, crate::node::NodeFault::Restart)
+        });
+    }
+
+    /// True unless the node is currently crashed.
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        self.node_up[id.0]
+    }
+
+    /// Packets destroyed on arrival because their destination node was
+    /// crashed.
+    pub fn faulted_deliveries(&self) -> u64 {
+        self.faulted_deliveries
     }
 
     /// Arm a timer on `node` from harness code (e.g. to start a workload at
@@ -648,6 +853,15 @@ impl Simulator {
         match kind {
             EventKind::Vacant => Some(false),
             EventKind::Deliver { node, port, pkt } => {
+                if !self.node_up[node.0] {
+                    // The destination crashed while this packet was in
+                    // propagation: it arrives at a dead port.
+                    self.faulted_deliveries += 1;
+                    self.inner
+                        .trace(pkt.id, node, port, crate::tracefile::TraceKind::Dropped);
+                    crate::pool::recycle_packet(pkt);
+                    return Some(false);
+                }
                 self.inner.processed += 1;
                 self.inner
                     .trace(pkt.id, node, port, crate::tracefile::TraceKind::Delivered);
@@ -655,6 +869,11 @@ impl Simulator {
                 Some(true)
             }
             EventKind::Timer { node, token, .. } => {
+                if !self.node_up[node.0] {
+                    // Timers of a crashed node are swallowed; on restart
+                    // the node re-arms what it needs in `on_fault`.
+                    return Some(false);
+                }
                 self.inner.processed += 1;
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
                 Some(true)
@@ -1001,5 +1220,240 @@ mod tests {
             sim.node_as::<Catcher>(b).arrivals.clone()
         }
         assert_eq!(run_once(7), run_once(7));
+    }
+
+    /// Echoes every arriving packet back out the arrival port.
+    struct Echo;
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+            ctx.send(port, pkt);
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    fn fault_pair(n: u32) -> (Simulator, NodeId, NodeId, DirLinkId, DirLinkId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Pitcher {
+            target_port: PortId(0),
+            n,
+            size: 1500,
+        }));
+        let b = sim.add_node(Box::new(Catcher::default()));
+        let (ab, ba) = sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(10),
+            Duration::from_micros(1),
+            64,
+        );
+        (sim, a, b, ab, ba)
+    }
+
+    #[test]
+    fn blackhole_destroys_queue_and_in_flight() {
+        // 10 Gbps, 1500 B → 1.2 µs serialization each. Cut at 2 µs: pkt 0
+        // delivered (finished serializing at 1.2 µs), pkt 1 mid-wire is
+        // doomed, pkts 2..8 queued are flushed.
+        let (mut sim, _a, b, ab, _ba) = fault_pair(8);
+        sim.run_until(Time::ZERO + Duration::from_micros(2));
+        sim.fail_link(ab, LinkFailMode::Blackhole);
+        sim.run();
+        assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), 1);
+        // 1 in-flight doomed + 6 flushed = 7 faulted.
+        assert_eq!(sim.link_stats(ab).faulted_pkts, 7);
+        assert!(!sim.link_is_up(ab));
+    }
+
+    #[test]
+    fn drain_finishes_backlog_but_refuses_new_offers() {
+        /// Sends `burst` packets at start, one more per timer firing.
+        struct TimedPitcher {
+            burst: u32,
+        }
+        impl Node for TimedPitcher {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for _ in 0..self.burst {
+                    ctx.send(PortId(0), Packet::new(Headers::Raw, 1500));
+                }
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) {
+                ctx.send(PortId(0), Packet::new(Headers::Raw, 1500));
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(TimedPitcher { burst: 8 }));
+        let b = sim.add_node(Box::new(Catcher::default()));
+        let (ab, _ba) = sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(10),
+            Duration::from_micros(1),
+            64,
+        );
+        sim.run_until(Time::ZERO + Duration::from_micros(2));
+        sim.fail_link(ab, LinkFailMode::Drain);
+        // A fresh offer while draining is destroyed...
+        sim.schedule(sim.now() + Duration::from_micros(1), a, 0);
+        sim.run();
+        // ...while the queued backlog + in-flight packet all complete.
+        assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), 8);
+        assert_eq!(sim.link_stats(ab).faulted_pkts, 1);
+    }
+
+    #[test]
+    fn restore_link_resumes_delivery() {
+        let (mut sim, _a, b, ab, _ba) = fault_pair(4);
+        sim.run_until(Time::ZERO + Duration::from_micros(2));
+        sim.fail_link(ab, LinkFailMode::Blackhole);
+        sim.run_until(Time::ZERO + Duration::from_micros(10));
+        let stranded = sim.node_as::<Catcher>(b).arrivals.len();
+        sim.restore_link(ab);
+        assert!(sim.link_is_up(ab));
+        sim.run();
+        // Nothing new arrives (everything was destroyed), but the link is
+        // usable again — covered end-to-end by the faults crate tests.
+        assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), stranded);
+    }
+
+    #[test]
+    fn corrupt_burst_destroys_next_offers_only() {
+        let (mut sim, _a, b, ab, _ba) = fault_pair(6);
+        sim.corrupt_burst(ab, 2);
+        sim.run();
+        assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), 4);
+        assert_eq!(sim.link_stats(ab).faulted_pkts, 2);
+        assert!(sim.link_is_up(ab), "corruption is not an admin-down");
+    }
+
+    #[test]
+    fn crashed_node_destroys_deliveries_and_swallows_timers() {
+        struct Ticker {
+            fired: u32,
+        }
+        impl Node for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(Duration::from_micros(1), 0);
+            }
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) {
+                self.fired += 1;
+                ctx.set_timer(Duration::from_micros(1), 0);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Pitcher {
+            target_port: PortId(0),
+            n: 4,
+            size: 1500,
+        }));
+        let b = sim.add_node(Box::new(Ticker { fired: 0 }));
+        sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(10),
+            Duration::from_micros(1),
+            64,
+        );
+        sim.run_until(Time::ZERO + Duration::from_nanos(500));
+        sim.crash_node(b);
+        assert!(!sim.node_is_up(b));
+        sim.run_until(Time::ZERO + Duration::from_micros(50));
+        assert_eq!(sim.faulted_deliveries(), 4, "all deliveries destroyed");
+        assert_eq!(sim.node_as::<Ticker>(b).fired, 0, "timers swallowed");
+        sim.restart_node(b);
+        assert!(sim.node_is_up(b));
+        // Restart alone does not resurrect the periodic timer — the node's
+        // on_fault hook is responsible (Ticker has none), so it stays quiet.
+        sim.run_until(Time::ZERO + Duration::from_micros(60));
+        assert_eq!(sim.node_as::<Ticker>(b).fired, 0);
+    }
+
+    #[test]
+    fn node_fault_hooks_fire_on_crash_and_restart() {
+        #[derive(Default)]
+        struct Recorder {
+            faults: Vec<crate::node::NodeFault>,
+        }
+        impl Node for Recorder {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_fault(&mut self, ctx: &mut Ctx<'_>, fault: crate::node::NodeFault) {
+                self.faults.push(fault);
+                if fault == crate::node::NodeFault::Restart {
+                    // Hooks may use the full Ctx, e.g. re-arm timers.
+                    ctx.set_timer(Duration::from_micros(1), 7);
+                }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(Box::new(Recorder::default()));
+        sim.crash_node(n);
+        sim.crash_node(n); // idempotent: second crash is a no-op
+        sim.restart_node(n);
+        sim.restart_node(n); // idempotent
+        use crate::node::NodeFault::{Crash, Restart};
+        assert_eq!(sim.node_as::<Recorder>(n).faults, vec![Crash, Restart]);
+    }
+
+    #[test]
+    fn crash_flushes_crashed_nodes_egress() {
+        // Echo node with a backlog on its return link: crash it mid-stream
+        // and its egress queue + in-flight packet must die with it.
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Pitcher {
+            target_port: PortId(0),
+            n: 8,
+            size: 1500,
+        }));
+        let b = sim.add_node(Box::new(Echo));
+        let (_ab, ba) = sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(10),
+            Duration::from_micros(1),
+            64,
+        );
+        // Let some echoes start flowing back, then crash the echo node.
+        sim.run_until(Time::ZERO + Duration::from_micros(4));
+        sim.crash_node(b);
+        sim.run();
+        let st = sim.link_stats(ba);
+        assert!(st.faulted_pkts > 0, "crashed node's egress flushed");
+        assert_eq!(sim.link_queue_len(ba).0, 0);
+    }
+
+    #[test]
+    fn degradation_changes_apply_to_future_transmissions() {
+        let (mut sim, _a, b, ab, _ba) = fault_pair(2);
+        // Slow the link 10x and add 9 µs of delay before anything runs.
+        sim.set_link_rate(ab, Bandwidth::from_gbps(1));
+        sim.set_link_delay(ab, Duration::from_micros(10));
+        sim.run();
+        let arr = &sim.node_as::<Catcher>(b).arrivals;
+        // 12 µs serialization + 10 µs propagation for the first packet.
+        assert_eq!(arr[0], Time::ZERO + Duration::from_micros(22));
+        assert_eq!(arr[1].since(arr[0]), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn faults_are_inert_when_unused() {
+        // A run that never touches the fault API must be identical to the
+        // pre-fault engine: counters zero, deliveries complete.
+        let (mut sim, _a, b, ab, ba) = fault_pair(5);
+        sim.run();
+        assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), 5);
+        assert_eq!(sim.link_stats(ab).faulted_pkts, 0);
+        assert_eq!(sim.link_stats(ba).faulted_pkts, 0);
+        assert_eq!(sim.faulted_deliveries(), 0);
     }
 }

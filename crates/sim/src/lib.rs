@@ -66,9 +66,9 @@ pub mod time;
 pub mod trace;
 pub mod tracefile;
 
-pub use engine::{DirLinkId, LinkCfg, LinkStats, Simulator};
-pub use loss::{LossyQueue, ReorderQueue};
-pub use node::{Ctx, Node, NodeId, PortId, TimerId};
+pub use engine::{DirLinkId, LinkCfg, LinkFailMode, LinkStats, Simulator};
+pub use loss::{stream_seed, LossyQueue, ReorderQueue};
+pub use node::{Ctx, Node, NodeFault, NodeId, PortId, TimerId};
 pub use packet::{AppData, Headers, Packet, PacketId};
 pub use queue::{
     Classifier, DropTailQueue, DrrQueue, EcnQueue, EnqueueVerdict, PriorityQueue, Qdisc, SfqQueue,

@@ -26,6 +26,22 @@ pub struct PortId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(pub u64);
 
+/// Administrative fault transitions delivered to [`Node::on_fault`].
+///
+/// A crash means the device loses all volatile state: forwarding caches,
+/// policy accounting, buffered segments. While crashed, the simulator
+/// destroys packets addressed to the node and swallows its timers, so the
+/// hook only needs to reset in-memory structures. On restart the node must
+/// re-arm any periodic timers it relies on (they were swallowed during the
+/// outage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The device is going down; drop volatile state.
+    Crash,
+    /// The device is coming back up; re-initialize and re-arm timers.
+    Restart,
+}
+
 /// A participant in the simulation.
 ///
 /// `Any` is a supertrait so harness code can downcast a finished node back
@@ -44,6 +60,13 @@ pub trait Node: Any {
     /// Endpoints typically arm their first send here.
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let _ = ctx;
+    }
+
+    /// An administrative fault (crash or restart) was applied to this node
+    /// by a fault scheduler. Default: ignore — a node with no volatile
+    /// network state needs no handling.
+    fn on_fault(&mut self, ctx: &mut Ctx<'_>, fault: NodeFault) {
+        let _ = (ctx, fault);
     }
 
     /// Human-readable name for traces.
@@ -121,5 +144,17 @@ impl Ctx<'_> {
     /// Deterministic per-simulation random source.
     pub fn rng(&mut self) -> &mut rand::rngs::SmallRng {
         &mut self.inner.rng
+    }
+
+    /// Record a [`TraceKind::NoRoute`](crate::tracefile::TraceKind::NoRoute)
+    /// event: this node is discarding `pkt` because no forwarding entry
+    /// covers it. `in_port` is where the packet arrived.
+    pub fn trace_no_route(&mut self, pkt: &Packet, in_port: PortId) {
+        self.inner.trace(
+            pkt.id,
+            self.node,
+            in_port,
+            crate::tracefile::TraceKind::NoRoute,
+        );
     }
 }

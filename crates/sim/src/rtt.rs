@@ -64,6 +64,17 @@ impl RttEstimator {
     pub fn on_timeout(&mut self) {
         self.backoff = self.backoff.saturating_add(1);
     }
+
+    /// Clear the exponential backoff on forward progress. Karn's rule
+    /// forbids *sampling* retransmitted segments, but an ACK that newly
+    /// acknowledges data — retransmitted or not — proves the path is
+    /// delivering, so the doubled RTO no longer serves a purpose. Without
+    /// this, a sender whose traffic becomes all-retransmissions (e.g.
+    /// repairing through a path failure) never takes another sample and
+    /// stays pinned at the backoff cap.
+    pub fn on_progress(&mut self) {
+        self.backoff = 0;
+    }
 }
 
 #[cfg(test)]

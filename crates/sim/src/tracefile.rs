@@ -31,6 +31,9 @@ pub enum TraceKind {
     TxStart,
     /// The packet arrived at a node.
     Delivered,
+    /// A forwarding element had no route for the packet's destination and
+    /// discarded it (see `RouteError` in `mtp-net`).
+    NoRoute,
 }
 
 /// One trace record.

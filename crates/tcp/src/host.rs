@@ -167,6 +167,14 @@ impl TcpSenderNode {
         self.conns.values().map(|c| c.stats.retransmissions).sum()
     }
 
+    /// Sum of retransmission timeouts across live connections. Under a
+    /// path failure this is the fault signature of a pinned flow: RTOs
+    /// accumulate for the whole outage because the sender has no way to
+    /// move the flow to a surviving path.
+    pub fn timeouts(&self) -> u64 {
+        self.conns.values().map(|c| c.stats.timeouts).sum()
+    }
+
     /// Borrow the persistent connection (mode `Persistent`, once started).
     pub fn persistent_conn(&self) -> Option<&SenderConn> {
         match self.mode {
