@@ -75,7 +75,7 @@ fn run_dctcp(separate_queues: bool) -> (f64, f64) {
             Headers::Tcp(h) => usize::from(h.src_port != 1),
             Headers::Mtp(h) => usize::from(h.src_port != 1),
             Headers::Bridged { tcp, .. } => usize::from(tcp.src_port != 1),
-            Headers::Raw => 0,
+            Headers::Raw | Headers::Mangled { .. } => 0,
         });
         Some(Box::new(DrrQueue::new(2, 256, 1500, Some(40), classify)))
     } else {

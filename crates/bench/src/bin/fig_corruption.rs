@@ -1,0 +1,302 @@
+//! Corruption study — message integrity through seeded bit-flip storms.
+//!
+//! A transport for in-network computing must assume the fabric *damages*
+//! frames, not just drops them: every hop that parses or rewrites a
+//! header is a place where a flipped bit becomes a mis-routed or
+//! mis-reassembled message. The wire integrity layer (header CRC +
+//! payload checksum trailer) plus hardened receive paths turn corruption
+//! back into loss: damaged frames are detected at the first hop that
+//! would have trusted them, counted, and dropped, and ordinary
+//! retransmission repairs the stream.
+//!
+//! The experiment: the diamond topology under a corruption storm — a
+//! steady seeded bit-flip rate on *both* forward paths (so failover
+//! cannot sidestep the damage), a bit-flip burst on a reverse path, and a
+//! truncation burst — while a steady message workload runs. For every
+//! contender the run must satisfy two ledgers:
+//!
+//!   1. exactly-once delivery: every message completes, byte totals
+//!      match, nothing is duplicated (MTP asserts the full message
+//!      ledger; TCP asserts completion + in-order byte count), and
+//!   2. corruption accounting: the per-device `malformed` counters plus
+//!      frames destroyed in-engine sum to *exactly* the number of frames
+//!      the links damaged — no corrupted frame is silently accepted.
+//!
+//! The whole run is repeated and the two JSON payloads compared
+//! byte-for-byte to demonstrate the corruption pipeline is deterministic.
+
+use mtp_bench::{write_json, ExperimentRecord};
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_faults::{diamond_mtp, diamond_tcp, Diamond, FaultDriver, FaultSchedule, Ledger, LinkSpec};
+use mtp_net::SwitchNode;
+use mtp_sim::time::{Duration, Time};
+use mtp_tcp::{TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
+use serde::Serialize;
+
+const SEED: u64 = 23;
+const N_MSGS: u64 = 40;
+const MSG_BYTES: u64 = 30_000;
+const SUBMIT_EVERY_US: u64 = 50;
+/// Steady corruption armed over [RATE_ON_US, RATE_OFF_US) on both forward
+/// paths, packets-per-million and bit flips per damaged frame.
+const RATE_ON_US: u64 = 100;
+const RATE_OFF_US: u64 = 3_000;
+const RATE_PPM: u32 = 40_000;
+const RATE_FLIPS: u8 = 2;
+const HORIZON_US: u64 = 60_000;
+
+fn us(n: u64) -> Time {
+    Time::ZERO + Duration::from_micros(n)
+}
+
+/// Where each damaged frame was caught.
+#[derive(Serialize, PartialEq, Clone)]
+struct Detected {
+    sender: u64,
+    sink: u64,
+    sw1: u64,
+    sw2: u64,
+    /// Damaged frames recycled in-engine (queue overflow, doomed tx)
+    /// before any device could inspect them.
+    destroyed: u64,
+}
+
+#[derive(Serialize, PartialEq, Clone)]
+struct Contender {
+    name: &'static str,
+    completed: usize,
+    p50_us: f64,
+    p99_us: f64,
+    /// Frames damaged in flight across all four path links.
+    corrupted_frames: u64,
+    detected: Detected,
+    timeouts: u64,
+    retransmissions: u64,
+}
+
+#[derive(Serialize, PartialEq, Clone)]
+struct CorruptionData {
+    seed: u64,
+    n_msgs: u64,
+    msg_bytes: u64,
+    rate_ppm: u32,
+    rate_flips: u8,
+    rate_window_us: (u64, u64),
+    contenders: Vec<Contender>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// The shared corruption script. Steady damage on both forward paths (so
+/// endpoint failover cannot dodge the storm by quarantining one pathlet),
+/// a bit-flip burst on the A reverse path (damaged ACKs), and a
+/// truncation burst on the B forward path.
+fn storm(d: &Diamond) -> FaultSchedule {
+    let mut sched = FaultSchedule::new();
+    sched.corrupt_rate(us(RATE_ON_US), d.a_fwd, RATE_PPM, RATE_FLIPS, SEED ^ 0xA);
+    sched.corrupt_rate(us(RATE_ON_US), d.b_fwd, RATE_PPM, RATE_FLIPS, SEED ^ 0xB);
+    sched.corrupt_rate(us(RATE_OFF_US), d.a_fwd, 0, 0, 0);
+    sched.corrupt_rate(us(RATE_OFF_US), d.b_fwd, 0, 0, 0);
+    sched.bitflip_burst(us(400), d.a_rev, 12, 2, SEED ^ 0xC);
+    sched.truncate_burst(us(900), d.b_fwd, 8, SEED ^ 0xD);
+    sched
+}
+
+/// Frames damaged in flight, summed over all four path links.
+fn corrupted_frames(d: &Diamond) -> u64 {
+    [d.a_fwd, d.a_rev, d.b_fwd, d.b_rev]
+        .iter()
+        .map(|&l| d.sim.link_stats(l).corrupted_pkts)
+        .sum()
+}
+
+/// The corruption ledger: every damaged frame was either rejected by a
+/// hardened device or destroyed in-engine — none was silently accepted.
+fn audit(name: &str, corrupted: u64, det: &Detected) {
+    assert!(corrupted > 0, "[{name}] the storm never damaged a frame");
+    let caught = det.sender + det.sink + det.sw1 + det.sw2 + det.destroyed;
+    assert_eq!(
+        caught, corrupted,
+        "[{name}] corruption ledger out of balance: {caught} accounted for, {corrupted} damaged"
+    );
+}
+
+fn summarize(
+    name: &'static str,
+    records: impl Iterator<Item = (Time, Option<Time>)>,
+    corrupted_frames: u64,
+    detected: Detected,
+    timeouts: u64,
+    retransmissions: u64,
+) -> Contender {
+    let mut mcts = Vec::new();
+    let mut completed = 0usize;
+    for (submitted, done) in records {
+        if let Some(t) = done {
+            completed += 1;
+            mcts.push(t.since(submitted).as_micros_f64());
+        }
+    }
+    mcts.sort_by(f64::total_cmp);
+    audit(name, corrupted_frames, &detected);
+    Contender {
+        name,
+        completed,
+        p50_us: percentile(&mcts, 0.50),
+        p99_us: percentile(&mcts, 0.99),
+        corrupted_frames,
+        detected,
+        timeouts,
+        retransmissions,
+    }
+}
+
+fn run_mtp() -> Contender {
+    let schedule: Vec<ScheduledMsg> = (0..N_MSGS)
+        .map(|i| ScheduledMsg::new(us(SUBMIT_EVERY_US * i), MSG_BYTES as u32))
+        .collect();
+    let mut d = diamond_mtp(
+        SEED,
+        MtpConfig::default().with_failover(),
+        schedule,
+        LinkSpec::path_default(),
+    );
+    let mut drv = FaultDriver::new(storm(&d));
+    drv.run_until(&mut d.sim, us(HORIZON_US));
+    // Exactly-once under the storm: every message delivered once, byte
+    // totals consistent, nothing duplicated by retransmission.
+    Ledger::capture(&d.sim, d.sender, d.sink).assert_exactly_once("fig_corruption/mtp");
+    let corrupted = corrupted_frames(&d);
+    let detected = Detected {
+        sender: d.sim.node_as::<MtpSenderNode>(d.sender).malformed,
+        sink: d.sim.node_as::<MtpSinkNode>(d.sink).malformed,
+        sw1: d.sim.node_as::<SwitchNode>(d.sw1).stats.malformed,
+        sw2: d.sim.node_as::<SwitchNode>(d.sw2).stats.malformed,
+        destroyed: d.sim.corrupted_destroyed(),
+    };
+    let snd = d.sim.node_as::<MtpSenderNode>(d.sender);
+    let stats = &snd.sender.stats;
+    summarize(
+        "mtp",
+        snd.msgs.iter().map(|m| (m.submitted, m.completed)),
+        corrupted,
+        detected,
+        stats.timeouts,
+        stats.retransmissions,
+    )
+}
+
+fn run_tcp(name: &'static str, cfg: TcpConfig) -> Contender {
+    let schedule: Vec<(Time, u64)> = (0..N_MSGS)
+        .map(|i| (us(SUBMIT_EVERY_US * i), MSG_BYTES))
+        .collect();
+    let mut d = diamond_tcp(
+        SEED,
+        cfg,
+        TcpWorkloadMode::Persistent,
+        schedule,
+        LinkSpec::path_default(),
+    );
+    let mut drv = FaultDriver::new(storm(&d));
+    drv.run_until(&mut d.sim, us(HORIZON_US));
+    let corrupted = corrupted_frames(&d);
+    let detected = Detected {
+        sender: d.sim.node_as::<TcpSenderNode>(d.sender).malformed,
+        sink: d.sim.node_as::<TcpSinkNode>(d.sink).malformed,
+        sw1: d.sim.node_as::<SwitchNode>(d.sw1).stats.malformed,
+        sw2: d.sim.node_as::<SwitchNode>(d.sw2).stats.malformed,
+        destroyed: d.sim.corrupted_destroyed(),
+    };
+    let snd = d.sim.node_as::<TcpSenderNode>(d.sender);
+    assert!(snd.all_done(), "[{name}] transfer never completed");
+    summarize(
+        name,
+        snd.msgs.iter().map(|m| (m.submitted, m.completed)),
+        corrupted,
+        detected,
+        snd.timeouts(),
+        snd.retransmissions(),
+    )
+}
+
+fn run_all() -> CorruptionData {
+    CorruptionData {
+        seed: SEED,
+        n_msgs: N_MSGS,
+        msg_bytes: MSG_BYTES,
+        rate_ppm: RATE_PPM,
+        rate_flips: RATE_FLIPS,
+        rate_window_us: (RATE_ON_US, RATE_OFF_US),
+        contenders: vec![
+            run_mtp(),
+            run_tcp("tcp-newreno", TcpConfig::default()),
+            run_tcp("tcp-dctcp", TcpConfig::dctcp()),
+        ],
+    }
+}
+
+fn main() {
+    let data = run_all();
+
+    // Determinism gate: the entire pipeline — workload, seeded corruption,
+    // detection, recovery, measurement — replayed from the same seed must
+    // produce a byte-identical payload.
+    let replay = run_all();
+    let a = serde_json::to_string(&data).expect("serialize");
+    let b = serde_json::to_string(&replay).expect("serialize");
+    assert_eq!(
+        a, b,
+        "fig_corruption replay diverged: corruption pipeline is nondeterministic"
+    );
+
+    println!("Corruption study: {RATE_PPM} ppm / {RATE_FLIPS}-bit flips on both forward paths");
+    println!("over [{RATE_ON_US} us, {RATE_OFF_US} us), plus ACK bit-flip and truncation bursts;");
+    println!("{N_MSGS} messages of {MSG_BYTES} B submitted every {SUBMIT_EVERY_US} us\n");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>24} {:>9} {:>7}",
+        "contender",
+        "completed",
+        "p50 (us)",
+        "p99 (us)",
+        "corrupted",
+        "caught (snd/sink/sw/destr)",
+        "timeouts",
+        "retx"
+    );
+    for c in &data.contenders {
+        println!(
+            "{:>12} {:>10} {:>10.0} {:>10.0} {:>10} {:>24} {:>9} {:>7}",
+            c.name,
+            c.completed,
+            c.p50_us,
+            c.p99_us,
+            c.corrupted_frames,
+            format!(
+                "{}/{}/{}/{}",
+                c.detected.sender,
+                c.detected.sink,
+                c.detected.sw1 + c.detected.sw2,
+                c.detected.destroyed
+            ),
+            c.timeouts,
+            c.retransmissions
+        );
+    }
+    println!("\nreplay check: byte-identical (deterministic)");
+
+    let path = write_json(&ExperimentRecord {
+        id: "corruption",
+        paper_claim: "in-network computing exposes transports to frame damage at every \
+                      parsing hop; with a wire integrity layer and hardened receive paths, \
+                      corruption degrades to ordinary loss — every damaged frame is detected \
+                      and counted, every message is still delivered exactly once",
+        data,
+    });
+    println!("wrote {}", path.display());
+}

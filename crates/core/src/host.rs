@@ -76,6 +76,8 @@ pub struct MtpSenderNode {
     armed: Option<Time>,
     /// Closed loop: submit message i+1 when message i completes.
     closed_loop: bool,
+    /// Packets rejected by the wire-integrity check (corrupted in flight).
+    pub malformed: u64,
     name: String,
     /// Reusable buffers for packets, events, and completed indices; taken
     /// and restored around each callback so steady state never allocates.
@@ -111,6 +113,7 @@ impl MtpSenderNode {
             msg_index: Vec::new(),
             armed: None,
             closed_loop: false,
+            malformed: 0,
             name: format!("mtp-sender-{addr}"),
             out_buf: Vec::new(),
             ev_buf: Vec::new(),
@@ -210,7 +213,16 @@ impl Node for MtpSenderNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, mut pkt: Packet) {
+        // Verify wire integrity before trusting a single header field; a
+        // corrupted ACK could otherwise poison the window or complete the
+        // wrong message.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() {
+            self.malformed += 1;
+            ctx.trace_malformed(&pkt, _port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let Headers::Mtp(hdr) = pkt.headers else {
             return;
         };
@@ -266,6 +278,10 @@ pub struct MtpSinkNode {
     pub goodput: BinSeries,
     /// Every delivered message, in completion order.
     pub delivered: Vec<MsgDelivered>,
+    /// Packets rejected by the wire-integrity check: unverifiable headers,
+    /// plus data packets whose payload checksum failed (dropped without an
+    /// ACK, so the sender retransmits them like any loss).
+    pub malformed: u64,
     name: String,
 }
 
@@ -276,6 +292,7 @@ impl MtpSinkNode {
             receiver: MtpReceiver::new(addr),
             goodput: BinSeries::new(bin),
             delivered: Vec::new(),
+            malformed: 0,
             name: format!("mtp-sink-{addr}"),
         }
     }
@@ -294,7 +311,17 @@ impl MtpSinkNode {
 }
 
 impl Node for MtpSinkNode {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, mut pkt: Packet) {
+        // Integrity first: an unverifiable header is counted and dropped;
+        // a verified header whose payload checksum failed is equally
+        // unusable — dropping it without an ACK turns wire corruption
+        // into an ordinary loss the sender already knows how to repair.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() || pkt.payload_dirty {
+            self.malformed += 1;
+            ctx.trace_malformed(&pkt, _port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let ecn = pkt.ecn;
         let Headers::Mtp(hdr) = pkt.headers else {
             return;

@@ -91,6 +91,34 @@ fn apply(sim: &mut Simulator, kind: &FaultKind) -> String {
             sim.corrupt_burst(link, pkts);
             format!("link {} corrupting next {pkts} pkts", link.0)
         }
+        FaultKind::BitflipBurst {
+            link,
+            pkts,
+            flips,
+            seed,
+        } => {
+            sim.bitflip_burst(link, pkts, flips, seed);
+            format!(
+                "link {} bit-flipping next {pkts} pkts ({flips} flips, seed {seed})",
+                link.0
+            )
+        }
+        FaultKind::TruncateBurst { link, pkts, seed } => {
+            sim.truncate_burst(link, pkts, seed);
+            format!("link {} truncating next {pkts} pkts (seed {seed})", link.0)
+        }
+        FaultKind::CorruptRate {
+            link,
+            ppm,
+            flips,
+            seed,
+        } => {
+            sim.set_corrupt_rate(link, ppm, flips, seed);
+            format!(
+                "link {} corrupt rate -> {ppm} ppm ({flips} flips, seed {seed})",
+                link.0
+            )
+        }
         FaultKind::NodeCrash { node } => {
             sim.crash_node(node);
             format!("node {} crash", node.0)

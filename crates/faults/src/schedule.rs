@@ -50,6 +50,44 @@ pub enum FaultKind {
         /// How many future offers to destroy.
         pkts: u32,
     },
+    /// Flip `flips` random bits in each of the next `pkts` corruptible
+    /// packets on a link direction and **deliver the damaged frames**
+    /// (unlike [`CorruptBurst`](Self::CorruptBurst), which destroys).
+    /// Receivers must detect and reject them via wire integrity checks.
+    BitflipBurst {
+        /// The affected link direction.
+        link: DirLinkId,
+        /// How many future corruptible offers to damage.
+        pkts: u32,
+        /// Bits flipped per packet (keep `<= 3` for guaranteed
+        /// header-CRC detection, i.e. exact corruption accounting).
+        flips: u8,
+        /// Seed for the per-link damage RNG (replays byte-identically).
+        seed: u64,
+    },
+    /// Truncate each of the next `pkts` corruptible packets on a link
+    /// direction at a random cut and deliver the shortened frame.
+    TruncateBurst {
+        /// The affected link direction.
+        link: DirLinkId,
+        /// How many future corruptible offers to truncate.
+        pkts: u32,
+        /// Seed for the per-link cut-point RNG.
+        seed: u64,
+    },
+    /// Arm a steady-state bit-flip rate on a link direction: each
+    /// corruptible packet is damaged independently with probability
+    /// `ppm` per million. `ppm = 0` disarms.
+    CorruptRate {
+        /// The affected link direction.
+        link: DirLinkId,
+        /// Corruption probability in packets per million.
+        ppm: u32,
+        /// Bits flipped per selected packet.
+        flips: u8,
+        /// Seed for the per-link selection/damage RNG.
+        seed: u64,
+    },
     /// Crash a node: volatile state reset via its fault hook, pending
     /// deliveries destroyed, timers swallowed, egress flushed.
     NodeCrash {
@@ -155,6 +193,54 @@ impl FaultSchedule {
     /// Destroy the next `pkts` offers to a link direction, starting at `at`.
     pub fn corrupt_burst(&mut self, at: Time, link: DirLinkId, pkts: u32) -> &mut Self {
         self.push(at, FaultKind::CorruptBurst { link, pkts })
+    }
+
+    /// Flip `flips` bits in each of the next `pkts` corruptible packets
+    /// on a link direction, starting at `at`, delivering the damage.
+    pub fn bitflip_burst(
+        &mut self,
+        at: Time,
+        link: DirLinkId,
+        pkts: u32,
+        flips: u8,
+        seed: u64,
+    ) -> &mut Self {
+        self.push(
+            at,
+            FaultKind::BitflipBurst {
+                link,
+                pkts,
+                flips,
+                seed,
+            },
+        )
+    }
+
+    /// Truncate each of the next `pkts` corruptible packets on a link
+    /// direction, starting at `at`, delivering the shortened frames.
+    pub fn truncate_burst(&mut self, at: Time, link: DirLinkId, pkts: u32, seed: u64) -> &mut Self {
+        self.push(at, FaultKind::TruncateBurst { link, pkts, seed })
+    }
+
+    /// Arm (or with `ppm = 0` disarm) a steady-state corruption rate on a
+    /// link direction at `at`.
+    pub fn corrupt_rate(
+        &mut self,
+        at: Time,
+        link: DirLinkId,
+        ppm: u32,
+        flips: u8,
+        seed: u64,
+    ) -> &mut Self {
+        self.push(
+            at,
+            FaultKind::CorruptRate {
+                link,
+                ppm,
+                flips,
+                seed,
+            },
+        )
     }
 
     /// Crash a node at `down` and restart it at `up`.

@@ -164,6 +164,131 @@ fn degradation_and_corruption_burst() {
     }
 }
 
+/// Everything a corruption cell must account for: the delivery ledger,
+/// how many frames the links damaged, and who detected each of them.
+#[derive(Debug, PartialEq)]
+struct CorruptionAudit {
+    ledger: Ledger,
+    corrupted: u64,
+    /// (sender, sink, sw1, sw2, engine-destroyed) malformed counts.
+    detected: [u64; 5],
+}
+
+/// Run a corruption schedule and close the books: exactly-once delivery,
+/// and every link-damaged frame detected by exactly one device (or
+/// destroyed by the engine before any device saw it — queue overflow,
+/// crashed-node delivery).
+fn run_corruption_cell(
+    seed: u64,
+    ctx: &str,
+    build: impl Fn(&Diamond) -> FaultSchedule,
+) -> CorruptionAudit {
+    let mut d = mtp_diamond(seed);
+    let sched = build(&d);
+    let mut drv = FaultDriver::new(sched);
+    drv.run_until(&mut d.sim, us(100_000));
+    assert_eq!(drv.remaining(), 0, "[{ctx}] faults left unapplied");
+    let ledger = Ledger::capture(&d.sim, d.sender, d.sink);
+    ledger.assert_exactly_once(ctx);
+    let corrupted: u64 = [d.a_fwd, d.a_rev, d.b_fwd, d.b_rev]
+        .iter()
+        .map(|&l| d.sim.link_stats(l).corrupted_pkts)
+        .sum();
+    assert!(corrupted > 0, "[{ctx}] the storm never damaged a frame");
+    let detected = [
+        d.sim.node_as::<MtpSenderNode>(d.sender).malformed,
+        d.sim.node_as::<mtp_core::MtpSinkNode>(d.sink).malformed,
+        d.sim.node_as::<mtp_net::SwitchNode>(d.sw1).stats.malformed,
+        d.sim.node_as::<mtp_net::SwitchNode>(d.sw2).stats.malformed,
+        d.sim.corrupted_destroyed(),
+    ];
+    assert_eq!(
+        detected.iter().sum::<u64>(),
+        corrupted,
+        "[{ctx}] damaged frames unaccounted for (detected {detected:?})"
+    );
+    CorruptionAudit {
+        ledger,
+        corrupted,
+        detected,
+    }
+}
+
+fn run_corruption_cell_replayed(seed: u64, ctx: &str, build: impl Fn(&Diamond) -> FaultSchedule) {
+    let a = run_corruption_cell(seed, ctx, &build);
+    let b = run_corruption_cell(seed, ctx, &build);
+    assert_eq!(a, b, "[{ctx}] replay diverged");
+}
+
+#[test]
+fn bitflip_storm_early_and_mid() {
+    // Damaged frames are *delivered*, not destroyed: receivers must reject
+    // them on the header CRC and recover by retransmission. Flips stay at
+    // <= 3 bits so detection — and therefore the audit — is guaranteed.
+    for &seed in &SEEDS {
+        for (tag, at) in [("early", 60u64), ("mid", 400)] {
+            run_corruption_cell_replayed(seed, &format!("bitflip/{tag}/s{seed}"), |d| {
+                let mut s = FaultSchedule::new();
+                s.bitflip_burst(us(at), d.a_fwd, 20, 3, seed ^ 0xB17);
+                s.bitflip_burst(us(at + 50), d.b_fwd, 20, 1, seed ^ 0xB18);
+                s.bitflip_burst(us(at + 100), d.a_rev, 12, 2, seed ^ 0xB19);
+                s
+            });
+        }
+    }
+}
+
+#[test]
+fn truncation_storm() {
+    for &seed in &SEEDS {
+        run_corruption_cell_replayed(seed, &format!("truncate/s{seed}"), |d| {
+            let mut s = FaultSchedule::new();
+            s.truncate_burst(us(120), d.a_fwd, 16, seed ^ 0x7C);
+            s.truncate_burst(us(300), d.b_rev, 8, seed ^ 0x7D);
+            s
+        });
+    }
+}
+
+#[test]
+fn steady_corruption_rate() {
+    // A lossy span: for 3 ms both forward paths flip <=2 bits in a few
+    // percent of frames (both, so failover cannot sidestep the storm),
+    // then the links heal.
+    for &seed in &SEEDS {
+        run_corruption_cell_replayed(seed, &format!("rate/s{seed}"), |d| {
+            let mut s = FaultSchedule::new();
+            s.corrupt_rate(us(100), d.a_fwd, 50_000, 2, seed ^ 0x5EED);
+            s.corrupt_rate(us(100), d.b_fwd, 30_000, 2, seed ^ 0x5EEE);
+            s.corrupt_rate(us(3_100), d.a_fwd, 0, 0, 0);
+            s.corrupt_rate(us(3_100), d.b_fwd, 0, 0, 0);
+            s
+        });
+    }
+}
+
+#[test]
+fn corruption_on_top_of_failover() {
+    // The combined stress: path A is bit-flipping while path B blackholes
+    // mid-transfer, so the sender is simultaneously rejecting damaged
+    // frames and failing over. Exactly-once must still hold.
+    for &seed in &SEEDS {
+        run_corruption_cell_replayed(seed, &format!("combo/s{seed}"), |d| {
+            let mut s = FaultSchedule::new();
+            s.corrupt_rate(us(100), d.a_fwd, 30_000, 3, seed ^ 0xC0);
+            s.cut_both(
+                d.b_fwd,
+                d.b_rev,
+                us(400),
+                us(2_400),
+                LinkFailMode::Blackhole,
+            );
+            s.corrupt_rate(us(5_000), d.a_fwd, 0, 0, 0);
+            s
+        });
+    }
+}
+
 #[test]
 fn permanent_single_path_loss_still_completes() {
     // The survivor carries everything: path A never comes back.

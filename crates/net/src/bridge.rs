@@ -34,6 +34,8 @@ pub struct BridgeStats {
     pub unwrapped: u64,
     /// Non-MTP packets passed through untouched.
     pub passed: u64,
+    /// Packets rejected by the wire-integrity check (corrupted in flight).
+    pub malformed: u64,
 }
 
 /// One edge of a TCP island: MTP side on port 0, island side on port 1.
@@ -64,6 +66,14 @@ impl TcpIslandBridge {
 
 impl Node for TcpIslandBridge {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) {
+        // A bridge rewrites headers, so it must never wrap or unwrap bytes
+        // it cannot verify: reject corrupted packets at either edge.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() {
+            self.stats.malformed += 1;
+            ctx.trace_malformed(&pkt, port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         if port == MTP_SIDE {
             // Entering the island: wrap MTP in an outer TCP segment.
             if let Headers::Mtp(mtp) = pkt.headers {

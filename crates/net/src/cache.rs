@@ -41,6 +41,11 @@ pub struct CacheStats {
     /// Crashes survived: each one dropped the request↔reply correlation
     /// state and abandoned replies in flight.
     pub crashes: u64,
+    /// Packets rejected by the integrity check: unverifiable headers, plus
+    /// payload-damaged hot GETs (the cache *terminates* those — answering
+    /// a corrupted request would serve the wrong data). Dropped without an
+    /// ACK, so the client retransmits a clean copy.
+    pub malformed: u64,
 }
 
 /// An inline KV cache: client side on port 0, backend side on port 1.
@@ -111,10 +116,20 @@ impl KvCacheNode {
 }
 
 impl Node for KvCacheNode {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) {
+        // Verify before trusting: the cache reads the header (and the
+        // payload tag) to decide whether to terminate the request.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() {
+            self.stats.malformed += 1;
+            ctx.trace_malformed(&pkt, port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let now = ctx.now();
         if port == SERVER_PORT {
-            // Backend → client traffic passes through.
+            // Backend → client traffic passes through (payload-damaged
+            // packets included: the client endpoint detects and counts
+            // those — the cache is a pure relay in this direction).
             ctx.send(CLIENT_PORT, pkt);
             return;
         }
@@ -127,6 +142,14 @@ impl Node for KvCacheNode {
             _ => None,
         };
         match is_hot_get {
+            Some(_) if pkt.payload_dirty => {
+                // A hot GET the cache would terminate, but its payload was
+                // damaged in flight: drop without ACKing so the client's
+                // loss recovery retransmits it.
+                self.stats.malformed += 1;
+                ctx.trace_malformed(&pkt, port);
+                mtp_sim::pool::recycle_packet(pkt);
+            }
             Some(key) => {
                 let Headers::Mtp(hdr) = &pkt.headers else {
                     unreachable!()
@@ -229,6 +252,8 @@ pub struct KvServerNode {
     armed: Option<Time>,
     /// Requests served.
     pub served: u64,
+    /// Packets rejected by the integrity check (corrupted in flight).
+    pub malformed: u64,
 }
 
 impl KvServerNode {
@@ -253,6 +278,7 @@ impl KvServerNode {
             next_free: Time::ZERO,
             armed: None,
             served: 0,
+            malformed: 0,
         }
     }
 
@@ -283,7 +309,15 @@ impl KvServerNode {
 }
 
 impl Node for KvServerNode {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, mut pkt: Packet) {
+        // Endpoint integrity: unverifiable headers and payload-damaged
+        // data are dropped un-ACKed; the requester retransmits.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() || pkt.payload_dirty {
+            self.malformed += 1;
+            ctx.trace_malformed(&pkt, _port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let now = ctx.now();
         let app = pkt.app;
         let Headers::Mtp(hdr) = pkt.headers else {
@@ -367,6 +401,8 @@ pub struct KvClientNode {
     /// Reply message id → (key, from_cache), learned from reply data tags.
     reply_src: HashMap<MsgId, (u64, bool)>,
     armed: Option<Time>,
+    /// Packets rejected by the integrity check (corrupted in flight).
+    pub malformed: u64,
 }
 
 impl KvClientNode {
@@ -392,6 +428,7 @@ impl KvClientNode {
             completions: Vec::new(),
             reply_src: HashMap::new(),
             armed: None,
+            malformed: 0,
         }
     }
 
@@ -430,7 +467,15 @@ impl Node for KvClientNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, mut pkt: Packet) {
+        // Endpoint integrity: drop unverifiable or payload-damaged packets
+        // un-ACKed; the replier retransmits.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() || pkt.payload_dirty {
+            self.malformed += 1;
+            ctx.trace_malformed(&pkt, _port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let now = ctx.now();
         let app = pkt.app;
         let ecn = pkt.ecn;

@@ -88,6 +88,11 @@ impl FairShareEnforcer {
 
 impl IngressPolicy for FairShareEnforcer {
     fn admit(&mut self, now: Time, pkt: &mut Packet) -> bool {
+        // Only verified native MTP data is accounted. The hosting switch
+        // sanitizes before consulting the policy, so corrupted (Mangled)
+        // packets never reach here — but the match is total regardless:
+        // anything without a trusted MTP header passes unaccounted rather
+        // than risking attribution to the wrong entity.
         let Headers::Mtp(hdr) = &pkt.headers else {
             return true;
         };
@@ -186,6 +191,26 @@ mod tests {
         let mut p = Packet::new(Headers::Raw, 9000);
         assert!(f.admit(Time::ZERO, &mut p));
         assert!(!p.ecn.is_ce());
+    }
+
+    #[test]
+    fn mangled_traffic_is_neither_accounted_nor_marked() {
+        // Defense in depth: the switch drops corrupted packets before the
+        // policy runs, but a Mangled header reaching admit() must neither
+        // panic nor be charged to any entity.
+        let mut f = FairShareEnforcer::new(Bandwidth::from_gbps(1), Duration::from_micros(10));
+        let mut p = Packet::new(
+            Headers::Mangled {
+                proto: mtp_sim::packet::WireProto::Mtp,
+                bytes: vec![0xFF; 48],
+            },
+            1500,
+        );
+        for _ in 0..100 {
+            assert!(f.admit(Time::ZERO, &mut p));
+            assert!(!p.ecn.is_ce());
+        }
+        assert_eq!(f.marks, 0);
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct TcpProxyNode {
     /// statefulness cost made measurable: a TCP-terminating middlebox that
     /// dies takes its buffered stream with it.
     pub crash_lost_bytes: u64,
+    /// Segments rejected by the integrity check: unverifiable headers on
+    /// either side, plus payload-damaged data segments on the client side
+    /// (the proxy *terminates* that stream — relaying corrupted bytes
+    /// onward would launder the damage into the server's copy).
+    pub malformed: u64,
     name: String,
 }
 
@@ -84,6 +89,7 @@ impl TcpProxyNode {
             server_conn,
             crashes: 0,
             crash_lost_bytes: 0,
+            malformed: 0,
             name: "tcp-proxy".to_string(),
         }
     }
@@ -145,7 +151,17 @@ impl Node for TcpProxyNode {
         self.flush(ctx, Vec::new(), to_server);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) {
+        // The proxy consumes the client stream and re-originates it, so it
+        // is an endpoint for integrity purposes: drop unverifiable headers,
+        // and drop payload-damaged data without ACKing it — the client's
+        // loss recovery retransmits a clean copy.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() || pkt.payload_dirty {
+            self.malformed += 1;
+            ctx.trace_malformed(&pkt, port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let ce = pkt.ecn.is_ce();
         let Headers::Tcp(hdr) = pkt.headers else {
             return;

@@ -47,6 +47,8 @@ pub struct ReplicaLbStats {
     pub requests: u64,
     /// Replies relayed back to clients.
     pub replies: u64,
+    /// Packets rejected by the wire-integrity check (corrupted in flight).
+    pub malformed: u64,
 }
 
 /// The L7 balancer node: clients on port 0, replica `i` on port `1 + i`.
@@ -116,6 +118,16 @@ impl ReplicaLbNode {
 
 impl Node for ReplicaLbNode {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: PortId, mut pkt: Packet) {
+        // The balancer rewrites the destination address and pins messages
+        // by id — both reads of the header — so it must verify integrity
+        // first. Payload-damaged packets with intact headers are still
+        // routable and are relayed (the endpoint detects and counts them).
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() {
+            self.stats.malformed += 1;
+            ctx.trace_malformed(&pkt, port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         if port == PortId(0) {
             // Client side: route service-addressed data to a replica;
             // everything else (e.g. ACKs for replies, addressed to a

@@ -15,7 +15,9 @@ pub fn dst_addr(pkt: &Packet) -> Option<u16> {
         Headers::Tcp(h) => Some(h.dst_port),
         Headers::Mtp(h) => Some(h.dst_port),
         Headers::Bridged { tcp, .. } => Some(tcp.dst_port),
-        Headers::Raw => None,
+        // Corrupted bytes carry no *trusted* address; switches drop them
+        // before routing, but the accessor stays total.
+        Headers::Raw | Headers::Mangled { .. } => None,
     }
 }
 
@@ -25,7 +27,7 @@ pub fn src_addr(pkt: &Packet) -> Option<u16> {
         Headers::Tcp(h) => Some(h.src_port),
         Headers::Mtp(h) => Some(h.src_port),
         Headers::Bridged { tcp, .. } => Some(tcp.src_port),
-        Headers::Raw => None,
+        Headers::Raw | Headers::Mangled { .. } => None,
     }
 }
 

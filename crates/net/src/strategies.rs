@@ -215,7 +215,7 @@ impl FanoutForwarder {
                     Headers::Mtp(h) => h.msg_id.0,
                     // Legacy ECMP sees only the outer TCP segment.
                     Headers::Bridged { tcp, .. } => tcp.conn_id as u64,
-                    Headers::Raw => 0,
+                    Headers::Raw | Headers::Mangled { .. } => 0,
                 };
                 let mut h = 0xcbf29ce484222325u64;
                 for byte in s

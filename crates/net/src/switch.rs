@@ -180,6 +180,8 @@ pub struct SwitchStats {
     pub policy_marked: u64,
     /// Feedback entries stamped.
     pub stamped: u64,
+    /// Packets rejected by the wire-integrity check (corrupted in flight).
+    pub malformed: u64,
 }
 
 /// Periodic path-advertisement configuration (paper §4, NDP: "end-hosts
@@ -291,6 +293,14 @@ impl Node for SwitchNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, mut pkt: Packet) {
+        // Verify wire integrity before the policy or forwarder trusts any
+        // header field: a switch must not route on corrupted bytes.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() {
+            self.stats.malformed += 1;
+            ctx.trace_malformed(&pkt, in_port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let now = ctx.now();
         if let Some(policy) = &mut self.policy {
             let was_ce = pkt.ecn.is_ce();

@@ -100,6 +100,11 @@ pub struct LinkStats {
     /// Packets destroyed by injected faults (link down, queue flush,
     /// corruption bursts) rather than by the queue discipline.
     pub faulted_pkts: u64,
+    /// Packets whose wire bytes were damaged in flight by a corruption
+    /// fault (bit-flips or truncation) but still *delivered* — unlike
+    /// [`faulted_pkts`](Self::faulted_pkts), the receiver sees these and
+    /// must reject them itself.
+    pub corrupted_pkts: u64,
     /// High-water mark of the queue length in packets.
     pub max_qlen_pkts: usize,
 }
@@ -121,6 +126,22 @@ struct DirLink {
     doomed: bool,
     /// Corruption burst: destroy this many further offered packets.
     corrupt_next: u32,
+    /// Bit-flip burst: damage-and-deliver this many further corruptible
+    /// offered packets.
+    bitflip_next: u32,
+    /// Bits flipped per packet while a bit-flip burst is active.
+    bitflip_flips: u8,
+    /// Truncation burst: truncate-and-deliver this many further
+    /// corruptible offered packets.
+    truncate_next: u32,
+    /// Steady-state corruption rate in packets-per-million (0 = off).
+    corrupt_ppm: u32,
+    /// Bits flipped per packet selected by the steady-state rate.
+    corrupt_flips: u8,
+    /// Dedicated RNG for this direction's corruption faults, armed with
+    /// the fault's seed. Per-link so corruption on one link never
+    /// perturbs any other random stream in the simulation.
+    corrupt_rng: Option<SmallRng>,
 }
 
 /// Event payload, held in the slab while the event waits in the heap.
@@ -201,6 +222,21 @@ pub struct SimInner {
     processed: u64,
     pub(crate) rng: SmallRng,
     trace: Option<TraceRing>,
+    /// Corruption-damaged packets destroyed by the engine (queue drop,
+    /// link fault, crashed destination) before any receiver could verify
+    /// them. The corruption study asserts this is zero so that every
+    /// injected corruption is accounted for by a malformed counter.
+    corrupted_destroyed: u64,
+}
+
+/// Recycle a destroyed packet, counting it toward
+/// [`SimInner::corrupted_destroyed`] if a corruption fault had already
+/// damaged it.
+fn destroy(pkt: Packet, corrupted_destroyed: &mut u64) {
+    if pkt.payload_dirty || matches!(pkt.headers, crate::packet::Headers::Mangled { .. }) {
+        *corrupted_destroyed += 1;
+    }
+    crate::pool::recycle_packet(pkt);
 }
 
 impl SimInner {
@@ -358,9 +394,39 @@ impl SimInner {
             }
             link.stats.faulted_pkts += 1;
             self.trace(pkt_id, node, port, TraceKind::Dropped);
-            crate::pool::recycle_packet(pkt);
+            destroy(pkt, &mut self.corrupted_destroyed);
             return;
         }
+        // Wire corruption: damage the packet's bytes but still deliver it.
+        // Exactly one fault touches a packet (bursts take precedence over
+        // the steady-state rate), and packets a fault already damaged are
+        // never re-corrupted, so every corruption event downstream maps to
+        // exactly one malformed-packet rejection.
+        if crate::corrupt::corruptible(&pkt) {
+            let corrupted = if link.bitflip_next != 0 {
+                link.bitflip_next -= 1;
+                let flips = link.bitflip_flips;
+                let rng = link.corrupt_rng.as_mut().expect("burst armed with seed");
+                crate::corrupt::corrupt_bitflip(&mut pkt, flips, rng)
+            } else if link.truncate_next != 0 {
+                link.truncate_next -= 1;
+                let rng = link.corrupt_rng.as_mut().expect("burst armed with seed");
+                crate::corrupt::corrupt_truncate(&mut pkt, rng)
+            } else if link.corrupt_ppm != 0 {
+                let flips = link.corrupt_flips;
+                let rng = link.corrupt_rng.as_mut().expect("rate armed with seed");
+                use rand::Rng;
+                rng.gen_range(0..1_000_000u32) < link.corrupt_ppm
+                    && crate::corrupt::corrupt_bitflip(&mut pkt, flips, rng)
+            } else {
+                false
+            };
+            if corrupted {
+                link.stats.corrupted_pkts += 1;
+                self.trace(pkt_id, node, port, TraceKind::Corrupted);
+            }
+        }
+        let link = &mut self.links[dir.0];
         // Fast path: if the link is idle and the discipline attests that
         // enqueue-then-dequeue would be an observable no-op right now
         // (empty FIFO, no marking, no scheduler state, no randomness),
@@ -388,7 +454,7 @@ impl SimInner {
             }
             EnqueueVerdict::Dropped(dropped) => {
                 link.stats.dropped_pkts += 1;
-                crate::pool::recycle_packet(dropped);
+                destroy(dropped, &mut self.corrupted_destroyed);
                 TraceKind::Dropped
             }
             EnqueueVerdict::Trimmed => {
@@ -424,7 +490,7 @@ impl SimInner {
             // traffic since) starts serializing normally.
             link.doomed = false;
             link.stats.faulted_pkts += 1;
-            crate::pool::recycle_packet(pkt);
+            destroy(pkt, &mut self.corrupted_destroyed);
             if let Some(next) = link.queue.dequeue(now) {
                 let done = now + link.rate.serialize_time(next.wire_len);
                 let nid = next.id;
@@ -468,7 +534,7 @@ impl SimInner {
             };
             link.stats.faulted_pkts += 1;
             let id = pkt.id;
-            crate::pool::recycle_packet(pkt);
+            destroy(pkt, &mut self.corrupted_destroyed);
             flushed += 1;
             self.trace(id, src_node, src_port, TraceKind::Dropped);
         }
@@ -520,6 +586,7 @@ impl Simulator {
                 processed: 0,
                 rng: SmallRng::seed_from_u64(seed),
                 trace: None,
+                corrupted_destroyed: 0,
             },
             nodes: Vec::new(),
             node_up: Vec::new(),
@@ -566,6 +633,12 @@ impl Simulator {
             up: true,
             doomed: false,
             corrupt_next: 0,
+            bitflip_next: 0,
+            bitflip_flips: 0,
+            truncate_next: 0,
+            corrupt_ppm: 0,
+            corrupt_flips: 0,
+            corrupt_rng: None,
         });
         let id_ba = DirLinkId(self.inner.links.len());
         self.inner.links.push(DirLink {
@@ -579,6 +652,12 @@ impl Simulator {
             up: true,
             doomed: false,
             corrupt_next: 0,
+            bitflip_next: 0,
+            bitflip_flips: 0,
+            truncate_next: 0,
+            corrupt_ppm: 0,
+            corrupt_flips: 0,
+            corrupt_rng: None,
         });
         for (node, port, dir) in [(a, pa, id_ab), (b, pb, id_ba)] {
             self.inner.egress_set(node, port, dir);
@@ -704,6 +783,57 @@ impl Simulator {
     pub fn corrupt_burst(&mut self, dir: DirLinkId, pkts: u32) {
         self.inner.links[dir.0].corrupt_next =
             self.inner.links[dir.0].corrupt_next.saturating_add(pkts);
+    }
+
+    /// Flip `flips` random bits in each of the next `pkts` corruptible
+    /// packets offered to this direction, and **deliver the damaged
+    /// bytes** (unlike [`corrupt_burst`](Self::corrupt_burst), which
+    /// destroys). Whoever receives them must verify and reject. Bit
+    /// positions come from a dedicated RNG seeded with `seed`, so the
+    /// damage pattern replays byte-identically. With `flips <= 3`,
+    /// header damage is *guaranteed* detected (CRC-16 Hamming distance),
+    /// making corruption accounting exact.
+    pub fn bitflip_burst(&mut self, dir: DirLinkId, pkts: u32, flips: u8, seed: u64) {
+        let link = &mut self.inner.links[dir.0];
+        link.bitflip_next = link.bitflip_next.saturating_add(pkts);
+        link.bitflip_flips = flips;
+        link.corrupt_rng = Some(SmallRng::seed_from_u64(seed));
+    }
+
+    /// Truncate each of the next `pkts` corruptible packets offered to
+    /// this direction at a random cut point, and deliver the shortened
+    /// frame. Cuts inside the header leave an unverifiable stub; cuts in
+    /// the payload leave the header intact but the payload dirty.
+    pub fn truncate_burst(&mut self, dir: DirLinkId, pkts: u32, seed: u64) {
+        let link = &mut self.inner.links[dir.0];
+        link.truncate_next = link.truncate_next.saturating_add(pkts);
+        link.corrupt_rng = Some(SmallRng::seed_from_u64(seed));
+    }
+
+    /// Arm a steady-state corruption rate on this direction: each
+    /// corruptible packet is independently bit-flipped (with `flips`
+    /// flips) with probability `ppm` per million. Pass `ppm = 0` to
+    /// disarm. Bursts, if also armed, take precedence packet-by-packet.
+    pub fn set_corrupt_rate(&mut self, dir: DirLinkId, ppm: u32, flips: u8, seed: u64) {
+        let link = &mut self.inner.links[dir.0];
+        link.corrupt_ppm = ppm.min(1_000_000);
+        link.corrupt_flips = flips;
+        if ppm == 0 {
+            // Disarm, but never strand an in-progress burst's RNG.
+            if link.bitflip_next == 0 && link.truncate_next == 0 {
+                link.corrupt_rng = None;
+            }
+        } else {
+            link.corrupt_rng = Some(SmallRng::seed_from_u64(seed));
+        }
+    }
+
+    /// Corruption-damaged packets destroyed by the engine (queue drop,
+    /// link fault, crashed destination) before any receiver could verify
+    /// them. When zero, every corrupted packet is accounted for by some
+    /// device's malformed counter.
+    pub fn corrupted_destroyed(&self) -> u64 {
+        self.inner.corrupted_destroyed
     }
 
     /// Crash a node: its [`Node::on_fault`] hook runs (to flush internal
@@ -859,7 +989,7 @@ impl Simulator {
                     self.faulted_deliveries += 1;
                     self.inner
                         .trace(pkt.id, node, port, crate::tracefile::TraceKind::Dropped);
-                    crate::pool::recycle_packet(pkt);
+                    destroy(pkt, &mut self.inner.corrupted_destroyed);
                     return Some(false);
                 }
                 self.inner.processed += 1;
@@ -1454,6 +1584,125 @@ mod tests {
         assert_eq!(sim.node_as::<Catcher>(b).arrivals.len(), 5);
         assert_eq!(sim.link_stats(ab).faulted_pkts, 0);
         assert_eq!(sim.link_stats(ba).faulted_pkts, 0);
+        assert_eq!(sim.link_stats(ab).corrupted_pkts, 0);
         assert_eq!(sim.faulted_deliveries(), 0);
+        assert_eq!(sim.corrupted_destroyed(), 0);
+    }
+
+    /// Sends `n` header-only MTP packets at start (header-only so every
+    /// corruption event is guaranteed to land in the header region).
+    struct MtpPitcher {
+        n: u32,
+    }
+    impl Node for MtpPitcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..self.n {
+                let hdr = crate::pool::boxed(mtp_wire::MtpHeader::default());
+                let wire = hdr.wire_len() as u32;
+                ctx.send(PortId(0), Packet::new(Headers::Mtp(hdr), wire));
+            }
+        }
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+    }
+
+    /// Catches whole packets (not just arrival times).
+    #[derive(Default)]
+    struct PacketCatcher {
+        got: Vec<Packet>,
+    }
+    impl Node for PacketCatcher {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, pkt: Packet) {
+            self.got.push(pkt);
+        }
+    }
+
+    fn corruption_pair(n: u32) -> (Simulator, NodeId, DirLinkId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(MtpPitcher { n }));
+        let b = sim.add_node(Box::new(PacketCatcher::default()));
+        let (ab, _ba) = sim.connect_symmetric(
+            a,
+            PortId(0),
+            b,
+            PortId(0),
+            Bandwidth::from_gbps(10),
+            Duration::from_micros(1),
+            64,
+        );
+        (sim, b, ab)
+    }
+
+    #[test]
+    fn bitflip_burst_delivers_damaged_packets() {
+        let (mut sim, b, ab) = corruption_pair(4);
+        sim.bitflip_burst(ab, 2, 1, 99);
+        sim.run();
+        let got = &sim.node_as::<PacketCatcher>(b).got;
+        assert_eq!(got.len(), 4, "corruption delivers, never destroys");
+        let mangled = got
+            .iter()
+            .filter(|p| matches!(p.headers, Headers::Mangled { .. }))
+            .count();
+        assert_eq!(mangled, 2, "exactly the burst length is damaged");
+        assert_eq!(sim.link_stats(ab).corrupted_pkts, 2);
+        // A mangled header-only packet can never verify back.
+        for p in got.iter() {
+            if matches!(p.headers, Headers::Mangled { .. }) {
+                let mut p = p.clone();
+                assert!(crate::corrupt::sanitize(&mut p).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_burst_shortens_and_delivers() {
+        let (mut sim, b, ab) = corruption_pair(3);
+        sim.truncate_burst(ab, 3, 7);
+        sim.run();
+        let got = &sim.node_as::<PacketCatcher>(b).got;
+        assert_eq!(got.len(), 3);
+        let full = mtp_wire::MtpHeader::default().wire_len() as u32;
+        for p in got.iter() {
+            assert!(p.wire_len < full, "truncation shrinks the frame");
+            assert!(matches!(p.headers, Headers::Mangled { .. }));
+        }
+        assert_eq!(sim.link_stats(ab).corrupted_pkts, 3);
+    }
+
+    #[test]
+    fn corruption_is_seed_deterministic() {
+        let run = || {
+            let (mut sim, b, ab) = corruption_pair(6);
+            sim.bitflip_burst(ab, 4, 2, 12345);
+            sim.run();
+            sim.node_as::<PacketCatcher>(b).got.clone()
+        };
+        assert_eq!(run(), run(), "same seed, byte-identical damage");
+    }
+
+    #[test]
+    fn corrupt_rate_full_odds_hits_every_packet() {
+        let (mut sim, b, ab) = corruption_pair(5);
+        sim.set_corrupt_rate(ab, 1_000_000, 1, 3);
+        sim.run();
+        assert_eq!(sim.link_stats(ab).corrupted_pkts, 5);
+        let got = &sim.node_as::<PacketCatcher>(b).got;
+        assert!(got
+            .iter()
+            .all(|p| matches!(p.headers, Headers::Mangled { .. })));
+    }
+
+    #[test]
+    fn corrupted_destroyed_counts_unaudited_damage() {
+        // Corrupt a packet, then crash its destination while it is in
+        // propagation: the engine destroys damaged goods no receiver ever
+        // audits, and must own up to it.
+        let (mut sim, b, ab) = corruption_pair(2);
+        sim.bitflip_burst(ab, 2, 1, 5);
+        sim.run_until(Time::ZERO + Duration::from_nanos(200));
+        sim.crash_node(b);
+        sim.run();
+        assert_eq!(sim.link_stats(ab).corrupted_pkts, 2);
+        assert!(sim.corrupted_destroyed() > 0);
     }
 }

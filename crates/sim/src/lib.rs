@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corrupt;
 pub mod engine;
 pub mod loss;
 pub mod node;
@@ -66,10 +67,11 @@ pub mod time;
 pub mod trace;
 pub mod tracefile;
 
+pub use corrupt::sanitize;
 pub use engine::{DirLinkId, LinkCfg, LinkFailMode, LinkStats, Simulator};
 pub use loss::{stream_seed, LossyQueue, ReorderQueue};
 pub use node::{Ctx, Node, NodeFault, NodeId, PortId, TimerId};
-pub use packet::{AppData, Headers, Packet, PacketId};
+pub use packet::{AppData, Headers, Packet, PacketId, WireProto};
 pub use queue::{
     Classifier, DropTailQueue, DrrQueue, EcnQueue, EnqueueVerdict, PriorityQueue, Qdisc, SfqQueue,
     TrimmingQueue,

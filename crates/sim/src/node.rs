@@ -157,4 +157,17 @@ impl Ctx<'_> {
             crate::tracefile::TraceKind::NoRoute,
         );
     }
+
+    /// Record a [`TraceKind::Malformed`](crate::tracefile::TraceKind::Malformed)
+    /// event: this node's integrity check rejected `pkt` (header CRC
+    /// failure, truncated frame, or payload checksum failure at a consuming
+    /// endpoint) and is discarding it. `in_port` is where it arrived.
+    pub fn trace_malformed(&mut self, pkt: &Packet, in_port: PortId) {
+        self.inner.trace(
+            pkt.id,
+            self.node,
+            in_port,
+            crate::tracefile::TraceKind::Malformed,
+        );
+    }
 }

@@ -19,6 +19,23 @@ use crate::time::Time;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PacketId(pub u64);
 
+/// Which wire format a [`Headers::Mangled`] byte buffer originally held.
+///
+/// Corruption turns a structured header into bytes (the sealed wire form
+/// with the fault's bit-flips applied); the receiver-side verifier needs to
+/// know which parser to run, exactly as a real NIC knows the ethertype of a
+/// frame whose contents it has not yet trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireProto {
+    /// A native MTP packet (sealed MTP header bytes).
+    Mtp,
+    /// A TCP segment (sealed TCP header bytes).
+    Tcp,
+    /// An MTP-in-TCP bridged packet (sealed TCP header, bridge preamble,
+    /// sealed MTP header).
+    Bridged,
+}
+
 /// The transport header carried by a packet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Headers {
@@ -39,6 +56,16 @@ pub enum Headers {
     },
     /// A raw frame with no modelled transport header (background traffic).
     Raw,
+    /// A header whose wire bytes took corruption in flight. The structured
+    /// form is gone — all that remains is the (sealed) byte serialization
+    /// with the fault's damage applied, which every receiver must verify
+    /// before trusting. Built only by the engine's corruption faults.
+    Mangled {
+        /// Which wire format the bytes held before corruption.
+        proto: WireProto,
+        /// The damaged sealed wire bytes (possibly truncated).
+        bytes: Vec<u8>,
+    },
 }
 
 impl Headers {
@@ -122,6 +149,11 @@ pub struct Packet {
     /// When the original sender transmitted this packet (set once by the
     /// sending endpoint; used for delay-based feedback and FCT accounting).
     pub sent_at: Time,
+    /// True if a corruption fault hit the *payload* region of the frame
+    /// (the header survived). Receivers model a payload-checksum failure:
+    /// data packets so marked are dropped and counted, never delivered to
+    /// the application.
+    pub payload_dirty: bool,
 }
 
 impl Packet {
@@ -135,6 +167,7 @@ impl Packet {
             headers,
             app: None,
             sent_at: Time::ZERO,
+            payload_dirty: false,
         }
     }
 

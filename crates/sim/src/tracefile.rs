@@ -34,6 +34,14 @@ pub enum TraceKind {
     /// A forwarding element had no route for the packet's destination and
     /// discarded it (see `RouteError` in `mtp-net`).
     NoRoute,
+    /// A corruption fault damaged the packet's wire bytes on this link
+    /// (the packet was still delivered; whoever verifies it next decides
+    /// its fate).
+    Corrupted,
+    /// A receiver's integrity check rejected the packet: the header failed
+    /// its CRC, the frame was truncated, or a payload checksum failed at a
+    /// consuming endpoint. The packet was counted and discarded.
+    Malformed,
 }
 
 /// One trace record.

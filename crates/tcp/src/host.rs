@@ -83,6 +83,8 @@ pub struct TcpSenderNode {
     /// Closed loop: submit message i+1 the moment message i completes
     /// (instead of at its scheduled time).
     closed_loop: bool,
+    /// Segments rejected by the checksum stand-in (corrupted in flight).
+    pub malformed: u64,
     name: String,
     /// Reusable packet/completion buffers; taken and restored around each
     /// callback so steady state never allocates.
@@ -137,6 +139,7 @@ impl TcpSenderNode {
             next_conn: 0,
             armed: HashMap::new(),
             closed_loop: false,
+            malformed: 0,
             name: format!("tcp-sender-{conn_id_base}"),
             out_buf: Vec::new(),
             done_buf: Vec::new(),
@@ -310,7 +313,15 @@ impl Node for TcpSenderNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, mut pkt: Packet) {
+        // A corrupted ACK must not move the window: verify the checksum
+        // stand-in before trusting any field, as a real NIC/stack would.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() {
+            self.malformed += 1;
+            ctx.trace_malformed(&pkt, _port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let Headers::Tcp(hdr) = pkt.headers else {
             return;
         };
@@ -363,6 +374,10 @@ pub struct TcpSinkNode {
     pub goodput: BinSeries,
     /// Total in-order bytes delivered.
     pub total_delivered: u64,
+    /// Segments rejected by the checksum stand-in: unverifiable headers
+    /// plus data segments whose payload was damaged. Dropped without an
+    /// ACK; ordinary TCP loss recovery repairs the stream.
+    pub malformed: u64,
 }
 
 impl TcpSinkNode {
@@ -373,12 +388,23 @@ impl TcpSinkNode {
             conns: HashMap::new(),
             goodput: BinSeries::new(bin),
             total_delivered: 0,
+            malformed: 0,
         }
     }
 }
 
 impl Node for TcpSinkNode {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: PortId, mut pkt: Packet) {
+        // Checksum stand-in: an unverifiable header or a damaged payload
+        // is discarded before the receive path sees it. No ACK is sent,
+        // so the sender repairs the hole via dup-ACKs or RTO exactly as
+        // for a drop.
+        if mtp_sim::corrupt::sanitize(&mut pkt).is_err() || pkt.payload_dirty {
+            self.malformed += 1;
+            ctx.trace_malformed(&pkt, _port);
+            mtp_sim::pool::recycle_packet(pkt);
+            return;
+        }
         let ce = pkt.ecn.is_ce();
         let Headers::Tcp(hdr) = pkt.headers else {
             return;

@@ -1,0 +1,120 @@
+//! Corrupted-segment behaviour of the TCP stand-in.
+//!
+//! The engine's corruption faults damage wire bytes but still *deliver*
+//! the frame, so these tests prove the host-side contract: a segment that
+//! fails the checksum stand-in is rejected and counted, never parsed, and
+//! the stream recovers through ordinary loss recovery (dup-ACKs / RTO)
+//! with every payload byte delivered exactly once.
+
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{DirLinkId, LinkCfg, NodeId, PortId, Simulator};
+use mtp_tcp::{TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
+
+const SIZE: u64 = 256 * 1024;
+
+struct Wire {
+    sim: Simulator,
+    snd: NodeId,
+    sink: NodeId,
+    fwd: DirLinkId,
+    rev: DirLinkId,
+}
+
+/// One sender, one sink, a single 10 Gbps / 2 us link: the simplest
+/// topology where loss recovery is the *only* way around a bad segment.
+fn wire(cfg: TcpConfig) -> Wire {
+    let mut sim = Simulator::new(1);
+    let snd = sim.add_node(Box::new(TcpSenderNode::new(
+        cfg.clone(),
+        TcpWorkloadMode::Persistent,
+        100,
+        vec![(Time::ZERO, SIZE)],
+    )));
+    let sink = sim.add_node(Box::new(TcpSinkNode::new(cfg, Duration::from_micros(100))));
+    let rate = Bandwidth::from_gbps(10);
+    let d = Duration::from_micros(2);
+    let (fwd, rev) = sim.connect(
+        snd,
+        PortId(0),
+        sink,
+        PortId(0),
+        LinkCfg::drop_tail(rate, d, 512),
+        LinkCfg::drop_tail(rate, d, 512),
+    );
+    Wire {
+        sim,
+        snd,
+        sink,
+        fwd,
+        rev,
+    }
+}
+
+/// Run to completion and check the corruption ledger: the transfer
+/// finished, the byte stream is intact, and every damaged frame is
+/// accounted for by a malformed counter (or was destroyed in-engine
+/// before reaching a host, e.g. in a queue overflow).
+fn finish_and_audit(mut w: Wire, ctx: &str) -> (u64, u64) {
+    w.sim.run_until(Time::ZERO + Duration::from_millis(2_000));
+    let corrupted = w.sim.link_stats(w.fwd).corrupted_pkts + w.sim.link_stats(w.rev).corrupted_pkts;
+    assert!(corrupted > 0, "[{ctx}] the fault never damaged a frame");
+    let destroyed = w.sim.corrupted_destroyed();
+    let snd = w.sim.node_as::<TcpSenderNode>(w.snd);
+    assert!(snd.all_done(), "[{ctx}] transfer never completed");
+    let sink = w.sim.node_as::<TcpSinkNode>(w.sink);
+    assert_eq!(
+        sink.total_delivered, SIZE,
+        "[{ctx}] stream corrupted: delivered byte count is wrong"
+    );
+    assert_eq!(
+        snd.malformed + sink.malformed + destroyed,
+        corrupted,
+        "[{ctx}] corruption ledger out of balance: snd {} + sink {} + destroyed {destroyed} != {corrupted}",
+        snd.malformed,
+        sink.malformed
+    );
+    (snd.malformed, sink.malformed)
+}
+
+/// Bit-flipped data segments (the very first burst also hits the SYN) are
+/// rejected by the sink and repaired by retransmission.
+#[test]
+fn bitflipped_data_segments_recovered() {
+    let mut w = wire(TcpConfig::default());
+    w.sim.bitflip_burst(w.fwd, 12, 3, 0xB17_DA7A);
+    let (_, sink_malformed) = finish_and_audit(w, "bitflip/data");
+    assert!(sink_malformed > 0, "sink never saw a damaged segment");
+}
+
+/// Truncated segments fail the frame-length check before any field is
+/// trusted; the cut bytes are retransmitted like any other loss.
+#[test]
+fn truncated_data_segments_recovered() {
+    let mut w = wire(TcpConfig::default());
+    w.sim.truncate_burst(w.fwd, 10, 0x7C_7C);
+    let (_, sink_malformed) = finish_and_audit(w, "truncate/data");
+    assert!(sink_malformed > 0, "sink never saw a truncated segment");
+}
+
+/// A corrupted ACK must not move the sender's window: the sender rejects
+/// it, the next cumulative ACK covers the gap, and the transfer is
+/// unaffected beyond the lost feedback.
+#[test]
+fn bitflipped_acks_do_not_move_the_window() {
+    let mut w = wire(TcpConfig::default());
+    w.sim.bitflip_burst(w.rev, 15, 2, 0xACED);
+    let (snd_malformed, _) = finish_and_audit(w, "bitflip/ack");
+    assert!(snd_malformed > 0, "sender never saw a damaged ACK");
+}
+
+/// A steady two-way corruption rate (DCTCP variant): both hosts keep
+/// rejecting damage for the whole run and the stream still completes.
+#[test]
+fn steady_corruption_rate_both_directions() {
+    let mut w = wire(TcpConfig::dctcp());
+    w.sim.set_corrupt_rate(w.fwd, 40_000, 2, 0x5EED);
+    w.sim.set_corrupt_rate(w.rev, 40_000, 2, 0x5EEE);
+    let (snd_malformed, sink_malformed) = finish_and_audit(w, "rate/both");
+    assert!(snd_malformed > 0, "sender never saw a damaged ACK");
+    assert!(sink_malformed > 0, "sink never saw a damaged segment");
+}

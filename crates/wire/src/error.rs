@@ -34,6 +34,10 @@ pub enum WireError {
     },
     /// Reserved bytes were non-zero (likely header corruption).
     BadReserved,
+    /// A sealed header's integrity-flags byte held an unexpected value.
+    BadIntegrityFlags(u8),
+    /// A sealed header's CRC did not match its contents (corruption).
+    BadHeaderCrc,
 }
 
 impl fmt::Display for WireError {
@@ -54,6 +58,10 @@ impl fmt::Display for WireError {
                 write!(f, "{list} list cannot hold {count} entries (max 255)")
             }
             WireError::BadReserved => write!(f, "reserved header bytes are non-zero"),
+            WireError::BadIntegrityFlags(v) => {
+                write!(f, "unexpected integrity-flags byte {v:#04x}")
+            }
+            WireError::BadHeaderCrc => write!(f, "header CRC mismatch (corrupted header)"),
         }
     }
 }

@@ -241,6 +241,91 @@ impl MtpHeader {
         Ok(at)
     }
 
+    /// Total encoded length of the *sealed* form of this header: the
+    /// header with its CRC filled in, plus the payload-checksum trailer.
+    pub fn sealed_wire_len(&self) -> usize {
+        self.wire_len() + crate::integrity::PAYLOAD_CSUM_LEN
+    }
+
+    /// CRC-32 over the payload's wire descriptor (`msg_id`, `pkt_num`,
+    /// `pkt_offset`, `pkt_len`). Payload bytes are not simulated, so this
+    /// descriptor stands in for them: any corruption of the fields that
+    /// tie a payload to its place in a message is caught, and the
+    /// simulator flags hits to the simulated payload region separately.
+    pub fn payload_csum(&self) -> u32 {
+        let mut d = [0u8; 18];
+        d[0..8].copy_from_slice(&self.msg_id.0.to_be_bytes());
+        d[8..12].copy_from_slice(&self.pkt_num.0.to_be_bytes());
+        d[12..16].copy_from_slice(&self.pkt_offset.to_be_bytes());
+        d[16..18].copy_from_slice(&self.pkt_len.to_be_bytes());
+        crate::integrity::crc32(&d)
+    }
+
+    /// Serialize the sealed form: the wire header with byte 41 set to
+    /// [`INTEGRITY_SEALED`](crate::integrity::INTEGRITY_SEALED), a
+    /// CRC-16/CCITT of the whole header in bytes 42–43 (computed with
+    /// those two bytes as zero), and the 4-byte payload-checksum trailer.
+    pub fn to_sealed_bytes(&self) -> Result<Vec<u8>, WireError> {
+        let mut buf = self.to_bytes()?;
+        buf[41] = crate::integrity::INTEGRITY_SEALED;
+        // Bytes 42–43 are zero here (emit wrote them so), which is exactly
+        // how the verifier recomputes the CRC.
+        let crc = crate::integrity::crc16_ccitt(&buf);
+        buf[42..44].copy_from_slice(&crc.to_be_bytes());
+        buf.extend_from_slice(&self.payload_csum().to_be_bytes());
+        Ok(buf)
+    }
+
+    /// Parse and verify a sealed header from the front of `buf`.
+    ///
+    /// Returns the header, the total bytes consumed (header + trailer),
+    /// and whether the payload checksum in the trailer matched. A CRC
+    /// failure anywhere in the header region is an error; a mismatched
+    /// *payload* checksum is not — the header is trustworthy, the payload
+    /// is not, and the caller (a receiving endpoint) decides what to do.
+    ///
+    /// The integrity-flags byte must be exactly `INTEGRITY_SEALED`: the
+    /// sealed parser never falls back to the legacy all-zero form, so a
+    /// corrupted flags byte cannot disguise a damaged header as a
+    /// checksum-free legacy one.
+    pub fn parse_sealed(buf: &[u8]) -> Result<(MtpHeader, usize, bool), WireError> {
+        if buf.len() < FIXED_HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: FIXED_HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        if buf[41] != crate::integrity::INTEGRITY_SEALED {
+            return Err(WireError::BadIntegrityFlags(buf[41]));
+        }
+        // The structural walk happens on a scratch copy with the integrity
+        // bytes zeroed, so the legacy parser's strict reserved-byte check
+        // passes; the walk itself is total and panic-free, so running it
+        // before the CRC check is safe — nothing is *trusted* until the
+        // CRC over the walked region matches.
+        let mut tmp = buf.to_vec();
+        tmp[41] = 0;
+        tmp[42] = 0;
+        tmp[43] = 0;
+        let (hdr, used) = MtpHeader::parse(&tmp)?;
+        let stored_crc = u16::from_be_bytes([buf[42], buf[43]]);
+        tmp[41] = crate::integrity::INTEGRITY_SEALED;
+        if crate::integrity::crc16_ccitt(&tmp[..used]) != stored_crc {
+            return Err(WireError::BadHeaderCrc);
+        }
+        let need = used + crate::integrity::PAYLOAD_CSUM_LEN;
+        if buf.len() < need {
+            return Err(WireError::Truncated {
+                needed: need,
+                got: buf.len(),
+            });
+        }
+        let stored_csum =
+            u32::from_be_bytes([buf[used], buf[used + 1], buf[used + 2], buf[used + 3]]);
+        let payload_ok = stored_csum == hdr.payload_csum();
+        Ok((hdr, need, payload_ok))
+    }
+
     /// Parse a header from the front of `buf`. Returns the header and the
     /// number of bytes it occupied.
     pub fn parse(buf: &[u8]) -> Result<(MtpHeader, usize), WireError> {
@@ -261,13 +346,15 @@ impl MtpHeader {
             msg_pri: buf[5],
             tc: TrafficClass(buf[6]),
             flags: buf[7],
-            msg_id: MsgId(u64::from_be_bytes(buf[8..16].try_into().expect("8 bytes"))),
+            msg_id: MsgId(u64::from_be_bytes([
+                buf[8], buf[9], buf[10], buf[11], buf[12], buf[13], buf[14], buf[15],
+            ])),
             entity: EntityId(u16::from_be_bytes([buf[16], buf[17]])),
-            msg_len_pkts: u32::from_be_bytes(buf[18..22].try_into().expect("4 bytes")),
-            msg_len_bytes: u32::from_be_bytes(buf[22..26].try_into().expect("4 bytes")),
-            pkt_num: PktNum(u32::from_be_bytes(buf[26..30].try_into().expect("4 bytes"))),
+            msg_len_pkts: u32::from_be_bytes([buf[18], buf[19], buf[20], buf[21]]),
+            msg_len_bytes: u32::from_be_bytes([buf[22], buf[23], buf[24], buf[25]]),
+            pkt_num: PktNum(u32::from_be_bytes([buf[26], buf[27], buf[28], buf[29]])),
             pkt_len: u16::from_be_bytes([buf[30], buf[31]]),
-            pkt_offset: u32::from_be_bytes(buf[32..36].try_into().expect("4 bytes")),
+            pkt_offset: u32::from_be_bytes([buf[32], buf[33], buf[34], buf[35]]),
             ..MtpHeader::default()
         };
         let n_excl = buf[36] as usize;
@@ -321,12 +408,22 @@ impl MtpHeader {
             for _ in 0..count {
                 need(at, SACK_ENTRY_LEN, buf)?;
                 let entry = SackEntry {
-                    msg: MsgId(u64::from_be_bytes(
-                        buf[at..at + 8].try_into().expect("8 bytes"),
-                    )),
-                    pkt: PktNum(u32::from_be_bytes(
-                        buf[at + 8..at + 12].try_into().expect("4 bytes"),
-                    )),
+                    msg: MsgId(u64::from_be_bytes([
+                        buf[at],
+                        buf[at + 1],
+                        buf[at + 2],
+                        buf[at + 3],
+                        buf[at + 4],
+                        buf[at + 5],
+                        buf[at + 6],
+                        buf[at + 7],
+                    ])),
+                    pkt: PktNum(u32::from_be_bytes([
+                        buf[at + 8],
+                        buf[at + 9],
+                        buf[at + 10],
+                        buf[at + 11],
+                    ])),
                 };
                 if is_nack {
                     hdr.nack.push(entry);
@@ -483,6 +580,67 @@ mod tests {
             hdr.to_bytes(),
             Err(WireError::TooManyEntries { list: "sack", .. })
         ));
+    }
+
+    #[test]
+    fn sealed_roundtrip_and_lengths() {
+        let hdr = sample();
+        let sealed = hdr.to_sealed_bytes().unwrap();
+        assert_eq!(sealed.len(), hdr.sealed_wire_len());
+        assert_eq!(sealed.len(), hdr.wire_len() + 4);
+        let (back, used, payload_ok) = MtpHeader::parse_sealed(&sealed).unwrap();
+        assert_eq!(used, sealed.len());
+        assert!(payload_ok);
+        assert_eq!(back, hdr);
+    }
+
+    #[test]
+    fn sealed_rejects_legacy_and_legacy_rejects_sealed() {
+        let hdr = sample();
+        let legacy = hdr.to_bytes().unwrap();
+        assert_eq!(
+            MtpHeader::parse_sealed(&legacy),
+            Err(WireError::BadIntegrityFlags(0))
+        );
+        let sealed = hdr.to_sealed_bytes().unwrap();
+        assert_eq!(MtpHeader::parse(&sealed), Err(WireError::BadReserved));
+    }
+
+    #[test]
+    fn sealed_detects_every_single_bit_flip_in_header() {
+        let hdr = sample();
+        let sealed = hdr.to_sealed_bytes().unwrap();
+        let hdr_bits = (sealed.len() - 4) * 8;
+        for bit in 0..hdr_bits {
+            let mut m = sealed.clone();
+            m[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                MtpHeader::parse_sealed(&m).is_err(),
+                "flip at bit {bit} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn sealed_trailer_flip_flags_payload_not_header() {
+        let hdr = sample();
+        let mut sealed = hdr.to_sealed_bytes().unwrap();
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x40;
+        let (back, _, payload_ok) = MtpHeader::parse_sealed(&sealed).unwrap();
+        assert_eq!(back, hdr, "header region untouched");
+        assert!(!payload_ok, "payload checksum must fail");
+    }
+
+    #[test]
+    fn sealed_rejects_truncation_at_every_cut() {
+        let sealed = sample().to_sealed_bytes().unwrap();
+        for cut in 0..sealed.len() {
+            assert!(
+                MtpHeader::parse_sealed(&sealed[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
     }
 
     #[test]

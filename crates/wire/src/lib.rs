@@ -59,7 +59,8 @@
 //!     38     1  ack_path_feedback_count
 //!     39     1  sack_count
 //!     40     1  nack_count
-//!     41     3  reserved (zero)
+//!     41     1  integrity_flags     (0 = legacy; 0x03 = sealed, see below)
+//!     42     2  header_crc          (CRC-16/CCITT over the header; 0 if legacy)
 //!     44     -  path_exclude        (path_id u16, tc u8) * n            — 3 B each
 //!      .     -  path_feedback       (path_id u16, tc u8, TLV) * n       — 5+len B each
 //!      .     -  ack_path_feedback   (path_id u16, tc u8, TLV) * n       — 5+len B each
@@ -72,6 +73,17 @@
 //! simultaneously — an ECN mark for a DCTCP-like controller, an explicit
 //! rate for an RCP-like controller, a delay sample for a Swift-like
 //! controller (paper §3.1.3, §4 "Managing Complexity").
+//!
+//! ## Integrity (the sealed form)
+//!
+//! Because in-network devices *trust and mutate* header fields in flight,
+//! the header can carry its own integrity protection in the formerly
+//! reserved bytes 41–43 plus a 4-byte payload-checksum trailer after the
+//! last variable section (see [`integrity`]). The legacy form (bytes 41–43
+//! all zero, no trailer) remains byte-identical to what this crate has
+//! always emitted; [`MtpHeader::to_sealed_bytes`] /
+//! [`MtpHeader::parse_sealed`] produce and require the sealed form
+//! exactly, with no silent fallback between the two.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,6 +93,7 @@ pub mod capabilities;
 pub mod error;
 pub mod feedback;
 pub mod header;
+pub mod integrity;
 pub mod tcp;
 pub mod types;
 pub mod view;
@@ -89,7 +102,8 @@ pub use bridge::{decapsulate, encapsulate};
 pub use error::WireError;
 pub use feedback::{Feedback, PathFeedback};
 pub use header::{MtpHeader, PathExclude, SackEntry};
-pub use tcp::{TcpFlags, TcpHeader};
+pub use integrity::{crc16_ccitt, crc32, Crc16, INTEGRITY_SEALED, PAYLOAD_CSUM_LEN};
+pub use tcp::{TcpFlags, TcpHeader, TCP_INTEGRITY_SEALED, TCP_SEALED_LEN};
 pub use types::{EcnCodepoint, EntityId, MsgId, PathletId, PktNum, PktType, TrafficClass};
 pub use view::MtpView;
 

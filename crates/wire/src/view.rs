@@ -28,6 +28,12 @@ pub struct MtpView<'a> {
     sack_at: usize,
     /// Total header length.
     total: usize,
+    /// Packet type, decoded once during validation so the accessor never
+    /// re-derives (let alone unwraps) anything.
+    pkt_type: PktType,
+    /// True if the buffer holds the sealed form (header CRC verified at
+    /// construction, payload-checksum trailer present after the header).
+    sealed: bool,
 }
 
 impl<'a> MtpView<'a> {
@@ -43,7 +49,7 @@ impl<'a> MtpView<'a> {
                 got: buf.len(),
             });
         }
-        PktType::from_wire(buf[4]).ok_or(WireError::BadPktType(buf[4]))?;
+        let pkt_type = PktType::from_wire(buf[4]).ok_or(WireError::BadPktType(buf[4]))?;
         let n_excl = buf[36] as usize;
         let n_fb = buf[37] as usize;
         let n_ack_fb = buf[38] as usize;
@@ -77,18 +83,89 @@ impl<'a> MtpView<'a> {
                 got: buf.len(),
             });
         }
+        // Integrity bytes: either the legacy all-zero reserved form, or
+        // the sealed form whose header CRC must verify before any field
+        // is trusted.
+        let sealed = match buf[41] {
+            0 => {
+                if buf[42] != 0 || buf[43] != 0 {
+                    return Err(WireError::BadReserved);
+                }
+                false
+            }
+            v if v == crate::integrity::INTEGRITY_SEALED => {
+                let stored = u16::from_be_bytes([buf[42], buf[43]]);
+                let mut crc = crate::integrity::Crc16::new();
+                crc.update(&buf[..42]);
+                crc.update(&[0, 0]);
+                crc.update(&buf[44..total]);
+                if crc.finish() != stored {
+                    return Err(WireError::BadHeaderCrc);
+                }
+                let need = total + crate::integrity::PAYLOAD_CSUM_LEN;
+                if buf.len() < need {
+                    return Err(WireError::Truncated {
+                        needed: need,
+                        got: buf.len(),
+                    });
+                }
+                true
+            }
+            v => return Err(WireError::BadIntegrityFlags(v)),
+        };
         Ok(MtpView {
             buf,
             fb_at,
             ack_fb_at,
             sack_at,
             total,
+            pkt_type,
+            sealed,
         })
     }
 
-    /// Total encoded length of the header.
+    /// Total encoded length of the header (excluding the payload-checksum
+    /// trailer of a sealed buffer; see [`sealed_len`](Self::sealed_len)).
     pub fn header_len(&self) -> usize {
         self.total
+    }
+
+    /// True if the buffer holds the sealed form: the header CRC was
+    /// verified during construction and a payload-checksum trailer
+    /// follows the header.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Total bytes occupied including the payload-checksum trailer, when
+    /// sealed; identical to [`header_len`](Self::header_len) otherwise.
+    pub fn sealed_len(&self) -> usize {
+        if self.sealed {
+            self.total + crate::integrity::PAYLOAD_CSUM_LEN
+        } else {
+            self.total
+        }
+    }
+
+    /// Whether the sealed payload checksum matches the header's payload
+    /// descriptor. `None` for legacy (unsealed) buffers.
+    pub fn payload_csum_ok(&self) -> Option<bool> {
+        if !self.sealed {
+            return None;
+        }
+        let at = self.total;
+        let stored = u32::from_be_bytes([
+            self.buf[at],
+            self.buf[at + 1],
+            self.buf[at + 2],
+            self.buf[at + 3],
+        ]);
+        let mut d = [0u8; 18];
+        d[0..8].copy_from_slice(&self.buf[8..16]);
+        d[8..12].copy_from_slice(&self.buf[26..30]);
+        d[12..16].copy_from_slice(&self.buf[32..36]);
+        d[16..18].copy_from_slice(&self.buf[30..32]);
+        Some(crate::integrity::crc32(&d) == stored)
     }
 
     /// Source application port.
@@ -101,9 +178,9 @@ impl<'a> MtpView<'a> {
         u16::from_be_bytes([self.buf[2], self.buf[3]])
     }
 
-    /// Packet type.
+    /// Packet type (decoded and validated during construction).
     pub fn pkt_type(&self) -> PktType {
-        PktType::from_wire(self.buf[4]).expect("validated in new()")
+        self.pkt_type
     }
 
     /// Message priority.
@@ -123,9 +200,10 @@ impl<'a> MtpView<'a> {
 
     /// Message identifier.
     pub fn msg_id(&self) -> MsgId {
-        MsgId(u64::from_be_bytes(
-            self.buf[8..16].try_into().expect("8 bytes"),
-        ))
+        let b = self.buf;
+        MsgId(u64::from_be_bytes([
+            b[8], b[9], b[10], b[11], b[12], b[13], b[14], b[15],
+        ]))
     }
 
     /// Originating entity.
@@ -135,20 +213,21 @@ impl<'a> MtpView<'a> {
 
     /// Message length in packets.
     pub fn msg_len_pkts(&self) -> u32 {
-        u32::from_be_bytes(self.buf[18..22].try_into().expect("4 bytes"))
+        let b = self.buf;
+        u32::from_be_bytes([b[18], b[19], b[20], b[21]])
     }
 
     /// Message length in bytes — the field that lets a device "know in
     /// advance how much buffering is needed to process a message" (§3.1.2).
     pub fn msg_len_bytes(&self) -> u32 {
-        u32::from_be_bytes(self.buf[22..26].try_into().expect("4 bytes"))
+        let b = self.buf;
+        u32::from_be_bytes([b[22], b[23], b[24], b[25]])
     }
 
     /// Packet number within the message.
     pub fn pkt_num(&self) -> PktNum {
-        PktNum(u32::from_be_bytes(
-            self.buf[26..30].try_into().expect("4 bytes"),
-        ))
+        let b = self.buf;
+        PktNum(u32::from_be_bytes([b[26], b[27], b[28], b[29]]))
     }
 
     /// Payload length of this packet.
@@ -158,7 +237,8 @@ impl<'a> MtpView<'a> {
 
     /// Byte offset of this packet within the message.
     pub fn pkt_offset(&self) -> u32 {
-        u32::from_be_bytes(self.buf[32..36].try_into().expect("4 bytes"))
+        let b = self.buf;
+        u32::from_be_bytes([b[32], b[33], b[34], b[35]])
     }
 
     /// Iterate the path-exclude list without allocating.
@@ -215,12 +295,22 @@ impl<'a> MtpView<'a> {
         (0..count).map(move |i| {
             let at = start + i * SACK_ENTRY_LEN;
             SackEntry {
-                msg: MsgId(u64::from_be_bytes(
-                    buf[at..at + 8].try_into().expect("8 bytes"),
-                )),
-                pkt: PktNum(u32::from_be_bytes(
-                    buf[at + 8..at + 12].try_into().expect("4 bytes"),
-                )),
+                msg: MsgId(u64::from_be_bytes([
+                    buf[at],
+                    buf[at + 1],
+                    buf[at + 2],
+                    buf[at + 3],
+                    buf[at + 4],
+                    buf[at + 5],
+                    buf[at + 6],
+                    buf[at + 7],
+                ])),
+                pkt: PktNum(u32::from_be_bytes([
+                    buf[at + 8],
+                    buf[at + 9],
+                    buf[at + 10],
+                    buf[at + 11],
+                ])),
             }
         })
     }
@@ -327,6 +417,68 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(
                 MtpView::new(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn view_accepts_sealed_and_verifies_crc() {
+        let hdr = sample();
+        let sealed = hdr.to_sealed_bytes().unwrap();
+        let view = MtpView::new(&sealed).unwrap();
+        assert!(view.is_sealed());
+        assert_eq!(view.sealed_len(), sealed.len());
+        assert_eq!(view.header_len(), sealed.len() - 4);
+        assert_eq!(view.payload_csum_ok(), Some(true));
+        assert_eq!(view.msg_id(), hdr.msg_id);
+        assert_eq!(view.pkt_type(), hdr.pkt_type);
+
+        // Legacy buffers report unsealed.
+        let legacy = hdr.to_bytes().unwrap();
+        let view = MtpView::new(&legacy).unwrap();
+        assert!(!view.is_sealed());
+        assert_eq!(view.sealed_len(), legacy.len());
+        assert_eq!(view.payload_csum_ok(), None);
+    }
+
+    #[test]
+    fn view_rejects_corrupted_sealed_header() {
+        let sealed = sample().to_sealed_bytes().unwrap();
+        let hdr_bits = (sealed.len() - 4) * 8;
+        for bit in 0..hdr_bits {
+            let mut m = sealed.clone();
+            m[bit / 8] ^= 1 << (bit % 8);
+            assert!(MtpView::new(&m).is_err(), "flip at bit {bit}");
+        }
+        // A flip confined to the payload-checksum trailer leaves the header
+        // valid but flags the payload.
+        let mut m = sealed.clone();
+        let last = m.len() - 1;
+        m[last] ^= 1;
+        let view = MtpView::new(&m).unwrap();
+        assert_eq!(view.payload_csum_ok(), Some(false));
+    }
+
+    #[test]
+    fn view_rejects_bad_integrity_flags() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes[41] = 0x02;
+        assert_eq!(
+            MtpView::new(&bytes).unwrap_err(),
+            WireError::BadIntegrityFlags(0x02)
+        );
+        bytes[41] = 0;
+        bytes[42] = 1;
+        assert_eq!(MtpView::new(&bytes).unwrap_err(), WireError::BadReserved);
+    }
+
+    #[test]
+    fn view_rejects_sealed_truncation_at_every_cut() {
+        let sealed = sample().to_sealed_bytes().unwrap();
+        for cut in 0..sealed.len() {
+            assert!(
+                MtpView::new(&sealed[..cut]).is_err(),
                 "cut at {cut} must fail"
             );
         }
