@@ -87,6 +87,7 @@ fn granularity() -> GranularityOut {
         sim.connect(sw1, PortId(2), sw2, PortId(2), mk(slow), mk(slow));
         sim.connect(sw2, PortId(0), sink, PortId(0), mk(host), mk(host));
         sim.run_until(horizon);
+        mtp_sim::assert_conservation(&sim);
         let rates = sim.node_as::<MtpSinkNode>(sink).goodput.rates_gbps();
         let tail = &rates[warm.min(rates.len())..];
         tail.iter().sum::<f64>() / tail.len().max(1) as f64
@@ -148,6 +149,7 @@ fn header_overhead() -> Vec<OverheadRow> {
         sim.connect(sw_nodes[0], PortId(1), sw_nodes[1], PortId(0), mk(), mk());
         let (to_sink, _) = sim.connect(sw_nodes[1], PortId(1), sink, PortId(0), mk(), mk());
         sim.run_until(Time::ZERO + Duration::from_millis(20));
+        mtp_sim::assert_conservation(&sim);
         let goodput = sim.node_as::<MtpSinkNode>(sink).total_goodput();
         let stats = sim.link_stats(to_sink);
         let hdr_bytes = stats.tx_bytes.saturating_sub(goodput);
@@ -198,6 +200,7 @@ fn blob_vs_message() -> BlobOut {
             Duration::from_micros(100),
         );
         tp.sim.run_until(Time::ZERO + Duration::from_millis(100));
+        mtp_sim::assert_conservation(&tp.sim);
         let sender = tp.sim.node_as::<MtpSenderNode>(tp.sender);
         let fct = sender
             .msgs
@@ -270,6 +273,7 @@ fn ndp_incast() -> NdpOut {
             shared_queue,
         );
         bell.sim.run_until(Time::ZERO + Duration::from_millis(50));
+        mtp_sim::assert_conservation(&bell.sim);
         let mut fcts = Vec::new();
         let mut timeouts = 0;
         for &s in &bell.senders {

@@ -136,6 +136,7 @@ fn main() {
         times.push(t.as_micros_f64());
         bufs.push(sim.node_as::<TcpProxyNode>(proxy).buffered_bytes() as f64 / 1e6);
     }
+    mtp_sim::assert_conservation(&sim);
 
     println!("Figure 2: TCP termination at a 100 Gbps -> 40 Gbps proxy\n");
     println!("(a) unlimited receive window: proxy buffer occupancy");
@@ -159,6 +160,7 @@ fn main() {
         let cap = cap_kb * 1024;
         let (mut sim, proxy) = build(Some(cap));
         sim.run_until(Time::ZERO + Duration::from_millis(4));
+        mtp_sim::assert_conservation(&sim);
         let p = sim.node_as::<TcpProxyNode>(proxy);
         let hol = drain.serialize_time(p.max_buffered.min(u32::MAX as u64) as u32);
         let row = CapRow {

@@ -49,6 +49,7 @@ fn run(mode: TcpWorkloadMode, seed: u64) -> (Vec<f64>, f64, f64) {
         None,
     );
     bell.sim.run_until(Time::ZERO + horizon);
+    mtp_sim::assert_conservation(&bell.sim);
     // Aggregate goodput over the 4 receivers, per 32 us bin.
     let mut agg: Vec<f64> = Vec::new();
     for &sink in &bell.sinks {

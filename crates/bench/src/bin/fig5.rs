@@ -85,6 +85,7 @@ fn main() {
         SAMPLE,
     );
     dctcp.sim.run_until(horizon);
+    mtp_sim::assert_conservation(&dctcp.sim);
     let dctcp_series = {
         let sink = dctcp.sim.node_as::<TcpSinkNode>(dctcp.sink);
         sink.goodput.rates_gbps()
@@ -101,6 +102,7 @@ fn main() {
         SAMPLE,
     );
     mtp.sim.run_until(horizon);
+    mtp_sim::assert_conservation(&mtp.sim);
     let mtp_series = {
         let sink = mtp.sim.node_as::<MtpSinkNode>(mtp.sink);
         sink.goodput.rates_gbps()

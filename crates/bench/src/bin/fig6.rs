@@ -94,6 +94,7 @@ fn run(strategy: Strategy) -> RunOut {
     // Run past the horizon so stragglers finish.
     tp.sim
         .run_until(Time::ZERO + Duration::from_millis(HORIZON_MS * 4));
+    mtp_sim::assert_conservation(&tp.sim);
     let sender = tp.sim.node_as::<MtpSenderNode>(tp.sender);
     let mut fct = FctCollector::new();
     let mut slowdowns = Vec::new();

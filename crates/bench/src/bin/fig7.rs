@@ -106,6 +106,7 @@ fn run_dctcp(separate_queues: bool) -> (f64, f64) {
         shared_queue,
     );
     bell.sim.run_until(Time::ZERO + HORIZON);
+    mtp_sim::assert_conservation(&bell.sim);
     let series: Vec<Vec<f64>> = bell
         .sinks
         .iter()
@@ -152,6 +153,7 @@ fn run_mtp_fairshare() -> (f64, f64) {
         None,
     );
     bell.sim.run_until(Time::ZERO + HORIZON);
+    mtp_sim::assert_conservation(&bell.sim);
     let series: Vec<Vec<f64>> = bell
         .sinks
         .iter()

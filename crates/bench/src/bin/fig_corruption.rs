@@ -169,6 +169,7 @@ fn run_mtp() -> Contender {
     );
     let mut drv = FaultDriver::new(storm(&d));
     drv.run_until(&mut d.sim, us(HORIZON_US));
+    mtp_sim::assert_conservation(&d.sim);
     // Exactly-once under the storm: every message delivered once, byte
     // totals consistent, nothing duplicated by retransmission.
     Ledger::capture(&d.sim, d.sender, d.sink).assert_exactly_once("fig_corruption/mtp");
@@ -205,6 +206,7 @@ fn run_tcp(name: &'static str, cfg: TcpConfig) -> Contender {
     );
     let mut drv = FaultDriver::new(storm(&d));
     drv.run_until(&mut d.sim, us(HORIZON_US));
+    mtp_sim::assert_conservation(&d.sim);
     let corrupted = corrupted_frames(&d);
     let detected = Detected {
         sender: d.sim.node_as::<TcpSenderNode>(d.sender).malformed,

@@ -124,6 +124,7 @@ fn run_mtp() -> Contender {
     );
     let mut drv = FaultDriver::new(outage(&d));
     drv.run_until(&mut d.sim, us(HORIZON_US));
+    mtp_sim::assert_conservation(&d.sim);
     // The exactly-once ledger backs the completion numbers: every message
     // delivered once, byte totals consistent, nothing left unfinished.
     Ledger::capture(&d.sim, d.sender, d.sink).assert_exactly_once("fig_failover");
@@ -150,6 +151,7 @@ fn run_tcp(name: &'static str, cfg: TcpConfig) -> Contender {
     );
     let mut drv = FaultDriver::new(outage(&d));
     drv.run_until(&mut d.sim, us(HORIZON_US));
+    mtp_sim::assert_conservation(&d.sim);
     let snd = d.sim.node_as::<TcpSenderNode>(d.sender);
     summarize(
         name,

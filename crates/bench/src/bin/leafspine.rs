@@ -113,6 +113,7 @@ fn run(name: &'static str) -> Row {
     );
     ls.sim
         .run_until(Time::ZERO + Duration::from_millis(HORIZON_MS * 6));
+    mtp_sim::assert_conservation(&ls.sim);
 
     let mut fct = FctCollector::new();
     let mut retx = 0;
@@ -183,6 +184,10 @@ impl mtp_sim::Node for MtpDuplexHost {
     }
     fn on_timer(&mut self, ctx: &mut mtp_sim::Ctx<'_>, token: u64) {
         self.sender.on_timer(ctx, token);
+    }
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        mtp_sim::Node::audit_counters(&self.sender, out);
+        mtp_sim::Node::audit_counters(&self.sink, out);
     }
     fn name(&self) -> &str {
         "duplex-host"

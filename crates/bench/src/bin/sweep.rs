@@ -46,6 +46,7 @@ fn one_seed(seed: u64) -> (f64, f64) {
         SAMPLE,
     );
     dctcp.sim.run_until(horizon);
+    mtp_sim::assert_conservation(&dctcp.sim);
     let d = steady_mean(
         &dctcp
             .sim
@@ -67,6 +68,7 @@ fn one_seed(seed: u64) -> (f64, f64) {
         SAMPLE,
     );
     mtp.sim.run_until(horizon);
+    mtp_sim::assert_conservation(&mtp.sim);
     let m = steady_mean(
         &mtp.sim
             .node_as::<MtpSinkNode>(mtp.sink)

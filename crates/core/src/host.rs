@@ -7,12 +7,80 @@
 //! sans-IO cores.
 
 use mtp_sim::time::{Duration, Time};
-use mtp_sim::{BinSeries, Ctx, Headers, Node, Packet, PortId};
+use mtp_sim::{BinSeries, Ctx, Gauge, Headers, HistId, Metric, Node, Packet, PortId};
 use mtp_wire::{EntityId, MsgId, PktType, TrafficClass};
 
 use crate::config::MtpConfig;
-use crate::receiver::{MsgDelivered, MtpReceiver};
-use crate::sender::{MtpSender, SenderEvent};
+use crate::receiver::{MsgDelivered, MtpReceiver, MtpReceiverStats};
+use crate::sender::{MtpSender, MtpSenderStats, SenderEvent};
+
+/// Mirrors an MTP endpoint's core counters into the simulation's metrics
+/// registry, as deltas pushed through [`Ctx`] after each event.
+///
+/// The sans-IO cores ([`MtpSender`], [`MtpReceiver`]) keep their own
+/// counters and know nothing about the registry; node adapters own one of
+/// these shadows per endpoint and call the `sync_*` methods after every
+/// callback. The conservation audit then reconciles the registry against
+/// the cores' own counters (via [`Node::audit_counters`]), so an adapter
+/// path that forgets to sync is caught.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EndpointMirror {
+    submitted: u64,
+    completed: u64,
+    timeouts: u64,
+    retransmissions: u64,
+    delivered: u64,
+    goodput: u64,
+}
+
+impl EndpointMirror {
+    /// Record `n` newly submitted messages (call at the `send_message`
+    /// site — submission is an adapter-level event the core cannot see).
+    pub fn on_submit(&mut self, ctx: &mut Ctx<'_>, n: u64) {
+        self.submitted += n;
+        ctx.count(Metric::MsgsSubmitted, n);
+        ctx.gauge_add(Gauge::MsgsInFlight, n as i64);
+    }
+
+    /// Push any sender-counter movement since the last sync.
+    pub fn sync_sender(&mut self, ctx: &mut Ctx<'_>, s: &MtpSenderStats) {
+        let d = s.msgs_completed - self.completed;
+        if d > 0 {
+            self.completed = s.msgs_completed;
+            ctx.count(Metric::MsgsCompleted, d);
+            ctx.gauge_add(Gauge::MsgsInFlight, -(d as i64));
+        }
+        let d = s.timeouts - self.timeouts;
+        if d > 0 {
+            self.timeouts = s.timeouts;
+            ctx.count(Metric::Timeouts, d);
+        }
+        let d = s.retransmissions - self.retransmissions;
+        if d > 0 {
+            self.retransmissions = s.retransmissions;
+            ctx.count(Metric::Retransmissions, d);
+        }
+    }
+
+    /// Push any receiver-counter movement since the last sync.
+    pub fn sync_receiver(&mut self, ctx: &mut Ctx<'_>, r: &MtpReceiverStats) {
+        let d = r.msgs_delivered - self.delivered;
+        if d > 0 {
+            self.delivered = r.msgs_delivered;
+            ctx.count(Metric::MsgsDelivered, d);
+        }
+        let d = r.goodput_bytes - self.goodput;
+        if d > 0 {
+            self.goodput = r.goodput_bytes;
+            ctx.count(Metric::GoodputBytes, d);
+        }
+    }
+
+    /// Messages counted through [`on_submit`](Self::on_submit) so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+}
 
 const TOKEN_KIND_SHIFT: u64 = 32;
 const KIND_MSG: u64 = 1;
@@ -78,6 +146,8 @@ pub struct MtpSenderNode {
     closed_loop: bool,
     /// Packets rejected by the wire-integrity check (corrupted in flight).
     pub malformed: u64,
+    /// Registry-mirror shadow for the embedded sender's counters.
+    mirror: EndpointMirror,
     name: String,
     /// Reusable buffers for packets, events, and completed indices; taken
     /// and restored around each callback so steady state never allocates.
@@ -114,6 +184,7 @@ impl MtpSenderNode {
             armed: None,
             closed_loop: false,
             malformed: 0,
+            mirror: EndpointMirror::default(),
             name: format!("mtp-sender-{addr}"),
             out_buf: Vec::new(),
             ev_buf: Vec::new(),
@@ -141,9 +212,10 @@ impl MtpSenderNode {
     }
 
     /// Record completions from pending sender events into `done_buf`
-    /// (schedule indices). Buffers are reused; nothing allocates once
+    /// (schedule indices) and sample each message's FCT and size into the
+    /// registry histograms. Buffers are reused; nothing allocates once
     /// they have grown to the workload's high-water mark.
-    fn drain_completions(&mut self) {
+    fn drain_completions(&mut self, ctx: &mut Ctx<'_>) {
         debug_assert!(self.done_buf.is_empty());
         let mut ev = std::mem::take(&mut self.ev_buf);
         self.sender.drain_events(&mut ev);
@@ -152,6 +224,10 @@ impl MtpSenderNode {
             if let Ok(at) = self.msg_index.binary_search_by_key(&id.0, |&(m, _)| m.0) {
                 let idx = self.msg_index[at].1;
                 self.msgs[idx].completed = Some(completed);
+                if let Some(fct) = self.msgs[idx].fct() {
+                    ctx.record_hist(HistId::MsgFctUs, fct.0 / 1_000_000);
+                    ctx.record_hist(HistId::MsgBytes, self.msgs[idx].bytes as u64);
+                }
                 self.done_buf.push(idx);
             }
         }
@@ -167,6 +243,7 @@ impl MtpSenderNode {
             .send_message(self.dst, s.bytes, s.pri, s.tc, now, &mut out);
         self.msg_index.push((id, idx));
         self.msgs[idx].submitted = now;
+        self.mirror.on_submit(ctx, 1);
         self.flush(ctx, &mut out);
         self.out_buf = out;
     }
@@ -233,7 +310,7 @@ impl Node for MtpSenderNode {
                 self.sender.on_ack(now, &hdr, &mut out);
                 self.flush(ctx, &mut out);
                 self.out_buf = out;
-                self.drain_completions();
+                self.drain_completions(ctx);
                 self.sync_timer(ctx);
                 self.after_completions(ctx);
                 self.sync_timer(ctx);
@@ -241,6 +318,7 @@ impl Node for MtpSenderNode {
             PktType::Control => self.sender.on_control(now, &hdr),
             PktType::Data => {}
         }
+        self.mirror.sync_sender(ctx, &self.sender.stats);
         mtp_sim::pool::recycle_header(hdr);
     }
 
@@ -259,10 +337,19 @@ impl Node for MtpSenderNode {
             }
             _ => {}
         }
-        self.drain_completions();
+        self.drain_completions(ctx);
         self.sync_timer(ctx);
         self.after_completions(ctx);
         self.sync_timer(ctx);
+        self.mirror.sync_sender(ctx, &self.sender.stats);
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.malformed;
+        out.msgs_submitted += self.msg_index.len() as u64;
+        out.msgs_completed += self.sender.stats.msgs_completed;
+        out.timeouts += self.sender.stats.timeouts;
+        out.retransmissions += self.sender.stats.retransmissions;
     }
 
     fn name(&self) -> &str {
@@ -282,6 +369,8 @@ pub struct MtpSinkNode {
     /// plus data packets whose payload checksum failed (dropped without an
     /// ACK, so the sender retransmits them like any loss).
     pub malformed: u64,
+    /// Registry-mirror shadow for the embedded receiver's counters.
+    mirror: EndpointMirror,
     name: String,
 }
 
@@ -293,6 +382,7 @@ impl MtpSinkNode {
             goodput: BinSeries::new(bin),
             delivered: Vec::new(),
             malformed: 0,
+            mirror: EndpointMirror::default(),
             name: format!("mtp-sink-{addr}"),
         }
     }
@@ -337,7 +427,14 @@ impl Node for MtpSinkNode {
             self.goodput.add(now, newly as f64);
         }
         self.receiver.drain_events(&mut self.delivered);
+        self.mirror.sync_receiver(ctx, &self.receiver.stats);
         ctx.send(PortId(0), ack);
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.malformed;
+        out.msgs_delivered += self.receiver.stats.msgs_delivered;
+        out.goodput_bytes += self.receiver.stats.goodput_bytes;
     }
 
     fn name(&self) -> &str {

@@ -62,7 +62,7 @@ pub mod sender;
 
 pub use blob::{send_blob, BlobComplete, BlobHandle, BlobReassembler};
 pub use config::{FailoverConfig, MtpConfig};
-pub use host::{MtpMsgRecord, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+pub use host::{EndpointMirror, MtpMsgRecord, MtpSenderNode, MtpSinkNode, ScheduledMsg};
 pub use pathlet_cc::{CcKind, DctcpLikeCc, FixedWindowCc, PathletCc, RcpLikeCc, SwiftLikeCc};
 pub use pathlets::{PathletEntry, PathletTable};
 pub use receiver::{MsgDelivered, MtpReceiver, MtpReceiverStats};

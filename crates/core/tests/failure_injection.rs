@@ -41,6 +41,7 @@ fn run_with_queue(
         LinkCfg::drop_tail(rate, d, 512),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(horizon_ms));
+    mtp_sim::assert_conservation(&sim);
     (sim, snd, sink)
 }
 
@@ -148,6 +149,7 @@ fn ack_loss_is_repaired_by_retransmission() {
         },
     );
     sim.run_until(Time::ZERO + Duration::from_millis(500));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done(), "completed despite ACK loss");
     let sink = sim.node_as::<MtpSinkNode>(sink);
@@ -186,6 +188,7 @@ fn closed_loop_submission_is_sequential() {
         LinkCfg::drop_tail(rate, d, 256),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(100));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
     // Submissions are strictly ordered: message i+1 submitted at message
@@ -224,6 +227,7 @@ fn receiver_gc_reclaims_completed_state() {
         LinkCfg::drop_tail(rate, d, 256),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(100));
+    mtp_sim::assert_conservation(&sim);
     let now = sim.now();
     let sink = sim.node_as_mut::<MtpSinkNode>(sink);
     assert_eq!(sink.delivered.len(), 10);

@@ -54,6 +54,7 @@ fn run_cell(seed: u64, ctx: &str, build: impl Fn(&Diamond) -> FaultSchedule) -> 
     let mut drv = FaultDriver::new(sched);
     drv.run_until(&mut d.sim, us(100_000));
     assert_eq!(drv.remaining(), 0, "[{ctx}] faults left unapplied");
+    mtp_sim::assert_conservation(&d.sim);
     let ledger = Ledger::capture(&d.sim, d.sender, d.sink);
     ledger.assert_exactly_once(ctx);
     ledger
@@ -188,6 +189,7 @@ fn run_corruption_cell(
     let mut drv = FaultDriver::new(sched);
     drv.run_until(&mut d.sim, us(100_000));
     assert_eq!(drv.remaining(), 0, "[{ctx}] faults left unapplied");
+    mtp_sim::assert_conservation(&d.sim);
     let ledger = Ledger::capture(&d.sim, d.sender, d.sink);
     ledger.assert_exactly_once(ctx);
     let corrupted: u64 = [d.a_fwd, d.a_rev, d.b_fwd, d.b_rev]
@@ -321,6 +323,7 @@ fn failover_machinery_actually_engaged() {
     );
     let mut drv = FaultDriver::new(s);
     drv.run_until(&mut d.sim, us(100_000));
+    mtp_sim::assert_conservation(&d.sim);
     let stats = &d.sim.node_as::<MtpSenderNode>(d.sender).sender.stats;
     assert!(stats.quarantines > 0, "no pathlet was quarantined");
     assert!(

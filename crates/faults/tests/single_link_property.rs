@@ -42,6 +42,7 @@ proptest! {
         sched.link_down(us(cut_us), link, mode);
         let mut drv = FaultDriver::new(sched);
         drv.run_until(&mut d.sim, us(200_000));
+        mtp_sim::assert_conservation(&d.sim);
         let unfinished = d
             .sim
             .node_as::<MtpSenderNode>(d.sender)

@@ -41,6 +41,7 @@ fn tcp_pinned_flow_stalls_for_the_whole_outage() {
     );
     let mut drv = FaultDriver::new(sched);
     drv.run_until(&mut d.sim, us(60_000));
+    mtp_sim::assert_conservation(&d.sim);
 
     let snd = d.sim.node_as::<TcpSenderNode>(d.sender);
     assert!(snd.all_done(), "TCP never recovered after the restore");
@@ -91,6 +92,7 @@ fn mtp_failover_completes_messages_inside_the_same_outage() {
     );
     let mut drv = FaultDriver::new(sched);
     drv.run_until(&mut d.sim, us(60_000));
+    mtp_sim::assert_conservation(&d.sim);
 
     let snd = d.sim.node_as::<MtpSenderNode>(d.sender);
     assert!(snd.all_done(), "MTP failed to complete through the outage");

@@ -109,6 +109,10 @@ impl Node for TcpIslandBridge {
         }
     }
 
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.stats.malformed;
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -20,7 +20,7 @@ use mtp_sim::time::{Duration, Time};
 use mtp_sim::{Ctx, Node, NodeFault, PortId};
 use mtp_wire::{EntityId, MsgId, PktType, TrafficClass};
 
-use mtp_core::{MtpConfig, MtpReceiver, MtpSender};
+use mtp_core::{EndpointMirror, MtpConfig, MtpReceiver, MtpSender};
 
 const CLIENT_PORT: PortId = PortId(0);
 const SERVER_PORT: PortId = PortId(1);
@@ -63,6 +63,8 @@ pub struct KvCacheNode {
     armed: Option<Time>,
     /// Counters.
     pub stats: CacheStats,
+    /// Registry-mirror shadow for the embedded endpoint counters.
+    mirror: EndpointMirror,
 }
 
 impl KvCacheNode {
@@ -85,6 +87,7 @@ impl KvCacheNode {
             reply_keys: HashMap::new(),
             armed: None,
             stats: CacheStats::default(),
+            mirror: EndpointMirror::default(),
         }
     }
 
@@ -175,6 +178,7 @@ impl Node for KvCacheNode {
                         );
                         self.reply_keys.insert(reply_id, key);
                         self.stats.replies_sent += 1;
+                        self.mirror.on_submit(ctx, 1);
                     }
                 }
                 self.flush_sender(ctx, out);
@@ -204,6 +208,8 @@ impl Node for KvCacheNode {
                 }
             }
         }
+        self.mirror.sync_sender(ctx, &self.sender.stats);
+        self.mirror.sync_receiver(ctx, &self.receiver.stats);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -214,6 +220,7 @@ impl Node for KvCacheNode {
         let mut out = Vec::new();
         self.sender.on_timer(ctx.now(), &mut out);
         self.flush_sender(ctx, out);
+        self.mirror.sync_sender(ctx, &self.sender.stats);
     }
 
     fn on_fault(&mut self, _ctx: &mut Ctx<'_>, fault: NodeFault) {
@@ -228,6 +235,16 @@ impl Node for KvCacheNode {
             self.reply_keys.clear();
             self.armed = None;
         }
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.stats.malformed;
+        out.msgs_submitted += self.stats.replies_sent;
+        out.msgs_completed += self.sender.stats.msgs_completed;
+        out.timeouts += self.sender.stats.timeouts;
+        out.retransmissions += self.sender.stats.retransmissions;
+        out.msgs_delivered += self.receiver.stats.msgs_delivered;
+        out.goodput_bytes += self.receiver.stats.goodput_bytes;
     }
 
     fn name(&self) -> &str {
@@ -254,6 +271,8 @@ pub struct KvServerNode {
     pub served: u64,
     /// Packets rejected by the integrity check (corrupted in flight).
     pub malformed: u64,
+    /// Registry-mirror shadow for the embedded endpoint counters.
+    mirror: EndpointMirror,
 }
 
 impl KvServerNode {
@@ -279,6 +298,7 @@ impl KvServerNode {
             armed: None,
             served: 0,
             malformed: 0,
+            mirror: EndpointMirror::default(),
         }
     }
 
@@ -349,6 +369,8 @@ impl Node for KvServerNode {
             }
             PktType::Control => {}
         }
+        self.mirror.sync_sender(ctx, &self.sender.stats);
+        self.mirror.sync_receiver(ctx, &self.receiver.stats);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -358,6 +380,7 @@ impl Node for KvServerNode {
             let mut out = Vec::new();
             self.sender.on_timer(now, &mut out);
             self.flush_sender(ctx, out);
+            self.mirror.sync_sender(ctx, &self.sender.stats);
             return;
         }
         // Service completion: answer the oldest queued request.
@@ -373,8 +396,20 @@ impl Node for KvServerNode {
             );
             self.reply_keys.insert(reply_id, key);
             self.served += 1;
+            self.mirror.on_submit(ctx, 1);
             self.flush_sender(ctx, out);
+            self.mirror.sync_sender(ctx, &self.sender.stats);
         }
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.malformed;
+        out.msgs_submitted += self.served;
+        out.msgs_completed += self.sender.stats.msgs_completed;
+        out.timeouts += self.sender.stats.timeouts;
+        out.retransmissions += self.sender.stats.retransmissions;
+        out.msgs_delivered += self.receiver.stats.msgs_delivered;
+        out.goodput_bytes += self.receiver.stats.goodput_bytes;
     }
 
     fn name(&self) -> &str {
@@ -403,6 +438,10 @@ pub struct KvClientNode {
     armed: Option<Time>,
     /// Packets rejected by the integrity check (corrupted in flight).
     pub malformed: u64,
+    /// GET request messages submitted so far.
+    pub requests_sent: u64,
+    /// Registry-mirror shadow for the embedded endpoint counters.
+    mirror: EndpointMirror,
 }
 
 impl KvClientNode {
@@ -429,6 +468,8 @@ impl KvClientNode {
             reply_src: HashMap::new(),
             armed: None,
             malformed: 0,
+            requests_sent: 0,
+            mirror: EndpointMirror::default(),
         }
     }
 
@@ -511,6 +552,8 @@ impl Node for KvClientNode {
             }
             PktType::Control => {}
         }
+        self.mirror.sync_sender(ctx, &self.sender.stats);
+        self.mirror.sync_receiver(ctx, &self.receiver.stats);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -520,6 +563,7 @@ impl Node for KvClientNode {
             let mut out = Vec::new();
             self.sender.on_timer(now, &mut out);
             self.flush_sender(ctx, out);
+            self.mirror.sync_sender(ctx, &self.sender.stats);
             return;
         }
         let idx = (token - TOKEN_REQ_BASE) as usize;
@@ -536,9 +580,22 @@ impl Node for KvClientNode {
             now,
             &mut out,
         );
+        self.requests_sent += 1;
+        self.mirror.on_submit(ctx, 1);
         self.req_keys.insert(id, key);
         self.outstanding.entry(key).or_default().push_back(now);
         self.flush_sender(ctx, out);
+        self.mirror.sync_sender(ctx, &self.sender.stats);
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.malformed;
+        out.msgs_submitted += self.requests_sent;
+        out.msgs_completed += self.sender.stats.msgs_completed;
+        out.timeouts += self.sender.stats.timeouts;
+        out.retransmissions += self.sender.stats.retransmissions;
+        out.msgs_delivered += self.receiver.stats.msgs_delivered;
+        out.goodput_bytes += self.receiver.stats.goodput_bytes;
     }
 
     fn name(&self) -> &str {

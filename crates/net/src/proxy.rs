@@ -58,6 +58,13 @@ pub struct TcpProxyNode {
     /// (the proxy *terminates* that stream — relaying corrupted bytes
     /// onward would launder the damage into the server's copy).
     pub malformed: u64,
+    /// Timeout/retransmission totals of server-side connections destroyed
+    /// by crashes (the live connection is summed separately at audit time).
+    retired_timeouts: u64,
+    retired_retransmissions: u64,
+    /// (timeouts, retransmissions) of the live server-side connection
+    /// already mirrored into the registry.
+    send_mirror: (u64, u64),
     name: String,
 }
 
@@ -90,6 +97,9 @@ impl TcpProxyNode {
             crashes: 0,
             crash_lost_bytes: 0,
             malformed: 0,
+            retired_timeouts: 0,
+            retired_retransmissions: 0,
+            send_mirror: (0, 0),
             name: "tcp-proxy".to_string(),
         }
     }
@@ -121,7 +131,24 @@ impl TcpProxyNode {
         self.max_buffered = self.max_buffered.max(self.buffered_bytes());
     }
 
+    /// Mirror timeout/retransmission movement on the server-side
+    /// connection into the registry. Runs on every flush and again before
+    /// a crash discards the connection, so no delta is ever lost.
+    fn sync_send_conn(&mut self, ctx: &mut Ctx<'_>) {
+        let d = self.send.stats.timeouts - self.send_mirror.0;
+        if d > 0 {
+            self.send_mirror.0 = self.send.stats.timeouts;
+            ctx.count(mtp_sim::Metric::Timeouts, d);
+        }
+        let d = self.send.stats.retransmissions - self.send_mirror.1;
+        if d > 0 {
+            self.send_mirror.1 = self.send.stats.retransmissions;
+            ctx.count(mtp_sim::Metric::Retransmissions, d);
+        }
+    }
+
     fn flush(&mut self, ctx: &mut Ctx<'_>, to_client: Vec<Packet>, to_server: Vec<Packet>) {
+        self.sync_send_conn(ctx);
         let now = ctx.now();
         for mut p in to_client {
             p.sent_at = now;
@@ -204,6 +231,12 @@ impl Node for TcpProxyNode {
         match fault {
             NodeFault::Crash => {
                 // The relay buffer and both connections' state are gone.
+                // Push any unmirrored deltas and bank the dying
+                // connection's totals before rebuilding resets its stats.
+                self.sync_send_conn(ctx);
+                self.retired_timeouts += self.send.stats.timeouts;
+                self.retired_retransmissions += self.send.stats.retransmissions;
+                self.send_mirror = (0, 0);
                 self.crashes += 1;
                 self.crash_lost_bytes += self.buffered_bytes();
                 self.armed = None;
@@ -226,6 +259,12 @@ impl Node for TcpProxyNode {
                 self.flush(ctx, Vec::new(), to_server);
             }
         }
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.malformed;
+        out.timeouts += self.send.stats.timeouts + self.retired_timeouts;
+        out.retransmissions += self.send.stats.retransmissions + self.retired_retransmissions;
     }
 
     fn name(&self) -> &str {

@@ -181,6 +181,10 @@ impl Node for ReplicaLbNode {
         }
     }
 
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.stats.malformed;
+    }
+
     fn name(&self) -> &str {
         "replica-lb"
     }

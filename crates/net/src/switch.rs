@@ -306,6 +306,7 @@ impl Node for SwitchNode {
             let was_ce = pkt.ecn.is_ce();
             if !policy.admit(now, &mut pkt) {
                 self.stats.policy_dropped += 1;
+                ctx.count(mtp_sim::Metric::PktsPolicyDropped, 1);
                 return;
             }
             if pkt.ecn.is_ce() && !was_ce {
@@ -371,6 +372,14 @@ impl Node for SwitchNode {
                 }
             }
         }
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.stats.malformed;
+        // Both route-failure causes are traced (and registry-counted) as
+        // no-route discards.
+        out.no_route += self.stats.no_route + self.stats.no_address;
+        out.policy_dropped += self.stats.policy_dropped;
     }
 
     fn name(&self) -> &str {

@@ -86,6 +86,7 @@ fn sender_learns_pathlets_before_sending_data() {
 
     // And the transfer itself still completes.
     sim.run_until(Time::ZERO + Duration::from_millis(20));
+    mtp_sim::assert_conservation(&sim);
     assert!(sim.node_as::<MtpSenderNode>(snd).all_done());
     assert_eq!(sim.node_as::<MtpSinkNode>(sink).total_goodput(), 100_000);
 }
@@ -120,6 +121,7 @@ fn advertisements_are_periodic_and_harmless_to_sinks() {
         64,
     );
     sim.run_until(Time::ZERO + Duration::from_micros(500));
+    mtp_sim::assert_conservation(&sim);
     let sink = sim.node_as::<MtpSinkNode>(sink);
     assert_eq!(sink.total_goodput(), 0);
     assert_eq!(

@@ -115,6 +115,7 @@ fn fairshare_enforcer_equalizes_unequal_tenants() {
 
     let horizon = Time::ZERO + Duration::from_micros(600);
     sim.run_until(horizon);
+    mtp_sim::assert_conservation(&sim);
     let g1 = sim.node_as::<MtpSinkNode>(r1).total_goodput() as f64;
     let g2 = sim.node_as::<MtpSinkNode>(r2).total_goodput() as f64;
     assert!(g1 > 0.0 && g2 > 0.0);
@@ -226,6 +227,7 @@ fn proxy_unlimited_window_buffers_grow() {
     sim.run_until(Time::ZERO + Duration::from_micros(300));
     let early = sim.node_as::<TcpProxyNode>(proxy).buffered_bytes();
     sim.run_until(Time::ZERO + Duration::from_micros(1500));
+    mtp_sim::assert_conservation(&sim);
     let late = sim.node_as::<TcpProxyNode>(proxy).buffered_bytes();
     assert!(
         late > early + 100_000,
@@ -240,6 +242,7 @@ fn proxy_bounded_window_caps_buffer() {
     let cap = 64 * 1024;
     let (mut sim, proxy) = proxy_setup(Some(cap));
     sim.run_until(Time::ZERO + Duration::from_millis(2));
+    mtp_sim::assert_conservation(&sim);
     let p = sim.node_as::<TcpProxyNode>(proxy);
     assert!(
         p.max_buffered <= 2 * cap + 64 * 1460,
@@ -311,6 +314,7 @@ fn cache_answers_hot_keys_faster() {
         LinkCfg::ecn(slow, Duration::from_micros(5), 256, 40),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(20));
+    mtp_sim::assert_conservation(&sim);
 
     let cache_stats = sim.node_as::<KvCacheNode>(cache).stats;
     assert_eq!(cache_stats.hits, 20, "every hot GET hits");
@@ -377,6 +381,7 @@ fn compressor_mutates_messages_in_flight() {
         LinkCfg::ecn(bw, d, 256, 40),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(20));
+    mtp_sim::assert_conservation(&sim);
 
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done(), "upstream legs all acked");

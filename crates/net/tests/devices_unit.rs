@@ -87,6 +87,7 @@ fn proxy_window_tracks_relay_occupancy() {
         LinkCfg::drop_tail(slow, d, 256),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(5));
+    mtp_sim::assert_conservation(&sim);
 
     let probe = sim.node_as::<WindowProbe>(probe);
     assert!(!probe.windows.is_empty());
@@ -131,6 +132,7 @@ fn kv_server_serves_in_order_at_fixed_rate() {
         LinkCfg::ecn(bw, d, 256, 40),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(5));
+    mtp_sim::assert_conservation(&sim);
 
     let client = sim.node_as::<KvClientNode>(client);
     assert_eq!(client.done(), 5);

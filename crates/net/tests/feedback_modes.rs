@@ -67,6 +67,7 @@ fn rcp_rate_feedback_drives_an_rcp_controller() {
     );
     let (mut sim, snd, sink) = build(cfg, stamp, 10_000_000);
     sim.run_until(Time::ZERO + Duration::from_millis(60));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done(), "transfer completed under rate control");
     let entry = sender
@@ -89,6 +90,7 @@ fn delay_feedback_drives_a_swift_controller_and_keeps_queues_short() {
     );
     let (mut sim, snd, sink) = build(cfg, stamp, 10_000_000);
     sim.run_until(Time::ZERO + Duration::from_millis(60));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
     let entry = sender
@@ -112,6 +114,7 @@ fn fixed_window_ignores_all_feedback() {
     let stamp = Stamp::new(PathletId(5), StampKind::Presence);
     let (mut sim, snd, _sink) = build(cfg, stamp, 5_000_000);
     sim.run_until(Time::ZERO + Duration::from_millis(60));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
     let entry = sender
@@ -196,6 +199,7 @@ fn rcp_and_ecn_pathlets_coexist_in_one_ack() {
         LinkCfg::ecn(mid, d, 128, 20),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(60));
+    mtp_sim::assert_conservation(&sim);
 
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
@@ -227,6 +231,7 @@ fn aggregated_fraction_feedback_regulates_the_sender() {
     );
     let (mut sim, snd, sink) = build(cfg, stamp, 10_000_000);
     sim.run_until(Time::ZERO + Duration::from_millis(60));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
     assert!(sender

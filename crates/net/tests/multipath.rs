@@ -106,6 +106,7 @@ fn alternating_paths_build_two_pathlet_controllers() {
         MtpConfig::default(),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(10));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     // Both pathlets observed, each with its own converged controller.
     let w1 = sender
@@ -150,6 +151,7 @@ fn alternation_goodput_beats_half_of_slow_path() {
         MtpConfig::default(),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(8));
+    mtp_sim::assert_conservation(&sim);
     let sink = sim.node_as::<MtpSinkNode>(sink);
     // Skip the first ms (slow start), average the rest.
     let rates = sink.goodput.rates_gbps();
@@ -171,6 +173,7 @@ fn spray_balances_but_reorders_across_messages() {
         MtpConfig::default(),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(20));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
     assert_eq!(sim.node_as::<MtpSinkNode>(sink).total_goodput(), 10_000_000);
@@ -186,6 +189,7 @@ fn ecmp_pins_whole_flow_to_one_path() {
         MtpConfig::default(),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(20));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
     // Only one pathlet besides the default should carry data: ECMP hashed
@@ -217,6 +221,7 @@ fn mtp_lb_pins_messages_and_completes_interleaved_workload() {
         MtpConfig::default(),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(50));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
     assert_eq!(sim.node_as::<MtpSinkNode>(sink).delivered.len(), 40);
@@ -343,6 +348,7 @@ fn conga_lb_uses_snooped_remote_feedback() {
         64,
     );
     sim.run();
+    mtp_sim::assert_conservation(&sim);
 
     let harness = sim.node_as::<Harness>(h);
     // The ACK has no route (empty static table, it IS counted as a fan
@@ -420,6 +426,7 @@ fn sender_exclusions_steer_the_load_balancer() {
     sim.connect(sw2, PortId(0), sink, PortId(0), mk(), mk());
 
     sim.run_until(Time::ZERO + Duration::from_millis(100));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done(), "all messages repaired and delivered");
     let a = sim.link_stats(path_a).tx_bytes;

@@ -47,10 +47,15 @@ fn build(policy: ReplicaPolicy) -> (Simulator, NodeId, NodeId) {
     (sim, client, lb)
 }
 
+fn run_audited(sim: &mut Simulator) {
+    sim.run_until(Time::ZERO + Duration::from_millis(50));
+    mtp_sim::assert_conservation(sim);
+}
+
 #[test]
 fn round_robin_splits_requests_evenly() {
     let (mut sim, client, lb) = build(ReplicaPolicy::RoundRobin);
-    sim.run_until(Time::ZERO + Duration::from_millis(50));
+    run_audited(&mut sim);
     let served = sim.node_as::<ReplicaLbNode>(lb).served_per_replica();
     assert_eq!(served.iter().sum::<u64>(), N_REQ);
     assert_eq!(served[0], served[1], "RR must split 50/50, got {served:?}");
@@ -60,7 +65,7 @@ fn round_robin_splits_requests_evenly() {
 #[test]
 fn least_outstanding_favors_the_fast_replica() {
     let (mut sim, client, lb) = build(ReplicaPolicy::LeastOutstanding);
-    sim.run_until(Time::ZERO + Duration::from_millis(50));
+    run_audited(&mut sim);
     let served = sim.node_as::<ReplicaLbNode>(lb).served_per_replica();
     assert_eq!(served.iter().sum::<u64>(), N_REQ);
     assert!(
@@ -74,7 +79,7 @@ fn least_outstanding_favors_the_fast_replica() {
 fn load_aware_beats_round_robin_on_mean_latency() {
     let mean_latency = |policy| {
         let (mut sim, client, _) = build(policy);
-        sim.run_until(Time::ZERO + Duration::from_millis(50));
+        run_audited(&mut sim);
         let c = sim.node_as::<KvClientNode>(client);
         let v: Vec<f64> = c
             .completions
@@ -94,7 +99,7 @@ fn load_aware_beats_round_robin_on_mean_latency() {
 #[test]
 fn outstanding_counters_drain_to_zero() {
     let (mut sim, _client, lb) = build(ReplicaPolicy::LeastOutstanding);
-    sim.run_until(Time::ZERO + Duration::from_millis(50));
+    run_audited(&mut sim);
     let lb = sim.node_as::<ReplicaLbNode>(lb);
     assert_eq!(
         lb.outstanding_per_replica(),

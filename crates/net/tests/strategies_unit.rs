@@ -76,6 +76,7 @@ fn split(strategy: Strategy, items: Vec<(Time, Packet)>) -> (usize, usize) {
     sim.connect_symmetric(sw, PortId(1), s1, PortId(0), bw, d, 1024);
     sim.connect_symmetric(sw, PortId(2), s2, PortId(0), bw, d, 1024);
     sim.run();
+    mtp_sim::assert_conservation(&sim);
     (
         sim.node_as::<CountSink>(s1).got,
         sim.node_as::<CountSink>(s2).got,

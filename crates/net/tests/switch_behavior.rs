@@ -52,6 +52,7 @@ fn wire_through_switch(
     sim.connect_symmetric(src, PortId(0), sw, PortId(0), bw, d, 64);
     sim.connect_symmetric(sw, PortId(1), dst, PortId(0), bw, d, 64);
     sim.run();
+    mtp_sim::assert_conservation(&sim);
     (sim, sw, dst)
 }
 

@@ -75,6 +75,7 @@ fn urgent_message_overtakes_bulk_in_switch_queue() {
             LinkCfg::ecn(slow, d, 512, 80),
         );
         sim.run_until(Time::ZERO + Duration::from_millis(100));
+        mtp_sim::assert_conservation(&sim);
         let s = sim.node_as::<MtpSenderNode>(snd);
         (
             s.msgs[0].fct().expect("bulk done"),
@@ -138,6 +139,7 @@ fn tc_tagging_creates_separate_windows_per_class() {
         LinkCfg::ecn(bw, d, 256, 40),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(50));
+    mtp_sim::assert_conservation(&sim);
 
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());
@@ -197,6 +199,7 @@ fn stamp_tc_override_reclassifies_feedback() {
         LinkCfg::ecn(bw, d, 256, 40),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(50));
+    mtp_sim::assert_conservation(&sim);
 
     let sender = sim.node_as::<MtpSenderNode>(snd);
     assert!(sender.all_done());

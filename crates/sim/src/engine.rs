@@ -83,23 +83,46 @@ impl LinkCfg {
 }
 
 /// Counters kept per link direction.
+///
+/// Packets and bytes each obey an exact conservation law at any instant
+/// (checked by [`Simulator::audit`]):
+///
+/// ```text
+/// offered_pkts  == tx_pkts  + dropped_pkts  + faulted_pkts  + queued + in_flight
+/// offered_bytes == tx_bytes + dropped_bytes + faulted_bytes
+///                + trim_loss_bytes + corrupt_loss_bytes + queued_bytes + in_flight_bytes
+/// ```
 #[derive(Debug, Clone, Copy, Default, serde::Serialize)]
 pub struct LinkStats {
     /// Packets offered to this direction by the sending node.
     pub offered_pkts: u64,
+    /// Wire bytes offered to this direction (measured before any
+    /// corruption fault shrinks the frame).
+    pub offered_bytes: u64,
     /// Packets fully serialized onto the wire.
     pub tx_pkts: u64,
     /// Bytes fully serialized onto the wire.
     pub tx_bytes: u64,
     /// Packets dropped by the queue discipline.
     pub dropped_pkts: u64,
+    /// Wire bytes dropped by the queue discipline (as handed back, i.e.
+    /// after any trimming the discipline performed first).
+    pub dropped_bytes: u64,
     /// Packets that got a CE mark from the queue discipline.
     pub marked_pkts: u64,
     /// Packets NDP-trimmed by the queue discipline.
     pub trimmed_pkts: u64,
+    /// Wire bytes removed from frames by the queue discipline (NDP
+    /// payload trimming), whether the trimmed header was then queued or
+    /// dropped.
+    pub trim_loss_bytes: u64,
+    /// Wire bytes removed from frames by truncation faults on this link.
+    pub corrupt_loss_bytes: u64,
     /// Packets destroyed by injected faults (link down, queue flush,
     /// corruption bursts) rather than by the queue discipline.
     pub faulted_pkts: u64,
+    /// Wire bytes destroyed by injected faults.
+    pub faulted_bytes: u64,
     /// Packets whose wire bytes were damaged in flight by a corruption
     /// fault (bit-flips or truncation) but still *delivered* — unlike
     /// [`faulted_pkts`](Self::faulted_pkts), the receiver sees these and
@@ -109,18 +132,18 @@ pub struct LinkStats {
     pub max_qlen_pkts: usize,
 }
 
-struct DirLink {
+pub(crate) struct DirLink {
     rate: Bandwidth,
     delay: Duration,
-    queue: Box<dyn Qdisc>,
+    pub(crate) queue: Box<dyn Qdisc>,
     /// Packet currently being serialized, if any.
-    in_flight: Option<Packet>,
-    src: (NodeId, PortId),
+    pub(crate) in_flight: Option<Packet>,
+    pub(crate) src: (NodeId, PortId),
     dst: (NodeId, PortId),
-    stats: LinkStats,
+    pub(crate) stats: LinkStats,
     /// False while administratively failed (fault injection); offered
     /// packets are destroyed instead of queued.
-    up: bool,
+    pub(crate) up: bool,
     /// The in-flight packet was caught by a blackhole cut: destroy it at
     /// its TxDone instead of delivering it.
     doomed: bool,
@@ -149,7 +172,7 @@ struct DirLink {
 /// `Vacant` marks a slot with no live payload: either free (on the free
 /// list) or a cancelled timer whose heap entry has not been popped yet.
 #[derive(Debug)]
-enum EventKind {
+pub(crate) enum EventKind {
     Deliver {
         node: NodeId,
         port: PortId,
@@ -204,13 +227,13 @@ pub struct SimInner {
     /// Pending events, ordered by `(time, seq)`; payloads live in `slab`.
     events: BinaryHeap<Reverse<EventKey>>,
     /// Event payloads, indexed by `EventKey::slot`.
-    slab: Vec<EventKind>,
+    pub(crate) slab: Vec<EventKind>,
     /// Per-slot reuse counter; bumped each time a slot is re-allocated
     /// from the free list, so stale `TimerId`s never cancel a newer timer.
     slot_gen: Vec<u32>,
     /// Slots whose heap entry has been popped and are free for reuse.
     free_slots: Vec<u32>,
-    links: Vec<DirLink>,
+    pub(crate) links: Vec<DirLink>,
     /// Flat egress map: `egress_table[off + port]` is the directed link id
     /// leaving that port (`NO_LINK` if unconnected), with each node's
     /// `(off, len)` span in `egress_spans`.
@@ -226,15 +249,23 @@ pub struct SimInner {
     /// link fault, crashed destination) before any receiver could verify
     /// them. The corruption study asserts this is zero so that every
     /// injected corruption is accounted for by a malformed counter.
-    corrupted_destroyed: u64,
+    pub(crate) corrupted_destroyed: u64,
+    /// The per-simulation metrics registry: every engine counter above is
+    /// mirrored into it, and nodes record through [`Ctx`]. One registry per
+    /// simulator, so parallel tests never share counters.
+    pub(crate) telemetry: mtp_telemetry::Registry,
+    /// Black-box ring of recent trace events, dumped on panic (see
+    /// [`Simulator::enable_flight_recorder`]).
+    pub(crate) flight: Option<mtp_telemetry::FlightRecorder>,
 }
 
 /// Recycle a destroyed packet, counting it toward
-/// [`SimInner::corrupted_destroyed`] if a corruption fault had already
-/// damaged it.
-fn destroy(pkt: Packet, corrupted_destroyed: &mut u64) {
+/// [`SimInner::corrupted_destroyed`] (and its registry mirror) if a
+/// corruption fault had already damaged it.
+fn destroy(pkt: Packet, corrupted_destroyed: &mut u64, telemetry: &mut mtp_telemetry::Registry) {
     if pkt.payload_dirty || matches!(pkt.headers, crate::packet::Headers::Mangled { .. }) {
         *corrupted_destroyed += 1;
+        telemetry.count(mtp_telemetry::Metric::CorruptedDestroyed, 1);
     }
     crate::pool::recycle_packet(pkt);
 }
@@ -242,6 +273,15 @@ fn destroy(pkt: Packet, corrupted_destroyed: &mut u64) {
 impl SimInner {
     pub(crate) fn trace(&mut self, pkt: PacketId, node: NodeId, port: PortId, kind: TraceKind) {
         let now = self.now;
+        if let Some(rec) = &mut self.flight {
+            rec.push(mtp_telemetry::FlightEvent {
+                t_ps: now.0,
+                code: crate::tracefile::flight_code(kind),
+                node: node.0 as u32,
+                port: port.0 as u32,
+                pkt: pkt.0,
+            });
+        }
         if let Some(ring) = &mut self.trace {
             ring.push(TraceEvent {
                 time: now,
@@ -382,9 +422,14 @@ impl SimInner {
         }
         let now = self.now;
         let pkt_id = pkt.id;
+        let offered_bytes = pkt.wire_len as u64;
         self.trace(pkt_id, node, port, TraceKind::Offered);
         let link = &mut self.links[dir.0];
         link.stats.offered_pkts += 1;
+        link.stats.offered_bytes += offered_bytes;
+        self.telemetry.count(mtp_telemetry::Metric::PktsOffered, 1);
+        self.telemetry
+            .count(mtp_telemetry::Metric::BytesOffered, offered_bytes);
         // Fault injection: a downed link destroys every offered packet
         // (blackhole and drain alike refuse new admissions); a corruption
         // burst destroys the next `corrupt_next` packets of a healthy link.
@@ -393,8 +438,12 @@ impl SimInner {
                 link.corrupt_next -= 1;
             }
             link.stats.faulted_pkts += 1;
+            link.stats.faulted_bytes += offered_bytes;
+            self.telemetry.count(mtp_telemetry::Metric::PktsFaulted, 1);
+            self.telemetry
+                .count(mtp_telemetry::Metric::BytesFaulted, offered_bytes);
             self.trace(pkt_id, node, port, TraceKind::Dropped);
-            destroy(pkt, &mut self.corrupted_destroyed);
+            destroy(pkt, &mut self.corrupted_destroyed, &mut self.telemetry);
             return;
         }
         // Wire corruption: damage the packet's bytes but still deliver it.
@@ -422,7 +471,14 @@ impl SimInner {
                 false
             };
             if corrupted {
+                // Truncation shrinks the frame; the byte law accounts the
+                // removed span as corruption loss on this link.
+                let loss = offered_bytes - pkt.wire_len as u64;
                 link.stats.corrupted_pkts += 1;
+                link.stats.corrupt_loss_bytes += loss;
+                self.telemetry.count(mtp_telemetry::Metric::PktsCorrupted, 1);
+                self.telemetry
+                    .count(mtp_telemetry::Metric::BytesCorruptLoss, loss);
                 self.trace(pkt_id, node, port, TraceKind::Corrupted);
             }
         }
@@ -445,24 +501,48 @@ impl SimInner {
         // policies that act per packet (ECN state, loss injection,
         // per-band accounting) see the traffic. On an idle link the packet
         // is dequeued again immediately, adding no delay.
+        let enq_bytes = pkt.wire_len as u64;
+        let bytes_before = link.queue.len_bytes() as u64;
+        let mut dropped_len = 0u64;
         let verdict = match link.queue.enqueue(pkt, now) {
             EnqueueVerdict::Queued { marked } => {
                 if marked {
                     link.stats.marked_pkts += 1;
+                    self.telemetry.count(mtp_telemetry::Metric::PktsMarked, 1);
                 }
                 TraceKind::Queued { marked }
             }
             EnqueueVerdict::Dropped(dropped) => {
+                dropped_len = dropped.wire_len as u64;
                 link.stats.dropped_pkts += 1;
-                destroy(dropped, &mut self.corrupted_destroyed);
+                link.stats.dropped_bytes += dropped_len;
+                self.telemetry.count(mtp_telemetry::Metric::PktsDropped, 1);
+                self.telemetry
+                    .count(mtp_telemetry::Metric::BytesDropped, dropped_len);
+                destroy(dropped, &mut self.corrupted_destroyed, &mut self.telemetry);
                 TraceKind::Dropped
             }
             EnqueueVerdict::Trimmed => {
                 link.stats.trimmed_pkts += 1;
+                self.telemetry.count(mtp_telemetry::Metric::PktsTrimmed, 1);
                 TraceKind::Trimmed
             }
         };
+        // Any bytes the discipline neither kept nor handed back were cut
+        // off the frame (NDP trimming) — measured as a delta so every
+        // discipline's accounting is covered without trusting its verdict.
+        let bytes_after = link.queue.len_bytes() as u64;
+        let trim_loss = (enq_bytes + bytes_before).saturating_sub(bytes_after + dropped_len);
+        if trim_loss > 0 {
+            link.stats.trim_loss_bytes += trim_loss;
+            self.telemetry
+                .count(mtp_telemetry::Metric::BytesTrimLoss, trim_loss);
+        }
         link.stats.max_qlen_pkts = link.stats.max_qlen_pkts.max(link.queue.len_pkts());
+        self.telemetry.record(
+            mtp_telemetry::HistId::QueueDepthPkts,
+            link.queue.len_pkts() as u64,
+        );
         self.trace(pkt_id, node, port, verdict);
         let link = &mut self.links[dir.0];
         if link.in_flight.is_none() {
@@ -490,7 +570,11 @@ impl SimInner {
             // traffic since) starts serializing normally.
             link.doomed = false;
             link.stats.faulted_pkts += 1;
-            destroy(pkt, &mut self.corrupted_destroyed);
+            link.stats.faulted_bytes += pkt.wire_len as u64;
+            self.telemetry.count(mtp_telemetry::Metric::PktsFaulted, 1);
+            self.telemetry
+                .count(mtp_telemetry::Metric::BytesFaulted, pkt.wire_len as u64);
+            destroy(pkt, &mut self.corrupted_destroyed, &mut self.telemetry);
             if let Some(next) = link.queue.dequeue(now) {
                 let done = now + link.rate.serialize_time(next.wire_len);
                 let nid = next.id;
@@ -503,6 +587,9 @@ impl SimInner {
         }
         link.stats.tx_pkts += 1;
         link.stats.tx_bytes += pkt.wire_len as u64;
+        self.telemetry.count(mtp_telemetry::Metric::PktsTx, 1);
+        self.telemetry
+            .count(mtp_telemetry::Metric::BytesTx, pkt.wire_len as u64);
         let (src_node, src_port) = link.src;
         let (node, port) = link.dst;
         let arrive = now + link.delay;
@@ -533,8 +620,12 @@ impl SimInner {
                 break;
             };
             link.stats.faulted_pkts += 1;
+            link.stats.faulted_bytes += pkt.wire_len as u64;
+            self.telemetry.count(mtp_telemetry::Metric::PktsFaulted, 1);
+            self.telemetry
+                .count(mtp_telemetry::Metric::BytesFaulted, pkt.wire_len as u64);
             let id = pkt.id;
-            destroy(pkt, &mut self.corrupted_destroyed);
+            destroy(pkt, &mut self.corrupted_destroyed, &mut self.telemetry);
             flushed += 1;
             self.trace(id, src_node, src_port, TraceKind::Dropped);
         }
@@ -558,13 +649,20 @@ impl SimInner {
 
 /// The simulator: topology plus event loop.
 pub struct Simulator {
-    inner: SimInner,
-    nodes: Vec<Option<Box<dyn Node>>>,
+    pub(crate) inner: SimInner,
+    pub(crate) nodes: Vec<Option<Box<dyn Node>>>,
     /// False while a node is crashed (fault injection): packets addressed
     /// to it are destroyed and its timers are swallowed.
-    node_up: Vec<bool>,
+    pub(crate) node_up: Vec<bool>,
     /// Packets destroyed because their destination node was down.
-    faulted_deliveries: u64,
+    pub(crate) faulted_deliveries: u64,
+    /// Wire bytes destroyed because their destination node was down.
+    pub(crate) faulted_delivery_bytes: u64,
+    /// Packets delivered to live nodes. Kept outside the registry so the
+    /// conservation audit works even with `telemetry-off`.
+    pub(crate) delivered_pkts: u64,
+    /// Wire bytes delivered to live nodes.
+    pub(crate) delivered_bytes: u64,
     started: bool,
 }
 
@@ -587,10 +685,15 @@ impl Simulator {
                 rng: SmallRng::seed_from_u64(seed),
                 trace: None,
                 corrupted_destroyed: 0,
+                telemetry: mtp_telemetry::Registry::new(),
+                flight: None,
             },
             nodes: Vec::new(),
             node_up: Vec::new(),
             faulted_deliveries: 0,
+            faulted_delivery_bytes: 0,
+            delivered_pkts: 0,
+            delivered_bytes: 0,
             started: false,
         }
     }
@@ -729,7 +832,15 @@ impl Simulator {
     /// Either way, newly offered packets are destroyed (counted in
     /// [`LinkStats::faulted_pkts`]) until [`restore_link`](Self::restore_link).
     pub fn fail_link(&mut self, dir: DirLinkId, mode: LinkFailMode) {
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::FaultsApplied, 1);
         let link = &mut self.inner.links[dir.0];
+        if link.up {
+            self.inner
+                .telemetry
+                .gauge_add(mtp_telemetry::Gauge::LinksDown, 1);
+        }
         link.up = false;
         if mode == LinkFailMode::Blackhole {
             if link.in_flight.is_some() {
@@ -744,8 +855,16 @@ impl Simulator {
     /// but any packets still queued are kicked back into service
     /// defensively so no sequence of faults can strand data.
     pub fn restore_link(&mut self, dir: DirLinkId) {
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::FaultsApplied, 1);
         let now = self.inner.now;
         let link = &mut self.inner.links[dir.0];
+        if !link.up {
+            self.inner
+                .telemetry
+                .gauge_add(mtp_telemetry::Gauge::LinksDown, -1);
+        }
         link.up = true;
         if link.in_flight.is_none() {
             if let Some(next) = link.queue.dequeue(now) {
@@ -781,6 +900,9 @@ impl Simulator {
     /// Destroy the next `pkts` packets offered to this link direction
     /// (burst corruption on an otherwise healthy link).
     pub fn corrupt_burst(&mut self, dir: DirLinkId, pkts: u32) {
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::FaultsApplied, 1);
         self.inner.links[dir.0].corrupt_next =
             self.inner.links[dir.0].corrupt_next.saturating_add(pkts);
     }
@@ -794,6 +916,9 @@ impl Simulator {
     /// header damage is *guaranteed* detected (CRC-16 Hamming distance),
     /// making corruption accounting exact.
     pub fn bitflip_burst(&mut self, dir: DirLinkId, pkts: u32, flips: u8, seed: u64) {
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::FaultsApplied, 1);
         let link = &mut self.inner.links[dir.0];
         link.bitflip_next = link.bitflip_next.saturating_add(pkts);
         link.bitflip_flips = flips;
@@ -805,6 +930,9 @@ impl Simulator {
     /// frame. Cuts inside the header leave an unverifiable stub; cuts in
     /// the payload leave the header intact but the payload dirty.
     pub fn truncate_burst(&mut self, dir: DirLinkId, pkts: u32, seed: u64) {
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::FaultsApplied, 1);
         let link = &mut self.inner.links[dir.0];
         link.truncate_next = link.truncate_next.saturating_add(pkts);
         link.corrupt_rng = Some(SmallRng::seed_from_u64(seed));
@@ -815,6 +943,9 @@ impl Simulator {
     /// flips) with probability `ppm` per million. Pass `ppm = 0` to
     /// disarm. Bursts, if also armed, take precedence packet-by-packet.
     pub fn set_corrupt_rate(&mut self, dir: DirLinkId, ppm: u32, flips: u8, seed: u64) {
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::FaultsApplied, 1);
         let link = &mut self.inner.links[dir.0];
         link.corrupt_ppm = ppm.min(1_000_000);
         link.corrupt_flips = flips;
@@ -845,6 +976,12 @@ impl Simulator {
         if !self.node_up[id.0] {
             return;
         }
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::FaultsApplied, 1);
+        self.inner
+            .telemetry
+            .gauge_add(mtp_telemetry::Gauge::NodesDown, 1);
         self.with_node(id, |n, ctx| n.on_fault(ctx, crate::node::NodeFault::Crash));
         self.node_up[id.0] = false;
         for d in 0..self.inner.links.len() {
@@ -864,6 +1001,12 @@ impl Simulator {
         if self.node_up[id.0] {
             return;
         }
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::FaultsApplied, 1);
+        self.inner
+            .telemetry
+            .gauge_add(mtp_telemetry::Gauge::NodesDown, -1);
         self.node_up[id.0] = true;
         self.with_node(id, |n, ctx| {
             n.on_fault(ctx, crate::node::NodeFault::Restart)
@@ -879,6 +1022,49 @@ impl Simulator {
     /// crashed.
     pub fn faulted_deliveries(&self) -> u64 {
         self.faulted_deliveries
+    }
+
+    /// Packets delivered to live nodes since construction.
+    pub fn delivered_pkts(&self) -> u64 {
+        self.delivered_pkts
+    }
+
+    /// Wire bytes delivered to live nodes since construction.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    // ---- Telemetry -------------------------------------------------------
+
+    /// This simulation's metrics registry (counters, gauges, histograms).
+    pub fn telemetry(&self) -> &mtp_telemetry::Registry {
+        &self.inner.telemetry
+    }
+
+    /// Mutable access to the registry, for harness-level recording (fault
+    /// drivers, workload generators) — and for tamper tests that verify
+    /// the audit catches a miscounting bug.
+    pub fn telemetry_mut(&mut self) -> &mut mtp_telemetry::Registry {
+        &mut self.inner.telemetry
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> mtp_telemetry::Snapshot {
+        self.inner.telemetry.snapshot()
+    }
+
+    /// Arm the flight recorder: a bounded ring of the last `cap` trace
+    /// events, named `name`. If the simulator is dropped while the thread
+    /// is panicking (a failing test assertion), the ring is dumped to
+    /// `results/flightrec-<name>.json` for post-mortem inspection.
+    /// Recording never allocates after this call.
+    pub fn enable_flight_recorder(&mut self, name: &str, cap: usize) {
+        self.inner.flight = Some(mtp_telemetry::FlightRecorder::new(name, cap));
+    }
+
+    /// The armed flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&mtp_telemetry::FlightRecorder> {
+        self.inner.flight.as_ref()
     }
 
     /// Arm a timer on `node` from harness code (e.g. to start a workload at
@@ -987,12 +1173,32 @@ impl Simulator {
                     // The destination crashed while this packet was in
                     // propagation: it arrives at a dead port.
                     self.faulted_deliveries += 1;
+                    self.faulted_delivery_bytes += pkt.wire_len as u64;
+                    self.inner
+                        .telemetry
+                        .count(mtp_telemetry::Metric::FaultedDeliveries, 1);
+                    self.inner.telemetry.count(
+                        mtp_telemetry::Metric::BytesFaultedDeliveries,
+                        pkt.wire_len as u64,
+                    );
                     self.inner
                         .trace(pkt.id, node, port, crate::tracefile::TraceKind::Dropped);
-                    destroy(pkt, &mut self.inner.corrupted_destroyed);
+                    destroy(
+                        pkt,
+                        &mut self.inner.corrupted_destroyed,
+                        &mut self.inner.telemetry,
+                    );
                     return Some(false);
                 }
                 self.inner.processed += 1;
+                self.delivered_pkts += 1;
+                self.delivered_bytes += pkt.wire_len as u64;
+                self.inner
+                    .telemetry
+                    .count(mtp_telemetry::Metric::PktsDelivered, 1);
+                self.inner
+                    .telemetry
+                    .count(mtp_telemetry::Metric::BytesDelivered, pkt.wire_len as u64);
                 self.inner
                     .trace(pkt.id, node, port, crate::tracefile::TraceKind::Delivered);
                 self.with_node(node, |n, ctx| n.on_packet(ctx, port, pkt));
@@ -1005,6 +1211,9 @@ impl Simulator {
                     return Some(false);
                 }
                 self.inner.processed += 1;
+                self.inner
+                    .telemetry
+                    .count(mtp_telemetry::Metric::TimersFired, 1);
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
                 Some(true)
             }
@@ -1047,6 +1256,22 @@ impl Simulator {
                     self.inner.now = self.inner.now.max(until);
                     return false;
                 }
+            }
+        }
+    }
+}
+
+impl Drop for Simulator {
+    /// Black-box behavior: if the simulator dies during a panic (a failing
+    /// assertion anywhere in a test) and a flight recorder is armed, dump
+    /// the retained event window to `results/flightrec-<name>.json`.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some(rec) = &self.inner.flight {
+                let _ = rec.dump_to(
+                    &mtp_telemetry::results_dir(),
+                    &crate::tracefile::flight_code_name,
+                );
             }
         }
     }

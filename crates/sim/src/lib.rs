@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod corrupt;
 pub mod engine;
 pub mod loss;
@@ -67,10 +68,11 @@ pub mod time;
 pub mod trace;
 pub mod tracefile;
 
+pub use audit::{assert_conservation, AuditReport};
 pub use corrupt::sanitize;
 pub use engine::{DirLinkId, LinkCfg, LinkFailMode, LinkStats, Simulator};
 pub use loss::{stream_seed, LossyQueue, ReorderQueue};
-pub use node::{Ctx, Node, NodeFault, NodeId, PortId, TimerId};
+pub use node::{Ctx, Node, NodeAuditCounters, NodeFault, NodeId, PortId, TimerId};
 pub use packet::{AppData, Headers, Packet, PacketId, WireProto};
 pub use queue::{
     Classifier, DropTailQueue, DrrQueue, EcnQueue, EnqueueVerdict, PriorityQueue, Qdisc, SfqQueue,
@@ -79,4 +81,12 @@ pub use queue::{
 pub use rtt::RttEstimator;
 pub use time::{Bandwidth, Duration, Time};
 pub use trace::{BinSeries, ScalarStats};
-pub use tracefile::{TraceEvent, TraceKind, TraceRing};
+pub use tracefile::{flight_code_name, TraceEvent, TraceKind, TraceRing};
+
+/// The per-simulation metrics layer (re-exported from `mtp-telemetry`).
+/// Recording is zero-allocation; building with the `telemetry-off` feature
+/// compiles it all out.
+pub use mtp_telemetry as telemetry;
+pub use mtp_telemetry::{
+    results_dir, FlightEvent, FlightRecorder, Gauge, HistId, Metric, Registry, Snapshot,
+};

@@ -73,6 +73,47 @@ pub trait Node: Any {
     fn name(&self) -> &str {
         "node"
     }
+
+    /// Report this node's local accounting counters for the conservation
+    /// audit ([`Simulator::audit`](crate::engine::Simulator::audit)): add
+    /// every counter the node keeps locally into `out`. The audit checks
+    /// that the sum over all nodes matches the registry mirrors, so a
+    /// device that bumps a local counter without its registry mirror (or
+    /// vice versa) is caught. Default: report nothing.
+    fn audit_counters(&self, out: &mut NodeAuditCounters) {
+        let _ = out;
+    }
+}
+
+/// Sum of node-local accounting counters, gathered via
+/// [`Node::audit_counters`] and reconciled against the metrics registry at
+/// audit time. Every field corresponds 1:1 to a registry metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeAuditCounters {
+    /// Packets this node's integrity check rejected
+    /// (mirror: `Metric::PktsMalformed`).
+    pub malformed: u64,
+    /// Packets discarded for lack of a route (mirror: `Metric::PktsNoRoute`).
+    pub no_route: u64,
+    /// Packets dropped by an admission policy
+    /// (mirror: `Metric::PktsPolicyDropped`).
+    pub policy_dropped: u64,
+    /// Messages submitted to a sending transport
+    /// (mirror: `Metric::MsgsSubmitted`).
+    pub msgs_submitted: u64,
+    /// Messages fully acknowledged at a sender
+    /// (mirror: `Metric::MsgsCompleted`).
+    pub msgs_completed: u64,
+    /// Messages delivered first-copy at a sink
+    /// (mirror: `Metric::MsgsDelivered`).
+    pub msgs_delivered: u64,
+    /// First-copy payload bytes delivered at a sink
+    /// (mirror: `Metric::GoodputBytes`).
+    pub goodput_bytes: u64,
+    /// Retransmission timeouts fired (mirror: `Metric::Timeouts`).
+    pub timeouts: u64,
+    /// Data retransmissions sent (mirror: `Metric::Retransmissions`).
+    pub retransmissions: u64,
 }
 
 /// Handle given to a node while it processes an event. All interaction with
@@ -146,10 +187,32 @@ impl Ctx<'_> {
         &mut self.inner.rng
     }
 
+    /// Add `n` to registry counter `m`. Recording is a plain array add —
+    /// no allocation, safe in the hottest device paths; a no-op when the
+    /// crate is built with `telemetry-off`.
+    pub fn count(&mut self, m: mtp_telemetry::Metric, n: u64) {
+        self.inner.telemetry.count(m, n);
+    }
+
+    /// Move registry gauge `g` by `d`.
+    pub fn gauge_add(&mut self, g: mtp_telemetry::Gauge, d: i64) {
+        self.inner.telemetry.gauge_add(g, d);
+    }
+
+    /// Record sample `v` into registry histogram `h`.
+    pub fn record_hist(&mut self, h: mtp_telemetry::HistId, v: u64) {
+        self.inner.telemetry.record(h, v);
+    }
+
     /// Record a [`TraceKind::NoRoute`](crate::tracefile::TraceKind::NoRoute)
     /// event: this node is discarding `pkt` because no forwarding entry
-    /// covers it. `in_port` is where the packet arrived.
+    /// covers it. `in_port` is where the packet arrived. Also bumps the
+    /// registry's `pkts_no_route` mirror, which the audit reconciles
+    /// against the node's own counter.
     pub fn trace_no_route(&mut self, pkt: &Packet, in_port: PortId) {
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::PktsNoRoute, 1);
         self.inner.trace(
             pkt.id,
             self.node,
@@ -161,8 +224,13 @@ impl Ctx<'_> {
     /// Record a [`TraceKind::Malformed`](crate::tracefile::TraceKind::Malformed)
     /// event: this node's integrity check rejected `pkt` (header CRC
     /// failure, truncated frame, or payload checksum failure at a consuming
-    /// endpoint) and is discarding it. `in_port` is where it arrived.
+    /// endpoint) and is discarding it. `in_port` is where it arrived. Also
+    /// bumps the registry's `pkts_malformed` mirror, which the audit
+    /// reconciles against the node's own counter.
     pub fn trace_malformed(&mut self, pkt: &Packet, in_port: PortId) {
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::PktsMalformed, 1);
         self.inner.trace(
             pkt.id,
             self.node,

@@ -179,6 +179,7 @@ proptest! {
                 32,
             );
             sim.run();
+            mtp_sim::assert_conservation(&sim);
             sim.node_as::<Counter>(b).arrivals.clone()
         };
         prop_assert_eq!(run(), run());
@@ -221,6 +222,7 @@ proptest! {
             cap,
         );
         sim.run();
+        mtp_sim::assert_conservation(&sim);
         let s = sim.link_stats(ab);
         prop_assert_eq!(s.offered_pkts, n as u64);
         prop_assert_eq!(s.tx_pkts + s.dropped_pkts, n as u64);
@@ -256,6 +258,7 @@ fn trace_records_a_packet_lifecycle() {
         16,
     );
     sim.run();
+    mtp_sim::assert_conservation(&sim);
     use mtp_sim::TraceKind;
     let kinds: Vec<TraceKind> = sim
         .packet_trace(mtp_sim::PacketId(1))

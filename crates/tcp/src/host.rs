@@ -10,7 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use mtp_sim::time::{Duration, Time};
-use mtp_sim::{BinSeries, Ctx, Headers, Node, Packet, PortId};
+use mtp_sim::{BinSeries, Ctx, Gauge, Headers, HistId, Metric, Node, Packet, PortId};
 
 use crate::conn::{SenderConn, SenderState};
 use crate::recv::ReceiverConn;
@@ -85,6 +85,15 @@ pub struct TcpSenderNode {
     closed_loop: bool,
     /// Segments rejected by the checksum stand-in (corrupted in flight).
     pub malformed: u64,
+    /// Messages submitted so far (mirrors `Metric::MsgsSubmitted`).
+    msgs_submitted: u64,
+    /// Timeout/retransmission totals of connections already dropped on
+    /// completion (live connections are summed separately at audit time).
+    retired_timeouts: u64,
+    retired_retransmissions: u64,
+    /// Per-connection (timeouts, retransmissions) already mirrored into
+    /// the registry.
+    conn_mirror: HashMap<u32, (u64, u64)>,
     name: String,
     /// Reusable packet/completion buffers; taken and restored around each
     /// callback so steady state never allocates.
@@ -140,6 +149,10 @@ impl TcpSenderNode {
             armed: HashMap::new(),
             closed_loop: false,
             malformed: 0,
+            msgs_submitted: 0,
+            retired_timeouts: 0,
+            retired_retransmissions: 0,
+            conn_mirror: HashMap::new(),
             name: format!("tcp-sender-{conn_id_base}"),
             out_buf: Vec::new(),
             done_buf: Vec::new(),
@@ -209,6 +222,43 @@ impl TcpSenderNode {
         }
     }
 
+    /// Mirror any timeout/retransmission movement on `conn_id` into the
+    /// registry. Must run before a completed connection is dropped, so
+    /// every delta is pushed while the connection still exists.
+    fn sync_conn(&mut self, ctx: &mut Ctx<'_>, conn_id: u32) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        let m = self.conn_mirror.entry(conn_id).or_default();
+        let d = conn.stats.timeouts - m.0;
+        if d > 0 {
+            m.0 = conn.stats.timeouts;
+            ctx.count(Metric::Timeouts, d);
+        }
+        let d = conn.stats.retransmissions - m.1;
+        if d > 0 {
+            m.1 = conn.stats.retransmissions;
+            ctx.count(Metric::Retransmissions, d);
+        }
+    }
+
+    /// Mirror completions recorded in `done_buf` (message count, FCT and
+    /// size histograms) into the registry.
+    fn note_completions(&mut self, ctx: &mut Ctx<'_>) {
+        if self.done_buf.is_empty() {
+            return;
+        }
+        ctx.count(Metric::MsgsCompleted, self.done_buf.len() as u64);
+        ctx.gauge_add(Gauge::MsgsInFlight, -(self.done_buf.len() as i64));
+        for i in 0..self.done_buf.len() {
+            let idx = self.done_buf[i];
+            if let Some(fct) = self.msgs[idx].fct() {
+                ctx.record_hist(HistId::MsgFctUs, fct.0 / 1_000_000);
+                ctx.record_hist(HistId::MsgBytes, self.msgs[idx].size);
+            }
+        }
+    }
+
     /// Record the indices of messages that completed into `done_buf`.
     fn check_completions(&mut self, now: Time, conn_id: u32) {
         debug_assert!(self.done_buf.is_empty());
@@ -238,7 +288,13 @@ impl TcpSenderNode {
                         self.msgs[idx].completed = Some(now);
                         self.done_buf.push(idx);
                     }
-                    self.conns.remove(&conn_id);
+                    if let Some(conn) = self.conns.remove(&conn_id) {
+                        // Totals must outlive the connection for the
+                        // conservation audit's node ledger.
+                        self.retired_timeouts += conn.stats.timeouts;
+                        self.retired_retransmissions += conn.stats.retransmissions;
+                    }
+                    self.conn_mirror.remove(&conn_id);
                     self.armed.remove(&conn_id);
                 }
             }
@@ -265,6 +321,9 @@ impl TcpSenderNode {
         let now = ctx.now();
         let size = self.schedule[idx].1;
         self.msgs[idx].submitted = now;
+        self.msgs_submitted += 1;
+        ctx.count(Metric::MsgsSubmitted, 1);
+        ctx.gauge_add(Gauge::MsgsInFlight, 1);
         let mut out = std::mem::take(&mut self.out_buf);
         let conn_id = match self.mode {
             TcpWorkloadMode::Persistent => {
@@ -332,7 +391,9 @@ impl Node for TcpSenderNode {
         }
         self.flush(ctx, &mut out);
         self.out_buf = out;
+        self.sync_conn(ctx, hdr.conn_id);
         self.check_completions(now, hdr.conn_id);
+        self.note_completions(ctx);
         self.sync_timer(ctx, hdr.conn_id);
         self.after_completions(ctx);
     }
@@ -352,12 +413,28 @@ impl Node for TcpSenderNode {
                 }
                 self.flush(ctx, &mut out);
                 self.out_buf = out;
+                self.sync_conn(ctx, conn_id);
                 self.check_completions(now, conn_id);
+                self.note_completions(ctx);
                 self.sync_timer(ctx, conn_id);
                 self.after_completions(ctx);
             }
             _ => {}
         }
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.malformed;
+        out.msgs_submitted += self.msgs_submitted;
+        out.msgs_completed += self.msgs.iter().filter(|m| m.completed.is_some()).count() as u64;
+        out.timeouts +=
+            self.conns.values().map(|c| c.stats.timeouts).sum::<u64>() + self.retired_timeouts;
+        out.retransmissions += self
+            .conns
+            .values()
+            .map(|c| c.stats.retransmissions)
+            .sum::<u64>()
+            + self.retired_retransmissions;
     }
 
     fn name(&self) -> &str {
@@ -417,6 +494,7 @@ impl Node for TcpSinkNode {
         if newly > 0 {
             self.goodput.add(now, newly as f64);
             self.total_delivered += newly;
+            ctx.count(Metric::GoodputBytes, newly);
             // The sink application consumes instantly.
             conn.app_consume(newly);
         }
@@ -424,6 +502,11 @@ impl Node for TcpSinkNode {
             reply.sent_at = now;
             ctx.send(PortId(0), reply);
         }
+    }
+
+    fn audit_counters(&self, out: &mut mtp_sim::NodeAuditCounters) {
+        out.malformed += self.malformed;
+        out.goodput_bytes += self.total_delivered;
     }
 
     fn name(&self) -> &str {

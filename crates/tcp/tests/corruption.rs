@@ -56,6 +56,7 @@ fn wire(cfg: TcpConfig) -> Wire {
 /// before reaching a host, e.g. in a queue overflow).
 fn finish_and_audit(mut w: Wire, ctx: &str) -> (u64, u64) {
     w.sim.run_until(Time::ZERO + Duration::from_millis(2_000));
+    mtp_sim::assert_conservation(&w.sim);
     let corrupted = w.sim.link_stats(w.fwd).corrupted_pkts + w.sim.link_stats(w.rev).corrupted_pkts;
     assert!(corrupted > 0, "[{ctx}] the fault never damaged a frame");
     let destroyed = w.sim.corrupted_destroyed();

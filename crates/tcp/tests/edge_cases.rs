@@ -35,6 +35,7 @@ fn syn_loss_is_recovered() {
         LinkCfg::drop_tail(rate, d, 256),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(500));
+    mtp_sim::assert_conservation(&sim);
     let sender = sim.node_as::<TcpSenderNode>(snd);
     assert!(
         sender.all_done(),
@@ -167,6 +168,7 @@ fn mixed_cc_flows_share_a_bottleneck() {
         LinkCfg::ecn(rate, d, 128, 20),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(100));
+    mtp_sim::assert_conservation(&sim);
     assert!(sim.node_as::<TcpSenderNode>(reno).all_done());
     assert!(sim.node_as::<TcpSenderNode>(dctcp).all_done());
 }

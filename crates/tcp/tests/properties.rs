@@ -93,6 +93,7 @@ proptest! {
             LinkCfg::drop_tail(rate, d, 512),
         );
         sim.run_until(Time::ZERO + Duration::from_millis(2_000));
+        mtp_sim::assert_conservation(&sim);
         let sender = sim.node_as::<TcpSenderNode>(snd);
         prop_assert!(sender.all_done(), "incomplete at loss {loss:.2}");
         prop_assert_eq!(
@@ -133,6 +134,7 @@ proptest! {
             LinkCfg::drop_tail(rate, d, 512),
         );
         sim.run_until(Time::ZERO + Duration::from_millis(500));
+        mtp_sim::assert_conservation(&sim);
         prop_assert!(sim.node_as::<TcpSenderNode>(snd).all_done());
         prop_assert_eq!(sim.node_as::<TcpSinkNode>(sink).total_delivered, 200_000);
     }

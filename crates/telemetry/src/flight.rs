@@ -1,0 +1,224 @@
+//! The flight recorder: a bounded ring of recent trace events that can be
+//! dumped to `results/flightrec-<name>.json` when something goes wrong.
+//!
+//! The recorder is the black box of a simulation run: always cheap enough
+//! to leave armed (a fixed-capacity ring, overwritten in place, no
+//! allocation after arming), and dumped only on failure. The engine maps
+//! its own trace kinds onto the compact [`FlightEvent::code`]; the dump
+//! resolves codes back to names through a caller-supplied table so this
+//! crate stays independent of the simulator.
+
+use std::path::{Path, PathBuf};
+
+/// One compact trace record. All fields are plain integers so pushing one
+/// is a handful of stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Simulation time in picoseconds.
+    pub t_ps: u64,
+    /// Event kind, in the recorder owner's code space.
+    pub code: u16,
+    /// Node involved.
+    pub node: u32,
+    /// Port involved.
+    pub port: u32,
+    /// Packet id (0 if not packet-related).
+    pub pkt: u64,
+}
+
+/// A bounded ring of [`FlightEvent`]s plus the name it will dump under.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    name: String,
+    buf: Vec<FlightEvent>,
+    cap: usize,
+    head: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder named `name` (the dump file is
+    /// `flightrec-<name>.json`) retaining the last `cap` events. The ring
+    /// is allocated up front; recording never allocates.
+    pub fn new(name: &str, cap: usize) -> FlightRecorder {
+        assert!(cap > 0, "zero-capacity flight recorder");
+        FlightRecorder {
+            name: name.to_string(),
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// The recorder's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total events ever recorded (may exceed the retained window).
+    pub fn total(&self) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.total
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            0
+        }
+    }
+
+    /// Record one event (no-op with `telemetry-off`).
+    #[inline]
+    pub fn push(&mut self, ev: FlightEvent) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.total += 1;
+            if self.buf.len() < self.cap {
+                self.buf.push(ev);
+            } else {
+                self.buf[self.head] = ev;
+                self.head += 1;
+                if self.head == self.cap {
+                    self.head = 0;
+                }
+            }
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = ev;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Render the retained window as JSON. `code_name` maps event codes to
+    /// human-readable names.
+    pub fn to_json(&self, code_name: &dyn Fn(u16) -> &'static str) -> String {
+        use std::fmt::Write;
+        let evs = self.events();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"name\": \"{}\",\n  \"total_events\": {},\n  \"retained\": {},\n  \"events\": [",
+            json_escape(&self.name),
+            self.total(),
+            evs.len()
+        );
+        for (i, e) in evs.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"t_ps\": {}, \"kind\": \"{}\", \"node\": {}, \"port\": {}, \"pkt\": {}}}",
+                e.t_ps,
+                code_name(e.code),
+                e.node,
+                e.port,
+                e.pkt
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write the dump to `<dir>/flightrec-<name>.json`, returning the path
+    /// (or the IO error). Slashes in the name are flattened so a test name
+    /// can never escape the results directory.
+    pub fn dump_to(
+        &self,
+        dir: &Path,
+        code_name: &dyn Fn(u16) -> &'static str,
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let safe: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("flightrec-{safe}.json"));
+        std::fs::write(&path, self.to_json(code_name))?;
+        Ok(path)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The workspace `results/` directory: `$MTP_RESULTS_DIR` if set, else
+/// `results/` under the nearest ancestor directory containing a
+/// `Cargo.lock` (the workspace root, regardless of which crate's test
+/// binary is running), else `./results`.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("MTP_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if cur.join("Cargo.lock").exists() {
+            return cur.join("results");
+        }
+        if !cur.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, code: u16) -> FlightEvent {
+        FlightEvent {
+            t_ps: t,
+            code,
+            node: 1,
+            port: 0,
+            pkt: t,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = FlightRecorder::new("t", 3);
+        for i in 0..5 {
+            r.push(ev(i, 0));
+        }
+        let evs = r.events();
+        if crate::ENABLED {
+            assert_eq!(r.total(), 5);
+            assert_eq!(evs.len(), 3);
+            assert_eq!(evs[0].t_ps, 2);
+            assert_eq!(evs[2].t_ps, 4);
+        } else {
+            assert!(evs.is_empty());
+        }
+    }
+
+    #[test]
+    fn dump_writes_named_file() {
+        let dir = std::env::temp_dir().join("mtp-telemetry-test");
+        let mut r = FlightRecorder::new("unit/dump", 8);
+        r.push(ev(7, 1));
+        let path = r.dump_to(&dir, &|c| if c == 1 { "delivered" } else { "?" }).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("flightrec-unit_dump"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\": \"unit/dump\""));
+        if crate::ENABLED {
+            assert!(body.contains("\"kind\": \"delivered\""));
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,124 @@
+//! Static metric identifiers.
+//!
+//! Metrics are addressed by enum discriminants rather than registered
+//! strings: the id *is* the array index, so a recording call compiles to
+//! one add with no hashing, no locking, and no allocation. Adding a metric
+//! means adding a variant here — the registry, snapshots, and audits pick
+//! it up automatically.
+
+macro_rules! define_ids {
+    ($(#[$enum_doc:meta])* $enum_name:ident, $all:ident, $(($variant:ident, $name:literal, $doc:literal)),+ $(,)?) => {
+        $(#[$enum_doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u16)]
+        pub enum $enum_name {
+            $(#[doc = $doc] $variant),+
+        }
+
+        impl $enum_name {
+            /// Every id, in declaration (= index) order.
+            pub const $all: &'static [$enum_name] = &[$($enum_name::$variant),+];
+
+            /// Number of ids (the registry's array length).
+            pub const COUNT: usize = Self::$all.len();
+
+            /// Stable snake_case name used in snapshots and JSON dumps.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($enum_name::$variant => $name),+
+                }
+            }
+        }
+    };
+}
+
+define_ids!(
+    /// A monotonically increasing counter.
+    ///
+    /// The engine-level packet and byte counters obey conservation laws
+    /// checked by `mtp_sim::audit`; the device- and endpoint-level ones are
+    /// mirrors of per-device counters, reconciled against the devices'
+    /// own accounting at audit time.
+    Metric,
+    ALL,
+    // ---- engine: packets -------------------------------------------------
+    (PktsOffered, "pkts_offered", "Packets offered to any link direction."),
+    (PktsTx, "pkts_tx", "Packets fully serialized onto any wire."),
+    (PktsDelivered, "pkts_delivered", "Packets delivered to a live node."),
+    (PktsDropped, "pkts_dropped", "Packets dropped by any queue discipline."),
+    (PktsFaulted, "pkts_faulted", "Packets destroyed by injected link/node faults."),
+    (PktsTrimmed, "pkts_trimmed", "Packets whose payload was NDP-trimmed."),
+    (PktsMarked, "pkts_marked", "Packets CE-marked by an ECN queue."),
+    (PktsCorrupted, "pkts_corrupted", "Packets damaged in flight but still delivered."),
+    (CorruptedDestroyed, "corrupted_destroyed", "Damaged packets the engine destroyed before any receiver could verify them."),
+    (FaultedDeliveries, "faulted_deliveries", "Packets destroyed on arrival because their destination node was crashed."),
+    // ---- engine: bytes ---------------------------------------------------
+    (BytesOffered, "bytes_offered", "Wire bytes offered to any link direction."),
+    (BytesTx, "bytes_tx", "Wire bytes fully serialized onto any wire."),
+    (BytesDelivered, "bytes_delivered", "Wire bytes delivered to a live node."),
+    (BytesDropped, "bytes_dropped", "Wire bytes dropped by any queue discipline."),
+    (BytesFaulted, "bytes_faulted", "Wire bytes destroyed by injected faults."),
+    (BytesTrimLoss, "bytes_trim_loss", "Wire bytes removed from frames by NDP trimming."),
+    (BytesCorruptLoss, "bytes_corrupt_loss", "Wire bytes removed from frames by truncation faults."),
+    (BytesFaultedDeliveries, "bytes_faulted_deliveries", "Wire bytes destroyed on arrival at crashed nodes."),
+    // ---- engine: events --------------------------------------------------
+    (TimersFired, "timers_fired", "Timer events dispatched to live nodes."),
+    // ---- devices ---------------------------------------------------------
+    (PktsMalformed, "pkts_malformed", "Packets rejected by a device's integrity check."),
+    (PktsNoRoute, "pkts_no_route", "Packets discarded by a forwarding element with no route."),
+    (PktsPolicyDropped, "pkts_policy_dropped", "Packets dropped by a switch admission policy."),
+    // ---- endpoints -------------------------------------------------------
+    (MsgsSubmitted, "msgs_submitted", "Messages handed to a sending transport."),
+    (MsgsCompleted, "msgs_completed", "Messages fully acknowledged at a sender."),
+    (MsgsDelivered, "msgs_delivered", "Messages delivered (first copy) at a sink."),
+    (GoodputBytes, "goodput_bytes", "First-copy payload bytes delivered at sinks."),
+    (Timeouts, "timeouts", "Retransmission timeouts fired at any transport sender."),
+    (Retransmissions, "retransmissions", "Data retransmissions sent by any transport sender."),
+    // ---- fault driver ----------------------------------------------------
+    (FaultsApplied, "faults_applied", "Scheduled fault events applied by a fault driver."),
+);
+
+define_ids!(
+    /// A signed instantaneous level (can go up and down).
+    Gauge,
+    ALL,
+    (LinksDown, "links_down", "Link directions currently administratively failed."),
+    (NodesDown, "nodes_down", "Nodes currently crashed."),
+    (MsgsInFlight, "msgs_in_flight", "Messages admitted at senders and not yet completed."),
+);
+
+define_ids!(
+    /// A histogram id (HDR-style log-linear value distribution).
+    HistId,
+    ALL,
+    (MsgFctUs, "msg_fct_us", "Message completion times at senders, in microseconds."),
+    (MsgBytes, "msg_bytes", "Sizes of completed messages, in bytes."),
+    (QueueDepthPkts, "queue_depth_pkts", "Egress queue depth sampled at each (non-bypass) enqueue."),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_named() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(*m as usize, i);
+            assert!(!m.name().is_empty());
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+        for (i, h) in HistId::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Metric::COUNT);
+    }
+}

@@ -1,0 +1,288 @@
+//! The metrics registry and its snapshots.
+
+use crate::hist::{fnv_step, Hist, HistSummary};
+use crate::metric::{Gauge, HistId, Metric};
+
+/// A registry of every counter, gauge, and histogram for one simulation.
+///
+/// Recording is a plain array add at the metric's static index — no
+/// hashing, no locking, no allocation. One registry belongs to one
+/// simulator instance (the engine owns it and hands it to nodes through
+/// their `Ctx`), so parallel simulations never share counters.
+///
+/// With the `telemetry-off` feature the registry is a zero-sized shell:
+/// every recording call is a no-op, every read returns zero.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    #[cfg(not(feature = "telemetry-off"))]
+    counters: [u64; Metric::COUNT],
+    #[cfg(not(feature = "telemetry-off"))]
+    gauges: [i64; Gauge::COUNT],
+    #[cfg(not(feature = "telemetry-off"))]
+    hists: Vec<Hist>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh registry with all counters at zero. Histogram buckets are
+    /// allocated here, once; recording never allocates.
+    pub fn new() -> Registry {
+        Registry {
+            #[cfg(not(feature = "telemetry-off"))]
+            counters: [0; Metric::COUNT],
+            #[cfg(not(feature = "telemetry-off"))]
+            gauges: [0; Gauge::COUNT],
+            #[cfg(not(feature = "telemetry-off"))]
+            hists: (0..HistId::COUNT).map(|_| Hist::new()).collect(),
+        }
+    }
+
+    /// Add `n` to counter `m`.
+    #[inline(always)]
+    pub fn count(&mut self, m: Metric, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.counters[m as usize] += n;
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = (m, n);
+    }
+
+    /// Current value of counter `m` (0 when telemetry is off).
+    #[inline]
+    pub fn get(&self, m: Metric) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.counters[m as usize]
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = m;
+            0
+        }
+    }
+
+    /// Move gauge `g` by `d` (positive or negative).
+    #[inline(always)]
+    pub fn gauge_add(&mut self, g: Gauge, d: i64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.gauges[g as usize] += d;
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = (g, d);
+    }
+
+    /// Current level of gauge `g` (0 when telemetry is off).
+    #[inline]
+    pub fn gauge(&self, g: Gauge) -> i64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.gauges[g as usize]
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = g;
+            0
+        }
+    }
+
+    /// Record sample `v` into histogram `h`.
+    #[inline(always)]
+    pub fn record(&mut self, h: HistId, v: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.hists[h as usize].record(v);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = (h, v);
+    }
+
+    /// Summary of histogram `h` (empty when telemetry is off).
+    pub fn hist(&self, h: HistId) -> HistSummary {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.hists[h as usize].summary()
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = h;
+            HistSummary::default()
+        }
+    }
+
+    /// A point-in-time copy of every metric, for reports, digests, and
+    /// audit diffs.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: Metric::ALL.iter().map(|&m| self.get(m)).collect(),
+            gauges: Gauge::ALL.iter().map(|&g| self.gauge(g)).collect(),
+            hists: HistId::ALL.iter().map(|&h| self.hist(h)).collect(),
+            hist_digest: {
+                #[cfg(not(feature = "telemetry-off"))]
+                {
+                    self.hists.iter().fold(0xCBF2_9CE4_8422_2325, |d, h| h.fold_digest(d))
+                }
+                #[cfg(feature = "telemetry-off")]
+                {
+                    0
+                }
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values, indexed like [`Metric::ALL`].
+    pub counters: Vec<u64>,
+    /// Gauge levels, indexed like [`Gauge::ALL`].
+    pub gauges: Vec<i64>,
+    /// Histogram summaries, indexed like [`HistId::ALL`].
+    pub hists: Vec<HistSummary>,
+    /// Digest of full histogram bucket contents (not just the summaries).
+    pub hist_digest: u64,
+}
+
+impl Snapshot {
+    /// Value of one counter.
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters[m as usize]
+    }
+
+    /// One stable 64-bit digest over every counter, gauge, and histogram
+    /// bucket: two runs that accounted identically digest identically.
+    pub fn digest(&self) -> u64 {
+        let mut d = 0xCBF2_9CE4_8422_2325u64;
+        for &c in &self.counters {
+            d = fnv_step(d, c);
+        }
+        for &g in &self.gauges {
+            d = fnv_step(d, g as u64);
+        }
+        d = fnv_step(d, self.hist_digest);
+        d
+    }
+
+    /// Human-readable diff against `other` (empty string when identical):
+    /// one line per differing counter/gauge, for audit failure messages.
+    pub fn diff(&self, other: &Snapshot) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            if self.counters[i] != other.counters[i] {
+                let _ = writeln!(
+                    out,
+                    "  {}: {} != {}",
+                    m.name(),
+                    self.counters[i],
+                    other.counters[i]
+                );
+            }
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            if self.gauges[i] != other.gauges[i] {
+                let _ = writeln!(out, "  {}: {} != {}", g.name(), self.gauges[i], other.gauges[i]);
+            }
+        }
+        if self.hist_digest != other.hist_digest {
+            let _ = writeln!(
+                out,
+                "  hist_digest: {:#x} != {:#x}",
+                self.hist_digest, other.hist_digest
+            );
+        }
+        out
+    }
+
+    /// Render as a JSON object (hand-rolled: every key is a static
+    /// identifier, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", m.name(), self.counters[i]);
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", g.name(), self.gauges[i]);
+        }
+        out.push_str("\n  },\n  \"hists\": {");
+        for (i, h) in HistId::ALL.iter().enumerate() {
+            let s = &self.hists[i];
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}}}",
+                h.name(),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.p50,
+                s.p99
+            );
+        }
+        let _ = write!(out, "\n  }},\n  \"digest\": \"{:#018x}\"\n}}", self.digest());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_read_round_trip() {
+        let mut r = Registry::new();
+        r.count(Metric::PktsOffered, 3);
+        r.count(Metric::PktsOffered, 2);
+        r.gauge_add(Gauge::LinksDown, 2);
+        r.gauge_add(Gauge::LinksDown, -1);
+        r.record(HistId::MsgFctUs, 120);
+        if crate::ENABLED {
+            assert_eq!(r.get(Metric::PktsOffered), 5);
+            assert_eq!(r.gauge(Gauge::LinksDown), 1);
+            assert_eq!(r.hist(HistId::MsgFctUs).count, 1);
+        } else {
+            assert_eq!(r.get(Metric::PktsOffered), 0);
+            assert_eq!(r.gauge(Gauge::LinksDown), 0);
+            assert_eq!(r.hist(HistId::MsgFctUs).count, 0);
+        }
+    }
+
+    #[test]
+    fn snapshots_digest_identically_iff_identical() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        for r in [&mut a, &mut b] {
+            r.count(Metric::PktsTx, 7);
+            r.record(HistId::MsgBytes, 30_000);
+        }
+        assert_eq!(a.snapshot().digest(), b.snapshot().digest());
+        assert_eq!(a.snapshot().diff(&b.snapshot()), "");
+        b.count(Metric::PktsTx, 1);
+        if crate::ENABLED {
+            assert_ne!(a.snapshot().digest(), b.snapshot().digest());
+            assert!(a.snapshot().diff(&b.snapshot()).contains("pkts_tx"));
+        }
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_enough() {
+        let mut r = Registry::new();
+        r.count(Metric::MsgsCompleted, 40);
+        let j = r.snapshot().to_json();
+        assert!(j.contains("\"msgs_completed\""));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -101,6 +101,7 @@ fn figure1_cache_plus_multipath_fabric() {
     );
 
     sim.run_until(Time::ZERO + Duration::from_millis(50));
+    mtp::sim::assert_conservation(&sim);
 
     let client = sim.node_as::<KvClientNode>(client);
     assert_eq!(client.done(), 200, "every request answered");
@@ -168,6 +169,7 @@ fn compressed_messages_survive_loss_downstream() {
         LinkCfg::drop_tail(Bandwidth::from_gbps(10), d, 64),
     );
     sim.run_until(Time::ZERO + Duration::from_millis(60));
+    mtp::sim::assert_conservation(&sim);
 
     assert!(
         sim.node_as::<MtpSenderNode>(snd).all_done(),
@@ -204,6 +206,7 @@ fn full_stack_runs_are_deterministic() {
         let d = Duration::from_micros(1);
         sim.connect(snd, PortId(0), sink, PortId(0), ecn(bw, d), ecn(bw, d));
         sim.run_until(Time::ZERO + Duration::from_millis(10));
+        mtp::sim::assert_conservation(&sim);
         let s = sim.node_as::<MtpSenderNode>(snd);
         let fcts: Vec<_> = s.msgs.iter().map(|m| m.completed).collect();
         (
@@ -276,6 +279,7 @@ fn leaf_spine_fabric_completes_permutation() {
         PathSpec::new(Bandwidth::from_gbps(100), Duration::from_micros(1)),
     );
     ls.sim.run_until(Time::ZERO + Duration::from_millis(20));
+    mtp::sim::assert_conservation(&ls.sim);
     let mut goodput = 0;
     for (k, &h) in ls.hosts.iter().enumerate() {
         if k < HPL {
