@@ -7,7 +7,7 @@
 //! profiling: `cargo bench -p mtp-bench --bench engine_hotpath`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mtp_bench::hotpath::{forward_chain, leafspine_incast, timer_churn};
+use mtp_bench::hotpath::{forward_chain, leafspine_incast, timer_churn, wheel_stress};
 
 fn engine_hotpath(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_hotpath");
@@ -29,6 +29,12 @@ fn engine_hotpath(c: &mut Criterion) {
     g.bench_function("leafspine_incast_4x4", |b| {
         b.iter(|| leafspine_incast(1).events)
     });
+
+    // Dense RTO churn with heavy cancel/reschedule — the timing wheel's
+    // worst case (every reschedule is a detach-cancel plus a re-park).
+    let wheel_events = wheel_stress(1, 2_000).events;
+    g.throughput(Throughput::Elements(wheel_events));
+    g.bench_function("wheel_stress_2k", |b| b.iter(|| wheel_stress(1, 2_000).events));
 
     g.finish();
 }

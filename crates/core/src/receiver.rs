@@ -42,13 +42,50 @@ pub struct MsgDelivered {
     pub pri: u8,
 }
 
+/// Per-message received-packet bitmap. Messages up to 128 packets — in
+/// practice almost all of them — keep their bits inline in the `InMsg`
+/// itself; only larger messages pay for a heap spill. This keeps the
+/// per-packet test/set on the cache line the reassembly hot path has
+/// already loaded and makes message setup allocation-free.
+#[derive(Debug)]
+enum Bitmap {
+    Inline([u64; 2]),
+    Spilled(Vec<u64>),
+}
+
+impl Bitmap {
+    fn for_pkts(len_pkts: u32) -> Bitmap {
+        if len_pkts <= 128 {
+            Bitmap::Inline([0; 2])
+        } else {
+            Bitmap::Spilled(vec![0u64; (len_pkts as usize).div_ceil(64)])
+        }
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match self {
+            Bitmap::Inline(w) => w,
+            Bitmap::Spilled(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match self {
+            Bitmap::Inline(w) => w,
+            Bitmap::Spilled(v) => v,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct InMsg {
     id: MsgId,
     src: u16,
     len_bytes: u32,
     len_pkts: u32,
-    bitmap: Vec<u64>,
+    bitmap: Bitmap,
     received: u32,
     first_seen: Time,
     completed: Option<Time>,
@@ -62,14 +99,14 @@ struct InMsg {
 
 impl InMsg {
     fn test(&self, i: u32) -> bool {
-        self.bitmap[(i / 64) as usize] & (1 << (i % 64)) != 0
+        self.bitmap.words()[(i / 64) as usize] & (1 << (i % 64)) != 0
     }
 
     fn set(&mut self, i: u32) -> bool {
-        let w = (i / 64) as usize;
+        let w = &mut self.bitmap.words_mut()[(i / 64) as usize];
         let b = 1u64 << (i % 64);
-        let was = self.bitmap[w] & b != 0;
-        self.bitmap[w] |= b;
+        let was = *w & b != 0;
+        *w |= b;
         was
     }
 }
@@ -118,6 +155,14 @@ pub struct MtpReceiver {
     recent: Vec<SackEntry>,
     /// Next write position in `recent`.
     recent_head: usize,
+    /// Memo of the last successful id→slot lookup. Packets of one message
+    /// arrive in bursts (a sender drains a window contiguously), so this
+    /// answers most probes without touching the map — which, once many
+    /// messages have passed through, no longer fits in cache. Validated
+    /// against the slab on every hit, so slab compaction in
+    /// [`gc_completed`](Self::gc_completed) can leave it stale safely.
+    last_id: MsgId,
+    last_slot: u32,
     /// Counters.
     pub stats: MtpReceiverStats,
 }
@@ -141,6 +186,8 @@ impl MtpReceiver {
             sack_redundancy: 1,
             recent: Vec::new(),
             recent_head: 0,
+            last_id: MsgId(0),
+            last_slot: u32::MAX,
             stats: MtpReceiverStats::default(),
         }
     }
@@ -158,7 +205,14 @@ impl MtpReceiver {
 
     /// The slab slot holding `id`, if present.
     #[inline]
-    fn lookup(&self, id: MsgId) -> Option<usize> {
+    fn lookup(&mut self, id: MsgId) -> Option<usize> {
+        if self.last_id == id {
+            if let Some(m) = self.msgs.get(self.last_slot as usize) {
+                if m.id == id {
+                    return Some(self.last_slot as usize);
+                }
+            }
+        }
         if self.map.is_empty() {
             return None;
         }
@@ -169,6 +223,8 @@ impl MtpReceiver {
                 s => {
                     let slot = (s - 1) as usize;
                     if self.msgs[slot].id == id {
+                        self.last_id = id;
+                        self.last_slot = slot as u32;
                         return Some(slot);
                     }
                 }
@@ -198,6 +254,8 @@ impl MtpReceiver {
     /// Insert a new message at the next slab slot and index it.
     fn insert(&mut self, msg: InMsg) -> usize {
         let slot = self.msgs.len();
+        self.last_id = msg.id;
+        self.last_slot = slot as u32;
         self.msgs.push(msg);
         if (self.msgs.len() + 1) * 4 > self.map.len() * 3 {
             self.rebuild_map();
@@ -265,7 +323,7 @@ impl MtpReceiver {
                 src: hdr.src_port,
                 len_bytes: hdr.msg_len_bytes,
                 len_pkts: hdr.msg_len_pkts,
-                bitmap: vec![0u64; (hdr.msg_len_pkts as usize).div_ceil(64)],
+                bitmap: Bitmap::for_pkts(hdr.msg_len_pkts),
                 received: 0,
                 first_seen: now,
                 completed: None,

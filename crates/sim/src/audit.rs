@@ -25,7 +25,7 @@
 
 use mtp_telemetry::{Gauge, Metric};
 
-use crate::engine::{EventKind, Simulator};
+use crate::engine::Simulator;
 use crate::node::NodeAuditCounters;
 
 /// The result of a conservation audit: empty `violations` means every law
@@ -185,13 +185,13 @@ impl Simulator {
 
         // ---- L2/L4: global wire-to-node conservation ---------------------
         // Packets that finished serializing are either delivered, destroyed
-        // at a crashed destination, or still propagating (live Deliver
-        // events in the payload slab — Deliver entries are never cancelled,
-        // so every non-vacant one is pending).
+        // at a crashed destination, or still propagating (parked in their
+        // link's propagation ring — ring entries are never cancelled, so
+        // every one is pending).
         let mut prop_pkts = 0u64;
         let mut prop_bytes = 0u64;
-        for kind in &self.inner.slab {
-            if let EventKind::Deliver { pkt, .. } = kind {
+        for link in &self.inner.links {
+            for (_, _, pkt) in &link.prop {
                 prop_pkts += 1;
                 prop_bytes += pkt.wire_len as u64;
             }

@@ -40,29 +40,38 @@ use crate::pool;
 /// TCP island would see them: sealed outer TCP header, bridge preamble,
 /// sealed inner MTP header.
 pub fn materialize(headers: &Headers) -> Option<(WireProto, Vec<u8>)> {
+    // The wire image lives in a recycled buffer (capacity retained across
+    // frames), so a long corruption run seals headers without touching
+    // the allocator.
+    let mut bytes = pool::take_buf();
     match headers {
         Headers::Mtp(h) => {
-            let bytes = h
-                .to_sealed_bytes()
+            bytes.resize(h.sealed_wire_len(), 0);
+            h.emit_sealed(&mut bytes)
                 .expect("structured header is always emittable");
             Some((WireProto::Mtp, bytes))
         }
-        Headers::Tcp(h) => Some((WireProto::Tcp, h.to_sealed_bytes().to_vec())),
+        Headers::Tcp(h) => {
+            bytes.extend_from_slice(&h.to_sealed_bytes());
+            Some((WireProto::Tcp, bytes))
+        }
         Headers::Bridged { tcp, mtp } => {
-            let inner = mtp
-                .to_sealed_bytes()
-                .expect("structured header is always emittable");
-            let mut bytes =
-                Vec::with_capacity(mtp_wire::TCP_SEALED_LEN + BRIDGE_PREAMBLE_LEN + inner.len());
+            let inner_len = mtp.sealed_wire_len();
             bytes.extend_from_slice(&tcp.to_sealed_bytes());
             bytes.extend_from_slice(&BRIDGE_MAGIC.to_be_bytes());
             bytes.push(BRIDGE_VERSION);
             bytes.push(0);
-            bytes.extend_from_slice(&(inner.len() as u16).to_be_bytes());
-            bytes.extend_from_slice(&inner);
+            bytes.extend_from_slice(&(inner_len as u16).to_be_bytes());
+            let at = bytes.len();
+            bytes.resize(at + inner_len, 0);
+            mtp.emit_sealed(&mut bytes[at..])
+                .expect("structured header is always emittable");
             Some((WireProto::Bridged, bytes))
         }
-        Headers::Raw | Headers::Mangled { .. } => None,
+        Headers::Raw | Headers::Mangled { .. } => {
+            pool::recycle_buf(bytes);
+            None
+        }
     }
 }
 
@@ -137,7 +146,9 @@ pub fn sanitize(pkt: &mut Packet) -> Result<(), WireError> {
         return Ok(());
     };
     let (headers, dirty) = verify(*proto, bytes)?;
-    pkt.headers = headers;
+    if let Headers::Mangled { bytes, .. } = std::mem::replace(&mut pkt.headers, headers) {
+        pool::recycle_buf(bytes);
+    }
     pkt.payload_dirty |= dirty;
     Ok(())
 }
@@ -192,6 +203,8 @@ pub fn corrupt_bitflip(pkt: &mut Packet, flips: u8, rng: &mut SmallRng) -> bool 
     if hit_header {
         let old = std::mem::replace(&mut pkt.headers, Headers::Mangled { proto, bytes });
         recycle_headers(old);
+    } else {
+        pool::recycle_buf(bytes);
     }
     pkt.payload_dirty |= hit_payload;
     true
@@ -216,6 +229,7 @@ pub fn corrupt_truncate(pkt: &mut Packet, rng: &mut SmallRng) -> bool {
         let old = std::mem::replace(&mut pkt.headers, Headers::Mangled { proto, bytes });
         recycle_headers(old);
     } else {
+        pool::recycle_buf(bytes);
         pkt.payload_dirty = true;
     }
     true

@@ -67,6 +67,7 @@ pub mod rtt;
 pub mod time;
 pub mod trace;
 pub mod tracefile;
+mod wheel;
 
 pub use audit::{assert_conservation, AuditReport};
 pub use corrupt::sanitize;

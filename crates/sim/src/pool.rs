@@ -26,11 +26,37 @@ thread_local! {
     // of `Packet`s without reallocation.
     #[allow(clippy::vec_box)]
     static POOL: RefCell<Vec<Box<MtpHeader>>> = const { RefCell::new(Vec::new()) };
+
+    // Byte buffers for `Headers::Mangled` wire images: the corruption
+    // path seals a header into one of these per damaged frame, and
+    // `sanitize` / `recycle_packet` hand the buffer back, so steady-state
+    // corruption runs stop allocating.
+    static BUFS: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Upper bound on pooled boxes; beyond this, recycled headers are freed
 /// normally so a burst does not pin memory forever.
 const POOL_CAP: usize = 4096;
+
+/// Upper bound on pooled mangled-wire buffers.
+const BUF_CAP: usize = 1024;
+
+/// An empty byte buffer for a sealed wire image, reusing a recycled
+/// allocation (and its capacity) if one is available.
+pub fn take_buf() -> Vec<u8> {
+    BUFS.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Return a mangled-wire buffer's allocation to the pool.
+pub fn recycle_buf(mut buf: Vec<u8>) {
+    buf.clear();
+    BUFS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < BUF_CAP {
+            pool.push(buf);
+        }
+    });
+}
 
 /// A default-valued boxed header, reusing a recycled allocation if one is
 /// available.
@@ -70,6 +96,7 @@ pub fn recycle_header(hdr: Box<MtpHeader>) {
 pub fn recycle_packet(pkt: Packet) {
     match pkt.headers {
         Headers::Mtp(hdr) | Headers::Bridged { mtp: hdr, .. } => recycle_header(hdr),
+        Headers::Mangled { bytes, .. } => recycle_buf(bytes),
         _ => {}
     }
 }

@@ -195,8 +195,14 @@ impl Bandwidth {
     /// (rounding up so a transmission never finishes early).
     pub fn serialize_time(self, bytes: u32) -> Duration {
         debug_assert!(self.0 > 0, "zero-bandwidth link");
-        let bits = bytes as u128 * 8;
-        let ps = (bits * 1_000_000_000_000).div_ceil(self.0 as u128);
+        let bits = bytes as u64 * 8;
+        if bits <= u64::MAX / 1_000_000_000_000 {
+            // Every realistic frame (up to ~2 MB) stays in 64 bits: one
+            // hardware division instead of the software u128 one
+            // (`__udivti3`) on the per-transmission hot path.
+            return Duration((bits * 1_000_000_000_000).div_ceil(self.0));
+        }
+        let ps = (bits as u128 * 1_000_000_000_000).div_ceil(self.0 as u128);
         Duration(ps as u64)
     }
 

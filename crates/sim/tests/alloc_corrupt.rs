@@ -1,0 +1,92 @@
+//! Proof that the corruption seal/damage/verify cycle stops allocating
+//! once the thread-local pools are warm.
+//!
+//! Every damaged frame is sealed to wire bytes ([`materialize`]), carried
+//! as `Headers::Mangled`, and re-verified at the next receiver
+//! ([`sanitize`]). With the buffer pool and the in-place sealed parser,
+//! the steady-state cycle — seal into a recycled buffer, flip a bit,
+//! reject (or verify back to a pooled structured header), recycle — must
+//! perform **zero** heap allocations.
+//!
+//! The flip lands in a fixed non-count byte (`msg_id`): a flipped section
+//! *count* legitimately makes the parser reserve list capacity before the
+//! length check rejects the walk, which is fine on a per-damaged-frame
+//! basis but would make an exact zero-allocation assertion flaky.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mtp_sim::corrupt::{materialize, sanitize};
+use mtp_sim::{pool, Headers, Packet};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn data_packet(msg: u64) -> Packet {
+    let mut hdr = pool::take_header();
+    hdr.msg_id = mtp_wire::MsgId(msg);
+    hdr.pkt_num = mtp_wire::PktNum(3);
+    hdr.pkt_len = 1400;
+    hdr.pkt_offset = 4200;
+    hdr.msg_len_pkts = 8;
+    hdr.msg_len_bytes = 11200;
+    let wire = hdr.wire_len() as u32 + 1400;
+    Packet::new(Headers::Mtp(hdr), wire)
+}
+
+fn seal_damage_verify_cycle(msg: u64) {
+    // Damaged frame: seal, flip a bit in msg_id, verify must reject.
+    let pkt = data_packet(msg);
+    let (proto, mut bytes) = materialize(&pkt.headers).unwrap();
+    bytes[8] ^= 0x40;
+    let mut mangled = Packet::new(Headers::Mangled { proto, bytes }, pkt.wire_len);
+    assert!(sanitize(&mut mangled).is_err());
+    pool::recycle_packet(mangled);
+
+    // Clean mangled frame: verify restores the structured header.
+    let (proto, bytes) = materialize(&pkt.headers).unwrap();
+    let mut clean = Packet::new(Headers::Mangled { proto, bytes }, pkt.wire_len);
+    assert!(sanitize(&mut clean).is_ok());
+    assert!(matches!(clean.headers, Headers::Mtp(_)));
+    pool::recycle_packet(clean);
+    pool::recycle_packet(pkt);
+}
+
+#[test]
+fn corruption_cycle_allocates_nothing_when_warm() {
+    // Warm-up: fill the header and buffer pools, fault the CRC tables,
+    // initialize the packet-id counter and feature-detection cache.
+    for i in 0..64 {
+        seal_damage_verify_cycle(i);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..2000 {
+        seal_damage_verify_cycle(1000 + i);
+    }
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        during, 0,
+        "warm seal/damage/verify cycle must not allocate (saw {during} in 2000 rounds)"
+    );
+}

@@ -189,27 +189,32 @@ impl MtpHeader {
             }
         }
 
-        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
-        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
-        buf[4] = self.pkt_type as u8;
-        buf[5] = self.msg_pri;
-        buf[6] = self.tc.0;
-        buf[7] = self.flags;
-        buf[8..16].copy_from_slice(&self.msg_id.0.to_be_bytes());
-        buf[16..18].copy_from_slice(&self.entity.0.to_be_bytes());
-        buf[18..22].copy_from_slice(&self.msg_len_pkts.to_be_bytes());
-        buf[22..26].copy_from_slice(&self.msg_len_bytes.to_be_bytes());
-        buf[26..30].copy_from_slice(&self.pkt_num.0.to_be_bytes());
-        buf[30..32].copy_from_slice(&self.pkt_len.to_be_bytes());
-        buf[32..36].copy_from_slice(&self.pkt_offset.to_be_bytes());
-        buf[36] = self.path_exclude.len() as u8;
-        buf[37] = self.path_feedback.len() as u8;
-        buf[38] = self.ack_path_feedback.len() as u8;
-        buf[39] = self.sack.len() as u8;
-        buf[40] = self.nack.len() as u8;
-        buf[41] = 0;
-        buf[42] = 0;
-        buf[43] = 0;
+        // One length check up front (`need >= FIXED_HEADER_LEN` always),
+        // then every fixed-field store compiles to a plain offset write.
+        let fixed: &mut [u8; FIXED_HEADER_LEN] = (&mut buf[..FIXED_HEADER_LEN])
+            .try_into()
+            .expect("length checked above");
+        fixed[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        fixed[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        fixed[4] = self.pkt_type as u8;
+        fixed[5] = self.msg_pri;
+        fixed[6] = self.tc.0;
+        fixed[7] = self.flags;
+        fixed[8..16].copy_from_slice(&self.msg_id.0.to_be_bytes());
+        fixed[16..18].copy_from_slice(&self.entity.0.to_be_bytes());
+        fixed[18..22].copy_from_slice(&self.msg_len_pkts.to_be_bytes());
+        fixed[22..26].copy_from_slice(&self.msg_len_bytes.to_be_bytes());
+        fixed[26..30].copy_from_slice(&self.pkt_num.0.to_be_bytes());
+        fixed[30..32].copy_from_slice(&self.pkt_len.to_be_bytes());
+        fixed[32..36].copy_from_slice(&self.pkt_offset.to_be_bytes());
+        fixed[36] = self.path_exclude.len() as u8;
+        fixed[37] = self.path_feedback.len() as u8;
+        fixed[38] = self.ack_path_feedback.len() as u8;
+        fixed[39] = self.sack.len() as u8;
+        fixed[40] = self.nack.len() as u8;
+        fixed[41] = 0;
+        fixed[42] = 0;
+        fixed[43] = 0;
 
         let mut at = FIXED_HEADER_LEN;
         for e in &self.path_exclude {
@@ -232,8 +237,11 @@ impl MtpHeader {
         }
         for list in [&self.sack, &self.nack] {
             for e in list {
-                buf[at..at + 8].copy_from_slice(&e.msg.0.to_be_bytes());
-                buf[at + 8..at + 12].copy_from_slice(&e.pkt.0.to_be_bytes());
+                let entry: &mut [u8; SACK_ENTRY_LEN] = (&mut buf[at..at + SACK_ENTRY_LEN])
+                    .try_into()
+                    .expect("length checked above");
+                entry[0..8].copy_from_slice(&e.msg.0.to_be_bytes());
+                entry[8..12].copy_from_slice(&e.pkt.0.to_be_bytes());
                 at += SACK_ENTRY_LEN;
             }
         }
@@ -266,14 +274,33 @@ impl MtpHeader {
     /// CRC-16/CCITT of the whole header in bytes 42–43 (computed with
     /// those two bytes as zero), and the 4-byte payload-checksum trailer.
     pub fn to_sealed_bytes(&self) -> Result<Vec<u8>, WireError> {
-        let mut buf = self.to_bytes()?;
+        let mut buf = vec![0u8; self.sealed_wire_len()];
+        self.emit_sealed(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Serialize the sealed form into `buf`, which must be at least
+    /// [`sealed_wire_len`](Self::sealed_wire_len) bytes. Returns the
+    /// number of bytes written. Unlike
+    /// [`to_sealed_bytes`](Self::to_sealed_bytes) this allocates nothing,
+    /// so per-frame sealing (the corruption studies' hot path) can run
+    /// out of a recycled buffer.
+    pub fn emit_sealed(&self, buf: &mut [u8]) -> Result<usize, WireError> {
+        let need = self.sealed_wire_len();
+        if buf.len() < need {
+            return Err(WireError::Truncated {
+                needed: need,
+                got: buf.len(),
+            });
+        }
+        let used = self.emit(buf)?;
         buf[41] = crate::integrity::INTEGRITY_SEALED;
         // Bytes 42–43 are zero here (emit wrote them so), which is exactly
         // how the verifier recomputes the CRC.
-        let crc = crate::integrity::crc16_ccitt(&buf);
+        let crc = crate::integrity::crc16_ccitt(&buf[..used]);
         buf[42..44].copy_from_slice(&crc.to_be_bytes());
-        buf.extend_from_slice(&self.payload_csum().to_be_bytes());
-        Ok(buf)
+        buf[used..need].copy_from_slice(&self.payload_csum().to_be_bytes());
+        Ok(need)
     }
 
     /// Parse and verify a sealed header from the front of `buf`.
@@ -298,19 +325,21 @@ impl MtpHeader {
         if buf[41] != crate::integrity::INTEGRITY_SEALED {
             return Err(WireError::BadIntegrityFlags(buf[41]));
         }
-        // The structural walk happens on a scratch copy with the integrity
-        // bytes zeroed, so the legacy parser's strict reserved-byte check
-        // passes; the walk itself is total and panic-free, so running it
-        // before the CRC check is safe — nothing is *trusted* until the
-        // CRC over the walked region matches.
-        let mut tmp = buf.to_vec();
-        tmp[41] = 0;
-        tmp[42] = 0;
-        tmp[43] = 0;
-        let (hdr, used) = MtpHeader::parse(&tmp)?;
+        // The structural walk runs directly on `buf` with the legacy
+        // parser's reserved-byte check suppressed (bytes 41–43 carry the
+        // integrity flags and CRC here, not zeros); the walk itself is
+        // total and panic-free, so running it before the CRC check is
+        // safe — nothing is *trusted* until the CRC over the walked
+        // region matches. The CRC is recomputed by streaming the buffer
+        // around bytes 42–43 (zero at sealing time), so no scratch copy
+        // of the header is ever made.
+        let (hdr, used) = MtpHeader::parse_inner(buf, true)?;
         let stored_crc = u16::from_be_bytes([buf[42], buf[43]]);
-        tmp[41] = crate::integrity::INTEGRITY_SEALED;
-        if crate::integrity::crc16_ccitt(&tmp[..used]) != stored_crc {
+        let mut crc = crate::integrity::Crc16::new();
+        crc.update(&buf[..42]);
+        crc.update(&[0, 0]);
+        crc.update(&buf[44..used]);
+        if crc.finish() != stored_crc {
             return Err(WireError::BadHeaderCrc);
         }
         let need = used + crate::integrity::PAYLOAD_CSUM_LEN;
@@ -329,6 +358,14 @@ impl MtpHeader {
     /// Parse a header from the front of `buf`. Returns the header and the
     /// number of bytes it occupied.
     pub fn parse(buf: &[u8]) -> Result<(MtpHeader, usize), WireError> {
+        Self::parse_inner(buf, false)
+    }
+
+    /// The shared structural walk behind [`parse`](Self::parse) and
+    /// [`parse_sealed`](Self::parse_sealed). When `sealed` is set, bytes
+    /// 41–43 are the caller's responsibility (integrity flags + CRC);
+    /// otherwise they must be zero, as the legacy form requires.
+    fn parse_inner(buf: &[u8], sealed: bool) -> Result<(MtpHeader, usize), WireError> {
         if buf.len() < FIXED_HEADER_LEN {
             return Err(WireError::Truncated {
                 needed: FIXED_HEADER_LEN,
@@ -336,7 +373,7 @@ impl MtpHeader {
             });
         }
         let pkt_type = PktType::from_wire(buf[4]).ok_or(WireError::BadPktType(buf[4]))?;
-        if buf[41] != 0 || buf[42] != 0 || buf[43] != 0 {
+        if !sealed && (buf[41] != 0 || buf[42] != 0 || buf[43] != 0) {
             return Err(WireError::BadReserved);
         }
         let mut hdr = MtpHeader {

@@ -1,0 +1,124 @@
+//! Proof that the sealed encode/verify hot path does not allocate.
+//!
+//! The corruption studies seal and re-verify a header for every damaged
+//! frame, so `emit_sealed` into a caller-owned buffer plus `parse_sealed`
+//! of a plain data header (no variable sections — the shape of every MTP
+//! data packet) must perform **zero** heap allocations. This pins down
+//! the design guarantees introduced with the table-driven checksums: the
+//! CRC tables are static, `parse_sealed` walks the input in place with a
+//! streaming CRC instead of a scratch copy, and empty variable sections
+//! cost nothing to parse.
+//!
+//! This lives in an integration test so the counting allocator governs
+//! the whole test binary, and so the `unsafe` impl of `GlobalAlloc` stays
+//! outside the library's `deny(unsafe_code)`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mtp_wire::{MsgId, MtpHeader, PktNum, TcpHeader};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// One #[test] entry point: the counter is process-global, so the three
+// phases must run serially rather than as parallel test threads.
+#[test]
+fn sealed_hot_paths_allocate_nothing() {
+    sealed_encode_verify_roundtrip_allocates_nothing();
+    tcp_sealed_roundtrip_allocates_nothing();
+    crc_primitives_allocate_nothing();
+}
+
+fn sealed_encode_verify_roundtrip_allocates_nothing() {
+    let hdr = MtpHeader {
+        msg_id: MsgId(0xDEAD_BEEF),
+        pkt_num: PktNum(17),
+        pkt_len: 1400,
+        pkt_offset: 1400 * 17,
+        msg_len_pkts: 64,
+        msg_len_bytes: 1400 * 64,
+        ..MtpHeader::default()
+    };
+    let mut buf = vec![0u8; hdr.sealed_wire_len()];
+
+    // Warm-up: fault the CRC tables' pages, the feature-detection cache,
+    // and anything lazy in the parser before counting.
+    let used = hdr.emit_sealed(&mut buf).unwrap();
+    let (_, consumed, payload_ok) = MtpHeader::parse_sealed(&buf[..used]).unwrap();
+    assert_eq!(consumed, used);
+    assert!(payload_ok);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        let used = hdr.emit_sealed(&mut buf).unwrap();
+        let (back, consumed, payload_ok) = MtpHeader::parse_sealed(&buf[..used]).unwrap();
+        assert_eq!(consumed, used);
+        assert!(payload_ok);
+        assert_eq!(back.msg_id, hdr.msg_id);
+    }
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        during, 0,
+        "sealed encode/verify hot path must not allocate (saw {during} allocations in 1000 rounds)"
+    );
+}
+
+fn tcp_sealed_roundtrip_allocates_nothing() {
+    let hdr = TcpHeader {
+        seq: 123_456,
+        ack: 654_321,
+        payload_len: 1400,
+        ..TcpHeader::default()
+    };
+    let sealed = hdr.to_sealed_bytes();
+    let (_, used) = TcpHeader::parse_sealed(&sealed).unwrap();
+    assert_eq!(used, sealed.len());
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1000 {
+        let sealed = hdr.to_sealed_bytes();
+        let (back, _) = TcpHeader::parse_sealed(&sealed).unwrap();
+        assert_eq!(back.seq, hdr.seq);
+    }
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(during, 0, "TCP sealed roundtrip must not allocate");
+}
+
+fn crc_primitives_allocate_nothing() {
+    let mut msg = [0u8; 1792];
+    for (i, b) in msg.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(31);
+    }
+    // Warm: first calls may initialize the hardware-dispatch cache.
+    let c32 = mtp_wire::integrity::crc32(&msg);
+    let c16 = mtp_wire::integrity::crc16_ccitt(&msg);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        assert_eq!(mtp_wire::integrity::crc32(&msg), c32);
+        assert_eq!(mtp_wire::integrity::crc16_ccitt(&msg), c16);
+    }
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(during, 0, "checksum primitives must not allocate");
+}

@@ -323,6 +323,36 @@ proptest! {
         prop_assert_eq!(used, TCP_SEALED_LEN);
     }
 
+    /// Checksum implementations are interchangeable: over arbitrary
+    /// fuzz-corpus buffers, the dispatching `crc32` (hardware folding
+    /// when available), the scalar slice-by-8 path, and a bit-at-a-time
+    /// reference all agree — as do the streaming and one-shot CRC-16
+    /// forms at any split point.
+    #[test]
+    fn crc_implementations_agree_on_fuzz_corpus(
+        bytes in prop::collection::vec(any::<u8>(), 0..2500),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut reference: u32 = 0xFFFF_FFFF;
+        for &b in &bytes {
+            reference ^= b as u32;
+            for _ in 0..8 {
+                let mask = (reference & 1).wrapping_neg();
+                reference = (reference >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+        let reference = !reference;
+        prop_assert_eq!(mtp_wire::integrity::crc32(&bytes), reference);
+        prop_assert_eq!(mtp_wire::integrity::crc32_scalar(&bytes), reference);
+
+        let one_shot = mtp_wire::integrity::crc16_ccitt(&bytes);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        let mut streaming = mtp_wire::integrity::Crc16::new();
+        streaming.update(&bytes[..cut]);
+        streaming.update(&bytes[cut..]);
+        prop_assert_eq!(streaming.finish(), one_shot);
+    }
+
     /// Mutated-valid bridged frames: flips anywhere in the encapsulation
     /// never panic the decapsulator.
     #[test]
