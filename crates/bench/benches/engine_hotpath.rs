@@ -34,7 +34,9 @@ fn engine_hotpath(c: &mut Criterion) {
     // worst case (every reschedule is a detach-cancel plus a re-park).
     let wheel_events = wheel_stress(1, 2_000).events;
     g.throughput(Throughput::Elements(wheel_events));
-    g.bench_function("wheel_stress_2k", |b| b.iter(|| wheel_stress(1, 2_000).events));
+    g.bench_function("wheel_stress_2k", |b| {
+        b.iter(|| wheel_stress(1, 2_000).events)
+    });
 
     g.finish();
 }

@@ -1,0 +1,252 @@
+//! Perf gate for the sharded parallel engine.
+//!
+//! Two phases:
+//!
+//! 1. **Digest gate (hard).** On the small fabric with the full fault +
+//!    corruption schedule and tracing on, the sharded runtime's canonical
+//!    digest must be byte-identical to the monolithic engine's for every
+//!    seed — the parallel == serial proof, enforced in CI on a pinned
+//!    shard count. Any mismatch exits non-zero regardless of environment.
+//!
+//! 2. **Scaling measurement (soft floor).** On the bench-sized fabric
+//!    (8 pods, 256 hosts) the monolithic engine and the sharded runtime
+//!    at 2/4/8 shards are timed; each sharded run's link-level digest is
+//!    still required to match the serial one. The `2.5x at 4 shards`
+//!    events/s floor is calibrated on the reference CI hosts (one idle
+//!    core per shard) and is *not meaningful on fewer cores* — a
+//!    single-core container runs all shard threads time-sliced and
+//!    honestly reports scaling below 1. Set `MTP_PERFGATE_FLOORS=0` to
+//!    measure without enforcing, same as the other perfgate suites.
+//!
+//! Writes `results/BENCH_parallel.json`.
+//!
+//! Usage: `parallel_fabric [--shards N]` — N pins the digest-gate shard
+//! count (default 4).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mtp_bench::fabric::{build, fault_schedule, run_serial, run_sharded, FabricCfg};
+use mtp_sim::monolithic_digest;
+use mtp_sim::time::{Duration, Time};
+use serde::Serialize;
+
+const DIGEST_SEEDS: [u64; 3] = [1, 2, 3];
+const SCALING_SHARDS: [usize; 3] = [2, 4, 8];
+/// Shard count whose scaling is gated.
+const FLOOR_SHARDS: usize = 4;
+/// Minimum events/s scaling vs serial at [`FLOOR_SHARDS`] shards, on the
+/// reference hosts (≥ 4 idle cores).
+const SCALING_FLOOR: f64 = 2.5;
+/// Best-of-N wall time per configuration.
+const TIMED_REPS: usize = 3;
+/// Trace capacity for the digest-gate runs (must hold every event).
+const TRACE_CAP: usize = 1 << 17;
+
+fn horizon() -> Time {
+    Time::ZERO + Duration::from_millis(2)
+}
+
+#[derive(Serialize)]
+struct ScalingResult {
+    shards: usize,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    /// events/s relative to the serial run of the same workload.
+    scaling_x: f64,
+    digest_matches_serial: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    id: &'static str,
+    engine: &'static str,
+    /// Phase 1: byte-identical digests under faults + corruption.
+    digest_gate_shards: usize,
+    digest_gate_seeds: Vec<u64>,
+    digest_gate_ok: bool,
+    /// Phase 2: scaling on the bench fabric.
+    host_cores: usize,
+    serial_events: u64,
+    serial_wall_ms: f64,
+    serial_events_per_sec: f64,
+    scaling: Vec<ScalingResult>,
+    scaling_floor: f64,
+    floor_shards: usize,
+    /// Whether the floor held (only meaningful on the reference hosts;
+    /// see `floor_enforced`).
+    floor_met: bool,
+    floor_enforced: bool,
+}
+
+/// Walk up from the cwd to the directory containing `crates/bench`.
+fn repo_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("crates/bench").is_dir() {
+            return dir;
+        }
+        assert!(dir.pop(), "parallel_fabric must run inside the repository");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pinned_shards = 4usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                i += 1;
+                pinned_shards = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs a positive integer");
+            }
+            bad => {
+                eprintln!("parallel_fabric: unknown argument `{bad}`");
+                eprintln!("usage: parallel_fabric [--shards N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(pinned_shards > 0, "--shards must be positive");
+    let root = repo_root();
+    std::fs::create_dir_all(root.join("results")).expect("results dir");
+
+    // ---- Phase 1: the hard digest gate, faults and corruption live ----
+    println!("== digest gate: tiny fabric, {pinned_shards} shards, faults + corruption ==");
+    let mut digest_ok = true;
+    for seed in DIGEST_SEEDS {
+        let net = build(FabricCfg::tiny());
+        let admin = fault_schedule(&net, seed);
+        let serial = run_serial(&net, seed, Some(TRACE_CAP), horizon(), admin.clone());
+        let want = monolithic_digest(&serial);
+        let ss = run_sharded(&net, pinned_shards, seed, Some(TRACE_CAP), horizon(), admin);
+        let matches = ss.digest() == want;
+        let audit = ss.audit();
+        println!(
+            "seed {seed}: digest {}  audit {}",
+            if matches { "identical" } else { "MISMATCH" },
+            if audit.ok() { "clean" } else { "VIOLATED" },
+        );
+        digest_ok &= matches && audit.ok();
+    }
+
+    // ---- Phase 2: scaling on the bench fabric -------------------------
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== scaling: bench fabric (8 pods, 256 hosts), {cores} host cores ==");
+    let net = build(FabricCfg::bench());
+    let seed = 1u64;
+
+    let time_best = |run: &mut dyn FnMut() -> u64| -> (u64, f64) {
+        let mut events = 0u64;
+        let mut best = f64::INFINITY;
+        for rep in 0..TIMED_REPS {
+            let t0 = Instant::now();
+            let e = run();
+            let dt = t0.elapsed().as_secs_f64();
+            if rep == 0 {
+                events = e;
+            } else {
+                assert_eq!(e, events, "events must not vary between reps");
+            }
+            best = best.min(dt);
+        }
+        (events, best)
+    };
+
+    let mut serial_digest = String::new();
+    let (serial_events, serial_wall) = time_best(&mut || {
+        let sim = run_serial(&net, seed, None, horizon(), Vec::new());
+        serial_digest = monolithic_digest(&sim);
+        sim.events_processed()
+    });
+    let serial_eps = serial_events as f64 / serial_wall;
+    println!(
+        "{:<10} {:>9} events  {:>9.2} ms  {:>12.0} events/s",
+        "serial",
+        serial_events,
+        serial_wall * 1e3,
+        serial_eps
+    );
+
+    let mut scaling = Vec::new();
+    for &shards in &SCALING_SHARDS {
+        let mut digest_matches = true;
+        let (events, wall) = time_best(&mut || {
+            let ss = run_sharded(&net, shards, seed, None, horizon(), Vec::new());
+            digest_matches &= ss.digest() == serial_digest;
+            ss.audit().assert_ok();
+            ss.events_processed()
+        });
+        let eps = events as f64 / wall;
+        let scaling_x = eps / serial_eps;
+        println!(
+            "{:<10} {:>9} events  {:>9.2} ms  {:>12.0} events/s  {:>5.2}x{}",
+            format!("{shards} shards"),
+            events,
+            wall * 1e3,
+            eps,
+            scaling_x,
+            if digest_matches {
+                ""
+            } else {
+                "  [DIGEST FAIL]"
+            },
+        );
+        digest_ok &= digest_matches;
+        scaling.push(ScalingResult {
+            shards,
+            events,
+            wall_ms: wall * 1e3,
+            events_per_sec: eps,
+            scaling_x,
+            digest_matches_serial: digest_matches,
+        });
+    }
+
+    let enforce = std::env::var("MTP_PERFGATE_FLOORS").map_or(true, |v| v != "0");
+    let at_floor = scaling
+        .iter()
+        .find(|r| r.shards == FLOOR_SHARDS)
+        .expect("floor shard count measured");
+    let floor_met = at_floor.scaling_x >= SCALING_FLOOR;
+    println!(
+        "scaling at {FLOOR_SHARDS} shards: {:.2}x (floor {SCALING_FLOOR:.2}x): {}",
+        at_floor.scaling_x,
+        if floor_met {
+            "ok"
+        } else if enforce {
+            "FLOOR BREACH"
+        } else {
+            "below floor (not enforced)"
+        }
+    );
+
+    let report = Report {
+        id: "BENCH_parallel",
+        engine: "mtp-sim sharded conservative-lookahead runtime",
+        digest_gate_shards: pinned_shards,
+        digest_gate_seeds: DIGEST_SEEDS.to_vec(),
+        digest_gate_ok: digest_ok,
+        host_cores: cores,
+        serial_events,
+        serial_wall_ms: serial_wall * 1e3,
+        serial_events_per_sec: serial_eps,
+        scaling,
+        scaling_floor: SCALING_FLOOR,
+        floor_shards: FLOOR_SHARDS,
+        floor_met,
+        floor_enforced: enforce,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(root.join("results/BENCH_parallel.json"), &json).expect("write report");
+    println!("wrote results/BENCH_parallel.json");
+
+    if !digest_ok || (enforce && !floor_met) {
+        std::process::exit(1);
+    }
+}

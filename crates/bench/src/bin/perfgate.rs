@@ -285,7 +285,10 @@ fn run_suite(suite: &Suite, root: &Path, bless: bool, record_baseline: bool) -> 
                 "below floor (not enforced)"
             }
         ),
-        None => println!("no complete baseline; floor {:.2}x not enforceable", suite.floor),
+        None => println!(
+            "no complete baseline; floor {:.2}x not enforceable",
+            suite.floor
+        ),
     }
 
     let report = GateReport {

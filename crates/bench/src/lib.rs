@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod endpoint;
+pub mod fabric;
 pub mod hotpath;
 pub mod output;
 pub mod parallel;

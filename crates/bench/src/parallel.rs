@@ -13,7 +13,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub use mtp_workload::mean_std;
 
 /// Run `f(seed)` for every seed, in parallel across at most `workers`
-/// threads, returning results in the same order as `seeds`.
+/// threads, returning results in the same order as `seeds`. A `workers`
+/// of 0 (e.g. from a miscomputed `available_parallelism() - N`) is
+/// clamped to 1 rather than deadlocking or panicking.
 ///
 /// `f` must build everything it needs inside the call (the `Simulator` is
 /// not `Send`, and must not be): only the seed crosses the thread
@@ -29,7 +31,7 @@ where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
-    assert!(workers > 0);
+    let workers = workers.max(1);
     let n = seeds.len();
     let cursor = AtomicUsize::new(0);
 
@@ -79,6 +81,14 @@ mod tests {
         let seeds: Vec<u64> = (0..32).collect();
         let out = run_seeds(&seeds, 8, |s| s * 10);
         assert_eq!(out, seeds.iter().map(|s| s * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let seeds: Vec<u64> = (0..8).collect();
+        let out = run_seeds(&seeds, 0, |s| s * 3);
+        assert_eq!(out, seeds.iter().map(|s| s * 3).collect::<Vec<_>>());
+        assert!(run_seeds::<u64, _>(&[], 0, |s| s).is_empty());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! impl of `GlobalAlloc` stays outside the library's `forbid(unsafe_code)`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use mtp_core::{CcKind, MsgDelivered, MtpConfig, MtpReceiver, MtpSender, SenderEvent};
 use mtp_sim::packet::{Headers, Packet};
@@ -29,11 +29,27 @@ use mtp_wire::{EcnCodepoint, EntityId, PktType, TrafficClass};
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+// Per-thread count: a process-global counter races with the libtest
+// harness thread, whose blocking `recv` of a test result lazily
+// initializes a thread-local channel context — two allocations that land
+// inside the measurement window or not depending on scheduling.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // try_with: TLS may be gone during thread teardown; those allocations
+    // are not part of any measurement window anyway.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
@@ -42,7 +58,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -167,9 +183,9 @@ fn endpoint_ack_echo_churn_steady_state_allocates_nothing() {
     lb.submit(60 * 1460);
     lb.deliver_first();
     let warm_pkts = lb.delivered_pkts;
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = allocs();
     lb.cycle(None);
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = allocs();
 
     let churned = lb.delivered_pkts - warm_pkts;
     assert_eq!(churned, 59, "measured phase delivered the rest");
@@ -207,9 +223,9 @@ fn endpoint_nack_repair_steady_state_allocates_nothing() {
     for _ in 0..10 {
         lb.submit(30 * 1460);
         lb.deliver_first();
-        let before = ALLOCS.load(Ordering::Relaxed);
+        let before = allocs();
         lb.cycle(Some(5));
-        measured += ALLOCS.load(Ordering::Relaxed) - before;
+        measured += allocs() - before;
     }
     assert_eq!(lb.sender.stats.msgs_completed, 20);
     assert_eq!(

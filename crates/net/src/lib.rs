@@ -30,6 +30,7 @@ pub mod bridge;
 pub mod cache;
 pub mod compress;
 pub mod fairshare;
+pub mod partition;
 pub mod proxy;
 pub mod replica;
 pub mod routes;
@@ -41,6 +42,7 @@ pub use bridge::{BridgeStats, TcpIslandBridge, BRIDGE_OVERHEAD};
 pub use cache::{CacheStats, KvCacheNode, KvClientNode, KvServerNode};
 pub use compress::{CompressStats, CompressorNode};
 pub use fairshare::FairShareEnforcer;
+pub use partition::{CfgFactory, LinkOp, NodeFactory, PartitionLayout, ShardLayout, TopoGraph};
 pub use proxy::TcpProxyNode;
 pub use replica::{ReplicaLbNode, ReplicaLbStats, ReplicaPolicy};
 pub use routes::{dst_addr, src_addr, RouteError, StaticRoutes};

@@ -1,0 +1,485 @@
+//! Topology partitioner for sharded execution.
+//!
+//! A [`TopoGraph`] describes a topology abstractly — nodes with a *group*
+//! (e.g. the pod they belong to) and node/link factories instead of built
+//! objects — so the same description can be instantiated either as one
+//! monolithic [`Simulator`] or as a [`ShardPlan`] whose shards each build
+//! their slice on their own worker thread.
+//!
+//! [`TopoGraph::partition`] assigns every node's group to a shard
+//! (`group % shards`), classifies every directed link as *interior* (both
+//! ends in one shard) or *boundary* (cut; its egress half lives with the
+//! transmitter, its ingress half with the receiver), and computes the
+//! conservative lookahead as the minimum propagation delay over boundary
+//! links. The resulting [`PartitionLayout`] is the single source of truth
+//! for both the per-shard build closures and the global↔local id maps, so
+//! the two can never disagree.
+//!
+//! Global id conventions (matching [`TopoGraph::build_monolithic`]):
+//! nodes are numbered in insertion order; pair `j` owns directed links
+//! `2j` (a→b) and `2j+1` (b→a).
+
+use std::sync::Arc;
+
+use mtp_sim::time::Duration;
+use mtp_sim::{
+    BoundaryRoute, DirLinkId, LinkCfg, Node, NodeId, PortId, ShardBuildPlan, ShardPlan, Simulator,
+};
+
+/// Builds one node instance. `Arc` so shard build closures can share it.
+pub type NodeFactory = Arc<dyn Fn() -> Box<dyn Node> + Send + Sync>;
+
+/// Builds one directed link's configuration.
+pub type CfgFactory = Arc<dyn Fn() -> LinkCfg + Send + Sync>;
+
+struct GNode {
+    group: usize,
+    make: NodeFactory,
+}
+
+struct GPair {
+    a: usize,
+    pa: PortId,
+    b: usize,
+    pb: PortId,
+    ab: CfgFactory,
+    ba: CfgFactory,
+    /// Propagation delays, cached at [`TopoGraph::connect`] time so the
+    /// partitioner can compute the lookahead without re-running factories.
+    ab_delay: Duration,
+    ba_delay: Duration,
+}
+
+/// An abstract topology: nodes with groups, links as factory pairs.
+#[derive(Default)]
+pub struct TopoGraph {
+    nodes: Vec<GNode>,
+    pairs: Vec<GPair>,
+}
+
+/// How one shard wires one link pair, in global-pair terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOp {
+    /// Interior pair: both directions via [`Simulator::connect`]
+    /// (consumes local dirs `2` at a time, globals `2j` then `2j+1`).
+    Connect {
+        /// Global pair index.
+        pair: usize,
+    },
+    /// Egress half of one cut direction of pair `pair`; `forward` picks
+    /// a→b (global `2j`) vs b→a (global `2j+1`).
+    Out {
+        /// Global pair index.
+        pair: usize,
+        /// a→b when true, b→a when false.
+        forward: bool,
+    },
+    /// Ingress half of one cut direction of pair `pair`.
+    In {
+        /// Global pair index.
+        pair: usize,
+        /// a→b when true, b→a when false.
+        forward: bool,
+    },
+}
+
+/// One shard's slice of the layout.
+#[derive(Debug, Clone, Default)]
+pub struct ShardLayout {
+    /// Global node ids built by this shard, in local-id order.
+    pub nodes: Vec<usize>,
+    /// Wiring operations, in the order the shard's builder executes them
+    /// (which fixes local [`DirLinkId`] assignment).
+    pub ops: Vec<LinkOp>,
+    /// Global directed-link id of each local link, in local-id order.
+    pub dir_globals: Vec<usize>,
+}
+
+/// The partitioner's full answer for one shard count.
+pub struct PartitionLayout {
+    /// Shard count.
+    pub shards: usize,
+    /// Shard of every node, indexed by global node id.
+    pub shard_of_node: Vec<usize>,
+    /// `(shard, local node id)` of every node.
+    pub node_owner: Vec<(usize, NodeId)>,
+    /// `(shard, local dir id)` of every directed link's egress state.
+    pub dir_owner: Vec<(usize, DirLinkId)>,
+    /// Every cut directed link.
+    pub routes: Vec<BoundaryRoute>,
+    /// Minimum propagation delay over cut links — the lookahead bound.
+    /// `None` when nothing is cut (single shard).
+    pub lookahead: Option<Duration>,
+    /// Per-shard wiring slices.
+    pub per_shard: Vec<ShardLayout>,
+}
+
+impl TopoGraph {
+    /// An empty graph.
+    pub fn new() -> TopoGraph {
+        TopoGraph::default()
+    }
+
+    /// Add a node in `group` (the partition unit — e.g. its pod index).
+    /// Returns its global id.
+    pub fn add_node(
+        &mut self,
+        group: usize,
+        make: impl Fn() -> Box<dyn Node> + Send + Sync + 'static,
+    ) -> usize {
+        self.nodes.push(GNode {
+            group,
+            make: Arc::new(make),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Connect `a`'s `pa` to `b`'s `pb`; returns the pair index `j`
+    /// (directed links `2j` = a→b, `2j+1` = b→a). The factories are run
+    /// once here to cache the propagation delays (they must be
+    /// deterministic: every later invocation must produce the same
+    /// configuration).
+    pub fn connect(
+        &mut self,
+        a: usize,
+        pa: PortId,
+        b: usize,
+        pb: PortId,
+        ab: impl Fn() -> LinkCfg + Send + Sync + 'static,
+        ba: impl Fn() -> LinkCfg + Send + Sync + 'static,
+    ) -> usize {
+        let ab_delay = ab().delay;
+        let ba_delay = ba().delay;
+        self.pairs.push(GPair {
+            a,
+            pa,
+            b,
+            pb,
+            ab: Arc::new(ab),
+            ba: Arc::new(ba),
+            ab_delay,
+            ba_delay,
+        });
+        self.pairs.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of link pairs (directed links are `2 * num_pairs`).
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Build the whole graph in one simulator, ids in global order. The
+    /// packet-id namespaces default to the node ids, so this is exactly
+    /// what each shard reproduces locally.
+    pub fn build_monolithic(&self, seed: u64, trace_cap: Option<usize>) -> Simulator {
+        let mut sim = Simulator::new(seed);
+        if let Some(cap) = trace_cap {
+            sim.enable_trace(cap);
+        }
+        for n in &self.nodes {
+            sim.add_node((n.make)());
+        }
+        for p in &self.pairs {
+            sim.connect(NodeId(p.a), p.pa, NodeId(p.b), p.pb, (p.ab)(), (p.ba)());
+        }
+        sim
+    }
+
+    /// Partition into `shards` shards (`shard_of_node = group % shards`),
+    /// classifying every directed link and computing the lookahead.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn partition(&self, shards: usize) -> PartitionLayout {
+        assert!(shards > 0, "cannot partition into zero shards");
+        let shard_of_node: Vec<usize> = self.nodes.iter().map(|n| n.group % shards).collect();
+        let mut per_shard: Vec<ShardLayout> = vec![ShardLayout::default(); shards];
+        let mut node_owner = Vec::with_capacity(self.nodes.len());
+        for (g, &s) in shard_of_node.iter().enumerate() {
+            node_owner.push((s, NodeId(per_shard[s].nodes.len())));
+            per_shard[s].nodes.push(g);
+        }
+        let mut dir_owner = vec![(usize::MAX, DirLinkId(usize::MAX)); self.pairs.len() * 2];
+        let mut routes = Vec::new();
+        let mut lookahead: Option<Duration> = None;
+        // Local ingress halves, recorded while walking pairs; turned into
+        // routes once both halves of a cut direction are placed.
+        for (j, p) in self.pairs.iter().enumerate() {
+            let (sa, sb) = (shard_of_node[p.a], shard_of_node[p.b]);
+            if sa == sb {
+                let lay = &mut per_shard[sa];
+                lay.ops.push(LinkOp::Connect { pair: j });
+                dir_owner[2 * j] = (sa, DirLinkId(lay.dir_globals.len()));
+                lay.dir_globals.push(2 * j);
+                dir_owner[2 * j + 1] = (sa, DirLinkId(lay.dir_globals.len()));
+                lay.dir_globals.push(2 * j + 1);
+                continue;
+            }
+            // Cut pair: each direction gets an egress half in its source
+            // shard and an ingress half in its destination shard.
+            for (forward, src_shard, dst_shard, delay) in
+                [(true, sa, sb, p.ab_delay), (false, sb, sa, p.ba_delay)]
+            {
+                let global = 2 * j + usize::from(!forward);
+                assert!(delay.0 > 0, "boundary link pair {j} has zero delay");
+                lookahead = Some(match lookahead {
+                    Some(l) => l.min(delay),
+                    None => delay,
+                });
+                let src_lay = &mut per_shard[src_shard];
+                src_lay.ops.push(LinkOp::Out { pair: j, forward });
+                let src_dir = DirLinkId(src_lay.dir_globals.len());
+                src_lay.dir_globals.push(global);
+                dir_owner[global] = (src_shard, src_dir);
+                let dst_lay = &mut per_shard[dst_shard];
+                dst_lay.ops.push(LinkOp::In { pair: j, forward });
+                let dst_dir = DirLinkId(dst_lay.dir_globals.len());
+                dst_lay.dir_globals.push(global);
+                routes.push(BoundaryRoute {
+                    global,
+                    src_shard,
+                    src_dir,
+                    dst_shard,
+                    dst_dir,
+                });
+            }
+        }
+        PartitionLayout {
+            shards,
+            shard_of_node,
+            node_owner,
+            dir_owner,
+            routes,
+            lookahead,
+            per_shard,
+        }
+    }
+
+    /// Produce a [`ShardPlan`]: partition into `shards`, then wrap each
+    /// shard's slice in a build closure that reconstructs it locally —
+    /// same seed, same per-node packet-id namespaces (the global node
+    /// ids), same trace setup — on its worker thread.
+    ///
+    /// With a single shard (or no cut links) the lookahead is
+    /// effectively unbounded; a nominal 1 ms is used so epochs stay
+    /// finite.
+    pub fn plan(self: &Arc<Self>, shards: usize, seed: u64, trace_cap: Option<usize>) -> ShardPlan {
+        let layout = self.partition(shards);
+        let mut build_plans = Vec::with_capacity(shards);
+        for lay in &layout.per_shard {
+            let graph = Arc::clone(self);
+            let nodes = lay.nodes.clone();
+            let ops = lay.ops.clone();
+            let node_owner = layout.node_owner.clone();
+            let build = Box::new(move || {
+                let mut sim = Simulator::new(seed);
+                if let Some(cap) = trace_cap {
+                    sim.enable_trace(cap);
+                }
+                for &g in &nodes {
+                    let local = sim.add_node((graph.nodes[g].make)());
+                    sim.set_pkt_namespace(local, g as u64);
+                }
+                let local_of = |g: usize| node_owner[g].1;
+                for op in &ops {
+                    match *op {
+                        LinkOp::Connect { pair } => {
+                            let p = &graph.pairs[pair];
+                            sim.connect(
+                                local_of(p.a),
+                                p.pa,
+                                local_of(p.b),
+                                p.pb,
+                                (p.ab)(),
+                                (p.ba)(),
+                            );
+                        }
+                        LinkOp::Out { pair, forward } => {
+                            let p = &graph.pairs[pair];
+                            let (src, port, cfg) = if forward {
+                                (p.a, p.pa, (p.ab)())
+                            } else {
+                                (p.b, p.pb, (p.ba)())
+                            };
+                            sim.connect_boundary_out(local_of(src), port, cfg);
+                        }
+                        LinkOp::In { pair, forward } => {
+                            let p = &graph.pairs[pair];
+                            let (dst, port, cfg) = if forward {
+                                (p.b, p.pb, (p.ab)())
+                            } else {
+                                (p.a, p.pa, (p.ba)())
+                            };
+                            sim.connect_boundary_in(local_of(dst), port, cfg);
+                        }
+                    }
+                }
+                sim
+            });
+            build_plans.push(ShardBuildPlan {
+                build,
+                node_globals: lay.nodes.clone(),
+                dir_globals: lay.dir_globals.clone(),
+            });
+        }
+        ShardPlan {
+            lookahead: layout.lookahead.unwrap_or(Duration::from_micros(1000)),
+            shards: build_plans,
+            routes: layout.routes,
+            dir_owner: layout.dir_owner,
+            node_owner: layout
+                .node_owner
+                .iter()
+                .map(|&(s, local)| (s, local))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtp_sim::time::Bandwidth;
+
+    struct Idle;
+    impl Node for Idle {
+        fn on_packet(&mut self, _: &mut mtp_sim::Ctx<'_>, _: PortId, _: mtp_sim::Packet) {}
+    }
+
+    fn cfg(delay_ps: u64) -> impl Fn() -> LinkCfg + Send + Sync + 'static {
+        move || LinkCfg::drop_tail(Bandwidth::from_gbps(100), Duration(delay_ps), 64)
+    }
+
+    /// A random leaf-spine-ish multi-pod graph: per-pod hosts and leaves,
+    /// shared spines (assigned round-robin to pods), random delays.
+    fn random_graph(rng: &mut impl rand::Rng) -> TopoGraph {
+        let pods = rng.gen_range(1..=5usize);
+        let leaves_per_pod = rng.gen_range(1..=3usize);
+        let hosts_per_leaf = rng.gen_range(1..=3usize);
+        let spines = rng.gen_range(1..=4usize);
+        let mut g = TopoGraph::new();
+        let mut leaf_ids = Vec::new();
+        for pod in 0..pods {
+            for _ in 0..leaves_per_pod {
+                let leaf = g.add_node(pod, || Box::new(Idle));
+                let mut port = 0usize;
+                for _ in 0..hosts_per_leaf {
+                    let host = g.add_node(pod, || Box::new(Idle));
+                    let d = rng.gen_range(1..=2_000_000u64);
+                    g.connect(host, PortId(0), leaf, PortId(port), cfg(d), cfg(d + 1));
+                    port += 1;
+                }
+                leaf_ids.push((leaf, port));
+            }
+        }
+        for s in 0..spines {
+            let spine = g.add_node(s % pods, || Box::new(Idle));
+            for (i, (leaf, base)) in leaf_ids.iter().enumerate() {
+                let d = rng.gen_range(1..=2_000_000u64);
+                g.connect(
+                    *leaf,
+                    PortId(base + s),
+                    spine,
+                    PortId(i),
+                    cfg(d),
+                    cfg(d + 1),
+                );
+            }
+        }
+        g
+    }
+
+    /// The satellite property: every directed link is either interior to
+    /// exactly one shard or cut into exactly one egress and one ingress
+    /// half; the lookahead is exactly the minimum cut-link delay; and the
+    /// id maps are mutually consistent.
+    #[test]
+    fn partition_covers_every_link_exactly_once() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        for _case in 0..40 {
+            let g = random_graph(&mut rng);
+            for shards in 1..=4usize {
+                let lay = g.partition(shards);
+                let dirs = g.num_pairs() * 2;
+                // Each directed link: exactly one egress owner, and
+                // (boundary only) exactly one ingress placement.
+                let mut egress_seen = vec![0usize; dirs];
+                let mut ingress_seen = vec![0usize; dirs];
+                for (s, sl) in lay.per_shard.iter().enumerate() {
+                    let mut local = 0usize;
+                    for op in &sl.ops {
+                        match *op {
+                            LinkOp::Connect { pair } => {
+                                egress_seen[2 * pair] += 1;
+                                egress_seen[2 * pair + 1] += 1;
+                                assert_eq!(sl.dir_globals[local], 2 * pair);
+                                assert_eq!(sl.dir_globals[local + 1], 2 * pair + 1);
+                                assert_eq!(lay.dir_owner[2 * pair], (s, DirLinkId(local)));
+                                assert_eq!(lay.dir_owner[2 * pair + 1], (s, DirLinkId(local + 1)));
+                                local += 2;
+                            }
+                            LinkOp::Out { pair, forward } => {
+                                let gdir = 2 * pair + usize::from(!forward);
+                                egress_seen[gdir] += 1;
+                                assert_eq!(sl.dir_globals[local], gdir);
+                                assert_eq!(lay.dir_owner[gdir], (s, DirLinkId(local)));
+                                local += 1;
+                            }
+                            LinkOp::In { pair, forward } => {
+                                let gdir = 2 * pair + usize::from(!forward);
+                                ingress_seen[gdir] += 1;
+                                assert_eq!(sl.dir_globals[local], gdir);
+                                local += 1;
+                            }
+                        }
+                    }
+                    assert_eq!(local, sl.dir_globals.len());
+                }
+                let boundary: Vec<usize> = (0..dirs).filter(|&d| ingress_seen[d] > 0).collect();
+                for d in 0..dirs {
+                    assert_eq!(egress_seen[d], 1, "dir {d} egress placed once");
+                    assert!(ingress_seen[d] <= 1, "dir {d} ingress placed at most once");
+                }
+                // Routes cover exactly the cut directions.
+                assert_eq!(lay.routes.len(), boundary.len());
+                let mut route_dirs: Vec<usize> = lay.routes.iter().map(|r| r.global).collect();
+                route_dirs.sort_unstable();
+                assert_eq!(route_dirs, boundary);
+                for r in &lay.routes {
+                    assert_ne!(r.src_shard, r.dst_shard, "cut link must cross shards");
+                }
+                // Lookahead == independently computed min over cut delays.
+                let mut min_delay: Option<Duration> = None;
+                for (j, p) in (0..g.num_pairs()).map(|j| (j, &g.pairs[j])) {
+                    for (forward, delay) in [(true, p.ab_delay), (false, p.ba_delay)] {
+                        let gdir = 2 * j + usize::from(!forward);
+                        if boundary.contains(&gdir) {
+                            min_delay = Some(min_delay.map_or(delay, |m: Duration| m.min(delay)));
+                        }
+                    }
+                }
+                assert_eq!(lay.lookahead, min_delay);
+                if shards == 1 {
+                    assert!(lay.routes.is_empty());
+                    assert!(lay.lookahead.is_none());
+                }
+                // Node maps are a bijection.
+                let mut count = vec![0usize; g.num_nodes()];
+                for (s, sl) in lay.per_shard.iter().enumerate() {
+                    for (local, &gn) in sl.nodes.iter().enumerate() {
+                        count[gn] += 1;
+                        assert_eq!(lay.node_owner[gn], (s, NodeId(local)));
+                        assert_eq!(lay.shard_of_node[gn], s);
+                    }
+                }
+                assert!(count.iter().all(|&c| c == 1));
+            }
+        }
+    }
+}

@@ -196,22 +196,47 @@ impl Simulator {
                 prop_bytes += pkt.wire_len as u64;
             }
         }
+        // In a sharded run the boundary terms extend the law: packets
+        // injected by the runtime (boundary_in) are extra sources, packets
+        // handed to the runtime (boundary_out) are extra sinks. A packet
+        // staged in the outbox is already counted in boundary_out, so the
+        // law holds at any instant — including mid-epoch with boundary
+        // traffic in flight. Both terms are zero in non-sharded runs,
+        // reducing to the original law.
         laws += 1;
-        let deliver_sinks = self.delivered_pkts + self.faulted_deliveries + prop_pkts;
-        if sums.tx_pkts != deliver_sinks {
+        let tx_sources = sums.tx_pkts + self.inner.boundary_in_pkts;
+        let deliver_sinks = self.delivered_pkts
+            + self.faulted_deliveries
+            + prop_pkts
+            + self.inner.boundary_out_pkts;
+        if tx_sources != deliver_sinks {
             violations.push(format!(
-                "global packet law: tx {} != delivered {} + faulted_deliveries {} \
-                 + propagating {prop_pkts} (= {deliver_sinks})",
-                sums.tx_pkts, self.delivered_pkts, self.faulted_deliveries
+                "global packet law: tx {} + boundary_in {} != delivered {} \
+                 + faulted_deliveries {} + propagating {prop_pkts} \
+                 + boundary_out {} (= {deliver_sinks})",
+                sums.tx_pkts,
+                self.inner.boundary_in_pkts,
+                self.delivered_pkts,
+                self.faulted_deliveries,
+                self.inner.boundary_out_pkts
             ));
         }
         laws += 1;
-        let deliver_byte_sinks = self.delivered_bytes + self.faulted_delivery_bytes + prop_bytes;
-        if sums.tx_bytes != deliver_byte_sinks {
+        let tx_byte_sources = sums.tx_bytes + self.inner.boundary_in_bytes;
+        let deliver_byte_sinks = self.delivered_bytes
+            + self.faulted_delivery_bytes
+            + prop_bytes
+            + self.inner.boundary_out_bytes;
+        if tx_byte_sources != deliver_byte_sinks {
             violations.push(format!(
-                "global byte law: tx {} != delivered {} + faulted_delivery_bytes {} \
-                 + propagating {prop_bytes} (= {deliver_byte_sinks})",
-                sums.tx_bytes, self.delivered_bytes, self.faulted_delivery_bytes
+                "global byte law: tx {} + boundary_in {} != delivered {} \
+                 + faulted_delivery_bytes {} + propagating {prop_bytes} \
+                 + boundary_out {} (= {deliver_byte_sinks})",
+                sums.tx_bytes,
+                self.inner.boundary_in_bytes,
+                self.delivered_bytes,
+                self.faulted_delivery_bytes,
+                self.inner.boundary_out_bytes
             ));
         }
 
@@ -246,6 +271,10 @@ impl Simulator {
                 (Metric::FaultedDeliveries, self.faulted_deliveries),
                 (Metric::BytesFaultedDeliveries, self.faulted_delivery_bytes),
                 (Metric::CorruptedDestroyed, self.inner.corrupted_destroyed),
+                (Metric::PktsBoundaryOut, self.inner.boundary_out_pkts),
+                (Metric::BytesBoundaryOut, self.inner.boundary_out_bytes),
+                (Metric::PktsBoundaryIn, self.inner.boundary_in_pkts),
+                (Metric::BytesBoundaryIn, self.inner.boundary_in_bytes),
             ];
             for &(m, engine) in mirrors {
                 laws += 1;

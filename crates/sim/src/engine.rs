@@ -53,6 +53,28 @@ pub enum LinkFailMode {
     Drain,
 }
 
+/// Role of a directed link in a sharded (multi-simulator) run.
+///
+/// A topology partitioned across several [`Simulator`] instances cuts each
+/// inter-shard link into two half-links: the transmitting shard holds an
+/// [`Egress`](BoundaryKind::Egress) half (serialization, queueing, and all
+/// egress-side accounting happen there; finished packets go to the outbox
+/// instead of local delivery) and the receiving shard holds an
+/// [`Ingress`](BoundaryKind::Ingress) half (arrivals are injected by the
+/// sharded runtime and delivered with ordinary delivery accounting).
+/// Ordinary links are [`Interior`](BoundaryKind::Interior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryKind {
+    /// Both ends live in this simulator (the default).
+    Interior,
+    /// Local transmit half of an inter-shard link; completions are handed
+    /// to [`Simulator::drain_boundary_out`].
+    Egress,
+    /// Local receive half of an inter-shard link; arrivals come from
+    /// [`Simulator::inject_arrival`].
+    Ingress,
+}
+
 /// Static configuration of one link direction.
 pub struct LinkCfg {
     /// Serialization rate.
@@ -177,6 +199,54 @@ pub(crate) struct DirLink {
     /// changed under it — e.g. a delay cut re-ordered arrivals) and is
     /// skipped exactly like a cancelled timer.
     sched: Option<(Time, u64)>,
+    /// Interior link, or which half of an inter-shard boundary link.
+    boundary: BoundaryKind,
+}
+
+/// Build one directed link from its configuration.
+fn new_dir_link(
+    cfg: LinkCfg,
+    src: (NodeId, PortId),
+    dst: (NodeId, PortId),
+    boundary: BoundaryKind,
+) -> DirLink {
+    DirLink {
+        rate: cfg.rate,
+        delay: cfg.delay,
+        queue: cfg.queue,
+        in_flight: None,
+        src,
+        dst,
+        stats: LinkStats::default(),
+        up: true,
+        doomed: false,
+        corrupt_next: 0,
+        bitflip_next: 0,
+        bitflip_flips: 0,
+        truncate_next: 0,
+        corrupt_ppm: 0,
+        corrupt_flips: 0,
+        corrupt_rng: None,
+        prop: VecDeque::new(),
+        sched: None,
+        boundary,
+    }
+}
+
+/// The packet id auto-assigned to the `seq`-th packet (1-based) sent by a
+/// node whose packet-id namespace is `ns`.
+///
+/// Ids are a pure function of `(namespace, per-node send count)` — never
+/// of global interleaving — so a sharded run that gives every node its
+/// *global* id as namespace (see [`Simulator::set_pkt_namespace`]) assigns
+/// byte-identical ids to the monolithic run, no matter how sends from
+/// different nodes interleave. The namespace occupies the high bits
+/// (offset by one so id 0 stays the "unassigned" sentinel), leaving 2^40
+/// auto-assigned packets per node.
+pub fn pkt_id(ns: u64, seq: u64) -> PacketId {
+    debug_assert!(ns < (1 << 23), "packet-id namespace too large");
+    debug_assert!(seq != 0 && seq < (1 << 40), "per-node packet seq overflow");
+    PacketId(((ns + 1) << 40) | seq)
 }
 
 /// Event payload, held in the slab while the event waits in the queue.
@@ -240,7 +310,25 @@ pub struct SimInner {
     /// `(off, len)` span in `egress_spans`.
     egress_table: Vec<u32>,
     egress_spans: Vec<(u32, u32)>,
-    next_pkt: u64,
+    /// Per-node count of auto-assigned packet ids (see [`pkt_id`]).
+    pkt_seq: Vec<u64>,
+    /// Per-node packet-id namespace; defaults to the node's own id and is
+    /// overridden by sharded runs so local nodes mint their *global* ids.
+    pkt_ns: Vec<u64>,
+    /// Boundary egress handoffs awaiting
+    /// [`Simulator::drain_boundary_out`]: `(egress half-link, arrival
+    /// time at the far end, packet)`, in transmission-completion order.
+    outbox: Vec<(DirLinkId, Time, Packet)>,
+    /// Packets handed off by boundary egress half-links (a sink in the
+    /// global conservation law; zero in non-sharded runs).
+    pub(crate) boundary_out_pkts: u64,
+    /// Wire bytes handed off by boundary egress half-links.
+    pub(crate) boundary_out_bytes: u64,
+    /// Packets injected into boundary ingress half-links (a source in the
+    /// global conservation law; zero in non-sharded runs).
+    pub(crate) boundary_in_pkts: u64,
+    /// Wire bytes injected into boundary ingress half-links.
+    pub(crate) boundary_in_bytes: u64,
     /// Events processed so far (cancelled timers are skipped silently and
     /// do not count).
     processed: u64,
@@ -312,7 +400,6 @@ impl SimInner {
             }
         }
     }
-
 
     /// Hand a fully transmitted packet to its link's propagation ring,
     /// due at `time`. Only a new ring *head* costs an event-queue entry:
@@ -490,8 +577,8 @@ impl SimInner {
             .egress_get(node, port)
             .unwrap_or_else(|| panic!("node {} port {} is not connected", node.0, port.0));
         if pkt.id.0 == 0 {
-            self.next_pkt += 1;
-            pkt.id = PacketId(self.next_pkt);
+            self.pkt_seq[node.0] += 1;
+            pkt.id = pkt_id(self.pkt_ns[node.0], self.pkt_seq[node.0]);
         }
         let now = self.now;
         let pkt_id = pkt.id;
@@ -549,7 +636,8 @@ impl SimInner {
                 let loss = offered_bytes - pkt.wire_len as u64;
                 link.stats.corrupted_pkts += 1;
                 link.stats.corrupt_loss_bytes += loss;
-                self.telemetry.count(mtp_telemetry::Metric::PktsCorrupted, 1);
+                self.telemetry
+                    .count(mtp_telemetry::Metric::PktsCorrupted, 1);
                 self.telemetry
                     .count(mtp_telemetry::Metric::BytesCorruptLoss, loss);
                 self.trace(pkt_id, node, port, TraceKind::Corrupted);
@@ -658,12 +746,13 @@ impl SimInner {
             }
             return;
         }
+        let wire = pkt.wire_len as u64;
         link.stats.tx_pkts += 1;
-        link.stats.tx_bytes += pkt.wire_len as u64;
+        link.stats.tx_bytes += wire;
         self.telemetry.count(mtp_telemetry::Metric::PktsTx, 1);
-        self.telemetry
-            .count(mtp_telemetry::Metric::BytesTx, pkt.wire_len as u64);
+        self.telemetry.count(mtp_telemetry::Metric::BytesTx, wire);
         let (src_node, src_port) = link.src;
+        let boundary = link.boundary;
         let arrive = now + link.delay;
         let next_id = if let Some(next) = link.queue.dequeue(now) {
             let done = now + link.rate.serialize_time(next.wire_len);
@@ -677,7 +766,22 @@ impl SimInner {
         if let Some(nid) = next_id {
             self.trace(nid, src_node, src_port, TraceKind::TxStart);
         }
-        self.push_deliver(arrive, dir, pkt);
+        if boundary == BoundaryKind::Egress {
+            // The far end of this link lives in another shard's simulator:
+            // hand the packet (with its already-computed arrival time) to
+            // the sharded runtime instead of delivering locally. Delivery
+            // accounting and tracing happen exactly once, in the ingress
+            // shard, when the runtime calls `inject_arrival` over there.
+            self.boundary_out_pkts += 1;
+            self.boundary_out_bytes += wire;
+            self.telemetry
+                .count(mtp_telemetry::Metric::PktsBoundaryOut, 1);
+            self.telemetry
+                .count(mtp_telemetry::Metric::BytesBoundaryOut, wire);
+            self.outbox.push((dir, arrive, pkt));
+        } else {
+            self.push_deliver(arrive, dir, pkt);
+        }
     }
 
     /// Destroy every packet queued on `dir`, counting them as faulted.
@@ -752,7 +856,13 @@ impl Simulator {
                 links: Vec::new(),
                 egress_table: Vec::new(),
                 egress_spans: Vec::new(),
-                next_pkt: 0,
+                pkt_seq: Vec::new(),
+                pkt_ns: Vec::new(),
+                outbox: Vec::new(),
+                boundary_out_pkts: 0,
+                boundary_out_bytes: 0,
+                boundary_in_pkts: 0,
+                boundary_in_bytes: 0,
                 processed: 0,
                 rng: SmallRng::seed_from_u64(seed),
                 trace: None,
@@ -776,6 +886,8 @@ impl Simulator {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
         self.node_up.push(true);
+        self.inner.pkt_seq.push(0);
+        self.inner.pkt_ns.push(id.0 as u64);
         self.inner
             .egress_spans
             .push((self.inner.egress_table.len() as u32, 0));
@@ -798,51 +910,117 @@ impl Simulator {
         ba: LinkCfg,
     ) -> (DirLinkId, DirLinkId) {
         let id_ab = DirLinkId(self.inner.links.len());
-        self.inner.links.push(DirLink {
-            rate: ab.rate,
-            delay: ab.delay,
-            queue: ab.queue,
-            in_flight: None,
-            src: (a, pa),
-            dst: (b, pb),
-            stats: LinkStats::default(),
-            up: true,
-            doomed: false,
-            corrupt_next: 0,
-            bitflip_next: 0,
-            bitflip_flips: 0,
-            truncate_next: 0,
-            corrupt_ppm: 0,
-            corrupt_flips: 0,
-            corrupt_rng: None,
-            prop: VecDeque::new(),
-            sched: None,
-        });
+        self.inner
+            .links
+            .push(new_dir_link(ab, (a, pa), (b, pb), BoundaryKind::Interior));
         let id_ba = DirLinkId(self.inner.links.len());
-        self.inner.links.push(DirLink {
-            rate: ba.rate,
-            delay: ba.delay,
-            queue: ba.queue,
-            in_flight: None,
-            src: (b, pb),
-            dst: (a, pa),
-            stats: LinkStats::default(),
-            up: true,
-            doomed: false,
-            corrupt_next: 0,
-            bitflip_next: 0,
-            bitflip_flips: 0,
-            truncate_next: 0,
-            corrupt_ppm: 0,
-            corrupt_flips: 0,
-            corrupt_rng: None,
-            prop: VecDeque::new(),
-            sched: None,
-        });
+        self.inner
+            .links
+            .push(new_dir_link(ba, (b, pb), (a, pa), BoundaryKind::Interior));
         for (node, port, dir) in [(a, pa, id_ab), (b, pb, id_ba)] {
             self.inner.egress_set(node, port, dir);
         }
         (id_ab, id_ba)
+    }
+
+    /// Attach a **boundary egress half-link** to `src`'s `port`: the local
+    /// end of an inter-shard link whose receiving end lives in another
+    /// shard's simulator. Packets sent out the port serialize, queue, and
+    /// count exactly as on an interior link, but on transmission
+    /// completion they are staged for the sharded runtime (collect them
+    /// with [`drain_boundary_out`](Self::drain_boundary_out)) instead of
+    /// being scheduled for local delivery. Returns the half-link's id.
+    pub fn connect_boundary_out(&mut self, src: NodeId, port: PortId, cfg: LinkCfg) -> DirLinkId {
+        let id = DirLinkId(self.inner.links.len());
+        self.inner.links.push(new_dir_link(
+            cfg,
+            (src, port),
+            (src, port),
+            BoundaryKind::Egress,
+        ));
+        self.inner.egress_set(src, port, id);
+        id
+    }
+
+    /// Attach a **boundary ingress half-link** to `dst`'s `port`: the
+    /// receiving end of an inter-shard link. Nothing can be sent out of
+    /// this port (it is not registered as an egress); packets appear on
+    /// it via [`inject_arrival`](Self::inject_arrival) and are delivered
+    /// with ordinary delivery accounting and tracing. Returns the
+    /// half-link's id.
+    pub fn connect_boundary_in(&mut self, dst: NodeId, port: PortId, cfg: LinkCfg) -> DirLinkId {
+        let id = DirLinkId(self.inner.links.len());
+        self.inner.links.push(new_dir_link(
+            cfg,
+            (dst, port),
+            (dst, port),
+            BoundaryKind::Ingress,
+        ));
+        id
+    }
+
+    /// Inject a packet arriving on boundary ingress half-link `dir` at
+    /// absolute time `at`. The sharded runtime calls this at an epoch
+    /// barrier with the arrival time the egress shard computed; delivery
+    /// then proceeds exactly as if the packet had finished propagating on
+    /// an interior link. Each boundary crossing is thereby counted out
+    /// once (egress shard) and in once (here), keeping the global
+    /// conservation law exact at any instant.
+    ///
+    /// # Panics
+    /// Panics if `dir` is not an ingress half-link or `at` is in the past.
+    pub fn inject_arrival(&mut self, dir: DirLinkId, at: Time, pkt: Packet) {
+        assert!(
+            self.inner.links[dir.0].boundary == BoundaryKind::Ingress,
+            "inject_arrival on a non-ingress link"
+        );
+        assert!(at >= self.inner.now, "inject_arrival into the past");
+        let wire = pkt.wire_len as u64;
+        self.inner.boundary_in_pkts += 1;
+        self.inner.boundary_in_bytes += wire;
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::PktsBoundaryIn, 1);
+        self.inner
+            .telemetry
+            .count(mtp_telemetry::Metric::BytesBoundaryIn, wire);
+        self.inner.push_deliver(at, dir, pkt);
+    }
+
+    /// Take every boundary egress handoff staged since the last drain:
+    /// `(egress half-link, arrival time at the far end, packet)`, in
+    /// transmission-completion order. Empty unless the topology has
+    /// egress half-links.
+    pub fn drain_boundary_out(&mut self) -> Vec<(DirLinkId, Time, Packet)> {
+        std::mem::take(&mut self.inner.outbox)
+    }
+
+    /// `(packets, wire bytes)` handed off by boundary egress half-links
+    /// since construction (outbox-resident handoffs included).
+    pub fn boundary_out(&self) -> (u64, u64) {
+        (self.inner.boundary_out_pkts, self.inner.boundary_out_bytes)
+    }
+
+    /// `(packets, wire bytes)` injected into boundary ingress half-links
+    /// since construction.
+    pub fn boundary_in(&self) -> (u64, u64) {
+        (self.inner.boundary_in_pkts, self.inner.boundary_in_bytes)
+    }
+
+    /// Is `dir` the ingress half of an inter-shard boundary link? Such
+    /// half-links carry no egress-side stats of their own (the egress
+    /// shard owns them), so digest and report code skips them.
+    pub fn link_is_boundary_ingress(&self, dir: DirLinkId) -> bool {
+        self.inner.links[dir.0].boundary == BoundaryKind::Ingress
+    }
+
+    /// Override the packet-id namespace of `node` (default: the node's
+    /// own id). Auto-assigned ids are [`pkt_id`]`(ns, k)` for the node's
+    /// k-th send, so a sharded run that sets every node's namespace to
+    /// its *global* node id mints ids byte-identical to the monolithic
+    /// run's.
+    pub fn set_pkt_namespace(&mut self, node: NodeId, ns: u64) {
+        self.inner.pkt_ns[node.0] = ns;
     }
 
     /// Symmetric convenience: both directions share `rate`, `delay`, and a
@@ -881,6 +1059,11 @@ impl Simulator {
     /// Number of directed links (valid [`DirLinkId`]s are `0..num_links`).
     pub fn num_links(&self) -> usize {
         self.inner.links.len()
+    }
+
+    /// Number of nodes (valid [`NodeId`]s are `0..num_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Total events processed since construction (delivered packets,
@@ -1101,6 +1284,12 @@ impl Simulator {
         self.faulted_deliveries
     }
 
+    /// Wire bytes destroyed on arrival because their destination node was
+    /// crashed.
+    pub fn faulted_delivery_bytes(&self) -> u64 {
+        self.faulted_delivery_bytes
+    }
+
     /// Packets delivered to live nodes since construction.
     pub fn delivered_pkts(&self) -> u64 {
         self.delivered_pkts
@@ -1170,6 +1359,14 @@ impl Simulator {
             .as_ref()
             .map(TraceRing::events)
             .unwrap_or_default()
+    }
+
+    /// Total trace events ever pushed to the ring (retained or evicted);
+    /// 0 if tracing is off. A digest over `trace_events()` is only a
+    /// *complete* record when this equals the retained count — i.e. the
+    /// ring never wrapped.
+    pub fn trace_total(&self) -> u64 {
+        self.inner.trace.as_ref().map(|t| t.total).unwrap_or(0)
     }
 
     /// Retained trace events for one packet.
@@ -1308,8 +1505,7 @@ impl Simulator {
                     mtp_telemetry::Metric::BytesFaultedDeliveries,
                     pkt.wire_len as u64,
                 );
-                inner
-                    .trace(pkt.id, node, port, crate::tracefile::TraceKind::Dropped);
+                inner.trace(pkt.id, node, port, crate::tracefile::TraceKind::Dropped);
                 destroy(pkt, &mut inner.corrupted_destroyed, &mut inner.telemetry);
                 if !self.inner.continue_burst(dir, until) {
                     break;
@@ -1336,8 +1532,7 @@ impl Simulator {
                 inner
                     .telemetry
                     .count(mtp_telemetry::Metric::BytesDelivered, pkt.wire_len as u64);
-                inner
-                    .trace(pkt.id, node, port, crate::tracefile::TraceKind::Delivered);
+                inner.trace(pkt.id, node, port, crate::tracefile::TraceKind::Delivered);
                 if inner.simultaneous_arrival(dir, time) {
                     // Frames that arrive at the same instant (only
                     // possible for zero-serialization frames) go through
@@ -1358,8 +1553,7 @@ impl Simulator {
                         inner
                             .telemetry
                             .count(mtp_telemetry::Metric::BytesDelivered, pkt.wire_len as u64);
-                        inner
-                            .trace(pkt.id, node, port, crate::tracefile::TraceKind::Delivered);
+                        inner.trace(pkt.id, node, port, crate::tracefile::TraceKind::Delivered);
                         batch.push(pkt);
                     }
                     n.on_packet_batch(ctx, port, &mut batch);

@@ -64,6 +64,7 @@ pub mod packet;
 pub mod pool;
 pub mod queue;
 pub mod rtt;
+pub mod shard;
 pub mod time;
 pub mod trace;
 pub mod tracefile;
@@ -71,7 +72,7 @@ mod wheel;
 
 pub use audit::{assert_conservation, AuditReport};
 pub use corrupt::sanitize;
-pub use engine::{DirLinkId, LinkCfg, LinkFailMode, LinkStats, Simulator};
+pub use engine::{pkt_id, BoundaryKind, DirLinkId, LinkCfg, LinkFailMode, LinkStats, Simulator};
 pub use loss::{stream_seed, LossyQueue, ReorderQueue};
 pub use node::{Ctx, Node, NodeAuditCounters, NodeFault, NodeId, PortId, TimerId};
 pub use packet::{AppData, Headers, Packet, PacketId, WireProto};
@@ -80,6 +81,10 @@ pub use queue::{
     TrimmingQueue,
 };
 pub use rtt::RttEstimator;
+pub use shard::{
+    digest_parts, monolithic_digest, render_digest, AdminDriver, AdminEvent, AdminOp,
+    BoundaryRoute, DigestParts, ShardBuildPlan, ShardPlan, ShardedSimulator,
+};
 pub use time::{Bandwidth, Duration, Time};
 pub use trace::{BinSeries, ScalarStats};
 pub use tracefile::{flight_code_name, TraceEvent, TraceKind, TraceRing};

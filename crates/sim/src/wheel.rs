@@ -218,7 +218,11 @@ impl EventQueue {
                 idx
             }
         };
-        self.link(idx, level, (t >> (LEVEL_BITS * level as u32)) as usize & (SLOTS - 1));
+        self.link(
+            idx,
+            level,
+            (t >> (LEVEL_BITS * level as u32)) as usize & (SLOTS - 1),
+        );
         idx
     }
 
@@ -310,7 +314,11 @@ impl EventQueue {
             self.free_entry(idx);
             return;
         }
-        self.link(idx, level, (t >> (LEVEL_BITS * level as u32)) as usize & (SLOTS - 1));
+        self.link(
+            idx,
+            level,
+            (t >> (LEVEL_BITS * level as u32)) as usize & (SLOTS - 1),
+        );
     }
 
     /// First occupied slot of `level` at index `from` or later.

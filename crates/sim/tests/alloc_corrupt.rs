@@ -14,18 +14,34 @@
 //! basis but would make an exact zero-allocation assertion flaky.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use mtp_sim::corrupt::{materialize, sanitize};
 use mtp_sim::{pool, Headers, Packet};
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+// Per-thread count: a process-global counter races with the libtest
+// harness thread, whose blocking `recv` of a test result lazily
+// initializes a thread-local channel context — two allocations that land
+// inside the measurement window or not depending on scheduling.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // try_with: TLS may be gone during thread teardown; those allocations
+    // are not part of any measurement window anyway.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
@@ -34,7 +50,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -80,11 +96,11 @@ fn corruption_cycle_allocates_nothing_when_warm() {
         seal_damage_verify_cycle(i);
     }
 
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = allocs();
     for i in 0..2000 {
         seal_damage_verify_cycle(1000 + i);
     }
-    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    let during = allocs() - before;
     assert_eq!(
         during, 0,
         "warm seal/damage/verify cycle must not allocate (saw {during} in 2000 rounds)"

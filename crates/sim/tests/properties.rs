@@ -260,8 +260,9 @@ fn trace_records_a_packet_lifecycle() {
     sim.run();
     mtp_sim::assert_conservation(&sim);
     use mtp_sim::TraceKind;
+    // Node `a` is node 0, so its first auto-assigned id is pkt_id(0, 1).
     let kinds: Vec<TraceKind> = sim
-        .packet_trace(mtp_sim::PacketId(1))
+        .packet_trace(mtp_sim::pkt_id(0, 1))
         .iter()
         .map(|e| e.kind)
         .collect();

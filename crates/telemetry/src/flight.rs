@@ -137,7 +137,13 @@ impl FlightRecorder {
         let safe: String = self
             .name
             .chars()
-            .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("flightrec-{safe}.json"));
         std::fs::write(&path, self.to_json(code_name))?;
@@ -212,8 +218,15 @@ mod tests {
         let dir = std::env::temp_dir().join("mtp-telemetry-test");
         let mut r = FlightRecorder::new("unit/dump", 8);
         r.push(ev(7, 1));
-        let path = r.dump_to(&dir, &|c| if c == 1 { "delivered" } else { "?" }).unwrap();
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("flightrec-unit_dump"));
+        let path = r
+            .dump_to(&dir, &|c| if c == 1 { "delivered" } else { "?" })
+            .unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("flightrec-unit_dump"));
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"name\": \"unit/dump\""));
         if crate::ENABLED {

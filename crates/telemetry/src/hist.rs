@@ -136,6 +136,25 @@ impl Hist {
         }
     }
 
+    /// Merge another histogram's samples into this one, bucket by bucket.
+    ///
+    /// The result is exactly what recording the union of both sample sets
+    /// into one histogram would have produced — counts, sum, min, max, and
+    /// therefore quantiles and [`Hist::fold_digest`] all agree — so
+    /// per-shard histograms can be combined into a global one without any
+    /// loss of fidelity.
+    pub fn merge_from(&mut self, other: &Hist) {
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        // `min` keeps its empty-sentinel (u64::MAX) unless `other` has
+        // samples; `max` starts at 0 so a plain max is always right.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Fold the full bucket contents into a digest accumulator, so two
     /// histograms with identical samples (not just identical summaries)
     /// digest identically.
@@ -191,7 +210,19 @@ mod tests {
     fn bucket_floor_inverts_bucket_of() {
         // The floor of a value's bucket never exceeds the value, and the
         // next bucket's floor exceeds it: the defining sandwich.
-        for &v in &[0u64, 1, 15, 16, 17, 255, 256, 1000, 65_535, 1 << 40, u64::MAX] {
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            255,
+            256,
+            1000,
+            65_535,
+            1 << 40,
+            u64::MAX,
+        ] {
             let b = bucket_of(v);
             assert!(bucket_floor(b) <= v, "floor({b}) > {v}");
             if b + 1 < BUCKETS {
@@ -230,6 +261,31 @@ mod tests {
             last = q;
         }
         assert_eq!(h.quantile(1.0), 9_999 * 37);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let mut left = Hist::new();
+        let mut right = Hist::new();
+        let mut both = Hist::new();
+        for v in [3u64, 17, 900_000, 12] {
+            left.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 44, 1 << 33] {
+            right.record(v);
+            both.record(v);
+        }
+        left.merge_from(&right);
+        assert_eq!(left.count(), both.count());
+        assert_eq!(left.sum(), both.sum());
+        assert_eq!(left.summary(), both.summary());
+        assert_eq!(left.fold_digest(0), both.fold_digest(0));
+
+        // Merging an empty histogram changes nothing, including min.
+        let before = left.summary();
+        left.merge_from(&Hist::new());
+        assert_eq!(left.summary(), before);
     }
 
     #[test]

@@ -61,6 +61,11 @@ define_ids!(
     (BytesTrimLoss, "bytes_trim_loss", "Wire bytes removed from frames by NDP trimming."),
     (BytesCorruptLoss, "bytes_corrupt_loss", "Wire bytes removed from frames by truncation faults."),
     (BytesFaultedDeliveries, "bytes_faulted_deliveries", "Wire bytes destroyed on arrival at crashed nodes."),
+    // ---- engine: shard boundaries ----------------------------------------
+    (PktsBoundaryOut, "pkts_boundary_out", "Packets handed to the sharded runtime by a boundary egress half-link."),
+    (BytesBoundaryOut, "bytes_boundary_out", "Wire bytes handed to the sharded runtime by boundary egress half-links."),
+    (PktsBoundaryIn, "pkts_boundary_in", "Packets injected by the sharded runtime into a boundary ingress half-link."),
+    (BytesBoundaryIn, "bytes_boundary_in", "Wire bytes injected by the sharded runtime into boundary ingress half-links."),
     // ---- engine: events --------------------------------------------------
     (TimersFired, "timers_fired", "Timer events dispatched to live nodes."),
     // ---- devices ---------------------------------------------------------

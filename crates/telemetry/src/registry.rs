@@ -116,6 +116,31 @@ impl Registry {
         }
     }
 
+    /// Merge every counter, gauge, and histogram from `other` into this
+    /// registry.
+    ///
+    /// Counters and gauges add; histograms merge bucket-wise (see
+    /// [`Hist::merge_from`]), so the merged registry is indistinguishable
+    /// from one that recorded both instruction streams itself. This is how
+    /// per-shard registries combine into the global view at a sharded
+    /// run's epoch barriers. A no-op with `telemetry-off`.
+    pub fn merge_from(&mut self, other: &Registry) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            for (c, &o) in self.counters.iter_mut().zip(&other.counters) {
+                *c += o;
+            }
+            for (g, &o) in self.gauges.iter_mut().zip(&other.gauges) {
+                *g += o;
+            }
+            for (h, o) in self.hists.iter_mut().zip(&other.hists) {
+                h.merge_from(o);
+            }
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = other;
+    }
+
     /// A point-in-time copy of every metric, for reports, digests, and
     /// audit diffs.
     pub fn snapshot(&self) -> Snapshot {
@@ -126,7 +151,9 @@ impl Registry {
             hist_digest: {
                 #[cfg(not(feature = "telemetry-off"))]
                 {
-                    self.hists.iter().fold(0xCBF2_9CE4_8422_2325, |d, h| h.fold_digest(d))
+                    self.hists
+                        .iter()
+                        .fold(0xCBF2_9CE4_8422_2325, |d, h| h.fold_digest(d))
                 }
                 #[cfg(feature = "telemetry-off")]
                 {
@@ -188,7 +215,13 @@ impl Snapshot {
         }
         for (i, g) in Gauge::ALL.iter().enumerate() {
             if self.gauges[i] != other.gauges[i] {
-                let _ = writeln!(out, "  {}: {} != {}", g.name(), self.gauges[i], other.gauges[i]);
+                let _ = writeln!(
+                    out,
+                    "  {}: {} != {}",
+                    g.name(),
+                    self.gauges[i],
+                    other.gauges[i]
+                );
             }
         }
         if self.hist_digest != other.hist_digest {
@@ -231,7 +264,11 @@ impl Snapshot {
                 s.p99
             );
         }
-        let _ = write!(out, "\n  }},\n  \"digest\": \"{:#018x}\"\n}}", self.digest());
+        let _ = write!(
+            out,
+            "\n  }},\n  \"digest\": \"{:#018x}\"\n}}",
+            self.digest()
+        );
         out
     }
 }
@@ -274,6 +311,31 @@ mod tests {
             assert_ne!(a.snapshot().digest(), b.snapshot().digest());
             assert!(a.snapshot().diff(&b.snapshot()).contains("pkts_tx"));
         }
+    }
+
+    #[test]
+    fn merge_equals_single_registry_recording_everything() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        let mut whole = Registry::new();
+        a.count(Metric::PktsTx, 7);
+        whole.count(Metric::PktsTx, 7);
+        a.gauge_add(Gauge::NodesDown, 1);
+        whole.gauge_add(Gauge::NodesDown, 1);
+        a.record(HistId::MsgFctUs, 150);
+        whole.record(HistId::MsgFctUs, 150);
+        b.count(Metric::PktsTx, 5);
+        whole.count(Metric::PktsTx, 5);
+        b.gauge_add(Gauge::NodesDown, -1);
+        whole.gauge_add(Gauge::NodesDown, -1);
+        b.record(HistId::MsgFctUs, 90);
+        whole.record(HistId::MsgFctUs, 90);
+
+        a.merge_from(&b);
+        let merged = a.snapshot();
+        let direct = whole.snapshot();
+        assert_eq!(merged, direct);
+        assert_eq!(merged.digest(), direct.digest());
     }
 
     #[test]

@@ -245,16 +245,16 @@ mod clmul {
     use core::arch::x86_64::*;
 
     /// x^(4·128+32) and x^(4·128-32) mod P — the 64-byte-block fold pair.
-    const K1: i64 = 0x0154_442b_d4;
-    const K2: i64 = 0x01c6_e415_96;
+    const K1: i64 = 0x01_54_44_2b_d4;
+    const K2: i64 = 0x01_c6_e4_15_96;
     /// x^(128+32) and x^(128-32) mod P — the lane-collapse fold pair.
-    const K3: i64 = 0x0175_1997_d0;
-    const K4: i64 = 0x00cc_aa00_9e;
+    const K3: i64 = 0x01_75_19_97_d0;
+    const K4: i64 = 0x00_cc_aa_00_9e;
     /// x^64 mod P — the 128→64 bit reduction constant.
-    const K5: i64 = 0x0163_cd61_24;
+    const K5: i64 = 0x01_63_cd_61_24;
     /// P' (the polynomial) and µ (its Barrett reciprocal).
-    const POLY: i64 = 0x01db_7106_41;
-    const MU: i64 = 0x01f7_0116_41;
+    const POLY: i64 = 0x01_db_71_06_41;
+    const MU: i64 = 0x01_f7_01_16_41;
 
     /// Runtime gate for the hardware path: the CPU must advertise
     /// PCLMULQDQ and SSE4.1, and `MTP_WIRE_FORCE_SCALAR` must not be set
@@ -264,7 +264,7 @@ mod clmul {
         static ENABLED: OnceLock<bool> = OnceLock::new();
         *ENABLED.get_or_init(|| {
             let forced_scalar = std::env::var_os("MTP_WIRE_FORCE_SCALAR")
-                .map_or(false, |v| !v.is_empty() && v != "0");
+                .is_some_and(|v| !v.is_empty() && v != "0");
             !forced_scalar
                 && std::arch::is_x86_feature_detected!("pclmulqdq")
                 && std::arch::is_x86_feature_detected!("sse4.1")
@@ -292,7 +292,7 @@ mod clmul {
 
     #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
     fn crc32_fold(crc: u32, buf: &[u8]) -> u32 {
-        debug_assert!(buf.len() >= 64 && buf.len() % 16 == 0);
+        debug_assert!(buf.len() >= 64 && buf.len().is_multiple_of(16));
 
         let mut x1 = load(buf);
         let mut x2 = load(&buf[16..]);

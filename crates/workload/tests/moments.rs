@@ -17,7 +17,7 @@ use mtp_workload::{mean_std, percentile, poisson_schedule, FctCollector, SizeDis
 #[test]
 fn fig6_mix_mean_is_pinned() {
     let m = SizeDist::fig6_mix().mean_estimate(42, 20_000);
-    assert!((m - 72_578.90555).abs() < 1e-3, "fig6 mean drifted: {m}");
+    assert!((m - 72_578.905_55).abs() < 1e-3, "fig6 mean drifted: {m}");
 }
 
 /// Web-search empirical CDF: pinned sampled mean, plus the analytic mean
@@ -25,7 +25,7 @@ fn fig6_mix_mean_is_pinned() {
 #[test]
 fn web_search_mean_is_pinned() {
     let m = SizeDist::web_search().mean_estimate(42, 20_000);
-    assert!((m - 1_186_023.0292).abs() < 1e-2, "web mean drifted: {m}");
+    assert!((m - 1_186_023.029_2).abs() < 1e-2, "web mean drifted: {m}");
     assert!((1.0e6..1.4e6).contains(&m));
 }
 
@@ -40,7 +40,10 @@ fn lognormal_mean_matches_analytic() {
         max: 10_000_000,
     };
     let m = d.mean_estimate(42, 20_000);
-    assert!((m - 99_685.7931).abs() < 1e-3, "lognormal mean drifted: {m}");
+    assert!(
+        (m - 99_685.793_1).abs() < 1e-3,
+        "lognormal mean drifted: {m}"
+    );
     let analytic = (11.0f64 + 0.5).exp();
     assert!((m - analytic).abs() / analytic < 0.01);
 }
