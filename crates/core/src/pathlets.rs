@@ -316,6 +316,23 @@ impl PathletTable {
         }
     }
 
+    /// The earliest pending quarantine release, if any pathlet is
+    /// quarantined. This is the quarantine half of the sender's
+    /// [`poll_at`](crate::MtpSender::poll_at) deadline: a driver that
+    /// sleeps until this instant and then calls `on_timer` releases the
+    /// quarantine exactly when it expires instead of at the next
+    /// incidental ACK or RTO. One counter check when nothing is
+    /// quarantined.
+    pub fn next_quarantine_release(&self) -> Option<Time> {
+        if self.quarantined == 0 {
+            return None;
+        }
+        self.entries
+            .iter()
+            .filter_map(|e| e.quarantined_until)
+            .min()
+    }
+
     /// Clear quarantines that expired at `now`; each cleared entry opens a
     /// re-probe window. The loss streak resets (the probe starts clean)
     /// but the backoff level is retained — a pathlet that fails its probe

@@ -16,7 +16,7 @@
 //!   timeout, NDP-style. Trimmed headers are NACKed the same way.
 
 use mtp_sim::packet::{Headers, Packet};
-use mtp_sim::time::Time;
+use mtp_sim::time::{Duration, Time};
 use mtp_wire::{
     EcnCodepoint, Feedback, MsgId, MtpHeader, PathFeedback, PktNum, PktType, SackEntry,
 };
@@ -163,6 +163,13 @@ pub struct MtpReceiver {
     /// [`gc_completed`](Self::gc_completed) can leave it stale safely.
     last_id: MsgId,
     last_slot: u32,
+    /// If set, completed-message bookkeeping becomes collectable this
+    /// long after completion and [`poll_at`](Self::poll_at) surfaces the
+    /// deadline; `None` (the default) never collects, preserving the
+    /// exact behaviour sim-driven receivers have always had.
+    gc_linger: Option<Duration>,
+    /// Completion time of the oldest still-resident completed message.
+    oldest_completed: Option<Time>,
     /// Counters.
     pub stats: MtpReceiverStats,
 }
@@ -188,6 +195,8 @@ impl MtpReceiver {
             recent_head: 0,
             last_id: MsgId(0),
             last_slot: u32::MAX,
+            gc_linger: None,
+            oldest_completed: None,
             stats: MtpReceiverStats::default(),
         }
     }
@@ -201,6 +210,51 @@ impl MtpReceiver {
     pub fn with_sack_redundancy(mut self, k: usize) -> MtpReceiver {
         self.sack_redundancy = k.max(1);
         self
+    }
+
+    /// Collect completed-message bookkeeping `linger` after completion.
+    /// The linger covers straggling duplicates: while a completed record
+    /// is resident, a late copy is recognized as a duplicate; after
+    /// collection it is re-acknowledged as if new (harmless — SACKs are
+    /// idempotent at the sender — but it would inflate the duplicate
+    /// stats a long-running wire receiver uses for monitoring).
+    /// [`poll_at`](Self::poll_at) exposes the next collection deadline
+    /// and [`on_poll`](Self::on_poll) performs it.
+    pub fn with_gc_linger(mut self, linger: Duration) -> MtpReceiver {
+        self.gc_linger = Some(linger);
+        self
+    }
+
+    /// The next instant this receiver wants to be driven without packet
+    /// arrival. The receiver has no protocol timers — ACKs and NACKs are
+    /// emitted inline from [`on_data`](Self::on_data) — so the only
+    /// deadline is the optional completed-message GC: the oldest resident
+    /// completion time plus the configured linger. `None` when no linger
+    /// is configured or nothing has completed.
+    pub fn poll_at(&self) -> Option<Time> {
+        let linger = self.gc_linger?;
+        self.oldest_completed.map(|t| t + linger)
+    }
+
+    /// Run deferred work due at `now` — currently completed-message GC —
+    /// and return how many records were collected. Call when the clock
+    /// reaches [`poll_at`](Self::poll_at); early calls are no-ops.
+    pub fn on_poll(&mut self, now: Time) -> usize {
+        let Some(linger) = self.gc_linger else {
+            return 0;
+        };
+        match self.oldest_completed {
+            // Collect every record with `completed + linger <= now`.
+            // `gc_completed` *retains* `completed >= older_than`, so the
+            // cutoff must sit one tick past the boundary or a record
+            // completed exactly at `now - linger` survives and the
+            // `poll_at()` deadline never clears (a driver sleeping on it
+            // would spin).
+            Some(t) if t + linger <= now => {
+                self.gc_completed(Time(now.0.saturating_sub(linger.0).saturating_add(1)))
+            }
+            _ => 0,
+        }
     }
 
     /// The slab slot holding `id`, if present.
@@ -306,6 +360,7 @@ impl MtpReceiver {
         if collected > 0 {
             self.rebuild_map();
         }
+        self.oldest_completed = self.msgs.iter().filter_map(|m| m.completed).min();
         collected
     }
 
@@ -389,6 +444,11 @@ impl MtpReceiver {
             }
             if msg.received == msg.len_pkts && msg.completed.is_none() {
                 msg.completed = Some(now);
+                // Completions are monotone in `now`, so the first
+                // resident one is the minimum.
+                if self.oldest_completed.is_none() {
+                    self.oldest_completed = Some(now);
+                }
                 self.stats.msgs_delivered += 1;
                 self.buffered = self.buffered.saturating_sub(msg.len_bytes as u64);
                 self.events.push(MsgDelivered {

@@ -349,6 +349,29 @@ impl MtpSender {
             .map(|&(_, _, _, sent)| sent + self.rtt.rto())
     }
 
+    /// The next instant this sender wants to be driven even if no packet
+    /// arrives: the earlier of the RTO deadline
+    /// ([`next_deadline`](Self::next_deadline)) and — with failover
+    /// enabled — the earliest quarantine release, which must be able to
+    /// open its re-probe window without waiting for an unrelated ACK or
+    /// timeout. Drivers outside the simulator (the real-wire backend)
+    /// sleep until this instant and then call
+    /// [`on_timer`](Self::on_timer); the sim adapter keeps arming plain
+    /// `next_deadline`, whose firing schedule this method deliberately
+    /// does not change.
+    pub fn poll_at(&mut self) -> Option<Time> {
+        let rto = self.next_deadline();
+        let quarantine = if self.cfg.failover.enabled {
+            self.pathlets.next_quarantine_release()
+        } else {
+            None
+        };
+        match (rto, quarantine) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     fn compact_inflight(&mut self) {
         while let Some(&(slot, pkt, epoch, _)) = self.inflight.front() {
             let p = &self.msgs[slot as usize].pkts[pkt as usize];

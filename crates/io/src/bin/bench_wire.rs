@@ -1,0 +1,191 @@
+//! Loopback wire bench: the golden workload over real UDP sockets.
+//!
+//! Runs the interop workload three ways — simulator reference, clean
+//! loopback wire, and wire through the lossy relay — and writes
+//! `results/BENCH_wire.json` with wall times, syscall batching factors,
+//! and the digest comparisons. The digests are the headline: the wire
+//! runs must reproduce the simulator's delivered content byte-for-byte,
+//! or this binary exits nonzero.
+//!
+//! Where UDP loopback is unavailable (sandboxed CI), the record is
+//! written with `"skipped": true` and the process exits 0 after a
+//! visible NOTICE — a skip must never look like a pass.
+
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use mtp_io::{run_sim_golden, run_wire_golden, GoldenWorkload, IoConfig, RelayConfig, WireOutcome};
+use mtp_telemetry::Metric;
+
+#[derive(Debug, Serialize)]
+struct WireRunRecord {
+    digest: String,
+    digest_matches_sim: bool,
+    wall_ms: f64,
+    goodput_mbps: f64,
+    datagrams_tx: u64,
+    frames_tx: u64,
+    frames_per_datagram: f64,
+    send_batches: u64,
+    datagrams_per_send_syscall: f64,
+    timeouts: u64,
+    retransmissions: u64,
+    relay_dropped: u64,
+    relay_duplicated: u64,
+    relay_reordered: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchWireRecord {
+    bench: &'static str,
+    skipped: bool,
+    skip_reason: Option<&'static str>,
+    seed: u64,
+    messages: usize,
+    total_bytes: u64,
+    pathlets: usize,
+    sim_digest: String,
+    sim_elapsed_ms: f64,
+    clean: Option<WireRunRecord>,
+    lossy: Option<WireRunRecord>,
+}
+
+fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("results").is_dir() || dir.join("Cargo.toml").is_file() {
+            let r = dir.join("results");
+            std::fs::create_dir_all(&r).expect("create results dir");
+            return r;
+        }
+        if !dir.pop() {
+            let r = Path::new("results").to_path_buf();
+            std::fs::create_dir_all(&r).expect("create results dir");
+            return r;
+        }
+    }
+}
+
+fn write_record(record: &BenchWireRecord) -> PathBuf {
+    let path = results_dir().join("BENCH_wire.json");
+    let json = serde_json::to_string_pretty(record).expect("serializable record");
+    std::fs::write(&path, json).expect("write results file");
+    path
+}
+
+fn run_record(out: &WireOutcome, sim_digest: u64, total_bytes: u64) -> WireRunRecord {
+    let reg = &out.rx.registry;
+    let tx_reg = &out.tx.registry;
+    let wall_ms = out.tx.wall.as_secs_f64() * 1e3;
+    let datagrams_tx = tx_reg.get(Metric::WireDatagramsTx);
+    let frames_tx = tx_reg.get(Metric::WireFramesTx);
+    let send_batches = tx_reg.get(Metric::WireSendBatches);
+    let _ = reg;
+    WireRunRecord {
+        digest: format!("{:#018x}", out.content_digest),
+        digest_matches_sim: out.content_digest == sim_digest,
+        wall_ms,
+        goodput_mbps: total_bytes as f64 * 8.0 / (out.tx.wall.as_secs_f64().max(1e-9) * 1e6),
+        datagrams_tx,
+        frames_tx,
+        frames_per_datagram: frames_tx as f64 / datagrams_tx.max(1) as f64,
+        send_batches,
+        datagrams_per_send_syscall: datagrams_tx as f64 / send_batches.max(1) as f64,
+        timeouts: out.tx.timeouts,
+        retransmissions: out.tx.retransmissions,
+        relay_dropped: out.relay.map_or(0, |r| r.dropped),
+        relay_duplicated: out.relay.map_or(0, |r| r.duplicated),
+        relay_reordered: out.relay.map_or(0, |r| r.reordered),
+    }
+}
+
+fn main() {
+    let seed = 42;
+    let workload = GoldenWorkload::generate(seed, 60, 1_000, 64_000);
+    let total_bytes = workload.total_bytes();
+    let cfg = IoConfig::default();
+    let budget = std::time::Duration::from_secs(60);
+
+    println!(
+        "bench_wire: {} messages, {} total bytes, {} pathlets",
+        workload.msgs.len(),
+        total_bytes,
+        cfg.pathlets
+    );
+
+    let sim = run_sim_golden(&workload);
+    println!(
+        "  sim      : digest {:#018x}, {:.3} ms virtual",
+        sim.content_digest,
+        sim.sim_elapsed.0 as f64 / 1e9
+    );
+
+    if !mtp_io::loopback_available() {
+        eprintln!("NOTICE: UDP loopback unavailable; writing skipped BENCH_wire.json");
+        let path = write_record(&BenchWireRecord {
+            bench: "wire",
+            skipped: true,
+            skip_reason: Some("UDP loopback unavailable in this environment"),
+            seed,
+            messages: workload.msgs.len(),
+            total_bytes,
+            pathlets: cfg.pathlets,
+            sim_digest: format!("{:#018x}", sim.content_digest),
+            sim_elapsed_ms: sim.sim_elapsed.0 as f64 / 1e9,
+            clean: None,
+            lossy: None,
+        });
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    let clean = run_wire_golden(&cfg, &workload, None, budget).expect("clean wire run");
+    clean.ledger.assert_exactly_once("bench wire clean");
+    println!(
+        "  wire     : digest {:#018x}, {:.1} ms wall, {:.1} frames/datagram, {:.1} datagrams/syscall",
+        clean.content_digest,
+        clean.tx.wall.as_secs_f64() * 1e3,
+        clean.tx.registry.get(Metric::WireFramesTx) as f64
+            / clean.tx.registry.get(Metric::WireDatagramsTx).max(1) as f64,
+        clean.tx.registry.get(Metric::WireDatagramsTx) as f64
+            / clean.tx.registry.get(Metric::WireSendBatches).max(1) as f64,
+    );
+
+    let lossy = run_wire_golden(&cfg, &workload, Some(RelayConfig::lossy(seed)), budget)
+        .expect("lossy wire run");
+    lossy.ledger.assert_exactly_once("bench wire lossy");
+    let relay = lossy.relay.unwrap_or_default();
+    println!(
+        "  wire+loss: digest {:#018x}, {:.1} ms wall, {} dropped / {} dup / {} reordered, {} retx",
+        lossy.content_digest,
+        lossy.tx.wall.as_secs_f64() * 1e3,
+        relay.dropped,
+        relay.duplicated,
+        relay.reordered,
+        lossy.tx.retransmissions,
+    );
+
+    let record = BenchWireRecord {
+        bench: "wire",
+        skipped: false,
+        skip_reason: None,
+        seed,
+        messages: workload.msgs.len(),
+        total_bytes,
+        pathlets: cfg.pathlets,
+        sim_digest: format!("{:#018x}", sim.content_digest),
+        sim_elapsed_ms: sim.sim_elapsed.0 as f64 / 1e9,
+        clean: Some(run_record(&clean, sim.content_digest, total_bytes)),
+        lossy: Some(run_record(&lossy, sim.content_digest, total_bytes)),
+    };
+    let ok = record.clean.as_ref().is_some_and(|r| r.digest_matches_sim)
+        && record.lossy.as_ref().is_some_and(|r| r.digest_matches_sim);
+    let path = write_record(&record);
+    println!("wrote {}", path.display());
+    if !ok {
+        eprintln!("FAIL: wire content digest disagrees with simulator reference");
+        std::process::exit(1);
+    }
+    println!("digests match the simulator reference on both wire runs");
+}

@@ -1,0 +1,55 @@
+//! # mtp-io — the real-wire UDP backend
+//!
+//! Everything protocol-shaped in this workspace lives in the sans-IO
+//! cores: [`mtp_core::MtpSender`] and [`mtp_core::MtpReceiver`] consume
+//! headers and a clock, and push packets into caller-owned buffers. The
+//! simulator drives them through node adapters; this crate drives the
+//! *same* state machines over actual UDP sockets on a real kernel. The
+//! cores never learn which world they run in — that is the whole point,
+//! and the interop test in `tests/interop.rs` proves it by replaying a
+//! sim golden workload over 127.0.0.1 and demanding byte-identical
+//! delivered content.
+//!
+//! ## Layout
+//!
+//! * [`clock`] — monotonic wall clock mapped onto the simulator's
+//!   picosecond [`mtp_sim::time::Time`], plus a manual clock for tests.
+//! * [`payload`] — deterministic position-independent payload synthesis
+//!   and FNV digests, so both worlds can agree on message *content*
+//!   without shipping golden byte blobs around.
+//! * [`frame`] — datagram coalescing: many sealed MTP frames per UDP
+//!   datagram (GSO/GRO-style, as s2n-quic's platform layer does with
+//!   segments), with a hard budget guard at seal time.
+//! * [`sys`] — the only unsafe module: `sendmmsg`/`recvmmsg`/`poll`
+//!   FFI on Linux, feature-detected at runtime with a portable
+//!   `send_to`/`recv_from` fallback.
+//! * [`socket`] — nonblocking batch sockets and multi-socket readiness
+//!   waiting built on [`sys`].
+//! * [`driver`] — [`WireSender`]/[`WireReceiver`]: the event loops that
+//!   own sockets and timers and feed the sans-IO cores. One socket per
+//!   pathlet; pathlet ids map to distinct loopback ports.
+//! * [`relay`] — an in-process lossy UDP relay (seeded drop, duplicate,
+//!   reorder, blackhole) for exercising loss on real sockets.
+//! * [`golden`] — the shared golden workload and its simulator run,
+//!   the reference every wire run is compared against.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod driver;
+pub mod frame;
+pub mod golden;
+pub mod payload;
+pub mod relay;
+pub mod socket;
+pub mod sys;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use driver::{
+    run_wire_golden, IoConfig, WireOutcome, WireReceiver, WireRxOutcome, WireSender, WireTxOutcome,
+};
+pub use frame::{FrameError, FrameIter, DEFAULT_DATAGRAM_BUDGET};
+pub use golden::{run_sim_golden, GoldenWorkload, SimOutcome, GOLDEN_MSG_ID_BASE};
+pub use relay::{LossyRelay, RelayConfig, RelayStats};
+pub use socket::{loopback_available, BatchSocket};

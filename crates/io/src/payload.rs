@@ -1,0 +1,145 @@
+//! Deterministic payload synthesis and content digests.
+//!
+//! The simulator never materializes payload bytes — packets carry
+//! lengths and a payload *descriptor* checksum. The wire backend does
+//! ship real bytes, so comparing the two worlds needs a convention for
+//! what a message's content *is*: byte `i` of message `m` is a pure
+//! function of `(m, i)`. Both worlds can then compute the same
+//! per-message digest — the sim from `(msg_id, bytes)` pairs alone, the
+//! wire receiver from the bytes it actually reassembled — and a digest
+//! mismatch convicts the transport of corrupting, duplicating, or
+//! misplacing payload, byte-for-byte.
+//!
+//! The function is position-independent per 8-byte block (keyed
+//! splitmix64 of the block index), so a packet's worth of payload can be
+//! synthesized for any `(offset, len)` range without streaming from
+//! byte 0 — exactly what a sender fragmenting at MTU boundaries needs.
+
+use mtp_wire::MsgId;
+
+/// splitmix64: the standard 64-bit finalizer-style mixer.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The 64-bit word covering block `block` (bytes `8*block..8*block+8`)
+/// of message `id`.
+#[inline]
+fn block_word(id: MsgId, block: u64) -> u64 {
+    splitmix64(id.0.wrapping_mul(0xA076_1D64_78BD_642F) ^ block)
+}
+
+/// Fill `buf` with the bytes of message `id` starting at byte `offset`.
+pub fn fill(id: MsgId, offset: u32, buf: &mut [u8]) {
+    // Sentinel: no real position sits in block u64::MAX (offsets are
+    // u32-bounded), so the first byte always computes its word.
+    let mut block = u64::MAX;
+    let mut word = [0u8; 8];
+    for (k, b) in buf.iter_mut().enumerate() {
+        let pos = offset as u64 + k as u64;
+        if pos / 8 != block {
+            block = pos / 8;
+            word = block_word(id, block).to_le_bytes();
+        }
+        *b = word[(pos % 8) as usize];
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// FNV-1a over a byte slice.
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Digest of one message's reassembled bytes.
+pub fn message_digest(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+/// Digest of the message `id` of length `len` as [`fill`] defines it —
+/// what [`message_digest`] returns for a correctly delivered copy.
+/// `scratch` is reused across calls to avoid re-allocating.
+pub fn synth_message_digest(id: MsgId, len: u32, scratch: &mut Vec<u8>) -> u64 {
+    scratch.clear();
+    scratch.resize(len as usize, 0);
+    fill(id, 0, scratch);
+    message_digest(scratch)
+}
+
+/// Combined digest of a delivered-message set: fold `(id, len, digest)`
+/// triples, sorted by id, into one FNV accumulator. Both worlds sort, so
+/// delivery *order* (which legitimately differs between sim and kernel
+/// scheduling) does not affect the result — content and multiplicity do.
+pub fn content_digest(msgs: &[(u64, u32, u64)]) -> u64 {
+    let mut sorted: Vec<(u64, u32, u64)> = msgs.to_vec();
+    sorted.sort_unstable();
+    let mut h = FNV_OFFSET;
+    for (id, len, digest) in sorted {
+        h = fnv1a(h, &id.to_le_bytes());
+        h = fnv1a(h, &len.to_le_bytes());
+        h = fnv1a(h, &digest.to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_offset_independent() {
+        // Filling [0, 4000) at once must equal filling arbitrary
+        // fragments, including ones not aligned to the 8-byte blocks
+        // (1460 % 8 == 4, the realistic MTU case).
+        let id = MsgId(0xDEAD_BEEF);
+        let mut whole = vec![0u8; 4000];
+        fill(id, 0, &mut whole);
+        for (off, len) in [(0usize, 1460usize), (1460, 1460), (2920, 1080), (3999, 1)] {
+            let mut frag = vec![0u8; len];
+            fill(id, off as u32, &mut frag);
+            assert_eq!(&whole[off..off + len], &frag[..], "fragment at {off}");
+        }
+    }
+
+    #[test]
+    fn different_messages_differ() {
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        fill(MsgId(1), 0, &mut a);
+        fill(MsgId(2), 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn synth_digest_matches_reassembled_digest() {
+        let id = MsgId(42);
+        let mut buf = vec![0u8; 3001];
+        fill(id, 0, &mut buf);
+        let mut scratch = Vec::new();
+        assert_eq!(
+            message_digest(&buf),
+            synth_message_digest(id, 3001, &mut scratch)
+        );
+    }
+
+    #[test]
+    fn content_digest_is_order_independent_but_multiplicity_sensitive() {
+        let a = [(1u64, 10u32, 111u64), (2, 20, 222)];
+        let b = [(2u64, 20u32, 222u64), (1, 10, 111)];
+        assert_eq!(content_digest(&a), content_digest(&b));
+        let dup = [(1u64, 10u32, 111u64), (1, 10, 111), (2, 20, 222)];
+        assert_ne!(content_digest(&a), content_digest(&dup));
+    }
+}

@@ -1,0 +1,282 @@
+//! An in-process lossy UDP relay.
+//!
+//! The kernel's loopback path never drops, duplicates, or reorders a
+//! datagram, so a wire test that wants loss must manufacture it. The
+//! relay sits between the sender and the receiver as a set of real UDP
+//! sockets — one per pathlet — and forwards datagrams both ways while
+//! applying seeded faults. Faults are per *datagram*, which on this wire
+//! means whole coalesced bundles of frames vanish or repeat at once —
+//! strictly harsher than the simulator's per-packet faults.
+//!
+//! Topology per pathlet `p`:
+//!
+//! ```text
+//! sender sock[p]  ⇄  relay sock[p]  ⇄  receiver sock[p]
+//! ```
+//!
+//! The relay knows the receiver's address up front; it learns the
+//! sender's address from the first datagram that is not from the
+//! receiver, then forwards by source matching. An optional blackhole
+//! kills one pathlet after a fault budget, for failover tests.
+
+use std::io;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::socket::{wait_readable, BatchSocket};
+
+/// Seeded fault rates, in parts-per-million per datagram.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Probability of discarding a datagram outright.
+    pub drop_ppm: u32,
+    /// Probability of forwarding a datagram twice.
+    pub dup_ppm: u32,
+    /// Probability of holding a datagram back until one more passes it.
+    pub reorder_ppm: u32,
+    /// RNG seed; one stream drives every fault decision.
+    pub seed: u64,
+    /// Kill pathlet `.0` entirely after it has forwarded `.1` datagrams
+    /// in the sender→receiver direction.
+    pub blackhole: Option<(usize, u64)>,
+}
+
+impl RelayConfig {
+    /// Moderate loss on every pathlet: 2% drop, 1% dup, 1% reorder.
+    pub fn lossy(seed: u64) -> RelayConfig {
+        RelayConfig {
+            drop_ppm: 20_000,
+            dup_ppm: 10_000,
+            reorder_ppm: 10_000,
+            seed,
+            blackhole: None,
+        }
+    }
+}
+
+/// A running relay; dropping it stops and joins the forwarding thread.
+pub struct LossyRelay {
+    addrs: Vec<SocketAddrV4>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<RelayStats>>,
+}
+
+/// What the relay did to the traffic, for test diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RelayStats {
+    /// Datagrams forwarded unmodified.
+    pub forwarded: u64,
+    /// Datagrams discarded by the drop fault.
+    pub dropped: u64,
+    /// Extra copies emitted by the duplicate fault.
+    pub duplicated: u64,
+    /// Datagrams that were overtaken by a later one.
+    pub reordered: u64,
+    /// Datagrams swallowed by the blackhole.
+    pub blackholed: u64,
+    /// Lanes (pathlets) that carried at least one sender→receiver
+    /// datagram — the spray proof that multi-pathlet traffic really
+    /// crossed distinct ports rather than collapsing onto one.
+    pub lanes_with_traffic: usize,
+}
+
+struct Lane {
+    sock: BatchSocket,
+    dst: SocketAddrV4,
+    sender: Option<SocketAddrV4>,
+    /// A datagram held back by the reorder fault: (destination, bytes).
+    stash: Option<(SocketAddrV4, Vec<u8>)>,
+    /// Sender→receiver datagrams seen, for the blackhole budget.
+    data_seen: u64,
+    dead: bool,
+}
+
+impl LossyRelay {
+    /// Start a relay in front of `receiver_addrs` (one lane per pathlet).
+    pub fn start(cfg: RelayConfig, receiver_addrs: &[SocketAddrV4]) -> io::Result<LossyRelay> {
+        let mut lanes = Vec::with_capacity(receiver_addrs.len());
+        let mut addrs = Vec::with_capacity(receiver_addrs.len());
+        for &dst in receiver_addrs {
+            let sock = BatchSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?;
+            addrs.push(sock.local_addr()?);
+            lanes.push(Lane {
+                sock,
+                dst,
+                sender: None,
+                stash: None,
+                data_seen: 0,
+                dead: false,
+            });
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mtp-io-relay".into())
+            .spawn(move || relay_loop(cfg, lanes, &stop2))?;
+        Ok(LossyRelay {
+            addrs,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The sender-facing addresses, one per pathlet (same order as the
+    /// receiver addresses the relay was started with).
+    pub fn addrs(&self) -> &[SocketAddrV4] {
+        &self.addrs
+    }
+
+    /// Stop the forwarding thread and return its fault statistics.
+    pub fn stop(mut self) -> RelayStats {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => RelayStats::default(),
+        }
+    }
+}
+
+impl Drop for LossyRelay {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn relay_loop(cfg: RelayConfig, mut lanes: Vec<Lane>, stop: &AtomicBool) -> RelayStats {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut stats = RelayStats::default();
+    let mut dgrams = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        {
+            let socks: Vec<&BatchSocket> = lanes.iter().map(|l| &l.sock).collect();
+            let _ = wait_readable(&socks, Duration::from_millis(1));
+        }
+        for (p, lane) in lanes.iter_mut().enumerate() {
+            dgrams.clear();
+            if lane.sock.recv_batch(65536, &mut dgrams).is_err() {
+                continue;
+            }
+            for (bytes, src) in dgrams.drain(..) {
+                let from_receiver = src == lane.dst;
+                if !from_receiver {
+                    lane.sender = Some(src);
+                    lane.data_seen += 1;
+                    if let Some((hole, after)) = cfg.blackhole {
+                        if hole == p && lane.data_seen > after {
+                            lane.dead = true;
+                        }
+                    }
+                }
+                if lane.dead {
+                    stats.blackholed += 1;
+                    continue;
+                }
+                let fwd_to = if from_receiver {
+                    match lane.sender {
+                        Some(a) => a,
+                        // An ACK before any data: nowhere to send it.
+                        None => {
+                            stats.dropped += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    lane.dst
+                };
+                if rng.gen_range(0..1_000_000u32) < cfg.drop_ppm {
+                    stats.dropped += 1;
+                    continue;
+                }
+                let dup = rng.gen_range(0..1_000_000u32) < cfg.dup_ppm;
+                let hold = rng.gen_range(0..1_000_000u32) < cfg.reorder_ppm;
+                if hold && lane.stash.is_none() {
+                    lane.stash = Some((fwd_to, bytes));
+                    continue;
+                }
+                let mut sends: Vec<(SocketAddrV4, &[u8])> = vec![(fwd_to, bytes.as_slice())];
+                if dup {
+                    sends.push((fwd_to, bytes.as_slice()));
+                    stats.duplicated += 1;
+                }
+                // Release any held datagram *after* this one: the held
+                // one has now been overtaken.
+                let held = lane.stash.take();
+                if let Some((hdst, hbytes)) = &held {
+                    sends.push((*hdst, hbytes.as_slice()));
+                    stats.reordered += 1;
+                }
+                if lane.sock.send_batch(&sends).is_ok() {
+                    stats.forwarded += 1;
+                }
+            }
+        }
+    }
+    // Flush anything still stashed so shutdown is not itself a drop.
+    for lane in lanes.iter_mut() {
+        if let Some((dst, bytes)) = lane.stash.take() {
+            if !lane.dead {
+                let _ = lane.sock.send_batch(&[(dst, bytes.as_slice())]);
+            }
+        }
+    }
+    stats.lanes_with_traffic = lanes.iter().filter(|l| l.data_seen > 0).count();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::socket::loopback_available;
+
+    #[test]
+    fn relay_forwards_both_directions() {
+        if !loopback_available() {
+            eprintln!("NOTICE: UDP loopback unavailable; skipping relay_forwards_both_directions");
+            return;
+        }
+        let rx = BatchSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let relay = LossyRelay::start(
+            RelayConfig {
+                drop_ppm: 0,
+                dup_ppm: 0,
+                reorder_ppm: 0,
+                seed: 1,
+                blackhole: None,
+            },
+            &[rx.local_addr().unwrap()],
+        )
+        .unwrap();
+        let tx = BatchSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)).unwrap();
+        tx.send_batch(&[(relay.addrs()[0], &b"ping"[..])]).unwrap();
+
+        let recv_one = |s: &BatchSocket| -> (Vec<u8>, SocketAddrV4) {
+            let mut got = Vec::new();
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while got.is_empty() {
+                assert!(std::time::Instant::now() < deadline, "relay timeout");
+                let _ = wait_readable(&[s], Duration::from_millis(10));
+                s.recv_batch(1500, &mut got).unwrap();
+            }
+            got.remove(0)
+        };
+
+        let (bytes, from) = recv_one(&rx);
+        assert_eq!(bytes, b"ping");
+        // Reply to the relay (as the MTP receiver replies to a datagram's
+        // source); it must come back to the original sender.
+        rx.send_batch(&[(from, &b"pong"[..])]).unwrap();
+        let (bytes, _) = recv_one(&tx);
+        assert_eq!(bytes, b"pong");
+        let stats = relay.stop();
+        assert_eq!(stats.forwarded, 2);
+    }
+}

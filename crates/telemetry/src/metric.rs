@@ -81,6 +81,19 @@ define_ids!(
     (Retransmissions, "retransmissions", "Data retransmissions sent by any transport sender."),
     // ---- fault driver ----------------------------------------------------
     (FaultsApplied, "faults_applied", "Scheduled fault events applied by a fault driver."),
+    // ---- real-wire driver ------------------------------------------------
+    //
+    // Counters kept by the UDP backend in `mtp-io`. These describe the
+    // syscall boundary (datagrams and batches), not the protocol, so no
+    // conservation law ties them to the engine counters above.
+    (WireDatagramsTx, "wire_datagrams_tx", "UDP datagrams handed to the kernel by a wire driver."),
+    (WireDatagramsRx, "wire_datagrams_rx", "UDP datagrams received from the kernel by a wire driver."),
+    (WireFramesTx, "wire_frames_tx", "Sealed MTP frames coalesced into transmitted datagrams."),
+    (WireFramesRx, "wire_frames_rx", "Sealed MTP frames split out of received datagrams."),
+    (WireSendBatches, "wire_send_batches", "Transmit syscalls issued (sendmmsg or send_to)."),
+    (WireRecvBatches, "wire_recv_batches", "Receive syscalls that returned at least one datagram."),
+    (WireParseErrors, "wire_parse_errors", "Frames rejected by the sealed-header parse on receive."),
+    (WirePayloadCsumFail, "wire_payload_csum_fail", "Frames whose header verified but whose payload checksum did not."),
 );
 
 define_ids!(

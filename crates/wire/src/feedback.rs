@@ -176,6 +176,12 @@ impl PathFeedback {
     pub fn wire_len(&self) -> usize {
         crate::PATH_FEEDBACK_PREFIX_LEN + self.feedback.value_len()
     }
+
+    /// The largest possible encoded size of any feedback entry: the
+    /// prefix plus the widest TLV value (the 4-byte variants). Datagram
+    /// budgeting uses this to bound a header's sealed size without
+    /// knowing which feedback kinds it will carry.
+    pub const MAX_WIRE_LEN: usize = crate::PATH_FEEDBACK_PREFIX_LEN + 4;
 }
 
 #[cfg(test)]
@@ -187,6 +193,29 @@ mod tests {
         fb.emit_value(&mut buf);
         let back = Feedback::parse_value(fb.wire_type(), &buf).unwrap();
         assert_eq!(fb, back);
+    }
+
+    #[test]
+    fn max_wire_len_covers_every_variant() {
+        let widest = [
+            Feedback::EcnMark { ce: true },
+            Feedback::EcnFraction { fraction: u16::MAX },
+            Feedback::RcpRate { mbps: u32::MAX },
+            Feedback::Delay { ns: u32::MAX },
+            Feedback::QueueDepth { bytes: u32::MAX },
+            Feedback::PathChange {
+                new_path: PathletId(u16::MAX),
+            },
+            Feedback::Trim,
+        ];
+        for fb in widest {
+            let e = PathFeedback {
+                path: PathletId(0),
+                tc: TrafficClass::BEST_EFFORT,
+                feedback: fb,
+            };
+            assert!(e.wire_len() <= PathFeedback::MAX_WIRE_LEN, "{fb:?}");
+        }
     }
 
     #[test]

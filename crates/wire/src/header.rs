@@ -255,6 +255,26 @@ impl MtpHeader {
         self.wire_len() + crate::integrity::PAYLOAD_CSUM_LEN
     }
 
+    /// Upper bound on the sealed size of *any* header whose list sections
+    /// hold at most the given entry counts, assuming the widest feedback
+    /// TLV for every feedback entry. Real-wire drivers use this to prove
+    /// a datagram budget can never be exceeded at seal time — the guard
+    /// holds for the worst header shape the protocol can emit, not just
+    /// the ones a particular run happened to produce.
+    pub fn max_sealed_wire_len(
+        n_exclude: usize,
+        n_feedback: usize,
+        n_ack_feedback: usize,
+        n_sack: usize,
+        n_nack: usize,
+    ) -> usize {
+        FIXED_HEADER_LEN
+            + n_exclude * PATH_EXCLUDE_ENTRY_LEN
+            + (n_feedback + n_ack_feedback) * PathFeedback::MAX_WIRE_LEN
+            + (n_sack + n_nack) * SACK_ENTRY_LEN
+            + crate::integrity::PAYLOAD_CSUM_LEN
+    }
+
     /// CRC-32 over the payload's wire descriptor (`msg_id`, `pkt_num`,
     /// `pkt_offset`, `pkt_len`). Payload bytes are not simulated, so this
     /// descriptor stands in for them: any corruption of the fields that
