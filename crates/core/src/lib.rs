@@ -66,7 +66,7 @@ pub use host::{EndpointMirror, MtpMsgRecord, MtpSenderNode, MtpSinkNode, Schedul
 pub use pathlet_cc::{CcKind, DctcpLikeCc, FixedWindowCc, PathletCc, RcpLikeCc, SwiftLikeCc};
 pub use pathlets::{PathletEntry, PathletTable};
 pub use receiver::{MsgDelivered, MtpReceiver, MtpReceiverStats};
-pub use sender::{MtpSender, MtpSenderStats, SenderEvent, DEFAULT_PATHLET};
+pub use sender::{MtpSender, MtpSenderStats, PathHealth, SenderEvent, DEFAULT_PATHLET};
 
 /// DCTCP's EWMA gain for the marking-fraction estimate (1/16, as in the
 /// DCTCP paper; shared by the pathlet controller and the `mtp-tcp`

@@ -316,6 +316,20 @@ impl PathletTable {
         }
     }
 
+    /// Pathlets actually quarantined at `now` (unlike the internal
+    /// counter, entries whose quarantine has expired but has not yet
+    /// been released by a timer do not count). One counter check when
+    /// nothing is quarantined.
+    pub fn quarantined_now(&self, now: Time) -> usize {
+        if self.quarantined == 0 {
+            return 0;
+        }
+        self.entries
+            .iter()
+            .filter(|e| e.is_quarantined(now))
+            .count()
+    }
+
     /// The earliest pending quarantine release, if any pathlet is
     /// quarantined. This is the quarantine half of the sender's
     /// [`poll_at`](crate::MtpSender::poll_at) deadline: a driver that

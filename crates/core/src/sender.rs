@@ -95,6 +95,31 @@ pub struct MtpSenderStats {
     pub evacuated_pkts: u64,
 }
 
+/// A point-in-time summary of the sender's view of its path set (see
+/// [`MtpSender::path_health`]). Carried inside wire-session errors so a
+/// "peer dead" diagnosis distinguishes a dead network from a dead peer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathHealth {
+    /// Pathlets known (observed via feedback or advertisement).
+    pub known: usize,
+    /// Pathlets currently quarantined as presumed dead.
+    pub quarantined: usize,
+    /// Lifetime quarantine events.
+    pub quarantines: u64,
+    /// Lifetime active-pathlet failovers.
+    pub failovers: u64,
+}
+
+impl core::fmt::Display for PathHealth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}/{} pathlets quarantined ({} quarantines, {} failovers lifetime)",
+            self.quarantined, self.known, self.quarantines, self.failovers
+        )
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum PktState {
     Unsent,
@@ -401,6 +426,20 @@ impl MtpSender {
     /// Number of pathlets known (observed via feedback or advertisement).
     pub fn known_pathlets(&self) -> usize {
         self.pathlets.len()
+    }
+
+    /// Snapshot of pathlet-health state at `now`, for error reporting by
+    /// outer layers: when a wire session declares its peer dead, the
+    /// error says how much of the path set the core had already written
+    /// off — a full quarantine points at the network, an empty one at
+    /// the peer process.
+    pub fn path_health(&self, now: Time) -> PathHealth {
+        PathHealth {
+            known: self.pathlets.len(),
+            quarantined: self.pathlets.quarantined_now(now),
+            quarantines: self.stats.quarantines,
+            failovers: self.stats.failovers,
+        }
     }
 
     // ---- Dead-pathlet detection and failover -----------------------------

@@ -31,6 +31,13 @@ struct WireRunRecord {
     datagrams_per_send_syscall: f64,
     timeouts: u64,
     retransmissions: u64,
+    /// HELLO rounds the handshake took (1 = first try answered).
+    handshake_rounds: u32,
+    /// FIN rounds the graceful close took.
+    close_rounds: u32,
+    /// Packets emitted per repair (RTO) round, in round order: a long
+    /// tail here means loss recovery needed many rounds, not one burst.
+    retx_round_hist: Vec<u32>,
     relay_dropped: u64,
     relay_duplicated: u64,
     relay_reordered: u64,
@@ -94,6 +101,9 @@ fn run_record(out: &WireOutcome, sim_digest: u64, total_bytes: u64) -> WireRunRe
         datagrams_per_send_syscall: datagrams_tx as f64 / send_batches.max(1) as f64,
         timeouts: out.tx.timeouts,
         retransmissions: out.tx.retransmissions,
+        handshake_rounds: out.tx.handshake_rounds,
+        close_rounds: out.tx.close_rounds,
+        retx_round_hist: out.tx.retx_round_hist.clone(),
         relay_dropped: out.relay.map_or(0, |r| r.dropped),
         relay_duplicated: out.relay.map_or(0, |r| r.duplicated),
         relay_reordered: out.relay.map_or(0, |r| r.reordered),
@@ -157,13 +167,16 @@ fn main() {
     lossy.ledger.assert_exactly_once("bench wire lossy");
     let relay = lossy.relay.unwrap_or_default();
     println!(
-        "  wire+loss: digest {:#018x}, {:.1} ms wall, {} dropped / {} dup / {} reordered, {} retx",
+        "  wire+loss: digest {:#018x}, {:.1} ms wall, {} dropped / {} dup / {} reordered, {} retx over {} rounds, hs {} fin {}",
         lossy.content_digest,
         lossy.tx.wall.as_secs_f64() * 1e3,
         relay.dropped,
         relay.duplicated,
         relay.reordered,
         lossy.tx.retransmissions,
+        lossy.tx.retx_round_hist.len(),
+        lossy.tx.handshake_rounds,
+        lossy.tx.close_rounds,
     );
 
     let record = BenchWireRecord {

@@ -1,48 +1,45 @@
-//! The wire event loops: [`WireSender`] and [`WireReceiver`].
+//! The wire driver: golden workloads over the session transport.
 //!
-//! These are the real-world counterparts of the simulator's host
-//! adapters (`mtp_core::host`): they own sockets and a clock, and feed
-//! the *same* sans-IO cores the sim feeds. No async runtime — each
-//! driver is a plain poll loop:
+//! Earlier revisions carried bespoke event loops (`WireSender` /
+//! `WireReceiver`) that bootstrapped from out-of-band port maps and shut
+//! down by a side-channel `AtomicBool`. Both jobs now belong to the
+//! session layer ([`crate::session`]): the listener hands out its port
+//! map in the HELLO-ACK, and FIN/FIN-ACK says when serving is over. What
+//! remains here is the workload harness — [`run_wire_golden`] replays a
+//! sim golden workload over real loopback sockets through
+//! [`SenderSession`]/[`Listener`] and assembles the same [`Ledger`]
+//! shape the simulator produces, so the exactly-once assertion is
+//! literally the same code in both worlds.
 //!
-//! 1. submit any workload messages that have come due,
+//! No async runtime — each side is a plain poll loop on its own thread:
+//!
+//! 1. submit any workload messages that have come due (as real owned
+//!    byte buffers — the caller-supplies-bytes path, with backpressure),
 //! 2. drain every socket nonblockingly and hand frames to the core,
 //! 3. fire the core's timer if its `poll_at()` deadline has passed,
 //! 4. block in `poll(2)` until readable or the next deadline.
-//!
-//! One socket per pathlet: pathlet `p` is loopback port pair `p`, so
-//! multi-pathlet spraying, quarantine, and `path_exclude` all act on
-//! real ports. The sender routes each *message* onto a pathlet (hash of
-//! the id over the non-excluded set) so packets of one message stay
-//! ordered; retransmissions rotate onto other pathlets, which is what
-//! lets a blackholed port drain through the survivors.
 
-use std::collections::HashMap;
 use std::io;
-use std::net::{Ipv4Addr, SocketAddrV4};
 use std::time::Instant;
 
-use mtp_core::{MsgDelivered, MtpConfig, MtpReceiver, MtpSender, SenderEvent};
 use mtp_faults::Ledger;
 use mtp_sim::time::{Duration as SimDuration, Time};
-use mtp_sim::{Headers, Packet};
-use mtp_telemetry::{Metric, Registry};
-use mtp_wire::{
-    EcnCodepoint, EntityId, Feedback, MsgId, MtpHeader, PathFeedback, PathletId, PktType,
-};
+use mtp_telemetry::Registry;
+use mtp_wire::MsgId;
 
-use crate::clock::{Clock, MonotonicClock};
-use crate::frame::{append_frame, FrameIter, DEFAULT_DATAGRAM_BUDGET};
+use crate::frame::DEFAULT_DATAGRAM_BUDGET;
 use crate::golden::{GoldenWorkload, GOLDEN_MSG_ID_BASE};
 use crate::payload;
-use crate::socket::{wait_readable, BatchSocket};
+use crate::relay::ChaosConfig;
+use crate::session::{Listener, SenderSession, SessionConfig, SessionError};
+use mtp_core::MtpConfig;
 
 /// Sender and receiver app-port addresses (the MTP header's ports, not
 /// UDP ports — UDP ports are ephemeral and per-pathlet).
 const SENDER_ADDR: u16 = 1;
 const RECEIVER_ADDR: u16 = 2;
 
-/// Configuration shared by both wire drivers.
+/// Configuration shared by both wire endpoints.
 #[derive(Debug, Clone)]
 pub struct IoConfig {
     /// Sockets (= pathlets = loopback port pairs) per endpoint.
@@ -79,26 +76,39 @@ impl Default for IoConfig {
     }
 }
 
-fn bind_pathlet_sockets(n: usize) -> io::Result<Vec<BatchSocket>> {
-    (0..n.max(1))
-        .map(|_| BatchSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)))
-        .collect()
+/// The [`SessionConfig`] the golden harness runs under: the shared
+/// `IoConfig` plus the workspace's canonical app ports and message-id
+/// base. The soak harness derives its chaos configs from this too.
+pub fn golden_session_config(cfg: &IoConfig) -> SessionConfig {
+    SessionConfig {
+        io: cfg.clone(),
+        client_port: SENDER_ADDR,
+        server_port: RECEIVER_ADDR,
+        msg_id_base: GOLDEN_MSG_ID_BASE,
+        ..SessionConfig::default()
+    }
 }
 
-fn invalid<E: std::error::Error + Send + Sync + 'static>(e: E) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, e)
-}
-
-/// Sim-time picoseconds until `t`, as a wall `std::time::Duration`.
-fn until(now: Time, t: Time) -> std::time::Duration {
-    std::time::Duration::from_nanos(t.0.saturating_sub(now.0) / 1_000)
+/// Flatten a session-layer error into the `io::Result` these harness
+/// entry points promise.
+fn sess_io(e: SessionError) -> io::Error {
+    match e {
+        SessionError::Io(e) => e,
+        SessionError::HandshakeTimeout { .. }
+        | SessionError::CloseTimeout { .. }
+        | SessionError::PeerDead { .. }
+        | SessionError::WallDeadline { .. } => {
+            io::Error::new(io::ErrorKind::TimedOut, e.to_string())
+        }
+        other => io::Error::other(other.to_string()),
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Receiver
+// Outcomes
 // ---------------------------------------------------------------------------
 
-/// What the wire receiver ended a run with.
+/// What the receiving side ended a run with.
 #[derive(Debug, Clone)]
 pub struct WireRxOutcome {
     /// `(msg_id, bytes)` per delivery event, sorted by id.
@@ -108,7 +118,7 @@ pub struct WireRxOutcome {
     pub digests: Vec<(u64, u32, u64)>,
     /// First-copy payload bytes delivered.
     pub goodput: u64,
-    /// Telemetry counters recorded by this driver.
+    /// Telemetry counters recorded by the listener.
     pub registry: Registry,
 }
 
@@ -119,535 +129,29 @@ impl WireRxOutcome {
     }
 }
 
-/// The receiving wire driver: reassembles real payload bytes and ACKs
-/// every data packet back to the datagram's source.
-pub struct WireReceiver {
-    socks: Vec<BatchSocket>,
-    recv: MtpReceiver,
-    clock: MonotonicClock,
-    budget: usize,
-    reasm: HashMap<u64, Vec<u8>>,
-    digests: Vec<(u64, u32, u64)>,
-    delivered: Vec<(u64, u32)>,
-    ev_buf: Vec<MsgDelivered>,
-    registry: Registry,
-}
-
-impl WireReceiver {
-    /// Bind `cfg.pathlets` loopback sockets and construct the core.
-    pub fn bind(cfg: &IoConfig) -> io::Result<WireReceiver> {
-        Ok(WireReceiver {
-            socks: bind_pathlet_sockets(cfg.pathlets)?,
-            recv: MtpReceiver::new(RECEIVER_ADDR)
-                .with_sack_redundancy(cfg.sack_redundancy)
-                .with_gc_linger(cfg.gc_linger),
-            clock: MonotonicClock::new(),
-            budget: cfg.datagram_budget,
-            reasm: HashMap::new(),
-            digests: Vec::new(),
-            delivered: Vec::new(),
-            ev_buf: Vec::new(),
-            registry: Registry::new(),
-        })
-    }
-
-    /// The per-pathlet addresses senders (or a relay) should target.
-    pub fn pathlet_addrs(&self) -> io::Result<Vec<SocketAddrV4>> {
-        self.socks.iter().map(|s| s.local_addr()).collect()
-    }
-
-    /// Serve until `stop` is raised (the sender has retired everything)
-    /// or the wall deadline passes, then verify `expected_msgs` messages
-    /// were delivered.
-    ///
-    /// The receiver must NOT exit at its own `expected_msgs` count: the
-    /// datagram carrying the final ACK can be lost on the wire, in which
-    /// case the sender retransmits — and a receiver that already left
-    /// would strand it until the deadline. Serving until the *sender*
-    /// declares completion closes that shutdown race; an ACK implies
-    /// receipt, so sender-done guarantees receiver-done.
-    pub fn run_until(
-        &mut self,
-        expected_msgs: usize,
-        deadline: Instant,
-        stop: &std::sync::atomic::AtomicBool,
-    ) -> io::Result<()> {
-        use std::sync::atomic::Ordering;
-        while !stop.load(Ordering::Acquire) {
-            if Instant::now() >= deadline {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    format!(
-                        "wire receiver: {}/{} messages before deadline",
-                        self.delivered.len(),
-                        expected_msgs
-                    ),
-                ));
-            }
-            {
-                let socks: Vec<&BatchSocket> = self.socks.iter().collect();
-                let _ = wait_readable(&socks, std::time::Duration::from_millis(5))?;
-            }
-            self.poll_once()?;
-        }
-        // One final drain so late-arriving duplicates are counted.
-        self.poll_once()?;
-        if self.delivered.len() < expected_msgs {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "wire receiver: sender finished but only {}/{} messages delivered",
-                    self.delivered.len(),
-                    expected_msgs
-                ),
-            ));
-        }
-        Ok(())
-    }
-
-    /// Drain every socket once, process frames, send ACKs, run GC.
-    pub fn poll_once(&mut self) -> io::Result<()> {
-        let mut dgrams = Vec::new();
-        // Open ACK datagram per (socket, peer) this round.
-        let mut acks: Vec<(usize, SocketAddrV4, Vec<Vec<u8>>)> = Vec::new();
-        for p in 0..self.socks.len() {
-            dgrams.clear();
-            let report = self.socks[p].recv_batch(self.budget + 64, &mut dgrams)?;
-            self.registry
-                .count(Metric::WireDatagramsRx, report.datagrams as u64);
-            self.registry
-                .count(Metric::WireRecvBatches, report.syscalls as u64);
-            for (bytes, src) in dgrams.drain(..) {
-                self.on_datagram(p, src, &bytes, &mut acks)?;
-            }
-        }
-        // Flush coalesced ACKs back out the sockets they arrived on.
-        for (p, peer, dgrams) in acks {
-            let sends: Vec<(SocketAddrV4, &[u8])> =
-                dgrams.iter().map(|d| (peer, d.as_slice())).collect();
-            let report = self.socks[p].send_batch(&sends)?;
-            self.registry
-                .count(Metric::WireDatagramsTx, report.datagrams as u64);
-            self.registry
-                .count(Metric::WireSendBatches, report.syscalls as u64);
-        }
-        // Completed-record GC runs off the receiver's own poll deadline.
-        let now = self.clock.now();
-        if self.recv.poll_at().is_some_and(|t| t <= now) {
-            self.recv.on_poll(now);
-        }
-        Ok(())
-    }
-
-    fn on_datagram(
-        &mut self,
-        p: usize,
-        src: SocketAddrV4,
-        bytes: &[u8],
-        acks: &mut Vec<(usize, SocketAddrV4, Vec<Vec<u8>>)>,
-    ) -> io::Result<()> {
-        for frame in FrameIter::new(bytes) {
-            let frame = match frame {
-                Ok(f) => f,
-                Err(_) => {
-                    self.registry.count(Metric::WireParseErrors, 1);
-                    break;
-                }
-            };
-            let (mut hdr, used, payload_ok) = match MtpHeader::parse_sealed(frame) {
-                Ok(v) => v,
-                Err(_) => {
-                    self.registry.count(Metric::WireParseErrors, 1);
-                    continue;
-                }
-            };
-            self.registry.count(Metric::WireFramesRx, 1);
-            if hdr.pkt_type != PktType::Data {
-                continue;
-            }
-            let payload = &frame[used..];
-            let end = hdr.pkt_offset as u64 + hdr.pkt_len as u64;
-            if payload.len() != hdr.pkt_len as usize || end > hdr.msg_len_bytes as u64 {
-                self.registry.count(Metric::WireParseErrors, 1);
-                continue;
-            }
-            if !payload_ok {
-                // Trustworthy header, untrustworthy payload: drop with
-                // no ACK, exactly as the sim sink does, and the sender
-                // repairs it like any loss.
-                self.registry.count(Metric::WirePayloadCsumFail, 1);
-                continue;
-            }
-            // This driver is the first-hop network: stamp which pathlet
-            // (socket) the packet actually used, so the sender's
-            // per-pathlet controllers attribute feedback to real ports.
-            hdr.path_feedback.clear();
-            hdr.path_feedback.push(PathFeedback {
-                path: PathletId(p as u16),
-                tc: hdr.tc,
-                feedback: Feedback::EcnMark { ce: false },
-            });
-            let now = self.clock.now();
-            let (ack, newly) = self.recv.on_data(now, &hdr, EcnCodepoint::Ect0);
-            if newly > 0 {
-                let buf = self
-                    .reasm
-                    .entry(hdr.msg_id.0)
-                    .or_insert_with(|| vec![0; hdr.msg_len_bytes as usize]);
-                buf[hdr.pkt_offset as usize..end as usize].copy_from_slice(payload);
-            }
-            self.queue_ack(p, src, ack, acks)?;
-            self.drain_deliveries();
-        }
-        Ok(())
-    }
-
-    fn queue_ack(
-        &mut self,
-        p: usize,
-        peer: SocketAddrV4,
-        ack: Packet,
-        acks: &mut Vec<(usize, SocketAddrV4, Vec<Vec<u8>>)>,
-    ) -> io::Result<()> {
-        let Headers::Mtp(ack_hdr) = ack.headers else {
-            return Ok(());
-        };
-        let pos = match acks.iter().position(|(sp, sa, _)| *sp == p && *sa == peer) {
-            Some(i) => i,
-            None => {
-                acks.push((p, peer, vec![Vec::new()]));
-                acks.len() - 1
-            }
-        };
-        let slot = &mut acks[pos].2;
-        let open = slot.last_mut().expect("always one open datagram");
-        match append_frame(open, self.budget, &ack_hdr, &[]) {
-            Ok(true) => {}
-            Ok(false) => {
-                slot.push(Vec::new());
-                let open = slot.last_mut().expect("just pushed");
-                append_frame(open, self.budget, &ack_hdr, &[]).map_err(invalid)?;
-            }
-            Err(e) => return Err(invalid(e)),
-        }
-        self.registry.count(Metric::WireFramesTx, 1);
-        mtp_sim::pool::recycle_header(ack_hdr);
-        Ok(())
-    }
-
-    fn drain_deliveries(&mut self) {
-        let mut ev = std::mem::take(&mut self.ev_buf);
-        self.recv.drain_events(&mut ev);
-        for d in ev.drain(..) {
-            let buf = self.reasm.remove(&d.id.0).unwrap_or_default();
-            debug_assert_eq!(buf.len(), d.bytes as usize);
-            self.digests
-                .push((d.id.0, d.bytes, payload::message_digest(&buf)));
-            self.delivered.push((d.id.0, d.bytes));
-        }
-        self.ev_buf = ev;
-    }
-
-    /// Snapshot the run's outcome.
-    pub fn outcome(&self) -> WireRxOutcome {
-        let mut delivered = self.delivered.clone();
-        delivered.sort_unstable();
-        WireRxOutcome {
-            delivered,
-            digests: self.digests.clone(),
-            goodput: self.recv.stats.goodput_bytes,
-            registry: self.registry.clone(),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Sender
-// ---------------------------------------------------------------------------
-
-/// What the wire sender ended a run with.
+/// What the sending side ended a run with.
 #[derive(Debug, Clone)]
 pub struct WireTxOutcome {
     /// `(bytes, completed_ps)` per schedule entry that finished.
     pub completed: Vec<(u32, u64)>,
     /// Schedule entries that never completed.
     pub unfinished: usize,
-    /// Wall-clock time from first submission to last completion.
+    /// Wall-clock time from connect to close.
     pub wall: std::time::Duration,
     /// Timeouts the core fired (diagnostics).
     pub timeouts: u64,
     /// Retransmissions the core sent (diagnostics).
     pub retransmissions: u64,
-    /// Telemetry counters recorded by this driver.
+    /// HELLO rounds the handshake took (1 = first try answered).
+    pub handshake_rounds: u32,
+    /// FIN rounds the close took.
+    pub close_rounds: u32,
+    /// Packets emitted per repair (RTO) round, in round order — the
+    /// retransmission-round histogram `bench_wire` records.
+    pub retx_round_hist: Vec<u32>,
+    /// Telemetry counters recorded by the sender session.
     pub registry: Registry,
 }
-
-/// The sending wire driver: submits a workload on schedule, sprays
-/// messages across pathlet sockets, and retires them on real ACKs.
-pub struct WireSender {
-    socks: Vec<BatchSocket>,
-    peers: Vec<SocketAddrV4>,
-    snd: MtpSender,
-    clock: MonotonicClock,
-    budget: usize,
-    records: Vec<(u32, Option<u64>)>,
-    index: Vec<(MsgId, usize)>,
-    retx_rr: u64,
-    out_buf: Vec<Packet>,
-    ev_buf: Vec<SenderEvent>,
-    scratch: Vec<u8>,
-    registry: Registry,
-}
-
-impl WireSender {
-    /// Bind one socket per peer address and construct the core. `peers`
-    /// are the receiver's (or relay's) per-pathlet addresses; their
-    /// order defines pathlet ids on the wire.
-    pub fn connect(cfg: &IoConfig, peers: Vec<SocketAddrV4>) -> io::Result<WireSender> {
-        Ok(WireSender {
-            socks: bind_pathlet_sockets(peers.len())?,
-            peers,
-            snd: MtpSender::new(
-                cfg.mtp.clone(),
-                SENDER_ADDR,
-                EntityId(0),
-                GOLDEN_MSG_ID_BASE,
-            ),
-            clock: MonotonicClock::new(),
-            budget: cfg.datagram_budget,
-            records: Vec::new(),
-            index: Vec::new(),
-            retx_rr: 0,
-            out_buf: Vec::new(),
-            ev_buf: Vec::new(),
-            scratch: Vec::new(),
-            registry: Registry::new(),
-        })
-    }
-
-    /// Access the core (for instrumentation and tests).
-    pub fn core(&self) -> &MtpSender {
-        &self.snd
-    }
-
-    /// Submit `workload` on its schedule and run the event loop until
-    /// every message completes or the wall deadline passes (an error).
-    pub fn run_workload(
-        &mut self,
-        workload: &GoldenWorkload,
-        deadline: Instant,
-    ) -> io::Result<WireTxOutcome> {
-        let started = Instant::now();
-        self.records = workload.msgs.iter().map(|&(_, b)| (b, None)).collect();
-        let mut next_sub = 0usize;
-        loop {
-            let now = self.clock.now();
-            // 1. Submissions that have come due.
-            while next_sub < workload.msgs.len() && Time::ZERO + workload.msgs[next_sub].0 <= now {
-                let (_, bytes) = workload.msgs[next_sub];
-                let mut out = std::mem::take(&mut self.out_buf);
-                let id = self.snd.send_message(
-                    RECEIVER_ADDR,
-                    bytes,
-                    0,
-                    mtp_wire::TrafficClass::BEST_EFFORT,
-                    now,
-                    &mut out,
-                );
-                self.index.push((id, next_sub));
-                next_sub += 1;
-                self.dispatch(&mut out)?;
-                self.out_buf = out;
-            }
-            // 2. Drain ACKs from every socket.
-            self.drain_acks()?;
-            // 3. Fire the core's timer if its deadline passed.
-            let now = self.clock.now();
-            if self.snd.poll_at().is_some_and(|t| t <= now) {
-                let mut out = std::mem::take(&mut self.out_buf);
-                self.snd.on_timer(now, &mut out);
-                if !out.is_empty() {
-                    // Route this round of repairs onto the next pathlet:
-                    // a dead port's packets must not retry the same hole.
-                    self.retx_rr += 1;
-                }
-                self.dispatch(&mut out)?;
-                self.out_buf = out;
-            }
-            self.drain_completions();
-            // 4. Done, dead, or sleep until something can happen.
-            if next_sub == self.records.len() && self.records.iter().all(|r| r.1.is_some()) {
-                break;
-            }
-            if Instant::now() >= deadline {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    format!(
-                        "wire sender: {}/{} messages before deadline",
-                        self.records.iter().filter(|r| r.1.is_some()).count(),
-                        self.records.len()
-                    ),
-                ));
-            }
-            let now = self.clock.now();
-            let mut wake = std::time::Duration::from_millis(5);
-            if next_sub < workload.msgs.len() {
-                wake = wake.min(until(now, Time::ZERO + workload.msgs[next_sub].0));
-            }
-            if let Some(t) = self.snd.poll_at() {
-                wake = wake.min(until(now, t));
-            }
-            if !wake.is_zero() {
-                let socks: Vec<&BatchSocket> = self.socks.iter().collect();
-                let _ = wait_readable(&socks, wake)?;
-            }
-        }
-        Ok(WireTxOutcome {
-            completed: self
-                .records
-                .iter()
-                .filter_map(|&(b, c)| c.map(|at| (b, at)))
-                .collect(),
-            unfinished: self.records.iter().filter(|r| r.1.is_none()).count(),
-            wall: started.elapsed(),
-            timeouts: self.snd.stats.timeouts,
-            retransmissions: self.snd.stats.retransmissions,
-            registry: self.registry.clone(),
-        })
-    }
-
-    /// Pick the wire pathlet for a packet: hash the message id over the
-    /// pathlets its header does not exclude (exclusions come from the
-    /// core's quarantine and window-floor logic and land on real ports
-    /// here), rotated by the retransmission round.
-    fn route(&self, hdr: &MtpHeader) -> usize {
-        let n = self.socks.len();
-        let excluded = |p: usize| {
-            hdr.path_exclude
-                .iter()
-                .any(|e| e.path == PathletId(p as u16))
-        };
-        let live: Vec<usize> = (0..n).filter(|&p| !excluded(p)).collect();
-        if live.is_empty() {
-            // Everything excluded: sending somewhere beats deadlock.
-            return ((hdr.msg_id.0 + self.retx_rr) % n as u64) as usize;
-        }
-        live[((hdr.msg_id.0 + self.retx_rr) % live.len() as u64) as usize]
-    }
-
-    /// Seal, coalesce, and transmit a batch of core-emitted packets.
-    fn dispatch(&mut self, pkts: &mut Vec<Packet>) -> io::Result<()> {
-        if pkts.is_empty() {
-            return Ok(());
-        }
-        // Closed datagrams plus one open builder per pathlet.
-        let n = self.socks.len();
-        let mut closed: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
-        let mut open: Vec<Vec<u8>> = vec![Vec::new(); n];
-        let mut frames = 0u64;
-        for pkt in pkts.drain(..) {
-            let Headers::Mtp(hdr) = pkt.headers else {
-                continue;
-            };
-            let p = self.route(&hdr);
-            let len = hdr.pkt_len as usize;
-            if self.scratch.len() < len {
-                self.scratch.resize(len, 0);
-            }
-            payload::fill(hdr.msg_id, hdr.pkt_offset, &mut self.scratch[..len]);
-            let (head, tail) = (&mut open[p], &self.scratch[..len]);
-            match append_frame(head, self.budget, &hdr, tail) {
-                Ok(true) => {}
-                Ok(false) => {
-                    closed[p].push(std::mem::take(head));
-                    append_frame(&mut open[p], self.budget, &hdr, tail).map_err(invalid)?;
-                }
-                Err(e) => return Err(invalid(e)),
-            }
-            frames += 1;
-            mtp_sim::pool::recycle_header(hdr);
-        }
-        self.registry.count(Metric::WireFramesTx, frames);
-        for p in 0..n {
-            if !open[p].is_empty() {
-                closed[p].push(std::mem::take(&mut open[p]));
-            }
-            if closed[p].is_empty() {
-                continue;
-            }
-            let sends: Vec<(SocketAddrV4, &[u8])> = closed[p]
-                .iter()
-                .map(|d| (self.peers[p], d.as_slice()))
-                .collect();
-            let report = self.socks[p].send_batch(&sends)?;
-            self.registry
-                .count(Metric::WireDatagramsTx, report.datagrams as u64);
-            self.registry
-                .count(Metric::WireSendBatches, report.syscalls as u64);
-        }
-        Ok(())
-    }
-
-    fn drain_acks(&mut self) -> io::Result<()> {
-        let mut dgrams = Vec::new();
-        for p in 0..self.socks.len() {
-            dgrams.clear();
-            let report = self.socks[p].recv_batch(self.budget + 64, &mut dgrams)?;
-            self.registry
-                .count(Metric::WireDatagramsRx, report.datagrams as u64);
-            self.registry
-                .count(Metric::WireRecvBatches, report.syscalls as u64);
-            for (bytes, _src) in dgrams.drain(..) {
-                for frame in FrameIter::new(&bytes) {
-                    let frame = match frame {
-                        Ok(f) => f,
-                        Err(_) => {
-                            self.registry.count(Metric::WireParseErrors, 1);
-                            break;
-                        }
-                    };
-                    let (hdr, _, _) = match MtpHeader::parse_sealed(frame) {
-                        Ok(v) => v,
-                        Err(_) => {
-                            self.registry.count(Metric::WireParseErrors, 1);
-                            continue;
-                        }
-                    };
-                    self.registry.count(Metric::WireFramesRx, 1);
-                    let now = self.clock.now();
-                    match hdr.pkt_type {
-                        PktType::Ack | PktType::Nack => {
-                            let mut out = std::mem::take(&mut self.out_buf);
-                            self.snd.on_ack(now, &hdr, &mut out);
-                            self.dispatch(&mut out)?;
-                            self.out_buf = out;
-                        }
-                        PktType::Control => self.snd.on_control(now, &hdr),
-                        PktType::Data => {}
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn drain_completions(&mut self) {
-        let mut ev = std::mem::take(&mut self.ev_buf);
-        self.snd.drain_events(&mut ev);
-        for e in ev.drain(..) {
-            let SenderEvent::MsgCompleted { id, completed, .. } = e;
-            if let Ok(at) = self.index.binary_search_by_key(&id.0, |&(m, _)| m.0) {
-                let idx = self.index[at].1;
-                self.records[idx].1 = Some(completed.0);
-            }
-        }
-        self.ev_buf = ev;
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Combined outcome
-// ---------------------------------------------------------------------------
 
 /// Both ends of a wire run, assembled into the same [`Ledger`] shape the
 /// simulator produces — so the exactly-once assertion is literally the
@@ -664,50 +168,6 @@ pub struct WireOutcome {
     pub rx: WireRxOutcome,
     /// Relay fault statistics, when a relay was interposed.
     pub relay: Option<crate::relay::RelayStats>,
-}
-
-/// Run `workload` over real loopback sockets end to end: bind a
-/// receiver, optionally interpose a [`LossyRelay`](crate::relay::LossyRelay),
-/// run the receiver on its own thread and the sender on this one, and
-/// assemble the combined outcome. `wall_budget` bounds the whole run.
-pub fn run_wire_golden(
-    cfg: &IoConfig,
-    workload: &GoldenWorkload,
-    relay: Option<crate::relay::RelayConfig>,
-    wall_budget: std::time::Duration,
-) -> io::Result<WireOutcome> {
-    let deadline = Instant::now() + wall_budget;
-    let mut rx = WireReceiver::bind(cfg)?;
-    let rx_addrs = rx.pathlet_addrs()?;
-    let relay = match relay {
-        Some(rcfg) => Some(crate::relay::LossyRelay::start(rcfg, &rx_addrs)?),
-        None => None,
-    };
-    let peers = match &relay {
-        Some(r) => r.addrs().to_vec(),
-        None => rx_addrs,
-    };
-    let expected = workload.msgs.len();
-    let sender_done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
-    let done_rx = std::sync::Arc::clone(&sender_done);
-    let rx_thread = std::thread::Builder::new()
-        .name("mtp-io-rx".into())
-        .spawn(move || {
-            let res = rx.run_until(expected, deadline, &done_rx);
-            (rx, res)
-        })?;
-    let mut tx = WireSender::connect(cfg, peers)?;
-    let tx_out = tx.run_workload(workload, deadline);
-    sender_done.store(true, std::sync::atomic::Ordering::Release);
-    let (rx, rx_res) = rx_thread
-        .join()
-        .map_err(|_| io::Error::other("wire receiver thread panicked"))?;
-    let relay_stats = relay.map(crate::relay::LossyRelay::stop);
-    let tx_out = tx_out?;
-    rx_res?;
-    let mut out = WireOutcome::assemble(tx_out, rx.outcome());
-    out.relay = relay_stats;
-    Ok(out)
 }
 
 impl WireOutcome {
@@ -728,4 +188,159 @@ impl WireOutcome {
             relay: None,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The golden harness
+// ---------------------------------------------------------------------------
+
+/// Submit `workload` on its schedule through an established session and
+/// poll until every message completes (or the wall deadline, an error).
+/// Each message is submitted as a real caller-owned byte buffer whose
+/// content matches the deterministic synth corpus, so digests stay
+/// comparable with the simulator reference.
+fn run_schedule(
+    sess: &mut SenderSession,
+    workload: &GoldenWorkload,
+    deadline: Instant,
+) -> io::Result<Vec<(u32, Option<u64>)>> {
+    let mut records: Vec<(u32, Option<u64>)> =
+        workload.msgs.iter().map(|&(_, b)| (b, None)).collect();
+    let mut index: Vec<(u64, usize)> = Vec::new();
+    let mut next_sub = 0usize;
+    let mut consumed = 0usize;
+    loop {
+        // 1. Submissions that have come due — or backpressure, in which
+        //    case drain completions first and come back.
+        let now = sess.now();
+        let mut blocked = false;
+        while next_sub < workload.msgs.len() && Time::ZERO + workload.msgs[next_sub].0 <= now {
+            let (_, bytes) = workload.msgs[next_sub];
+            let id = sess.next_msg_id();
+            let mut buf = vec![0u8; bytes as usize];
+            payload::fill(MsgId(id), 0, &mut buf);
+            match sess.try_send(buf) {
+                Ok(got) => {
+                    debug_assert_eq!(got.0, id, "session ids are sequential");
+                    index.push((got.0, next_sub));
+                    next_sub += 1;
+                }
+                Err(SessionError::Backpressure { .. }) => {
+                    blocked = true;
+                    break;
+                }
+                Err(e) => return Err(sess_io(e)),
+            }
+        }
+        // 2+3. Drain sockets, fire timers, police liveness.
+        sess.poll().map_err(sess_io)?;
+        for &(mid, at) in &sess.completions()[consumed..] {
+            if let Ok(k) = index.binary_search_by_key(&mid, |&(m, _)| m) {
+                records[index[k].1].1 = Some(at.0);
+            }
+        }
+        consumed = sess.completions().len();
+        if next_sub == records.len() && records.iter().all(|r| r.1.is_some()) {
+            return Ok(records);
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "wire sender: {}/{} messages before deadline",
+                    records.iter().filter(|r| r.1.is_some()).count(),
+                    records.len()
+                ),
+            ));
+        }
+        // 4. Sleep until readable or the next deadline. Under
+        //    backpressure the next schedule slot is already due but
+        //    cannot be admitted, so do not spin on it.
+        let mut wake = std::time::Duration::from_millis(5);
+        if !blocked && next_sub < workload.msgs.len() {
+            let due = Time::ZERO + workload.msgs[next_sub].0;
+            let now = sess.now();
+            if due > now {
+                wake = wake.min(std::time::Duration::from_nanos((due.0 - now.0) / 1_000));
+            }
+        }
+        if wake.is_zero() {
+            continue;
+        }
+        sess.wait(wake).map_err(sess_io)?;
+    }
+}
+
+/// Run `workload` over real loopback sockets end to end: bind a
+/// listener, optionally interpose a
+/// [`LossyRelay`](crate::relay::LossyRelay) (with a NAT'ing control
+/// lane), connect a session, replay the schedule, close gracefully, and
+/// assemble the combined outcome. `wall_budget` bounds the whole run.
+pub fn run_wire_golden(
+    cfg: &IoConfig,
+    workload: &GoldenWorkload,
+    relay: Option<crate::relay::RelayConfig>,
+    wall_budget: std::time::Duration,
+) -> io::Result<WireOutcome> {
+    let deadline = Instant::now() + wall_budget;
+    let scfg = golden_session_config(cfg);
+    let mut listener = Listener::bind(&scfg)?;
+    let ctrl_dst = listener.hello_addr()?;
+    let data_dsts = listener.pathlet_addrs()?;
+    let relay = match relay {
+        Some(rcfg) => Some(crate::relay::LossyRelay::start_session(
+            rcfg,
+            ChaosConfig::default(),
+            ctrl_dst,
+            &data_dsts,
+        )?),
+        None => None,
+    };
+    let server = match &relay {
+        Some(r) => r.ctrl_addr().expect("session relay has a ctrl lane"),
+        None => ctrl_dst,
+    };
+    let rx_thread = std::thread::Builder::new()
+        .name("mtp-io-rx".into())
+        .spawn(move || {
+            let res = listener.run_until_closed(deadline);
+            (listener, res)
+        })?;
+    let started = Instant::now();
+    let tx_res = SenderSession::connect(&scfg, server)
+        .and_then(|mut sess| {
+            let records = run_schedule(&mut sess, workload, deadline).map_err(SessionError::Io)?;
+            sess.close(deadline)?;
+            Ok((sess, records))
+        })
+        .map_err(sess_io);
+    let (listener, rx_res) = rx_thread
+        .join()
+        .map_err(|_| io::Error::other("wire listener thread panicked"))?;
+    let relay_stats = relay.map(crate::relay::LossyRelay::stop);
+    let (sess, records) = tx_res?;
+    let report = rx_res.map_err(sess_io)?;
+    let tx = WireTxOutcome {
+        completed: records
+            .iter()
+            .filter_map(|&(b, c)| c.map(|at| (b, at)))
+            .collect(),
+        unfinished: records.iter().filter(|r| r.1.is_none()).count(),
+        wall: started.elapsed(),
+        timeouts: sess.core().stats.timeouts,
+        retransmissions: sess.core().stats.retransmissions,
+        handshake_rounds: sess.handshake_rounds(),
+        close_rounds: sess.close_rounds(),
+        retx_round_hist: sess.retx_rounds().to_vec(),
+        registry: sess.registry().clone(),
+    };
+    let rx = WireRxOutcome {
+        delivered: report.delivered.clone(),
+        digests: report.digests.clone(),
+        goodput: report.goodput,
+        registry: listener.registry().clone(),
+    };
+    let mut out = WireOutcome::assemble(tx, rx);
+    out.relay = relay_stats;
+    Ok(out)
 }

@@ -25,13 +25,24 @@
 //!   `send_to`/`recv_from` fallback.
 //! * [`socket`] — nonblocking batch sockets and multi-socket readiness
 //!   waiting built on [`sys`].
-//! * [`driver`] — [`WireSender`]/[`WireReceiver`]: the event loops that
-//!   own sockets and timers and feed the sans-IO cores. One socket per
-//!   pathlet; pathlet ids map to distinct loopback ports.
+//! * [`session`] — the session lifecycle: [`SenderSession`]/[`Listener`]
+//!   with a versioned HELLO/HELLO-ACK handshake (which carries the
+//!   per-pathlet port map), keepalive liveness with typed peer-death
+//!   errors, FIN/FIN-ACK graceful close with TIME-WAIT linger, and
+//!   bounded admission (inflight/buffered/reassembly caps).
+//! * [`driver`] — the golden workload harness: replays a sim workload
+//!   through the session transport and assembles the exactly-once
+//!   ledger. One socket per pathlet; pathlet ids map to distinct
+//!   loopback ports.
 //! * [`relay`] — an in-process lossy UDP relay (seeded drop, duplicate,
-//!   reorder, blackhole) for exercising loss on real sockets.
+//!   reorder, blackhole, lane flap, control-plane faults) with a
+//!   NAT-style HELLO-ACK port rewrite, for exercising loss on real
+//!   sockets.
 //! * [`golden`] — the shared golden workload and its simulator run,
 //!   the reference every wire run is compared against.
+//! * [`soak`] — the seeded chaos-soak scenarios: handshake loss, FIN
+//!   loss, blackhole flap, peer kill/restart — each must end in
+//!   exactly-once delivery or a typed session error.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,14 +53,24 @@ pub mod frame;
 pub mod golden;
 pub mod payload;
 pub mod relay;
+pub mod session;
+pub mod soak;
 pub mod socket;
 pub mod sys;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use driver::{
-    run_wire_golden, IoConfig, WireOutcome, WireReceiver, WireRxOutcome, WireSender, WireTxOutcome,
+    golden_session_config, run_wire_golden, IoConfig, WireOutcome, WireRxOutcome, WireTxOutcome,
 };
-pub use frame::{FrameError, FrameIter, DEFAULT_DATAGRAM_BUDGET};
+pub use frame::{
+    append_ctrl_frame, append_frame, FrameError, FrameIter, FrameKind, DEFAULT_DATAGRAM_BUDGET,
+    FRAME_OVERHEAD,
+};
 pub use golden::{run_sim_golden, GoldenWorkload, SimOutcome, GOLDEN_MSG_ID_BASE};
-pub use relay::{LossyRelay, RelayConfig, RelayStats};
+pub use relay::{ChaosConfig, LossyRelay, RelayConfig, RelayStats};
+pub use session::{
+    Listener, PayloadSource, SenderSession, SessionCaps, SessionConfig, SessionError,
+    SessionReport, SessionState,
+};
+pub use soak::{run_soak_suite, ChaosScenario, SoakOutcome, SoakRun};
 pub use socket::{loopback_available, BatchSocket};

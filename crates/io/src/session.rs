@@ -1,0 +1,1600 @@
+//! The wire session lifecycle: connect, send, serve, close.
+//!
+//! PR 8's drivers bootstrapped from fixed out-of-band port maps and shut
+//! down by side channel (an `AtomicBool` raised when the sender was
+//! done). This module replaces both with a protocol, turning the wire
+//! backend into a public connect/accept/send/recv transport:
+//!
+//! * **Handshake** — a versioned HELLO/HELLO-ACK exchange
+//!   ([`mtp_wire::SessionCtrl`]) that assigns session ids and carries
+//!   the responder's per-pathlet UDP port map. HELLOs are retried with
+//!   capped exponential backoff plus seeded jitter; duplicate HELLOs are
+//!   idempotent (the listener re-acks the same session).
+//! * **Liveness** — the connector probes feedback silence with PINGs;
+//!   silence past the idle timeout declares the peer dead and fails
+//!   every pending message with a typed [`SessionError::PeerDead`]
+//!   (carrying the core's [`PathHealth`]) instead of spinning forever.
+//! * **Graceful close** — FIN/FIN-ACK with retries; the listener holds
+//!   a TIME-WAIT-style linger so a lost FIN-ACK is re-answered rather
+//!   than stranding the closer.
+//! * **Bounded admission** — send-side caps on inflight messages and
+//!   buffered payload bytes ([`SessionError::Backpressure`], never an
+//!   unbounded queue) and a receive-side reassembly-byte cap (excess
+//!   first-copy data goes unACKed, so the sender repairs it later, when
+//!   there is room).
+//!
+//! State machines (see DESIGN.md "Session lifecycle" for the timer
+//! table):
+//!
+//! ```text
+//! connector: IDLE → CONNECTING → ESTABLISHED → CLOSING → CLOSED
+//!                       │              │           │
+//!                       └──────────────┴───────────┴──→ FAILED
+//! listener:  IDLE → ESTABLISHED → TIME-WAIT → CLOSED   (per session)
+//! ```
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::time::Instant;
+
+use mtp_core::{MsgDelivered, MtpReceiver, MtpSender, PathHealth, SenderEvent};
+use mtp_sim::time::{Duration as SimDuration, Time};
+use mtp_sim::{Headers, Packet};
+use mtp_telemetry::{Gauge, Metric, Registry};
+use mtp_wire::{
+    CtrlKind, EcnCodepoint, EntityId, Feedback, MsgId, MtpHeader, PathFeedback, PathletId, PktType,
+    SessionCtrl, TrafficClass, SESSION_WIRE_VERSION,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::driver::IoConfig;
+use crate::frame::{append_ctrl_frame, append_frame, FrameIter, FrameKind};
+use crate::payload;
+use crate::socket::{wait_readable, BatchSocket};
+
+/// Sim-time picoseconds until `t`, as a wall `std::time::Duration`.
+fn until(now: Time, t: Time) -> std::time::Duration {
+    std::time::Duration::from_nanos(t.0.saturating_sub(now.0) / 1_000)
+}
+
+/// A sim duration as a wall duration.
+fn wall(d: SimDuration) -> std::time::Duration {
+    std::time::Duration::from_nanos(d.0 / 1_000)
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Bounded-resource admission caps. Every queue a session owns is
+/// bounded by one of these; hitting a cap is backpressure (send side)
+/// or deferred repair (receive side), never unbounded growth.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionCaps {
+    /// Most messages admitted and not yet completed at the sender.
+    pub max_inflight_msgs: usize,
+    /// Most payload bytes the sender will hold buffered for
+    /// retransmission across all inflight messages.
+    pub max_buffered_bytes: u64,
+    /// Most reassembly bytes the receiver will hold across partially
+    /// received messages. One message is always admitted even if it
+    /// alone exceeds the cap (progress guarantee); the enforced bound is
+    /// therefore `max(cap, largest single message)`.
+    pub max_reassembly_bytes: u64,
+}
+
+impl Default for SessionCaps {
+    fn default() -> SessionCaps {
+        SessionCaps {
+            max_inflight_msgs: 64,
+            max_buffered_bytes: 16 << 20,
+            max_reassembly_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Configuration for one side of a wire session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Socket/core configuration shared with the plain drivers.
+    pub io: IoConfig,
+    /// MTP app port of the connecting (sending) side.
+    pub client_port: u16,
+    /// MTP app port of the listening (receiving) side.
+    pub server_port: u16,
+    /// `msg_id_base` the sender core allocates message ids from.
+    pub msg_id_base: u64,
+    /// Initial HELLO/FIN retransmission timeout.
+    pub handshake_rto: SimDuration,
+    /// Backoff cap for HELLO/FIN retransmissions.
+    pub handshake_rto_max: SimDuration,
+    /// HELLO/FIN attempts before giving up with a typed error.
+    pub handshake_tries: u32,
+    /// Feedback silence before a liveness PING is sent (and between
+    /// successive PINGs).
+    pub keepalive_interval: SimDuration,
+    /// Feedback silence that declares the peer dead.
+    pub idle_timeout: SimDuration,
+    /// TIME-WAIT span the listener holds a closed session for, so
+    /// duplicate FINs keep being acknowledged after a lost FIN-ACK.
+    pub linger: SimDuration,
+    /// Admission caps.
+    pub caps: SessionCaps,
+    /// Seed for handshake jitter and session-id assignment. Two
+    /// endpoints may share a seed; ids are drawn from independent
+    /// streams.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            io: IoConfig::default(),
+            client_port: 1,
+            server_port: 2,
+            msg_id_base: 1 << 32,
+            handshake_rto: SimDuration::from_micros(10_000),
+            handshake_rto_max: SimDuration::from_micros(160_000),
+            handshake_tries: 8,
+            keepalive_interval: SimDuration::from_micros(50_000),
+            idle_timeout: SimDuration::from_micros(600_000),
+            linger: SimDuration::from_micros(150_000),
+            caps: SessionCaps::default(),
+            seed: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and state
+// ---------------------------------------------------------------------------
+
+/// Why a session operation failed. Every terminal outcome of a session
+/// is either clean completion or exactly one of these — the chaos soak
+/// asserts there is no third bucket (hangs, busy-loops, leaks).
+#[derive(Debug)]
+pub enum SessionError {
+    /// The HELLO exchange exhausted its retries without a HELLO-ACK.
+    HandshakeTimeout {
+        /// HELLOs sent.
+        tries: u32,
+        /// Wall time spent trying.
+        elapsed: std::time::Duration,
+    },
+    /// Feedback silence exceeded the idle timeout: the peer (or the
+    /// whole path set) is gone. Pending messages are failed and listed.
+    PeerDead {
+        /// How long the silence lasted.
+        silence: std::time::Duration,
+        /// Message ids that were admitted but never completed.
+        pending: Vec<u64>,
+        /// The sender core's view of the path set at the time of death
+        /// (all-quarantined points at the network, none at the peer).
+        path_health: PathHealth,
+    },
+    /// The FIN exchange exhausted its retries without a FIN-ACK.
+    CloseTimeout {
+        /// FINs sent.
+        tries: u32,
+        /// Messages still unacknowledged (always 0: close flushes first).
+        outstanding: usize,
+    },
+    /// An admission cap refused the submission; retry after completions
+    /// drain. Carries the state that tripped the cap.
+    Backpressure {
+        /// Messages currently inflight.
+        inflight: usize,
+        /// Payload bytes currently buffered.
+        buffered_bytes: u64,
+    },
+    /// The session is not in a state that allows the operation.
+    Closed,
+    /// The caller-supplied wall deadline expired.
+    WallDeadline {
+        /// Messages still outstanding when the deadline hit.
+        outstanding: usize,
+    },
+    /// The socket layer failed.
+    Io(io::Error),
+}
+
+impl core::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SessionError::HandshakeTimeout { tries, elapsed } => {
+                write!(f, "handshake timed out after {tries} HELLOs ({elapsed:?})")
+            }
+            SessionError::PeerDead {
+                silence,
+                pending,
+                path_health,
+            } => write!(
+                f,
+                "peer dead after {silence:?} of silence; {} pending messages failed; {path_health}",
+                pending.len()
+            ),
+            SessionError::CloseTimeout { tries, outstanding } => {
+                write!(
+                    f,
+                    "close timed out after {tries} FINs ({outstanding} outstanding)"
+                )
+            }
+            SessionError::Backpressure {
+                inflight,
+                buffered_bytes,
+            } => write!(
+                f,
+                "backpressure: {inflight} messages inflight, {buffered_bytes} bytes buffered"
+            ),
+            SessionError::Closed => write!(f, "session is closed"),
+            SessionError::WallDeadline { outstanding } => {
+                write!(f, "wall deadline expired with {outstanding} outstanding")
+            }
+            SessionError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<io::Error> for SessionError {
+    fn from(e: io::Error) -> SessionError {
+        SessionError::Io(e)
+    }
+}
+
+impl SessionError {
+    /// A short stable label for reports (`results/BENCH_chaos.json`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionError::HandshakeTimeout { .. } => "handshake_timeout",
+            SessionError::PeerDead { .. } => "peer_dead",
+            SessionError::CloseTimeout { .. } => "close_timeout",
+            SessionError::Backpressure { .. } => "backpressure",
+            SessionError::Closed => "closed",
+            SessionError::WallDeadline { .. } => "wall_deadline",
+            SessionError::Io(_) => "io",
+        }
+    }
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Constructed, no handshake yet.
+    Idle,
+    /// HELLO sent, awaiting HELLO-ACK.
+    Connecting,
+    /// Handshake complete; data flows.
+    Established,
+    /// FIN sent, awaiting FIN-ACK.
+    Closing,
+    /// (Listener only) closed, lingering to re-ack duplicate FINs.
+    TimeWait,
+    /// Cleanly closed.
+    Closed,
+    /// Dead by typed error; resources released.
+    Failed,
+}
+
+impl core::fmt::Display for SessionState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            SessionState::Idle => "IDLE",
+            SessionState::Connecting => "CONNECTING",
+            SessionState::Established => "ESTABLISHED",
+            SessionState::Closing => "CLOSING",
+            SessionState::TimeWait => "TIME-WAIT",
+            SessionState::Closed => "CLOSED",
+            SessionState::Failed => "FAILED",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a submitted message's bytes come from.
+#[derive(Debug, Clone)]
+pub enum PayloadSource {
+    /// Deterministic synthesized content ([`payload::fill`]) — the test
+    /// generator; no bytes are stored.
+    Synth,
+    /// Caller-owned bytes, held until the message completes.
+    Owned(Vec<u8>),
+}
+
+fn bind_pathlet_sockets(n: usize) -> io::Result<Vec<BatchSocket>> {
+    (0..n.max(1))
+        .map(|_| BatchSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)))
+        .collect()
+}
+
+fn invalid<E: std::error::Error + Send + Sync + 'static>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// One sealed control frame as its own datagram. Control never shares a
+/// datagram with data: the relay (a stand-in middlebox) classifies and
+/// rewrites control datagrams by the kind byte at a fixed offset.
+fn ctrl_datagram(ctrl: &SessionCtrl, budget: usize) -> io::Result<Vec<u8>> {
+    let mut dgram = Vec::with_capacity(ctrl.wire_len() + 3);
+    match append_ctrl_frame(&mut dgram, budget, ctrl) {
+        Ok(true) => Ok(dgram),
+        Ok(false) => unreachable!("fresh datagram refused a fitting frame"),
+        Err(e) => Err(invalid(e)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connector / sender session
+// ---------------------------------------------------------------------------
+
+/// The connecting, sending end of a wire session.
+///
+/// Owns one socket per pathlet, the sans-IO [`MtpSender`] core, and the
+/// session control state. Built by [`SenderSession::connect`]; fed by
+/// [`try_send`](SenderSession::try_send) /
+/// [`try_send_synth`](SenderSession::try_send_synth); driven by
+/// [`poll`](SenderSession::poll) (or the blocking helpers
+/// [`flush`](SenderSession::flush) and [`close`](SenderSession::close)).
+pub struct SenderSession {
+    cfg: SessionConfig,
+    socks: Vec<BatchSocket>,
+    peers: Vec<SocketAddrV4>,
+    ctrl_peer: SocketAddrV4,
+    snd: MtpSender,
+    clock: MonotonicClock,
+    rng: SmallRng,
+    state: SessionState,
+    sid: u64,
+    peer_sid: u64,
+    last_heard: Time,
+    last_ping: Time,
+    ping_seq: u32,
+    payloads: HashMap<u64, PayloadSource>,
+    submitted: u64,
+    buffered_bytes: u64,
+    retx_rr: u64,
+    /// Packets emitted per repair (RTO) round — the retransmission-round
+    /// histogram `bench_wire` records.
+    retx_rounds: Vec<u32>,
+    handshake_rounds: u32,
+    close_rounds: u32,
+    fin_acked: bool,
+    completions: Vec<(u64, Time)>,
+    out_buf: Vec<Packet>,
+    ev_buf: Vec<SenderEvent>,
+    scratch: Vec<u8>,
+    dgrams: Vec<(Vec<u8>, SocketAddrV4)>,
+    registry: Registry,
+}
+
+impl SenderSession {
+    /// Connect to a listener whose control address is `server`: bind
+    /// pathlet sockets, run the HELLO exchange (capped exponential
+    /// backoff with jitter), and return an ESTABLISHED session whose
+    /// per-pathlet peers came from the HELLO-ACK's port map.
+    pub fn connect(
+        cfg: &SessionConfig,
+        server: SocketAddrV4,
+    ) -> Result<SenderSession, SessionError> {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5E55_1011_C0FF_EE00);
+        let sid = rng.next_u64() | 1;
+        let mut s = SenderSession {
+            cfg: cfg.clone(),
+            socks: bind_pathlet_sockets(cfg.io.pathlets)?,
+            peers: Vec::new(),
+            ctrl_peer: server,
+            snd: MtpSender::new(
+                cfg.io.mtp.clone(),
+                cfg.client_port,
+                EntityId(0),
+                cfg.msg_id_base,
+            ),
+            clock: MonotonicClock::new(),
+            rng,
+            state: SessionState::Idle,
+            sid,
+            peer_sid: 0,
+            last_heard: Time::ZERO,
+            last_ping: Time::ZERO,
+            ping_seq: 0,
+            payloads: HashMap::new(),
+            submitted: 0,
+            buffered_bytes: 0,
+            retx_rr: 0,
+            retx_rounds: Vec::new(),
+            handshake_rounds: 0,
+            close_rounds: 0,
+            fin_acked: false,
+            completions: Vec::new(),
+            out_buf: Vec::new(),
+            ev_buf: Vec::new(),
+            scratch: Vec::new(),
+            dgrams: Vec::new(),
+            registry: Registry::new(),
+        };
+        s.handshake()?;
+        Ok(s)
+    }
+
+    fn send_ctrl(&mut self, kind: CtrlKind, seq: u32) -> Result<(), SessionError> {
+        let mut ctrl = SessionCtrl::new(kind, self.sid, self.peer_sid);
+        ctrl.src_port = self.cfg.client_port;
+        ctrl.dst_port = self.cfg.server_port;
+        ctrl.seq = seq;
+        let dgram = ctrl_datagram(&ctrl, self.cfg.io.datagram_budget)?;
+        let report = self.socks[0].send_batch(&[(self.ctrl_peer, dgram.as_slice())])?;
+        self.registry
+            .count(Metric::WireDatagramsTx, report.datagrams as u64);
+        self.registry
+            .count(Metric::WireSendBatches, report.syscalls as u64);
+        self.registry.count(Metric::WireFramesTx, 1);
+        Ok(())
+    }
+
+    /// The HELLO exchange: send, back off, retry; capped and jittered.
+    fn handshake(&mut self) -> Result<(), SessionError> {
+        self.state = SessionState::Connecting;
+        let started = Instant::now();
+        let mut rto = self.cfg.handshake_rto;
+        for try_n in 0..self.cfg.handshake_tries {
+            self.send_ctrl(CtrlKind::Hello, try_n)?;
+            self.registry.count(Metric::SessionHelloTx, 1);
+            if try_n > 0 {
+                self.registry.count(Metric::SessionHandshakeRetries, 1);
+            }
+            // Full jitter on top of the deterministic floor: retries
+            // de-synchronize instead of re-colliding with whatever loss
+            // pattern ate the previous round.
+            let jitter = SimDuration(self.rng.gen_range(0..=rto.0 / 4));
+            let round_ends = Instant::now() + wall(rto + jitter);
+            while Instant::now() < round_ends {
+                let timeout = round_ends - Instant::now();
+                wait_readable(&[&self.socks[0]], timeout)?;
+                if self.drain_handshake()? {
+                    self.state = SessionState::Established;
+                    self.handshake_rounds = try_n + 1;
+                    let now = self.clock.now();
+                    self.last_heard = now;
+                    self.last_ping = now;
+                    return Ok(());
+                }
+            }
+            rto = SimDuration((rto.0 * 2).min(self.cfg.handshake_rto_max.0));
+        }
+        self.state = SessionState::Failed;
+        Err(SessionError::HandshakeTimeout {
+            tries: self.cfg.handshake_tries,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Drain the control socket during CONNECTING; true once a matching
+    /// HELLO-ACK establishes the session.
+    fn drain_handshake(&mut self) -> Result<bool, SessionError> {
+        let mut dgrams = std::mem::take(&mut self.dgrams);
+        dgrams.clear();
+        let report = self.socks[0].recv_batch(self.cfg.io.datagram_budget + 64, &mut dgrams)?;
+        self.registry
+            .count(Metric::WireDatagramsRx, report.datagrams as u64);
+        self.registry
+            .count(Metric::WireRecvBatches, report.syscalls as u64);
+        let mut established = false;
+        for (bytes, src) in dgrams.drain(..) {
+            for frame in FrameIter::new(&bytes) {
+                let Ok((FrameKind::Ctrl, body)) = frame else {
+                    continue;
+                };
+                let Ok((ctrl, used)) = SessionCtrl::parse_sealed(body) else {
+                    self.registry.count(Metric::WireParseErrors, 1);
+                    continue;
+                };
+                if used != body.len() {
+                    self.registry.count(Metric::WireParseErrors, 1);
+                    continue;
+                }
+                self.registry.count(Metric::WireFramesRx, 1);
+                if ctrl.version != SESSION_WIRE_VERSION
+                    || ctrl.kind != CtrlKind::HelloAck
+                    || ctrl.session_id != self.sid
+                    || ctrl.ports.is_empty()
+                {
+                    self.registry.count(Metric::SessionCtrlRejected, 1);
+                    continue;
+                }
+                // The HELLO-ACK's source is where control replies worked
+                // from; its port list is where data goes. Keep only as
+                // many pathlets as both sides can serve.
+                self.peer_sid = ctrl.peer_session_id;
+                self.ctrl_peer = src;
+                let ip = *src.ip();
+                self.peers = ctrl
+                    .ports
+                    .iter()
+                    .map(|&p| SocketAddrV4::new(ip, p))
+                    .collect();
+                let effective = self.peers.len().min(self.socks.len());
+                self.peers.truncate(effective);
+                self.socks.truncate(effective);
+                established = true;
+            }
+        }
+        self.dgrams = dgrams;
+        Ok(established)
+    }
+
+    /// Submit a message whose bytes the caller owns. The buffer is held
+    /// (for retransmission) until the message completes, then dropped.
+    /// Fails fast with [`SessionError::Backpressure`] at the caps.
+    pub fn try_send(&mut self, bytes: Vec<u8>) -> Result<MsgId, SessionError> {
+        let len = u32::try_from(bytes.len()).expect("message larger than u32 bytes");
+        assert!(len > 0, "empty messages are not a thing MTP sends");
+        self.admit(len as u64)?;
+        let id = self.submit(len)?;
+        self.buffered_bytes += len as u64;
+        self.payloads.insert(id.0, PayloadSource::Owned(bytes));
+        self.flush_submission(id)?;
+        Ok(id)
+    }
+
+    /// Submit a message of `len` synthesized bytes ([`payload::fill`]) —
+    /// the deterministic test generator. Same admission as
+    /// [`try_send`](Self::try_send) minus the buffered-byte charge
+    /// (synthesized content is regenerated, not stored).
+    pub fn try_send_synth(&mut self, len: u32) -> Result<MsgId, SessionError> {
+        assert!(len > 0, "empty messages are not a thing MTP sends");
+        self.admit(0)?;
+        let id = self.submit(len)?;
+        self.payloads.insert(id.0, PayloadSource::Synth);
+        self.flush_submission(id)?;
+        Ok(id)
+    }
+
+    fn admit(&mut self, add_bytes: u64) -> Result<(), SessionError> {
+        if self.state != SessionState::Established {
+            return Err(SessionError::Closed);
+        }
+        let inflight = self.snd.outstanding();
+        if inflight >= self.cfg.caps.max_inflight_msgs
+            || self.buffered_bytes + add_bytes > self.cfg.caps.max_buffered_bytes
+        {
+            self.registry.count(Metric::SessionBackpressure, 1);
+            return Err(SessionError::Backpressure {
+                inflight,
+                buffered_bytes: self.buffered_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    fn submit(&mut self, len: u32) -> Result<MsgId, SessionError> {
+        let now = self.clock.now();
+        let mut out = std::mem::take(&mut self.out_buf);
+        let id = self.snd.send_message(
+            self.cfg.server_port,
+            len,
+            0,
+            TrafficClass::BEST_EFFORT,
+            now,
+            &mut out,
+        );
+        self.out_buf = out;
+        self.submitted += 1;
+        self.registry.gauge_add(Gauge::MsgsInFlight, 1);
+        Ok(id)
+    }
+
+    fn flush_submission(&mut self, _id: MsgId) -> Result<(), SessionError> {
+        let mut out = std::mem::take(&mut self.out_buf);
+        let res = self.dispatch(&mut out);
+        self.out_buf = out;
+        res?;
+        Ok(())
+    }
+
+    /// Pick the wire pathlet for a packet: hash the message id over the
+    /// pathlets its header does not exclude (exclusions come from the
+    /// core's quarantine and window-floor logic and land on real ports
+    /// here), rotated by the retransmission round.
+    fn route(&self, hdr: &MtpHeader) -> usize {
+        let n = self.socks.len();
+        let excluded = |p: usize| {
+            hdr.path_exclude
+                .iter()
+                .any(|e| e.path == PathletId(p as u16))
+        };
+        let live: Vec<usize> = (0..n).filter(|&p| !excluded(p)).collect();
+        if live.is_empty() {
+            // Everything excluded: sending somewhere beats deadlock.
+            return ((hdr.msg_id.0 + self.retx_rr) % n as u64) as usize;
+        }
+        live[((hdr.msg_id.0 + self.retx_rr) % live.len() as u64) as usize]
+    }
+
+    /// Seal, coalesce, and transmit a batch of core-emitted packets,
+    /// materializing payload bytes from each message's source.
+    fn dispatch(&mut self, pkts: &mut Vec<Packet>) -> Result<(), SessionError> {
+        if pkts.is_empty() {
+            return Ok(());
+        }
+        let n = self.socks.len();
+        let budget = self.cfg.io.datagram_budget;
+        let mut closed: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+        let mut open: Vec<Vec<u8>> = vec![Vec::new(); n];
+        let mut frames = 0u64;
+        for pkt in pkts.drain(..) {
+            let Headers::Mtp(hdr) = pkt.headers else {
+                continue;
+            };
+            let p = self.route(&hdr);
+            let len = hdr.pkt_len as usize;
+            let off = hdr.pkt_offset as usize;
+            let bytes: &[u8] = match self.payloads.get(&hdr.msg_id.0) {
+                Some(PayloadSource::Owned(buf)) => &buf[off..off + len],
+                _ => {
+                    if self.scratch.len() < len {
+                        self.scratch.resize(len, 0);
+                    }
+                    payload::fill(hdr.msg_id, hdr.pkt_offset, &mut self.scratch[..len]);
+                    &self.scratch[..len]
+                }
+            };
+            let head = &mut open[p];
+            match append_frame(head, budget, &hdr, bytes) {
+                Ok(true) => {}
+                Ok(false) => {
+                    closed[p].push(std::mem::take(head));
+                    append_frame(&mut open[p], budget, &hdr, bytes).map_err(invalid)?;
+                }
+                Err(e) => return Err(invalid(e).into()),
+            }
+            frames += 1;
+            mtp_sim::pool::recycle_header(hdr);
+        }
+        self.registry.count(Metric::WireFramesTx, frames);
+        for p in 0..n {
+            if !open[p].is_empty() {
+                closed[p].push(std::mem::take(&mut open[p]));
+            }
+            if closed[p].is_empty() {
+                continue;
+            }
+            let sends: Vec<(SocketAddrV4, &[u8])> = closed[p]
+                .iter()
+                .map(|d| (self.peers[p], d.as_slice()))
+                .collect();
+            let report = self.socks[p].send_batch(&sends)?;
+            self.registry
+                .count(Metric::WireDatagramsTx, report.datagrams as u64);
+            self.registry
+                .count(Metric::WireSendBatches, report.syscalls as u64);
+        }
+        Ok(())
+    }
+
+    /// One non-blocking event-loop turn: drain ACKs and control replies,
+    /// fire the core's timer, probe and police liveness, reap
+    /// completions. Call [`wait`](Self::wait) between turns.
+    pub fn poll(&mut self) -> Result<(), SessionError> {
+        match self.state {
+            SessionState::Established | SessionState::Closing => {}
+            _ => return Err(SessionError::Closed),
+        }
+        self.drain_sockets()?;
+        let now = self.clock.now();
+        if self.snd.poll_at().is_some_and(|t| t <= now) {
+            let mut out = std::mem::take(&mut self.out_buf);
+            self.snd.on_timer(now, &mut out);
+            if !out.is_empty() {
+                // Route this round of repairs onto the next pathlet: a
+                // dead port's packets must not retry the same hole.
+                self.retx_rr += 1;
+                self.retx_rounds.push(out.len() as u32);
+            }
+            let res = self.dispatch(&mut out);
+            self.out_buf = out;
+            res?;
+        }
+        self.keepalive()?;
+        self.check_liveness()?;
+        self.drain_completions();
+        Ok(())
+    }
+
+    fn drain_sockets(&mut self) -> Result<(), SessionError> {
+        let mut dgrams = std::mem::take(&mut self.dgrams);
+        let mut first_err: Option<SessionError> = None;
+        'socks: for p in 0..self.socks.len() {
+            dgrams.clear();
+            let report =
+                match self.socks[p].recv_batch(self.cfg.io.datagram_budget + 64, &mut dgrams) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        first_err = Some(e.into());
+                        break 'socks;
+                    }
+                };
+            self.registry
+                .count(Metric::WireDatagramsRx, report.datagrams as u64);
+            self.registry
+                .count(Metric::WireRecvBatches, report.syscalls as u64);
+            for (bytes, _src) in dgrams.drain(..) {
+                if first_err.is_some() {
+                    continue;
+                }
+                for frame in FrameIter::new(&bytes) {
+                    match frame {
+                        Ok((FrameKind::Mtp, body)) => {
+                            if let Err(e) = self.on_mtp_frame(body) {
+                                first_err = Some(e);
+                                break;
+                            }
+                        }
+                        Ok((FrameKind::Ctrl, body)) => self.on_ctrl_frame(body),
+                        Err(_) => {
+                            self.registry.count(Metric::WireParseErrors, 1);
+                        }
+                    }
+                }
+            }
+            if first_err.is_some() {
+                break 'socks;
+            }
+        }
+        self.dgrams = dgrams;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn on_mtp_frame(&mut self, body: &[u8]) -> Result<(), SessionError> {
+        let (hdr, _, _) = match MtpHeader::parse_sealed(body) {
+            Ok(v) => v,
+            Err(_) => {
+                self.registry.count(Metric::WireParseErrors, 1);
+                return Ok(());
+            }
+        };
+        self.registry.count(Metric::WireFramesRx, 1);
+        let now = self.clock.now();
+        self.last_heard = now;
+        match hdr.pkt_type {
+            PktType::Ack | PktType::Nack => {
+                let mut out = std::mem::take(&mut self.out_buf);
+                self.snd.on_ack(now, &hdr, &mut out);
+                let res = self.dispatch(&mut out);
+                self.out_buf = out;
+                res?;
+            }
+            PktType::Control => self.snd.on_control(now, &hdr),
+            PktType::Data => {}
+        }
+        Ok(())
+    }
+
+    fn on_ctrl_frame(&mut self, body: &[u8]) {
+        let Ok((ctrl, used)) = SessionCtrl::parse_sealed(body) else {
+            self.registry.count(Metric::WireParseErrors, 1);
+            return;
+        };
+        if used != body.len() {
+            self.registry.count(Metric::WireParseErrors, 1);
+            return;
+        }
+        self.registry.count(Metric::WireFramesRx, 1);
+        if ctrl.version != SESSION_WIRE_VERSION || ctrl.session_id != self.sid {
+            self.registry.count(Metric::SessionCtrlRejected, 1);
+            return;
+        }
+        match ctrl.kind {
+            CtrlKind::Pong => {
+                self.registry.count(Metric::SessionKeepaliveRx, 1);
+                self.last_heard = self.clock.now();
+            }
+            CtrlKind::FinAck => {
+                self.fin_acked = true;
+                self.last_heard = self.clock.now();
+            }
+            // A duplicate HELLO-ACK after establishment: stale but
+            // harmless, and proof the peer is alive.
+            CtrlKind::HelloAck => {
+                self.last_heard = self.clock.now();
+            }
+            _ => {
+                self.registry.count(Metric::SessionCtrlRejected, 1);
+            }
+        }
+    }
+
+    /// Probe feedback silence: one PING per keepalive interval of quiet.
+    fn keepalive(&mut self) -> Result<(), SessionError> {
+        let now = self.clock.now();
+        let quiet = now.since(self.last_heard);
+        if quiet >= self.cfg.keepalive_interval
+            && now.since(self.last_ping) >= self.cfg.keepalive_interval
+        {
+            self.ping_seq += 1;
+            let seq = self.ping_seq;
+            self.send_ctrl(CtrlKind::Ping, seq)?;
+            self.registry.count(Metric::SessionKeepaliveTx, 1);
+            self.last_ping = now;
+        }
+        Ok(())
+    }
+
+    /// Declare the peer dead once silence outlasts the idle timeout:
+    /// fail every pending message, release their buffers, and surface
+    /// the core's path-health so the error says *what* died.
+    fn check_liveness(&mut self) -> Result<(), SessionError> {
+        let now = self.clock.now();
+        let silence = now.since(self.last_heard);
+        if silence <= self.cfg.idle_timeout {
+            return Ok(());
+        }
+        self.registry.count(Metric::SessionPeerDeaths, 1);
+        self.state = SessionState::Failed;
+        let mut pending: Vec<u64> = self.payloads.keys().copied().collect();
+        pending.sort_unstable();
+        self.registry
+            .gauge_add(Gauge::MsgsInFlight, -(pending.len() as i64));
+        self.payloads.clear();
+        self.buffered_bytes = 0;
+        Err(SessionError::PeerDead {
+            silence: wall(silence),
+            pending,
+            path_health: self.snd.path_health(now),
+        })
+    }
+
+    fn drain_completions(&mut self) {
+        let mut ev = std::mem::take(&mut self.ev_buf);
+        self.snd.drain_events(&mut ev);
+        for e in ev.drain(..) {
+            let SenderEvent::MsgCompleted { id, completed, .. } = e;
+            if let Some(src) = self.payloads.remove(&id.0) {
+                if let PayloadSource::Owned(buf) = src {
+                    self.buffered_bytes -= buf.len() as u64;
+                }
+                self.registry.gauge_add(Gauge::MsgsInFlight, -1);
+            }
+            self.completions.push((id.0, completed));
+        }
+        self.ev_buf = ev;
+    }
+
+    /// Block until a socket is readable, the core's next deadline, or
+    /// `max_wait` — whichever is soonest.
+    pub fn wait(&mut self, max_wait: std::time::Duration) -> Result<(), SessionError> {
+        let now = self.clock.now();
+        let mut timeout = max_wait;
+        if let Some(t) = self.snd.poll_at() {
+            timeout = timeout.min(until(now, t));
+        }
+        // Keepalive and idle policing need turns even in total silence.
+        timeout = timeout.min(wall(self.cfg.keepalive_interval));
+        if !timeout.is_zero() {
+            let socks: Vec<&BatchSocket> = self.socks.iter().collect();
+            wait_readable(&socks, timeout)?;
+        }
+        Ok(())
+    }
+
+    /// Poll until every admitted message completes or `deadline` hits.
+    pub fn flush(&mut self, deadline: Instant) -> Result<(), SessionError> {
+        while self.snd.outstanding() > 0 {
+            if Instant::now() >= deadline {
+                return Err(SessionError::WallDeadline {
+                    outstanding: self.snd.outstanding(),
+                });
+            }
+            self.poll()?;
+            if self.snd.outstanding() > 0 {
+                self.wait(std::time::Duration::from_millis(5))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Graceful close: flush outstanding messages, then run the FIN
+    /// exchange (same backoff discipline as the handshake). On success
+    /// every message was acknowledged *and* the peer confirmed the
+    /// goodbye; a lost final FIN-ACK is covered by the listener's
+    /// TIME-WAIT re-acks.
+    pub fn close(&mut self, deadline: Instant) -> Result<(), SessionError> {
+        match self.state {
+            SessionState::Closed => return Ok(()),
+            SessionState::Established => {}
+            _ => return Err(SessionError::Closed),
+        }
+        self.flush(deadline)?;
+        self.state = SessionState::Closing;
+        let mut rto = self.cfg.handshake_rto;
+        for try_n in 0..self.cfg.handshake_tries {
+            self.close_rounds = try_n + 1;
+            self.send_ctrl(CtrlKind::Fin, try_n)?;
+            self.registry.count(Metric::SessionFinTx, 1);
+            let jitter = SimDuration(self.rng.gen_range(0..=rto.0 / 4));
+            let round_ends = Instant::now() + wall(rto + jitter);
+            while Instant::now() < round_ends {
+                self.poll()?;
+                if self.fin_acked {
+                    self.state = SessionState::Closed;
+                    return Ok(());
+                }
+                let remaining = round_ends.saturating_duration_since(Instant::now());
+                self.wait(remaining.min(std::time::Duration::from_millis(5)))?;
+            }
+            rto = SimDuration((rto.0 * 2).min(self.cfg.handshake_rto_max.0));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.state = SessionState::Failed;
+        Err(SessionError::CloseTimeout {
+            tries: self.close_rounds,
+            outstanding: self.snd.outstanding(),
+        })
+    }
+
+    /// The session's lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The session's clock reading (sim picoseconds since construction).
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// The id the *next* submitted message will get (ids are allocated
+    /// sequentially from `msg_id_base`) — lets a caller synthesize
+    /// content that depends on the id before submitting it.
+    pub fn next_msg_id(&self) -> u64 {
+        self.cfg.msg_id_base + self.submitted
+    }
+
+    /// This side's session id.
+    pub fn session_id(&self) -> u64 {
+        self.sid
+    }
+
+    /// The listener-assigned peer session id (0 before establishment).
+    pub fn peer_session_id(&self) -> u64 {
+        self.peer_sid
+    }
+
+    /// HELLO rounds the handshake took (1 = first try answered).
+    pub fn handshake_rounds(&self) -> u32 {
+        self.handshake_rounds
+    }
+
+    /// FIN rounds the close took (0 = close never ran).
+    pub fn close_rounds(&self) -> u32 {
+        self.close_rounds
+    }
+
+    /// Packets emitted per repair round, in round order.
+    pub fn retx_rounds(&self) -> &[u32] {
+        &self.retx_rounds
+    }
+
+    /// `(msg_id, completed_at)` for every completed message so far.
+    pub fn completions(&self) -> &[(u64, Time)] {
+        &self.completions
+    }
+
+    /// Messages admitted and not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.snd.outstanding()
+    }
+
+    /// Payload bytes currently buffered for retransmission.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffered_bytes
+    }
+
+    /// The sans-IO sender core (for instrumentation and tests).
+    pub fn core(&self) -> &MtpSender {
+        &self.snd
+    }
+
+    /// Telemetry recorded by this session.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener / receiver session
+// ---------------------------------------------------------------------------
+
+/// What one served session delivered.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The connector's session id.
+    pub client_sid: u64,
+    /// This listener's session id.
+    pub server_sid: u64,
+    /// `(msg_id, bytes)` per delivery event, sorted by id.
+    pub delivered: Vec<(u64, u32)>,
+    /// `(msg_id, bytes, digest)` per delivery, digest computed from the
+    /// actually reassembled bytes.
+    pub digests: Vec<(u64, u32, u64)>,
+    /// First-copy payload bytes delivered.
+    pub goodput: u64,
+    /// High-water mark of reassembly bytes held at once.
+    pub peak_reasm_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    Established,
+    TimeWait { until: Time },
+}
+
+struct Conn {
+    client_sid: u64,
+    server_sid: u64,
+    ctrl_peer: SocketAddrV4,
+    state: ConnState,
+    recv: MtpReceiver,
+    reasm: HashMap<u64, Vec<u8>>,
+    reasm_bytes: u64,
+    peak_reasm_bytes: u64,
+    delivered: Vec<(u64, u32)>,
+    digests: Vec<(u64, u32, u64)>,
+    last_heard: Time,
+}
+
+/// The listening, receiving end: owns a control socket (the published
+/// rendezvous address) plus one data socket per pathlet, accepts one
+/// session at a time, and serves it through FIN and TIME-WAIT.
+///
+/// Single-session by design — the workspace's wire proofs are pairwise —
+/// but nothing leaks between sessions: when a session finalizes (linger
+/// expiry or idle death) its state is dropped and the listener accepts
+/// the next HELLO, as the kill/restart chaos scenario exercises.
+pub struct Listener {
+    cfg: SessionConfig,
+    ctrl: BatchSocket,
+    socks: Vec<BatchSocket>,
+    clock: MonotonicClock,
+    rng: SmallRng,
+    conn: Option<Conn>,
+    finished: Vec<SessionReport>,
+    died: Option<SessionError>,
+    ev_buf: Vec<MsgDelivered>,
+    dgrams: Vec<(Vec<u8>, SocketAddrV4)>,
+    registry: Registry,
+}
+
+impl Listener {
+    /// Bind a listener on an ephemeral control port.
+    pub fn bind(cfg: &SessionConfig) -> io::Result<Listener> {
+        Listener::bind_at(cfg, SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))
+    }
+
+    /// Bind a listener whose control socket sits at `ctrl_addr` — how a
+    /// restarted peer reappears at the address its clients know.
+    pub fn bind_at(cfg: &SessionConfig, ctrl_addr: SocketAddrV4) -> io::Result<Listener> {
+        Ok(Listener {
+            cfg: cfg.clone(),
+            ctrl: BatchSocket::bind(ctrl_addr)?,
+            socks: bind_pathlet_sockets(cfg.io.pathlets)?,
+            clock: MonotonicClock::new(),
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x0011_57EA_D1AC_CE97),
+            conn: None,
+            finished: Vec::new(),
+            died: None,
+            ev_buf: Vec::new(),
+            dgrams: Vec::new(),
+            registry: Registry::new(),
+        })
+    }
+
+    /// The control (rendezvous) address connectors HELLO.
+    pub fn hello_addr(&self) -> io::Result<SocketAddrV4> {
+        self.ctrl.local_addr()
+    }
+
+    /// The per-pathlet data addresses (what HELLO-ACKs advertise).
+    pub fn pathlet_addrs(&self) -> io::Result<Vec<SocketAddrV4>> {
+        self.socks.iter().map(|s| s.local_addr()).collect()
+    }
+
+    /// Sessions currently held (established or lingering): the leak
+    /// check the chaos soak asserts reaches zero.
+    pub fn active_sessions(&self) -> usize {
+        usize::from(self.conn.is_some())
+    }
+
+    /// The active session's state, if any.
+    pub fn session_state(&self) -> Option<SessionState> {
+        self.conn.as_ref().map(|c| match c.state {
+            ConnState::Established => SessionState::Established,
+            ConnState::TimeWait { .. } => SessionState::TimeWait,
+        })
+    }
+
+    /// `(msg_id, bytes)` delivered by the *active* session so far (the
+    /// kill scenario snapshots this before dropping the listener).
+    pub fn delivered_snapshot(&self) -> Vec<(u64, u32)> {
+        self.conn
+            .as_ref()
+            .map(|c| c.delivered.clone())
+            .unwrap_or_default()
+    }
+
+    /// Telemetry recorded by this listener.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Reports of sessions that ran to completion (FIN + linger).
+    pub fn take_finished(&mut self) -> Vec<SessionReport> {
+        std::mem::take(&mut self.finished)
+    }
+
+    fn send_ctrl_to(&mut self, to: SocketAddrV4, ctrl: &SessionCtrl) -> io::Result<()> {
+        let dgram = ctrl_datagram(ctrl, self.cfg.io.datagram_budget)?;
+        let report = self.ctrl.send_batch(&[(to, dgram.as_slice())])?;
+        self.registry
+            .count(Metric::WireDatagramsTx, report.datagrams as u64);
+        self.registry
+            .count(Metric::WireSendBatches, report.syscalls as u64);
+        self.registry.count(Metric::WireFramesTx, 1);
+        Ok(())
+    }
+
+    /// One non-blocking service turn: control socket, data sockets,
+    /// receiver GC, liveness, linger expiry. Call
+    /// [`wait`](Listener::wait) between turns, or use
+    /// [`run_until_closed`](Listener::run_until_closed).
+    pub fn poll_once(&mut self) -> io::Result<()> {
+        self.drain_ctrl()?;
+        self.drain_data()?;
+        let now = self.clock.now();
+        if let Some(conn) = &mut self.conn {
+            if conn.recv.poll_at().is_some_and(|t| t <= now) {
+                conn.recv.on_poll(now);
+            }
+            match conn.state {
+                ConnState::Established => {
+                    if now.since(conn.last_heard) > self.cfg.idle_timeout {
+                        let silence = wall(now.since(conn.last_heard));
+                        self.registry.count(Metric::SessionPeerDeaths, 1);
+                        self.drop_conn();
+                        self.died = Some(SessionError::PeerDead {
+                            silence,
+                            pending: Vec::new(),
+                            path_health: PathHealth::default(),
+                        });
+                    }
+                }
+                ConnState::TimeWait { until } => {
+                    if now >= until {
+                        self.finalize_conn();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn drop_conn(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.registry.gauge_add(Gauge::SessionsActive, -1);
+            self.registry
+                .gauge_add(Gauge::SessionReasmBytes, -(conn.reasm_bytes as i64));
+        }
+    }
+
+    fn finalize_conn(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.registry.gauge_add(Gauge::SessionsActive, -1);
+            self.registry
+                .gauge_add(Gauge::SessionReasmBytes, -(conn.reasm_bytes as i64));
+            let mut delivered = conn.delivered;
+            delivered.sort_unstable();
+            self.finished.push(SessionReport {
+                client_sid: conn.client_sid,
+                server_sid: conn.server_sid,
+                delivered,
+                digests: conn.digests,
+                goodput: conn.recv.stats.goodput_bytes,
+                peak_reasm_bytes: conn.peak_reasm_bytes,
+            });
+        }
+    }
+
+    fn drain_ctrl(&mut self) -> io::Result<()> {
+        let mut dgrams = std::mem::take(&mut self.dgrams);
+        dgrams.clear();
+        let report = self
+            .ctrl
+            .recv_batch(self.cfg.io.datagram_budget + 64, &mut dgrams)?;
+        self.registry
+            .count(Metric::WireDatagramsRx, report.datagrams as u64);
+        self.registry
+            .count(Metric::WireRecvBatches, report.syscalls as u64);
+        for (bytes, src) in dgrams.drain(..) {
+            for frame in FrameIter::new(&bytes) {
+                match frame {
+                    Ok((FrameKind::Ctrl, body)) => self.on_ctrl_frame(src, body)?,
+                    Ok((FrameKind::Mtp, _)) => {
+                        self.registry.count(Metric::SessionOrphanFrames, 1);
+                    }
+                    Err(_) => {
+                        self.registry.count(Metric::WireParseErrors, 1);
+                    }
+                }
+            }
+        }
+        self.dgrams = dgrams;
+        Ok(())
+    }
+
+    fn on_ctrl_frame(&mut self, src: SocketAddrV4, body: &[u8]) -> io::Result<()> {
+        let Ok((ctrl, used)) = SessionCtrl::parse_sealed(body) else {
+            self.registry.count(Metric::WireParseErrors, 1);
+            return Ok(());
+        };
+        if used != body.len() {
+            self.registry.count(Metric::WireParseErrors, 1);
+            return Ok(());
+        }
+        self.registry.count(Metric::WireFramesRx, 1);
+        if ctrl.version != SESSION_WIRE_VERSION {
+            // A version this listener does not speak: ignore it. The
+            // connector keeps retrying and times out with a typed
+            // handshake error — the defined cross-version outcome.
+            self.registry.count(Metric::SessionCtrlRejected, 1);
+            return Ok(());
+        }
+        match ctrl.kind {
+            CtrlKind::Hello => self.on_hello(src, &ctrl)?,
+            CtrlKind::Ping => {
+                let (matches, server_sid) = match &mut self.conn {
+                    Some(c) if c.client_sid == ctrl.session_id => {
+                        c.last_heard = self.clock.now();
+                        c.ctrl_peer = src;
+                        (true, c.server_sid)
+                    }
+                    _ => (false, 0),
+                };
+                if matches {
+                    self.registry.count(Metric::SessionKeepaliveRx, 1);
+                    let mut pong = SessionCtrl::new(CtrlKind::Pong, ctrl.session_id, server_sid);
+                    pong.src_port = self.cfg.server_port;
+                    pong.dst_port = self.cfg.client_port;
+                    pong.seq = ctrl.seq;
+                    self.send_ctrl_to(src, &pong)?;
+                    self.registry.count(Metric::SessionKeepaliveTx, 1);
+                } else {
+                    self.registry.count(Metric::SessionCtrlRejected, 1);
+                }
+            }
+            CtrlKind::Fin => self.on_fin(src, &ctrl)?,
+            // HELLO-ACK / FIN-ACK / PONG arriving at a listener are
+            // misdirected (or reflected) frames.
+            _ => {
+                self.registry.count(Metric::SessionCtrlRejected, 1);
+            }
+        }
+        Ok(())
+    }
+
+    fn hello_ack(&self, client_sid: u64, server_sid: u64, seq: u32) -> io::Result<SessionCtrl> {
+        let mut ack = SessionCtrl::new(CtrlKind::HelloAck, client_sid, server_sid);
+        ack.src_port = self.cfg.server_port;
+        ack.dst_port = self.cfg.client_port;
+        ack.seq = seq;
+        ack.ports = self
+            .pathlet_addrs()?
+            .iter()
+            .map(SocketAddrV4::port)
+            .collect();
+        Ok(ack)
+    }
+
+    fn on_hello(&mut self, src: SocketAddrV4, hello: &SessionCtrl) -> io::Result<()> {
+        match &mut self.conn {
+            // Duplicate HELLO of the live session (first HELLO-ACK lost,
+            // or a backoff retry crossing it): idempotent re-ack.
+            Some(c) if c.client_sid == hello.session_id => {
+                c.last_heard = self.clock.now();
+                c.ctrl_peer = src;
+                let server_sid = c.server_sid;
+                self.registry.count(Metric::SessionHelloRx, 1);
+                let ack = self.hello_ack(hello.session_id, server_sid, hello.seq)?;
+                self.send_ctrl_to(src, &ack)?;
+            }
+            // A different connector while a session is live: refuse
+            // silently (bounded state — no queue of half-open peers).
+            Some(_) => {
+                self.registry.count(Metric::SessionCtrlRejected, 1);
+            }
+            None => {
+                self.registry.count(Metric::SessionHelloRx, 1);
+                let now = self.clock.now();
+                let server_sid = self.rng.next_u64() | 1;
+                self.conn = Some(Conn {
+                    client_sid: hello.session_id,
+                    server_sid,
+                    ctrl_peer: src,
+                    state: ConnState::Established,
+                    recv: MtpReceiver::new(self.cfg.server_port)
+                        .with_sack_redundancy(self.cfg.io.sack_redundancy)
+                        .with_gc_linger(self.cfg.io.gc_linger),
+                    reasm: HashMap::new(),
+                    reasm_bytes: 0,
+                    peak_reasm_bytes: 0,
+                    delivered: Vec::new(),
+                    digests: Vec::new(),
+                    last_heard: now,
+                });
+                self.registry.gauge_add(Gauge::SessionsActive, 1);
+                self.died = None;
+                let ack = self.hello_ack(hello.session_id, server_sid, hello.seq)?;
+                self.send_ctrl_to(src, &ack)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_fin(&mut self, src: SocketAddrV4, fin: &SessionCtrl) -> io::Result<()> {
+        let now = self.clock.now();
+        let (acked, server_sid) = match &mut self.conn {
+            Some(c) if c.client_sid == fin.session_id => {
+                c.last_heard = now;
+                c.ctrl_peer = src;
+                if matches!(c.state, ConnState::Established) {
+                    c.state = ConnState::TimeWait {
+                        until: now + self.cfg.linger,
+                    };
+                }
+                (true, c.server_sid)
+            }
+            _ => (false, 0),
+        };
+        if acked {
+            self.registry.count(Metric::SessionFinRx, 1);
+            let mut ack = SessionCtrl::new(CtrlKind::FinAck, fin.session_id, server_sid);
+            ack.src_port = self.cfg.server_port;
+            ack.dst_port = self.cfg.client_port;
+            ack.seq = fin.seq;
+            self.send_ctrl_to(src, &ack)?;
+        } else {
+            // A FIN for a session already finalized (linger expired):
+            // nothing to ack with; the closer's retries are bounded.
+            self.registry.count(Metric::SessionCtrlRejected, 1);
+        }
+        Ok(())
+    }
+
+    fn drain_data(&mut self) -> io::Result<()> {
+        let mut dgrams = std::mem::take(&mut self.dgrams);
+        // Open ACK datagram per (socket, peer) this round.
+        let mut acks: Vec<(usize, SocketAddrV4, Vec<Vec<u8>>)> = Vec::new();
+        for p in 0..self.socks.len() {
+            dgrams.clear();
+            let report = self.socks[p].recv_batch(self.cfg.io.datagram_budget + 64, &mut dgrams)?;
+            self.registry
+                .count(Metric::WireDatagramsRx, report.datagrams as u64);
+            self.registry
+                .count(Metric::WireRecvBatches, report.syscalls as u64);
+            for (bytes, src) in dgrams.drain(..) {
+                self.on_data_datagram(p, src, &bytes, &mut acks)?;
+            }
+        }
+        self.dgrams = dgrams;
+        // Flush coalesced ACKs back out the sockets they arrived on.
+        for (p, peer, out) in acks {
+            let sends: Vec<(SocketAddrV4, &[u8])> =
+                out.iter().map(|d| (peer, d.as_slice())).collect();
+            let report = self.socks[p].send_batch(&sends)?;
+            self.registry
+                .count(Metric::WireDatagramsTx, report.datagrams as u64);
+            self.registry
+                .count(Metric::WireSendBatches, report.syscalls as u64);
+        }
+        Ok(())
+    }
+
+    fn on_data_datagram(
+        &mut self,
+        p: usize,
+        src: SocketAddrV4,
+        bytes: &[u8],
+        acks: &mut Vec<(usize, SocketAddrV4, Vec<Vec<u8>>)>,
+    ) -> io::Result<()> {
+        for frame in FrameIter::new(bytes) {
+            let body = match frame {
+                Ok((FrameKind::Mtp, body)) => body,
+                Ok((FrameKind::Ctrl, _)) => {
+                    // Control belongs on the control socket.
+                    self.registry.count(Metric::SessionCtrlRejected, 1);
+                    continue;
+                }
+                Err(_) => {
+                    self.registry.count(Metric::WireParseErrors, 1);
+                    break;
+                }
+            };
+            let (mut hdr, used, payload_ok) = match MtpHeader::parse_sealed(body) {
+                Ok(v) => v,
+                Err(_) => {
+                    self.registry.count(Metric::WireParseErrors, 1);
+                    continue;
+                }
+            };
+            self.registry.count(Metric::WireFramesRx, 1);
+            if hdr.pkt_type != PktType::Data {
+                continue;
+            }
+            let Some(conn) = &mut self.conn else {
+                // No session owns this data (it died, or never was):
+                // count and drop — no ACK keeps the sender honest.
+                self.registry.count(Metric::SessionOrphanFrames, 1);
+                continue;
+            };
+            if !matches!(conn.state, ConnState::Established) {
+                self.registry.count(Metric::SessionOrphanFrames, 1);
+                continue;
+            }
+            let data = &body[used..];
+            let end = hdr.pkt_offset as u64 + hdr.pkt_len as u64;
+            if data.len() != hdr.pkt_len as usize || end > hdr.msg_len_bytes as u64 {
+                self.registry.count(Metric::WireParseErrors, 1);
+                continue;
+            }
+            if !payload_ok {
+                // Trustworthy header, untrustworthy payload: drop with
+                // no ACK, exactly as the sim sink does, and the sender
+                // repairs it like any loss.
+                self.registry.count(Metric::WirePayloadCsumFail, 1);
+                continue;
+            }
+            // Reassembly admission: a message not yet buffered only
+            // starts reassembling if its whole length fits the cap.
+            // Refusing means no `on_data`, hence no ACK — the sender
+            // retransmits once delivery has drained room. An empty
+            // buffer always admits (progress guarantee).
+            let msg_new = !conn.reasm.contains_key(&hdr.msg_id.0);
+            if msg_new
+                && !conn.reasm.is_empty()
+                && conn.reasm_bytes + hdr.msg_len_bytes as u64 > self.cfg.caps.max_reassembly_bytes
+            {
+                self.registry.count(Metric::SessionReasmRefused, 1);
+                continue;
+            }
+            conn.last_heard = self.clock.now();
+            // This driver is the first-hop network: stamp which pathlet
+            // (socket) the packet actually used, so the sender's
+            // per-pathlet controllers attribute feedback to real ports.
+            hdr.path_feedback.clear();
+            hdr.path_feedback.push(PathFeedback {
+                path: PathletId(p as u16),
+                tc: hdr.tc,
+                feedback: Feedback::EcnMark { ce: false },
+            });
+            let now = self.clock.now();
+            let (ack, newly) = conn.recv.on_data(now, &hdr, EcnCodepoint::Ect0);
+            if newly > 0 {
+                if msg_new {
+                    conn.reasm_bytes += hdr.msg_len_bytes as u64;
+                    conn.peak_reasm_bytes = conn.peak_reasm_bytes.max(conn.reasm_bytes);
+                    self.registry
+                        .gauge_add(Gauge::SessionReasmBytes, hdr.msg_len_bytes as i64);
+                }
+                let buf = conn
+                    .reasm
+                    .entry(hdr.msg_id.0)
+                    .or_insert_with(|| vec![0; hdr.msg_len_bytes as usize]);
+                buf[hdr.pkt_offset as usize..end as usize].copy_from_slice(data);
+            }
+            self.queue_ack(p, src, ack, acks)?;
+            self.drain_deliveries();
+        }
+        Ok(())
+    }
+
+    fn queue_ack(
+        &mut self,
+        p: usize,
+        peer: SocketAddrV4,
+        ack: Packet,
+        acks: &mut Vec<(usize, SocketAddrV4, Vec<Vec<u8>>)>,
+    ) -> io::Result<()> {
+        let Headers::Mtp(ack_hdr) = ack.headers else {
+            return Ok(());
+        };
+        let budget = self.cfg.io.datagram_budget;
+        let pos = match acks.iter().position(|(sp, sa, _)| *sp == p && *sa == peer) {
+            Some(i) => i,
+            None => {
+                acks.push((p, peer, vec![Vec::new()]));
+                acks.len() - 1
+            }
+        };
+        let slot = &mut acks[pos].2;
+        let open = slot.last_mut().expect("always one open datagram");
+        match append_frame(open, budget, &ack_hdr, &[]) {
+            Ok(true) => {}
+            Ok(false) => {
+                slot.push(Vec::new());
+                let open = slot.last_mut().expect("just pushed");
+                append_frame(open, budget, &ack_hdr, &[]).map_err(invalid)?;
+            }
+            Err(e) => return Err(invalid(e)),
+        }
+        self.registry.count(Metric::WireFramesTx, 1);
+        mtp_sim::pool::recycle_header(ack_hdr);
+        Ok(())
+    }
+
+    fn drain_deliveries(&mut self) {
+        let Some(conn) = &mut self.conn else {
+            return;
+        };
+        let mut ev = std::mem::take(&mut self.ev_buf);
+        conn.recv.drain_events(&mut ev);
+        for d in ev.drain(..) {
+            let buf = conn.reasm.remove(&d.id.0).unwrap_or_default();
+            debug_assert_eq!(buf.len(), d.bytes as usize);
+            conn.reasm_bytes -= buf.len() as u64;
+            self.registry
+                .gauge_add(Gauge::SessionReasmBytes, -(buf.len() as i64));
+            conn.digests
+                .push((d.id.0, d.bytes, payload::message_digest(&buf)));
+            conn.delivered.push((d.id.0, d.bytes));
+        }
+        self.ev_buf = ev;
+    }
+
+    /// Block until any socket is readable or `max_wait` passes.
+    pub fn wait(&mut self, max_wait: std::time::Duration) -> io::Result<()> {
+        let mut timeout = max_wait;
+        if let Some(conn) = &mut self.conn {
+            let now = self.clock.now();
+            if let Some(t) = conn.recv.poll_at() {
+                timeout = timeout.min(until(now, t));
+            }
+            if let ConnState::TimeWait { until: u } = conn.state {
+                timeout = timeout.min(until(now, u));
+            }
+        }
+        if !timeout.is_zero() {
+            let mut socks: Vec<&BatchSocket> = self.socks.iter().collect();
+            socks.push(&self.ctrl);
+            wait_readable(&socks, timeout)?;
+        }
+        Ok(())
+    }
+
+    /// Serve until one full session lifecycle completes (HELLO through
+    /// FIN and linger) and return its report; a peer death or the wall
+    /// deadline is a typed error. The serve-until-sender-says-done side
+    /// channel is gone — the protocol itself says when serving is over.
+    pub fn run_until_closed(&mut self, deadline: Instant) -> Result<SessionReport, SessionError> {
+        loop {
+            self.poll_once()?;
+            if let Some(report) = self.finished.pop() {
+                return Ok(report);
+            }
+            if let Some(err) = self.died.take() {
+                return Err(err);
+            }
+            if Instant::now() >= deadline {
+                return Err(SessionError::WallDeadline {
+                    outstanding: self.conn.as_ref().map_or(0, |c| c.reasm.len()),
+                });
+            }
+            self.wait(std::time::Duration::from_millis(5))?;
+        }
+    }
+}

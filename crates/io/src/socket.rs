@@ -9,11 +9,23 @@
 //! [`wait_readable`], with a timeout derived from the endpoint cores'
 //! `poll_at()` deadlines.
 
+use std::cell::RefCell;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddrV4, UdpSocket};
 use std::time::Duration;
 
 use crate::sys::{self, RecvSlot};
+
+thread_local! {
+    /// Reusable receive scratch, per thread: the `recvmmsg` slot array
+    /// and the fallback datagram buffer. Sized to the largest `max_size`
+    /// a thread has asked for and reused forever after — allocating
+    /// `BATCH × max_size` fresh per [`BatchSocket::recv_batch`] call
+    /// would dominate the process's transient heap (32 × 64 KiB = 2 MiB
+    /// per poll round).
+    static RECV_SLOTS: RefCell<Vec<RecvSlot>> = const { RefCell::new(Vec::new()) };
+    static RECV_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// What one [`BatchSocket::send_batch`] call did, for telemetry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -118,39 +130,49 @@ impl BatchSocket {
     ) -> io::Result<SendReport> {
         let mut report = SendReport::default();
         if self.use_mmsg {
-            let mut slots: Vec<RecvSlot> = (0..sys::BATCH)
-                .map(|_| RecvSlot::with_capacity(max_size))
-                .collect();
-            loop {
-                match self.recv_once_mmsg(&mut slots) {
-                    Ok(n) => {
-                        report.datagrams += n;
-                        report.syscalls += 1;
-                        for slot in slots.iter().take(n) {
-                            out.push((slot.bytes().to_vec(), slot.addr));
+            return RECV_SLOTS.with(|cell| {
+                let mut slots = cell.borrow_mut();
+                if slots.len() < sys::BATCH || slots[0].buf.len() < max_size {
+                    *slots = (0..sys::BATCH)
+                        .map(|_| RecvSlot::with_capacity(max_size))
+                        .collect();
+                }
+                loop {
+                    match self.recv_once_mmsg(&mut slots) {
+                        Ok(n) => {
+                            report.datagrams += n;
+                            report.syscalls += 1;
+                            for slot in slots.iter().take(n) {
+                                out.push((slot.bytes().to_vec(), slot.addr));
+                            }
+                            if n < sys::BATCH {
+                                return Ok(report);
+                            }
                         }
-                        if n < sys::BATCH {
-                            return Ok(report);
-                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(report),
+                        Err(e) => return Err(e),
                     }
+                }
+            });
+        }
+        RECV_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            if buf.len() < max_size {
+                buf.resize(max_size, 0);
+            }
+            loop {
+                match self.sock.recv_from(&mut buf) {
+                    Ok((len, std::net::SocketAddr::V4(src))) => {
+                        report.datagrams += 1;
+                        report.syscalls += 1;
+                        out.push((buf[..len].to_vec(), src));
+                    }
+                    Ok((_, std::net::SocketAddr::V6(_))) => {}
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(report),
                     Err(e) => return Err(e),
                 }
             }
-        }
-        let mut buf = vec![0u8; max_size];
-        loop {
-            match self.sock.recv_from(&mut buf) {
-                Ok((len, std::net::SocketAddr::V4(src))) => {
-                    report.datagrams += 1;
-                    report.syscalls += 1;
-                    out.push((buf[..len].to_vec(), src));
-                }
-                Ok((_, std::net::SocketAddr::V6(_))) => {}
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(report),
-                Err(e) => return Err(e),
-            }
-        }
+        })
     }
 
     #[cfg(target_os = "linux")]

@@ -1,0 +1,244 @@
+//! The seeded chaos soak as a test, plus the memory-bound proof.
+//!
+//! `run_soak_suite` drives every scenario (handshake loss, FIN loss,
+//! blackhole flap, peer kill/restart) and classifies each run; here the
+//! suite must report **every** run terminating in exactly-once delivery
+//! or a typed session error — never a hang, a leaked session, or a
+//! busted reassembly cap. Seeds differ from `bin/chaos_soak.rs` so the
+//! test and the bench cover different fault interleavings.
+//!
+//! The second test pins the admission-cap guarantee with a counting
+//! global allocator: a transfer an order of magnitude larger than the
+//! configured buffered/reassembly caps must keep the whole process's
+//! live-heap growth far below the transfer size. Without the caps the
+//! sender would buffer every submitted payload and the listener would
+//! reassemble everything at once — either alone would blow the budget.
+//!
+//! This lives in an integration test so the `unsafe` counting allocator
+//! stays outside the library's `deny(unsafe_code)`, mirroring
+//! `crates/core/tests/alloc.rs`.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::SocketAddrV4;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mtp_io::{
+    golden_session_config, loopback_available, payload, run_soak_suite, IoConfig, Listener,
+    SenderSession, SessionConfig, SessionError, SessionReport,
+};
+use mtp_sim::time::Duration as SimDuration;
+use mtp_wire::MsgId;
+
+/// Live heap bytes and their high-water mark, process-wide. The
+/// transfer spans threads (sender, listener), so the accounting must be
+/// global — which is exactly what we want to bound.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(bytes: usize) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            note_alloc(new_size - layout.size());
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Both tests open dozens of sockets and one watches global allocation;
+/// running them concurrently would make the memory measurement see the
+/// suite's buffers.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn wire_ok(test: &str) -> bool {
+    if loopback_available() {
+        return true;
+    }
+    eprintln!("NOTICE: UDP loopback unavailable; skipping {test}");
+    false
+}
+
+/// Every scenario × seed run terminates in one of the two allowed
+/// buckets, with nothing leaked and reassembly under its cap — the
+/// suite's own per-run classification, asserted wholesale.
+#[test]
+fn chaos_suite_terminates_exactly_once_or_typed() {
+    if !wire_ok("chaos_suite_terminates_exactly_once_or_typed") {
+        return;
+    }
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let outcome = run_soak_suite(&[5, 77], Duration::from_secs(20)).expect("soak suite runs");
+    for run in &outcome.runs {
+        eprintln!(
+            "  {} seed {}: {} ({}/{} delivered, hs {}, fin {}, leaked {})",
+            run.scenario,
+            run.seed,
+            run.outcome,
+            run.delivered,
+            run.submitted,
+            run.handshake_rounds,
+            run.close_rounds,
+            run.sessions_leaked,
+        );
+    }
+    assert!(
+        outcome.pass,
+        "a chaos run ended outside the allowed terminal states (see log above)"
+    );
+    // The stochastic data-plane faults are asserted in aggregate: across
+    // the whole suite the relay must actually have dropped, duplicated,
+    // reordered, or blackholed something, or the soak soaked nothing.
+    let faults: u64 = outcome
+        .runs
+        .iter()
+        .map(|r| r.relay_dropped + r.relay_duplicated + r.relay_reordered + r.relay_blackholed)
+        .sum();
+    assert!(
+        faults > 0,
+        "no data-plane fault ever fired across the suite"
+    );
+}
+
+/// Session config for the memory test: tight admission caps so a large
+/// transfer must stream through bounded buffers.
+fn capped_config(seed: u64) -> SessionConfig {
+    let mut scfg = golden_session_config(&IoConfig::default());
+    scfg.seed = seed;
+    scfg.idle_timeout = SimDuration::from_micros(400_000);
+    scfg.caps.max_buffered_bytes = 128 * 1024;
+    scfg.caps.max_reassembly_bytes = 64 * 1024;
+    scfg
+}
+
+fn run_capped_transfer(
+    scfg: &SessionConfig,
+    server: SocketAddrV4,
+    sizes: &[u32],
+    deadline: Instant,
+) -> Result<Vec<u64>, SessionError> {
+    let mut sess = SenderSession::connect(scfg, server)?;
+    let mut ids = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        loop {
+            let id = sess.next_msg_id();
+            let mut buf = vec![0u8; bytes as usize];
+            payload::fill(MsgId(id), 0, &mut buf);
+            match sess.try_send(buf) {
+                Ok(got) => {
+                    ids.push(got.0);
+                    break;
+                }
+                Err(SessionError::Backpressure { .. }) => {
+                    assert!(Instant::now() < deadline, "backpressure never drained");
+                    sess.poll()?;
+                    sess.wait(Duration::from_millis(2))?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    sess.flush(deadline)?;
+    sess.close(deadline)?;
+    Ok(ids)
+}
+
+fn assert_delivered_exactly(ids: &[u64], report: &SessionReport) {
+    let mut want = ids.to_vec();
+    want.sort_unstable();
+    let got: Vec<u64> = report.delivered.iter().map(|&(id, _)| id).collect();
+    assert_eq!(got, want, "delivered ids diverge from submissions");
+    let mut scratch = Vec::new();
+    for &(id, bytes, digest) in &report.digests {
+        assert_eq!(
+            digest,
+            payload::synth_message_digest(MsgId(id), bytes, &mut scratch),
+            "content digest mismatch on msg {id}"
+        );
+    }
+}
+
+/// A ~5.8 MB transfer through 128 KiB buffered / 64 KiB reassembly caps
+/// must bound the process's live-heap growth to a small multiple of the
+/// caps — an order of magnitude under the transfer size. Uncapped
+/// buffering on either side would hold the whole transfer at once and
+/// blow the budget. (The caps × loss interaction is soaked separately
+/// by the relay scenarios; this runs direct so the transfer is
+/// RTT-bound, not retransmission-bound.)
+#[test]
+fn admission_caps_bound_process_memory() {
+    if !wire_ok("admission_caps_bound_process_memory") {
+        return;
+    }
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let scfg = capped_config(99);
+
+    // 144 messages, 24–56 KiB each: every message is a multi-packet
+    // reassembly, several exceed half the reassembly cap, and the total
+    // (~5.8 MB) dwarfs both caps by ~40×.
+    let sizes: Vec<u32> = (0..144u32)
+        .map(|i| 24 * 1024 + (i.wrapping_mul(2654435761) % (32 * 1024)))
+        .collect();
+    let total: u64 = sizes.iter().map(|&b| b as u64).sum();
+
+    let mut listener = Listener::bind(&scfg).expect("bind listener");
+    let server = listener.hello_addr().expect("ctrl addr");
+    let rx = std::thread::spawn(move || {
+        let res = listener.run_until_closed(deadline);
+        (listener, res)
+    });
+
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+
+    let ids = run_capped_transfer(&scfg, server, &sizes, deadline).expect("capped transfer");
+
+    let (listener, report) = rx.join().expect("listener thread");
+    let report = report.expect("listener completed the session");
+    let peak_delta = PEAK.load(Ordering::Relaxed).saturating_sub(baseline) as u64;
+
+    assert_eq!(listener.active_sessions(), 0, "session leaked");
+    assert_delivered_exactly(&ids, &report);
+    assert!(
+        report.peak_reasm_bytes <= scfg.caps.max_reassembly_bytes,
+        "reassembly held {} bytes, cap is {}",
+        report.peak_reasm_bytes,
+        scfg.caps.max_reassembly_bytes
+    );
+    // The whole process — sender payload buffers, listener reassembly,
+    // per-thread receive scratch, frames — must peak far below the
+    // transfer. Either side buffering without its cap would hold the
+    // transfer's full size and blow straight through this.
+    let budget = total / 3;
+    eprintln!("transfer {total} B, live-heap peak delta {peak_delta} B, budget {budget} B");
+    assert!(
+        peak_delta < budget,
+        "live heap grew {peak_delta} B during a {total} B transfer (budget {budget} B): \
+         an admission cap is not bounding memory"
+    );
+}

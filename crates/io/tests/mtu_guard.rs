@@ -11,7 +11,7 @@
 //! [`FrameError::FrameTooBig`] rather than silently truncated or split.
 
 use mtp_core::MtpConfig;
-use mtp_io::frame::{append_frame, FrameIter, FRAME_PREFIX_LEN};
+use mtp_io::frame::{append_frame, FrameIter, FrameKind, FRAME_OVERHEAD};
 use mtp_io::{FrameError, DEFAULT_DATAGRAM_BUDGET};
 use mtp_wire::{
     Feedback, MsgId, MtpHeader, PathExclude, PathFeedback, PathletId, PktNum, PktType, SackEntry,
@@ -87,17 +87,18 @@ fn worst_case_headers_fit_default_budget() {
     assert!(data.sealed_wire_len() <= data_bound);
     assert!(ack.sealed_wire_len() <= ack_bound);
 
-    // ...and both worst frames (with payload and prefix) fit the budget.
+    // ...and both worst frames (with payload, prefix, and kind byte)
+    // fit the budget.
     assert!(
-        FRAME_PREFIX_LEN + data_bound + mtu_payload <= DEFAULT_DATAGRAM_BUDGET,
+        FRAME_OVERHEAD + data_bound + mtu_payload <= DEFAULT_DATAGRAM_BUDGET,
         "worst data frame ({}) exceeds the datagram budget ({})",
-        FRAME_PREFIX_LEN + data_bound + mtu_payload,
+        FRAME_OVERHEAD + data_bound + mtu_payload,
         DEFAULT_DATAGRAM_BUDGET
     );
     assert!(
-        FRAME_PREFIX_LEN + ack_bound <= DEFAULT_DATAGRAM_BUDGET,
+        FRAME_OVERHEAD + ack_bound <= DEFAULT_DATAGRAM_BUDGET,
         "worst ACK frame ({}) exceeds the datagram budget ({})",
-        FRAME_PREFIX_LEN + ack_bound,
+        FRAME_OVERHEAD + ack_bound,
         DEFAULT_DATAGRAM_BUDGET
     );
 }
@@ -116,17 +117,19 @@ fn worst_case_frames_round_trip_through_coalescing() {
     assert!(append_frame(&mut dgram, DEFAULT_DATAGRAM_BUDGET, &data, &payload).expect("data fits"));
     assert!(dgram.len() <= DEFAULT_DATAGRAM_BUDGET);
 
-    let frames: Vec<&[u8]> = FrameIter::new(&dgram)
+    let frames: Vec<(FrameKind, &[u8])> = FrameIter::new(&dgram)
         .collect::<Result<_, _>>()
         .expect("clean iteration");
     assert_eq!(frames.len(), 2);
-    let (h0, _, _) = MtpHeader::parse_sealed(frames[0]).expect("ack parses");
+    assert_eq!(frames[0].0, FrameKind::Mtp);
+    let (h0, _, _) = MtpHeader::parse_sealed(frames[0].1).expect("ack parses");
     assert_eq!(h0.nack.len(), 255);
     assert_eq!(h0.sack.len(), 9);
-    let (h1, used, payload_ok) = MtpHeader::parse_sealed(frames[1]).expect("data parses");
+    assert_eq!(frames[1].0, FrameKind::Mtp);
+    let (h1, used, payload_ok) = MtpHeader::parse_sealed(frames[1].1).expect("data parses");
     assert_eq!(h1.path_exclude.len(), 255);
     assert!(payload_ok, "descriptor checksum must hold");
-    assert_eq!(&frames[1][used..], &payload[..]);
+    assert_eq!(&frames[1].1[used..], &payload[..]);
 }
 
 /// A frame that cannot fit even an empty datagram is a hard error at
@@ -152,10 +155,10 @@ fn over_budget_frame_is_rejected_at_seal_time() {
         "a rejected frame must leave no bytes behind"
     );
 
-    // One byte more of budget (covering the prefix) and it fits again.
+    // Enough extra budget for the prefix and kind byte and it fits.
     let ok = append_frame(
         &mut dgram,
-        FRAME_PREFIX_LEN + data.sealed_wire_len() + mtu_payload,
+        FRAME_OVERHEAD + data.sealed_wire_len() + mtu_payload,
         &data,
         &payload,
     )

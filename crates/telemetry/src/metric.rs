@@ -94,6 +94,22 @@ define_ids!(
     (WireRecvBatches, "wire_recv_batches", "Receive syscalls that returned at least one datagram."),
     (WireParseErrors, "wire_parse_errors", "Frames rejected by the sealed-header parse on receive."),
     (WirePayloadCsumFail, "wire_payload_csum_fail", "Frames whose header verified but whose payload checksum did not."),
+    // ---- wire sessions ---------------------------------------------------
+    //
+    // The session lifecycle layer in `mtp-io`: handshake, liveness,
+    // graceful close, and bounded-resource admission.
+    (SessionHelloTx, "session_hello_tx", "HELLO frames sent by connectors (first try and retries)."),
+    (SessionHelloRx, "session_hello_rx", "HELLO frames accepted by listeners (duplicates included)."),
+    (SessionHandshakeRetries, "session_handshake_retries", "HELLO retransmissions after an unanswered handshake round."),
+    (SessionKeepaliveTx, "session_keepalive_tx", "PING probes sent into feedback silence."),
+    (SessionKeepaliveRx, "session_keepalive_rx", "PING/PONG probes received."),
+    (SessionFinTx, "session_fin_tx", "FIN frames sent (first try and retries)."),
+    (SessionFinRx, "session_fin_rx", "FIN frames received (duplicates re-acked from TIME-WAIT)."),
+    (SessionPeerDeaths, "session_peer_deaths", "Sessions declared dead after the idle timeout."),
+    (SessionBackpressure, "session_backpressure", "Submissions refused by the send-side admission caps."),
+    (SessionReasmRefused, "session_reasm_refused", "First-copy data packets refused (unACKed) by the reassembly-byte cap."),
+    (SessionCtrlRejected, "session_ctrl_rejected", "Session-control frames dropped: bad version, unknown session, or a busy listener."),
+    (SessionOrphanFrames, "session_orphan_frames", "Data frames that arrived with no live session to own them."),
 );
 
 define_ids!(
@@ -103,6 +119,8 @@ define_ids!(
     (LinksDown, "links_down", "Link directions currently administratively failed."),
     (NodesDown, "nodes_down", "Nodes currently crashed."),
     (MsgsInFlight, "msgs_in_flight", "Messages admitted at senders and not yet completed."),
+    (SessionsActive, "sessions_active", "Wire sessions currently established (or lingering in TIME-WAIT)."),
+    (SessionReasmBytes, "session_reasm_bytes", "Reassembly bytes currently held by a wire listener, governed by its admission cap."),
 );
 
 define_ids!(

@@ -38,6 +38,10 @@ pub enum WireError {
     BadIntegrityFlags(u8),
     /// A sealed header's CRC did not match its contents (corruption).
     BadHeaderCrc,
+    /// A session-control frame used an unknown kind discriminant.
+    BadCtrlKind(u8),
+    /// A session-control frame carried the reserved version byte 0.
+    BadCtrlVersion(u8),
 }
 
 impl fmt::Display for WireError {
@@ -62,6 +66,10 @@ impl fmt::Display for WireError {
                 write!(f, "unexpected integrity-flags byte {v:#04x}")
             }
             WireError::BadHeaderCrc => write!(f, "header CRC mismatch (corrupted header)"),
+            WireError::BadCtrlKind(k) => write!(f, "unknown session-control kind {k:#04x}"),
+            WireError::BadCtrlVersion(v) => {
+                write!(f, "invalid session-control version {v:#04x}")
+            }
         }
     }
 }

@@ -97,6 +97,7 @@ pub mod error;
 pub mod feedback;
 pub mod header;
 pub mod integrity;
+pub mod session;
 pub mod tcp;
 pub mod types;
 pub mod view;
@@ -106,6 +107,9 @@ pub use error::WireError;
 pub use feedback::{Feedback, PathFeedback};
 pub use header::{MtpHeader, PathExclude, SackEntry};
 pub use integrity::{crc16_ccitt, crc32, Crc16, INTEGRITY_SEALED, PAYLOAD_CSUM_LEN};
+pub use session::{
+    CtrlKind, SessionCtrl, SESSION_CTRL_CRC_LEN, SESSION_CTRL_FIXED_LEN, SESSION_WIRE_VERSION,
+};
 pub use tcp::{TcpFlags, TcpHeader, TCP_INTEGRITY_SEALED, TCP_SEALED_LEN};
 pub use types::{EcnCodepoint, EntityId, MsgId, PathletId, PktNum, PktType, TrafficClass};
 pub use view::MtpView;

@@ -26,9 +26,45 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 
 use mtp_wire::{
-    Feedback, MtpHeader, MtpView, PathExclude, PathFeedback, PathletId, PktNum, PktType, SackEntry,
-    TcpFlags, TcpHeader, TrafficClass, FIXED_HEADER_LEN, PAYLOAD_CSUM_LEN, TCP_SEALED_LEN,
+    CtrlKind, Feedback, MtpHeader, MtpView, PathExclude, PathFeedback, PathletId, PktNum, PktType,
+    SackEntry, SessionCtrl, TcpFlags, TcpHeader, TrafficClass, FIXED_HEADER_LEN, PAYLOAD_CSUM_LEN,
+    TCP_SEALED_LEN,
 };
+
+fn arb_ctrl_kind() -> impl Strategy<Value = CtrlKind> {
+    prop_oneof![
+        Just(CtrlKind::Hello),
+        Just(CtrlKind::HelloAck),
+        Just(CtrlKind::Fin),
+        Just(CtrlKind::FinAck),
+        Just(CtrlKind::Ping),
+        Just(CtrlKind::Pong),
+    ]
+}
+
+prop_compose! {
+    fn arb_session_ctrl()(
+        version in 1u8..255,
+        kind in arb_ctrl_kind(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        session_id in any::<u64>(),
+        peer_session_id in any::<u64>(),
+        seq in any::<u32>(),
+        ports in prop::collection::vec(any::<u16>(), 0..12),
+    ) -> SessionCtrl {
+        SessionCtrl {
+            version,
+            kind,
+            src_port,
+            dst_port,
+            session_id,
+            peer_session_id,
+            seq,
+            ports,
+        }
+    }
+}
 
 fn arb_feedback() -> impl Strategy<Value = Feedback> {
     prop_oneof![
@@ -368,5 +404,73 @@ proptest! {
         let _ = mtp_wire::decapsulate(&mutated);
         let cut = (wire.len() as f64 * cut_frac) as usize;
         let _ = mtp_wire::decapsulate(&wire[..cut]);
+    }
+
+    /// Invariant 1, session control: arbitrary bytes never panic the
+    /// session-control parser.
+    #[test]
+    fn arbitrary_bytes_never_panic_session_ctrl(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = SessionCtrl::parse_sealed(&bytes);
+    }
+
+    /// Session-control roundtrip: every valid frame survives
+    /// emit → parse byte-exactly and consumes its whole encoding.
+    #[test]
+    fn session_ctrl_roundtrips(ctrl in arb_session_ctrl()) {
+        let sealed = ctrl.to_sealed_bytes().unwrap();
+        let (back, used) = SessionCtrl::parse_sealed(&sealed).unwrap();
+        prop_assert_eq!(back, ctrl);
+        prop_assert_eq!(used, sealed.len());
+    }
+
+    /// Invariant 2, session control: up to 3 flips confined to the
+    /// structure-preserving region (everything but the port-count byte)
+    /// always fail the CRC.
+    #[test]
+    fn session_ctrl_fixed_flips_always_detected(
+        ctrl in arb_session_ctrl(),
+        raw in prop::collection::vec(any::<usize>(), 1..4),
+    ) {
+        let mut sealed = ctrl.to_sealed_bytes().unwrap();
+        // Byte 26 is the port count; flipping it re-frames the walk and
+        // is covered by the frame-length argument below.
+        let before_count = pick_bits(&raw[..1], 0, 26 * 8);
+        let after_count = pick_bits(&raw[1..], 27 * 8, sealed.len() * 8);
+        let bits: BTreeSet<usize> = before_count.union(&after_count).copied().collect();
+        flip_bits(&mut sealed, &bits);
+        prop_assert!(SessionCtrl::parse_sealed(&sealed).is_err());
+    }
+
+    /// Frame-length arm for session control: flips *anywhere* either
+    /// fail the parse or leave a consumed length that no longer spans
+    /// the frame — the check `mtp-io`'s frame splitter applies.
+    #[test]
+    fn session_ctrl_flips_never_verify_cleanly(
+        ctrl in arb_session_ctrl(),
+        raw in prop::collection::vec(any::<usize>(), 1..4),
+    ) {
+        let mut sealed = ctrl.to_sealed_bytes().unwrap();
+        let bits = sealed.len() * 8;
+        flip_bits(&mut sealed, &pick_bits(&raw, 0, bits));
+        let detected = match SessionCtrl::parse_sealed(&sealed) {
+            Err(_) => true,
+            Ok((_, used)) => used != sealed.len(),
+        };
+        prop_assert!(detected, "corrupted session-control frame verified cleanly");
+    }
+
+    /// Invariant 4, session control: truncation at any byte is rejected.
+    #[test]
+    fn session_ctrl_truncation_always_detected(
+        ctrl in arb_session_ctrl(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let sealed = ctrl.to_sealed_bytes().unwrap();
+        let cut = ((sealed.len() as f64) * cut_frac) as usize;
+        if cut < sealed.len() {
+            prop_assert!(SessionCtrl::parse_sealed(&sealed[..cut]).is_err());
+        }
     }
 }
