@@ -25,11 +25,12 @@
 //! The whole run is repeated and the two JSON payloads compared
 //! byte-for-byte to demonstrate the corruption pipeline is deterministic.
 
+use mtp_bench::study::{completion_stats, corrupted_frames, mtp_periodic, tcp_periodic, us};
 use mtp_bench::{write_json, ExperimentRecord};
-use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode};
 use mtp_faults::{diamond_mtp, diamond_tcp, Diamond, FaultDriver, FaultSchedule, Ledger, LinkSpec};
 use mtp_net::SwitchNode;
-use mtp_sim::time::{Duration, Time};
+use mtp_sim::time::Time;
 use mtp_tcp::{TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
 use serde::Serialize;
 
@@ -44,10 +45,6 @@ const RATE_OFF_US: u64 = 3_000;
 const RATE_PPM: u32 = 40_000;
 const RATE_FLIPS: u8 = 2;
 const HORIZON_US: u64 = 60_000;
-
-fn us(n: u64) -> Time {
-    Time::ZERO + Duration::from_micros(n)
-}
 
 /// Where each damaged frame was caught.
 #[derive(Serialize, PartialEq, Clone)]
@@ -85,14 +82,6 @@ struct CorruptionData {
     contenders: Vec<Contender>,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 /// The shared corruption script. Steady damage on both forward paths (so
 /// endpoint failover cannot dodge the storm by quarantining one pathlet),
 /// a bit-flip burst on the A reverse path (damaged ACKs), and a
@@ -106,14 +95,6 @@ fn storm(d: &Diamond) -> FaultSchedule {
     sched.bitflip_burst(us(400), d.a_rev, 12, 2, SEED ^ 0xC);
     sched.truncate_burst(us(900), d.b_fwd, 8, SEED ^ 0xD);
     sched
-}
-
-/// Frames damaged in flight, summed over all four path links.
-fn corrupted_frames(d: &Diamond) -> u64 {
-    [d.a_fwd, d.a_rev, d.b_fwd, d.b_rev]
-        .iter()
-        .map(|&l| d.sim.link_stats(l).corrupted_pkts)
-        .sum()
 }
 
 /// The corruption ledger: every damaged frame was either rejected by a
@@ -135,21 +116,13 @@ fn summarize(
     timeouts: u64,
     retransmissions: u64,
 ) -> Contender {
-    let mut mcts = Vec::new();
-    let mut completed = 0usize;
-    for (submitted, done) in records {
-        if let Some(t) = done {
-            completed += 1;
-            mcts.push(t.since(submitted).as_micros_f64());
-        }
-    }
-    mcts.sort_by(f64::total_cmp);
+    let s = completion_stats(records, None);
     audit(name, corrupted_frames, &detected);
     Contender {
         name,
-        completed,
-        p50_us: percentile(&mcts, 0.50),
-        p99_us: percentile(&mcts, 0.99),
+        completed: s.completed,
+        p50_us: s.p50_us,
+        p99_us: s.p99_us,
         corrupted_frames,
         detected,
         timeouts,
@@ -158,13 +131,10 @@ fn summarize(
 }
 
 fn run_mtp() -> Contender {
-    let schedule: Vec<ScheduledMsg> = (0..N_MSGS)
-        .map(|i| ScheduledMsg::new(us(SUBMIT_EVERY_US * i), MSG_BYTES as u32))
-        .collect();
     let mut d = diamond_mtp(
         SEED,
         MtpConfig::default().with_failover(),
-        schedule,
+        mtp_periodic(N_MSGS, MSG_BYTES, SUBMIT_EVERY_US),
         LinkSpec::path_default(),
     );
     let mut drv = FaultDriver::new(storm(&d));
@@ -194,14 +164,11 @@ fn run_mtp() -> Contender {
 }
 
 fn run_tcp(name: &'static str, cfg: TcpConfig) -> Contender {
-    let schedule: Vec<(Time, u64)> = (0..N_MSGS)
-        .map(|i| (us(SUBMIT_EVERY_US * i), MSG_BYTES))
-        .collect();
     let mut d = diamond_tcp(
         SEED,
         cfg,
         TcpWorkloadMode::Persistent,
-        schedule,
+        tcp_periodic(N_MSGS, MSG_BYTES, SUBMIT_EVERY_US),
         LinkSpec::path_default(),
     );
     let mut drv = FaultDriver::new(storm(&d));

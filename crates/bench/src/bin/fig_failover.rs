@@ -17,10 +17,11 @@
 //! two JSON payloads compared byte-for-byte to demonstrate the fault
 //! pipeline is deterministic.
 
+use mtp_bench::study::{completion_stats, mtp_periodic, tcp_periodic, us};
 use mtp_bench::{write_json, ExperimentRecord};
-use mtp_core::{MtpConfig, MtpSenderNode, ScheduledMsg};
+use mtp_core::{MtpConfig, MtpSenderNode};
 use mtp_faults::{diamond_mtp, diamond_tcp, Diamond, FaultDriver, FaultSchedule, Ledger, LinkSpec};
-use mtp_sim::time::{Duration, Time};
+use mtp_sim::time::Time;
 use mtp_sim::LinkFailMode;
 use mtp_tcp::{TcpConfig, TcpSenderNode, TcpWorkloadMode};
 use serde::Serialize;
@@ -32,10 +33,6 @@ const SUBMIT_EVERY_US: u64 = 50;
 const OUTAGE_START_US: u64 = 500;
 const OUTAGE_END_US: u64 = 2_500;
 const HORIZON_US: u64 = 60_000;
-
-fn us(n: u64) -> Time {
-    Time::ZERO + Duration::from_micros(n)
-}
 
 #[derive(Serialize, PartialEq, Clone)]
 struct Contender {
@@ -59,14 +56,6 @@ struct FailoverData {
     contenders: Vec<Contender>,
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 /// The shared fault script: path A blackholed in both directions for the
 /// outage window. Every contender runs against this exact schedule.
 fn outage(d: &Diamond) -> FaultSchedule {
@@ -87,39 +76,24 @@ fn summarize(
     timeouts: u64,
     retransmissions: u64,
 ) -> Contender {
-    let mut mcts = Vec::new();
-    let mut completed = 0usize;
-    let mut during = 0usize;
-    for (submitted, done) in records {
-        if let Some(t) = done {
-            completed += 1;
-            mcts.push(t.since(submitted).as_micros_f64());
-            if t > us(OUTAGE_START_US) && t < us(OUTAGE_END_US) {
-                during += 1;
-            }
-        }
-    }
-    mcts.sort_by(f64::total_cmp);
+    let s = completion_stats(records, Some((OUTAGE_START_US, OUTAGE_END_US)));
     Contender {
         name,
-        p50_us: percentile(&mcts, 0.50),
-        p99_us: percentile(&mcts, 0.99),
-        mct_cdf_us: mcts,
-        completed,
-        completed_during_outage: during,
+        p50_us: s.p50_us,
+        p99_us: s.p99_us,
+        mct_cdf_us: s.mct_us,
+        completed: s.completed,
+        completed_during_outage: s.during_window,
         timeouts,
         retransmissions,
     }
 }
 
 fn run_mtp() -> Contender {
-    let schedule: Vec<ScheduledMsg> = (0..N_MSGS)
-        .map(|i| ScheduledMsg::new(us(SUBMIT_EVERY_US * i), MSG_BYTES as u32))
-        .collect();
     let mut d = diamond_mtp(
         SEED,
         MtpConfig::default().with_failover(),
-        schedule,
+        mtp_periodic(N_MSGS, MSG_BYTES, SUBMIT_EVERY_US),
         LinkSpec::path_default(),
     );
     let mut drv = FaultDriver::new(outage(&d));
@@ -139,14 +113,11 @@ fn run_mtp() -> Contender {
 }
 
 fn run_tcp(name: &'static str, cfg: TcpConfig) -> Contender {
-    let schedule: Vec<(Time, u64)> = (0..N_MSGS)
-        .map(|i| (us(SUBMIT_EVERY_US * i), MSG_BYTES))
-        .collect();
     let mut d = diamond_tcp(
         SEED,
         cfg,
         TcpWorkloadMode::Persistent,
-        schedule,
+        tcp_periodic(N_MSGS, MSG_BYTES, SUBMIT_EVERY_US),
         LinkSpec::path_default(),
     );
     let mut drv = FaultDriver::new(outage(&d));

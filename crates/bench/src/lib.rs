@@ -25,6 +25,7 @@ pub mod fabric;
 pub mod hotpath;
 pub mod output;
 pub mod parallel;
+pub mod study;
 pub mod topo;
 
 pub use output::{write_json, ExperimentRecord};

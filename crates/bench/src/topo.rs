@@ -20,34 +20,10 @@ pub const CLIENT_ADDR: u16 = 1;
 /// Server host address used by the two-path builders.
 pub const SERVER_ADDR: u16 = 2;
 
-/// One parallel path's parameters.
-#[derive(Debug, Clone, Copy)]
-pub struct PathSpec {
-    /// Link rate.
-    pub rate: Bandwidth,
-    /// One-way propagation delay.
-    pub delay: Duration,
-    /// Queue capacity in packets.
-    pub cap_pkts: usize,
-    /// ECN marking threshold in packets.
-    pub ecn_k: usize,
-}
-
-impl PathSpec {
-    /// The paper's standard queue: 128-packet buffer, ECN threshold 20.
-    pub fn new(rate: Bandwidth, delay: Duration) -> PathSpec {
-        PathSpec {
-            rate,
-            delay,
-            cap_pkts: 128,
-            ecn_k: 20,
-        }
-    }
-
-    fn link(&self) -> LinkCfg {
-        LinkCfg::ecn(self.rate, self.delay, self.cap_pkts, self.ecn_k)
-    }
-}
+/// One parallel path's parameters — the same spec the fault-study
+/// topologies use ([`mtp_faults::LinkSpec`]): rate + delay over the
+/// paper's standard 128-packet ECN(20) queue.
+pub type PathSpec = mtp_faults::LinkSpec;
 
 /// Handle to a built two-path topology.
 pub struct TwoPath {
@@ -185,37 +161,21 @@ fn build_two_path_network(
     stamp: bool,
     host: PathSpec,
 ) -> NetHandles {
-    let mut sw1 = SwitchNode::new(
-        "sw1",
-        Box::new(FanoutForwarder::new(
-            StaticRoutes::new().add(CLIENT_ADDR, PortId(0)),
-            vec![PortId(1), PortId(2)],
-            strategy,
-        )),
+    let p = mtp_faults::build_parallel_paths(
+        sim,
+        sender,
+        sink,
+        strategy,
+        Strategy::Fixed,
+        a,
+        b,
+        host,
+        stamp,
     );
-    if stamp {
-        sw1 = sw1
-            .with_stamp(PortId(1), Stamp::new(PathletId(1), StampKind::Presence))
-            .with_stamp(PortId(2), Stamp::new(PathletId(2), StampKind::Presence));
-    }
-    let sw1 = sim.add_node(Box::new(sw1));
-    let sw2 = sim.add_node(Box::new(SwitchNode::new(
-        "sw2",
-        Box::new(FanoutForwarder::new(
-            StaticRoutes::new().add(SERVER_ADDR, PortId(0)),
-            vec![PortId(1), PortId(2)],
-            Strategy::Fixed,
-        )),
-    )));
-
-    sim.connect(sender, PortId(0), sw1, PortId(0), host.link(), host.link());
-    let (path_a, _) = sim.connect(sw1, PortId(1), sw2, PortId(1), a.link(), a.link());
-    let (path_b, _) = sim.connect(sw1, PortId(2), sw2, PortId(2), b.link(), b.link());
-    sim.connect(sw2, PortId(0), sink, PortId(0), host.link(), host.link());
     NetHandles {
-        sw1,
-        path_a,
-        path_b,
+        sw1: p.sw1,
+        path_a: p.a_fwd,
+        path_b: p.b_fwd,
     }
 }
 
@@ -296,10 +256,24 @@ pub fn dumbbell(
     )));
 
     for (i, &s) in senders.iter().enumerate() {
-        sim.connect(s, PortId(0), left, PortId(i), edge.link(), edge.link());
+        sim.connect(
+            s,
+            PortId(0),
+            left,
+            PortId(i),
+            edge.link_cfg(),
+            edge.link_cfg(),
+        );
     }
     for (i, &r) in sinks.iter().enumerate() {
-        sim.connect(right, PortId(i), r, PortId(0), edge.link(), edge.link());
+        sim.connect(
+            right,
+            PortId(i),
+            r,
+            PortId(0),
+            edge.link_cfg(),
+            edge.link_cfg(),
+        );
     }
     let forward = match shared_queue {
         Some(queue) => LinkCfg {
@@ -307,9 +281,16 @@ pub fn dumbbell(
             delay: shared.delay,
             queue,
         },
-        None => shared.link(),
+        None => shared.link_cfg(),
     };
-    let (bottleneck, _) = sim.connect(left, PortId(n), right, PortId(n), forward, shared.link());
+    let (bottleneck, _) = sim.connect(
+        left,
+        PortId(n),
+        right,
+        PortId(n),
+        forward,
+        shared.link_cfg(),
+    );
     Dumbbell {
         sim,
         senders,
@@ -459,8 +440,8 @@ pub fn leaf_spine_ext(
                 PortId(0),
                 leaves[leaf],
                 PortId(i),
-                host_link.link(),
-                host_link.link(),
+                host_link.link_cfg(),
+                host_link.link_cfg(),
             );
         }
         for (s, &spine) in spines.iter().enumerate() {
@@ -469,8 +450,8 @@ pub fn leaf_spine_ext(
                 PortId(hosts_per_leaf + s),
                 spine,
                 PortId(leaf),
-                spine_link.link(),
-                spine_link.link(),
+                spine_link.link_cfg(),
+                spine_link.link_cfg(),
             );
         }
     }

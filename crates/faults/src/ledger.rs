@@ -47,22 +47,52 @@ impl Ledger {
         }
     }
 
+    /// Check the exactly-once contract for a run where every scheduled
+    /// message was expected to finish. Returns one message per violation
+    /// (empty means the contract holds) — the non-panicking form the
+    /// scenario runner reports as data.
+    pub fn check_exactly_once(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.unfinished != 0 {
+            v.push(format!("{} unfinished messages", self.unfinished));
+        }
+        if self.delivered.len() != self.completed.len() {
+            v.push(format!(
+                "{} deliveries != {} completions",
+                self.delivered.len(),
+                self.completed.len()
+            ));
+        }
+        for w in self.delivered.windows(2) {
+            if w[0].0 == w[1].0 {
+                v.push(format!("duplicate delivery of {}", w[0].0));
+            }
+        }
+        let sent: u64 = self.completed.iter().map(|&(b, _)| b as u64).sum();
+        let got: u64 = self.delivered.iter().map(|&(_, b)| b as u64).sum();
+        if sent != got {
+            v.push(format!(
+                "byte totals disagree: sent {sent}, delivered {got}"
+            ));
+        }
+        if self.goodput != got {
+            v.push(format!(
+                "goodput counts duplicates: goodput {}, delivered {got}",
+                self.goodput
+            ));
+        }
+        v
+    }
+
     /// Assert the exactly-once contract for a run where every scheduled
     /// message was expected to finish. Panics with a diagnostic naming
     /// `ctx` on any violation.
     pub fn assert_exactly_once(&self, ctx: &str) {
-        assert_eq!(self.unfinished, 0, "[{ctx}] unfinished messages");
-        assert_eq!(
-            self.delivered.len(),
-            self.completed.len(),
-            "[{ctx}] deliveries != completions"
+        let v = self.check_exactly_once();
+        assert!(
+            v.is_empty(),
+            "[{ctx}] exactly-once violated: {}",
+            v.join("; ")
         );
-        for w in self.delivered.windows(2) {
-            assert!(w[0].0 != w[1].0, "[{ctx}] duplicate delivery of {}", w[0].0);
-        }
-        let sent: u64 = self.completed.iter().map(|&(b, _)| b as u64).sum();
-        let got: u64 = self.delivered.iter().map(|&(_, b)| b as u64).sum();
-        assert_eq!(sent, got, "[{ctx}] byte totals disagree");
-        assert_eq!(self.goodput, got, "[{ctx}] goodput counts duplicates");
     }
 }

@@ -33,4 +33,7 @@ pub mod topo;
 pub use driver::{AppliedFault, FaultDriver};
 pub use ledger::Ledger;
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
-pub use topo::{diamond_mtp, diamond_tcp, Diamond, LinkSpec, PATHLET_A, PATHLET_B};
+pub use topo::{
+    build_parallel_paths, diamond_mtp, diamond_tcp, Diamond, LinkSpec, ParallelPaths, PATHLET_A,
+    PATHLET_B,
+};

@@ -64,8 +64,94 @@ impl LinkSpec {
         LinkSpec::new(Bandwidth::from_gbps(100), Duration::from_micros(1))
     }
 
-    fn link(&self) -> LinkCfg {
+    /// The link configuration this spec describes.
+    pub fn link_cfg(&self) -> LinkCfg {
         LinkCfg::ecn(self.rate, self.delay, self.cap_pkts, self.ecn_k)
+    }
+}
+
+/// Handles to a built two-parallel-path core (sender — sw1 ═ sw2 — sink).
+pub struct ParallelPaths {
+    /// Near switch (fans data over the two paths).
+    pub sw1: NodeId,
+    /// Far switch (fans ACKs back).
+    pub sw2: NodeId,
+    /// Path A, sw1 -> sw2.
+    pub a_fwd: DirLinkId,
+    /// Path A, sw2 -> sw1.
+    pub a_rev: DirLinkId,
+    /// Path B, sw1 -> sw2.
+    pub b_fwd: DirLinkId,
+    /// Path B, sw2 -> sw1.
+    pub b_rev: DirLinkId,
+}
+
+/// Wire the canonical two-parallel-path core between an existing `sender`
+/// and `sink`: sw1 fans client traffic over both paths with `forward`,
+/// sw2 fans server traffic back with `reverse`. With `stamp`, sw1 marks
+/// path A as [`PATHLET_A`] and path B as [`PATHLET_B`]. This is the one
+/// builder behind both the failure-study diamond and the bench two-path
+/// topology; node and link creation order is part of its contract, since
+/// golden digests depend on it.
+#[allow(clippy::too_many_arguments)] // topology knobs are clearer positionally
+pub fn build_parallel_paths(
+    sim: &mut Simulator,
+    sender: NodeId,
+    sink: NodeId,
+    forward: Strategy,
+    reverse: Strategy,
+    a: LinkSpec,
+    b: LinkSpec,
+    host: LinkSpec,
+    stamp: bool,
+) -> ParallelPaths {
+    let mut sw1 = SwitchNode::new(
+        "sw1",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(CLIENT_ADDR, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            forward,
+        )),
+    );
+    if stamp {
+        sw1 = sw1
+            .with_stamp(PortId(1), Stamp::new(PATHLET_A, StampKind::Presence))
+            .with_stamp(PortId(2), Stamp::new(PATHLET_B, StampKind::Presence));
+    }
+    let sw1 = sim.add_node(Box::new(sw1));
+    let sw2 = sim.add_node(Box::new(SwitchNode::new(
+        "sw2",
+        Box::new(FanoutForwarder::new(
+            StaticRoutes::new().add(SERVER_ADDR, PortId(0)),
+            vec![PortId(1), PortId(2)],
+            reverse,
+        )),
+    )));
+    sim.connect(
+        sender,
+        PortId(0),
+        sw1,
+        PortId(0),
+        host.link_cfg(),
+        host.link_cfg(),
+    );
+    let (a_fwd, a_rev) = sim.connect(sw1, PortId(1), sw2, PortId(1), a.link_cfg(), a.link_cfg());
+    let (b_fwd, b_rev) = sim.connect(sw1, PortId(2), sw2, PortId(2), b.link_cfg(), b.link_cfg());
+    sim.connect(
+        sw2,
+        PortId(0),
+        sink,
+        PortId(0),
+        host.link_cfg(),
+        host.link_cfg(),
+    );
+    ParallelPaths {
+        sw1,
+        sw2,
+        a_fwd,
+        a_rev,
+        b_fwd,
+        b_rev,
     }
 }
 
@@ -100,35 +186,20 @@ fn build_diamond(
     host: LinkSpec,
     stamp: bool,
 ) -> (NodeId, NodeId, [DirLinkId; 4]) {
-    let mut sw1 = SwitchNode::new(
-        "sw1",
-        Box::new(FanoutForwarder::new(
-            StaticRoutes::new().add(CLIENT_ADDR, PortId(0)),
-            vec![PortId(1), PortId(2)],
-            forward,
-        )),
-    );
-    if stamp {
-        sw1 = sw1
-            .with_stamp(PortId(1), Stamp::new(PATHLET_A, StampKind::Presence))
-            .with_stamp(PortId(2), Stamp::new(PATHLET_B, StampKind::Presence));
-    }
-    let sw1 = sim.add_node(Box::new(sw1));
     // ACKs return over whichever path is alive: per-packet spray, so a
     // single-path cut never silences the reverse channel entirely.
-    let sw2 = sim.add_node(Box::new(SwitchNode::new(
-        "sw2",
-        Box::new(FanoutForwarder::new(
-            StaticRoutes::new().add(SERVER_ADDR, PortId(0)),
-            vec![PortId(1), PortId(2)],
-            Strategy::Spray { next: 0 },
-        )),
-    )));
-    sim.connect(sender, PortId(0), sw1, PortId(0), host.link(), host.link());
-    let (a_fwd, a_rev) = sim.connect(sw1, PortId(1), sw2, PortId(1), path.link(), path.link());
-    let (b_fwd, b_rev) = sim.connect(sw1, PortId(2), sw2, PortId(2), path.link(), path.link());
-    sim.connect(sw2, PortId(0), sink, PortId(0), host.link(), host.link());
-    (sw1, sw2, [a_fwd, a_rev, b_fwd, b_rev])
+    let p = build_parallel_paths(
+        sim,
+        sender,
+        sink,
+        forward,
+        Strategy::Spray { next: 0 },
+        path,
+        path,
+        host,
+        stamp,
+    );
+    (p.sw1, p.sw2, [p.a_fwd, p.a_rev, p.b_fwd, p.b_rev])
 }
 
 /// Build the diamond with an MTP sender/sink. `sw1` runs the message-aware

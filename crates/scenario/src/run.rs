@@ -1,0 +1,1066 @@
+//! The cell engine: build, run, measure, and check one scenario ×
+//! protocol × seed cell.
+//!
+//! A cell is executed against the exact builders the figure binaries use
+//! ([`mtp_faults::diamond_mtp`], [`mtp_bench::topo::two_path_mtp`], …),
+//! so a scenario file that names the same parameters reproduces the same
+//! packet-level run — the golden-replay tests pin this byte-for-byte.
+//! Every assertion is checked non-panicking: violations come back as
+//! strings naming the assertion, never as a crash, so one broken cell
+//! cannot take down a corpus run.
+
+use mtp_bench::study::{completion_stats, corrupted_frames, percentile, us};
+use mtp_bench::topo::{
+    dumbbell, dumbbell_dst, dumbbell_src, leaf_spine, ls_addr, two_path_mtp, two_path_tcp,
+};
+use mtp_core::{MtpConfig, MtpSenderNode, MtpSinkNode, ScheduledMsg};
+use mtp_faults::{diamond_mtp, diamond_tcp, Diamond, FaultDriver, FaultSchedule, Ledger, LinkSpec};
+use mtp_net::{Strategy, SwitchNode};
+use mtp_sim::time::{Bandwidth, Duration, Time};
+use mtp_sim::{DirLinkId, LinkFailMode, NodeId, Simulator};
+use mtp_tcp::{TcpConfig, TcpSenderNode, TcpSinkNode, TcpWorkloadMode};
+use mtp_wire::PathletId;
+use mtp_workload::{poisson_schedule, SizeDist};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::schema::{
+    Asserts, CellAsserts, FailMode, FaultSpec, LinkParams, Protocol, Scenario, Topology,
+    TwoPathStrategy, Workload,
+};
+
+/// Measured outcome of one cell, as written to the report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CellResult {
+    /// Owning scenario name.
+    pub scenario: String,
+    /// Protocol key (`mtp`, `tcp-newreno`, `tcp-dctcp`).
+    pub protocol: String,
+    /// The cell's simulator seed.
+    pub seed: u64,
+    /// Messages completed at their senders.
+    pub completed: u64,
+    /// Scheduled messages that never completed.
+    pub unfinished: u64,
+    /// Completions strictly inside `assert.window_us` (absent without a
+    /// window).
+    pub during_window: Option<u64>,
+    /// Nearest-rank p50 message completion time, microseconds.
+    pub p50_us: Option<f64>,
+    /// Nearest-rank p99 message completion time, microseconds.
+    pub p99_us: Option<f64>,
+    /// Sender retransmission timeouts.
+    pub timeouts: u64,
+    /// Sender retransmissions.
+    pub retransmissions: u64,
+    /// Mean sink goodput after `assert.warmup_bins` bins, Gbps
+    /// (single-sink topologies only).
+    pub goodput_mean_gbps: Option<f64>,
+    /// Frames damaged in flight (diamond only).
+    pub corrupted_frames: Option<u64>,
+    /// FNV-1a-64 digest of the run's observable state.
+    pub digest: String,
+    /// Violated assertions, empty when the cell passed.
+    pub violations: Vec<String>,
+}
+
+/// One executed cell: the reportable result plus the raw exactly-once
+/// ledger (single-sender MTP cells only), which the golden-replay tests
+/// compare against the figure binaries'.
+pub struct CellRun {
+    /// The reportable result.
+    pub result: CellResult,
+    /// The captured ledger, when the topology has exactly one MTP
+    /// sender/sink pair.
+    pub ledger: Option<Ledger>,
+}
+
+/// Outcome of a whole scenario: every protocol × seed cell.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario description.
+    pub description: String,
+    /// True when no cell has violations.
+    pub passed: bool,
+    /// All cells, protocol-major in matrix order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Run every protocol × seed cell of `s`.
+pub fn run_scenario(s: &Scenario) -> ScenarioResult {
+    let mut cells = Vec::new();
+    for p in &s.protocols {
+        for &seed in &s.seeds {
+            cells.push(execute_cell(s, *p, seed).result);
+        }
+    }
+    ScenarioResult {
+        name: s.name.clone(),
+        description: s.description.clone(),
+        passed: cells.iter().all(|c| c.violations.is_empty()),
+        cells,
+    }
+}
+
+// ------------------------------------------------------------- plumbing
+
+/// FNV-1a 64-bit, rendered as 16 lowercase hex digits.
+pub fn fnv64(s: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+fn to_spec(l: LinkParams) -> LinkSpec {
+    LinkSpec::new(
+        Bandwidth::from_gbps(l.rate_gbps),
+        Duration::from_micros(l.delay_us),
+    )
+}
+
+/// Name → handle maps a topology publishes for fault resolution.
+struct Names {
+    pairs: Vec<(&'static str, (DirLinkId, DirLinkId))>,
+    links: Vec<(&'static str, DirLinkId)>,
+    nodes: Vec<(String, NodeId)>,
+}
+
+impl Names {
+    fn pair(&self, name: &str) -> (DirLinkId, DirLinkId) {
+        self.pairs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, p)| p)
+            .expect("schema validated pair name")
+    }
+
+    fn link(&self, name: &str) -> DirLinkId {
+        self.links
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, l)| l)
+            .expect("schema validated link name")
+    }
+
+    fn node(&self, name: &str) -> NodeId {
+        self.nodes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, n)| n)
+            .expect("schema validated node name")
+    }
+}
+
+/// Materialize the scenario's fault specs against resolved handles. Burst
+/// seeds mix the cell seed with the spec's `seed_xor`, matching the
+/// figure binaries' `SEED ^ 0xA` idiom.
+fn build_schedule(faults: &[FaultSpec], names: &Names, seed: u64) -> FaultSchedule {
+    let mut sched = FaultSchedule::new();
+    let mode = |m: FailMode| match m {
+        FailMode::Blackhole => LinkFailMode::Blackhole,
+        FailMode::Drain => LinkFailMode::Drain,
+    };
+    for f in faults {
+        match f {
+            FaultSpec::CutBoth {
+                link,
+                from_us,
+                to_us,
+                mode: m,
+            } => {
+                let (fwd, rev) = names.pair(link);
+                sched.cut_both(fwd, rev, us(*from_us), us(*to_us), mode(*m));
+            }
+            FaultSpec::LinkDown {
+                link,
+                at_us,
+                mode: m,
+            } => {
+                sched.link_down(us(*at_us), names.link(link), mode(*m));
+            }
+            FaultSpec::LinkUp { link, at_us } => {
+                sched.link_up(us(*at_us), names.link(link));
+            }
+            FaultSpec::Degrade {
+                link,
+                at_us,
+                rate_gbps,
+                delay_us,
+            } => {
+                sched.degrade(
+                    us(*at_us),
+                    names.link(link),
+                    Bandwidth::from_gbps(*rate_gbps),
+                    Duration::from_micros(*delay_us),
+                );
+            }
+            FaultSpec::CorruptRate {
+                link,
+                at_us,
+                ppm,
+                flips,
+                seed_xor,
+            } => {
+                let s = if *ppm == 0 { 0 } else { seed ^ seed_xor };
+                sched.corrupt_rate(us(*at_us), names.link(link), *ppm as u32, *flips as u8, s);
+            }
+            FaultSpec::BitflipBurst {
+                link,
+                at_us,
+                pkts,
+                flips,
+                seed_xor,
+            } => {
+                sched.bitflip_burst(
+                    us(*at_us),
+                    names.link(link),
+                    *pkts as u32,
+                    *flips as u8,
+                    seed ^ seed_xor,
+                );
+            }
+            FaultSpec::TruncateBurst {
+                link,
+                at_us,
+                pkts,
+                seed_xor,
+            } => {
+                sched.truncate_burst(us(*at_us), names.link(link), *pkts as u32, seed ^ seed_xor);
+            }
+            FaultSpec::CrashRestart {
+                node,
+                from_us,
+                to_us,
+            } => {
+                sched.crash_restart(names.node(node), us(*from_us), us(*to_us));
+            }
+        }
+    }
+    sched
+}
+
+/// Where each damaged frame was caught, diamond cells only.
+struct CorruptionLedger {
+    corrupted: u64,
+    caught: u64,
+}
+
+/// Everything measured from one finished cell, before assertion checking.
+struct Measured {
+    sim: Simulator,
+    /// `(submitted, completed)` per scheduled message, sender order.
+    records: Vec<(Time, Option<Time>)>,
+    timeouts: u64,
+    retransmissions: u64,
+    goodput_series: Option<Vec<f64>>,
+    corruption: Option<CorruptionLedger>,
+    ledger: Option<Ledger>,
+    /// Exactly-once violations for multi-pair topologies (where a single
+    /// [`Ledger`] does not apply).
+    multi_exactly_once: Option<Vec<String>>,
+}
+
+/// The cell digest: FNV-1a-64 over [`cell_dump`]'s deterministic state.
+/// Public so the golden-replay tests can digest an inline
+/// figure-binary-style run and compare byte-for-byte.
+pub fn engine_digest(sim: &Simulator, records: &[(Time, Option<Time>)]) -> String {
+    fnv64(&cell_dump(sim, records))
+}
+
+/// The deterministic dump digested per cell: the engine-observable state
+/// (event count, clock, per-link counters — the same lines the perf-gate
+/// digests) plus every message's submit/complete picoseconds.
+fn cell_dump(sim: &Simulator, records: &[(Time, Option<Time>)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "events={} final_now={}",
+        sim.events_processed(),
+        sim.now().0
+    )
+    .expect("write to String");
+    for i in 0..sim.num_links() {
+        let s = sim.link_stats(DirLinkId(i));
+        writeln!(
+            out,
+            "link {i}: offered={} tx={} bytes={} dropped={} marked={} trimmed={} maxq={}",
+            s.offered_pkts,
+            s.tx_pkts,
+            s.tx_bytes,
+            s.dropped_pkts,
+            s.marked_pkts,
+            s.trimmed_pkts,
+            s.max_qlen_pkts
+        )
+        .expect("write to String");
+    }
+    for (k, (submitted, done)) in records.iter().enumerate() {
+        match done {
+            Some(t) => writeln!(out, "msg {k}: submitted={} completed={}", submitted.0, t.0),
+            None => writeln!(out, "msg {k}: submitted={} completed=-", submitted.0),
+        }
+        .expect("write to String");
+    }
+    out
+}
+
+fn mtp_cfg(s: &Scenario) -> MtpConfig {
+    if s.mtp.failover {
+        MtpConfig::default().with_failover()
+    } else {
+        MtpConfig::default()
+    }
+}
+
+fn tcp_cfg(p: Protocol) -> TcpConfig {
+    match p {
+        Protocol::TcpNewReno => TcpConfig::default(),
+        Protocol::TcpDctcp => TcpConfig::dctcp(),
+        Protocol::Mtp => unreachable!("mtp cells never build a TCP config"),
+    }
+}
+
+fn single_flow_schedule_mtp(w: &Workload) -> Vec<ScheduledMsg> {
+    match w {
+        Workload::Periodic {
+            count,
+            bytes,
+            interval_us,
+        } => mtp_bench::study::mtp_periodic(*count, *bytes, *interval_us),
+        Workload::Single { bytes } => vec![ScheduledMsg::new(Time::ZERO, *bytes as u32)],
+        _ => unreachable!("schema restricts single-sender topologies to periodic/single"),
+    }
+}
+
+fn single_flow_schedule_tcp(w: &Workload) -> Vec<(Time, u64)> {
+    match w {
+        Workload::Periodic {
+            count,
+            bytes,
+            interval_us,
+        } => mtp_bench::study::tcp_periodic(*count, *bytes, *interval_us),
+        Workload::Single { bytes } => vec![(Time::ZERO, *bytes)],
+        _ => unreachable!("schema restricts single-sender topologies to periodic/single"),
+    }
+}
+
+// ---------------------------------------------------------------- drive
+
+fn diamond_names(d: &Diamond) -> Names {
+    Names {
+        pairs: vec![("a", (d.a_fwd, d.a_rev)), ("b", (d.b_fwd, d.b_rev))],
+        links: vec![
+            ("a_fwd", d.a_fwd),
+            ("a_rev", d.a_rev),
+            ("b_fwd", d.b_fwd),
+            ("b_rev", d.b_rev),
+        ],
+        nodes: Vec::new(),
+    }
+}
+
+fn run_diamond(s: &Scenario, p: Protocol, seed: u64) -> Measured {
+    let path = match &s.topology {
+        Topology::Diamond { path } => to_spec(*path),
+        _ => unreachable!("caller dispatched on topology"),
+    };
+    let horizon = us(s.horizon_us);
+    match p {
+        Protocol::Mtp => {
+            let mut d = diamond_mtp(
+                seed,
+                mtp_cfg(s),
+                single_flow_schedule_mtp(&s.workload),
+                path,
+            );
+            let names = diamond_names(&d);
+            let mut drv = FaultDriver::new(build_schedule(&s.faults, &names, seed));
+            drv.run_until(&mut d.sim, horizon);
+            let corruption = s.asserts.corruption_accounting.then(|| CorruptionLedger {
+                corrupted: corrupted_frames(&d),
+                caught: d.sim.node_as::<MtpSenderNode>(d.sender).malformed
+                    + d.sim.node_as::<MtpSinkNode>(d.sink).malformed
+                    + d.sim.node_as::<SwitchNode>(d.sw1).stats.malformed
+                    + d.sim.node_as::<SwitchNode>(d.sw2).stats.malformed
+                    + d.sim.corrupted_destroyed(),
+            });
+            let ledger = Ledger::capture(&d.sim, d.sender, d.sink);
+            let snd = d.sim.node_as::<MtpSenderNode>(d.sender);
+            let records: Vec<_> = snd
+                .msgs
+                .iter()
+                .map(|m| (m.submitted, m.completed))
+                .collect();
+            let (timeouts, retransmissions) =
+                (snd.sender.stats.timeouts, snd.sender.stats.retransmissions);
+            let goodput_series = d.sim.node_as::<MtpSinkNode>(d.sink).goodput.rates_gbps();
+            Measured {
+                sim: d.sim,
+                records,
+                timeouts,
+                retransmissions,
+                goodput_series: Some(goodput_series),
+                corruption,
+                ledger: Some(ledger),
+                multi_exactly_once: None,
+            }
+        }
+        tcp => {
+            let mut d = diamond_tcp(
+                seed,
+                tcp_cfg(tcp),
+                TcpWorkloadMode::Persistent,
+                single_flow_schedule_tcp(&s.workload),
+                path,
+            );
+            let names = diamond_names(&d);
+            let mut drv = FaultDriver::new(build_schedule(&s.faults, &names, seed));
+            drv.run_until(&mut d.sim, horizon);
+            let corruption = s.asserts.corruption_accounting.then(|| CorruptionLedger {
+                corrupted: corrupted_frames(&d),
+                caught: d.sim.node_as::<TcpSenderNode>(d.sender).malformed
+                    + d.sim.node_as::<TcpSinkNode>(d.sink).malformed
+                    + d.sim.node_as::<SwitchNode>(d.sw1).stats.malformed
+                    + d.sim.node_as::<SwitchNode>(d.sw2).stats.malformed
+                    + d.sim.corrupted_destroyed(),
+            });
+            let snd = d.sim.node_as::<TcpSenderNode>(d.sender);
+            let records: Vec<_> = snd
+                .msgs
+                .iter()
+                .map(|m| (m.submitted, m.completed))
+                .collect();
+            let (timeouts, retransmissions) = (snd.timeouts(), snd.retransmissions());
+            let all_done = snd.all_done();
+            let goodput_series = d.sim.node_as::<TcpSinkNode>(d.sink).goodput.rates_gbps();
+            Measured {
+                sim: d.sim,
+                records,
+                timeouts,
+                retransmissions,
+                goodput_series: Some(goodput_series),
+                corruption,
+                ledger: None,
+                multi_exactly_once: Some(if all_done {
+                    Vec::new()
+                } else {
+                    vec!["tcp sender did not complete every transfer".to_string()]
+                }),
+            }
+        }
+    }
+}
+
+fn run_two_path(s: &Scenario, p: Protocol, seed: u64) -> Measured {
+    let (a, b, strategy, bin) = match &s.topology {
+        Topology::TwoPath {
+            a,
+            b,
+            strategy,
+            goodput_bin_us,
+        } => {
+            let strat = match strategy {
+                TwoPathStrategy::Alternate { period_us } => Strategy::Alternate {
+                    period: Duration::from_micros(*period_us),
+                },
+                TwoPathStrategy::Ecmp => Strategy::Ecmp,
+                TwoPathStrategy::Spray => Strategy::Spray { next: 0 },
+            };
+            (
+                to_spec(*a),
+                to_spec(*b),
+                strat,
+                Duration::from_micros(*goodput_bin_us),
+            )
+        }
+        _ => unreachable!("caller dispatched on topology"),
+    };
+    let horizon = us(s.horizon_us);
+    match p {
+        Protocol::Mtp => {
+            let mut t = two_path_mtp(
+                seed,
+                strategy,
+                a,
+                b,
+                single_flow_schedule_mtp(&s.workload),
+                mtp_cfg(s),
+                bin,
+            );
+            let names = Names {
+                pairs: Vec::new(),
+                links: vec![("a_fwd", t.path_a), ("b_fwd", t.path_b)],
+                nodes: Vec::new(),
+            };
+            let mut drv = FaultDriver::new(build_schedule(&s.faults, &names, seed));
+            drv.run_until(&mut t.sim, horizon);
+            let ledger = Ledger::capture(&t.sim, t.sender, t.sink);
+            let snd = t.sim.node_as::<MtpSenderNode>(t.sender);
+            let records: Vec<_> = snd
+                .msgs
+                .iter()
+                .map(|m| (m.submitted, m.completed))
+                .collect();
+            let (timeouts, retransmissions) =
+                (snd.sender.stats.timeouts, snd.sender.stats.retransmissions);
+            let goodput_series = t.sim.node_as::<MtpSinkNode>(t.sink).goodput.rates_gbps();
+            Measured {
+                sim: t.sim,
+                records,
+                timeouts,
+                retransmissions,
+                goodput_series: Some(goodput_series),
+                corruption: None,
+                ledger: Some(ledger),
+                multi_exactly_once: None,
+            }
+        }
+        tcp => {
+            let mut t = two_path_tcp(
+                seed,
+                strategy,
+                a,
+                b,
+                single_flow_schedule_tcp(&s.workload),
+                tcp_cfg(tcp),
+                TcpWorkloadMode::Persistent,
+                bin,
+            );
+            let names = Names {
+                pairs: Vec::new(),
+                links: vec![("a_fwd", t.path_a), ("b_fwd", t.path_b)],
+                nodes: Vec::new(),
+            };
+            let mut drv = FaultDriver::new(build_schedule(&s.faults, &names, seed));
+            drv.run_until(&mut t.sim, horizon);
+            let snd = t.sim.node_as::<TcpSenderNode>(t.sender);
+            let records: Vec<_> = snd
+                .msgs
+                .iter()
+                .map(|m| (m.submitted, m.completed))
+                .collect();
+            let (timeouts, retransmissions) = (snd.timeouts(), snd.retransmissions());
+            let all_done = snd.all_done();
+            let goodput_series = t.sim.node_as::<TcpSinkNode>(t.sink).goodput.rates_gbps();
+            Measured {
+                sim: t.sim,
+                records,
+                timeouts,
+                retransmissions,
+                goodput_series: Some(goodput_series),
+                corruption: None,
+                ledger: None,
+                multi_exactly_once: Some(if all_done {
+                    Vec::new()
+                } else {
+                    vec!["tcp sender did not complete every transfer".to_string()]
+                }),
+            }
+        }
+    }
+}
+
+fn run_dumbbell(s: &Scenario, seed: u64) -> Measured {
+    let (edge, shared) = match &s.topology {
+        Topology::Dumbbell { edge, shared } => (to_spec(*edge), to_spec(*shared)),
+        _ => unreachable!("caller dispatched on topology"),
+    };
+    let Workload::Tenants {
+        elephants,
+        elephant_bytes,
+        mice,
+        mice_load,
+        mice_min_bytes,
+        mice_max_bytes,
+    } = &s.workload
+    else {
+        unreachable!("schema restricts dumbbell to the tenants workload")
+    };
+    let n = (elephants + mice) as usize;
+    let cfg = mtp_cfg(s);
+    let sizes = SizeDist::BoundedPareto {
+        alpha: 1.1,
+        min: *mice_min_bytes,
+        max: *mice_max_bytes,
+    };
+    let horizon = Duration::from_micros(s.horizon_us);
+    let make_schedule = |i: usize| -> Vec<ScheduledMsg> {
+        if (i as u64) < *elephants {
+            vec![ScheduledMsg::new(Time::ZERO, *elephant_bytes as u32)]
+        } else {
+            // Each mouse runs its own seeded open-loop Poisson process at
+            // `mice_load` of its edge link.
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            poisson_schedule(
+                &mut rng,
+                &sizes,
+                edge.rate,
+                *mice_load,
+                Time::ZERO,
+                horizon,
+                None,
+            )
+            .into_iter()
+            .map(|(t, b)| ScheduledMsg::new(t, b as u32))
+            .collect()
+        }
+    };
+    let d = dumbbell(
+        seed,
+        n,
+        |i| {
+            Box::new(MtpSenderNode::new(
+                cfg.clone(),
+                dumbbell_src(i),
+                dumbbell_dst(i),
+                mtp_wire::EntityId(dumbbell_src(i)),
+                ((i as u64) + 1) << 40,
+                make_schedule(i),
+            ))
+        },
+        |i| {
+            Box::new(MtpSinkNode::new(
+                dumbbell_dst(i),
+                Duration::from_micros(100),
+            ))
+        },
+        edge,
+        shared,
+        None,
+        None,
+    );
+    let mut sim = d.sim;
+    let names = Names {
+        pairs: Vec::new(),
+        links: vec![("shared", d.bottleneck)],
+        nodes: Vec::new(),
+    };
+    let mut drv = FaultDriver::new(build_schedule(&s.faults, &names, seed));
+    drv.run_until(&mut sim, us(s.horizon_us));
+    let mut records = Vec::new();
+    let (mut timeouts, mut retransmissions) = (0u64, 0u64);
+    let mut multi = Vec::new();
+    for (i, (&snd, &sink)) in d.senders.iter().zip(d.sinks.iter()).enumerate() {
+        let node = sim.node_as::<MtpSenderNode>(snd);
+        records.extend(node.msgs.iter().map(|m| (m.submitted, m.completed)));
+        timeouts += node.sender.stats.timeouts;
+        retransmissions += node.sender.stats.retransmissions;
+        multi.extend(
+            Ledger::capture(&sim, snd, sink)
+                .check_exactly_once()
+                .into_iter()
+                .map(|v| format!("pair {i}: {v}")),
+        );
+    }
+    Measured {
+        sim,
+        records,
+        timeouts,
+        retransmissions,
+        goodput_series: None,
+        corruption: None,
+        ledger: None,
+        multi_exactly_once: Some(multi),
+    }
+}
+
+fn run_leaf_spine(s: &Scenario, seed: u64) -> Measured {
+    let (leaves, spines, hpl, host_link, spine_link) = match &s.topology {
+        Topology::LeafSpine {
+            leaves,
+            spines,
+            hosts_per_leaf,
+            host_link,
+            spine_link,
+        } => (
+            *leaves as usize,
+            *spines as usize,
+            *hosts_per_leaf as usize,
+            to_spec(*host_link),
+            to_spec(*spine_link),
+        ),
+        _ => unreachable!("caller dispatched on topology"),
+    };
+    let Workload::Fanin {
+        rounds,
+        bytes,
+        stagger_us,
+        round_gap_us,
+    } = &s.workload
+    else {
+        unreachable!("schema restricts leaf-spine to the fanin workload")
+    };
+    let cfg = mtp_cfg(s);
+    // The aggregator is host 0 of leaf 0; every other host fans in to it.
+    let target = ls_addr(0, hpl, 0);
+    let failover = s.mtp.failover;
+    let ls = leaf_spine(
+        seed,
+        leaves,
+        spines,
+        hpl,
+        |leaf, i, addr| {
+            if addr == target {
+                Box::new(MtpSinkNode::new(addr, Duration::from_micros(100)))
+            } else {
+                let k = (leaf * hpl + i) as u64;
+                let sched: Vec<ScheduledMsg> = (0..*rounds)
+                    .map(|m| {
+                        ScheduledMsg::new(us(stagger_us * k + round_gap_us * m), *bytes as u32)
+                    })
+                    .collect();
+                Box::new(MtpSenderNode::new(
+                    cfg.clone(),
+                    addr,
+                    target,
+                    mtp_wire::EntityId(addr),
+                    (k + 1) << 40,
+                    sched,
+                ))
+            }
+        },
+        |_leaf| {
+            if failover {
+                // Pathlet-aware spreading over the spines, so quarantining
+                // a crashed spine's pathlet re-steers onto survivors.
+                Strategy::mtp_lb(
+                    spines,
+                    (1..=spines).map(|p| Some(PathletId(p as u16))).collect(),
+                )
+            } else {
+                Strategy::Ecmp
+            }
+        },
+        host_link,
+        spine_link,
+    );
+    let mut sim = ls.sim;
+    let names = Names {
+        pairs: Vec::new(),
+        links: Vec::new(),
+        nodes: ls
+            .spines
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (format!("spine{i}"), n))
+            .collect(),
+    };
+    let mut drv = FaultDriver::new(build_schedule(&s.faults, &names, seed));
+    drv.run_until(&mut sim, us(s.horizon_us));
+
+    let sink_node = ls.hosts[0];
+    let mut records = Vec::new();
+    let (mut timeouts, mut retransmissions) = (0u64, 0u64);
+    let mut sent_bytes = 0u64;
+    for &h in ls.hosts.iter().skip(1) {
+        let node = sim.node_as::<MtpSenderNode>(h);
+        records.extend(node.msgs.iter().map(|m| (m.submitted, m.completed)));
+        timeouts += node.sender.stats.timeouts;
+        retransmissions += node.sender.stats.retransmissions;
+        sent_bytes += node
+            .msgs
+            .iter()
+            .filter(|m| m.completed.is_some())
+            .map(|m| m.bytes as u64)
+            .sum::<u64>();
+    }
+    // Aggregated exactly-once across the fan-in: all senders' completions
+    // vs the single sink's deliveries.
+    let mut multi = Vec::new();
+    {
+        let sink = sim.node_as::<MtpSinkNode>(sink_node);
+        let mut ids: Vec<u64> = sink.delivered.iter().map(|d| d.id.0).collect();
+        ids.sort_unstable();
+        for w in ids.windows(2) {
+            if w[0] == w[1] {
+                multi.push(format!("duplicate delivery of {}", w[0]));
+            }
+        }
+        let completed = records.iter().filter(|(_, c)| c.is_some()).count();
+        if sink.delivered.len() != completed {
+            multi.push(format!(
+                "{} deliveries != {} completions",
+                sink.delivered.len(),
+                completed
+            ));
+        }
+        let unfinished = records.len() - completed;
+        if unfinished != 0 {
+            multi.push(format!("{unfinished} unfinished messages"));
+        }
+        let got: u64 = sink.delivered.iter().map(|d| d.bytes as u64).sum();
+        if got != sent_bytes {
+            multi.push(format!(
+                "byte totals disagree: sent {sent_bytes}, delivered {got}"
+            ));
+        }
+        if sink.total_goodput() != got {
+            multi.push(format!(
+                "goodput counts duplicates: goodput {}, delivered {got}",
+                sink.total_goodput()
+            ));
+        }
+    }
+    Measured {
+        sim,
+        records,
+        timeouts,
+        retransmissions,
+        goodput_series: None,
+        corruption: None,
+        ledger: None,
+        multi_exactly_once: Some(multi),
+    }
+}
+
+// ---------------------------------------------------------------- check
+
+fn check_cell_asserts(c: &CellAsserts, r: &CellResult, m: &Measured, out: &mut Vec<String>) {
+    if c.exactly_once {
+        match (&m.ledger, &m.multi_exactly_once) {
+            (Some(l), _) => out.extend(
+                l.check_exactly_once()
+                    .into_iter()
+                    .map(|v| format!("assert exactly_once: {v}")),
+            ),
+            (None, Some(multi)) => {
+                out.extend(multi.iter().map(|v| format!("assert exactly_once: {v}")))
+            }
+            (None, None) => out.push("assert exactly_once: no ledger captured".to_string()),
+        }
+    }
+    if let Some(want) = c.completed {
+        if r.completed != want {
+            out.push(format!(
+                "assert completed: expected {want}, got {}",
+                r.completed
+            ));
+        }
+    }
+    if let Some(min) = c.completed_min {
+        if r.completed < min {
+            out.push(format!(
+                "assert completed_min: expected >= {min}, got {}",
+                r.completed
+            ));
+        }
+    }
+    if let Some(min) = c.during_window_min {
+        let got = r.during_window.unwrap_or(0);
+        if got < min {
+            out.push(format!(
+                "assert during_window_min: expected >= {min}, got {got}"
+            ));
+        }
+    }
+    if let Some(max) = c.during_window_max {
+        let got = r.during_window.unwrap_or(0);
+        if got > max {
+            out.push(format!(
+                "assert during_window_max: expected <= {max}, got {got}"
+            ));
+        }
+    }
+    if let Some(bound) = c.p50_max_us {
+        match r.p50_us {
+            Some(v) if v <= bound => {}
+            Some(v) => out.push(format!("assert p50_max_us: expected <= {bound}, got {v}")),
+            None => out.push(format!(
+                "assert p50_max_us: expected <= {bound}, but nothing completed"
+            )),
+        }
+    }
+    if let Some(bound) = c.p99_max_us {
+        match r.p99_us {
+            Some(v) if v <= bound => {}
+            Some(v) => out.push(format!("assert p99_max_us: expected <= {bound}, got {v}")),
+            None => out.push(format!(
+                "assert p99_max_us: expected <= {bound}, but nothing completed"
+            )),
+        }
+    }
+    if let Some(max) = c.timeouts_max {
+        if r.timeouts > max {
+            out.push(format!(
+                "assert timeouts_max: expected <= {max}, got {}",
+                r.timeouts
+            ));
+        }
+    }
+    if let Some(min) = c.goodput_mean_min_gbps {
+        match r.goodput_mean_gbps {
+            Some(v) if v >= min => {}
+            Some(v) => out.push(format!(
+                "assert goodput_mean_min_gbps: expected >= {min}, got {v:.3}"
+            )),
+            None => out.push(format!(
+                "assert goodput_mean_min_gbps: expected >= {min}, but no goodput series"
+            )),
+        }
+    }
+}
+
+/// Build, run, measure, and check one cell. Never panics on assertion
+/// failure — violations come back inside the result.
+pub fn execute_cell(s: &Scenario, p: Protocol, seed: u64) -> CellRun {
+    let m = match &s.topology {
+        Topology::Diamond { .. } => run_diamond(s, p, seed),
+        Topology::TwoPath { .. } => run_two_path(s, p, seed),
+        Topology::Dumbbell { .. } => run_dumbbell(s, seed),
+        Topology::LeafSpine { .. } => run_leaf_spine(s, seed),
+    };
+
+    let stats = completion_stats(m.records.iter().copied(), s.asserts.window_us);
+    let warm = s.asserts.warmup_bins as usize;
+    let goodput_mean = m.goodput_series.as_ref().map(|series| {
+        let tail = &series[warm.min(series.len())..];
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    });
+    let digest = engine_digest(&m.sim, &m.records);
+
+    let mut r = CellResult {
+        scenario: s.name.clone(),
+        protocol: p.key().to_string(),
+        seed,
+        completed: stats.completed as u64,
+        unfinished: (m.records.len() - stats.completed) as u64,
+        during_window: s.asserts.window_us.map(|_| stats.during_window as u64),
+        p50_us: (stats.completed > 0).then_some(stats.p50_us),
+        p99_us: (stats.completed > 0).then_some(stats.p99_us),
+        timeouts: m.timeouts,
+        retransmissions: m.retransmissions,
+        goodput_mean_gbps: goodput_mean,
+        corrupted_frames: m.corruption.as_ref().map(|c| c.corrupted),
+        digest,
+        violations: Vec::new(),
+    };
+
+    let mut v = Vec::new();
+    check_asserts(&s.asserts, p, seed, &r, &m, &mut v);
+    r.violations = v;
+    CellRun {
+        result: r,
+        ledger: m.ledger,
+    }
+}
+
+fn check_asserts(
+    a: &Asserts,
+    p: Protocol,
+    seed: u64,
+    r: &CellResult,
+    m: &Measured,
+    out: &mut Vec<String>,
+) {
+    if a.conservation {
+        let report = m.sim.audit();
+        out.extend(
+            report
+                .violations
+                .iter()
+                .map(|v| format!("assert conservation: {v}")),
+        );
+    }
+    if let Some(c) = m.corruption.as_ref() {
+        if c.corrupted == 0 {
+            out.push("assert corruption_accounting: the storm never damaged a frame".to_string());
+        } else if c.caught != c.corrupted {
+            out.push(format!(
+                "assert corruption_accounting: {} accounted for, {} damaged",
+                c.caught, c.corrupted
+            ));
+        }
+    }
+    if let Some((_, cell)) = a.cells.iter().find(|(proto, _)| *proto == p) {
+        check_cell_asserts(cell, r, m, out);
+    }
+    let key = format!("{}/{seed}", p.key());
+    if let Some((_, want)) = a.digests.iter().find(|(k, _)| *k == key) {
+        if *want != r.digest {
+            out.push(format!("assert digests: expected {want}, got {}", r.digest));
+        }
+    }
+}
+
+/// Nearest-rank percentile re-export for report consumers (the same
+/// formula the figure binaries use).
+pub fn pct(sorted: &[f64], p: f64) -> f64 {
+    percentile(sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::from_str;
+
+    fn smoke_scenario() -> Scenario {
+        from_str(
+            r#"
+[scenario]
+name = "smoke"
+seeds = [3]
+horizon_us = 20000
+protocols = ["mtp"]
+
+[topology]
+kind = "diamond"
+[topology.path]
+rate_gbps = 10
+delay_us = 5
+
+[workload]
+kind = "periodic"
+count = 4
+bytes = 20000
+interval_us = 50
+
+[assert]
+conservation = true
+[assert.cells.mtp]
+exactly_once = true
+completed = 4
+"#,
+        )
+        .expect("valid scenario")
+    }
+
+    #[test]
+    fn smoke_cell_passes_and_is_deterministic() {
+        let s = smoke_scenario();
+        let a = execute_cell(&s, Protocol::Mtp, 3);
+        assert!(
+            a.result.violations.is_empty(),
+            "violations: {:?}",
+            a.result.violations
+        );
+        assert_eq!(a.result.completed, 4);
+        let b = execute_cell(&s, Protocol::Mtp, 3);
+        assert_eq!(a.result, b.result, "replay must be byte-identical");
+        assert_eq!(a.ledger, b.ledger);
+    }
+
+    #[test]
+    fn unsatisfiable_bound_reports_instead_of_panicking() {
+        let mut s = smoke_scenario();
+        s.asserts.cells[0].1.completed = Some(9999);
+        let r = run_scenario(&s);
+        assert!(!r.passed);
+        let v = &r.cells[0].violations;
+        assert!(
+            v.iter().any(|v| v.contains("assert completed")),
+            "violations: {v:?}"
+        );
+    }
+}

@@ -1,0 +1,1613 @@
+//! The typed scenario model.
+//!
+//! A scenario file composes five ingredients, each a TOML table:
+//!
+//! * `[scenario]` — name, seeds, horizon, and the protocol matrix;
+//! * `[topology]` — which network shape to build and its link parameters;
+//! * `[workload]` — what the application submits;
+//! * `[[fault]]` — the scripted fault schedule, referring to links and
+//!   nodes by the topology's published names;
+//! * `[assert]` — the typed pass/fail contract: conservation audit,
+//!   exactly-once ledger, corruption accounting, completion counts, FCT
+//!   percentile bounds, goodput bounds, and pinned per-cell digests.
+//!
+//! Decoding is strict: unknown keys anywhere, out-of-range values
+//! (zero-latency links, zero-byte messages, >3-bit corruption flips, …),
+//! and incompatible combinations (a TCP cell on a topology with no TCP
+//! driver, a during-outage bound with no outage window) are all rejected
+//! with a [`SchemaError`] naming the offending field. Decode never
+//! panics on arbitrary input — the proptest suite pins this.
+
+use std::fmt;
+
+use crate::toml::{escape_basic, format_float, format_key, parse, Table, TomlError, Value};
+
+/// A schema-level rejection: which field, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Dotted path of the offending field (e.g. `topology.path.delay_us`).
+    pub field: String,
+    /// What is wrong with it.
+    pub msg: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario field `{}`: {}", self.field, self.msg)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Any way loading a scenario file can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    /// The bytes were not parseable TOML (subset).
+    Parse(TomlError),
+    /// The TOML was well-formed but not a valid scenario.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Parse(e) => write!(f, "{e}"),
+            LoadError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn err(field: impl Into<String>, msg: impl Into<String>) -> SchemaError {
+    SchemaError {
+        field: field.into(),
+        msg: msg.into(),
+    }
+}
+
+/// One transport contender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// MTP (`mtp-core` sender/sink).
+    Mtp,
+    /// TCP NewReno.
+    TcpNewReno,
+    /// DCTCP.
+    TcpDctcp,
+}
+
+impl Protocol {
+    /// The wire name used in scenario files and reports.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Protocol::Mtp => "mtp",
+            Protocol::TcpNewReno => "tcp-newreno",
+            Protocol::TcpDctcp => "tcp-dctcp",
+        }
+    }
+
+    fn from_key(s: &str, field: &str) -> Result<Protocol, SchemaError> {
+        match s {
+            "mtp" => Ok(Protocol::Mtp),
+            "tcp-newreno" => Ok(Protocol::TcpNewReno),
+            "tcp-dctcp" => Ok(Protocol::TcpDctcp),
+            other => Err(err(
+                field,
+                format!("unknown protocol `{other}` (expected mtp, tcp-newreno, or tcp-dctcp)"),
+            )),
+        }
+    }
+}
+
+/// MTP-specific options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MtpOpts {
+    /// Enable the endpoint failover machinery.
+    pub failover: bool,
+}
+
+/// One link's parameters. The queue is always the paper's standard
+/// 128-packet ECN(20) queue — scenarios vary rate and delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Link rate in Gbps (1..=1000).
+    pub rate_gbps: u64,
+    /// One-way propagation delay in microseconds (1..=1_000_000;
+    /// zero-latency links are rejected).
+    pub delay_us: u64,
+}
+
+/// The fan-out strategy at the first-hop switch of a two-path topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoPathStrategy {
+    /// Switch between the paths every `period_us` (Fig. 5's optical
+    /// switch).
+    Alternate {
+        /// Flip period in microseconds.
+        period_us: u64,
+    },
+    /// Per-message ECMP hashing.
+    Ecmp,
+    /// Per-packet spray.
+    Spray,
+}
+
+/// The network shape a scenario runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// One sender, one sink, two identical parallel paths; MTP runs the
+    /// message-aware load balancer, TCP is pinned to path A. Supports
+    /// all protocols.
+    Diamond {
+        /// Both inter-switch paths.
+        path: LinkParams,
+    },
+    /// One sender, one sink, two (possibly asymmetric) paths with a
+    /// scripted fan-out strategy. Supports all protocols.
+    TwoPath {
+        /// Path A.
+        a: LinkParams,
+        /// Path B.
+        b: LinkParams,
+        /// The first-hop fan-out strategy.
+        strategy: TwoPathStrategy,
+        /// Sink goodput sampling bin in microseconds.
+        goodput_bin_us: u64,
+    },
+    /// N sender/receiver pairs through one shared bottleneck (MTP only).
+    Dumbbell {
+        /// Host-to-switch edge links.
+        edge: LinkParams,
+        /// The shared bottleneck.
+        shared: LinkParams,
+    },
+    /// A 2-tier Clos fabric with every non-aggregator host sending to
+    /// one aggregator (MTP only).
+    LeafSpine {
+        /// Number of leaf switches (>= 2).
+        leaves: u64,
+        /// Number of spine switches (>= 1).
+        spines: u64,
+        /// Hosts per leaf (>= 1).
+        hosts_per_leaf: u64,
+        /// Host-to-leaf links.
+        host_link: LinkParams,
+        /// Leaf-to-spine links.
+        spine_link: LinkParams,
+    },
+}
+
+impl Topology {
+    /// The wire name of this topology kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Topology::Diamond { .. } => "diamond",
+            Topology::TwoPath { .. } => "two-path",
+            Topology::Dumbbell { .. } => "dumbbell",
+            Topology::LeafSpine { .. } => "leaf-spine",
+        }
+    }
+
+    /// True when `p` has a driver on this topology.
+    pub fn supports(&self, p: Protocol) -> bool {
+        match self {
+            Topology::Diamond { .. } | Topology::TwoPath { .. } => true,
+            Topology::Dumbbell { .. } | Topology::LeafSpine { .. } => p == Protocol::Mtp,
+        }
+    }
+
+    /// Directed-link names fault scripts may reference on this topology.
+    pub fn link_names(&self) -> &'static [&'static str] {
+        match self {
+            Topology::Diamond { .. } => &["a_fwd", "a_rev", "b_fwd", "b_rev"],
+            Topology::TwoPath { .. } => &["a_fwd", "b_fwd"],
+            Topology::Dumbbell { .. } => &["shared"],
+            Topology::LeafSpine { .. } => &[],
+        }
+    }
+
+    /// Link-*pair* names `cut_both` may reference on this topology.
+    pub fn pair_names(&self) -> &'static [&'static str] {
+        match self {
+            Topology::Diamond { .. } => &["a", "b"],
+            _ => &[],
+        }
+    }
+
+    /// True when `node` is a crashable node name on this topology
+    /// (`spine0..spineN` on leaf-spine).
+    pub fn node_name_ok(&self, node: &str) -> bool {
+        match self {
+            Topology::LeafSpine { spines, .. } => match node.strip_prefix("spine") {
+                Some(idx) => idx
+                    .parse::<u64>()
+                    .is_ok_and(|i| i < *spines && idx == i.to_string()),
+                None => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// What the application submits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// `count` messages of `bytes` each, one every `interval_us`
+    /// (diamond / two-path).
+    Periodic {
+        /// Number of messages.
+        count: u64,
+        /// Message size in bytes.
+        bytes: u64,
+        /// Submission interval in microseconds.
+        interval_us: u64,
+    },
+    /// One message of `bytes` at t = 0 (diamond / two-path).
+    Single {
+        /// Message size in bytes.
+        bytes: u64,
+    },
+    /// Elephant and mice tenant classes on a dumbbell: `elephants`
+    /// senders each submit one `elephant_bytes` message at t = 0;
+    /// `mice` senders each run an open-loop Poisson arrival process at
+    /// `mice_load` of the edge capacity with bounded-Pareto sizes.
+    Tenants {
+        /// Number of elephant senders.
+        elephants: u64,
+        /// Elephant message size in bytes.
+        elephant_bytes: u64,
+        /// Number of mice senders.
+        mice: u64,
+        /// Mice offered load as a fraction of edge capacity (0, 1].
+        mice_load: f64,
+        /// Smallest mouse message in bytes.
+        mice_min_bytes: u64,
+        /// Largest mouse message in bytes.
+        mice_max_bytes: u64,
+    },
+    /// RPC fan-in rounds on a leaf-spine fabric: every host except the
+    /// aggregator (leaf 0, host 0) submits `rounds` messages of `bytes`,
+    /// host `k` staggered by `k * stagger_us`, round `m` at
+    /// `m * round_gap_us`.
+    Fanin {
+        /// Rounds per sender.
+        rounds: u64,
+        /// Message size in bytes.
+        bytes: u64,
+        /// Per-host stagger in microseconds.
+        stagger_us: u64,
+        /// Gap between a host's rounds in microseconds.
+        round_gap_us: u64,
+    },
+}
+
+impl Workload {
+    /// The wire name of this workload kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Workload::Periodic { .. } => "periodic",
+            Workload::Single { .. } => "single",
+            Workload::Tenants { .. } => "tenants",
+            Workload::Fanin { .. } => "fanin",
+        }
+    }
+}
+
+/// Link failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// Destroy the queue and in-flight packet.
+    Blackhole,
+    /// Finish accepted packets, refuse new offers.
+    Drain,
+}
+
+impl FailMode {
+    fn key(&self) -> &'static str {
+        match self {
+            FailMode::Blackhole => "blackhole",
+            FailMode::Drain => "drain",
+        }
+    }
+}
+
+/// One scripted fault, with links/nodes referenced by topology name.
+/// Burst/rate seeds are expressed as `seed_xor`: the injected seed is
+/// `cell_seed ^ seed_xor`, so every seed in the matrix draws distinct
+/// but reproducible damage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Cut both directions of a path over `[from_us, to_us)`.
+    CutBoth {
+        /// Pair name (see [`Topology::pair_names`]).
+        link: String,
+        /// Cut time, microseconds.
+        from_us: u64,
+        /// Restore time, microseconds.
+        to_us: u64,
+        /// Failure mode.
+        mode: FailMode,
+    },
+    /// Take one link direction down at `at_us`.
+    LinkDown {
+        /// Directed-link name.
+        link: String,
+        /// Injection time, microseconds.
+        at_us: u64,
+        /// Failure mode.
+        mode: FailMode,
+    },
+    /// Bring one link direction back up at `at_us`.
+    LinkUp {
+        /// Directed-link name.
+        link: String,
+        /// Injection time, microseconds.
+        at_us: u64,
+    },
+    /// Change a link direction's rate and delay at `at_us`.
+    Degrade {
+        /// Directed-link name.
+        link: String,
+        /// Injection time, microseconds.
+        at_us: u64,
+        /// New rate, Gbps.
+        rate_gbps: u64,
+        /// New one-way delay, microseconds.
+        delay_us: u64,
+    },
+    /// Arm (`ppm > 0`) or disarm (`ppm = 0`) a steady bit-flip rate.
+    CorruptRate {
+        /// Directed-link name.
+        link: String,
+        /// Injection time, microseconds.
+        at_us: u64,
+        /// Damage probability, packets per million.
+        ppm: u64,
+        /// Bits flipped per damaged packet (0 only when disarming).
+        flips: u64,
+        /// XORed into the cell seed for the damage RNG.
+        seed_xor: u64,
+    },
+    /// Flip bits in each of the next `pkts` packets and deliver them.
+    BitflipBurst {
+        /// Directed-link name.
+        link: String,
+        /// Injection time, microseconds.
+        at_us: u64,
+        /// Packets to damage.
+        pkts: u64,
+        /// Bits flipped per packet (1..=3 for exact accounting).
+        flips: u64,
+        /// XORed into the cell seed.
+        seed_xor: u64,
+    },
+    /// Truncate each of the next `pkts` packets and deliver them.
+    TruncateBurst {
+        /// Directed-link name.
+        link: String,
+        /// Injection time, microseconds.
+        at_us: u64,
+        /// Packets to truncate.
+        pkts: u64,
+        /// XORed into the cell seed.
+        seed_xor: u64,
+    },
+    /// Crash a node at `from_us`, restart it at `to_us`.
+    CrashRestart {
+        /// Node name (see [`Topology::node_name_ok`]).
+        node: String,
+        /// Crash time, microseconds.
+        from_us: u64,
+        /// Restart time, microseconds.
+        to_us: u64,
+    },
+}
+
+impl FaultSpec {
+    fn kind_key(&self) -> &'static str {
+        match self {
+            FaultSpec::CutBoth { .. } => "cut_both",
+            FaultSpec::LinkDown { .. } => "link_down",
+            FaultSpec::LinkUp { .. } => "link_up",
+            FaultSpec::Degrade { .. } => "degrade",
+            FaultSpec::CorruptRate { .. } => "corrupt_rate",
+            FaultSpec::BitflipBurst { .. } => "bitflip_burst",
+            FaultSpec::TruncateBurst { .. } => "truncate_burst",
+            FaultSpec::CrashRestart { .. } => "crash_restart",
+        }
+    }
+}
+
+/// Per-protocol assertion bounds. Every field is optional; unset bounds
+/// are not checked.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellAsserts {
+    /// MTP: the full exactly-once ledger must balance. TCP: the sender
+    /// must report `all_done` (every transfer completed).
+    pub exactly_once: bool,
+    /// Exact completed-message count.
+    pub completed: Option<u64>,
+    /// Lower bound on completed messages.
+    pub completed_min: Option<u64>,
+    /// Lower bound on completions inside `assert.window_us`.
+    pub during_window_min: Option<u64>,
+    /// Upper bound on completions inside `assert.window_us`.
+    pub during_window_max: Option<u64>,
+    /// Upper bound on the p50 message completion time, microseconds.
+    pub p50_max_us: Option<f64>,
+    /// Upper bound on the p99 message completion time, microseconds.
+    pub p99_max_us: Option<f64>,
+    /// Upper bound on sender timeouts.
+    pub timeouts_max: Option<u64>,
+    /// Lower bound on mean sink goodput (after `assert.warmup_bins`
+    /// bins), Gbps.
+    pub goodput_mean_min_gbps: Option<f64>,
+}
+
+impl CellAsserts {
+    fn is_default(&self) -> bool {
+        *self == CellAsserts::default()
+    }
+}
+
+/// The scenario's typed pass/fail contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Asserts {
+    /// Run the packet/byte conservation audit on every cell.
+    pub conservation: bool,
+    /// Check the corruption ledger: detected + destroyed == damaged
+    /// (diamond only).
+    pub corruption_accounting: bool,
+    /// The `[from, to)` window `during_window_*` bounds refer to,
+    /// microseconds.
+    pub window_us: Option<(u64, u64)>,
+    /// Goodput bins skipped before the mean (slow-start warmup).
+    pub warmup_bins: u64,
+    /// Per-protocol bounds, in file order.
+    pub cells: Vec<(Protocol, CellAsserts)>,
+    /// Pinned cell digests: `("proto/seed", fnv64-hex)`, in file order.
+    pub digests: Vec<(String, String)>,
+}
+
+impl Default for Asserts {
+    fn default() -> Asserts {
+        Asserts {
+            conservation: true,
+            corruption_accounting: false,
+            window_us: None,
+            warmup_bins: 0,
+            cells: Vec::new(),
+            digests: Vec::new(),
+        }
+    }
+}
+
+/// One fully-validated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (also the report file stem): `[a-z0-9_-]+`.
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Seeds to run every protocol against.
+    pub seeds: Vec<u64>,
+    /// Simulation horizon in microseconds.
+    pub horizon_us: u64,
+    /// The protocol matrix.
+    pub protocols: Vec<Protocol>,
+    /// MTP options.
+    pub mtp: MtpOpts,
+    /// The network.
+    pub topology: Topology,
+    /// The application workload.
+    pub workload: Workload,
+    /// The scripted fault schedule.
+    pub faults: Vec<FaultSpec>,
+    /// The pass/fail contract.
+    pub asserts: Asserts,
+}
+
+// -------------------------------------------------------------- decode
+
+fn field(prefix: &str, key: &str) -> String {
+    if prefix.is_empty() {
+        key.to_string()
+    } else {
+        format!("{prefix}.{key}")
+    }
+}
+
+/// Reject leftover (unknown) keys in `t`.
+fn ensure_empty(t: &Table, prefix: &str) -> Result<(), SchemaError> {
+    if let Some(k) = t.keys().next() {
+        return Err(err(field(prefix, k), "unknown key"));
+    }
+    Ok(())
+}
+
+fn take(t: &mut Table, key: &str, prefix: &str) -> Result<Value, SchemaError> {
+    t.remove(key)
+        .ok_or_else(|| err(field(prefix, key), "missing required key"))
+}
+
+fn as_table(v: Value, f: &str) -> Result<Table, SchemaError> {
+    match v {
+        Value::Table(t) => Ok(t),
+        other => Err(err(
+            f,
+            format!("expected a table, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn as_str(v: Value, f: &str) -> Result<String, SchemaError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(err(
+            f,
+            format!("expected a string, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn as_u64(v: Value, f: &str) -> Result<u64, SchemaError> {
+    match v {
+        Value::Int(i) if i >= 0 => Ok(i as u64),
+        Value::Int(i) => Err(err(f, format!("must be non-negative, got {i}"))),
+        other => Err(err(
+            f,
+            format!("expected an integer, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn as_f64(v: Value, f: &str) -> Result<f64, SchemaError> {
+    match v {
+        Value::Float(x) if x.is_finite() => Ok(x),
+        Value::Int(i) => Ok(i as f64),
+        Value::Float(_) => Err(err(f, "must be a finite number")),
+        other => Err(err(
+            f,
+            format!("expected a number, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn as_bool(v: Value, f: &str) -> Result<bool, SchemaError> {
+    match v {
+        Value::Bool(b) => Ok(b),
+        other => Err(err(
+            f,
+            format!("expected a boolean, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn take_table(t: &mut Table, key: &str, prefix: &str) -> Result<Table, SchemaError> {
+    let f = field(prefix, key);
+    as_table(take(t, key, prefix)?, &f)
+}
+
+fn take_str(t: &mut Table, key: &str, prefix: &str) -> Result<String, SchemaError> {
+    let f = field(prefix, key);
+    as_str(take(t, key, prefix)?, &f)
+}
+
+fn take_u64_in(
+    t: &mut Table,
+    key: &str,
+    prefix: &str,
+    lo: u64,
+    hi: u64,
+) -> Result<u64, SchemaError> {
+    let f = field(prefix, key);
+    let v = as_u64(take(t, key, prefix)?, &f)?;
+    if v < lo || v > hi {
+        return Err(err(
+            f,
+            format!("out of range: must be in {lo}..={hi}, got {v}"),
+        ));
+    }
+    Ok(v)
+}
+
+fn take_opt_u64_in(
+    t: &mut Table,
+    key: &str,
+    prefix: &str,
+    lo: u64,
+    hi: u64,
+) -> Result<Option<u64>, SchemaError> {
+    let f = field(prefix, key);
+    match t.remove(key) {
+        None => Ok(None),
+        Some(v) => {
+            let v = as_u64(v, &f)?;
+            if v < lo || v > hi {
+                return Err(err(
+                    f,
+                    format!("out of range: must be in {lo}..={hi}, got {v}"),
+                ));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+fn take_opt_f64_min(
+    t: &mut Table,
+    key: &str,
+    prefix: &str,
+    lo: f64,
+) -> Result<Option<f64>, SchemaError> {
+    let f = field(prefix, key);
+    match t.remove(key) {
+        None => Ok(None),
+        Some(v) => {
+            let v = as_f64(v, &f)?;
+            if v < lo {
+                return Err(err(f, format!("out of range: must be >= {lo}, got {v}")));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+fn take_bool_or(
+    t: &mut Table,
+    key: &str,
+    prefix: &str,
+    default: bool,
+) -> Result<bool, SchemaError> {
+    let f = field(prefix, key);
+    match t.remove(key) {
+        None => Ok(default),
+        Some(v) => as_bool(v, &f),
+    }
+}
+
+/// Largest message MTP's `ScheduledMsg` can carry (u32 byte count).
+const MAX_MSG_BYTES: u64 = u32::MAX as u64;
+/// Largest `seed_xor`: TOML integers are i64, so anything larger could
+/// not be re-read after emission.
+const MAX_SEED_XOR: u64 = i64::MAX as u64;
+/// Horizon ceiling: 10 simulated seconds.
+const MAX_HORIZON_US: u64 = 10_000_000;
+
+fn decode_link(mut t: Table, prefix: &str) -> Result<LinkParams, SchemaError> {
+    let rate_gbps = take_u64_in(&mut t, "rate_gbps", prefix, 1, 1_000)?;
+    let delay_us = match take_u64_in(&mut t, "delay_us", prefix, 1, 1_000_000) {
+        Err(e) if e.msg.starts_with("out of range") => {
+            // Name the real constraint for the zero-latency case.
+            let f = field(prefix, "delay_us");
+            return Err(err(
+                f,
+                format!("{} (zero-latency links are not supported)", e.msg),
+            ));
+        }
+        other => other?,
+    };
+    ensure_empty(&t, prefix)?;
+    Ok(LinkParams {
+        rate_gbps,
+        delay_us,
+    })
+}
+
+fn take_link(t: &mut Table, key: &str, prefix: &str) -> Result<LinkParams, SchemaError> {
+    let f = field(prefix, key);
+    decode_link(take_table(t, key, prefix)?, &f)
+}
+
+fn decode_topology(mut t: Table) -> Result<Topology, SchemaError> {
+    const P: &str = "topology";
+    let kind = take_str(&mut t, "kind", P)?;
+    let topo = match kind.as_str() {
+        "diamond" => Topology::Diamond {
+            path: take_link(&mut t, "path", P)?,
+        },
+        "two-path" => {
+            let a = take_link(&mut t, "a", P)?;
+            let b = take_link(&mut t, "b", P)?;
+            let goodput_bin_us =
+                take_opt_u64_in(&mut t, "goodput_bin_us", P, 1, 1_000_000)?.unwrap_or(100);
+            let strategy = match take_str(&mut t, "strategy", P)?.as_str() {
+                "alternate" => TwoPathStrategy::Alternate {
+                    period_us: take_u64_in(&mut t, "alternate_period_us", P, 1, MAX_HORIZON_US)?,
+                },
+                "ecmp" => TwoPathStrategy::Ecmp,
+                "spray" => TwoPathStrategy::Spray,
+                other => {
+                    return Err(err(
+                        field(P, "strategy"),
+                        format!("unknown strategy `{other}` (expected alternate, ecmp, or spray)"),
+                    ));
+                }
+            };
+            Topology::TwoPath {
+                a,
+                b,
+                strategy,
+                goodput_bin_us,
+            }
+        }
+        "dumbbell" => Topology::Dumbbell {
+            edge: take_link(&mut t, "edge", P)?,
+            shared: take_link(&mut t, "shared", P)?,
+        },
+        "leaf-spine" => Topology::LeafSpine {
+            leaves: take_u64_in(&mut t, "leaves", P, 2, 16)?,
+            spines: take_u64_in(&mut t, "spines", P, 1, 16)?,
+            hosts_per_leaf: take_u64_in(&mut t, "hosts_per_leaf", P, 1, 16)?,
+            host_link: take_link(&mut t, "host_link", P)?,
+            spine_link: take_link(&mut t, "spine_link", P)?,
+        },
+        other => {
+            return Err(err(
+                field(P, "kind"),
+                format!(
+                    "unknown topology `{other}` (expected diamond, two-path, dumbbell, or leaf-spine)"
+                ),
+            ));
+        }
+    };
+    ensure_empty(&t, P)?;
+    Ok(topo)
+}
+
+fn decode_workload(mut t: Table) -> Result<Workload, SchemaError> {
+    const P: &str = "workload";
+    let kind = take_str(&mut t, "kind", P)?;
+    let w = match kind.as_str() {
+        "periodic" => Workload::Periodic {
+            count: take_u64_in(&mut t, "count", P, 1, 100_000)?,
+            bytes: take_u64_in(&mut t, "bytes", P, 1, MAX_MSG_BYTES)?,
+            interval_us: take_u64_in(&mut t, "interval_us", P, 1, MAX_HORIZON_US)?,
+        },
+        "single" => Workload::Single {
+            bytes: take_u64_in(&mut t, "bytes", P, 1, MAX_MSG_BYTES)?,
+        },
+        "tenants" => {
+            let w = Workload::Tenants {
+                elephants: take_u64_in(&mut t, "elephants", P, 0, 16)?,
+                elephant_bytes: take_u64_in(&mut t, "elephant_bytes", P, 1, MAX_MSG_BYTES)?,
+                mice: take_u64_in(&mut t, "mice", P, 0, 16)?,
+                mice_load: {
+                    let f = field(P, "mice_load");
+                    let v = as_f64(take(&mut t, "mice_load", P)?, &f)?;
+                    if v <= 0.0 || v > 1.0 {
+                        return Err(err(f, format!("out of range: must be in (0, 1], got {v}")));
+                    }
+                    v
+                },
+                mice_min_bytes: take_u64_in(&mut t, "mice_min_bytes", P, 1, MAX_MSG_BYTES)?,
+                mice_max_bytes: take_u64_in(&mut t, "mice_max_bytes", P, 1, MAX_MSG_BYTES)?,
+            };
+            if let Workload::Tenants {
+                elephants,
+                mice,
+                mice_min_bytes,
+                mice_max_bytes,
+                ..
+            } = &w
+            {
+                if elephants + mice == 0 {
+                    return Err(err(field(P, "elephants"), "need at least one tenant"));
+                }
+                if mice_min_bytes > mice_max_bytes {
+                    return Err(err(
+                        field(P, "mice_min_bytes"),
+                        format!("must be <= mice_max_bytes ({mice_max_bytes})"),
+                    ));
+                }
+            }
+            w
+        }
+        "fanin" => Workload::Fanin {
+            rounds: take_u64_in(&mut t, "rounds", P, 1, 1_000)?,
+            bytes: take_u64_in(&mut t, "bytes", P, 1, MAX_MSG_BYTES)?,
+            stagger_us: take_u64_in(&mut t, "stagger_us", P, 0, MAX_HORIZON_US)?,
+            round_gap_us: take_u64_in(&mut t, "round_gap_us", P, 1, MAX_HORIZON_US)?,
+        },
+        other => {
+            return Err(err(
+                field(P, "kind"),
+                format!(
+                    "unknown workload `{other}` (expected periodic, single, tenants, or fanin)"
+                ),
+            ));
+        }
+    };
+    ensure_empty(&t, P)?;
+    Ok(w)
+}
+
+fn decode_fault(mut t: Table, prefix: &str, horizon_us: u64) -> Result<FaultSpec, SchemaError> {
+    let kind = take_str(&mut t, "kind", prefix)?;
+    let mode = |t: &mut Table, prefix: &str| -> Result<FailMode, SchemaError> {
+        let f = field(prefix, "mode");
+        match take_str(t, "mode", prefix)?.as_str() {
+            "blackhole" => Ok(FailMode::Blackhole),
+            "drain" => Ok(FailMode::Drain),
+            other => Err(err(
+                f,
+                format!("unknown mode `{other}` (expected blackhole or drain)"),
+            )),
+        }
+    };
+    let spec = match kind.as_str() {
+        "cut_both" => {
+            let from_us = take_u64_in(&mut t, "from_us", prefix, 0, horizon_us)?;
+            let to_us = take_u64_in(&mut t, "to_us", prefix, 0, horizon_us)?;
+            if to_us <= from_us {
+                return Err(err(
+                    field(prefix, "to_us"),
+                    format!("must be > from_us ({from_us}), got {to_us}"),
+                ));
+            }
+            FaultSpec::CutBoth {
+                link: take_str(&mut t, "link", prefix)?,
+                from_us,
+                to_us,
+                mode: mode(&mut t, prefix)?,
+            }
+        }
+        "link_down" => FaultSpec::LinkDown {
+            link: take_str(&mut t, "link", prefix)?,
+            at_us: take_u64_in(&mut t, "at_us", prefix, 0, horizon_us)?,
+            mode: mode(&mut t, prefix)?,
+        },
+        "link_up" => FaultSpec::LinkUp {
+            link: take_str(&mut t, "link", prefix)?,
+            at_us: take_u64_in(&mut t, "at_us", prefix, 0, horizon_us)?,
+        },
+        "degrade" => FaultSpec::Degrade {
+            link: take_str(&mut t, "link", prefix)?,
+            at_us: take_u64_in(&mut t, "at_us", prefix, 0, horizon_us)?,
+            rate_gbps: take_u64_in(&mut t, "rate_gbps", prefix, 1, 1_000)?,
+            delay_us: take_u64_in(&mut t, "delay_us", prefix, 1, 1_000_000)?,
+        },
+        "corrupt_rate" => {
+            let ppm = take_u64_in(&mut t, "ppm", prefix, 0, 1_000_000)?;
+            let flips = take_u64_in(&mut t, "flips", prefix, 0, 3)?;
+            if ppm > 0 && flips == 0 {
+                return Err(err(field(prefix, "flips"), "must be >= 1 when ppm > 0"));
+            }
+            FaultSpec::CorruptRate {
+                link: take_str(&mut t, "link", prefix)?,
+                at_us: take_u64_in(&mut t, "at_us", prefix, 0, horizon_us)?,
+                ppm,
+                flips,
+                seed_xor: take_opt_u64_in(&mut t, "seed_xor", prefix, 0, MAX_SEED_XOR)?
+                    .unwrap_or(0),
+            }
+        }
+        "bitflip_burst" => FaultSpec::BitflipBurst {
+            link: take_str(&mut t, "link", prefix)?,
+            at_us: take_u64_in(&mut t, "at_us", prefix, 0, horizon_us)?,
+            pkts: take_u64_in(&mut t, "pkts", prefix, 1, 1_000_000)?,
+            flips: take_u64_in(&mut t, "flips", prefix, 1, 3)?,
+            seed_xor: take_opt_u64_in(&mut t, "seed_xor", prefix, 0, MAX_SEED_XOR)?.unwrap_or(0),
+        },
+        "truncate_burst" => FaultSpec::TruncateBurst {
+            link: take_str(&mut t, "link", prefix)?,
+            at_us: take_u64_in(&mut t, "at_us", prefix, 0, horizon_us)?,
+            pkts: take_u64_in(&mut t, "pkts", prefix, 1, 1_000_000)?,
+            seed_xor: take_opt_u64_in(&mut t, "seed_xor", prefix, 0, MAX_SEED_XOR)?.unwrap_or(0),
+        },
+        "crash_restart" => {
+            let from_us = take_u64_in(&mut t, "from_us", prefix, 0, horizon_us)?;
+            let to_us = take_u64_in(&mut t, "to_us", prefix, 0, horizon_us)?;
+            if to_us <= from_us {
+                return Err(err(
+                    field(prefix, "to_us"),
+                    format!("must be > from_us ({from_us}), got {to_us}"),
+                ));
+            }
+            FaultSpec::CrashRestart {
+                node: take_str(&mut t, "node", prefix)?,
+                from_us,
+                to_us,
+            }
+        }
+        other => {
+            return Err(err(
+                field(prefix, "kind"),
+                format!("unknown fault kind `{other}`"),
+            ));
+        }
+    };
+    ensure_empty(&t, prefix)?;
+    Ok(spec)
+}
+
+fn decode_cell_asserts(mut t: Table, prefix: &str) -> Result<CellAsserts, SchemaError> {
+    let c = CellAsserts {
+        exactly_once: take_bool_or(&mut t, "exactly_once", prefix, false)?,
+        completed: take_opt_u64_in(&mut t, "completed", prefix, 0, u64::MAX)?,
+        completed_min: take_opt_u64_in(&mut t, "completed_min", prefix, 0, u64::MAX)?,
+        during_window_min: take_opt_u64_in(&mut t, "during_window_min", prefix, 0, u64::MAX)?,
+        during_window_max: take_opt_u64_in(&mut t, "during_window_max", prefix, 0, u64::MAX)?,
+        p50_max_us: take_opt_f64_min(&mut t, "p50_max_us", prefix, 0.0)?,
+        p99_max_us: take_opt_f64_min(&mut t, "p99_max_us", prefix, 0.0)?,
+        timeouts_max: take_opt_u64_in(&mut t, "timeouts_max", prefix, 0, u64::MAX)?,
+        goodput_mean_min_gbps: take_opt_f64_min(&mut t, "goodput_mean_min_gbps", prefix, 0.0)?,
+    };
+    ensure_empty(&t, prefix)?;
+    Ok(c)
+}
+
+fn decode_asserts(mut t: Table) -> Result<Asserts, SchemaError> {
+    const P: &str = "assert";
+    let conservation = take_bool_or(&mut t, "conservation", P, true)?;
+    let corruption_accounting = take_bool_or(&mut t, "corruption_accounting", P, false)?;
+    let window_us = match t.remove("window_us") {
+        None => None,
+        Some(Value::Array(items)) if items.len() == 2 => {
+            let f = field(P, "window_us");
+            let a = as_u64(items[0].clone(), &f)?;
+            let b = as_u64(items[1].clone(), &f)?;
+            if b <= a {
+                return Err(err(
+                    f,
+                    format!("window end must be > start, got [{a}, {b}]"),
+                ));
+            }
+            Some((a, b))
+        }
+        Some(_) => {
+            return Err(err(
+                field(P, "window_us"),
+                "expected a [from_us, to_us] pair",
+            ));
+        }
+    };
+    let warmup_bins = take_opt_u64_in(&mut t, "warmup_bins", P, 0, 1_000_000)?.unwrap_or(0);
+    let mut cells = Vec::new();
+    if let Some(v) = t.remove("cells") {
+        let ct = as_table(v, &field(P, "cells"))?;
+        for (k, v) in ct.iter() {
+            let f = format!("{P}.cells.{k}");
+            let proto = Protocol::from_key(k, &f)?;
+            cells.push((proto, decode_cell_asserts(as_table(v.clone(), &f)?, &f)?));
+        }
+    }
+    let mut digests = Vec::new();
+    if let Some(v) = t.remove("digests") {
+        let dt = as_table(v, &field(P, "digests"))?;
+        for (k, v) in dt.iter() {
+            let f = format!("{P}.digests.{}", format_key(k));
+            let hex = as_str(v.clone(), &f)?;
+            if hex.len() != 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Err(err(f, "digest must be 16 lowercase hex characters"));
+            }
+            if hex.chars().any(|c| c.is_ascii_uppercase()) {
+                return Err(err(f, "digest must be 16 lowercase hex characters"));
+            }
+            digests.push((k.to_string(), hex));
+        }
+    }
+    ensure_empty(&t, P)?;
+    Ok(Asserts {
+        conservation,
+        corruption_accounting,
+        window_us,
+        warmup_bins,
+        cells,
+        digests,
+    })
+}
+
+/// Decode and validate a scenario from parsed TOML.
+pub fn from_table(mut root: Table) -> Result<Scenario, SchemaError> {
+    const P: &str = "scenario";
+    let mut s = take_table(&mut root, "scenario", "")?;
+    let name = take_str(&mut s, "name", P)?;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+    {
+        return Err(err(
+            field(P, "name"),
+            "must be non-empty and use only [a-z0-9_-] (it names the report file)",
+        ));
+    }
+    let description = match s.remove("description") {
+        None => String::new(),
+        Some(v) => as_str(v, &field(P, "description"))?,
+    };
+    let seeds = {
+        let f = field(P, "seeds");
+        match take(&mut s, "seeds", P)? {
+            Value::Array(items) if !items.is_empty() && items.len() <= 64 => {
+                let mut out = Vec::new();
+                for v in items {
+                    out.push(as_u64(v, &f)?);
+                }
+                for w in out.windows(2) {
+                    if out.iter().filter(|&&x| x == w[0]).count() > 1 {
+                        return Err(err(f, format!("duplicate seed {}", w[0])));
+                    }
+                }
+                out
+            }
+            Value::Array(items) if items.is_empty() => {
+                return Err(err(f, "need at least one seed"));
+            }
+            Value::Array(_) => return Err(err(f, "at most 64 seeds")),
+            other => {
+                return Err(err(
+                    f,
+                    format!("expected an array, got {}", other.type_name()),
+                ));
+            }
+        }
+    };
+    let horizon_us = take_u64_in(&mut s, "horizon_us", P, 1, MAX_HORIZON_US)?;
+    let protocols = {
+        let f = field(P, "protocols");
+        match take(&mut s, "protocols", P)? {
+            Value::Array(items) if !items.is_empty() => {
+                let mut out: Vec<Protocol> = Vec::new();
+                for v in items {
+                    let p = Protocol::from_key(&as_str(v, &f)?, &f)?;
+                    if out.contains(&p) {
+                        return Err(err(f, format!("duplicate protocol `{}`", p.key())));
+                    }
+                    out.push(p);
+                }
+                out
+            }
+            Value::Array(_) => return Err(err(f, "need at least one protocol")),
+            other => {
+                return Err(err(
+                    f,
+                    format!("expected an array, got {}", other.type_name()),
+                ));
+            }
+        }
+    };
+    ensure_empty(&s, P)?;
+
+    let mtp = match root.remove("mtp") {
+        None => MtpOpts::default(),
+        Some(v) => {
+            let mut t = as_table(v, "mtp")?;
+            let o = MtpOpts {
+                failover: take_bool_or(&mut t, "failover", "mtp", false)?,
+            };
+            ensure_empty(&t, "mtp")?;
+            o
+        }
+    };
+
+    let topology = decode_topology(take_table(&mut root, "topology", "")?)?;
+    let workload = decode_workload(take_table(&mut root, "workload", "")?)?;
+
+    let mut faults = Vec::new();
+    if let Some(v) = root.remove("fault") {
+        let items = match v {
+            Value::Array(items) => items,
+            other => {
+                return Err(err(
+                    "fault",
+                    format!("expected [[fault]] tables, got {}", other.type_name()),
+                ));
+            }
+        };
+        for (i, item) in items.into_iter().enumerate() {
+            let prefix = format!("fault[{i}]");
+            faults.push(decode_fault(as_table(item, &prefix)?, &prefix, horizon_us)?);
+        }
+    }
+
+    let asserts = match root.remove("assert") {
+        None => Asserts::default(),
+        Some(v) => decode_asserts(as_table(v, "assert")?)?,
+    };
+    ensure_empty(&root, "")?;
+
+    let sc = Scenario {
+        name,
+        description,
+        seeds,
+        horizon_us,
+        protocols,
+        mtp,
+        topology,
+        workload,
+        faults,
+        asserts,
+    };
+    validate(&sc)?;
+    Ok(sc)
+}
+
+/// Cross-field validation: protocol/topology/workload compatibility,
+/// link and node references, assertion prerequisites.
+fn validate(s: &Scenario) -> Result<(), SchemaError> {
+    for p in &s.protocols {
+        if !s.topology.supports(*p) {
+            return Err(err(
+                "scenario.protocols",
+                format!(
+                    "protocol `{}` has no driver on topology `{}` (only mtp runs there)",
+                    p.key(),
+                    s.topology.kind()
+                ),
+            ));
+        }
+    }
+    let workload_ok = matches!(
+        (&s.topology, &s.workload),
+        (
+            Topology::Diamond { .. } | Topology::TwoPath { .. },
+            Workload::Periodic { .. } | Workload::Single { .. },
+        ) | (Topology::Dumbbell { .. }, Workload::Tenants { .. })
+            | (Topology::LeafSpine { .. }, Workload::Fanin { .. })
+    );
+    if !workload_ok {
+        return Err(err(
+            "workload.kind",
+            format!(
+                "workload `{}` does not run on topology `{}`",
+                s.workload.kind(),
+                s.topology.kind()
+            ),
+        ));
+    }
+    for (i, f) in s.faults.iter().enumerate() {
+        let prefix = format!("fault[{i}]");
+        match f {
+            FaultSpec::CutBoth { link, .. } => {
+                if !s.topology.pair_names().contains(&link.as_str()) {
+                    return Err(err(
+                        field(&prefix, "link"),
+                        format!(
+                            "unknown link pair `{link}` on `{}` (valid: {:?})",
+                            s.topology.kind(),
+                            s.topology.pair_names()
+                        ),
+                    ));
+                }
+            }
+            FaultSpec::LinkDown { link, .. }
+            | FaultSpec::LinkUp { link, .. }
+            | FaultSpec::Degrade { link, .. }
+            | FaultSpec::CorruptRate { link, .. }
+            | FaultSpec::BitflipBurst { link, .. }
+            | FaultSpec::TruncateBurst { link, .. } => {
+                if !s.topology.link_names().contains(&link.as_str()) {
+                    return Err(err(
+                        field(&prefix, "link"),
+                        format!(
+                            "unknown link `{link}` on `{}` (valid: {:?})",
+                            s.topology.kind(),
+                            s.topology.link_names()
+                        ),
+                    ));
+                }
+            }
+            FaultSpec::CrashRestart { node, .. } => {
+                if !s.topology.node_name_ok(node) {
+                    return Err(err(
+                        field(&prefix, "node"),
+                        format!("unknown node `{node}` on `{}`", s.topology.kind()),
+                    ));
+                }
+            }
+        }
+    }
+    // Corruption accounting needs hardened-device counters, which the
+    // runner reads off the diamond's named switches.
+    if s.asserts.corruption_accounting && !matches!(s.topology, Topology::Diamond { .. }) {
+        return Err(err(
+            "assert.corruption_accounting",
+            "only supported on the diamond topology",
+        ));
+    }
+    for (p, c) in &s.asserts.cells {
+        let f = format!("assert.cells.{}", p.key());
+        if !s.protocols.contains(p) {
+            return Err(err(f, "protocol is not in scenario.protocols"));
+        }
+        if (c.during_window_min.is_some() || c.during_window_max.is_some())
+            && s.asserts.window_us.is_none()
+        {
+            return Err(err(f, "during_window_* bounds need assert.window_us"));
+        }
+        if c.goodput_mean_min_gbps.is_some()
+            && !matches!(
+                s.topology,
+                Topology::TwoPath { .. } | Topology::Diamond { .. }
+            )
+        {
+            return Err(err(f, "goodput bounds need a single-sink topology"));
+        }
+    }
+    for (key, _) in &s.asserts.digests {
+        let f = format!("assert.digests.{}", format_key(key));
+        let Some((proto, seed)) = key.split_once('/') else {
+            return Err(err(f, "digest key must be `protocol/seed`"));
+        };
+        let p = Protocol::from_key(proto, &f)?;
+        if !s.protocols.contains(&p) {
+            return Err(err(f, "protocol is not in scenario.protocols"));
+        }
+        let Ok(seed) = seed.parse::<u64>() else {
+            return Err(err(f, format!("`{seed}` is not a seed")));
+        };
+        if !s.seeds.contains(&seed) {
+            return Err(err(f, format!("seed {seed} is not in scenario.seeds")));
+        }
+    }
+    Ok(())
+}
+
+/// Parse + decode + validate a scenario from TOML text.
+pub fn from_str(input: &str) -> Result<Scenario, LoadError> {
+    let root = parse(input).map_err(LoadError::Parse)?;
+    from_table(root).map_err(LoadError::Schema)
+}
+
+// ---------------------------------------------------------------- emit
+
+fn emit_link(out: &mut String, header: &str, l: &LinkParams) {
+    out.push_str(&format!(
+        "[{header}]\nrate_gbps = {}\ndelay_us = {}\n",
+        l.rate_gbps, l.delay_us
+    ));
+}
+
+/// Render a scenario back to canonical TOML. `from_str(to_toml(s))`
+/// yields a scenario equal to `s` — the roundtrip property the proptest
+/// suite pins.
+pub fn to_toml(s: &Scenario) -> String {
+    let mut o = String::new();
+    o.push_str("[scenario]\n");
+    o.push_str(&format!("name = {}\n", escape_basic(&s.name)));
+    if !s.description.is_empty() {
+        o.push_str(&format!("description = {}\n", escape_basic(&s.description)));
+    }
+    let seeds: Vec<String> = s.seeds.iter().map(|x| x.to_string()).collect();
+    o.push_str(&format!("seeds = [{}]\n", seeds.join(", ")));
+    o.push_str(&format!("horizon_us = {}\n", s.horizon_us));
+    let protos: Vec<String> = s.protocols.iter().map(|p| escape_basic(p.key())).collect();
+    o.push_str(&format!("protocols = [{}]\n", protos.join(", ")));
+
+    if s.mtp != MtpOpts::default() {
+        o.push_str("\n[mtp]\n");
+        o.push_str(&format!("failover = {}\n", s.mtp.failover));
+    }
+
+    o.push_str("\n[topology]\n");
+    o.push_str(&format!("kind = {}\n", escape_basic(s.topology.kind())));
+    match &s.topology {
+        Topology::Diamond { path } => emit_link(&mut o, "topology.path", path),
+        Topology::TwoPath {
+            a,
+            b,
+            strategy,
+            goodput_bin_us,
+        } => {
+            o.push_str(&format!("goodput_bin_us = {goodput_bin_us}\n"));
+            match strategy {
+                TwoPathStrategy::Alternate { period_us } => {
+                    o.push_str("strategy = \"alternate\"\n");
+                    o.push_str(&format!("alternate_period_us = {period_us}\n"));
+                }
+                TwoPathStrategy::Ecmp => o.push_str("strategy = \"ecmp\"\n"),
+                TwoPathStrategy::Spray => o.push_str("strategy = \"spray\"\n"),
+            }
+            emit_link(&mut o, "topology.a", a);
+            emit_link(&mut o, "topology.b", b);
+        }
+        Topology::Dumbbell { edge, shared } => {
+            emit_link(&mut o, "topology.edge", edge);
+            emit_link(&mut o, "topology.shared", shared);
+        }
+        Topology::LeafSpine {
+            leaves,
+            spines,
+            hosts_per_leaf,
+            host_link,
+            spine_link,
+        } => {
+            o.push_str(&format!("leaves = {leaves}\n"));
+            o.push_str(&format!("spines = {spines}\n"));
+            o.push_str(&format!("hosts_per_leaf = {hosts_per_leaf}\n"));
+            emit_link(&mut o, "topology.host_link", host_link);
+            emit_link(&mut o, "topology.spine_link", spine_link);
+        }
+    }
+
+    o.push_str("\n[workload]\n");
+    o.push_str(&format!("kind = {}\n", escape_basic(s.workload.kind())));
+    match &s.workload {
+        Workload::Periodic {
+            count,
+            bytes,
+            interval_us,
+        } => {
+            o.push_str(&format!("count = {count}\n"));
+            o.push_str(&format!("bytes = {bytes}\n"));
+            o.push_str(&format!("interval_us = {interval_us}\n"));
+        }
+        Workload::Single { bytes } => o.push_str(&format!("bytes = {bytes}\n")),
+        Workload::Tenants {
+            elephants,
+            elephant_bytes,
+            mice,
+            mice_load,
+            mice_min_bytes,
+            mice_max_bytes,
+        } => {
+            o.push_str(&format!("elephants = {elephants}\n"));
+            o.push_str(&format!("elephant_bytes = {elephant_bytes}\n"));
+            o.push_str(&format!("mice = {mice}\n"));
+            o.push_str(&format!("mice_load = {}\n", format_float(*mice_load)));
+            o.push_str(&format!("mice_min_bytes = {mice_min_bytes}\n"));
+            o.push_str(&format!("mice_max_bytes = {mice_max_bytes}\n"));
+        }
+        Workload::Fanin {
+            rounds,
+            bytes,
+            stagger_us,
+            round_gap_us,
+        } => {
+            o.push_str(&format!("rounds = {rounds}\n"));
+            o.push_str(&format!("bytes = {bytes}\n"));
+            o.push_str(&format!("stagger_us = {stagger_us}\n"));
+            o.push_str(&format!("round_gap_us = {round_gap_us}\n"));
+        }
+    }
+
+    for f in &s.faults {
+        o.push_str("\n[[fault]]\n");
+        o.push_str(&format!("kind = {}\n", escape_basic(f.kind_key())));
+        match f {
+            FaultSpec::CutBoth {
+                link,
+                from_us,
+                to_us,
+                mode,
+            } => {
+                o.push_str(&format!("link = {}\n", escape_basic(link)));
+                o.push_str(&format!("from_us = {from_us}\n"));
+                o.push_str(&format!("to_us = {to_us}\n"));
+                o.push_str(&format!("mode = {}\n", escape_basic(mode.key())));
+            }
+            FaultSpec::LinkDown { link, at_us, mode } => {
+                o.push_str(&format!("link = {}\n", escape_basic(link)));
+                o.push_str(&format!("at_us = {at_us}\n"));
+                o.push_str(&format!("mode = {}\n", escape_basic(mode.key())));
+            }
+            FaultSpec::LinkUp { link, at_us } => {
+                o.push_str(&format!("link = {}\n", escape_basic(link)));
+                o.push_str(&format!("at_us = {at_us}\n"));
+            }
+            FaultSpec::Degrade {
+                link,
+                at_us,
+                rate_gbps,
+                delay_us,
+            } => {
+                o.push_str(&format!("link = {}\n", escape_basic(link)));
+                o.push_str(&format!("at_us = {at_us}\n"));
+                o.push_str(&format!("rate_gbps = {rate_gbps}\n"));
+                o.push_str(&format!("delay_us = {delay_us}\n"));
+            }
+            FaultSpec::CorruptRate {
+                link,
+                at_us,
+                ppm,
+                flips,
+                seed_xor,
+            } => {
+                o.push_str(&format!("link = {}\n", escape_basic(link)));
+                o.push_str(&format!("at_us = {at_us}\n"));
+                o.push_str(&format!("ppm = {ppm}\n"));
+                o.push_str(&format!("flips = {flips}\n"));
+                o.push_str(&format!("seed_xor = {seed_xor}\n"));
+            }
+            FaultSpec::BitflipBurst {
+                link,
+                at_us,
+                pkts,
+                flips,
+                seed_xor,
+            } => {
+                o.push_str(&format!("link = {}\n", escape_basic(link)));
+                o.push_str(&format!("at_us = {at_us}\n"));
+                o.push_str(&format!("pkts = {pkts}\n"));
+                o.push_str(&format!("flips = {flips}\n"));
+                o.push_str(&format!("seed_xor = {seed_xor}\n"));
+            }
+            FaultSpec::TruncateBurst {
+                link,
+                at_us,
+                pkts,
+                seed_xor,
+            } => {
+                o.push_str(&format!("link = {}\n", escape_basic(link)));
+                o.push_str(&format!("at_us = {at_us}\n"));
+                o.push_str(&format!("pkts = {pkts}\n"));
+                o.push_str(&format!("seed_xor = {seed_xor}\n"));
+            }
+            FaultSpec::CrashRestart {
+                node,
+                from_us,
+                to_us,
+            } => {
+                o.push_str(&format!("node = {}\n", escape_basic(node)));
+                o.push_str(&format!("from_us = {from_us}\n"));
+                o.push_str(&format!("to_us = {to_us}\n"));
+            }
+        }
+    }
+
+    o.push_str("\n[assert]\n");
+    o.push_str(&format!("conservation = {}\n", s.asserts.conservation));
+    if s.asserts.corruption_accounting {
+        o.push_str("corruption_accounting = true\n");
+    }
+    if let Some((a, b)) = s.asserts.window_us {
+        o.push_str(&format!("window_us = [{a}, {b}]\n"));
+    }
+    if s.asserts.warmup_bins != 0 {
+        o.push_str(&format!("warmup_bins = {}\n", s.asserts.warmup_bins));
+    }
+    for (p, c) in &s.asserts.cells {
+        if c.is_default() {
+            // An empty cell table would decode back to the same default,
+            // but emit a marker key-free table anyway for clarity.
+            o.push_str(&format!("\n[assert.cells.{}]\n", p.key()));
+            continue;
+        }
+        o.push_str(&format!("\n[assert.cells.{}]\n", p.key()));
+        if c.exactly_once {
+            o.push_str("exactly_once = true\n");
+        }
+        if let Some(v) = c.completed {
+            o.push_str(&format!("completed = {v}\n"));
+        }
+        if let Some(v) = c.completed_min {
+            o.push_str(&format!("completed_min = {v}\n"));
+        }
+        if let Some(v) = c.during_window_min {
+            o.push_str(&format!("during_window_min = {v}\n"));
+        }
+        if let Some(v) = c.during_window_max {
+            o.push_str(&format!("during_window_max = {v}\n"));
+        }
+        if let Some(v) = c.p50_max_us {
+            o.push_str(&format!("p50_max_us = {}\n", format_float(v)));
+        }
+        if let Some(v) = c.p99_max_us {
+            o.push_str(&format!("p99_max_us = {}\n", format_float(v)));
+        }
+        if let Some(v) = c.timeouts_max {
+            o.push_str(&format!("timeouts_max = {v}\n"));
+        }
+        if let Some(v) = c.goodput_mean_min_gbps {
+            o.push_str(&format!("goodput_mean_min_gbps = {}\n", format_float(v)));
+        }
+    }
+    if !s.asserts.digests.is_empty() {
+        o.push_str("\n[assert.digests]\n");
+        for (k, v) in &s.asserts.digests {
+            o.push_str(&format!("{} = {}\n", format_key(k), escape_basic(v)));
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> String {
+        r#"
+[scenario]
+name = "smoke"
+seeds = [1]
+horizon_us = 1000
+protocols = ["mtp"]
+
+[topology]
+kind = "diamond"
+[topology.path]
+rate_gbps = 10
+delay_us = 5
+
+[workload]
+kind = "periodic"
+count = 2
+bytes = 1000
+interval_us = 10
+"#
+        .to_string()
+    }
+
+    #[test]
+    fn minimal_decodes() {
+        let s = from_str(&minimal()).expect("decode");
+        assert_eq!(s.name, "smoke");
+        assert!(s.asserts.conservation);
+        assert_eq!(s.topology.kind(), "diamond");
+    }
+
+    #[test]
+    fn unknown_key_is_named() {
+        let doc = minimal() + "\n[extra]\nx = 1\n";
+        let e = from_str(&doc).expect_err("unknown table");
+        match e {
+            LoadError::Schema(e) => assert_eq!(e.field, "extra"),
+            other => panic!("wrong error: {other}"),
+        }
+        let doc = minimal().replace("count = 2", "count = 2\nbogus = 3");
+        let e = from_str(&doc).expect_err("unknown key");
+        match e {
+            LoadError::Schema(e) => assert_eq!(e.field, "workload.bogus"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_latency_link_is_rejected_by_name() {
+        let doc = minimal().replace("delay_us = 5", "delay_us = 0");
+        let e = from_str(&doc).expect_err("zero latency");
+        match e {
+            LoadError::Schema(e) => {
+                assert_eq!(e.field, "topology.path.delay_us");
+                assert!(e.msg.contains("zero-latency"), "{}", e.msg);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn tcp_on_leaf_spine_is_rejected() {
+        let doc = r#"
+[scenario]
+name = "bad"
+seeds = [1]
+horizon_us = 1000
+protocols = ["tcp-dctcp"]
+
+[topology]
+kind = "leaf-spine"
+leaves = 2
+spines = 2
+hosts_per_leaf = 2
+[topology.host_link]
+rate_gbps = 100
+delay_us = 1
+[topology.spine_link]
+rate_gbps = 100
+delay_us = 1
+
+[workload]
+kind = "fanin"
+rounds = 1
+bytes = 1000
+stagger_us = 1
+round_gap_us = 10
+"#;
+        let e = from_str(doc).expect_err("tcp on clos");
+        match e {
+            LoadError::Schema(e) => assert_eq!(e.field, "scenario.protocols"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_emitter() {
+        let s = from_str(&minimal()).expect("decode");
+        let emitted = to_toml(&s);
+        let back = from_str(&emitted).expect("re-decode");
+        assert_eq!(s, back, "emitted:\n{emitted}");
+    }
+}

@@ -1,0 +1,523 @@
+//! Property tests for the scenario schema.
+//!
+//! 1. **Lossless roundtrip**: any valid scenario serialized by
+//!    [`schema::to_toml`] decodes back to an equal `Scenario`.
+//! 2. **Typed rejection**: unknown keys, out-of-range values, and
+//!    zero-latency links are rejected with a [`SchemaError`] naming the
+//!    offending field — never a panic.
+//! 3. **Total decoding**: `from_str` never panics, on arbitrary byte
+//!    soup or on mutated-valid documents.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mtp_scenario::schema::{
+    self, from_str, to_toml, Asserts, CellAsserts, FailMode, FaultSpec, LinkParams, LoadError,
+    MtpOpts, Protocol, Scenario, Topology, TwoPathStrategy, Workload,
+};
+
+// ------------------------------------------------- arbitrary scenarios
+
+fn arb_link(rng: &mut SmallRng) -> LinkParams {
+    LinkParams {
+        rate_gbps: rng.gen_range(1..=1000),
+        delay_us: rng.gen_range(1..=1_000_000),
+    }
+}
+
+fn arb_name(rng: &mut SmallRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+    let len = rng.gen_range(1..=20);
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+        .collect()
+}
+
+fn arb_description(rng: &mut SmallRng) -> String {
+    // Includes everything escape_basic has to handle.
+    const CHARS: &[char] = &[
+        'a', 'Z', '0', ' ', '.', ',', '"', '\\', '\n', '\t', '#', '=', '[', ']', 'é', '€',
+    ];
+    let len = rng.gen_range(0..=40);
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())])
+        .collect()
+}
+
+fn arb_float(rng: &mut SmallRng) -> f64 {
+    // Positive finite values with messy mantissas; Display roundtrips
+    // every finite f64 exactly, so no rounding is needed.
+    rng.gen_range(0..u32::MAX) as f64 / 7.0 + 0.001
+}
+
+fn arb_topology(rng: &mut SmallRng) -> Topology {
+    match rng.gen_range(0..4) {
+        0 => Topology::Diamond {
+            path: arb_link(rng),
+        },
+        1 => Topology::TwoPath {
+            a: arb_link(rng),
+            b: arb_link(rng),
+            strategy: match rng.gen_range(0..3) {
+                0 => TwoPathStrategy::Alternate {
+                    period_us: rng.gen_range(1..=10_000_000),
+                },
+                1 => TwoPathStrategy::Ecmp,
+                _ => TwoPathStrategy::Spray,
+            },
+            goodput_bin_us: rng.gen_range(1..=1_000_000),
+        },
+        2 => Topology::Dumbbell {
+            edge: arb_link(rng),
+            shared: arb_link(rng),
+        },
+        _ => Topology::LeafSpine {
+            leaves: rng.gen_range(2..=16),
+            spines: rng.gen_range(1..=16),
+            hosts_per_leaf: rng.gen_range(1..=16),
+            host_link: arb_link(rng),
+            spine_link: arb_link(rng),
+        },
+    }
+}
+
+fn arb_workload(rng: &mut SmallRng, topo: &Topology) -> Workload {
+    match topo {
+        Topology::Diamond { .. } | Topology::TwoPath { .. } => {
+            if rng.gen_bool(0.5) {
+                Workload::Periodic {
+                    count: rng.gen_range(1..=100_000),
+                    bytes: rng.gen_range(1..=u32::MAX as u64),
+                    interval_us: rng.gen_range(1..=10_000_000),
+                }
+            } else {
+                Workload::Single {
+                    bytes: rng.gen_range(1..=u32::MAX as u64),
+                }
+            }
+        }
+        Topology::Dumbbell { .. } => {
+            let elephants = rng.gen_range(0..=16u64);
+            let mice = if elephants == 0 {
+                rng.gen_range(1..=16)
+            } else {
+                rng.gen_range(0..=16)
+            };
+            let min = rng.gen_range(1..=100_000);
+            Workload::Tenants {
+                elephants,
+                elephant_bytes: rng.gen_range(1..=u32::MAX as u64),
+                mice,
+                mice_load: rng.gen_range(1..=100) as f64 / 100.0,
+                mice_min_bytes: min,
+                mice_max_bytes: min + rng.gen_range(0..=100_000u64),
+            }
+        }
+        Topology::LeafSpine { .. } => Workload::Fanin {
+            rounds: rng.gen_range(1..=1000),
+            bytes: rng.gen_range(1..=u32::MAX as u64),
+            stagger_us: rng.gen_range(0..=10_000_000),
+            round_gap_us: rng.gen_range(1..=10_000_000),
+        },
+    }
+}
+
+fn arb_fault(rng: &mut SmallRng, topo: &Topology, horizon_us: u64) -> Option<FaultSpec> {
+    let mode = if rng.gen_bool(0.5) {
+        FailMode::Blackhole
+    } else {
+        FailMode::Drain
+    };
+    let at_us = rng.gen_range(0..=horizon_us);
+    let from_us = rng.gen_range(0..horizon_us);
+    let to_us = rng.gen_range(from_us + 1..=horizon_us);
+    let pick =
+        |rng: &mut SmallRng, names: &[&str]| names[rng.gen_range(0..names.len())].to_string();
+    match topo {
+        Topology::LeafSpine { spines, .. } => Some(FaultSpec::CrashRestart {
+            node: format!("spine{}", rng.gen_range(0..*spines)),
+            from_us,
+            to_us,
+        }),
+        topo => {
+            let links = topo.link_names();
+            match rng.gen_range(0..7) {
+                0 if !topo.pair_names().is_empty() => Some(FaultSpec::CutBoth {
+                    link: pick(rng, topo.pair_names()),
+                    from_us,
+                    to_us,
+                    mode,
+                }),
+                0 => None,
+                1 => Some(FaultSpec::LinkDown {
+                    link: pick(rng, links),
+                    at_us,
+                    mode,
+                }),
+                2 => Some(FaultSpec::LinkUp {
+                    link: pick(rng, links),
+                    at_us,
+                }),
+                3 => Some(FaultSpec::Degrade {
+                    link: pick(rng, links),
+                    at_us,
+                    rate_gbps: rng.gen_range(1..=1000),
+                    delay_us: rng.gen_range(1..=1_000_000),
+                }),
+                4 => {
+                    let ppm = rng.gen_range(0..=1_000_000);
+                    Some(FaultSpec::CorruptRate {
+                        link: pick(rng, links),
+                        at_us,
+                        ppm,
+                        flips: if ppm == 0 { 0 } else { rng.gen_range(1..=3) },
+                        seed_xor: rng.gen_range(0..=i64::MAX as u64),
+                    })
+                }
+                5 => Some(FaultSpec::BitflipBurst {
+                    link: pick(rng, links),
+                    at_us,
+                    pkts: rng.gen_range(1..=1_000_000),
+                    flips: rng.gen_range(1..=3),
+                    seed_xor: rng.gen_range(0..=i64::MAX as u64),
+                }),
+                _ => Some(FaultSpec::TruncateBurst {
+                    link: pick(rng, links),
+                    at_us,
+                    pkts: rng.gen_range(1..=1_000_000),
+                    seed_xor: rng.gen_range(0..=i64::MAX as u64),
+                }),
+            }
+        }
+    }
+}
+
+fn arb_cell(rng: &mut SmallRng, topo: &Topology, has_window: bool) -> CellAsserts {
+    let single_sink = matches!(topo, Topology::Diamond { .. } | Topology::TwoPath { .. });
+    let mut c = CellAsserts {
+        exactly_once: rng.gen_bool(0.5),
+        completed: rng.gen_bool(0.5).then(|| rng.gen_range(0..100_000)),
+        completed_min: rng.gen_bool(0.5).then(|| rng.gen_range(0..100_000)),
+        during_window_min: (has_window && rng.gen_bool(0.5)).then(|| rng.gen_range(0..1000)),
+        during_window_max: (has_window && rng.gen_bool(0.5)).then(|| rng.gen_range(0..1000)),
+        p50_max_us: rng.gen_bool(0.5).then(|| arb_float(rng)),
+        p99_max_us: rng.gen_bool(0.5).then(|| arb_float(rng)),
+        timeouts_max: rng.gen_bool(0.5).then(|| rng.gen_range(0..10_000)),
+        goodput_mean_min_gbps: (single_sink && rng.gen_bool(0.5)).then(|| arb_float(rng)),
+    };
+    // The emitter elides all-default cell tables, so an all-default cell
+    // would not survive the roundtrip as an explicit entry.
+    if c == CellAsserts::default() {
+        c.completed_min = Some(rng.gen_range(0..100_000));
+    }
+    c
+}
+
+fn arb_scenario(rng: &mut SmallRng) -> Scenario {
+    let topology = arb_topology(rng);
+    let horizon_us = rng.gen_range(1000..=10_000_000);
+
+    let mut protocols = Vec::new();
+    for p in [Protocol::Mtp, Protocol::TcpNewReno, Protocol::TcpDctcp] {
+        if topology.supports(p) && rng.gen_bool(0.5) {
+            protocols.push(p);
+        }
+    }
+    if protocols.is_empty() {
+        protocols.push(Protocol::Mtp);
+    }
+
+    let mut seeds = Vec::new();
+    let mut next = rng.gen_range(0..1000u64);
+    for _ in 0..rng.gen_range(1..=5) {
+        seeds.push(next);
+        next += rng.gen_range(1..=100u64);
+    }
+
+    let workload = arb_workload(rng, &topology);
+    let faults: Vec<FaultSpec> = (0..rng.gen_range(0..=3))
+        .filter_map(|_| arb_fault(rng, &topology, horizon_us))
+        .collect();
+
+    let window_us = rng.gen_bool(0.4).then(|| {
+        let a = rng.gen_range(0..horizon_us);
+        (a, rng.gen_range(a + 1..=horizon_us))
+    });
+    let mut cells = Vec::new();
+    for &p in &protocols {
+        if rng.gen_bool(0.5) {
+            cells.push((p, arb_cell(rng, &topology, window_us.is_some())));
+        }
+    }
+    let mut digests = Vec::new();
+    for _ in 0..rng.gen_range(0..=2u32) {
+        let p = protocols[rng.gen_range(0..protocols.len())];
+        let s = seeds[rng.gen_range(0..seeds.len())];
+        let key = format!("{}/{s}", p.key());
+        if !digests.iter().any(|(k, _)| *k == key) {
+            digests.push((key, format!("{:016x}", rng.gen_range(0..u64::MAX))));
+        }
+    }
+
+    Scenario {
+        name: arb_name(rng),
+        description: arb_description(rng),
+        seeds,
+        horizon_us,
+        protocols,
+        mtp: MtpOpts {
+            failover: rng.gen_bool(0.5),
+        },
+        topology: topology.clone(),
+        workload,
+        faults,
+        asserts: Asserts {
+            conservation: rng.gen_bool(0.8),
+            corruption_accounting: matches!(topology, Topology::Diamond { .. })
+                && rng.gen_bool(0.3),
+            window_us,
+            warmup_bins: rng.gen_range(0..=1000),
+            cells,
+            digests,
+        },
+    }
+}
+
+// ----------------------------------------------------------- properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_is_lossless(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s = arb_scenario(&mut rng);
+        let text = to_toml(&s);
+        let back = from_str(&text)
+            .unwrap_or_else(|e| panic!("emitted scenario failed to parse: {e}\n---\n{text}"));
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn decode_never_panics_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = from_str(&text);
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutated_valid(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s = arb_scenario(&mut rng);
+        let mut bytes = to_toml(&s).into_bytes();
+        if !bytes.is_empty() {
+            for _ in 0..rng.gen_range(1..=8usize) {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.gen_range(0..=255u32) as u8;
+            }
+        }
+        let _ = from_str(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+// ------------------------------------------------------ typed rejection
+
+/// A minimal valid diamond document the rejection tests mutate.
+const BASE: &str = r#"
+[scenario]
+name = "base"
+seeds = [1]
+horizon_us = 1000
+protocols = ["mtp"]
+
+[topology]
+kind = "diamond"
+[topology.path]
+rate_gbps = 10
+delay_us = 5
+
+[workload]
+kind = "single"
+bytes = 1000
+"#;
+
+fn schema_err(input: &str) -> schema::SchemaError {
+    match from_str(input) {
+        Err(LoadError::Schema(e)) => e,
+        Err(LoadError::Parse(e)) => panic!("expected schema error, got parse error: {e}"),
+        Ok(_) => panic!("expected rejection, input decoded"),
+    }
+}
+
+#[test]
+fn base_is_valid() {
+    from_str(BASE).expect("base document decodes");
+}
+
+#[test]
+fn unknown_keys_are_rejected_by_name() {
+    let e = schema_err(&format!("{BASE}\n[assert]\nbogus = 1\n"));
+    assert_eq!(e.field, "assert.bogus");
+    let e = schema_err(&BASE.replace("delay_us = 5", "delay_us = 5\njunk = 1"));
+    assert_eq!(e.field, "topology.path.junk");
+    let e = schema_err(&format!("stray = true\n{BASE}"));
+    assert_eq!(e.field, "stray");
+}
+
+#[test]
+fn out_of_range_values_are_rejected_by_name() {
+    let e = schema_err(&BASE.replace("rate_gbps = 10", "rate_gbps = 0"));
+    assert_eq!(e.field, "topology.path.rate_gbps");
+    assert!(e.msg.contains("out of range"), "msg: {}", e.msg);
+
+    let e = schema_err(&BASE.replace("horizon_us = 1000", "horizon_us = 999999999999"));
+    assert_eq!(e.field, "scenario.horizon_us");
+
+    let e = schema_err(&format!(
+        "{BASE}\n[[fault]]\nkind = \"bitflip_burst\"\nlink = \"a_fwd\"\nat_us = 1\npkts = 1\nflips = 7\n"
+    ));
+    assert_eq!(e.field, "fault[0].flips");
+}
+
+#[test]
+fn zero_latency_links_are_rejected() {
+    let e = schema_err(&BASE.replace("delay_us = 5", "delay_us = 0"));
+    assert_eq!(e.field, "topology.path.delay_us");
+    assert!(
+        e.msg.contains("zero-latency links are not supported"),
+        "msg: {}",
+        e.msg
+    );
+}
+
+#[test]
+fn cut_window_must_be_ordered() {
+    let e = schema_err(&format!(
+        "{BASE}\n[[fault]]\nkind = \"cut_both\"\nlink = \"a\"\nfrom_us = 500\nto_us = 400\nmode = \"blackhole\"\n"
+    ));
+    assert_eq!(e.field, "fault[0].to_us");
+}
+
+#[test]
+fn mice_load_must_be_in_unit_interval() {
+    let doc = r#"
+[scenario]
+name = "m"
+seeds = [1]
+horizon_us = 1000
+protocols = ["mtp"]
+
+[topology]
+kind = "dumbbell"
+[topology.edge]
+rate_gbps = 10
+delay_us = 2
+[topology.shared]
+rate_gbps = 40
+delay_us = 5
+
+[workload]
+kind = "tenants"
+elephants = 1
+elephant_bytes = 1000
+mice = 1
+mice_load = 1.5
+mice_min_bytes = 100
+mice_max_bytes = 200
+"#;
+    let e = schema_err(doc);
+    assert_eq!(e.field, "workload.mice_load");
+}
+
+#[test]
+fn window_bounds_need_a_window() {
+    let e = schema_err(&format!(
+        "{BASE}\n[assert.cells.mtp]\nduring_window_min = 1\n"
+    ));
+    assert_eq!(e.field, "assert.cells.mtp");
+    assert!(e.msg.contains("window_us"), "msg: {}", e.msg);
+}
+
+#[test]
+fn digest_keys_and_values_are_validated() {
+    let e = schema_err(&format!("{BASE}\n[assert.digests]\n\"mtp/1\" = \"nope\"\n"));
+    assert!(e.field.starts_with("assert.digests"), "field: {}", e.field);
+
+    let e = schema_err(&format!(
+        "{BASE}\n[assert.digests]\n\"mtp/99\" = \"0123456789abcdef\"\n"
+    ));
+    assert!(e.msg.contains("99"), "msg: {}", e.msg);
+
+    let e = schema_err(&format!(
+        "{BASE}\n[assert.digests]\n\"tcp-dctcp/1\" = \"0123456789abcdef\"\n"
+    ));
+    assert!(
+        e.msg.contains("not in scenario.protocols"),
+        "msg: {}",
+        e.msg
+    );
+}
+
+#[test]
+fn unsupported_protocol_topology_pairs_are_rejected() {
+    let doc = r#"
+[scenario]
+name = "x"
+seeds = [1]
+horizon_us = 1000
+protocols = ["mtp", "tcp-newreno"]
+
+[topology]
+kind = "dumbbell"
+[topology.edge]
+rate_gbps = 10
+delay_us = 2
+[topology.shared]
+rate_gbps = 40
+delay_us = 5
+
+[workload]
+kind = "tenants"
+elephants = 1
+elephant_bytes = 1000
+mice = 1
+mice_load = 0.5
+mice_min_bytes = 100
+mice_max_bytes = 200
+"#;
+    let e = schema_err(doc);
+    assert!(
+        e.msg.contains("tcp-newreno"),
+        "error should name the unsupported protocol: {e}"
+    );
+}
+
+#[test]
+fn corruption_accounting_needs_the_diamond() {
+    let doc = r#"
+[scenario]
+name = "x"
+seeds = [1]
+horizon_us = 1000
+protocols = ["mtp"]
+
+[topology]
+kind = "two-path"
+strategy = "ecmp"
+[topology.a]
+rate_gbps = 10
+delay_us = 1
+[topology.b]
+rate_gbps = 10
+delay_us = 1
+
+[workload]
+kind = "single"
+bytes = 1000
+
+[assert]
+corruption_accounting = true
+"#;
+    let e = schema_err(doc);
+    assert_eq!(e.field, "assert.corruption_accounting");
+}
